@@ -1,0 +1,427 @@
+package mtastsrepro
+
+// One benchmark per table and figure of the paper (the harness of
+// deliverable (d)): each BenchmarkTableN/BenchmarkFigureN regenerates that
+// artifact from the synthetic ecosystem, so `go test -bench .` replays the
+// full evaluation. Core-primitive micro-benchmarks follow at the bottom.
+//
+// The shared environment uses a 0.10 population scale to keep -bench runs
+// quick; cmd/reproduce regenerates everything at paper scale (1.0).
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/dnssec"
+	"github.com/netsecurelab/mtasts/internal/experiments"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/simnet"
+	"github.com/netsecurelab/mtasts/internal/strutil"
+	"github.com/netsecurelab/mtasts/internal/survey"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+)
+
+// env returns the shared benchmark environment with all component
+// snapshots pre-scanned, so each figure benchmark measures regeneration of
+// its artifact rather than first-scan warm-up.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv = experiments.NewEnv(simnet.Config{Seed: 1, Scale: 0.10})
+		for _, t := range experiments.ComponentSnapshots() {
+			benchEnv.Scan(t)
+		}
+	})
+	return benchEnv
+}
+
+func BenchmarkTable1(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := e.Table1(); len(tbl.Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := e.Figure2(); len(s) != 4 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := e.Figure3(); len(s.Points) != simnet.TrancoBins {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := e.Figure4(); len(s) != 4 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		selfPanel, thirdPanel := e.Figure5()
+		if len(selfPanel) != 5 || len(thirdPanel) != 5 {
+			b.Fatal("bad panels")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		selfPanel, thirdPanel := e.Figure6()
+		if len(selfPanel) != 3 || len(thirdPanel) != 3 {
+			b.Fatal("bad panels")
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := e.Figure7(); len(s) != 3 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := e.Figure8(); len(s) != 5 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := e.Figure9(); len(s.Points) == 0 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := e.Figure10(); len(s) != 2 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := e.Figure11(); len(tbl.Rows) != 5 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top, bottom := e.Figure12()
+		if len(top) != 4 || len(bottom) != 4 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := e.Table2(); len(tbl.Rows) != 8 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkRecordErrorBreakdown(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := e.RecordErrorBreakdown(); len(tbl.Rows) != 6 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkSenderSide(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := e.SenderSide(); len(tbl.Rows) == 0 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkSurveyFindings(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := e.SurveyFindings(); len(tbl.Rows) == 0 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkDisclosure(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := e.Disclosure(); len(tbl.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkRunAll regenerates the entire evaluation.
+func BenchmarkRunAll(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := e.RunAll(io.Discard); len(rows) == 0 {
+			b.Fatal("no comparison rows")
+		}
+	}
+}
+
+// BenchmarkSnapshotScan measures the offline scan of one full monthly
+// snapshot — the unit of the longitudinal pipeline.
+func BenchmarkSnapshotScan(b *testing.B) {
+	w := simnet.Generate(simnet.Config{Seed: 1, Scale: 0.10})
+	last := simnet.Months - 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := w.ScanSnapshot(last)
+		if len(results) == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}
+
+// BenchmarkWorldGeneration measures ecosystem synthesis.
+func BenchmarkWorldGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := simnet.Generate(simnet.Config{Seed: int64(i), Scale: 0.10})
+		if len(w.Domains) == 0 {
+			b.Fatal("empty world")
+		}
+	}
+}
+
+// --- Core-primitive micro-benchmarks ---
+
+func BenchmarkParseRecord(b *testing.B) {
+	txt := "v=STSv1; id=20240929; extension=value;"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRecord(txt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParsePolicy(b *testing.B) {
+	body := []byte("version: STSv1\r\nmode: enforce\r\nmx: mail.example.com\r\nmx: *.example.net\r\nmx: backupmx.example.com\r\nmax_age: 604800\r\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParsePolicy(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchMX(b *testing.B) {
+	p := Policy{MXPatterns: []string{"mail.example.com", "*.backup.example.com", "mx2.example.com"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.Matches("host7.backup.example.com") {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkScanArtifacts(b *testing.B) {
+	now := time.Now()
+	a := Artifacts{
+		Domain:             "example.com",
+		TXT:                []string{"v=STSv1; id=20240929;"},
+		MXHosts:            []string{"mx.example.com"},
+		PolicyHostResolves: true,
+		TCPOpen:            true,
+		PolicyCert:         GoodCertProfile(now, "mta-sts.example.com"),
+		HTTPStatus:         200,
+		PolicyBody:         []byte("version: STSv1\nmode: enforce\nmx: mx.example.com\nmax_age: 86400\n"),
+		MXSTARTTLS:         map[string]bool{"mx.example.com": true},
+		MXCerts:            map[string]CertProfile{"mx.example.com": GoodCertProfile(now, "mx.example.com")},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := ScanArtifacts(a, now)
+		if r.Misconfigured() {
+			b.Fatal("clean domain misconfigured")
+		}
+	}
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if strutil.Levenshtein("mx1.mail.example.com", "mx1.mali.example.com") != 2 {
+			b.Fatal("bad distance")
+		}
+	}
+}
+
+func BenchmarkDNSMessagePack(b *testing.B) {
+	m := dnsmsg.NewQuery(42, "_mta-sts.example.com", dnsmsg.TypeTXT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDNSMessageUnpack(b *testing.B) {
+	m := &dnsmsg.Message{
+		Header:    dnsmsg.Header{ID: 42, Response: true},
+		Questions: []dnsmsg.Question{{Name: "_mta-sts.example.com", Type: dnsmsg.TypeTXT, Class: dnsmsg.ClassIN}},
+		Answers: []dnsmsg.RR{{Name: "_mta-sts.example.com", Type: dnsmsg.TypeTXT,
+			Class: dnsmsg.ClassIN, TTL: 300, Data: dnsmsg.NewTXT("v=STSv1; id=20240929;")}},
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dnsmsg.Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolicyCache(b *testing.B) {
+	pc := mtasts.NewPolicyCache(1024)
+	p := mtasts.Policy{Version: mtasts.Version, Mode: mtasts.ModeEnforce,
+		MaxAge: 86400, MXPatterns: []string{"mx.example.com"}}
+	pc.Store("example.com", p, "id1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := pc.Get("example.com"); !ok {
+			b.Fatal("cache miss")
+		}
+	}
+}
+
+func BenchmarkSurveyTabulate(b *testing.B) {
+	ds := survey.NewPaperDataset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := ds.Tabulate()
+		if f.Familiar != 89 {
+			b.Fatal("bad tabulation")
+		}
+	}
+}
+
+// BenchmarkSummarize measures aggregation over a scanned snapshot.
+func BenchmarkSummarize(b *testing.B) {
+	e := env(b)
+	results := e.Scan(simnet.Months - 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := scanner.Summarize(results)
+		if s.WithRecord == 0 {
+			b.Fatal("empty summary")
+		}
+	}
+}
+
+// --- DNSSEC substrate benchmarks ---
+
+func BenchmarkDNSSECSign(b *testing.B) {
+	s, err := dnssec.NewSigner("bench.example")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rrset := []dnsmsg.RR{{
+		Name: "_25._tcp.mx.bench.example", Type: dnsmsg.TypeTLSA, Class: dnsmsg.ClassIN,
+		TTL: 300, Data: dnsmsg.TLSAData{Usage: 3, Selector: 1, MatchingType: 1,
+			CertData: make([]byte, 32)},
+	}}
+	incept, expire := time.Now().Add(-time.Hour), time.Now().Add(24*time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sign(rrset, incept, expire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDNSSECVerify(b *testing.B) {
+	s, err := dnssec.NewSigner("bench.example")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rrset := []dnsmsg.RR{{
+		Name: "_25._tcp.mx.bench.example", Type: dnsmsg.TypeTLSA, Class: dnsmsg.ClassIN,
+		TTL: 300, Data: dnsmsg.TLSAData{Usage: 3, Selector: 1, MatchingType: 1,
+			CertData: make([]byte, 32)},
+	}}
+	now := time.Now()
+	sigRR, err := s.Sign(rrset, now.Add(-time.Hour), now.Add(24*time.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sig := sigRR.Data.(dnsmsg.RRSIGData)
+	dk := s.DNSKEY().Data.(dnsmsg.DNSKEYData)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dnssec.VerifyRRSIG(rrset, sig, dk, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command mtasts-check is a one-domain MTA-STS diagnostic: it runs the
+// full scan pipeline against real infrastructure (record discovery, policy
+// retrieval with the staged error taxonomy, MX STARTTLS certificate
+// checks, and pattern consistency) and prints a human-readable verdict —
+// the checker a domain administrator would run after deploying MTA-STS.
+//
+// Usage:
+//
+//	mtasts-check [-dns 127.0.0.1:5353] [-https-port 443] [-smtp-port 25] example.com
+//
+// Without -dns, the system resolver's configured server cannot be used by
+// the wire-format client, so a DNS server address is required.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/inconsistency"
+	"github.com/netsecurelab/mtasts/internal/resolver"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+)
+
+func main() {
+	dnsAddr := flag.String("dns", "", "DNS server address (host:port), required")
+	httpsPort := flag.Int("https-port", 443, "policy server HTTPS port")
+	smtpPort := flag.Int("smtp-port", 25, "MX SMTP port")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-probe timeout")
+	flag.Parse()
+
+	if flag.NArg() != 1 || *dnsAddr == "" {
+		fmt.Fprintln(os.Stderr, "usage: mtasts-check -dns <host:port> [flags] <domain>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	domain := flag.Arg(0)
+
+	live := &scanner.Live{
+		DNS:       resolver.New(*dnsAddr),
+		HTTPSPort: *httpsPort,
+		SMTPPort:  *smtpPort,
+		HeloName:  "mtasts-check.invalid",
+		Timeout:   *timeout,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4**timeout)
+	defer cancel()
+	r := live.ScanDomain(ctx, domain)
+
+	fmt.Printf("MTA-STS diagnostic for %s\n\n", domain)
+	if !r.RecordPresent {
+		fmt.Println("  record:  not found — MTA-STS is not deployed")
+		os.Exit(0)
+	}
+	if r.RecordValid {
+		fmt.Printf("  record:  OK (id=%s)\n", r.Record.ID)
+	} else {
+		fmt.Printf("  record:  INVALID — %v\n", r.RecordErr)
+	}
+	if r.PolicyCNAME != "" {
+		fmt.Printf("  delegation: mta-sts.%s -> %s\n", domain, r.PolicyCNAME)
+	}
+	if r.PolicyOK {
+		fmt.Printf("  policy:  OK (mode=%s, max_age=%d, %d mx pattern(s))\n",
+			r.Policy.Mode, r.Policy.MaxAge, len(r.Policy.MXPatterns))
+	} else {
+		fmt.Printf("  policy:  FAILED at %s stage", r.PolicyStage)
+		if r.PolicyCertProblem.String() != "ok" {
+			fmt.Printf(" (certificate: %s)", r.PolicyCertProblem)
+		}
+		if r.PolicyHTTPStatus != 0 {
+			fmt.Printf(" (HTTP %d)", r.PolicyHTTPStatus)
+		}
+		fmt.Println()
+	}
+	if len(r.MXHosts) == 0 {
+		fmt.Println("  mx:      no MX records")
+	}
+	for _, mx := range r.MXHosts {
+		if p, ok := r.MXProblems[mx]; ok {
+			verdict := "OK"
+			if !p.Valid() {
+				verdict = "INVALID (" + p.String() + ")"
+			}
+			fmt.Printf("  mx:      %s — certificate %s\n", mx, verdict)
+		} else {
+			fmt.Printf("  mx:      %s — no STARTTLS\n", mx)
+		}
+	}
+	if r.PolicyOK {
+		if r.Mismatch.Kind == inconsistency.KindNone {
+			fmt.Println("  match:   MX records match the policy's mx patterns")
+		} else {
+			fmt.Printf("  match:   MISMATCH (%s): patterns %v vs MX %v\n",
+				r.Mismatch.Kind, r.Mismatch.Patterns, r.Mismatch.MXHosts)
+		}
+	}
+
+	fmt.Println()
+	if r.Misconfigured() {
+		fmt.Printf("verdict: MISCONFIGURED — categories: %v\n", r.Categories())
+		if r.DeliveryFailure() {
+			fmt.Println("WARNING: compliant senders will REFUSE to deliver mail to this domain")
+		}
+		os.Exit(1)
+	}
+	fmt.Println("verdict: OK")
+}

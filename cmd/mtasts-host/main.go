@@ -1,0 +1,196 @@
+// Command mtasts-host runs an MTA-STS policy host: a TLS web server
+// serving "/.well-known/mta-sts.txt" for one or more policy domains, with
+// certificates issued from a local test CA (written to disk so clients can
+// trust it). It can emulate a third-party hosting provider — including the
+// Table 2 opt-out behaviors — or a plain self-managed policy server, and
+// optionally inject the failure modes the paper measures.
+//
+// Usage:
+//
+//	mtasts-host -listen 127.0.0.1:8443 -ca-out ca.pem \
+//	    -domain example.com -mode enforce -mx mx1.example.com -mx '*.example.com'
+//
+//	# emulate a provider with a misbehaving tenant:
+//	mtasts-host -listen :8443 -ca-out ca.pem \
+//	    -domain good.com -mx mx.good.com \
+//	    -domain broken.com -mx mx.broken.com -cert-mode expired
+package main
+
+import (
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/policysrv"
+)
+
+// tenantFlags accumulates repeated -domain/-mx/-mode/-cert-mode groups: a
+// new -domain starts a new tenant; the other flags apply to the last one.
+type tenantFlags struct {
+	tenants []*policysrv.Tenant
+}
+
+func (tf *tenantFlags) last() *policysrv.Tenant {
+	if len(tf.tenants) == 0 {
+		tf.tenants = append(tf.tenants, newTenant("example.com"))
+	}
+	return tf.tenants[len(tf.tenants)-1]
+}
+
+func newTenant(domain string) *policysrv.Tenant {
+	return &policysrv.Tenant{
+		Domain: domain,
+		Policy: mtasts.Policy{Version: mtasts.Version, Mode: mtasts.ModeTesting, MaxAge: 86400},
+	}
+}
+
+func main() {
+	var tf tenantFlags
+	listen := flag.String("listen", "127.0.0.1:8443", "HTTPS listen address")
+	caOut := flag.String("ca-out", "", "write the test CA certificate (PEM) to this file")
+	flag.Func("domain", "policy domain (repeatable; starts a new tenant)", func(v string) error {
+		tf.tenants = append(tf.tenants, newTenant(v))
+		return nil
+	})
+	flag.Func("mx", "mx pattern for the current tenant (repeatable)", func(v string) error {
+		if err := mtasts.CheckMXPattern(v); err != nil {
+			return err
+		}
+		t := tf.last()
+		t.Policy.MXPatterns = append(t.Policy.MXPatterns, v)
+		return nil
+	})
+	flag.Func("mode", "policy mode for the current tenant (enforce|testing|none)", func(v string) error {
+		m := mtasts.Mode(v)
+		if !m.Valid() {
+			return fmt.Errorf("invalid mode %q", v)
+		}
+		tf.last().Policy.Mode = m
+		return nil
+	})
+	flag.Func("max-age", "policy max_age seconds for the current tenant", func(v string) error {
+		var n int64
+		if _, err := fmt.Sscanf(v, "%d", &n); err != nil || n < 0 || n > mtasts.MaxMaxAge {
+			return fmt.Errorf("invalid max_age %q", v)
+		}
+		tf.last().Policy.MaxAge = n
+		return nil
+	})
+	flag.Func("cert-mode", "certificate behavior for the current tenant (good|expired|self-signed|wrong-name|missing)", func(v string) error {
+		m, err := parseCertMode(v)
+		if err != nil {
+			return err
+		}
+		tf.last().CertMode = m
+		return nil
+	})
+	flag.Func("http-mode", "HTTP behavior for the current tenant (policy|404|500|redirect|empty|garbage)", func(v string) error {
+		m, err := parseHTTPMode(v)
+		if err != nil {
+			return err
+		}
+		tf.last().HTTPMode = m
+		return nil
+	})
+	provider := flag.String("provider", "", "emulate this Table 2 provider (adds its canonical-name aliases)")
+	flag.Parse()
+
+	if len(tf.tenants) == 0 {
+		fmt.Fprintln(os.Stderr, "at least one -domain is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, t := range tf.tenants {
+		if t.Policy.Mode != mtasts.ModeNone && len(t.Policy.MXPatterns) == 0 {
+			fmt.Fprintf(os.Stderr, "tenant %s: enforce/testing policy needs at least one -mx\n", t.Domain)
+			os.Exit(2)
+		}
+	}
+
+	ca, err := pki.NewCA("mtasts-host test CA", time.Now())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "creating CA:", err)
+		os.Exit(1)
+	}
+	if *caOut != "" {
+		pemBytes := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: ca.Cert.Raw})
+		if err := os.WriteFile(*caOut, pemBytes, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "writing CA:", err)
+			os.Exit(1)
+		}
+		fmt.Println("test CA certificate written to", *caOut)
+	}
+
+	srv := policysrv.New(ca, nil)
+	for _, t := range tf.tenants {
+		srv.AddTenant(t)
+		fmt.Printf("serving %s (mode=%s, mx=%v, cert=%v)\n",
+			mtasts.PolicyHost(t.Domain), t.Policy.Mode, t.Policy.MXPatterns, t.CertMode)
+		if *provider != "" {
+			p, ok := policysrv.LookupProvider(*provider)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown provider %q\n", *provider)
+				os.Exit(2)
+			}
+			alias := p.CanonicalName(t.Domain)
+			if err := srv.AddAlias(t.Domain, alias); err != nil {
+				fmt.Fprintln(os.Stderr, "adding alias:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  alias %s (provider %s)\n", alias, p.Name)
+		}
+	}
+	addr, err := srv.Start(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starting server:", err)
+		os.Exit(1)
+	}
+	fmt.Println("policy host listening on", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+}
+
+func parseCertMode(v string) (policysrv.CertMode, error) {
+	switch strings.ToLower(v) {
+	case "good":
+		return policysrv.CertGood, nil
+	case "expired":
+		return policysrv.CertExpired, nil
+	case "self-signed", "selfsigned":
+		return policysrv.CertSelfSigned, nil
+	case "wrong-name", "wrongname":
+		return policysrv.CertWrongName, nil
+	case "missing":
+		return policysrv.CertMissing, nil
+	}
+	return 0, fmt.Errorf("unknown cert mode %q", v)
+}
+
+func parseHTTPMode(v string) (policysrv.HTTPMode, error) {
+	switch strings.ToLower(v) {
+	case "policy":
+		return policysrv.HTTPServePolicy, nil
+	case "404":
+		return policysrv.HTTPNotFound, nil
+	case "500":
+		return policysrv.HTTPServerError, nil
+	case "redirect":
+		return policysrv.HTTPRedirect, nil
+	case "empty":
+		return policysrv.HTTPEmptyBody, nil
+	case "garbage":
+		return policysrv.HTTPGarbage, nil
+	}
+	return 0, fmt.Errorf("unknown HTTP mode %q", v)
+}

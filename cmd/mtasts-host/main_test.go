@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/policysrv"
+)
+
+func TestParseCertMode(t *testing.T) {
+	cases := map[string]policysrv.CertMode{
+		"good": policysrv.CertGood, "GOOD": policysrv.CertGood,
+		"expired": policysrv.CertExpired, "self-signed": policysrv.CertSelfSigned,
+		"selfsigned": policysrv.CertSelfSigned, "wrong-name": policysrv.CertWrongName,
+		"missing": policysrv.CertMissing,
+	}
+	for in, want := range cases {
+		got, err := parseCertMode(in)
+		if err != nil || got != want {
+			t.Errorf("parseCertMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseCertMode("bogus"); err == nil {
+		t.Error("bogus cert mode accepted")
+	}
+}
+
+func TestParseHTTPMode(t *testing.T) {
+	cases := map[string]policysrv.HTTPMode{
+		"policy": policysrv.HTTPServePolicy, "404": policysrv.HTTPNotFound,
+		"500": policysrv.HTTPServerError, "redirect": policysrv.HTTPRedirect,
+		"empty": policysrv.HTTPEmptyBody, "garbage": policysrv.HTTPGarbage,
+	}
+	for in, want := range cases {
+		got, err := parseHTTPMode(in)
+		if err != nil || got != want {
+			t.Errorf("parseHTTPMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseHTTPMode("bogus"); err == nil {
+		t.Error("bogus HTTP mode accepted")
+	}
+}
+
+func TestTenantFlags(t *testing.T) {
+	var tf tenantFlags
+	// last() on empty state creates a default tenant.
+	def := tf.last()
+	if def.Domain != "example.com" {
+		t.Errorf("default tenant = %+v", def)
+	}
+	tf.tenants = append(tf.tenants, newTenant("two.example"))
+	if tf.last().Domain != "two.example" {
+		t.Error("last() does not track the newest tenant")
+	}
+}

@@ -1,0 +1,127 @@
+// Command mtasts-scan runs the paper's measurement pipeline over a list of
+// domains (one per line on stdin or from -domains), using the live scanner
+// against real sockets, and prints a per-domain TSV plus the aggregate
+// summary — the §4.2 snapshot for an arbitrary population.
+//
+// Usage:
+//
+//	mtasts-scan -dns 127.0.0.1:5353 [-workers 16] [-rate 100] < domains.txt
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dataset"
+	"github.com/netsecurelab/mtasts/internal/inconsistency"
+	"github.com/netsecurelab/mtasts/internal/report"
+	"github.com/netsecurelab/mtasts/internal/resolver"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+)
+
+func main() {
+	dnsAddr := flag.String("dns", "", "DNS server address (host:port), required")
+	domainsFile := flag.String("domains", "-", "domain list file ('-' for stdin)")
+	workers := flag.Int("workers", 16, "concurrent scan workers")
+	rate := flag.Float64("rate", 100, "DNS queries per second (0 = unlimited)")
+	httpsPort := flag.Int("https-port", 443, "policy server HTTPS port")
+	smtpPort := flag.Int("smtp-port", 25, "MX SMTP port")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-probe timeout")
+	flag.Parse()
+
+	if *dnsAddr == "" {
+		fmt.Fprintln(os.Stderr, "usage: mtasts-scan -dns <host:port> [flags] < domains.txt")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	domains, err := readDomains(*domainsFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reading domains:", err)
+		os.Exit(1)
+	}
+
+	dns := resolver.New(*dnsAddr)
+	if *rate > 0 {
+		dns.Limiter = resolver.NewRateLimiter(*rate, 10)
+	}
+	live := &scanner.Live{
+		DNS:       dns,
+		HTTPSPort: *httpsPort,
+		SMTPPort:  *smtpPort,
+		HeloName:  "mtasts-scan.invalid",
+		Timeout:   *timeout,
+	}
+	runner := &scanner.Runner{Workers: *workers, Scan: live}
+	results := runner.Run(context.Background(), domains)
+
+	tbl := &dataset.Table{Headers: []string{
+		"domain", "record", "policy", "policy_stage", "mode", "mx_invalid", "mismatch", "delivery_failure",
+	}}
+	for i := range results {
+		r := &results[i]
+		if !r.RecordPresent {
+			continue
+		}
+		record := "ok"
+		if !r.RecordValid {
+			record = "invalid"
+		}
+		policy, stage := "ok", ""
+		if !r.PolicyOK {
+			policy, stage = "failed", r.PolicyStage.String()
+		}
+		invalid := 0
+		for _, p := range r.MXProblems {
+			if !p.Valid() {
+				invalid++
+			}
+		}
+		mismatch := ""
+		if r.Mismatch.Kind != inconsistency.KindNone {
+			mismatch = r.Mismatch.Kind.String()
+		}
+		tbl.AddRow(r.Domain, record, policy, stage, string(r.Policy.Mode),
+			invalid, mismatch, r.DeliveryFailure())
+	}
+	tbl.WriteTSV(os.Stdout)
+
+	s := scanner.Summarize(results)
+	fmt.Fprintln(os.Stderr)
+	sum := &dataset.Table{Title: "Scan summary", Headers: []string{"metric", "count"}}
+	sum.AddRow("domains scanned", s.Total)
+	sum.AddRow("with MTA-STS record", s.WithRecord)
+	sum.AddRow("misconfigured", s.Misconfigured)
+	for cat, n := range s.ByCategory {
+		sum.AddRow("  "+cat.String(), n)
+	}
+	sum.AddRow("delivery failures", s.DeliveryFailures)
+	report.WriteTable(os.Stderr, sum)
+}
+
+func readDomains(path string) ([]string, error) {
+	var r *bufio.Scanner
+	if path == "-" {
+		r = bufio.NewScanner(os.Stdin)
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = bufio.NewScanner(f)
+	}
+	var out []string
+	for r.Scan() {
+		d := strings.TrimSpace(r.Text())
+		if d != "" && !strings.HasPrefix(d, "#") {
+			out = append(out, d)
+		}
+	}
+	return out, r.Err()
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadDomains(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "domains.txt")
+	content := "example.com\n# comment\n\n  spaced.org  \nlast.net"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readDomains(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"example.com", "spaced.org", "last.net"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("domain %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, err := readDomains(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

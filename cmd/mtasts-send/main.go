@@ -1,0 +1,110 @@
+// Command mtasts-send delivers a message as a compliant sending MTA:
+// DANE-first transport security, MTA-STS enforcement with a TOFU cache,
+// multi-MX failover, and an optional RFC 8460 TLSRPT report of the
+// attempt. Message data is read from stdin.
+//
+// Usage:
+//
+//	echo "Subject: hi" | mtasts-send -dns 127.0.0.1:5353 \
+//	    -from alice@sender.example -to bob@recipient.example \
+//	    [-smtp-port 25] [-https-port 443] [-dane] [-tlsrpt report.json]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/mta"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/resolver"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/tlsrpt"
+)
+
+func main() {
+	dnsAddr := flag.String("dns", "", "DNS server address (host:port), required")
+	from := flag.String("from", "", "envelope sender address, required")
+	to := flag.String("to", "", "recipient address, required")
+	smtpPort := flag.Int("smtp-port", 25, "MX SMTP port")
+	httpsPort := flag.Int("https-port", 443, "policy server HTTPS port")
+	daneOn := flag.Bool("dane", false, "enable DANE (TLSA) validation")
+	tlsrptOut := flag.String("tlsrpt", "", "write an RFC 8460 report of this attempt to the file")
+	timeout := flag.Duration("timeout", 15*time.Second, "per-step timeout")
+	flag.Parse()
+
+	if *dnsAddr == "" || *from == "" || *to == "" {
+		fmt.Fprintln(os.Stderr, "usage: mtasts-send -dns <host:port> -from <addr> -to <addr> < message")
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reading message:", err)
+		os.Exit(1)
+	}
+
+	dnsClient := resolver.New(*dnsAddr)
+	outbound := &mta.Outbound{
+		DNS: dnsClient,
+		Validator: &mtasts.Validator{
+			Resolver: scanner.TXTResolverAdapter{Client: dnsClient},
+			Fetcher: &mtasts.Fetcher{
+				Resolver: mtasts.AddrResolverFunc(func(ctx context.Context, host string) ([]string, error) {
+					addrs, err := dnsClient.LookupAddrs(ctx, host, true)
+					if err != nil {
+						return nil, err
+					}
+					out := make([]string, len(addrs))
+					for i, a := range addrs {
+						out[i] = a.String()
+					}
+					return out, nil
+				}),
+				Port:    *httpsPort,
+				Timeout: *timeout,
+			},
+			Cache: mtasts.NewPolicyCache(64),
+		},
+		HeloName:    "mtasts-send.invalid",
+		SMTPPort:    *smtpPort,
+		DANEEnabled: *daneOn,
+		Timeout:     *timeout,
+	}
+	if *tlsrptOut != "" {
+		now := time.Now()
+		outbound.Report = tlsrpt.NewReport("mtasts-send", "mailto:postmaster@"+mustDomain(*from),
+			now.Format("20060102T150405"), now, now.Add(time.Second))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4**timeout)
+	defer cancel()
+	out, err := outbound.Send(ctx, *from, []string{*to}, data)
+
+	if *tlsrptOut != "" && outbound.Report != nil {
+		if data, merr := outbound.Report.Marshal(); merr == nil {
+			if werr := os.WriteFile(*tlsrptOut, data, 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, "writing TLSRPT report:", werr)
+			}
+		}
+	}
+
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "delivery failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("delivered to %s via %s (TLS=%v, certificate verified=%v)\n",
+		out.MXHost, out.Mechanism, out.TLS, out.CertVerified)
+}
+
+func mustDomain(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == '@' {
+			return addr[i+1:]
+		}
+	}
+	return addr
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/experiments"
+	"github.com/netsecurelab/mtasts/internal/report"
+	"github.com/netsecurelab/mtasts/internal/simnet"
+)
+
+func TestWriteExperiments(t *testing.T) {
+	env := experiments.NewEnv(simnet.Config{Seed: 3, Scale: 0.01})
+	rows := []report.ComparisonRow{
+		{Metric: "m1", Paper: "10%", Measured: "11%", Holds: true},
+		{Metric: "m2", Paper: "1", Measured: "99", Holds: false},
+	}
+	path := filepath.Join(t.TempDir(), "EXPERIMENTS.md")
+	if err := writeExperiments(path, env, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"| m1 | 10% | 11% | yes |", "**NO**", "seed=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// DANE first: the precedence rule §6.2 of the paper found violated in the
+// wild (62 sender domains prefer MTA-STS over DANE, a known milter bug).
+// This example signs the recipient zone with real DNSSEC, publishes both a
+// TLSA record and an MTA-STS enforce policy, and shows that a compliant
+// sender (1) delivers via DANE even though the MX certificate fails web-PKI
+// validation, and (2) refuses on a TLSA mismatch even though MTA-STS alone
+// would have allowed delivery — DANE must not be overridden.
+//
+//	go run ./examples/danefirst
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dane"
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/dnssec"
+	"github.com/netsecurelab/mtasts/internal/dnsserver"
+	"github.com/netsecurelab/mtasts/internal/dnszone"
+	"github.com/netsecurelab/mtasts/internal/mta"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/policysrv"
+	"github.com/netsecurelab/mtasts/internal/resolver"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/smtpd"
+)
+
+func main() {
+	const domain = "secure.example"
+	mxHost := "mx." + domain
+
+	ca, err := pki.NewCA("DANE-first Lab CA", time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The MX presents a SELF-SIGNED certificate: web PKI (and therefore
+	// MTA-STS) rejects it, but the TLSA record pins exactly this key.
+	leaf, err := ca.Issue(pki.IssueOptions{Names: []string{mxHost}, SelfSigned: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert := leaf.TLSCertificate()
+	mx := smtpd.New(smtpd.Behavior{Hostname: mxHost, Certificate: &cert, AcceptMail: true})
+	mxAddr, err := mx.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mx.Close()
+
+	// Recipient zone: MX, MTA-STS record, TLSA record — then sign it.
+	zone := dnszone.New("example")
+	loop := dnsmsg.AData{Addr: netip.MustParseAddr("127.0.0.1")}
+	zone.MustAdd(dnsmsg.RR{Name: domain, Type: dnsmsg.TypeMX, Class: dnsmsg.ClassIN, TTL: 300,
+		Data: dnsmsg.MXData{Preference: 10, Host: mxHost}})
+	zone.MustAdd(dnsmsg.RR{Name: mxHost, Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 300, Data: loop})
+	zone.MustAdd(dnsmsg.RR{Name: "_mta-sts." + domain, Type: dnsmsg.TypeTXT, Class: dnsmsg.ClassIN,
+		TTL: 300, Data: dnsmsg.NewTXT("v=STSv1; id=20240929;")})
+	zone.MustAdd(dnsmsg.RR{Name: "mta-sts." + domain, Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN,
+		TTL: 300, Data: loop})
+	zone.MustAdd(dane.NewEE3(leaf.Cert).RR(mxHost, 300))
+
+	signer, err := dnssec.NewSigner("example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	now := time.Now()
+	if _, err := dnssec.SignZone(zone, signer, now.Add(-time.Hour), now.Add(24*time.Hour)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("zone 'example' signed (ECDSA P-256); trust anchor:", signer.DS().Data)
+
+	dns := dnsserver.New(nil)
+	dns.AddZone(zone)
+	dnsAddr, err := dns.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dns.Close()
+
+	// MTA-STS policy host (policy authorizes the MX, mode enforce).
+	pol := policysrv.New(ca, nil)
+	pol.AddTenant(&policysrv.Tenant{Domain: domain, Policy: mtasts.Policy{
+		Version: mtasts.Version, Mode: mtasts.ModeEnforce, MaxAge: 86400,
+		MXPatterns: []string{mxHost},
+	}})
+	if _, err := pol.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer pol.Close()
+
+	// A compliant outbound MTA with a chain-validating resolver.
+	dnsClient := resolver.New(dnsAddr.String())
+	validator := dnssec.NewValidator(dnsClient)
+	validator.AddAnchor(signer.DS())
+	outbound := &mta.Outbound{
+		DNS: dnsClient,
+		Validator: &mtasts.Validator{
+			Resolver: scanner.TXTResolverAdapter{Client: dnsClient},
+			Fetcher: &mtasts.Fetcher{
+				Resolver: mtasts.AddrResolverFunc(func(ctx context.Context, host string) ([]string, error) {
+					addrs, err := dnsClient.LookupAddrs(ctx, host, false)
+					if err != nil {
+						return nil, err
+					}
+					out := make([]string, len(addrs))
+					for i, a := range addrs {
+						out[i] = a.String()
+					}
+					return out, nil
+				}),
+				RootCAs: ca.Pool(), Port: pol.Port(), Timeout: 5 * time.Second,
+			},
+			Cache: mtasts.NewPolicyCache(16),
+		},
+		Roots:        ca.Pool(),
+		HeloName:     "danefirst.lab",
+		AddrOverride: func(string) string { return mxAddr.String() },
+		DANEEnabled:  true,
+		DNSSEC:       validator,
+		Timeout:      5 * time.Second,
+	}
+	ctx := context.Background()
+
+	fmt.Println("\n[1] MX cert is self-signed (web PKI would refuse); TLSA pins it")
+	out, err := outbound.Send(ctx, "a@sender.lab", []string{"b@" + domain}, []byte("Subject: dane\n\nvia DANE\n"))
+	if err != nil {
+		log.Fatal("delivery failed: ", err)
+	}
+	fmt.Printf("    delivered via %s (mechanism=%s, cert verified by TLSA=%v)\n",
+		out.MXHost, out.Mechanism, out.CertVerified)
+
+	fmt.Println("\n[2] attacker swaps the MX key; TLSA no longer matches")
+	rogueLeaf, err := ca.Issue(pki.IssueOptions{Names: []string{mxHost}, SelfSigned: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rogueCert := rogueLeaf.TLSCertificate()
+	mx.SetBehavior(smtpd.Behavior{Hostname: mxHost, Certificate: &rogueCert, AcceptMail: true})
+	dnsClient.Cache.Flush()
+
+	_, err = outbound.Send(ctx, "a@sender.lab", []string{"b@" + domain}, []byte("Subject: mitm\n\nintercept\n"))
+	if err == nil {
+		log.Fatal("delivery succeeded despite TLSA mismatch")
+	}
+	fmt.Println("    delivery refused:", err)
+	fmt.Println("    MTA-STS was never consulted: DANE takes precedence and must not be overridden")
+}

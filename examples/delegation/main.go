@@ -1,0 +1,95 @@
+// Delegation: third-party MTA-STS policy hosting (§2.5 / §5 of the paper).
+// A customer delegates policy hosting to a provider via CNAME; the example
+// shows a working delegation, then replays the incomplete-opt-out failure
+// modes of Table 2 — the customer leaves the provider but forgets the
+// CNAME — and measures what a sender sees for each provider's behavior.
+//
+//	go run ./examples/delegation
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/policysrv"
+)
+
+func main() {
+	const customer = "customer.com"
+	policy := mtasts.Policy{
+		Version: mtasts.Version, Mode: mtasts.ModeEnforce,
+		MaxAge: 86400, MXPatterns: []string{"mx." + customer},
+	}
+
+	ca, err := pki.NewCA("Delegation Lab CA", time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The provider's multi-tenant policy host.
+	host := policysrv.New(ca, nil)
+	if _, err := host.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer host.Close()
+
+	fetcher := &mtasts.Fetcher{
+		Resolver: mtasts.AddrResolverFunc(func(ctx context.Context, h string) ([]string, error) {
+			return []string{"127.0.0.1"}, nil
+		}),
+		RootCAs: ca.Pool(),
+		Port:    host.Port(),
+		Timeout: 5 * time.Second,
+	}
+	ctx := context.Background()
+
+	fmt.Println("[1] active delegation")
+	provider, _ := policysrv.LookupProvider("DMARCReport")
+	host.AddTenant(&policysrv.Tenant{Domain: customer, Policy: policy})
+	canonical := provider.CanonicalName(customer)
+	if err := host.AddAlias(customer, canonical); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  CNAME: mta-sts.%s -> %s\n", customer, canonical)
+	got, _, err := fetcher.Fetch(ctx, customer)
+	if err != nil {
+		log.Fatal("fetch through delegation failed: ", err)
+	}
+	fmt.Printf("  fetched policy: mode=%s mx=%v — delegation works\n\n", got.Mode, got.MXPatterns)
+
+	fmt.Println("[2] incomplete opt-out: the customer leaves each provider but keeps the CNAME")
+	for _, p := range policysrv.Registry {
+		host.RemoveTenant(customer)
+		tenant, served := p.OptOutTenant(customer, policy)
+		var observed string
+		if !served {
+			// The provider answers NXDOMAIN for the canonical name; the
+			// sender cannot resolve the policy host at all.
+			observed = "DNS failure (policy host unresolvable) -> sender falls back to opportunistic TLS"
+		} else {
+			host.AddTenant(&tenant)
+			_, _, err := fetcher.Fetch(ctx, customer)
+			switch {
+			case err == nil:
+				observed = fmt.Sprintf("stale policy still served (mode=%s) -> delivery risk if MX records change", tenant.Policy.Mode)
+				if tenant.Policy.Mode == mtasts.ModeNone {
+					observed = "policy rewritten to mode=none -> MTA-STS gracefully disabled"
+				}
+			case mtasts.StageOf(err) == mtasts.StageTLS:
+				observed = fmt.Sprintf("TLS failure (%s certificate) -> sender falls back", mtasts.CertProblemOf(err))
+			case mtasts.StageOf(err) == mtasts.StageSyntax:
+				observed = "empty/invalid policy file -> treated like mode none"
+			default:
+				observed = fmt.Sprintf("fetch fails at %s stage", mtasts.StageOf(err))
+			}
+		}
+		fmt.Printf("  %-13s %s\n", p.Name+":", observed)
+	}
+
+	fmt.Println("\nNone of the registry providers implements the RFC 8461 §8.3 wind-down")
+	fmt.Println("(publish mode=none with a short max_age, then remove) — matching §5 of the paper.")
+}

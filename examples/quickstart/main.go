@@ -1,0 +1,110 @@
+// Quickstart: boot a miniature Internet (authoritative DNS, HTTPS policy
+// host, SMTP server with STARTTLS — all on loopback), deploy MTA-STS for
+// one domain, and run the full validation pipeline against it with the
+// public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"strconv"
+	"time"
+
+	mtastsrepro "github.com/netsecurelab/mtasts"
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/dnsserver"
+	"github.com/netsecurelab/mtasts/internal/dnszone"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/policysrv"
+	"github.com/netsecurelab/mtasts/internal/smtpd"
+)
+
+func main() {
+	const domain = "example.com"
+	mxHost := "mx." + domain
+
+	// A test CA plays the web PKI.
+	ca, err := pki.NewCA("Quickstart CA", time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Authoritative DNS: the MTA-STS record, the policy host address,
+	// and the MX records.
+	zone := dnszone.New(domain)
+	loopback := dnsmsg.AData{Addr: netip.MustParseAddr("127.0.0.1")}
+	zone.MustAdd(dnsmsg.RR{Name: "_mta-sts." + domain, Type: dnsmsg.TypeTXT,
+		Class: dnsmsg.ClassIN, TTL: 300, Data: dnsmsg.NewTXT("v=STSv1; id=20240929;")})
+	zone.MustAdd(dnsmsg.RR{Name: "mta-sts." + domain, Type: dnsmsg.TypeA,
+		Class: dnsmsg.ClassIN, TTL: 300, Data: loopback})
+	zone.MustAdd(dnsmsg.RR{Name: domain, Type: dnsmsg.TypeMX,
+		Class: dnsmsg.ClassIN, TTL: 300, Data: dnsmsg.MXData{Preference: 10, Host: mxHost}})
+	zone.MustAdd(dnsmsg.RR{Name: mxHost, Type: dnsmsg.TypeA,
+		Class: dnsmsg.ClassIN, TTL: 300, Data: loopback})
+
+	dns := dnsserver.New(nil)
+	dns.AddZone(zone)
+	dnsAddr, err := dns.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dns.Close()
+
+	// 2. HTTPS policy host serving the well-known policy file.
+	policy := mtasts.Policy{
+		Version: mtasts.Version, Mode: mtasts.ModeEnforce,
+		MaxAge: 604800, MXPatterns: []string{mxHost},
+	}
+	pol := policysrv.New(ca, nil)
+	pol.AddTenant(&policysrv.Tenant{Domain: domain, Policy: policy})
+	if _, err := pol.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer pol.Close()
+
+	// 3. The MX host: an SMTP server with STARTTLS and a PKIX-valid
+	// certificate.
+	leaf, err := ca.Issue(pki.IssueOptions{Names: []string{mxHost}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert := leaf.TLSCertificate()
+	mx := smtpd.New(smtpd.Behavior{Hostname: mxHost, Certificate: &cert, AcceptMail: true})
+	mxAddr, err := mx.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mx.Close()
+	_, smtpPortStr, _ := net.SplitHostPort(mxAddr.String())
+	smtpPort, _ := strconv.Atoi(smtpPortStr)
+
+	// 4. Validate the deployment end-to-end with the public API.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	result := mtastsrepro.CheckDomain(ctx, domain, mtastsrepro.CheckOptions{
+		DNSAddr:   dnsAddr.String(),
+		Roots:     ca.Pool(),
+		HTTPSPort: pol.Port(),
+		SMTPPort:  smtpPort,
+	})
+
+	fmt.Println("MTA-STS deployment check for", domain)
+	fmt.Printf("  record valid: %v (id=%s)\n", result.RecordValid, result.Record.ID)
+	fmt.Printf("  policy:       mode=%s max_age=%d mx=%v\n",
+		result.Policy.Mode, result.Policy.MaxAge, result.Policy.MXPatterns)
+	for host, problem := range result.MXProblems {
+		fmt.Printf("  mx %s: certificate %s\n", host, problem)
+	}
+	fmt.Printf("  mismatch:     %s\n", result.Mismatch.Kind)
+	if result.Misconfigured() {
+		fmt.Println("verdict: MISCONFIGURED —", result.Categories())
+	} else {
+		fmt.Println("verdict: OK — compliant senders will require verified TLS to", mxHost)
+	}
+}

@@ -1,0 +1,196 @@
+// Sender MTA: a compliant sending mail server enforcing MTA-STS. The
+// example provisions a recipient domain with an enforce policy, delivers a
+// message through the full pipeline (record discovery → policy fetch over
+// HTTPS → MX matching → STARTTLS with certificate verification → SMTP
+// delivery), and then demonstrates the attack MTA-STS exists to stop: a
+// DNS-poisoning adversary redirecting MX resolution to a rogue host. The
+// cached enforce policy makes the sender refuse.
+//
+//	go run ./examples/sendermta
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"net/netip"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/dnsserver"
+	"github.com/netsecurelab/mtasts/internal/dnszone"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/policysrv"
+	"github.com/netsecurelab/mtasts/internal/resolver"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/smtpclient"
+	"github.com/netsecurelab/mtasts/internal/smtpd"
+)
+
+// sendingMTA bundles the components a compliant sender runs: a DNS client,
+// the MTA-STS validator with its TOFU cache, and the delivering SMTP
+// client.
+type sendingMTA struct {
+	dns       *resolver.Client
+	validator *mtasts.Validator
+	ca        *pki.CA
+	smtpAddr  map[string]string // MX host -> dial address (loopback lab)
+}
+
+// send delivers one message to the recipient domain, enforcing MTA-STS.
+func (m *sendingMTA) send(ctx context.Context, domain, from, to string, body []byte) error {
+	mxs, err := m.dns.LookupMX(ctx, domain)
+	if err != nil || len(mxs) == 0 {
+		return fmt.Errorf("no MX for %s: %v", domain, err)
+	}
+	mxHost := mxs[0].Host
+
+	ev, err := m.validator.Validate(ctx, domain, mxHost)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  policy evaluation: record=%v policy=%v (cache=%v) mx-match=%v action=%s\n",
+		ev.RecordFound, ev.PolicyFetched, ev.PolicyFromCache, ev.MXMatched, ev.Action)
+	if ev.Action == mtasts.ActionRefuse {
+		return fmt.Errorf("MTA-STS enforce policy forbids delivery via %s", mxHost)
+	}
+
+	sender := &smtpclient.Sender{
+		HeloName:     "sender.lab",
+		Roots:        m.ca.Pool(),
+		RequireTLS:   ev.PolicyFetched && ev.Policy.Mode == mtasts.ModeEnforce,
+		Timeout:      5 * time.Second,
+		AddrOverride: m.smtpAddr[mxHost],
+	}
+	res, err := sender.Deliver(ctx, mxHost, from, []string{to}, body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  delivered via %s (TLS=%v, certificate verified=%v)\n", mxHost, res.TLS, res.CertVerified)
+	return nil
+}
+
+func main() {
+	const domain = "recipient.com"
+	goodMX := "mx." + domain
+
+	ca, err := pki.NewCA("SenderMTA Lab CA", time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Recipient infrastructure.
+	zone := dnszone.New(domain)
+	loopback := dnsmsg.AData{Addr: netip.MustParseAddr("127.0.0.1")}
+	zone.MustAdd(dnsmsg.RR{Name: "_mta-sts." + domain, Type: dnsmsg.TypeTXT,
+		Class: dnsmsg.ClassIN, TTL: 300, Data: dnsmsg.NewTXT("v=STSv1; id=20240929;")})
+	zone.MustAdd(dnsmsg.RR{Name: "mta-sts." + domain, Type: dnsmsg.TypeA,
+		Class: dnsmsg.ClassIN, TTL: 300, Data: loopback})
+	zone.MustAdd(dnsmsg.RR{Name: domain, Type: dnsmsg.TypeMX,
+		Class: dnsmsg.ClassIN, TTL: 300, Data: dnsmsg.MXData{Preference: 10, Host: goodMX}})
+	zone.MustAdd(dnsmsg.RR{Name: goodMX, Type: dnsmsg.TypeA,
+		Class: dnsmsg.ClassIN, TTL: 300, Data: loopback})
+	dns := dnsserver.New(nil)
+	dns.AddZone(zone)
+	dnsAddr, err := dns.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dns.Close()
+
+	pol := policysrv.New(ca, nil)
+	pol.AddTenant(&policysrv.Tenant{Domain: domain, Policy: mtasts.Policy{
+		Version: mtasts.Version, Mode: mtasts.ModeEnforce,
+		MaxAge: 86400, MXPatterns: []string{goodMX},
+	}})
+	if _, err := pol.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer pol.Close()
+
+	// The legitimate MX with a valid certificate.
+	leaf, err := ca.Issue(pki.IssueOptions{Names: []string{goodMX}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert := leaf.TLSCertificate()
+	mx := smtpd.New(smtpd.Behavior{Hostname: goodMX, Certificate: &cert, AcceptMail: true})
+	mxAddr, err := mx.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mx.Close()
+
+	// An attacker-controlled MX with a self-signed certificate.
+	rogueLeaf, err := ca.Issue(pki.IssueOptions{Names: []string{"mx.attacker.net"}, SelfSigned: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rogueCert := rogueLeaf.TLSCertificate()
+	rogue := smtpd.New(smtpd.Behavior{Hostname: "mx.attacker.net", Certificate: &rogueCert, AcceptMail: true})
+	rogueAddr, err := rogue.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rogue.Close()
+
+	// The sending MTA.
+	dnsClient := resolver.New(dnsAddr.String())
+	mta := &sendingMTA{
+		dns: dnsClient,
+		ca:  ca,
+		smtpAddr: map[string]string{
+			goodMX:            mxAddr.String(),
+			"mx.attacker.net": rogueAddr.String(),
+		},
+		validator: &mtasts.Validator{
+			Resolver: scanner.TXTResolverAdapter{Client: dnsClient},
+			Fetcher: &mtasts.Fetcher{
+				Resolver: mtasts.AddrResolverFunc(func(ctx context.Context, host string) ([]string, error) {
+					addrs, err := dnsClient.LookupAddrs(ctx, host, false)
+					if err != nil {
+						return nil, err
+					}
+					out := make([]string, len(addrs))
+					for i, a := range addrs {
+						out[i] = a.String()
+					}
+					return out, nil
+				}),
+				RootCAs: ca.Pool(),
+				Port:    pol.Port(),
+				Timeout: 5 * time.Second,
+			},
+			Cache: mtasts.NewPolicyCache(64),
+		},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	fmt.Println("[1] normal delivery to", domain)
+	if err := mta.send(ctx, domain, "alice@sender.lab", "bob@"+domain, []byte("Subject: hi\n\nhello over verified TLS\n")); err != nil {
+		log.Fatal("unexpected failure: ", err)
+	}
+	fmt.Printf("  recipient inbox now holds %d message(s)\n\n", len(mx.Messages()))
+
+	fmt.Println("[2] DNS-poisoning attack: MX redirected to mx.attacker.net")
+	zone.Remove(domain, dnsmsg.TypeMX)
+	zone.MustAdd(dnsmsg.RR{Name: domain, Type: dnsmsg.TypeMX,
+		Class: dnsmsg.ClassIN, TTL: 300, Data: dnsmsg.MXData{Preference: 10, Host: "mx.attacker.net"}})
+	attackerZone := dnszone.New("attacker.net")
+	attackerZone.MustAdd(dnsmsg.RR{Name: "mx.attacker.net", Type: dnsmsg.TypeA,
+		Class: dnsmsg.ClassIN, TTL: 300, Data: loopback})
+	dns.AddZone(attackerZone)
+	dnsClient.Cache.Flush()
+
+	err = mta.send(ctx, domain, "alice@sender.lab", "bob@"+domain, []byte("Subject: secret\n\nintercept me\n"))
+	if err == nil {
+		log.Fatal("attack was NOT stopped — message delivered to the rogue MX")
+	}
+	fmt.Println("  delivery refused:", err)
+	fmt.Printf("  rogue MX received %d message(s) — the downgrade attack failed\n", len(rogue.Messages()))
+
+}

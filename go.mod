@@ -1,0 +1,3 @@
+module github.com/netsecurelab/mtasts
+
+go 1.22

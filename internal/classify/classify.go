@@ -1,0 +1,377 @@
+// Package classify implements the managing-entity attribution methodology
+// of §4.3.1 of the paper: deciding, from public DNS data only, whether a
+// domain's DNS service, MX hosts, and MTA-STS policy server are
+// self-managed or operated by a third party, and — for domains that
+// outsource both mail and policy hosting — whether one provider manages
+// both (§4.5.1).
+package classify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/netsecurelab/mtasts/internal/psl"
+	"github.com/netsecurelab/mtasts/internal/strutil"
+)
+
+// ManagedBy is the attribution outcome for one component.
+type ManagedBy int
+
+// Attribution outcomes.
+const (
+	// Unknown: not enough data to attribute.
+	Unknown ManagedBy = iota
+	// SelfManaged: operated by the domain owner.
+	SelfManaged
+	// ThirdParty: operated by an external provider.
+	ThirdParty
+)
+
+// String returns a short label.
+func (m ManagedBy) String() string {
+	switch m {
+	case SelfManaged:
+		return "self-managed"
+	case ThirdParty:
+		return "third-party"
+	}
+	return "unknown"
+}
+
+// ThirdPartyThreshold is the popularity cutoff of Heuristic 1: an entity
+// operating infrastructure for at least this many unique domains is a
+// third party.
+const ThirdPartyThreshold = 50
+
+// SelfPolicyHostMax is the Heuristic 2 cutoff: a policy host serving at
+// most this many domains is considered self-managed ("a single
+// administrator commonly manages up to five domains", §4.3.1 fn. 6).
+const SelfPolicyHostMax = 5
+
+// DomainView is the public DNS data the classifier consumes for one
+// domain — exactly the records the paper collects (NS, MX, A/AAAA, and the
+// policy-host CNAME and address).
+type DomainView struct {
+	// Domain is the registered domain (SLD).
+	Domain string
+	// NS are the name-server host names.
+	NS []string
+	// MXHosts are the MX host names.
+	MXHosts []string
+	// MXAddrs maps each MX host to its resolved addresses.
+	MXAddrs map[string][]string
+	// ApexAddrs are A/AAAA records at the domain apex.
+	ApexAddrs []string
+	// PolicyCNAME is the CNAME target of "mta-sts.<domain>" ("" if the
+	// name has no CNAME).
+	PolicyCNAME string
+	// PolicyAddrs are the resolved addresses of the policy host.
+	PolicyAddrs []string
+}
+
+// Classification is the attribution for each component of one domain.
+type Classification struct {
+	Domain string
+	DNS    ManagedBy
+	MX     ManagedBy
+	Policy ManagedBy
+	// MXProvider and PolicyProvider carry the identified entity key when
+	// the component is third-party ("" otherwise).
+	MXProvider     string
+	PolicyProvider string
+	// SameProvider is meaningful when both MX and Policy are ThirdParty:
+	// true when one provider appears to manage both (§4.5.1).
+	SameProvider bool
+}
+
+// Classifier holds the population-wide popularity indices Heuristic 1
+// needs. Build one from the full snapshot, then classify each domain.
+type Classifier struct {
+	list *psl.List
+
+	// Popularity counts: unique domains per entity key.
+	mxSLDDomains     map[string]int // MX eSLD -> #domains
+	mxAddrDomains    map[string]int // MX address -> #domains
+	policyKeyDomains map[string]int // policy entity key -> #domains
+	nsSLDDomains     map[string]int // NS eSLD -> #domains
+
+	// Single-administrator grouping (the mxascen.com exception of
+	// Heuristic 1): fingerprint -> #domains sharing it, and the dominant
+	// fingerprint per MX eSLD.
+	fingerprintOfDomain map[string]string
+	sldFingerprints     map[string]map[string]int
+}
+
+// NewClassifier indexes a population of domain views.
+func NewClassifier(views []DomainView, list *psl.List) *Classifier {
+	if list == nil {
+		list = psl.Default()
+	}
+	c := &Classifier{
+		list:                list,
+		mxSLDDomains:        make(map[string]int),
+		mxAddrDomains:       make(map[string]int),
+		policyKeyDomains:    make(map[string]int),
+		nsSLDDomains:        make(map[string]int),
+		fingerprintOfDomain: make(map[string]string),
+		sldFingerprints:     make(map[string]map[string]int),
+	}
+	for i := range views {
+		c.index(&views[i])
+	}
+	return c
+}
+
+func (c *Classifier) index(v *DomainView) {
+	domain := strutil.CanonicalName(v.Domain)
+	seenSLD := map[string]bool{}
+	seenAddr := map[string]bool{}
+	for _, mx := range v.MXHosts {
+		if sld := c.list.RegistrableDomain(mx); sld != "" && !seenSLD[sld] {
+			seenSLD[sld] = true
+			c.mxSLDDomains[sld]++
+		}
+		for _, a := range v.MXAddrs[mx] {
+			if !seenAddr[a] {
+				seenAddr[a] = true
+				c.mxAddrDomains[a]++
+			}
+		}
+	}
+	if key := c.policyKey(v); key != "" {
+		c.policyKeyDomains[key]++
+	}
+	seenNS := map[string]bool{}
+	for _, ns := range v.NS {
+		if sld := c.list.RegistrableDomain(ns); sld != "" && !seenNS[sld] {
+			seenNS[sld] = true
+			c.nsSLDDomains[sld]++
+		}
+	}
+	// Administrator fingerprint: the combined infrastructure addresses.
+	fp := fingerprint(v)
+	c.fingerprintOfDomain[domain] = fp
+	for _, mx := range v.MXHosts {
+		if sld := c.list.RegistrableDomain(mx); sld != "" {
+			m := c.sldFingerprints[sld]
+			if m == nil {
+				m = make(map[string]int)
+				c.sldFingerprints[sld] = m
+			}
+			m[fp]++
+		}
+	}
+}
+
+// policyKey identifies the policy hosting entity for popularity counting:
+// the CNAME target's registrable domain when delegated, else the sorted
+// policy addresses.
+func (c *Classifier) policyKey(v *DomainView) string {
+	if v.PolicyCNAME != "" {
+		if sld := c.list.RegistrableDomain(v.PolicyCNAME); sld != "" {
+			return "cname:" + sld
+		}
+	}
+	if len(v.PolicyAddrs) == 0 {
+		return ""
+	}
+	addrs := append([]string(nil), v.PolicyAddrs...)
+	sort.Strings(addrs)
+	return "addr:" + strings.Join(addrs, ",")
+}
+
+// fingerprint summarizes the infrastructure of a domain for the
+// single-administrator exception: domains sharing MX hosts, apex addresses
+// and policy addresses are grouped as one administrator.
+func fingerprint(v *DomainView) string {
+	var parts []string
+	parts = append(parts, v.ApexAddrs...)
+	parts = append(parts, v.PolicyAddrs...)
+	for _, addrs := range v.MXAddrs {
+		parts = append(parts, addrs...)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// Classify attributes each component of one domain.
+func (c *Classifier) Classify(v DomainView) Classification {
+	domain := strutil.CanonicalName(v.Domain)
+	out := Classification{Domain: domain}
+	out.DNS = c.classifyDNS(domain, v)
+	out.MX, out.MXProvider = c.classifyMX(domain, v)
+	out.Policy, out.PolicyProvider = c.classifyPolicy(domain, v)
+	if out.MX == ThirdParty && out.Policy == ThirdParty {
+		out.SameProvider = SameProvider(v.PolicyCNAME, v.MXHosts, c.list)
+	}
+	return out
+}
+
+// classifyDNS: Heuristic 2 first (NS shares the domain's SLD →
+// self-managed), then Heuristic 1 popularity.
+func (c *Classifier) classifyDNS(domain string, v DomainView) ManagedBy {
+	if len(v.NS) == 0 {
+		return Unknown
+	}
+	for _, ns := range v.NS {
+		if c.list.RegistrableDomain(ns) == domain {
+			return SelfManaged
+		}
+	}
+	for _, ns := range v.NS {
+		if sld := c.list.RegistrableDomain(ns); sld != "" && c.nsSLDDomains[sld] >= ThirdPartyThreshold {
+			return ThirdParty
+		}
+	}
+	return SelfManaged
+}
+
+// classifyMX applies, in order: same-SLD (self), the single-administrator
+// grouping exception, hostname popularity, and address popularity (the
+// per-customer-hostname exception).
+func (c *Classifier) classifyMX(domain string, v DomainView) (ManagedBy, string) {
+	if len(v.MXHosts) == 0 {
+		return Unknown, ""
+	}
+	for _, mx := range v.MXHosts {
+		if c.list.RegistrableDomain(mx) == domain {
+			return SelfManaged, ""
+		}
+	}
+	for _, mx := range v.MXHosts {
+		sld := c.list.RegistrableDomain(mx)
+		if sld == "" {
+			continue
+		}
+		if c.mxSLDDomains[sld] >= ThirdPartyThreshold {
+			// Exception: a "popular" MX whose user domains all share one
+			// infrastructure fingerprint is a single administrator
+			// self-hosting many domains (the mxascen.com case).
+			if c.singleAdminSLD(sld) {
+				return SelfManaged, ""
+			}
+			return ThirdParty, sld
+		}
+	}
+	// Per-customer hostnames: unique names, shared provider addresses.
+	for _, mx := range v.MXHosts {
+		for _, a := range v.MXAddrs[mx] {
+			if c.mxAddrDomains[a] >= ThirdPartyThreshold {
+				if c.singleAdminAddrs(v) {
+					return SelfManaged, ""
+				}
+				return ThirdParty, fmt.Sprintf("ip:%s", a)
+			}
+		}
+	}
+	return SelfManaged, ""
+}
+
+// singleAdminSLD reports whether at least 90% of the domains behind an MX
+// SLD share an identical infrastructure fingerprint.
+func (c *Classifier) singleAdminSLD(sld string) bool {
+	fps := c.sldFingerprints[sld]
+	if len(fps) == 0 {
+		return false
+	}
+	total, max := 0, 0
+	for fp, n := range fps {
+		if fp == "" {
+			continue
+		}
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	return total > 0 && max*10 >= total*9
+}
+
+func (c *Classifier) singleAdminAddrs(v DomainView) bool {
+	fp := fingerprint(&v)
+	if fp == "" {
+		return false
+	}
+	// Count how many domains share this exact fingerprint; if that equals
+	// the popularity of the addresses, it is one administrator's cluster.
+	n := 0
+	for _, other := range c.fingerprintOfDomain {
+		if other == fp {
+			n++
+		}
+	}
+	for _, addrs := range v.MXAddrs {
+		for _, a := range addrs {
+			if c.mxAddrDomains[a] > n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// classifyPolicy: delegation (CNAME to a foreign SLD) is third-party by
+// construction when the target entity is popular; otherwise Heuristic 2's
+// ≤5-domain rule applies.
+func (c *Classifier) classifyPolicy(domain string, v DomainView) (ManagedBy, string) {
+	key := c.policyKey(&v)
+	if key == "" {
+		return Unknown, ""
+	}
+	if v.PolicyCNAME != "" {
+		targetSLD := c.list.RegistrableDomain(v.PolicyCNAME)
+		if targetSLD != "" && targetSLD != domain {
+			if c.policyKeyDomains[key] > SelfPolicyHostMax {
+				return ThirdParty, targetSLD
+			}
+			// A CNAME to a tiny foreign host: a small/new provider or a
+			// friend's server; the ≤5 rule labels it self-managed.
+			return SelfManaged, ""
+		}
+		return SelfManaged, ""
+	}
+	if c.policyKeyDomains[key] >= ThirdPartyThreshold {
+		return ThirdParty, key
+	}
+	if c.policyKeyDomains[key] <= SelfPolicyHostMax {
+		return SelfManaged, ""
+	}
+	// Between the cutoffs: a shared host below provider scale.
+	return ThirdParty, key
+}
+
+// SameProvider implements §4.5.1: for a domain outsourcing both mail and
+// policy hosting, the two are deemed the same provider when the policy
+// CNAME target and an MX host share a registrable domain or a second
+// label (the "tutanota" in mail.tutanota.de vs mta-sts.tutanota.com).
+func SameProvider(policyCNAME string, mxHosts []string, list *psl.List) bool {
+	if list == nil {
+		list = psl.Default()
+	}
+	if policyCNAME == "" || len(mxHosts) == 0 {
+		return false
+	}
+	cnameSLD := list.RegistrableDomain(policyCNAME)
+	cnameLabel := secondLabel(cnameSLD)
+	for _, mx := range mxHosts {
+		mxSLD := list.RegistrableDomain(mx)
+		if mxSLD != "" && mxSLD == cnameSLD {
+			return true
+		}
+		if l := secondLabel(mxSLD); l != "" && l == cnameLabel {
+			return true
+		}
+	}
+	return false
+}
+
+// secondLabel returns the label left of the public suffix ("tutanota" for
+// tutanota.de).
+func secondLabel(sld string) string {
+	labels := strutil.Labels(sld)
+	if len(labels) == 0 {
+		return ""
+	}
+	return labels[0]
+}

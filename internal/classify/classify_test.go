@@ -1,0 +1,198 @@
+package classify
+
+import (
+	"fmt"
+	"testing"
+)
+
+// population builds a synthetic population: nGoogle domains on a large
+// provider, nSelf fully self-hosted domains, plus any extra views.
+func population(nProvider, nSelf int, extra ...DomainView) []DomainView {
+	var views []DomainView
+	for i := 0; i < nProvider; i++ {
+		d := fmt.Sprintf("cust%d.com", i)
+		views = append(views, DomainView{
+			Domain:  d,
+			NS:      []string{"ns1.bigdns.com", "ns2.bigdns.com"},
+			MXHosts: []string{"aspmx.bigmail.com"},
+			MXAddrs: map[string][]string{"aspmx.bigmail.com": {"198.51.100.10"}},
+			// Each domain's own site/policy infra varies.
+			ApexAddrs:   []string{fmt.Sprintf("203.0.113.%d", i%250)},
+			PolicyCNAME: "mta-sts.bigpolicy.net",
+			PolicyAddrs: []string{"198.51.100.53"},
+		})
+	}
+	for i := 0; i < nSelf; i++ {
+		d := fmt.Sprintf("own%d.org", i)
+		views = append(views, DomainView{
+			Domain:      d,
+			NS:          []string{"ns1." + d},
+			MXHosts:     []string{"mail." + d},
+			MXAddrs:     map[string][]string{"mail." + d: {fmt.Sprintf("192.0.2.%d", i%250)}},
+			ApexAddrs:   []string{fmt.Sprintf("192.0.2.%d", i%250)},
+			PolicyAddrs: []string{fmt.Sprintf("192.0.2.%d", i%250)},
+		})
+	}
+	return append(views, extra...)
+}
+
+func TestThirdPartyByPopularity(t *testing.T) {
+	views := population(60, 10)
+	c := NewClassifier(views, nil)
+	got := c.Classify(views[0])
+	if got.MX != ThirdParty || got.MXProvider != "bigmail.com" {
+		t.Errorf("MX = %v / %q", got.MX, got.MXProvider)
+	}
+	if got.DNS != ThirdParty {
+		t.Errorf("DNS = %v", got.DNS)
+	}
+	if got.Policy != ThirdParty || got.PolicyProvider != "bigpolicy.net" {
+		t.Errorf("Policy = %v / %q", got.Policy, got.PolicyProvider)
+	}
+}
+
+func TestSelfManagedBySameSLD(t *testing.T) {
+	views := population(60, 10)
+	c := NewClassifier(views, nil)
+	got := c.Classify(views[60]) // own0.org
+	if got.MX != SelfManaged {
+		t.Errorf("MX = %v", got.MX)
+	}
+	if got.DNS != SelfManaged {
+		t.Errorf("DNS = %v", got.DNS)
+	}
+	if got.Policy != SelfManaged {
+		t.Errorf("Policy = %v", got.Policy)
+	}
+}
+
+func TestUnpopularProviderIsSelfManaged(t *testing.T) {
+	// Heuristic 2: a small external host (≤5 domains) counts as
+	// self-managed even though names differ.
+	var extra []DomainView
+	for i := 0; i < 3; i++ {
+		extra = append(extra, DomainView{
+			Domain:      fmt.Sprintf("tiny%d.net", i),
+			NS:          []string{"ns.tinyhost.example"},
+			MXHosts:     []string{"mx.tinyhost.example"},
+			MXAddrs:     map[string][]string{"mx.tinyhost.example": {"192.0.2.200"}},
+			PolicyAddrs: []string{"192.0.2.201"},
+		})
+	}
+	views := population(60, 10, extra...)
+	c := NewClassifier(views, nil)
+	got := c.Classify(extra[0])
+	if got.MX != SelfManaged {
+		t.Errorf("tiny MX = %v", got.MX)
+	}
+	if got.Policy != SelfManaged {
+		t.Errorf("tiny Policy = %v", got.Policy)
+	}
+}
+
+func TestSingleAdminException(t *testing.T) {
+	// The mxascen.com case: one administrator runs MX + policy + web for
+	// many domains on identical IPs. Popularity says third-party; the
+	// fingerprint grouping must override to self-managed.
+	var views []DomainView
+	for i := 0; i < 120; i++ {
+		views = append(views, DomainView{
+			Domain:      fmt.Sprintf("fleet%d.com", i),
+			NS:          []string{"ns.fleetadmin.com"},
+			MXHosts:     []string{"mx.l.fleetadmin.com"},
+			MXAddrs:     map[string][]string{"mx.l.fleetadmin.com": {"194.113.75.102"}},
+			ApexAddrs:   []string{"194.113.75.102"},
+			PolicyAddrs: []string{"95.111.215.165", "209.50.60.142"},
+		})
+	}
+	c := NewClassifier(views, nil)
+	got := c.Classify(views[0])
+	if got.MX != SelfManaged {
+		t.Errorf("single-admin fleet MX = %v, want self-managed", got.MX)
+	}
+}
+
+func TestPerCustomerHostnameException(t *testing.T) {
+	// A provider assigning unique MX hostnames per customer that all
+	// resolve to the same provider IPs: hostname popularity misses it,
+	// address popularity must catch it. Customers differ in their own
+	// apex/policy infrastructure, so the single-admin grouping must NOT
+	// fire.
+	var views []DomainView
+	for i := 0; i < 80; i++ {
+		mx := fmt.Sprintf("cust%d.mx.uniquehost.net", i)
+		views = append(views, DomainView{
+			Domain:      fmt.Sprintf("shop%d.se", i),
+			NS:          []string{fmt.Sprintf("ns%d.dns.se", i%3)},
+			MXHosts:     []string{mx},
+			MXAddrs:     map[string][]string{mx: {"198.51.100.77"}},
+			ApexAddrs:   []string{fmt.Sprintf("203.0.113.%d", i%200)},
+			PolicyAddrs: []string{fmt.Sprintf("203.0.113.%d", i%200)},
+		})
+	}
+	c := NewClassifier(views, nil)
+	got := c.Classify(views[0])
+	if got.MX != ThirdParty {
+		t.Errorf("per-customer-hostname MX = %v, want third-party", got.MX)
+	}
+}
+
+func TestSameProviderDetection(t *testing.T) {
+	cases := []struct {
+		cname string
+		mx    []string
+		want  bool
+	}{
+		// The paper's Tutanota example: shared second label across TLDs.
+		{"mta-sts.tutanota.com", []string{"mail.tutanota.de"}, true},
+		// Same registrable domain.
+		{"policy.bigmail.com", []string{"aspmx.bigmail.com"}, true},
+		// Different providers.
+		{"a-com.mta-sts.dmarcinput.com", []string{"mx.lucidgrow.com"}, false},
+		{"", []string{"mx.example.com"}, false},
+		{"mta-sts.provider.com", nil, false},
+	}
+	for _, c := range cases {
+		if got := SameProvider(c.cname, c.mx, nil); got != c.want {
+			t.Errorf("SameProvider(%q, %v) = %v, want %v", c.cname, c.mx, got, c.want)
+		}
+	}
+}
+
+func TestClassificationSameProviderField(t *testing.T) {
+	// Both outsourced to entities sharing a second label → SameProvider.
+	var views []DomainView
+	for i := 0; i < 60; i++ {
+		views = append(views, DomainView{
+			Domain:      fmt.Sprintf("c%d.com", i),
+			NS:          []string{"ns.provider.net"},
+			MXHosts:     []string{"mail.hoster.de"},
+			MXAddrs:     map[string][]string{"mail.hoster.de": {"198.51.100.9"}},
+			ApexAddrs:   []string{fmt.Sprintf("203.0.113.%d", i)},
+			PolicyCNAME: "mta-sts.hoster.com",
+			PolicyAddrs: []string{"198.51.100.8"},
+		})
+	}
+	c := NewClassifier(views, nil)
+	got := c.Classify(views[0])
+	if got.MX != ThirdParty || got.Policy != ThirdParty {
+		t.Fatalf("classification = %+v", got)
+	}
+	if !got.SameProvider {
+		t.Error("SameProvider should be true for hoster.de / hoster.com")
+	}
+}
+
+func TestEmptyViewUnknown(t *testing.T) {
+	c := NewClassifier(nil, nil)
+	got := c.Classify(DomainView{Domain: "empty.com"})
+	if got.MX != Unknown || got.DNS != Unknown || got.Policy != Unknown {
+		t.Errorf("empty view = %+v", got)
+	}
+}
+
+func TestManagedByString(t *testing.T) {
+	if SelfManaged.String() != "self-managed" || ThirdParty.String() != "third-party" || Unknown.String() != "unknown" {
+		t.Error("ManagedBy.String mismatch")
+	}
+}

@@ -1,0 +1,176 @@
+// Package dane implements the TLSA-record semantics of DANE for SMTP
+// (RFC 6698, RFC 7672) needed by the sender-side analysis in §6 of the
+// paper: TLSA record construction and matching against presented
+// certificates, and the sender decision of whether DANE applies.
+//
+// Substitution note (see DESIGN.md): real DANE requires DNSSEC-signed
+// responses. DNSSEC cryptography is out of scope for what the paper
+// measures — whether senders *validate* DANE and how they rank it against
+// MTA-STS — so TLSA records carry an explicit Secure bit standing in for
+// "obtained via a validated DNSSEC chain".
+package dane
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"crypto/sha512"
+	"crypto/x509"
+	"errors"
+	"fmt"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+)
+
+// Certificate usages (RFC 6698 §2.1.1). SMTP (RFC 7672) only uses DANE-TA
+// and DANE-EE.
+const (
+	UsagePKIXTA uint8 = 0 // CA constraint
+	UsagePKIXEE uint8 = 1 // service certificate constraint
+	UsageDANETA uint8 = 2 // trust anchor assertion
+	UsageDANEEE uint8 = 3 // domain-issued certificate
+)
+
+// Selectors (RFC 6698 §2.1.2).
+const (
+	SelectorCert uint8 = 0 // full certificate
+	SelectorSPKI uint8 = 1 // SubjectPublicKeyInfo
+)
+
+// Matching types (RFC 6698 §2.1.3).
+const (
+	MatchingFull   uint8 = 0
+	MatchingSHA256 uint8 = 1
+	MatchingSHA512 uint8 = 2
+)
+
+// Errors returned by verification.
+var (
+	ErrNoTLSARecords = errors.New("dane: no TLSA records")
+	ErrInsecureTLSA  = errors.New("dane: TLSA records not DNSSEC-validated")
+	ErrNoMatch       = errors.New("dane: no TLSA record matches the presented certificate")
+	ErrBadParams     = errors.New("dane: unsupported TLSA parameter combination")
+)
+
+// Record is a TLSA record together with its DNSSEC security status.
+type Record struct {
+	Usage        uint8
+	Selector     uint8
+	MatchingType uint8
+	CertData     []byte
+	// Secure stands in for "the RRset was obtained via a validated DNSSEC
+	// chain"; insecure TLSA records MUST be ignored (RFC 7672 §2.2).
+	Secure bool
+}
+
+// TLSAName returns the owner name for the TLSA record of an SMTP host:
+// "_25._tcp." + mxHost (RFC 7672 §2.2.3).
+func TLSAName(mxHost string) string { return "_25._tcp." + mxHost }
+
+// FromRR converts a dnsmsg TLSA record; secure conveys the DNSSEC status
+// of the response it came from.
+func FromRR(rr dnsmsg.RR, secure bool) (Record, error) {
+	td, ok := rr.Data.(dnsmsg.TLSAData)
+	if !ok {
+		return Record{}, fmt.Errorf("dane: record %s is %s, not TLSA", rr.Name, rr.Type)
+	}
+	return Record{
+		Usage: td.Usage, Selector: td.Selector, MatchingType: td.MatchingType,
+		CertData: td.CertData, Secure: secure,
+	}, nil
+}
+
+// NewEE3 builds the RFC 7672-recommended "3 1 1" record (DANE-EE, SPKI,
+// SHA-256) for a certificate.
+func NewEE3(cert *x509.Certificate) Record {
+	sum := sha256.Sum256(cert.RawSubjectPublicKeyInfo)
+	return Record{
+		Usage: UsageDANEEE, Selector: SelectorSPKI, MatchingType: MatchingSHA256,
+		CertData: sum[:], Secure: true,
+	}
+}
+
+// RR converts the record into a dnsmsg.RR at the conventional owner name.
+func (r Record) RR(mxHost string, ttl uint32) dnsmsg.RR {
+	return dnsmsg.RR{
+		Name: TLSAName(mxHost), Type: dnsmsg.TypeTLSA, Class: dnsmsg.ClassIN, TTL: ttl,
+		Data: dnsmsg.TLSAData{
+			Usage: r.Usage, Selector: r.Selector, MatchingType: r.MatchingType,
+			CertData: r.CertData,
+		},
+	}
+}
+
+// MatchesCertificate reports whether the record's association data matches
+// cert under the record's selector and matching type.
+func (r Record) MatchesCertificate(cert *x509.Certificate) (bool, error) {
+	var input []byte
+	switch r.Selector {
+	case SelectorCert:
+		input = cert.Raw
+	case SelectorSPKI:
+		input = cert.RawSubjectPublicKeyInfo
+	default:
+		return false, fmt.Errorf("%w: selector %d", ErrBadParams, r.Selector)
+	}
+	switch r.MatchingType {
+	case MatchingFull:
+		return bytes.Equal(r.CertData, input), nil
+	case MatchingSHA256:
+		sum := sha256.Sum256(input)
+		return bytes.Equal(r.CertData, sum[:]), nil
+	case MatchingSHA512:
+		sum := sha512.Sum512(input)
+		return bytes.Equal(r.CertData, sum[:]), nil
+	default:
+		return false, fmt.Errorf("%w: matching type %d", ErrBadParams, r.MatchingType)
+	}
+}
+
+// Verify checks a presented chain against a TLSA RRset per RFC 7672:
+// insecure records are ignored; DANE-EE matches the leaf; DANE-TA matches
+// any issuer certificate in the chain. PKIX-* usages are not used with
+// SMTP and are skipped.
+func Verify(records []Record, chain []*x509.Certificate) error {
+	if len(records) == 0 {
+		return ErrNoTLSARecords
+	}
+	secure := records[:0:0]
+	for _, r := range records {
+		if r.Secure {
+			secure = append(secure, r)
+		}
+	}
+	if len(secure) == 0 {
+		return ErrInsecureTLSA
+	}
+	if len(chain) == 0 {
+		return ErrNoMatch
+	}
+	for _, r := range secure {
+		switch r.Usage {
+		case UsageDANEEE:
+			if ok, err := r.MatchesCertificate(chain[0]); err == nil && ok {
+				return nil
+			}
+		case UsageDANETA:
+			for _, c := range chain[1:] {
+				if ok, err := r.MatchesCertificate(c); err == nil && ok {
+					return nil
+				}
+			}
+		}
+	}
+	return ErrNoMatch
+}
+
+// Usable reports whether the RRset makes DANE applicable for the host
+// (at least one secure record with a usable usage). RFC 7672 senders that
+// find usable TLSA records MUST prefer DANE over MTA-STS (RFC 8461 §2).
+func Usable(records []Record) bool {
+	for _, r := range records {
+		if r.Secure && (r.Usage == UsageDANEEE || r.Usage == UsageDANETA) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+package dane
+
+import (
+	"crypto/sha256"
+	"crypto/sha512"
+	"crypto/x509"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/pki"
+)
+
+func testChain(t *testing.T) []*x509.Certificate {
+	t.Helper()
+	ca, err := pki.NewCA("DANE Test CA", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.Issue(pki.IssueOptions{Names: []string{"mx.example.com"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*x509.Certificate{leaf.Cert, ca.Cert}
+}
+
+func TestNewEE3Matches(t *testing.T) {
+	chain := testChain(t)
+	rec := NewEE3(chain[0])
+	if rec.Usage != UsageDANEEE || rec.Selector != SelectorSPKI || rec.MatchingType != MatchingSHA256 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	ok, err := rec.MatchesCertificate(chain[0])
+	if err != nil || !ok {
+		t.Errorf("MatchesCertificate = %v, %v", ok, err)
+	}
+	// Different certificate does not match.
+	other := testChain(t)
+	ok, err = rec.MatchesCertificate(other[0])
+	if err != nil || ok {
+		t.Errorf("foreign cert matched: %v, %v", ok, err)
+	}
+}
+
+func TestMatchingTypes(t *testing.T) {
+	chain := testChain(t)
+	leaf := chain[0]
+
+	full := Record{Usage: UsageDANEEE, Selector: SelectorCert, MatchingType: MatchingFull,
+		CertData: leaf.Raw, Secure: true}
+	if ok, _ := full.MatchesCertificate(leaf); !ok {
+		t.Error("full cert match failed")
+	}
+
+	s256 := sha256.Sum256(leaf.Raw)
+	h256 := Record{Usage: UsageDANEEE, Selector: SelectorCert, MatchingType: MatchingSHA256,
+		CertData: s256[:], Secure: true}
+	if ok, _ := h256.MatchesCertificate(leaf); !ok {
+		t.Error("sha256 cert match failed")
+	}
+
+	s512 := sha512.Sum512(leaf.RawSubjectPublicKeyInfo)
+	h512 := Record{Usage: UsageDANEEE, Selector: SelectorSPKI, MatchingType: MatchingSHA512,
+		CertData: s512[:], Secure: true}
+	if ok, _ := h512.MatchesCertificate(leaf); !ok {
+		t.Error("sha512 spki match failed")
+	}
+
+	bad := Record{Selector: 9}
+	if _, err := bad.MatchesCertificate(leaf); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad selector err = %v", err)
+	}
+	bad = Record{Selector: SelectorCert, MatchingType: 9}
+	if _, err := bad.MatchesCertificate(leaf); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad matching type err = %v", err)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	chain := testChain(t)
+
+	// DANE-EE success.
+	if err := Verify([]Record{NewEE3(chain[0])}, chain); err != nil {
+		t.Errorf("DANE-EE verify: %v", err)
+	}
+
+	// DANE-TA: hash of the issuing CA.
+	sum := sha256.Sum256(chain[1].Raw)
+	ta := Record{Usage: UsageDANETA, Selector: SelectorCert, MatchingType: MatchingSHA256,
+		CertData: sum[:], Secure: true}
+	if err := Verify([]Record{ta}, chain); err != nil {
+		t.Errorf("DANE-TA verify: %v", err)
+	}
+
+	// Mismatched data.
+	wrong := NewEE3(testChain(t)[0])
+	if err := Verify([]Record{wrong}, chain); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("mismatch err = %v", err)
+	}
+
+	// Insecure records are ignored entirely.
+	insecure := NewEE3(chain[0])
+	insecure.Secure = false
+	if err := Verify([]Record{insecure}, chain); !errors.Is(err, ErrInsecureTLSA) {
+		t.Errorf("insecure err = %v", err)
+	}
+
+	// Empty RRset.
+	if err := Verify(nil, chain); !errors.Is(err, ErrNoTLSARecords) {
+		t.Errorf("empty err = %v", err)
+	}
+
+	// No chain presented.
+	if err := Verify([]Record{NewEE3(chain[0])}, nil); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("no chain err = %v", err)
+	}
+
+	// PKIX usages are skipped for SMTP.
+	px := NewEE3(chain[0])
+	px.Usage = UsagePKIXEE
+	if err := Verify([]Record{px}, chain); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("PKIX usage err = %v", err)
+	}
+}
+
+func TestUsable(t *testing.T) {
+	chain := testChain(t)
+	rec := NewEE3(chain[0])
+	if !Usable([]Record{rec}) {
+		t.Error("secure EE record should be usable")
+	}
+	rec.Secure = false
+	if Usable([]Record{rec}) {
+		t.Error("insecure record should not be usable")
+	}
+	rec.Secure = true
+	rec.Usage = UsagePKIXTA
+	if Usable([]Record{rec}) {
+		t.Error("PKIX-TA should not be usable for SMTP")
+	}
+	if Usable(nil) {
+		t.Error("empty set usable")
+	}
+}
+
+func TestRRRoundTrip(t *testing.T) {
+	chain := testChain(t)
+	rec := NewEE3(chain[0])
+	rr := rec.RR("mx.example.com", 300)
+	if rr.Name != "_25._tcp.mx.example.com" || rr.Type != dnsmsg.TypeTLSA {
+		t.Fatalf("rr = %+v", rr)
+	}
+	back, err := FromRR(rr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Usage != rec.Usage || back.Selector != rec.Selector ||
+		back.MatchingType != rec.MatchingType || !back.Secure {
+		t.Errorf("round-trip = %+v", back)
+	}
+	ok, err := back.MatchesCertificate(chain[0])
+	if err != nil || !ok {
+		t.Error("round-tripped record no longer matches")
+	}
+
+	// FromRR rejects non-TLSA records.
+	bad := dnsmsg.RR{Name: "x", Type: dnsmsg.TypeA, Data: dnsmsg.NewTXT("x")}
+	if _, err := FromRR(bad, true); err == nil {
+		t.Error("FromRR accepted non-TLSA record")
+	}
+}
+
+func TestTLSAName(t *testing.T) {
+	if TLSAName("mx.example.com") != "_25._tcp.mx.example.com" {
+		t.Error("TLSAName mismatch")
+	}
+}

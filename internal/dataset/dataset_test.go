@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/scanner"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := FromValues("test", []float64{1, 3, 2}, nil)
+	if s.Min() != 1 || s.Max() != 3 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	v := s.Values()
+	if len(v) != 3 || v[1] != 3 {
+		t.Errorf("values = %v", v)
+	}
+	empty := Series{}
+	if empty.Min() != 0 || empty.Max() != 0 {
+		t.Error("empty series min/max should be 0")
+	}
+	labeled := FromValues("x", []float64{5}, func(i int) string { return "L" })
+	if labeled.Points[0].Label != "L" {
+		t.Error("labeler ignored")
+	}
+}
+
+func TestMonthLabel(t *testing.T) {
+	ts := time.Date(2023, 12, 1, 0, 0, 0, 0, time.UTC)
+	if got := MonthLabel(ts); got != "12/23" {
+		t.Errorf("MonthLabel = %q", got)
+	}
+}
+
+func TestTableTSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.AddRow("x", 1.5)
+	tbl.AddRow(2, "y")
+	tsv := tbl.TSV()
+	want := "a\tb\nx\t1.50\n2\ty\n"
+	if tsv != want {
+		t.Errorf("TSV = %q, want %q", tsv, want)
+	}
+}
+
+func TestSnapshotStore(t *testing.T) {
+	st := NewSnapshotStore()
+	st.Put(1, []scanner.DomainResult{
+		{Domain: "a.com", MXHosts: []string{"mx-old.a.com"}},
+	})
+	st.Put(3, []scanner.DomainResult{
+		{Domain: "a.com", MXHosts: []string{"mx-new.a.com"}},
+		{Domain: "b.com", MXHosts: []string{"mx.b.com"}},
+	})
+
+	if got := st.Snapshots(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Snapshots = %v", got)
+	}
+	r, ok := st.Lookup(3, "b.com")
+	if !ok || r.MXHosts[0] != "mx.b.com" {
+		t.Errorf("Lookup = %+v, %v", r, ok)
+	}
+	if _, ok := st.Lookup(2, "a.com"); ok {
+		t.Error("Lookup for missing snapshot succeeded")
+	}
+	if _, ok := st.Get(1); !ok {
+		t.Error("Get(1) failed")
+	}
+
+	// Historical MX sets exclude the query snapshot, most recent first.
+	hist := st.HistoricalMXSets(4, "a.com")
+	if len(hist) != 2 || hist[0][0] != "mx-new.a.com" || hist[1][0] != "mx-old.a.com" {
+		t.Errorf("HistoricalMXSets = %v", hist)
+	}
+	hist = st.HistoricalMXSets(3, "a.com")
+	if len(hist) != 1 || hist[0][0] != "mx-old.a.com" {
+		t.Errorf("HistoricalMXSets(3) = %v", hist)
+	}
+	if got := st.HistoricalMXSets(1, "a.com"); len(got) != 0 {
+		t.Errorf("no history expected, got %v", got)
+	}
+}
+
+func TestTableWriteTSVPropagatesRows(t *testing.T) {
+	tbl := &Table{Title: "x", Headers: []string{"h"}}
+	for i := 0; i < 5; i++ {
+		tbl.AddRow(i)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "\n") != 6 {
+		t.Errorf("lines = %d", strings.Count(sb.String(), "\n"))
+	}
+}

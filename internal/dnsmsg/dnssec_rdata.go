@@ -1,0 +1,104 @@
+package dnsmsg
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strings"
+)
+
+// DNSSEC record types (RFC 4034).
+const (
+	TypeDS     Type = 43
+	TypeRRSIG  Type = 46
+	TypeDNSKEY Type = 48
+)
+
+// AlgorithmECDSAP256SHA256 is DNSSEC algorithm 13 (RFC 6605), the only
+// algorithm the dnssec substrate implements.
+const AlgorithmECDSAP256SHA256 uint8 = 13
+
+// DigestSHA256 is DS digest type 2.
+const DigestSHA256 uint8 = 2
+
+// DNSKEYData is a DNSKEY record (RFC 4034 §2).
+type DNSKEYData struct {
+	Flags     uint16 // 256 = ZSK, 257 = KSK (SEP bit)
+	Protocol  uint8  // always 3
+	Algorithm uint8
+	PublicKey []byte
+}
+
+func (d DNSKEYData) String() string {
+	return fmt.Sprintf("%d %d %d %s", d.Flags, d.Protocol, d.Algorithm,
+		base64.StdEncoding.EncodeToString(d.PublicKey))
+}
+
+func (d DNSKEYData) pack(b []byte) ([]byte, error) {
+	b = appendUint16(b, d.Flags)
+	b = append(b, d.Protocol, d.Algorithm)
+	return append(b, d.PublicKey...), nil
+}
+
+// DSData is a delegation-signer record (RFC 4034 §5).
+type DSData struct {
+	KeyTag     uint16
+	Algorithm  uint8
+	DigestType uint8
+	Digest     []byte
+}
+
+func (d DSData) String() string {
+	return fmt.Sprintf("%d %d %d %x", d.KeyTag, d.Algorithm, d.DigestType, d.Digest)
+}
+
+func (d DSData) pack(b []byte) ([]byte, error) {
+	b = appendUint16(b, d.KeyTag)
+	b = append(b, d.Algorithm, d.DigestType)
+	return append(b, d.Digest...), nil
+}
+
+// RRSIGData is a resource-record signature (RFC 4034 §3).
+type RRSIGData struct {
+	TypeCovered Type
+	Algorithm   uint8
+	Labels      uint8
+	OrigTTL     uint32
+	Expiration  uint32 // seconds since epoch
+	Inception   uint32
+	KeyTag      uint16
+	SignerName  string
+	Signature   []byte
+}
+
+func (d RRSIGData) String() string {
+	return fmt.Sprintf("%d %d %d %d %d %d %d %s %s",
+		uint16(d.TypeCovered), d.Algorithm, d.Labels, d.OrigTTL,
+		d.Expiration, d.Inception, d.KeyTag, d.SignerName,
+		base64.StdEncoding.EncodeToString(d.Signature))
+}
+
+func (d RRSIGData) pack(b []byte) ([]byte, error) {
+	b = d.packPrefix(b)
+	return append(b, d.Signature...), nil
+}
+
+// packPrefix serializes the RDATA without the signature — the form that is
+// prepended to the canonical RRset when signing and verifying (RFC 4034
+// §3.1.8.1).
+func (d RRSIGData) packPrefix(b []byte) []byte {
+	b = appendUint16(b, uint16(d.TypeCovered))
+	b = append(b, d.Algorithm, d.Labels)
+	b = appendUint32(b, d.OrigTTL)
+	b = appendUint32(b, d.Expiration)
+	b = appendUint32(b, d.Inception)
+	b = appendUint16(b, d.KeyTag)
+	// The signer name is in canonical (lowercase, uncompressed) form.
+	nb, err := appendName(nil, strings.ToLower(d.SignerName))
+	if err == nil {
+		b = append(b, nb...)
+	}
+	return b
+}
+
+// SignedPrefix exposes the signing prefix for the dnssec package.
+func (d RRSIGData) SignedPrefix() []byte { return d.packPrefix(nil) }

@@ -1,0 +1,42 @@
+package dnsmsg
+
+import "testing"
+
+// FuzzUnpack: the wire decoder must never panic, and anything it accepts
+// must re-pack and re-parse to an equal question count.
+func FuzzUnpack(f *testing.F) {
+	m := NewQuery(1, "_mta-sts.example.com", TypeTXT)
+	wire, _ := m.Pack()
+	f.Add(wire)
+	resp := &Message{
+		Header:    Header{ID: 7, Response: true},
+		Questions: []Question{{Name: "example.com", Type: TypeMX, Class: ClassIN}},
+		Answers: []RR{{Name: "example.com", Type: TypeMX, Class: ClassIN, TTL: 60,
+			Data: MXData{Preference: 10, Host: "mail.example.com"}}},
+	}
+	wire2, _ := resp.Pack()
+	f.Add(wire2)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 12})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Unpack(b)
+		if err != nil {
+			return
+		}
+		repacked, err := m.Pack()
+		if err != nil {
+			// Some decodable messages are not re-encodable (e.g. names over
+			// length limits reconstructed from pointers) — acceptable.
+			return
+		}
+		m2, err := Unpack(repacked)
+		if err != nil {
+			t.Fatalf("repacked message does not parse: %v", err)
+		}
+		if len(m2.Questions) != len(m.Questions) || len(m2.Answers) != len(m.Answers) {
+			t.Fatalf("section counts changed: %d/%d vs %d/%d",
+				len(m.Questions), len(m.Answers), len(m2.Questions), len(m2.Answers))
+		}
+	})
+}

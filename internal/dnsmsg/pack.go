@@ -1,0 +1,143 @@
+package dnsmsg
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Errors returned by the codec.
+var (
+	ErrNameTooLong  = errors.New("dnsmsg: domain name exceeds 255 octets")
+	ErrLabelTooLong = errors.New("dnsmsg: label exceeds 63 octets")
+	ErrEmptyLabel   = errors.New("dnsmsg: empty label inside name")
+)
+
+// Pack serializes the message into wire format. Owner names in the question
+// and record sections are compressed; names inside RDATA are not.
+func (m *Message) Pack() ([]byte, error) {
+	b := make([]byte, 0, 512)
+	b = m.Header.pack(b, len(m.Questions), len(m.Answers), len(m.Authority), len(m.Additional))
+	comp := map[string]int{}
+	var err error
+	for _, q := range m.Questions {
+		if b, err = appendCompressedName(b, q.Name, comp); err != nil {
+			return nil, fmt.Errorf("packing question %q: %w", q.Name, err)
+		}
+		b = appendUint16(b, uint16(q.Type))
+		b = appendUint16(b, uint16(q.Class))
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			if b, err = packRR(b, rr, comp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+func (h Header) pack(b []byte, qd, an, ns, ar int) []byte {
+	b = appendUint16(b, h.ID)
+	var flags uint16
+	if h.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(h.OpCode&0xF) << 11
+	if h.Authoritative {
+		flags |= 1 << 10
+	}
+	if h.Truncated {
+		flags |= 1 << 9
+	}
+	if h.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if h.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(h.RCode & 0xF)
+	b = appendUint16(b, flags)
+	b = appendUint16(b, uint16(qd))
+	b = appendUint16(b, uint16(an))
+	b = appendUint16(b, uint16(ns))
+	b = appendUint16(b, uint16(ar))
+	return b
+}
+
+func packRR(b []byte, rr RR, comp map[string]int) ([]byte, error) {
+	var err error
+	if b, err = appendCompressedName(b, rr.Name, comp); err != nil {
+		return nil, fmt.Errorf("packing RR owner %q: %w", rr.Name, err)
+	}
+	b = appendUint16(b, uint16(rr.Type))
+	b = appendUint16(b, uint16(rr.Class))
+	b = appendUint32(b, rr.TTL)
+	lenAt := len(b)
+	b = appendUint16(b, 0) // RDLENGTH placeholder
+	if rr.Data == nil {
+		return nil, fmt.Errorf("dnsmsg: RR %s %s has nil RDATA", rr.Name, rr.Type)
+	}
+	if b, err = rr.Data.pack(b); err != nil {
+		return nil, fmt.Errorf("packing RDATA of %s %s: %w", rr.Name, rr.Type, err)
+	}
+	rdlen := len(b) - lenAt - 2
+	if rdlen > 0xFFFF {
+		return nil, fmt.Errorf("dnsmsg: RDATA of %s %s exceeds 65535 bytes", rr.Name, rr.Type)
+	}
+	b[lenAt] = byte(rdlen >> 8)
+	b[lenAt+1] = byte(rdlen)
+	return b, nil
+}
+
+// appendName appends a domain name in uncompressed wire form.
+func appendName(b []byte, name string) ([]byte, error) {
+	return appendCompressedName(b, name, nil)
+}
+
+// appendCompressedName appends a domain name, emitting a compression
+// pointer at the first suffix already present in comp. When comp is nil no
+// compression is attempted. Offsets beyond the 14-bit pointer range are not
+// recorded.
+func appendCompressedName(b []byte, name string, comp map[string]int) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if len(name) > 253 {
+		return nil, ErrNameTooLong
+	}
+	for name != "" {
+		key := strings.ToLower(name)
+		if comp != nil {
+			if off, ok := comp[key]; ok {
+				b = appendUint16(b, uint16(0xC000|off))
+				return b, nil
+			}
+			if len(b) <= 0x3FFF {
+				comp[key] = len(b)
+			}
+		}
+		label := name
+		if i := strings.IndexByte(name, '.'); i >= 0 {
+			label, name = name[:i], name[i+1:]
+			if name == "" {
+				return nil, ErrEmptyLabel // trailing ".." collapsed earlier; inner empty label
+			}
+		} else {
+			name = ""
+		}
+		if label == "" {
+			return nil, ErrEmptyLabel
+		}
+		if len(label) > 63 {
+			return nil, ErrLabelTooLong
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0), nil
+}
+
+func appendUint16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+
+func appendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

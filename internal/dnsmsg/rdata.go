@@ -1,0 +1,194 @@
+package dnsmsg
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// RR is a resource record. Data holds the type-specific payload.
+type RR struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// String formats the record in zone-file presentation form.
+func (rr RR) String() string {
+	return fmt.Sprintf("%s %d %s %s %s", rr.Name, rr.TTL, classString(rr.Class), rr.Type, rr.Data)
+}
+
+// RData is the type-specific portion of a resource record.
+type RData interface {
+	// String renders the presentation form of the RDATA.
+	String() string
+	// pack appends the wire form. Domain names inside RDATA are packed
+	// without compression (as modern encoders do, for interoperability).
+	pack(b []byte) ([]byte, error)
+}
+
+// AData is an IPv4 address record.
+type AData struct{ Addr netip.Addr }
+
+func (d AData) String() string { return d.Addr.String() }
+
+func (d AData) pack(b []byte) ([]byte, error) {
+	if !d.Addr.Is4() {
+		return nil, fmt.Errorf("dnsmsg: A record with non-IPv4 address %s", d.Addr)
+	}
+	a4 := d.Addr.As4()
+	return append(b, a4[:]...), nil
+}
+
+// AAAAData is an IPv6 address record.
+type AAAAData struct{ Addr netip.Addr }
+
+func (d AAAAData) String() string { return d.Addr.String() }
+
+func (d AAAAData) pack(b []byte) ([]byte, error) {
+	if !d.Addr.Is6() || d.Addr.Is4In6() {
+		return nil, fmt.Errorf("dnsmsg: AAAA record with non-IPv6 address %s", d.Addr)
+	}
+	a16 := d.Addr.As16()
+	return append(b, a16[:]...), nil
+}
+
+// NSData is a name-server record.
+type NSData struct{ Host string }
+
+func (d NSData) String() string { return d.Host }
+
+func (d NSData) pack(b []byte) ([]byte, error) { return appendName(b, d.Host) }
+
+// CNAMEData is a canonical-name record.
+type CNAMEData struct{ Target string }
+
+func (d CNAMEData) String() string { return d.Target }
+
+func (d CNAMEData) pack(b []byte) ([]byte, error) { return appendName(b, d.Target) }
+
+// MXData is a mail-exchange record.
+type MXData struct {
+	Preference uint16
+	Host       string
+}
+
+func (d MXData) String() string { return fmt.Sprintf("%d %s", d.Preference, d.Host) }
+
+func (d MXData) pack(b []byte) ([]byte, error) {
+	b = appendUint16(b, d.Preference)
+	return appendName(b, d.Host)
+}
+
+// TXTData is a text record: one or more character-strings of up to 255
+// bytes each. Joined renders the logical value (concatenation), which is
+// what RFC 8461 record parsing consumes.
+type TXTData struct{ Strings []string }
+
+// Joined returns the concatenation of the character-strings.
+func (d TXTData) Joined() string { return strings.Join(d.Strings, "") }
+
+func (d TXTData) String() string {
+	parts := make([]string, len(d.Strings))
+	for i, s := range d.Strings {
+		parts[i] = strconv.Quote(s)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (d TXTData) pack(b []byte) ([]byte, error) {
+	if len(d.Strings) == 0 {
+		// RFC 1035 requires at least one (possibly empty) character-string.
+		return append(b, 0), nil
+	}
+	for _, s := range d.Strings {
+		if len(s) > 255 {
+			return nil, fmt.Errorf("dnsmsg: TXT character-string exceeds 255 bytes (%d)", len(s))
+		}
+		b = append(b, byte(len(s)))
+		b = append(b, s...)
+	}
+	return b, nil
+}
+
+// NewTXT splits a logical text value into 255-byte character-strings.
+func NewTXT(value string) TXTData {
+	if value == "" {
+		return TXTData{Strings: []string{""}}
+	}
+	var parts []string
+	for len(value) > 255 {
+		parts = append(parts, value[:255])
+		value = value[255:]
+	}
+	parts = append(parts, value)
+	return TXTData{Strings: parts}
+}
+
+// SOAData is a start-of-authority record.
+type SOAData struct {
+	MName   string
+	RName   string
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+func (d SOAData) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d", d.MName, d.RName, d.Serial, d.Refresh, d.Retry, d.Expire, d.Minimum)
+}
+
+func (d SOAData) pack(b []byte) ([]byte, error) {
+	var err error
+	if b, err = appendName(b, d.MName); err != nil {
+		return nil, err
+	}
+	if b, err = appendName(b, d.RName); err != nil {
+		return nil, err
+	}
+	for _, v := range []uint32{d.Serial, d.Refresh, d.Retry, d.Expire, d.Minimum} {
+		b = appendUint32(b, v)
+	}
+	return b, nil
+}
+
+// TLSAData is a DANE TLSA record (RFC 6698).
+type TLSAData struct {
+	Usage        uint8 // certificate usage: 0..3 (DANE-EE is 3)
+	Selector     uint8 // 0 full cert, 1 SubjectPublicKeyInfo
+	MatchingType uint8 // 0 exact, 1 SHA-256, 2 SHA-512
+	CertData     []byte
+}
+
+func (d TLSAData) String() string {
+	return fmt.Sprintf("%d %d %d %x", d.Usage, d.Selector, d.MatchingType, d.CertData)
+}
+
+func (d TLSAData) pack(b []byte) ([]byte, error) {
+	b = append(b, d.Usage, d.Selector, d.MatchingType)
+	return append(b, d.CertData...), nil
+}
+
+// RawData carries RDATA of a type this package does not interpret.
+type RawData struct {
+	RType Type
+	Bytes []byte
+}
+
+func (d RawData) String() string { return fmt.Sprintf("\\# %d %x", len(d.Bytes), d.Bytes) }
+
+func (d RawData) pack(b []byte) ([]byte, error) { return append(b, d.Bytes...), nil }
+
+// PackRData serializes RDATA in uncompressed wire form — the form DNSSEC
+// canonicalization (RFC 4034 §6) and DS digests operate over.
+func PackRData(d RData) ([]byte, error) {
+	if d == nil {
+		return nil, fmt.Errorf("dnsmsg: nil RDATA")
+	}
+	return d.pack(nil)
+}

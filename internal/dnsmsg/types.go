@@ -1,0 +1,178 @@
+// Package dnsmsg implements the subset of the DNS wire format (RFC 1035,
+// with TLSA from RFC 6698 and AAAA from RFC 3596) needed by the MTA-STS
+// measurement apparatus: message encoding and decoding with name
+// compression, and the record types consumed by the scanners (A, AAAA, NS,
+// CNAME, SOA, MX, TXT, TLSA).
+package dnsmsg
+
+import "fmt"
+
+// Type is a DNS RR type code.
+type Type uint16
+
+// Record types used by the measurement pipeline.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeTLSA  Type = 52
+	TypeANY   Type = 255
+)
+
+// String returns the conventional mnemonic for the type.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypeMX:
+		return "MX"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeTLSA:
+		return "TLSA"
+	case TypeDS:
+		return "DS"
+	case TypeRRSIG:
+		return "RRSIG"
+	case TypeDNSKEY:
+		return "DNSKEY"
+	case TypeANY:
+		return "ANY"
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// ParseType maps a mnemonic back to its type code.
+func ParseType(s string) (Type, error) {
+	switch s {
+	case "A":
+		return TypeA, nil
+	case "NS":
+		return TypeNS, nil
+	case "CNAME":
+		return TypeCNAME, nil
+	case "SOA":
+		return TypeSOA, nil
+	case "MX":
+		return TypeMX, nil
+	case "TXT":
+		return TypeTXT, nil
+	case "AAAA":
+		return TypeAAAA, nil
+	case "TLSA":
+		return TypeTLSA, nil
+	case "DS":
+		return TypeDS, nil
+	case "RRSIG":
+		return TypeRRSIG, nil
+	case "DNSKEY":
+		return TypeDNSKEY, nil
+	case "ANY":
+		return TypeANY, nil
+	}
+	return 0, fmt.Errorf("dnsmsg: unknown RR type %q", s)
+}
+
+// Class is a DNS class code. Only IN is supported.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes surfaced by the resolver and server.
+const (
+	RCodeSuccess  RCode = 0 // NOERROR
+	RCodeFormat   RCode = 1 // FORMERR
+	RCodeServFail RCode = 2 // SERVFAIL
+	RCodeNXDomain RCode = 3 // NXDOMAIN
+	RCodeNotImp   RCode = 4 // NOTIMP
+	RCodeRefused  RCode = 5 // REFUSED
+)
+
+// String returns the conventional mnemonic for the response code.
+func (r RCode) String() string {
+	switch r {
+	case RCodeSuccess:
+		return "NOERROR"
+	case RCodeFormat:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	}
+	return fmt.Sprintf("RCODE%d", uint8(r))
+}
+
+// OpCode is a DNS operation code; only queries are supported.
+type OpCode uint8
+
+// OpQuery is a standard query.
+const OpQuery OpCode = 0
+
+// Header is the 12-byte DNS message header.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	OpCode             OpCode
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// Question is a single entry of the question section.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// String formats the question in dig-like notation.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", q.Name, classString(q.Class), q.Type)
+}
+
+func classString(c Class) string {
+	if c == ClassIN {
+		return "IN"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// NewQuery builds a standard recursion-desired query for (name, type).
+func NewQuery(id uint16, name string, t Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: name, Type: t, Class: ClassIN}},
+	}
+}

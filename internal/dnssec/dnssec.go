@@ -1,0 +1,282 @@
+// Package dnssec implements the subset of DNSSEC (RFC 4033–4035, RFC 6605)
+// the reproduction needs as the substrate under DANE: zone signing with
+// ECDSA P-256/SHA-256 (algorithm 13), RRSIG generation and verification
+// over canonical RRset forms, DS/DNSKEY chains to a trust anchor, and a
+// validating lookup client. Denial of existence (NSEC/NSEC3) and wildcard
+// expansion are out of scope — the study never depends on authenticated
+// denial, only on whether TLSA RRsets validate (RFC 7672 §2.2).
+package dnssec
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/strutil"
+)
+
+// Validation errors.
+var (
+	ErrNoSignature  = errors.New("dnssec: RRset has no covering RRSIG")
+	ErrBadSignature = errors.New("dnssec: signature verification failed")
+	ErrSigExpired   = errors.New("dnssec: signature outside validity window")
+	ErrNoDNSKEY     = errors.New("dnssec: no DNSKEY matches the signature's key tag")
+	ErrNoChain      = errors.New("dnssec: no DS chain to a trust anchor")
+	ErrUnsupported  = errors.New("dnssec: unsupported algorithm or digest")
+)
+
+// DNSKEY flag values.
+const (
+	FlagZSK uint16 = 256 // zone key
+	FlagKSK uint16 = 257 // zone key + secure entry point
+)
+
+// Signer holds a zone's signing key (single-key model: one key acts as
+// both KSK and ZSK, a common simplification in small deployments).
+type Signer struct {
+	// Zone is the apex name the key signs for.
+	Zone string
+	Key  *ecdsa.PrivateKey
+	// TTL is the TTL of generated DNSKEY/RRSIG records.
+	TTL uint32
+}
+
+// NewSigner generates a P-256 signing key for the zone.
+func NewSigner(zone string) (*Signer, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("dnssec: generating key for %s: %w", zone, err)
+	}
+	return &Signer{Zone: strutil.CanonicalName(zone), Key: key, TTL: 3600}, nil
+}
+
+// publicKeyBytes encodes the public key per RFC 6605 §4: X || Y, 32 bytes
+// each.
+func (s *Signer) publicKeyBytes() []byte {
+	out := make([]byte, 64)
+	s.Key.PublicKey.X.FillBytes(out[:32])
+	s.Key.PublicKey.Y.FillBytes(out[32:])
+	return out
+}
+
+// DNSKEY returns the zone's DNSKEY record.
+func (s *Signer) DNSKEY() dnsmsg.RR {
+	return dnsmsg.RR{
+		Name: s.Zone, Type: dnsmsg.TypeDNSKEY, Class: dnsmsg.ClassIN, TTL: s.TTL,
+		Data: dnsmsg.DNSKEYData{
+			Flags: FlagKSK, Protocol: 3,
+			Algorithm: dnsmsg.AlgorithmECDSAP256SHA256,
+			PublicKey: s.publicKeyBytes(),
+		},
+	}
+}
+
+// DS returns the delegation-signer record the parent zone publishes for
+// this key (SHA-256 digest, RFC 4034 §5.1.4).
+func (s *Signer) DS() dnsmsg.RR {
+	dk := s.DNSKEY().Data.(dnsmsg.DNSKEYData)
+	return dnsmsg.RR{
+		Name: s.Zone, Type: dnsmsg.TypeDS, Class: dnsmsg.ClassIN, TTL: s.TTL,
+		Data: dnsmsg.DSData{
+			KeyTag:     KeyTag(dk),
+			Algorithm:  dk.Algorithm,
+			DigestType: dnsmsg.DigestSHA256,
+			Digest:     dsDigest(s.Zone, dk),
+		},
+	}
+}
+
+// dsDigest computes SHA-256(canonical owner | DNSKEY RDATA).
+func dsDigest(owner string, dk dnsmsg.DNSKEYData) []byte {
+	buf, _ := appendCanonicalName(nil, owner)
+	rdata, _ := packRData(dk)
+	sum := sha256.Sum256(append(buf, rdata...))
+	return sum[:]
+}
+
+// KeyTag computes the RFC 4034 Appendix B key tag of a DNSKEY.
+func KeyTag(dk dnsmsg.DNSKEYData) uint16 {
+	rdata, _ := packRData(dk)
+	var acc uint32
+	for i, b := range rdata {
+		if i&1 == 0 {
+			acc += uint32(b) << 8
+		} else {
+			acc += uint32(b)
+		}
+	}
+	acc += (acc >> 16) & 0xFFFF
+	return uint16(acc & 0xFFFF)
+}
+
+// Sign produces the RRSIG covering one RRset (all records must share owner
+// name, class, type, and TTL). The validity window is [incept, expire].
+func (s *Signer) Sign(rrset []dnsmsg.RR, incept, expire time.Time) (dnsmsg.RR, error) {
+	if len(rrset) == 0 {
+		return dnsmsg.RR{}, errors.New("dnssec: empty RRset")
+	}
+	owner := strutil.CanonicalName(rrset[0].Name)
+	if !strutil.HasSuffixFold(owner, s.Zone) {
+		return dnsmsg.RR{}, fmt.Errorf("dnssec: %s outside zone %s", owner, s.Zone)
+	}
+	dk := s.DNSKEY().Data.(dnsmsg.DNSKEYData)
+	sig := dnsmsg.RRSIGData{
+		TypeCovered: rrset[0].Type,
+		Algorithm:   dnsmsg.AlgorithmECDSAP256SHA256,
+		Labels:      uint8(len(strutil.Labels(owner))),
+		OrigTTL:     rrset[0].TTL,
+		Expiration:  uint32(expire.Unix()),
+		Inception:   uint32(incept.Unix()),
+		KeyTag:      KeyTag(dk),
+		SignerName:  s.Zone,
+	}
+	digest, err := signingDigest(sig, rrset)
+	if err != nil {
+		return dnsmsg.RR{}, err
+	}
+	r, sv, err := ecdsa.Sign(rand.Reader, s.Key, digest)
+	if err != nil {
+		return dnsmsg.RR{}, fmt.Errorf("dnssec: signing %s/%s: %w", owner, rrset[0].Type, err)
+	}
+	sigBytes := make([]byte, 64)
+	r.FillBytes(sigBytes[:32])
+	sv.FillBytes(sigBytes[32:])
+	sig.Signature = sigBytes
+
+	return dnsmsg.RR{
+		Name: owner, Type: dnsmsg.TypeRRSIG, Class: dnsmsg.ClassIN,
+		TTL: rrset[0].TTL, Data: sig,
+	}, nil
+}
+
+// VerifyRRSIG checks one RRSIG over an RRset with the given DNSKEY at time
+// now.
+func VerifyRRSIG(rrset []dnsmsg.RR, sig dnsmsg.RRSIGData, dk dnsmsg.DNSKEYData, now time.Time) error {
+	if sig.Algorithm != dnsmsg.AlgorithmECDSAP256SHA256 || dk.Algorithm != sig.Algorithm {
+		return fmt.Errorf("%w: algorithm %d", ErrUnsupported, sig.Algorithm)
+	}
+	ts := uint32(now.Unix())
+	if ts < sig.Inception || ts > sig.Expiration {
+		return fmt.Errorf("%w: now=%d window=[%d,%d]", ErrSigExpired, ts, sig.Inception, sig.Expiration)
+	}
+	if KeyTag(dk) != sig.KeyTag {
+		return fmt.Errorf("%w: tag %d", ErrNoDNSKEY, sig.KeyTag)
+	}
+	if len(dk.PublicKey) != 64 || len(sig.Signature) != 64 {
+		return fmt.Errorf("%w: bad key or signature length", ErrBadSignature)
+	}
+	digest, err := signingDigest(sig, rrset)
+	if err != nil {
+		return err
+	}
+	pub := ecdsa.PublicKey{
+		Curve: elliptic.P256(),
+		X:     new(big.Int).SetBytes(dk.PublicKey[:32]),
+		Y:     new(big.Int).SetBytes(dk.PublicKey[32:]),
+	}
+	r := new(big.Int).SetBytes(sig.Signature[:32])
+	sv := new(big.Int).SetBytes(sig.Signature[32:])
+	if !ecdsa.Verify(&pub, digest, r, sv) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// signingDigest computes SHA-256 over RRSIG_RDATA_prefix | canonical RRset
+// (RFC 4034 §3.1.8.1 / §6).
+func signingDigest(sig dnsmsg.RRSIGData, rrset []dnsmsg.RR) ([]byte, error) {
+	buf := sig.SignedPrefix()
+	canon, err := canonicalRRset(rrset, sig.OrigTTL)
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, canon...)
+	sum := sha256.Sum256(buf)
+	return sum[:], nil
+}
+
+// canonicalRRset serializes an RRset in canonical form: lowercase owner,
+// original TTL, RRs sorted by canonical RDATA.
+func canonicalRRset(rrset []dnsmsg.RR, origTTL uint32) ([]byte, error) {
+	type wireRR struct{ owner, rdata []byte }
+	wires := make([]wireRR, 0, len(rrset))
+	for _, rr := range rrset {
+		owner, err := appendCanonicalName(nil, rr.Name)
+		if err != nil {
+			return nil, err
+		}
+		rdata, err := packRData(canonicalizeRData(rr.Data))
+		if err != nil {
+			return nil, err
+		}
+		wires = append(wires, wireRR{owner: owner, rdata: rdata})
+	}
+	sort.Slice(wires, func(i, j int) bool {
+		return bytes.Compare(wires[i].rdata, wires[j].rdata) < 0
+	})
+	var out []byte
+	for i, w := range wires {
+		out = append(out, w.owner...)
+		out = appendU16(out, uint16(rrset[i].Type))
+		out = appendU16(out, uint16(dnsmsg.ClassIN))
+		out = appendU32(out, origTTL)
+		out = appendU16(out, uint16(len(w.rdata)))
+		out = append(out, w.rdata...)
+	}
+	return out, nil
+}
+
+// canonicalizeRData lowercases embedded domain names (RFC 4034 §6.2).
+func canonicalizeRData(d dnsmsg.RData) dnsmsg.RData {
+	switch v := d.(type) {
+	case dnsmsg.NSData:
+		v.Host = strings.ToLower(v.Host)
+		return v
+	case dnsmsg.CNAMEData:
+		v.Target = strings.ToLower(v.Target)
+		return v
+	case dnsmsg.MXData:
+		v.Host = strings.ToLower(v.Host)
+		return v
+	case dnsmsg.SOAData:
+		v.MName = strings.ToLower(v.MName)
+		v.RName = strings.ToLower(v.RName)
+		return v
+	}
+	return d
+}
+
+// packRData serializes RDATA in uncompressed wire form.
+func packRData(d dnsmsg.RData) ([]byte, error) { return dnsmsg.PackRData(d) }
+
+func appendU16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// appendCanonicalName appends the lowercase uncompressed wire form of a
+// name.
+func appendCanonicalName(b []byte, name string) ([]byte, error) {
+	name = strutil.CanonicalName(name)
+	if name == "" {
+		return append(b, 0), nil
+	}
+	for _, label := range strings.Split(name, ".") {
+		if label == "" || len(label) > 63 {
+			return nil, fmt.Errorf("dnssec: bad label %q in %q", label, name)
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0), nil
+}

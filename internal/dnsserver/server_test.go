@@ -1,0 +1,226 @@
+package dnsserver
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/dnszone"
+)
+
+func startTestServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	z := dnszone.New("example.com")
+	z.MustAdd(dnsmsg.RR{Name: "example.com", Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.AData{Addr: netip.MustParseAddr("192.0.2.1")}})
+	sub := dnszone.New("deep.example.com")
+	sub.MustAdd(dnsmsg.RR{Name: "www.deep.example.com", Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.AData{Addr: netip.MustParseAddr("192.0.2.2")}})
+
+	s := New(nil)
+	s.AddZone(z)
+	s.AddZone(sub)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.WaitReady(ctx); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	return s, addr.String()
+}
+
+// exchangeUDP sends raw bytes and returns the reply.
+func exchangeUDP(t *testing.T, addr string, pkt []byte) []byte {
+	t.Helper()
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write(pkt); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 65535)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return buf[:n]
+}
+
+func query(t *testing.T, addr, name string, typ dnsmsg.Type) *dnsmsg.Message {
+	t.Helper()
+	q := dnsmsg.NewQuery(77, name, typ)
+	pkt, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnsmsg.Unpack(exchangeUDP(t, addr, pkt))
+	if err != nil {
+		t.Fatalf("unpack: %v", err)
+	}
+	return resp
+}
+
+func TestAuthoritativeAnswer(t *testing.T) {
+	_, addr := startTestServer(t)
+	resp := query(t, addr, "example.com", dnsmsg.TypeA)
+	if !resp.Header.Authoritative || resp.Header.RCode != dnsmsg.RCodeSuccess || len(resp.Answers) != 1 {
+		t.Errorf("resp = %+v", resp)
+	}
+	if resp.Header.ID != 77 {
+		t.Errorf("ID = %d", resp.Header.ID)
+	}
+}
+
+func TestLongestZoneWins(t *testing.T) {
+	_, addr := startTestServer(t)
+	// www.deep.example.com lives in the deeper zone, not the parent.
+	resp := query(t, addr, "www.deep.example.com", dnsmsg.TypeA)
+	if resp.Header.RCode != dnsmsg.RCodeSuccess || len(resp.Answers) != 1 {
+		t.Errorf("resp = %+v", resp)
+	}
+	// A name only in the deeper zone's namespace but absent: NXDOMAIN from
+	// the deeper zone, never the parent's view.
+	resp = query(t, addr, "ghost.deep.example.com", dnsmsg.TypeA)
+	if resp.Header.RCode != dnsmsg.RCodeNXDomain {
+		t.Errorf("rcode = %v", resp.Header.RCode)
+	}
+}
+
+func TestRefusedOutOfZone(t *testing.T) {
+	_, addr := startTestServer(t)
+	resp := query(t, addr, "example.org", dnsmsg.TypeA)
+	if resp.Header.RCode != dnsmsg.RCodeRefused {
+		t.Errorf("rcode = %v", resp.Header.RCode)
+	}
+}
+
+func TestFormErrOnJunk(t *testing.T) {
+	_, addr := startTestServer(t)
+	resp, err := dnsmsg.Unpack(exchangeUDP(t, addr, []byte{0xAB, 0xCD, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnsmsg.RCodeFormat {
+		t.Errorf("rcode = %v", resp.Header.RCode)
+	}
+	if resp.Header.ID != 0xABCD {
+		t.Errorf("echoed ID = %#x", resp.Header.ID)
+	}
+}
+
+func TestNotImpOnNonQuery(t *testing.T) {
+	_, addr := startTestServer(t)
+	q := dnsmsg.NewQuery(5, "example.com", dnsmsg.TypeA)
+	q.Header.OpCode = 4 // NOTIFY
+	pkt, _ := q.Pack()
+	resp, err := dnsmsg.Unpack(exchangeUDP(t, addr, pkt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnsmsg.RCodeNotImp {
+		t.Errorf("rcode = %v", resp.Header.RCode)
+	}
+}
+
+func TestTCPExchange(t *testing.T) {
+	_, addr := startTestServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	q := dnsmsg.NewQuery(9, "example.com", dnsmsg.TypeA)
+	pkt, _ := q.Pack()
+	framed := append([]byte{byte(len(pkt) >> 8), byte(len(pkt))}, pkt...)
+	if _, err := conn.Write(framed); err != nil {
+		t.Fatal(err)
+	}
+	// Two queries on one connection must both be answered.
+	for i := 0; i < 2; i++ {
+		if i == 1 {
+			if _, err := conn.Write(framed); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hdr := make([]byte, 2)
+		if _, err := conn.Read(hdr); err != nil {
+			t.Fatalf("read len: %v", err)
+		}
+		msgLen := int(hdr[0])<<8 | int(hdr[1])
+		body := make([]byte, msgLen)
+		read := 0
+		for read < msgLen {
+			n, err := conn.Read(body[read:])
+			read += n
+			if err != nil {
+				t.Fatalf("read body: %v", err)
+			}
+		}
+		resp, err := dnsmsg.Unpack(body)
+		if err != nil || len(resp.Answers) != 1 {
+			t.Fatalf("tcp resp %d = %+v, %v", i, resp, err)
+		}
+	}
+}
+
+func TestRemoveZone(t *testing.T) {
+	s, addr := startTestServer(t)
+	s.RemoveZone("deep.example.com")
+	// The parent zone now answers authoritatively (NXDOMAIN: the parent
+	// has no records under deep.).
+	resp := query(t, addr, "www.deep.example.com", dnsmsg.TypeA)
+	if resp.Header.RCode != dnsmsg.RCodeNXDomain {
+		t.Errorf("rcode after RemoveZone = %v", resp.Header.RCode)
+	}
+}
+
+func TestQueryCountAndDelay(t *testing.T) {
+	s, addr := startTestServer(t)
+	before := s.QueryCount()
+	query(t, addr, "example.com", dnsmsg.TypeA)
+	if s.QueryCount() <= before {
+		t.Error("query count did not increase")
+	}
+	s.SetDelay(50 * time.Millisecond)
+	start := time.Now()
+	query(t, addr, "example.com", dnsmsg.TypeA)
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Errorf("delay not applied: %v", elapsed)
+	}
+	s.SetDelay(0)
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s, _ := startTestServer(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBehaviorSwitching(t *testing.T) {
+	s, addr := startTestServer(t)
+	s.SetBehavior(BehaviorServFail)
+	resp := query(t, addr, "example.com", dnsmsg.TypeA)
+	if resp.Header.RCode != dnsmsg.RCodeServFail || len(resp.Answers) != 0 {
+		t.Errorf("servfail resp = %+v", resp)
+	}
+	s.SetBehavior(BehaviorNormal)
+	resp = query(t, addr, "example.com", dnsmsg.TypeA)
+	if resp.Header.RCode != dnsmsg.RCodeSuccess {
+		t.Errorf("normal resp = %+v", resp)
+	}
+}

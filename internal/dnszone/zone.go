@@ -1,0 +1,246 @@
+// Package dnszone provides in-memory DNS zone storage with authoritative
+// lookup semantics (NXDOMAIN vs NODATA, CNAME ownership rules) and a simple
+// zone-file text format. Zones are the unit the simulated registries (the
+// paper's Verisign / PIR / Internetstiftelsen zone-file feeds) hand to the
+// authoritative server and to the scanners.
+package dnszone
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/strutil"
+)
+
+// ErrNotAuthoritative is returned when a zone is asked about a name outside
+// its origin.
+var ErrNotAuthoritative = errors.New("dnszone: name outside zone origin")
+
+// ErrCNAMEConflict is returned when adding a record that would coexist with
+// a CNAME at the same owner (RFC 1034 §3.6.2).
+var ErrCNAMEConflict = errors.New("dnszone: CNAME cannot coexist with other data")
+
+// Zone is a thread-safe collection of records under a single origin.
+type Zone struct {
+	origin string
+
+	mu      sync.RWMutex
+	records map[string]map[dnsmsg.Type][]dnsmsg.RR // canonical owner -> type -> RRset
+}
+
+// New creates an empty zone for the given origin (e.g. "com" or
+// "example.com").
+func New(origin string) *Zone {
+	return &Zone{
+		origin:  strutil.CanonicalName(origin),
+		records: make(map[string]map[dnsmsg.Type][]dnsmsg.RR),
+	}
+}
+
+// Origin returns the zone origin in canonical form.
+func (z *Zone) Origin() string { return z.origin }
+
+// contains reports whether name is at or below the zone origin.
+func (z *Zone) contains(name string) bool {
+	return strutil.HasSuffixFold(name, z.origin)
+}
+
+// Add inserts a record. The owner must be within the zone. Adding a CNAME
+// alongside other data (or vice versa) fails.
+func (z *Zone) Add(rr dnsmsg.RR) error {
+	name := strutil.CanonicalName(rr.Name)
+	if !z.contains(name) {
+		return fmt.Errorf("%w: %s not under %s", ErrNotAuthoritative, name, z.origin)
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	byType := z.records[name]
+	if byType == nil {
+		byType = make(map[dnsmsg.Type][]dnsmsg.RR)
+		z.records[name] = byType
+	}
+	if rr.Type == dnsmsg.TypeCNAME {
+		for t := range byType {
+			if t != dnsmsg.TypeCNAME {
+				return fmt.Errorf("%w: %s already has %s", ErrCNAMEConflict, name, t)
+			}
+		}
+	} else if len(byType[dnsmsg.TypeCNAME]) > 0 {
+		return fmt.Errorf("%w: %s already has CNAME", ErrCNAMEConflict, name)
+	}
+	rr.Name = name
+	byType[rr.Type] = append(byType[rr.Type], rr)
+	return nil
+}
+
+// MustAdd is Add for static test/zone construction; it panics on error.
+func (z *Zone) MustAdd(rr dnsmsg.RR) {
+	if err := z.Add(rr); err != nil {
+		panic(err)
+	}
+}
+
+// Remove deletes the RRset of the given type at name. Removing a type the
+// name does not have is a no-op. With dnsmsg.TypeANY, all records at the
+// name are removed.
+func (z *Zone) Remove(name string, t dnsmsg.Type) {
+	name = strutil.CanonicalName(name)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	byType := z.records[name]
+	if byType == nil {
+		return
+	}
+	if t == dnsmsg.TypeANY {
+		delete(z.records, name)
+		return
+	}
+	delete(byType, t)
+	if len(byType) == 0 {
+		delete(z.records, name)
+	}
+}
+
+// RemoveName deletes every record at name.
+func (z *Zone) RemoveName(name string) { z.Remove(name, dnsmsg.TypeANY) }
+
+// Result is the outcome of an authoritative lookup.
+type Result struct {
+	RCode dnsmsg.RCode
+	// Answers holds the matched RRset, preceded by any CNAMEs followed
+	// during in-zone chasing.
+	Answers []dnsmsg.RR
+	// NameExists distinguishes NODATA (true, empty answers) from NXDOMAIN.
+	NameExists bool
+}
+
+// maxCNAMEChain bounds in-zone CNAME chasing.
+const maxCNAMEChain = 8
+
+// Lookup resolves (name, type) within the zone, following CNAME chains that
+// stay inside the zone. Names outside the zone return ErrNotAuthoritative.
+func (z *Zone) Lookup(name string, t dnsmsg.Type) (Result, error) {
+	name = strutil.CanonicalName(name)
+	if !z.contains(name) {
+		return Result{}, ErrNotAuthoritative
+	}
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+
+	var res Result
+	cur := name
+	for depth := 0; depth <= maxCNAMEChain; depth++ {
+		byType, ok := z.records[cur]
+		if !ok {
+			// An empty non-terminal (a name with records below it) must
+			// yield NODATA, not NXDOMAIN.
+			if depth == 0 && !z.hasDescendantLocked(cur) {
+				res.RCode = dnsmsg.RCodeNXDomain
+				return res, nil
+			}
+			res.NameExists = true
+			return res, nil
+		}
+		res.NameExists = true
+		if rrs := byType[t]; len(rrs) > 0 && t != dnsmsg.TypeCNAME {
+			res.Answers = append(res.Answers, rrs...)
+			return res, nil
+		}
+		if t == dnsmsg.TypeCNAME {
+			res.Answers = append(res.Answers, byType[dnsmsg.TypeCNAME]...)
+			return res, nil
+		}
+		if cn := byType[dnsmsg.TypeCNAME]; len(cn) > 0 {
+			res.Answers = append(res.Answers, cn[0])
+			target := strutil.CanonicalName(cn[0].Data.(dnsmsg.CNAMEData).Target)
+			if !z.contains(target) {
+				// Out-of-zone target: the caller's resolver restarts there.
+				return res, nil
+			}
+			cur = target
+			continue
+		}
+		// Name exists, no matching type, no CNAME: NODATA.
+		return res, nil
+	}
+	// CNAME loop inside the zone.
+	res.RCode = dnsmsg.RCodeServFail
+	return res, nil
+}
+
+// hasDescendantLocked reports whether any stored name is strictly below name.
+func (z *Zone) hasDescendantLocked(name string) bool {
+	suffix := "." + name
+	for owner := range z.records {
+		if strings.HasSuffix(owner, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Names returns every owner name in the zone, sorted.
+func (z *Zone) Names() []string {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	names := make([]string, 0, len(z.records))
+	for n := range z.records {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Records returns all records at name (all types), in type order.
+func (z *Zone) Records(name string) []dnsmsg.RR {
+	name = strutil.CanonicalName(name)
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	byType := z.records[name]
+	if byType == nil {
+		return nil
+	}
+	types := make([]dnsmsg.Type, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	var out []dnsmsg.RR
+	for _, t := range types {
+		out = append(out, byType[t]...)
+	}
+	return out
+}
+
+// Len returns the total number of records in the zone.
+func (z *Zone) Len() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	n := 0
+	for _, byType := range z.records {
+		for _, rrs := range byType {
+			n += len(rrs)
+		}
+	}
+	return n
+}
+
+// Clone returns a deep-enough copy of the zone (record slices are copied;
+// RData values are immutable by convention). Used by the snapshot store.
+func (z *Zone) Clone() *Zone {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	nz := New(z.origin)
+	for name, byType := range z.records {
+		nm := make(map[dnsmsg.Type][]dnsmsg.RR, len(byType))
+		for t, rrs := range byType {
+			nm[t] = append([]dnsmsg.RR(nil), rrs...)
+		}
+		nz.records[name] = nm
+	}
+	return nz
+}

@@ -1,0 +1,261 @@
+package dnszone
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+)
+
+func rrA(name, addr string) dnsmsg.RR {
+	return dnsmsg.RR{Name: name, Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 300,
+		Data: dnsmsg.AData{Addr: netip.MustParseAddr(addr)}}
+}
+
+func rrTXT(name, value string) dnsmsg.RR {
+	return dnsmsg.RR{Name: name, Type: dnsmsg.TypeTXT, Class: dnsmsg.ClassIN, TTL: 300,
+		Data: dnsmsg.NewTXT(value)}
+}
+
+func rrMX(name string, pref uint16, host string) dnsmsg.RR {
+	return dnsmsg.RR{Name: name, Type: dnsmsg.TypeMX, Class: dnsmsg.ClassIN, TTL: 300,
+		Data: dnsmsg.MXData{Preference: pref, Host: host}}
+}
+
+func rrCNAME(name, target string) dnsmsg.RR {
+	return dnsmsg.RR{Name: name, Type: dnsmsg.TypeCNAME, Class: dnsmsg.ClassIN, TTL: 300,
+		Data: dnsmsg.CNAMEData{Target: target}}
+}
+
+func TestLookupBasics(t *testing.T) {
+	z := New("example.com")
+	z.MustAdd(rrA("example.com", "192.0.2.1"))
+	z.MustAdd(rrMX("example.com", 10, "mail.example.com"))
+	z.MustAdd(rrTXT("_mta-sts.example.com", "v=STSv1; id=1"))
+
+	res, err := z.Lookup("example.com", dnsmsg.TypeMX)
+	if err != nil || res.RCode != dnsmsg.RCodeSuccess || len(res.Answers) != 1 {
+		t.Fatalf("MX lookup: %+v err=%v", res, err)
+	}
+
+	// NODATA: name exists, type does not.
+	res, err = z.Lookup("example.com", dnsmsg.TypeAAAA)
+	if err != nil || res.RCode != dnsmsg.RCodeSuccess || len(res.Answers) != 0 || !res.NameExists {
+		t.Fatalf("NODATA lookup: %+v err=%v", res, err)
+	}
+
+	// NXDOMAIN.
+	res, err = z.Lookup("nope.example.com", dnsmsg.TypeA)
+	if err != nil || res.RCode != dnsmsg.RCodeNXDomain {
+		t.Fatalf("NXDOMAIN lookup: %+v err=%v", res, err)
+	}
+
+	// Outside zone.
+	if _, err := z.Lookup("example.net", dnsmsg.TypeA); !errors.Is(err, ErrNotAuthoritative) {
+		t.Fatalf("out-of-zone: err=%v", err)
+	}
+}
+
+func TestEmptyNonTerminal(t *testing.T) {
+	z := New("com")
+	z.MustAdd(rrA("mail.corp.example.com", "192.0.2.9"))
+	// corp.example.com has no records but has a descendant: NODATA, not NXDOMAIN.
+	res, err := z.Lookup("corp.example.com", dnsmsg.TypeA)
+	if err != nil || res.RCode != dnsmsg.RCodeSuccess || !res.NameExists {
+		t.Fatalf("empty non-terminal: %+v err=%v", res, err)
+	}
+}
+
+func TestCNAMEChasingInZone(t *testing.T) {
+	z := New("example.com")
+	z.MustAdd(rrCNAME("mta-sts.example.com", "web.example.com"))
+	z.MustAdd(rrA("web.example.com", "192.0.2.5"))
+
+	res, err := z.Lookup("mta-sts.example.com", dnsmsg.TypeA)
+	if err != nil || len(res.Answers) != 2 {
+		t.Fatalf("CNAME chase: %+v err=%v", res, err)
+	}
+	if res.Answers[0].Type != dnsmsg.TypeCNAME || res.Answers[1].Type != dnsmsg.TypeA {
+		t.Errorf("answer order: %v then %v", res.Answers[0].Type, res.Answers[1].Type)
+	}
+}
+
+func TestCNAMEOutOfZoneStops(t *testing.T) {
+	z := New("example.com")
+	z.MustAdd(rrCNAME("mta-sts.example.com", "mta-sts.provider.net"))
+	res, err := z.Lookup("mta-sts.example.com", dnsmsg.TypeA)
+	if err != nil || len(res.Answers) != 1 || res.Answers[0].Type != dnsmsg.TypeCNAME {
+		t.Fatalf("out-of-zone CNAME: %+v err=%v", res, err)
+	}
+}
+
+func TestCNAMELoopServFail(t *testing.T) {
+	z := New("example.com")
+	z.MustAdd(rrCNAME("a.example.com", "b.example.com"))
+	z.MustAdd(rrCNAME("b.example.com", "a.example.com"))
+	res, err := z.Lookup("a.example.com", dnsmsg.TypeA)
+	if err != nil || res.RCode != dnsmsg.RCodeServFail {
+		t.Fatalf("CNAME loop: %+v err=%v", res, err)
+	}
+}
+
+func TestCNAMETypeLookupDoesNotChase(t *testing.T) {
+	z := New("example.com")
+	z.MustAdd(rrCNAME("a.example.com", "b.example.com"))
+	z.MustAdd(rrA("b.example.com", "192.0.2.1"))
+	res, err := z.Lookup("a.example.com", dnsmsg.TypeCNAME)
+	if err != nil || len(res.Answers) != 1 || res.Answers[0].Type != dnsmsg.TypeCNAME {
+		t.Fatalf("CNAME-type lookup: %+v err=%v", res, err)
+	}
+}
+
+func TestCNAMEConflict(t *testing.T) {
+	z := New("example.com")
+	z.MustAdd(rrA("www.example.com", "192.0.2.1"))
+	if err := z.Add(rrCNAME("www.example.com", "x.example.com")); !errors.Is(err, ErrCNAMEConflict) {
+		t.Errorf("CNAME over A: err=%v", err)
+	}
+	z.MustAdd(rrCNAME("alias.example.com", "www.example.com"))
+	if err := z.Add(rrA("alias.example.com", "192.0.2.2")); !errors.Is(err, ErrCNAMEConflict) {
+		t.Errorf("A over CNAME: err=%v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	z := New("example.com")
+	z.MustAdd(rrA("example.com", "192.0.2.1"))
+	z.MustAdd(rrTXT("example.com", "hello"))
+	z.Remove("example.com", dnsmsg.TypeTXT)
+	res, _ := z.Lookup("example.com", dnsmsg.TypeTXT)
+	if len(res.Answers) != 0 || !res.NameExists {
+		t.Fatalf("after Remove TXT: %+v", res)
+	}
+	z.RemoveName("example.com")
+	res, _ = z.Lookup("example.com", dnsmsg.TypeA)
+	if res.RCode != dnsmsg.RCodeNXDomain {
+		t.Fatalf("after RemoveName: %+v", res)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	z := New("Example.COM")
+	z.MustAdd(rrA("WWW.Example.com", "192.0.2.1"))
+	res, err := z.Lookup("www.EXAMPLE.COM", dnsmsg.TypeA)
+	if err != nil || len(res.Answers) != 1 {
+		t.Fatalf("case-insensitive lookup: %+v err=%v", res, err)
+	}
+}
+
+func TestZoneFileRoundTrip(t *testing.T) {
+	z := New("example.com")
+	z.MustAdd(rrA("example.com", "192.0.2.1"))
+	z.MustAdd(dnsmsg.RR{Name: "example.com", Type: dnsmsg.TypeAAAA, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.AAAAData{Addr: netip.MustParseAddr("2001:db8::7")}})
+	z.MustAdd(rrMX("example.com", 10, "mail.example.com"))
+	z.MustAdd(rrTXT("_mta-sts.example.com", `v=STSv1; id=20240431;`))
+	z.MustAdd(rrCNAME("mta-sts.example.com", "mta-sts.provider.com"))
+	z.MustAdd(dnsmsg.RR{Name: "example.com", Type: dnsmsg.TypeNS, Class: dnsmsg.ClassIN, TTL: 86400,
+		Data: dnsmsg.NSData{Host: "ns1.example.com"}})
+	z.MustAdd(dnsmsg.RR{Name: "example.com", Type: dnsmsg.TypeSOA, Class: dnsmsg.ClassIN, TTL: 900,
+		Data: dnsmsg.SOAData{MName: "ns1.example.com", RName: "hostmaster.example.com",
+			Serial: 1, Refresh: 2, Retry: 3, Expire: 4, Minimum: 5}})
+	z.MustAdd(dnsmsg.RR{Name: "_25._tcp.mail.example.com", Type: dnsmsg.TypeTLSA, Class: dnsmsg.ClassIN, TTL: 300,
+		Data: dnsmsg.TLSAData{Usage: 3, Selector: 1, MatchingType: 1, CertData: []byte{0xde, 0xad}}})
+
+	var buf bytes.Buffer
+	if _, err := z.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	z2, err := ParseFile(&buf, "")
+	if err != nil {
+		t.Fatalf("ParseFile: %v\nzone text:\n%s", err, buf.String())
+	}
+	if z2.Origin() != "example.com" {
+		t.Errorf("origin = %q", z2.Origin())
+	}
+	if !reflect.DeepEqual(z.Names(), z2.Names()) {
+		t.Errorf("names mismatch: %v vs %v", z.Names(), z2.Names())
+	}
+	for _, name := range z.Names() {
+		a, b := z.Records(name), z2.Records(name)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("records at %s mismatch:\n%v\n%v", name, a, b)
+		}
+	}
+}
+
+func TestZoneFileTXTWithSemicolons(t *testing.T) {
+	// TXT values contain "; " — the field splitter must keep quoted strings whole.
+	in := "$ORIGIN example.com\n" +
+		`_mta-sts.example.com 300 IN TXT "v=STSv1; id=20240431;"` + "\n"
+	z, err := ParseFile(strings.NewReader(in), "")
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	res, _ := z.Lookup("_mta-sts.example.com", dnsmsg.TypeTXT)
+	if len(res.Answers) != 1 {
+		t.Fatalf("answers = %d", len(res.Answers))
+	}
+	got := res.Answers[0].Data.(dnsmsg.TXTData).Joined()
+	if got != "v=STSv1; id=20240431;" {
+		t.Errorf("TXT value = %q", got)
+	}
+}
+
+func TestZoneFileErrors(t *testing.T) {
+	cases := []string{
+		"example.com 300 IN A 192.0.2.1\n",                          // record before $ORIGIN
+		"$ORIGIN example.com\nexample.com 300 IN A not-an-ip\n",     // bad A
+		"$ORIGIN example.com\nexample.com 300 IN A 2001:db8::1\n",   // v6 in A
+		"$ORIGIN example.com\nexample.com xx IN A 192.0.2.1\n",      // bad TTL
+		"$ORIGIN example.com\nexample.com 300 CH A 192.0.2.1\n",     // bad class
+		"$ORIGIN example.com\nexample.com 300 IN BOGUS x\n",         // bad type
+		"$ORIGIN example.com\nexample.com 300 IN MX mail\n",         // MX missing pref
+		"$ORIGIN a.com\n$ORIGIN b.com\n",                            // duplicate origin
+		"$ORIGIN example.com\nexample.net 300 IN A 192.0.2.1\n",     // out of zone
+		"$ORIGIN example.com\nexample.com 300 IN TLSA 3 1 1 xyz!\n", // bad hex
+		"",
+	}
+	for _, in := range cases {
+		if _, err := ParseFile(strings.NewReader(in), ""); err == nil {
+			t.Errorf("ParseFile accepted %q", in)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	z := New("example.com")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				name := string(rune('a'+i)) + ".example.com"
+				_ = z.Add(rrA(name, "192.0.2.1"))
+				_, _ = z.Lookup(name, dnsmsg.TypeA)
+				z.Remove(name, dnsmsg.TypeA)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestClone(t *testing.T) {
+	z := New("example.com")
+	z.MustAdd(rrA("example.com", "192.0.2.1"))
+	c := z.Clone()
+	z.MustAdd(rrA("new.example.com", "192.0.2.2"))
+	if c.Len() != 1 || z.Len() != 2 {
+		t.Errorf("clone not independent: clone=%d orig=%d", c.Len(), z.Len())
+	}
+	res, _ := c.Lookup("example.com", dnsmsg.TypeA)
+	if len(res.Answers) != 1 {
+		t.Error("clone lost records")
+	}
+}

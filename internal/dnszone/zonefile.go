@@ -1,0 +1,273 @@
+package dnszone
+
+import (
+	"bufio"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+)
+
+// ParseFile reads a zone in the simplified text format written by
+// WriteTo: one record per line,
+//
+//	<owner> <ttl> IN <type> <rdata...>
+//
+// with '#' or ';' comments and blank lines ignored. A "$ORIGIN <name>" line
+// sets the zone origin; otherwise the first record's owner's registrable
+// suffix is NOT inferred — origin must be supplied via $ORIGIN or the
+// origin argument (pass "" to require $ORIGIN).
+func ParseFile(r io.Reader, origin string) (*Zone, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var z *Zone
+	if origin != "" {
+		z = New(origin)
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == ';' {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "$ORIGIN"); ok {
+			if z != nil {
+				return nil, fmt.Errorf("line %d: duplicate origin", lineNo)
+			}
+			z = New(strings.TrimSpace(rest))
+			continue
+		}
+		if z == nil {
+			return nil, fmt.Errorf("line %d: record before $ORIGIN", lineNo)
+		}
+		rr, err := parseRecordLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if err := z.Add(rr); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if z == nil {
+		return nil, fmt.Errorf("empty zone file and no origin given")
+	}
+	return z, nil
+}
+
+func parseRecordLine(line string) (dnsmsg.RR, error) {
+	fields := splitFields(line)
+	if len(fields) < 5 {
+		return dnsmsg.RR{}, fmt.Errorf("need at least 5 fields, got %d", len(fields))
+	}
+	ttl, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return dnsmsg.RR{}, fmt.Errorf("bad TTL %q: %w", fields[1], err)
+	}
+	if fields[2] != "IN" {
+		return dnsmsg.RR{}, fmt.Errorf("unsupported class %q", fields[2])
+	}
+	t, err := dnsmsg.ParseType(fields[3])
+	if err != nil {
+		return dnsmsg.RR{}, err
+	}
+	rr := dnsmsg.RR{Name: fields[0], TTL: uint32(ttl), Class: dnsmsg.ClassIN, Type: t}
+	rd := fields[4:]
+	switch t {
+	case dnsmsg.TypeA:
+		addr, err := netip.ParseAddr(rd[0])
+		if err != nil || !addr.Is4() {
+			return dnsmsg.RR{}, fmt.Errorf("bad A address %q", rd[0])
+		}
+		rr.Data = dnsmsg.AData{Addr: addr}
+	case dnsmsg.TypeAAAA:
+		addr, err := netip.ParseAddr(rd[0])
+		if err != nil || !addr.Is6() || addr.Is4In6() {
+			return dnsmsg.RR{}, fmt.Errorf("bad AAAA address %q", rd[0])
+		}
+		rr.Data = dnsmsg.AAAAData{Addr: addr}
+	case dnsmsg.TypeNS:
+		rr.Data = dnsmsg.NSData{Host: rd[0]}
+	case dnsmsg.TypeCNAME:
+		rr.Data = dnsmsg.CNAMEData{Target: rd[0]}
+	case dnsmsg.TypeMX:
+		if len(rd) != 2 {
+			return dnsmsg.RR{}, fmt.Errorf("MX needs preference and host")
+		}
+		pref, err := strconv.ParseUint(rd[0], 10, 16)
+		if err != nil {
+			return dnsmsg.RR{}, fmt.Errorf("bad MX preference %q", rd[0])
+		}
+		rr.Data = dnsmsg.MXData{Preference: uint16(pref), Host: rd[1]}
+	case dnsmsg.TypeTXT:
+		strs := make([]string, len(rd))
+		for i, q := range rd {
+			s, err := strconv.Unquote(q)
+			if err != nil {
+				return dnsmsg.RR{}, fmt.Errorf("bad TXT string %s: %w", q, err)
+			}
+			strs[i] = s
+		}
+		rr.Data = dnsmsg.TXTData{Strings: strs}
+	case dnsmsg.TypeSOA:
+		if len(rd) != 7 {
+			return dnsmsg.RR{}, fmt.Errorf("SOA needs 7 fields, got %d", len(rd))
+		}
+		var nums [5]uint32
+		for i := 0; i < 5; i++ {
+			v, err := strconv.ParseUint(rd[2+i], 10, 32)
+			if err != nil {
+				return dnsmsg.RR{}, fmt.Errorf("bad SOA field %q", rd[2+i])
+			}
+			nums[i] = uint32(v)
+		}
+		rr.Data = dnsmsg.SOAData{MName: rd[0], RName: rd[1],
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2], Expire: nums[3], Minimum: nums[4]}
+	case dnsmsg.TypeTLSA:
+		if len(rd) != 4 {
+			return dnsmsg.RR{}, fmt.Errorf("TLSA needs 4 fields, got %d", len(rd))
+		}
+		var nums [3]uint8
+		for i := 0; i < 3; i++ {
+			v, err := strconv.ParseUint(rd[i], 10, 8)
+			if err != nil {
+				return dnsmsg.RR{}, fmt.Errorf("bad TLSA field %q", rd[i])
+			}
+			nums[i] = uint8(v)
+		}
+		cert, err := parseHex(rd[3])
+		if err != nil {
+			return dnsmsg.RR{}, fmt.Errorf("bad TLSA cert data: %w", err)
+		}
+		rr.Data = dnsmsg.TLSAData{Usage: nums[0], Selector: nums[1], MatchingType: nums[2], CertData: cert}
+	case dnsmsg.TypeDNSKEY:
+		if len(rd) != 4 {
+			return dnsmsg.RR{}, fmt.Errorf("DNSKEY needs 4 fields, got %d", len(rd))
+		}
+		flags, err1 := strconv.ParseUint(rd[0], 10, 16)
+		proto, err2 := strconv.ParseUint(rd[1], 10, 8)
+		alg, err3 := strconv.ParseUint(rd[2], 10, 8)
+		key, err4 := base64.StdEncoding.DecodeString(rd[3])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return dnsmsg.RR{}, fmt.Errorf("bad DNSKEY fields")
+		}
+		rr.Data = dnsmsg.DNSKEYData{Flags: uint16(flags), Protocol: uint8(proto),
+			Algorithm: uint8(alg), PublicKey: key}
+	case dnsmsg.TypeDS:
+		if len(rd) != 4 {
+			return dnsmsg.RR{}, fmt.Errorf("DS needs 4 fields, got %d", len(rd))
+		}
+		tag, err1 := strconv.ParseUint(rd[0], 10, 16)
+		alg, err2 := strconv.ParseUint(rd[1], 10, 8)
+		dt, err3 := strconv.ParseUint(rd[2], 10, 8)
+		digest, err4 := parseHex(rd[3])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return dnsmsg.RR{}, fmt.Errorf("bad DS fields")
+		}
+		rr.Data = dnsmsg.DSData{KeyTag: uint16(tag), Algorithm: uint8(alg),
+			DigestType: uint8(dt), Digest: digest}
+	case dnsmsg.TypeRRSIG:
+		if len(rd) != 9 {
+			return dnsmsg.RR{}, fmt.Errorf("RRSIG needs 9 fields, got %d", len(rd))
+		}
+		var nums [7]uint64
+		for i := 0; i < 7; i++ {
+			v, err := strconv.ParseUint(rd[i], 10, 32)
+			if err != nil {
+				return dnsmsg.RR{}, fmt.Errorf("bad RRSIG field %q", rd[i])
+			}
+			nums[i] = v
+		}
+		sigBytes, err := base64.StdEncoding.DecodeString(rd[8])
+		if err != nil {
+			return dnsmsg.RR{}, fmt.Errorf("bad RRSIG signature: %w", err)
+		}
+		rr.Data = dnsmsg.RRSIGData{
+			TypeCovered: dnsmsg.Type(nums[0]), Algorithm: uint8(nums[1]),
+			Labels: uint8(nums[2]), OrigTTL: uint32(nums[3]),
+			Expiration: uint32(nums[4]), Inception: uint32(nums[5]),
+			KeyTag: uint16(nums[6]), SignerName: rd[7], Signature: sigBytes,
+		}
+	default:
+		return dnsmsg.RR{}, fmt.Errorf("unsupported type %s in zone file", t)
+	}
+	return rr, nil
+}
+
+func parseHex(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("odd-length hex")
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		v, err := strconv.ParseUint(s[2*i:2*i+2], 16, 8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+// splitFields splits on whitespace but keeps double-quoted strings (with
+// backslash escapes) as single fields including their quotes.
+func splitFields(line string) []string {
+	var fields []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		if line[i] == '"' {
+			i++
+			for i < len(line) {
+				if line[i] == '\\' && i+1 < len(line) {
+					i += 2
+					continue
+				}
+				if line[i] == '"' {
+					i++
+					break
+				}
+				i++
+			}
+		} else {
+			for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+		}
+		fields = append(fields, line[start:i])
+	}
+	return fields
+}
+
+// WriteTo serializes the zone in the text format understood by ParseFile.
+func (z *Zone) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	n, err := fmt.Fprintf(w, "$ORIGIN %s\n", z.origin)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, name := range z.Names() {
+		for _, rr := range z.Records(name) {
+			n, err := fmt.Fprintln(w, rr.String())
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/netsecurelab/mtasts/internal/dataset"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/simnet"
+)
+
+// Table1 reproduces the dataset overview: per TLD, the number of domains
+// with MX records and the number (and share) publishing MTA-STS records at
+// the final snapshot.
+func (e *Env) Table1() *dataset.Table {
+	t := &dataset.Table{
+		Title:   "Table 1: dataset overview (final snapshot)",
+		Headers: []string{"TLD", "domains with MX", "with MTA-STS", "percent"},
+	}
+	last := simnet.Months - 1
+	scale := e.World.Cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	for _, tp := range simnet.TLDs {
+		mx := simnet.DomainsWithMX(tp, last)
+		adopters := float64(e.World.AdoptedCount(last, tp.TLD)) / scale
+		t.AddRow("."+tp.TLD, int(mx), int(adopters), fmt.Sprintf("%.2f%%", 100*adopters/mx))
+	}
+	return t
+}
+
+// Figure2 reproduces the deployment time series: % of domains with MX
+// records publishing MTA-STS, per TLD, per month.
+func (e *Env) Figure2() []dataset.Series {
+	var out []dataset.Series
+	for _, tp := range simnet.TLDs {
+		out = append(out, fullSeries("."+tp.TLD, e.World.DeploymentPercent(tp.TLD)))
+	}
+	return out
+}
+
+// Figure3 reproduces the popularity correlation: % of Tranco-ranked
+// domains with MTA-STS per 10K-rank bin.
+func (e *Env) Figure3() dataset.Series {
+	vals := e.World.TrancoAdoptionPercent()
+	s := dataset.Series{Name: "Domains w/ MTA-STS records"}
+	for i, v := range vals {
+		s.Points = append(s.Points, dataset.Point{Label: fmt.Sprintf("%dk", i*10), Value: v})
+	}
+	return s
+}
+
+// Figure4 reproduces the misconfiguration overview: % of MTA-STS domains
+// with errors in each of the four categories, per component snapshot.
+func (e *Env) Figure4() []dataset.Series {
+	cats := []scanner.Category{
+		scanner.CategoryDNSRecord, scanner.CategoryPolicy,
+		scanner.CategoryMXCert, scanner.CategoryInconsistency,
+	}
+	var out []dataset.Series
+	for _, c := range cats {
+		c := c
+		out = append(out, componentSeries(c.String(), func(t int) float64 {
+			s := e.Summary(t)
+			if s.WithRecord == 0 {
+				return 0
+			}
+			return 100 * float64(s.ByCategory[c]) / float64(s.WithRecord)
+		}))
+	}
+	return out
+}
+
+// MisconfiguredTotals returns the headline §4.2 numbers at the final
+// snapshot: MTA-STS domains, misconfigured count and rate, and delivery
+// failures.
+func (e *Env) MisconfiguredTotals() (withRecord, misconfigured, deliveryFailures int, rate float64) {
+	s := e.Summary(simnet.Months - 1)
+	rate = 0
+	if s.WithRecord > 0 {
+		rate = float64(s.Misconfigured) / float64(s.WithRecord)
+	}
+	return s.WithRecord, s.Misconfigured, s.DeliveryFailures, rate
+}
+
+// RecordErrorBreakdown reproduces the §4.3.2 record-error taxonomy at the
+// final snapshot.
+func (e *Env) RecordErrorBreakdown() *dataset.Table {
+	t := &dataset.Table{
+		Title:   "§4.3.2: invalid MTA-STS record breakdown (final snapshot)",
+		Headers: []string{"error", "domains", "share of record errors"},
+	}
+	results := e.Scan(simnet.Months - 1)
+	var noID, badID, badVer, badExt, multiple, total int
+	for i := range results {
+		r := &results[i]
+		if !r.RecordPresent || r.RecordValid || r.RecordErr == nil {
+			continue
+		}
+		total++
+		switch {
+		case errors.Is(r.RecordErr, mtasts.ErrMissingID):
+			noID++
+		case errors.Is(r.RecordErr, mtasts.ErrBadID):
+			badID++
+		case errors.Is(r.RecordErr, mtasts.ErrBadVersion):
+			badVer++
+		case errors.Is(r.RecordErr, mtasts.ErrMultipleRecords):
+			multiple++
+		case errors.Is(r.RecordErr, mtasts.ErrBadExtension):
+			badExt++
+		}
+	}
+	pct := func(n int) string {
+		if total == 0 {
+			return "0%"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(total))
+	}
+	t.AddRow("no id field", noID, pct(noID))
+	t.AddRow("invalid id", badID, pct(badID))
+	t.AddRow("invalid version prefix", badVer, pct(badVer))
+	t.AddRow("invalid extension", badExt, pct(badExt))
+	t.AddRow("multiple records", multiple, pct(multiple))
+	t.AddRow("total", total, "100%")
+	return t
+}
+
+// Disclosure reproduces §4.7: the notification campaign outcome.
+func (e *Env) Disclosure() *dataset.Table {
+	out := e.World.Disclosure(e.Scan(simnet.Months - 1))
+	t := &dataset.Table{
+		Title:   "§4.7: responsible disclosure campaign",
+		Headers: []string{"metric", "count", "share"},
+	}
+	t.AddRow("misconfigured domains notified", out.Notified, "100%")
+	t.AddRow("bounced", out.Bounced, fmt.Sprintf("%.1f%%", 100*float64(out.Bounced)/float64(max(1, out.Notified))))
+	t.AddRow("resolved within window", out.Resolved, fmt.Sprintf("%.1f%%", 100*float64(out.Resolved)/float64(max(1, out.Notified))))
+	return t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the synthetic ecosystem: each exported method is one
+// experiment, returning the same rows/series the paper reports (see the
+// experiment index in DESIGN.md). cmd/reproduce renders them all and
+// bench_test.go exposes one benchmark per experiment.
+package experiments
+
+import (
+	"sync"
+
+	"github.com/netsecurelab/mtasts/internal/dataset"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/simnet"
+)
+
+// Env is a reproduction environment: a generated world plus cached
+// snapshot scans.
+type Env struct {
+	World *simnet.World
+
+	mu    sync.Mutex
+	scans map[int][]scanner.DomainResult
+	sums  map[int]scanner.Summary
+	byDom map[int]map[string]*scanner.DomainResult
+}
+
+// NewEnv generates a world and prepares the scan cache. Scale 1.0
+// reproduces paper-scale populations; tests use smaller scales.
+func NewEnv(cfg simnet.Config) *Env {
+	return &Env{
+		World: simnet.Generate(cfg),
+		scans: make(map[int][]scanner.DomainResult),
+		sums:  make(map[int]scanner.Summary),
+		byDom: make(map[int]map[string]*scanner.DomainResult),
+	}
+}
+
+// Scan returns the (cached) offline scan of snapshot t.
+func (e *Env) Scan(t int) []scanner.DomainResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r, ok := e.scans[t]; ok {
+		return r
+	}
+	r := e.World.ScanSnapshot(t)
+	e.scans[t] = r
+	return r
+}
+
+// Summary returns the (cached) aggregate of snapshot t.
+func (e *Env) Summary(t int) scanner.Summary {
+	e.mu.Lock()
+	if s, ok := e.sums[t]; ok {
+		e.mu.Unlock()
+		return s
+	}
+	e.mu.Unlock()
+	r := e.Scan(t)
+	s := scanner.Summarize(r)
+	e.mu.Lock()
+	e.sums[t] = s
+	e.mu.Unlock()
+	return s
+}
+
+// ComponentSnapshots returns the snapshot indexes of the component-scan
+// period (2023-11 through 2024-09, the x-axes of Figures 4–8 and 10).
+func ComponentSnapshots() []int {
+	var out []int
+	for t := simnet.ComponentScanFirstIndex; t < simnet.Months; t++ {
+		out = append(out, t)
+	}
+	return out
+}
+
+// monthLabel labels snapshot t like the paper's axes.
+func monthLabel(t int) string {
+	return dataset.MonthLabel(simnet.SnapshotTime(t))
+}
+
+// componentSeries builds a labeled series over the component-scan window.
+func componentSeries(name string, f func(t int) float64) dataset.Series {
+	snaps := ComponentSnapshots()
+	s := dataset.Series{Name: name}
+	for _, t := range snaps {
+		s.Points = append(s.Points, dataset.Point{Label: monthLabel(t), Value: f(t)})
+	}
+	return s
+}
+
+// fullSeries builds a labeled series over the whole study.
+func fullSeries(name string, values []float64) dataset.Series {
+	s := dataset.Series{Name: name}
+	for t, v := range values {
+		s.Points = append(s.Points, dataset.Point{Label: monthLabel(t), Value: v})
+	}
+	return s
+}

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/classify"
+	"github.com/netsecurelab/mtasts/internal/simnet"
+)
+
+// testEnv is a reduced-scale world shared by the tests in this package.
+var testEnv = NewEnv(simnet.Config{Seed: 11, Scale: 0.05})
+
+func TestTable1Shape(t *testing.T) {
+	tbl := testEnv.Table1()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// .com must dominate in absolute numbers; percentages stay ~0.07-0.13%.
+	if tbl.Rows[0][0] != ".com" {
+		t.Errorf("first row = %v", tbl.Rows[0])
+	}
+	for _, row := range tbl.Rows {
+		pct := row[3]
+		if !strings.HasSuffix(pct, "%") {
+			t.Errorf("percent cell = %q", pct)
+		}
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	series := testEnv.Figure2()
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != simnet.Months {
+			t.Fatalf("%s: points = %d", s.Name, len(s.Points))
+		}
+		if s.Points[simnet.Months-1].Value <= s.Points[0].Value {
+			t.Errorf("%s: not growing", s.Name)
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	s := testEnv.Figure3()
+	if len(s.Points) != simnet.TrancoBins {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	if s.Points[0].Value <= s.Points[len(s.Points)-1].Value {
+		t.Error("rank correlation inverted")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	series := testEnv.Figure4()
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	// Policy retrieval must dominate every snapshot (70–85% of errors).
+	var policy, record *[]float64
+	for i := range series {
+		vals := make([]float64, len(series[i].Points))
+		for j, p := range series[i].Points {
+			vals[j] = p.Value
+		}
+		switch series[i].Name {
+		case "Policy Retrieval":
+			policy = &vals
+		case "DNS Records":
+			record = &vals
+		}
+	}
+	if policy == nil || record == nil {
+		t.Fatal("missing series")
+	}
+	for i := range *policy {
+		if (*policy)[i] <= (*record)[i] {
+			t.Errorf("snapshot %d: policy (%f) <= record (%f)", i, (*policy)[i], (*record)[i])
+		}
+	}
+}
+
+func TestHeadlineNumbers(t *testing.T) {
+	withRecord, mis, fails, rate := testEnv.MisconfiguredTotals()
+	if withRecord == 0 || mis == 0 {
+		t.Fatal("empty scan")
+	}
+	if rate < 0.22 || rate > 0.38 {
+		t.Errorf("misconfigured rate = %.3f", rate)
+	}
+	if fails == 0 {
+		t.Error("no delivery failures found")
+	}
+}
+
+func TestPolicyErrorRatesShape(t *testing.T) {
+	selfRate, thirdRate := testEnv.PolicyErrorRates()
+	if selfRate <= thirdRate*3 {
+		t.Errorf("self %.3f vs third %.3f: wrong winner", selfRate, thirdRate)
+	}
+}
+
+func TestMXInvalidRatesShape(t *testing.T) {
+	selfRate, thirdRate := testEnv.MXInvalidRates()
+	if selfRate <= thirdRate {
+		t.Errorf("self %.3f vs third %.3f: wrong winner", selfRate, thirdRate)
+	}
+	if selfRate > 0.10 {
+		t.Errorf("self MX invalid rate = %.3f, want ~0.044", selfRate)
+	}
+}
+
+func TestFigure5PorkbunSpike(t *testing.T) {
+	selfPanel, _ := testEnv.Figure5()
+	// The TLS series of the self-managed panel must jump at the Porkbun
+	// month (index within component window).
+	var tls []float64
+	for _, s := range selfPanel {
+		if s.Name == "TLS" {
+			for _, p := range s.Points {
+				tls = append(tls, p.Value)
+			}
+		}
+	}
+	if tls == nil {
+		t.Fatal("no TLS series")
+	}
+	porkIdx := simnet.PorkbunStartMonth - simnet.ComponentScanFirstIndex
+	if porkIdx <= 0 || porkIdx >= len(tls) {
+		t.Fatalf("porkbun index = %d", porkIdx)
+	}
+	if tls[porkIdx] <= tls[porkIdx-1]+3 {
+		t.Errorf("no Porkbun spike: %.1f -> %.1f", tls[porkIdx-1], tls[porkIdx])
+	}
+}
+
+func TestFigure8LucidgrowSpike(t *testing.T) {
+	series := testEnv.Figure8()
+	var domain []float64
+	for _, s := range series {
+		if s.Name == "Domain" {
+			for _, p := range s.Points {
+				domain = append(domain, p.Value)
+			}
+		}
+	}
+	idx := simnet.LucidgrowMonth - simnet.ComponentScanFirstIndex
+	if idx <= 0 || idx >= len(domain)-1 {
+		t.Fatalf("lucidgrow index = %d", idx)
+	}
+	if domain[idx] <= domain[idx-1] || domain[idx] <= domain[idx+1] {
+		t.Errorf("no transient lucidgrow spike: %v around idx %d", domain[idx-1:idx+2], idx)
+	}
+}
+
+func TestFigure9RisingTrend(t *testing.T) {
+	s := testEnv.Figure9()
+	first, last := s.Points[0].Value, s.Points[len(s.Points)-1].Value
+	if last <= first {
+		t.Errorf("outdated-policy share not rising: %.1f -> %.1f", first, last)
+	}
+	if last < 40 || last > 85 {
+		t.Errorf("final outdated share = %.1f, want ~63", last)
+	}
+}
+
+func TestFigure10SameProviderNearZero(t *testing.T) {
+	sameTotal, sameBad, diffTotal, diffBad := testEnv.SameVsDifferentCounts()
+	if sameTotal == 0 || diffTotal == 0 {
+		t.Fatalf("populations: same=%d diff=%d", sameTotal, diffTotal)
+	}
+	sameRate := float64(sameBad) / float64(sameTotal)
+	diffRate := float64(diffBad) / float64(diffTotal)
+	if sameRate > 0.01 {
+		t.Errorf("same-provider inconsistency = %.4f, want ~0", sameRate)
+	}
+	if diffRate < 0.01 || diffRate < 3*sameRate {
+		t.Errorf("diff-provider inconsistency = %.4f vs same %.4f", diffRate, sameRate)
+	}
+}
+
+func TestTable2ProviderOrder(t *testing.T) {
+	tbl := testEnv.Table2()
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	counts := testEnv.ProviderCustomerCounts()
+	// Tutanota and DMARCReport are the two biggest providers.
+	if counts["Tutanota"] < counts["PowerDMARC"] || counts["DMARCReport"] < counts["PowerDMARC"] {
+		t.Errorf("provider counts = %v", counts)
+	}
+}
+
+func TestRecordErrorBreakdownMix(t *testing.T) {
+	tbl := testEnv.RecordErrorBreakdown()
+	// Invalid id must be the largest bucket (61% in the paper).
+	var badID, noID int
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "invalid id":
+			badID = atoiSafe(row[1])
+		case "no id field":
+			noID = atoiSafe(row[1])
+		}
+	}
+	if badID <= noID {
+		t.Errorf("invalid id (%d) should dominate no id (%d)", badID, noID)
+	}
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func TestDisclosureTable(t *testing.T) {
+	tbl := testEnv.Disclosure()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestRunAllProducesOutput(t *testing.T) {
+	var sb strings.Builder
+	rows := testEnv.RunAll(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"Table 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figure 10",
+		"Table 2", "§6.2", "Figure 11", "§7.2", "Figure 12", "§4.7",
+		"Shape checks",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+	if len(rows) < 5 {
+		t.Errorf("comparison rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Holds {
+			t.Errorf("shape check failed: %s (paper %s, measured %s)", r.Metric, r.Paper, r.Measured)
+		}
+	}
+}
+
+// TestClassifierAgreesWithGroundTruth validates the §4.3.1 heuristics: the
+// classify package's attribution of materialized DNS views must agree with
+// the simnet ground truth for the clear-cut classes.
+func TestClassifierAgreesWithGroundTruth(t *testing.T) {
+	w := testEnv.World
+	last := simnet.Months - 1
+	views := w.Views(last)
+	c := classify.NewClassifier(views, nil)
+
+	agree, total := 0, 0
+	for _, d := range w.Domains {
+		if d.AdoptedAt > last || d.MXClass == simnet.ClassUnclassifiable {
+			continue
+		}
+		got := c.Classify(w.ViewAt(d, last))
+		want := classify.SelfManaged
+		if d.MXClass == simnet.ClassThird {
+			want = classify.ThirdParty
+		}
+		total++
+		if got.MX == want {
+			agree++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no classified domains")
+	}
+	rate := float64(agree) / float64(total)
+	if rate < 0.90 {
+		t.Errorf("MX classification agreement = %.3f (%d/%d)", rate, agree, total)
+	}
+}
+
+// TestRunAllFullScale is the acceptance test of the reproduction: at the
+// paper's population scale, every shape check against the paper must hold.
+func TestRunAllFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale world")
+	}
+	env := NewEnv(simnet.Config{Seed: 1, Scale: 1.0})
+	rows := env.RunAll(io.Discard)
+	if len(rows) < 6 {
+		t.Fatalf("comparison rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Holds {
+			t.Errorf("shape check failed at paper scale: %s (paper %s, measured %s)",
+				r.Metric, r.Paper, r.Measured)
+		}
+	}
+	// The population itself must match Table 1's total.
+	if n := env.World.AdoptedCount(simnet.Months-1, ""); n != simnet.TotalAdoptersEnd {
+		t.Errorf("final population = %d, want %d", n, simnet.TotalAdoptersEnd)
+	}
+}

@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"github.com/netsecurelab/mtasts/internal/dataset"
+	"github.com/netsecurelab/mtasts/internal/inconsistency"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/simnet"
+)
+
+// resultsByDomain indexes the snapshot scan by domain name (cached).
+func (e *Env) resultsByDomain(t int) map[string]*scanner.DomainResult {
+	e.mu.Lock()
+	if m, ok := e.byDom[t]; ok {
+		e.mu.Unlock()
+		return m
+	}
+	e.mu.Unlock()
+	results := e.Scan(t)
+	m := make(map[string]*scanner.DomainResult, len(results))
+	for i := range results {
+		m[results[i].Domain] = &results[i]
+	}
+	e.mu.Lock()
+	e.byDom[t] = m
+	e.mu.Unlock()
+	return m
+}
+
+// classCount tallies, per snapshot, over domains of one policy-hosting
+// class, the number satisfying pred and the class population.
+func (e *Env) classCount(t int, class simnet.ManagementClass, byMX bool,
+	pred func(*scanner.DomainResult) bool) (hits, total int) {
+	byDom := e.resultsByDomain(t)
+	for _, d := range e.World.Domains {
+		if d.AdoptedAt > t {
+			continue
+		}
+		c := d.PolicyClass
+		if byMX {
+			c = d.MXClass
+		}
+		if c != class {
+			continue
+		}
+		r, ok := byDom[d.Name]
+		if !ok {
+			continue
+		}
+		total++
+		if pred(r) {
+			hits++
+		}
+	}
+	return hits, total
+}
+
+// Figure5 reproduces the policy-server error breakdown: % of MTA-STS
+// domains with misconfigured policy servers, by retrieval stage, split
+// into self-managed and third-party panels.
+func (e *Env) Figure5() (selfPanel, thirdPanel []dataset.Series) {
+	stages := []mtasts.Stage{
+		mtasts.StageDNS, mtasts.StageTCP, mtasts.StageTLS,
+		mtasts.StageHTTP, mtasts.StageSyntax,
+	}
+	build := func(class simnet.ManagementClass) []dataset.Series {
+		var out []dataset.Series
+		for _, st := range stages {
+			st := st
+			out = append(out, componentSeries(st.String(), func(t int) float64 {
+				hits, total := e.classCount(t, class, false, func(r *scanner.DomainResult) bool {
+					return r.RecordPresent && !r.PolicyOK && r.PolicyStage == st
+				})
+				if total == 0 {
+					return 0
+				}
+				return 100 * float64(hits) / float64(total)
+			}))
+		}
+		return out
+	}
+	return build(simnet.ClassSelf), build(simnet.ClassThird)
+}
+
+// PolicyErrorRates returns the §4.3.3 headline comparison at the final
+// snapshot: policy-server misconfiguration rates for self-managed and
+// third-party domains.
+func (e *Env) PolicyErrorRates() (selfRate, thirdRate float64) {
+	t := simnet.Months - 1
+	failed := func(r *scanner.DomainResult) bool { return r.RecordPresent && !r.PolicyOK }
+	sh, st := e.classCount(t, simnet.ClassSelf, false, failed)
+	th, tt := e.classCount(t, simnet.ClassThird, false, failed)
+	if st > 0 {
+		selfRate = float64(sh) / float64(st)
+	}
+	if tt > 0 {
+		thirdRate = float64(th) / float64(tt)
+	}
+	return selfRate, thirdRate
+}
+
+// Figure6 reproduces the MX-certificate error panels: % of domains whose
+// MX hosts present PKIX-invalid certificates, by problem kind, split by
+// managing entity of the MXes.
+func (e *Env) Figure6() (selfPanel, thirdPanel []dataset.Series) {
+	problems := []struct {
+		name string
+		p    pki.Problem
+	}{
+		{"CN mismatch", pki.ProblemNameMismatch},
+		{"Self-signed", pki.ProblemSelfSigned},
+		{"Expired", pki.ProblemExpired},
+	}
+	build := func(class simnet.ManagementClass) []dataset.Series {
+		var out []dataset.Series
+		for _, pr := range problems {
+			pr := pr
+			out = append(out, componentSeries(pr.name, func(t int) float64 {
+				hits, total := e.classCount(t, class, true, func(r *scanner.DomainResult) bool {
+					for _, got := range r.MXProblems {
+						if got == pr.p {
+							return true
+						}
+					}
+					return false
+				})
+				if total == 0 {
+					return 0
+				}
+				return 100 * float64(hits) / float64(total)
+			}))
+		}
+		return out
+	}
+	return build(simnet.ClassSelf), build(simnet.ClassThird)
+}
+
+// MXInvalidRates returns the §4.3.4 headline comparison at the final
+// snapshot: share of domains with at least one PKIX-invalid MX, by class.
+func (e *Env) MXInvalidRates() (selfRate, thirdRate float64) {
+	t := simnet.Months - 1
+	anyInvalid := func(r *scanner.DomainResult) bool {
+		for _, p := range r.MXProblems {
+			if !p.Valid() {
+				return true
+			}
+		}
+		return false
+	}
+	sh, st := e.classCount(t, simnet.ClassSelf, true, anyInvalid)
+	th, tt := e.classCount(t, simnet.ClassThird, true, anyInvalid)
+	if st > 0 {
+		selfRate = float64(sh) / float64(st)
+	}
+	if tt > 0 {
+		thirdRate = float64(th) / float64(tt)
+	}
+	return selfRate, thirdRate
+}
+
+// Figure7 reproduces the invalid-MX breakdown: % of MTA-STS domains with
+// all MXes invalid, partially invalid, and the enforce-mode risk series.
+func (e *Env) Figure7() []dataset.Series {
+	pct := func(f func(scanner.Summary) int) func(t int) float64 {
+		return func(t int) float64 {
+			s := e.Summary(t)
+			if s.WithRecord == 0 {
+				return 0
+			}
+			return 100 * float64(f(s)) / float64(s.WithRecord)
+		}
+	}
+	return []dataset.Series{
+		componentSeries("All Invalid", pct(func(s scanner.Summary) int { return s.AllMXInvalid })),
+		componentSeries("Partially Invalid", pct(func(s scanner.Summary) int { return s.PartiallyMXInvalid })),
+		componentSeries("\"enforce\" mode", pct(func(s scanner.Summary) int { return s.EnforceCertRisk })),
+	}
+}
+
+// Figure8 reproduces the mismatch taxonomy: % of MTA-STS domains whose mx
+// patterns fail against their MX records, per mismatch kind, plus the
+// enforce-mode series.
+func (e *Env) Figure8() []dataset.Series {
+	kinds := []inconsistency.Kind{
+		inconsistency.KindDomain, inconsistency.Kind3LDPlus,
+		inconsistency.KindTypo, inconsistency.KindTLD,
+	}
+	var out []dataset.Series
+	for _, k := range kinds {
+		k := k
+		out = append(out, componentSeries(k.String(), func(t int) float64 {
+			s := e.Summary(t)
+			if s.WithRecord == 0 {
+				return 0
+			}
+			return 100 * float64(s.MismatchKindCounts[k.String()]) / float64(s.WithRecord)
+		}))
+	}
+	out = append(out, componentSeries("\"enforce\" mode", func(t int) float64 {
+		s := e.Summary(t)
+		if s.WithRecord == 0 {
+			return 0
+		}
+		return 100 * float64(s.EnforceMismatch) / float64(s.WithRecord)
+	}))
+	return out
+}
+
+// Figure9 reproduces the outdated-policy analysis: per snapshot, among
+// domains whose policy fully mismatches their current MX records, the
+// share whose policy matches an MX set from an earlier DNS-scan snapshot.
+func (e *Env) Figure9() dataset.Series {
+	return componentSeries("% with outdated policy", func(t int) float64 {
+		byDom := e.resultsByDomain(t)
+		mismatched, explained := 0, 0
+		for _, d := range e.World.Domains {
+			if d.AdoptedAt > t {
+				continue
+			}
+			r, ok := byDom[d.Name]
+			if !ok || !r.PolicyOK || r.Mismatch.Kind != inconsistency.KindDomain {
+				continue
+			}
+			mismatched++
+			// Historical MX sets come from the long-running DNS scans
+			// (since 2021), not just the component-scan window.
+			var history [][]string
+			for h := d.AdoptedAt; h < t; h++ {
+				history = append(history, d.MXHostsAt(h))
+			}
+			if inconsistency.MatchesHistorical(r.Policy, history) >= 0 {
+				explained++
+			}
+		}
+		if mismatched == 0 {
+			return 0
+		}
+		return 100 * float64(explained) / float64(mismatched)
+	})
+}
+
+// Figure10 reproduces the same-vs-different provider comparison: among
+// domains outsourcing both policy hosting and mail, % with mx/MX
+// inconsistency, split by whether one provider manages both.
+func (e *Env) Figure10() []dataset.Series {
+	build := func(name string, wantSame bool) dataset.Series {
+		return componentSeries(name, func(t int) float64 {
+			byDom := e.resultsByDomain(t)
+			hits, total := 0, 0
+			for _, d := range e.World.Domains {
+				if d.AdoptedAt > t || d.PolicyClass != simnet.ClassThird || d.MXClass != simnet.ClassThird {
+					continue
+				}
+				same := d.PolicyProvider == "Tutanota" && d.MXProvider == "tutanota"
+				if same != wantSame {
+					continue
+				}
+				r, ok := byDom[d.Name]
+				if !ok {
+					continue
+				}
+				total++
+				if r.PolicyOK && r.Mismatch.Kind != inconsistency.KindNone {
+					hits++
+				}
+			}
+			if total == 0 {
+				return 0
+			}
+			return 100 * float64(hits) / float64(total)
+		})
+	}
+	return []dataset.Series{
+		build("same-entity", true),
+		build("different-entity", false),
+	}
+}
+
+// SameVsDifferentCounts returns the §4.5.2 headline counts at the final
+// snapshot: inconsistent domains among same-provider and
+// different-provider both-outsourced populations.
+func (e *Env) SameVsDifferentCounts() (sameTotal, sameBad, diffTotal, diffBad int) {
+	t := simnet.Months - 1
+	byDom := e.resultsByDomain(t)
+	for _, d := range e.World.Domains {
+		if d.AdoptedAt > t || d.PolicyClass != simnet.ClassThird || d.MXClass != simnet.ClassThird {
+			continue
+		}
+		r, ok := byDom[d.Name]
+		if !ok {
+			continue
+		}
+		bad := r.PolicyOK && r.Mismatch.Kind != inconsistency.KindNone
+		if d.PolicyProvider == "Tutanota" && d.MXProvider == "tutanota" {
+			sameTotal++
+			if bad {
+				sameBad++
+			}
+		} else {
+			diffTotal++
+			if bad {
+				diffBad++
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/netsecurelab/mtasts/internal/dataset"
+	"github.com/netsecurelab/mtasts/internal/policysrv"
+	"github.com/netsecurelab/mtasts/internal/sendertest"
+	"github.com/netsecurelab/mtasts/internal/simnet"
+	"github.com/netsecurelab/mtasts/internal/survey"
+)
+
+// Table2 reproduces the policy-hosting provider table: per Table 2
+// provider, the CNAME pattern (for the canonical example domain a.com),
+// the customer count in the final snapshot, and the opt-out behavior
+// columns.
+func (e *Env) Table2() *dataset.Table {
+	t := &dataset.Table{
+		Title: "Table 2: top policy hosting providers and opt-out behavior",
+		Headers: []string{"provider", "CNAME pattern (a.com)", "# domains",
+			"email hosting", "NXDOMAIN", "reissues cert", "policy update"},
+	}
+	last := simnet.Months - 1
+	counts := make(map[string]int)
+	for _, d := range e.World.Domains {
+		if d.AdoptedAt <= last && d.PolicyClass == simnet.ClassThird {
+			counts[d.PolicyProvider]++
+		}
+	}
+	for _, p := range policysrv.Registry {
+		update := "unchanged"
+		switch p.OptOutUpdate {
+		case policysrv.UpdateEmptyFile:
+			update = "empty file"
+		case policysrv.UpdateModeNone:
+			update = "mode -> none"
+		}
+		t.AddRow(p.Name, p.CanonicalName("a.com"), counts[p.Name],
+			yn(p.EmailHosting), yn(p.OptOutNXDomain), yn(p.OptOutReissueCert), update)
+	}
+	return t
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// ProviderCustomerCounts returns the final-snapshot customer count per
+// Table 2 provider (for shape assertions).
+func (e *Env) ProviderCustomerCounts() map[string]int {
+	last := simnet.Months - 1
+	counts := make(map[string]int)
+	for _, d := range e.World.Domains {
+		if d.AdoptedAt <= last && d.PolicyClass == simnet.ClassThird {
+			counts[d.PolicyProvider]++
+		}
+	}
+	return counts
+}
+
+// SenderSide reproduces the §6.2 sender-validation statistics.
+func (e *Env) SenderSide() *dataset.Table {
+	st := sendertest.Aggregate(sendertest.NewPopulation())
+	t := &dataset.Table{
+		Title:   "§6.2: sender-side validation behavior",
+		Headers: []string{"behavior", "senders", "percent"},
+	}
+	row := func(name string, n int) {
+		t.AddRow(name, n, fmt.Sprintf("%.1f%%", st.Percent(n)))
+	}
+	t.AddRow("sender domains", st.Senders, "100%")
+	row("support TLS", st.TLS)
+	row("opportunistic TLS", st.Opportunistic)
+	row("always require PKIX", st.AlwaysPKIX)
+	row("validate MTA-STS", st.MTASTS)
+	row("validate DANE", st.DANE)
+	row("validate both", st.Both)
+	row("prefer MTA-STS over DANE (bug)", st.PreferFlipped)
+	return t
+}
+
+// Figure11 reproduces the survey demographics histogram.
+func (e *Env) Figure11() *dataset.Table {
+	ds := survey.NewPaperDataset()
+	labels, total, deployed := ds.Figure11()
+	t := &dataset.Table{
+		Title:   "Figure 11: respondents by managed account count",
+		Headers: []string{"# of email accounts", "total", "MTA-STS deployment"},
+	}
+	for i, l := range labels {
+		t.AddRow(l, total[i], deployed[i])
+	}
+	return t
+}
+
+// SurveyFindings reproduces the §7.2 marginals.
+func (e *Env) SurveyFindings() *dataset.Table {
+	f := survey.NewPaperDataset().Tabulate()
+	t := &dataset.Table{
+		Title:   "§7.2: survey findings",
+		Headers: []string{"metric", "count", "base", "percent"},
+	}
+	row := func(name string, n, base int) {
+		t.AddRow(name, n, base, fmt.Sprintf("%.1f%%", 100*float64(n)/float64(base)))
+	}
+	row("aware of MTA-STS", f.Familiar, f.FamiliarityAsked)
+	row("deployed MTA-STS", f.Deployed, f.DeploymentAsked)
+	row("motivation: prevent downgrade", f.MotivationDowngrade, 42)
+	row("bottleneck: operational complexity", f.BottleneckComplexity, f.BottleneckAsked)
+	row("bottleneck: DANE more secure", f.BottleneckDANE, f.BottleneckAsked)
+	row("not deployed: use DANE instead", f.WhyNotDANE, f.WhyNotAsked)
+	row("not deployed: too complicated", f.WhyNotComplex, f.WhyNotAsked)
+	row("difficulty: policy updates", f.DifficultyUpdate, f.DifficultyAsked)
+	row("never updated policy", f.UpdateNever, f.UpdateSeqAsked)
+	row("update TXT record first", f.UpdateTXTFirst, f.UpdateSeqAsked)
+	row("familiar with DANE", f.DANEFamiliar, f.DANEAsked)
+	row("consider DANE superior", f.PreferDANECount, f.PreferenceAsked)
+	return t
+}
+
+// Figure12 reproduces the TLSRPT adoption series: the top panel (% of
+// domains with MX having TLSRPT) and bottom panel (% of MTA-STS domains
+// having TLSRPT), per TLD.
+func (e *Env) Figure12() (top, bottom []dataset.Series) {
+	for _, tp := range simnet.TLDs {
+		top = append(top, fullSeries("."+tp.TLD, e.World.TLSRPTPercentOfMX(tp.TLD)))
+		bottom = append(bottom, fullSeries("."+tp.TLD, e.World.TLSRPTPercentOfMTASTS(tp.TLD)))
+	}
+	return top, bottom
+}

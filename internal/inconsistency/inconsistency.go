@@ -1,0 +1,184 @@
+// Package inconsistency implements the §4.4 analysis of the paper:
+// classifying why a domain's MX records fail to match the mx patterns in
+// its MTA-STS policy, even when every individual component looks valid.
+// The taxonomy distinguishes TLD mismatches, complete domain mismatches,
+// partial (3LD+) mismatches, and typographical errors, and supports the
+// historical-MX join of Figure 9.
+package inconsistency
+
+import (
+	"strings"
+
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/psl"
+	"github.com/netsecurelab/mtasts/internal/strutil"
+)
+
+// Kind is the mismatch category of Figure 8.
+type Kind int
+
+// Mismatch categories, ordered by specificity of the diagnosis.
+const (
+	// KindNone: the policy matches at least one MX record.
+	KindNone Kind = iota
+	// KindTypo: a pattern is within edit distance ≤ MaxTypoDistance of an
+	// MX host (and is not a TLD-only difference).
+	KindTypo
+	// KindTLD: a pattern differs from an MX host only in the public
+	// suffix (e.g. mx.example.com vs mx.example.net).
+	KindTLD
+	// Kind3LDPlus: a pattern shares the MX host's registrable domain but
+	// diverges from the third label on (commonly the "mta-sts."
+	// subdomain confusion of RFC 8461 misreadings).
+	Kind3LDPlus
+	// KindDomain: the pattern and every MX host are entirely unrelated.
+	KindDomain
+)
+
+// String returns the Figure 8 series label.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindTypo:
+		return "Typos"
+	case KindTLD:
+		return "TLD"
+	case Kind3LDPlus:
+		return "3LD+"
+	case KindDomain:
+		return "Domain"
+	}
+	return "unknown"
+}
+
+// MaxTypoDistance is the Levenshtein cutoff the paper uses for typo
+// detection (edit distance ≤ 3, §4.4).
+const MaxTypoDistance = 3
+
+// Finding is the outcome of analyzing one domain.
+type Finding struct {
+	Domain string
+	// Kind is the dominant (most specific) mismatch category.
+	Kind Kind
+	// MXHosts and Patterns echo the inputs for reporting.
+	MXHosts  []string
+	Patterns []string
+	// MTASTSLabelInPattern marks patterns containing the "mta-sts" label,
+	// the §4.4 misunderstanding (81.8% of 3LD+ cases).
+	MTASTSLabelInPattern bool
+	// Enforce marks policies in enforce mode — the delivery-failure
+	// population of Figures 7 and 8.
+	Enforce bool
+}
+
+// Analyze classifies the (mis)match between a policy and the domain's
+// current MX records. A policy in mode "none" (or with no patterns) and
+// empty MX sets yield KindNone.
+func Analyze(domain string, policy mtasts.Policy, mxHosts []string) Finding {
+	f := Finding{
+		Domain:   strutil.CanonicalName(domain),
+		MXHosts:  canonAll(mxHosts),
+		Patterns: canonAll(policy.MXPatterns),
+		Enforce:  policy.Mode == mtasts.ModeEnforce,
+	}
+	for _, p := range f.Patterns {
+		if hasMTASTSLabel(p) {
+			f.MTASTSLabelInPattern = true
+			break
+		}
+	}
+	if len(f.Patterns) == 0 || len(f.MXHosts) == 0 {
+		return f
+	}
+	// Matched: any MX covered by any pattern.
+	for _, mx := range f.MXHosts {
+		if policy.Matches(mx) {
+			return f
+		}
+	}
+	f.Kind = classifyMismatch(f.Patterns, f.MXHosts)
+	return f
+}
+
+// classifyMismatch picks the most specific diagnosis across all
+// (pattern, mx) pairs: Typo > TLD > 3LD+ > Domain.
+func classifyMismatch(patterns, mxHosts []string) Kind {
+	best := KindDomain
+	for _, p := range patterns {
+		pat := strings.TrimPrefix(p, "*.")
+		for _, mx := range mxHosts {
+			k := pairKind(pat, mx)
+			if better(k, best) {
+				best = k
+			}
+		}
+	}
+	return best
+}
+
+// better reports whether a is a more specific diagnosis than b.
+func better(a, b Kind) bool {
+	rank := map[Kind]int{KindTypo: 3, KindTLD: 2, Kind3LDPlus: 1, KindDomain: 0, KindNone: -1}
+	return rank[a] > rank[b]
+}
+
+// pairKind diagnoses one pattern/MX pair that is known not to match.
+func pairKind(pattern, mx string) Kind {
+	// TLD mismatch: identical except for the public suffix. Checked before
+	// typo because "TLD mismatches do not qualify as typos" (§4.4).
+	if tldMismatch(pattern, mx) {
+		return KindTLD
+	}
+	if strutil.LevenshteinAtMost(pattern, mx, MaxTypoDistance) {
+		return KindTypo
+	}
+	pSLD, mSLD := psl.RegistrableDomain(pattern), psl.RegistrableDomain(mx)
+	if pSLD != "" && pSLD == mSLD {
+		return Kind3LDPlus
+	}
+	return KindDomain
+}
+
+// tldMismatch reports whether the two names are identical up to their
+// public suffix (mx.example.com vs mx.example.net).
+func tldMismatch(a, b string) bool {
+	sa, sb := psl.PublicSuffix(a), psl.PublicSuffix(b)
+	if sa == sb {
+		return false
+	}
+	pa := strings.TrimSuffix(a, sa)
+	pb := strings.TrimSuffix(b, sb)
+	return pa != "" && pa == pb
+}
+
+func hasMTASTSLabel(pattern string) bool {
+	for _, l := range strutil.Labels(strings.TrimPrefix(pattern, "*.")) {
+		if l == "mta-sts" || l == "_mta-sts" {
+			return true
+		}
+	}
+	return false
+}
+
+func canonAll(in []string) []string {
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		out = append(out, strutil.CanonicalName(s))
+	}
+	return out
+}
+
+// MatchesHistorical reports whether the policy's patterns match any MX set
+// from the domain's history — the Figure 9 "outdated policy" test. It
+// returns the first matching snapshot index, or -1.
+func MatchesHistorical(policy mtasts.Policy, historicalMXSets [][]string) int {
+	for i, mxSet := range historicalMXSets {
+		for _, mx := range mxSet {
+			if policy.Matches(mx) {
+				return i
+			}
+		}
+	}
+	return -1
+}

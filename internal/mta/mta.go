@@ -1,0 +1,378 @@
+// Package mta implements a compliant outbound mail transfer agent on top
+// of the reproduction's substrates: MX resolution with the RFC 5321
+// implicit-MX fallback, DANE-first transport security (RFC 7672 — usable
+// TLSA records take precedence over MTA-STS, the ordering §6.2 of the
+// paper found some senders get wrong), MTA-STS policy enforcement with a
+// TOFU cache and proactive refresh, multi-MX failover, and RFC 8460
+// TLSRPT accounting. It is the engine behind examples/sendermta and
+// cmd/mtasts-send, and the reference implementation of the sender
+// behaviors the sendertest platform models.
+package mta
+
+import (
+	"context"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dane"
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/dnssec"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/resolver"
+	"github.com/netsecurelab/mtasts/internal/smtpclient"
+	"github.com/netsecurelab/mtasts/internal/tlsrpt"
+)
+
+// Delivery errors.
+var (
+	ErrNoRecipients = errors.New("mta: no recipients")
+	ErrNoMX         = errors.New("mta: recipient domain has no MX and no address records")
+	// ErrPolicyRefused: a security policy (DANE or MTA-STS enforce)
+	// forbids delivery via every candidate MX.
+	ErrPolicyRefused = errors.New("mta: delivery refused by transport security policy")
+	ErrAllMXFailed   = errors.New("mta: every MX candidate failed")
+)
+
+// Mechanism identifies which transport-security mechanism gated a
+// delivery.
+type Mechanism int
+
+// Mechanisms, in precedence order.
+const (
+	MechanismNone Mechanism = iota
+	MechanismOpportunistic
+	MechanismMTASTS
+	MechanismDANE
+)
+
+// String returns a short label.
+func (m Mechanism) String() string {
+	switch m {
+	case MechanismOpportunistic:
+		return "opportunistic"
+	case MechanismMTASTS:
+		return "mta-sts"
+	case MechanismDANE:
+		return "dane"
+	}
+	return "none"
+}
+
+// Outcome describes one delivery attempt's result.
+type Outcome struct {
+	// Delivered is true when the message was accepted by an MX.
+	Delivered bool
+	// MXHost is the MX that accepted (or last refused) the message.
+	MXHost string
+	// Mechanism is the security mechanism that applied.
+	Mechanism Mechanism
+	// TLS and CertVerified describe the transport used.
+	TLS          bool
+	CertVerified bool
+	// Evaluation is the MTA-STS evaluation when Mechanism is MTASTS.
+	Evaluation mtasts.Evaluation
+}
+
+// Outbound is a sending MTA.
+type Outbound struct {
+	// DNS resolves MX/A/TLSA records.
+	DNS *resolver.Client
+	// Validator is the MTA-STS engine; its cache enables TOFU semantics.
+	Validator *mtasts.Validator
+	// Roots is the PKIX trust store for MTA-STS-verified delivery.
+	Roots *x509.CertPool
+	// HeloName is announced in EHLO.
+	HeloName string
+	// SMTPPort overrides port 25.
+	SMTPPort int
+	// AddrOverride maps an MX host to a dial address (loopback labs).
+	AddrOverride func(mxHost string) string
+	// DANEEnabled turns on TLSA lookups and DANE-first precedence.
+	DANEEnabled bool
+	// DNSSEC, when set, performs real chain validation of TLSA RRsets via
+	// the dnssec substrate; only validated ("secure") RRsets make DANE
+	// applicable, per RFC 7672 §2.2.
+	DNSSEC *dnssec.Validator
+	// DNSSECValid is the fallback security oracle used when DNSSEC is nil:
+	// it reports whether a TLSA RRset for the name would arrive
+	// DNSSEC-validated; nil means "yes" (for loopback labs that model
+	// signed zones without signing them).
+	DNSSECValid func(name string) bool
+	// Timeout bounds each network step. Zero means 10s.
+	Timeout time.Duration
+	// Report, when non-nil, accumulates RFC 8460 TLSRPT entries.
+	Report *tlsrpt.Report
+}
+
+// Send delivers one message to a single recipient domain, trying MX
+// candidates in preference order.
+func (o *Outbound) Send(ctx context.Context, from string, to []string, data []byte) (Outcome, error) {
+	if len(to) == 0 {
+		return Outcome{}, ErrNoRecipients
+	}
+	domain, err := domainOf(to[0])
+	if err != nil {
+		return Outcome{}, err
+	}
+	for _, rcpt := range to[1:] {
+		d, err := domainOf(rcpt)
+		if err != nil {
+			return Outcome{}, err
+		}
+		if d != domain {
+			return Outcome{}, fmt.Errorf("mta: recipients span domains %s and %s; send separately", domain, d)
+		}
+	}
+
+	mxs, err := o.candidateMXs(ctx, domain)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	var lastErr error
+	refusals := 0
+	for _, mx := range mxs {
+		out, err := o.deliverVia(ctx, domain, mx, from, to, data)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrPolicyRefused) {
+			refusals++
+			// Policy refusals apply per MX; another candidate may match.
+			continue
+		}
+	}
+	if refusals == len(mxs) && refusals > 0 {
+		return Outcome{}, fmt.Errorf("%w: all %d MX candidates", ErrPolicyRefused, refusals)
+	}
+	return Outcome{}, fmt.Errorf("%w: last error: %v", ErrAllMXFailed, lastErr)
+}
+
+// candidateMXs resolves the recipient's MX records sorted by preference,
+// falling back to the implicit MX (the domain itself) per RFC 5321 §5.1
+// when no MX exists but address records do.
+func (o *Outbound) candidateMXs(ctx context.Context, domain string) ([]string, error) {
+	mxs, err := o.DNS.LookupMX(ctx, domain)
+	if err == nil && len(mxs) > 0 {
+		out := make([]string, len(mxs))
+		for i, mx := range mxs {
+			out[i] = mx.Host
+		}
+		return out, nil
+	}
+	if err != nil && !resolver.IsNotFound(err) {
+		return nil, fmt.Errorf("mta: resolving MX for %s: %w", domain, err)
+	}
+	// Implicit MX: an A/AAAA record at the apex makes the domain its own
+	// mail host.
+	if _, aerr := o.DNS.LookupAddrs(ctx, domain, true); aerr == nil {
+		return []string{domain}, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNoMX, domain)
+}
+
+// deliverVia attempts delivery through one MX, applying the DANE →
+// MTA-STS → opportunistic precedence.
+func (o *Outbound) deliverVia(ctx context.Context, domain, mxHost, from string, to []string, data []byte) (Outcome, error) {
+	// DANE first (RFC 8461 §2: "senders who implement both MUST NOT
+	// allow MTA-STS to override a DANE policy failure").
+	if o.DANEEnabled {
+		records := o.lookupTLSA(ctx, mxHost)
+		if dane.Usable(records) {
+			return o.deliverDANE(ctx, mxHost, from, to, data, records)
+		}
+	}
+
+	// MTA-STS second.
+	ev, err := o.Validator.Validate(ctx, domain, mxHost)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("mta: MTA-STS validation for %s: %w", domain, err)
+	}
+	if ev.Action == mtasts.ActionRefuse {
+		o.recordFailure(tlsrpt.PolicyTypeSTS, domain, mxHost, stsFailureType(ev))
+		return Outcome{Evaluation: ev, MXHost: mxHost, Mechanism: MechanismMTASTS},
+			fmt.Errorf("%w: MTA-STS enforce policy rejects %s", ErrPolicyRefused, mxHost)
+	}
+	requireTLS := ev.PolicyFetched && ev.Policy.Mode == mtasts.ModeEnforce && ev.Action == mtasts.ActionDeliver
+	sender := o.sender(mxHost)
+	sender.RequireTLS = requireTLS
+	res, err := sender.Deliver(ctx, mxHost, from, to, data)
+	mech := MechanismOpportunistic
+	if ev.PolicyFetched && ev.Policy.Mode != mtasts.ModeNone {
+		mech = MechanismMTASTS
+	}
+	if err != nil {
+		if requireTLS && errors.Is(err, smtpclient.ErrTLSRequired) {
+			o.recordFailure(tlsrpt.PolicyTypeSTS, domain, mxHost, tlsrpt.ResultCertificateNotTrusted)
+			return Outcome{Evaluation: ev, MXHost: mxHost, Mechanism: mech},
+				fmt.Errorf("%w: TLS to %s failed under enforce policy", ErrPolicyRefused, mxHost)
+		}
+		return Outcome{}, err
+	}
+	o.recordSuccess(policyTypeFor(mech), domain)
+	return Outcome{
+		Delivered: true, MXHost: mxHost, Mechanism: mech,
+		TLS: res.TLS, CertVerified: res.CertVerified, Evaluation: ev,
+	}, nil
+}
+
+// deliverDANE delivers with the certificate verified against TLSA records.
+func (o *Outbound) deliverDANE(ctx context.Context, mxHost, from string, to []string, data []byte, records []dane.Record) (Outcome, error) {
+	sender := o.sender(mxHost)
+	sender.RequireTLS = true
+	sender.VerifyPeer = func(chain []*x509.Certificate, host string) error {
+		return dane.Verify(records, chain)
+	}
+	res, err := sender.Deliver(ctx, mxHost, from, to, data)
+	domain := strings.TrimPrefix(mxHost, "mx.") // reporting label only
+	if err != nil {
+		o.recordFailure(tlsrpt.PolicyTypeTLSA, domain, mxHost, tlsrpt.ResultTLSAInvalid)
+		return Outcome{MXHost: mxHost, Mechanism: MechanismDANE},
+			fmt.Errorf("%w: DANE validation for %s failed: %v", ErrPolicyRefused, mxHost, err)
+	}
+	o.recordSuccess(tlsrpt.PolicyTypeTLSA, domain)
+	return Outcome{
+		Delivered: true, MXHost: mxHost, Mechanism: MechanismDANE,
+		TLS: res.TLS, CertVerified: res.CertVerified,
+	}, nil
+}
+
+// lookupTLSA fetches the TLSA RRset for an MX host, attaching its DNSSEC
+// security status: real chain validation when a dnssec.Validator is
+// configured, otherwise the oracle hook.
+func (o *Outbound) lookupTLSA(ctx context.Context, mxHost string) []dane.Record {
+	name := dane.TLSAName(mxHost)
+	var rrs []dnsmsg.RR
+	var err error
+	secure := true
+	if o.DNSSEC != nil {
+		rrs, secure, err = o.DNSSEC.SecureLookup(ctx, name, dnsmsg.TypeTLSA)
+	} else {
+		rrs, err = o.DNS.Lookup(ctx, name, dnsmsg.TypeTLSA)
+		if o.DNSSECValid != nil {
+			secure = o.DNSSECValid(name)
+		}
+	}
+	if err != nil {
+		return nil
+	}
+	var out []dane.Record
+	for _, rr := range rrs {
+		if rec, err := dane.FromRR(rr, secure); err == nil {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+func (o *Outbound) sender(mxHost string) *smtpclient.Sender {
+	s := &smtpclient.Sender{
+		HeloName: o.HeloName,
+		Roots:    o.Roots,
+		Timeout:  o.timeout(),
+		Port:     o.SMTPPort,
+	}
+	if o.AddrOverride != nil {
+		s.AddrOverride = o.AddrOverride(mxHost)
+	}
+	return s
+}
+
+func (o *Outbound) timeout() time.Duration {
+	if o.Timeout <= 0 {
+		return 10 * time.Second
+	}
+	return o.Timeout
+}
+
+func (o *Outbound) recordSuccess(ptype tlsrpt.PolicyType, domain string) {
+	if o.Report != nil {
+		o.Report.AddSuccess(ptype, domain, 1)
+	}
+}
+
+func (o *Outbound) recordFailure(ptype tlsrpt.PolicyType, domain, mxHost string, result tlsrpt.ResultType) {
+	if o.Report != nil {
+		o.Report.AddFailure(ptype, domain, result, mxHost, 1)
+	}
+}
+
+func stsFailureType(ev mtasts.Evaluation) tlsrpt.ResultType {
+	if !ev.MXMatched {
+		return tlsrpt.ResultValidationFailure
+	}
+	return tlsrpt.ResultCertificateNotTrusted
+}
+
+func policyTypeFor(m Mechanism) tlsrpt.PolicyType {
+	switch m {
+	case MechanismMTASTS:
+		return tlsrpt.PolicyTypeSTS
+	case MechanismDANE:
+		return tlsrpt.PolicyTypeTLSA
+	}
+	return tlsrpt.PolicyTypeNoFind
+}
+
+// domainOf extracts the domain of an address like "user@example.com".
+func domainOf(addr string) (string, error) {
+	at := strings.LastIndexByte(addr, '@')
+	if at <= 0 || at == len(addr)-1 {
+		return "", fmt.Errorf("mta: malformed address %q", addr)
+	}
+	return strings.ToLower(addr[at+1:]), nil
+}
+
+// RefreshPolicies proactively revalidates cached MTA-STS policies that
+// expire within the window, so send-time evaluations stay cache-hot
+// (RFC 8461 §3.3: senders "SHOULD fetch the policy file at regular
+// intervals"). It returns the number of domains refreshed.
+func (o *Outbound) RefreshPolicies(ctx context.Context, window time.Duration) int {
+	if o.Validator == nil || o.Validator.Cache == nil {
+		return 0
+	}
+	n := 0
+	for _, domain := range o.Validator.Cache.ExpiringWithin(window) {
+		// Re-run discovery + fetch; the validator stores the fresh policy.
+		o.Validator.Cache.Invalidate(domain)
+		if _, err := o.Validator.Validate(ctx, domain, "refresh.invalid"); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// RunRefreshLoop calls RefreshPolicies every interval until ctx is done —
+// the background refresher a production MTA runs.
+func (o *Outbound) RunRefreshLoop(ctx context.Context, interval, window time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			o.RefreshPolicies(ctx, window)
+		}
+	}
+}
+
+// DialAddrFor builds an AddrOverride function from a static host→address
+// table (loopback labs and tests).
+func DialAddrFor(table map[string]string, defaultPort int) func(string) string {
+	return func(mxHost string) string {
+		if addr, ok := table[mxHost]; ok {
+			return addr
+		}
+		if defaultPort == 0 {
+			return ""
+		}
+		return net.JoinHostPort(mxHost, strconv.Itoa(defaultPort))
+	}
+}

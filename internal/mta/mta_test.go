@@ -1,0 +1,411 @@
+package mta
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dane"
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/dnssec"
+	"github.com/netsecurelab/mtasts/internal/dnsserver"
+	"github.com/netsecurelab/mtasts/internal/dnszone"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/policysrv"
+	"github.com/netsecurelab/mtasts/internal/resolver"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/smtpd"
+	"github.com/netsecurelab/mtasts/internal/tlsrpt"
+)
+
+// lab is a loopback mail environment for outbound-MTA tests.
+type lab struct {
+	t    *testing.T
+	ca   *pki.CA
+	zone *dnszone.Zone
+	dns  *dnsserver.Server
+	pol  *policysrv.Server
+
+	addrTable map[string]string
+	inboxes   map[string]*smtpd.Server
+}
+
+func newLab(t *testing.T) *lab {
+	t.Helper()
+	ca, err := pki.NewCA("MTA Lab CA", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zone := dnszone.New("test")
+	dns := dnsserver.New(nil)
+	dns.AddZone(zone)
+	if _, err := dns.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dns.Close() })
+	pol := policysrv.New(ca, nil)
+	if _, err := pol.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pol.Close() })
+	return &lab{
+		t: t, ca: ca, zone: zone, dns: dns, pol: pol,
+		addrTable: make(map[string]string),
+		inboxes:   make(map[string]*smtpd.Server),
+	}
+}
+
+func (l *lab) addRR(rr dnsmsg.RR) { l.zone.MustAdd(rr) }
+
+func (l *lab) a(name string) dnsmsg.RR {
+	return dnsmsg.RR{Name: name, Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.AData{Addr: netip.MustParseAddr("127.0.0.1")}}
+}
+
+// addMX boots an SMTP server for mxHost; selfSigned controls its cert.
+func (l *lab) addMX(mxHost string, selfSigned bool) *smtpd.Server {
+	l.t.Helper()
+	leaf, err := l.ca.Issue(pki.IssueOptions{Names: []string{mxHost}, SelfSigned: selfSigned})
+	if err != nil {
+		l.t.Fatal(err)
+	}
+	cert := leaf.TLSCertificate()
+	srv := smtpd.New(smtpd.Behavior{Hostname: mxHost, Certificate: &cert, AcceptMail: true})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		l.t.Fatal(err)
+	}
+	l.t.Cleanup(func() { srv.Close() })
+	l.addrTable[mxHost] = addr.String()
+	l.inboxes[mxHost] = srv
+	l.addRR(l.a(mxHost))
+	// Publish the TLSA record matching this server's certificate so DANE
+	// tests can opt in by enabling DANE on the Outbound.
+	l.addRR(dane.NewEE3(leaf.Cert).RR(mxHost, 300))
+	return srv
+}
+
+// addDomain publishes MX + MTA-STS records for a recipient domain.
+func (l *lab) addDomain(domain string, mxHosts []string, policy *mtasts.Policy) {
+	l.t.Helper()
+	for i, mx := range mxHosts {
+		l.addRR(dnsmsg.RR{Name: domain, Type: dnsmsg.TypeMX, Class: dnsmsg.ClassIN, TTL: 60,
+			Data: dnsmsg.MXData{Preference: uint16(10 * (i + 1)), Host: mx}})
+	}
+	if policy != nil {
+		l.addRR(dnsmsg.RR{Name: "_mta-sts." + domain, Type: dnsmsg.TypeTXT, Class: dnsmsg.ClassIN,
+			TTL: 60, Data: dnsmsg.NewTXT("v=STSv1; id=20240929;")})
+		l.addRR(l.a("mta-sts." + domain))
+		l.pol.AddTenant(&policysrv.Tenant{Domain: domain, Policy: *policy})
+	}
+}
+
+// outbound builds an Outbound wired to the lab.
+func (l *lab) outbound(daneEnabled bool) *Outbound {
+	dnsClient := resolver.New(l.dns.Addr().String())
+	return &Outbound{
+		DNS: dnsClient,
+		Validator: &mtasts.Validator{
+			Resolver: scanner.TXTResolverAdapter{Client: dnsClient},
+			Fetcher: &mtasts.Fetcher{
+				Resolver: mtasts.AddrResolverFunc(func(ctx context.Context, host string) ([]string, error) {
+					addrs, err := dnsClient.LookupAddrs(ctx, host, false)
+					if err != nil {
+						return nil, err
+					}
+					out := make([]string, len(addrs))
+					for i, a := range addrs {
+						out[i] = a.String()
+					}
+					return out, nil
+				}),
+				RootCAs: l.ca.Pool(),
+				Port:    l.pol.Port(),
+				Timeout: 5 * time.Second,
+			},
+			Cache: mtasts.NewPolicyCache(64),
+		},
+		Roots:        l.ca.Pool(),
+		HeloName:     "outbound.lab",
+		AddrOverride: func(mx string) string { return l.addrTable[mx] },
+		DANEEnabled:  daneEnabled,
+		Timeout:      5 * time.Second,
+	}
+}
+
+func enforce(mx ...string) *mtasts.Policy {
+	return &mtasts.Policy{Version: mtasts.Version, Mode: mtasts.ModeEnforce,
+		MaxAge: 86400, MXPatterns: mx}
+}
+
+func TestSendMTASTSHappyPath(t *testing.T) {
+	l := newLab(t)
+	l.addMX("mx.alpha.test", false)
+	l.addDomain("alpha.test", []string{"mx.alpha.test"}, enforce("mx.alpha.test"))
+
+	o := l.outbound(false)
+	out, err := o.Send(context.Background(), "a@sender.lab", []string{"b@alpha.test"}, []byte("hello\n"))
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if !out.Delivered || out.Mechanism != MechanismMTASTS || !out.TLS || !out.CertVerified {
+		t.Errorf("out = %+v", out)
+	}
+	if len(l.inboxes["mx.alpha.test"].Messages()) != 1 {
+		t.Error("message not in inbox")
+	}
+}
+
+func TestSendDANEPrecedence(t *testing.T) {
+	l := newLab(t)
+	// Self-signed MX certificate: PKIX fails, but the published TLSA
+	// record matches — DANE must take precedence and deliver.
+	l.addMX("mx.beta.test", true)
+	l.addDomain("beta.test", []string{"mx.beta.test"}, enforce("mx.beta.test"))
+
+	o := l.outbound(true)
+	out, err := o.Send(context.Background(), "a@sender.lab", []string{"b@beta.test"}, []byte("x\n"))
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if out.Mechanism != MechanismDANE || !out.CertVerified {
+		t.Errorf("out = %+v", out)
+	}
+}
+
+func TestSendDANEMismatchRefuses(t *testing.T) {
+	l := newLab(t)
+	srv := l.addMX("mx.gamma.test", false)
+	l.addDomain("gamma.test", []string{"mx.gamma.test"}, enforce("mx.gamma.test"))
+	// Replace the TLSA record with one for a different key: DANE must
+	// refuse even though PKIX and MTA-STS would both pass.
+	l.zone.Remove(dane.TLSAName("mx.gamma.test"), dnsmsg.TypeTLSA)
+	otherLeaf, err := l.ca.Issue(pki.IssueOptions{Names: []string{"other.test"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.addRR(dane.NewEE3(otherLeaf.Cert).RR("mx.gamma.test", 300))
+
+	o := l.outbound(true)
+	_, err = o.Send(context.Background(), "a@sender.lab", []string{"b@gamma.test"}, []byte("x\n"))
+	if !errors.Is(err, ErrPolicyRefused) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(srv.Messages()) != 0 {
+		t.Error("message delivered despite DANE mismatch")
+	}
+}
+
+func TestSendMTASTSEnforceMismatchRefuses(t *testing.T) {
+	l := newLab(t)
+	srv := l.addMX("mx.delta.test", false)
+	l.addDomain("delta.test", []string{"mx.delta.test"}, enforce("mx.otherhost.test"))
+
+	o := l.outbound(false)
+	_, err := o.Send(context.Background(), "a@sender.lab", []string{"b@delta.test"}, []byte("x\n"))
+	if !errors.Is(err, ErrPolicyRefused) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(srv.Messages()) != 0 {
+		t.Error("message delivered despite policy mismatch")
+	}
+}
+
+func TestSendMultiMXFailover(t *testing.T) {
+	l := newLab(t)
+	l.addMX("mx1.eps.test", false)
+	l.addMX("mx2.eps.test", false)
+	// The policy only authorizes the second MX: the first candidate is
+	// refused per-MX, the second delivers.
+	l.addDomain("eps.test", []string{"mx1.eps.test", "mx2.eps.test"}, enforce("mx2.eps.test"))
+
+	o := l.outbound(false)
+	out, err := o.Send(context.Background(), "a@sender.lab", []string{"b@eps.test"}, []byte("x\n"))
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if out.MXHost != "mx2.eps.test" {
+		t.Errorf("delivered via %s", out.MXHost)
+	}
+	if len(l.inboxes["mx1.eps.test"].Messages()) != 0 || len(l.inboxes["mx2.eps.test"].Messages()) != 1 {
+		t.Error("wrong inbox")
+	}
+}
+
+func TestSendImplicitMX(t *testing.T) {
+	l := newLab(t)
+	// No MX record: the apex A record makes the domain its own mail host
+	// (RFC 5321 §5.1).
+	l.addMX("zeta.test", false)
+	o := l.outbound(false)
+	out, err := o.Send(context.Background(), "a@sender.lab", []string{"b@zeta.test"}, []byte("x\n"))
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if out.MXHost != "zeta.test" || out.Mechanism != MechanismOpportunistic {
+		t.Errorf("out = %+v", out)
+	}
+}
+
+func TestSendNoMXNoA(t *testing.T) {
+	l := newLab(t)
+	o := l.outbound(false)
+	_, err := o.Send(context.Background(), "a@sender.lab", []string{"b@ghost.test"}, []byte("x\n"))
+	if !errors.Is(err, ErrNoMX) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendTLSRPTAccounting(t *testing.T) {
+	l := newLab(t)
+	l.addMX("mx.eta.test", false)
+	l.addDomain("eta.test", []string{"mx.eta.test"}, enforce("mx.eta.test"))
+	l.addMX("mx.theta.test", false)
+	l.addDomain("theta.test", []string{"mx.theta.test"}, enforce("mx.wrong.test"))
+
+	o := l.outbound(false)
+	start := time.Now()
+	o.Report = tlsrpt.NewReport("Lab", "mailto:r@lab.test", "rid", start, start.Add(24*time.Hour))
+
+	if _, err := o.Send(context.Background(), "a@s.lab", []string{"b@eta.test"}, []byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Send(context.Background(), "a@s.lab", []string{"b@theta.test"}, []byte("x\n")); err == nil {
+		t.Fatal("expected refusal")
+	}
+	if err := o.Report.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	ok := o.Report.Policy(tlsrpt.PolicyTypeSTS, "eta.test")
+	if ok.Summary.TotalSuccessfulSessionCount != 1 {
+		t.Errorf("eta summary = %+v", ok.Summary)
+	}
+	bad := o.Report.Policy(tlsrpt.PolicyTypeSTS, "theta.test")
+	if bad.Summary.TotalFailureSessionCount != 1 {
+		t.Errorf("theta summary = %+v", bad.Summary)
+	}
+}
+
+func TestSendAddressValidation(t *testing.T) {
+	l := newLab(t)
+	o := l.outbound(false)
+	ctx := context.Background()
+	if _, err := o.Send(ctx, "a@s.lab", nil, []byte("x")); !errors.Is(err, ErrNoRecipients) {
+		t.Errorf("no recipients err = %v", err)
+	}
+	if _, err := o.Send(ctx, "a@s.lab", []string{"no-at-sign"}, []byte("x")); err == nil {
+		t.Error("malformed address accepted")
+	}
+	if _, err := o.Send(ctx, "a@s.lab", []string{"a@x.test", "b@y.test"}, []byte("x")); err == nil {
+		t.Error("cross-domain recipients accepted")
+	}
+}
+
+func TestRefreshPolicies(t *testing.T) {
+	l := newLab(t)
+	l.addMX("mx.iota.test", false)
+	pol := enforce("mx.iota.test")
+	pol.MaxAge = 3600
+	l.addDomain("iota.test", []string{"mx.iota.test"}, pol)
+
+	o := l.outbound(false)
+	now := time.Now()
+	o.Validator.Cache.Now = func() time.Time { return now }
+	if _, err := o.Send(context.Background(), "a@s.lab", []string{"b@iota.test"}, []byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Not yet near expiry: nothing refreshed.
+	if n := o.RefreshPolicies(context.Background(), 10*time.Minute); n != 0 {
+		t.Errorf("refreshed %d, want 0", n)
+	}
+	// Advance to within the refresh window.
+	now = now.Add(55 * time.Minute)
+	if n := o.RefreshPolicies(context.Background(), 10*time.Minute); n != 1 {
+		t.Errorf("refreshed %d, want 1", n)
+	}
+	// The refreshed entry is fresh again (expires ~1h from the new now).
+	if _, ok := o.Validator.Cache.Get("iota.test"); !ok {
+		t.Error("policy missing after refresh")
+	}
+}
+
+func TestDialAddrFor(t *testing.T) {
+	f := DialAddrFor(map[string]string{"mx.a.test": "127.0.0.1:2525"}, 25)
+	if f("mx.a.test") != "127.0.0.1:2525" {
+		t.Error("table lookup failed")
+	}
+	if f("mx.b.test") != "mx.b.test:25" {
+		t.Errorf("default = %q", f("mx.b.test"))
+	}
+	f0 := DialAddrFor(nil, 0)
+	if f0("x") != "" {
+		t.Error("zero default should return empty")
+	}
+}
+
+func TestMechanismString(t *testing.T) {
+	for m, want := range map[Mechanism]string{
+		MechanismNone: "none", MechanismOpportunistic: "opportunistic",
+		MechanismMTASTS: "mta-sts", MechanismDANE: "dane",
+	} {
+		if m.String() != want {
+			t.Errorf("Mechanism(%d) = %q", int(m), m.String())
+		}
+	}
+}
+
+// TestSendDANEWithRealDNSSEC exercises the full stack: the recipient zone
+// is DNSSEC-signed, the sender runs a chain-validating resolver, and DANE
+// only applies because the TLSA RRset cryptographically validates.
+func TestSendDANEWithRealDNSSEC(t *testing.T) {
+	l := newLab(t)
+	leafSrv := l.addMX("mx.signed.test", true) // self-signed cert, TLSA matches
+	_ = leafSrv
+	l.addDomain("signed.test", []string{"mx.signed.test"}, nil)
+
+	// Sign the lab zone and configure the trust anchor.
+	signer, err := dnssec.NewSigner("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dnssec.SignZone(l.zone, signer, time.Now().Add(-time.Hour), time.Now().Add(24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	o := l.outbound(true)
+	o.DNSSEC = dnssec.NewValidator(o.DNS)
+	if err := o.DNSSEC.AddAnchor(signer.DS()); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := o.Send(context.Background(), "a@sender.lab", []string{"b@signed.test"}, []byte("x\n"))
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if out.Mechanism != MechanismDANE || !out.CertVerified {
+		t.Errorf("out = %+v", out)
+	}
+}
+
+// TestSendDANESkippedWhenChainInvalid: with a chain-validating resolver
+// and NO trust anchor, the TLSA RRset is insecure, DANE does not apply,
+// and delivery falls through to the next mechanism (opportunistic here).
+func TestSendDANESkippedWhenChainInvalid(t *testing.T) {
+	l := newLab(t)
+	l.addMX("mx.unsigned.test", false)
+	l.addDomain("unsigned.test", []string{"mx.unsigned.test"}, nil)
+
+	o := l.outbound(true)
+	o.DNSSEC = dnssec.NewValidator(o.DNS) // no anchors: nothing validates
+
+	out, err := o.Send(context.Background(), "a@sender.lab", []string{"b@unsigned.test"}, []byte("x\n"))
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if out.Mechanism == MechanismDANE {
+		t.Errorf("DANE applied without a validated chain: %+v", out)
+	}
+}

@@ -1,0 +1,149 @@
+package mtasts
+
+import (
+	"sync"
+	"time"
+)
+
+// CachedPolicy is a policy held by a sending MTA together with the record
+// id it was fetched under and its expiry.
+type CachedPolicy struct {
+	Policy    Policy
+	RecordID  string
+	FetchedAt time.Time
+	// Expires is FetchedAt + max_age.
+	Expires time.Time
+}
+
+// Fresh reports whether the entry is still within its max_age at t.
+func (c CachedPolicy) Fresh(t time.Time) bool { return t.Before(c.Expires) }
+
+// PolicyCache is the sender-side policy store of RFC 8461 §5: policies are
+// trusted on first use and served from cache until max_age elapses or the
+// record id changes. It is safe for concurrent use.
+type PolicyCache struct {
+	mu      sync.Mutex
+	entries map[string]CachedPolicy // key: policy domain
+	max     int
+
+	// Now is replaceable for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// NewPolicyCache returns a cache bounded to max domains (minimum 1).
+func NewPolicyCache(max int) *PolicyCache {
+	if max < 1 {
+		max = 1
+	}
+	return &PolicyCache{entries: make(map[string]CachedPolicy), max: max}
+}
+
+func (pc *PolicyCache) now() time.Time {
+	if pc.Now != nil {
+		return pc.Now()
+	}
+	return time.Now()
+}
+
+// Get returns the cached policy for domain if present and fresh.
+func (pc *PolicyCache) Get(domain string) (CachedPolicy, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e, ok := pc.entries[domain]
+	if !ok {
+		return CachedPolicy{}, false
+	}
+	if !e.Fresh(pc.now()) {
+		delete(pc.entries, domain)
+		return CachedPolicy{}, false
+	}
+	return e, true
+}
+
+// NeedsRefresh implements the record-id comparison of RFC 8461 §4.2: a
+// cached policy must be refetched when the current record id differs from
+// the one it was fetched under, even if max_age has not elapsed.
+func (pc *PolicyCache) NeedsRefresh(domain, currentRecordID string) bool {
+	e, ok := pc.Get(domain)
+	if !ok {
+		return true
+	}
+	return e.RecordID != currentRecordID
+}
+
+// Store caches a freshly fetched policy under the record id it was
+// discovered with. A zero or negative max_age is not cached.
+func (pc *PolicyCache) Store(domain string, p Policy, recordID string) {
+	if p.MaxAge <= 0 {
+		return
+	}
+	now := pc.now()
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if _, exists := pc.entries[domain]; !exists && len(pc.entries) >= pc.max {
+		pc.evictOldestLocked()
+	}
+	pc.entries[domain] = CachedPolicy{
+		Policy:    p,
+		RecordID:  recordID,
+		FetchedAt: now,
+		Expires:   now.Add(time.Duration(p.MaxAge) * time.Second),
+	}
+}
+
+// evictOldestLocked removes the entry with the earliest expiry.
+func (pc *PolicyCache) evictOldestLocked() {
+	var oldestKey string
+	var oldest time.Time
+	first := true
+	for k, e := range pc.entries {
+		if first || e.Expires.Before(oldest) {
+			oldestKey, oldest, first = k, e.Expires, false
+		}
+	}
+	if oldestKey != "" {
+		delete(pc.entries, oldestKey)
+	}
+}
+
+// Invalidate drops the entry for domain.
+func (pc *PolicyCache) Invalidate(domain string) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	delete(pc.entries, domain)
+}
+
+// Domains returns the policy domains currently cached (order unspecified).
+func (pc *PolicyCache) Domains() []string {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	out := make([]string, 0, len(pc.entries))
+	for d := range pc.entries {
+		out = append(out, d)
+	}
+	return out
+}
+
+// ExpiringWithin returns the domains whose cached policies expire within
+// the window — the population a proactive refresher (RFC 8461 §3.3 "fetch
+// the policy file at regular intervals") should revalidate first.
+func (pc *PolicyCache) ExpiringWithin(window time.Duration) []string {
+	now := pc.now()
+	deadline := now.Add(window)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	var out []string
+	for d, e := range pc.entries {
+		if e.Expires.After(now) && e.Expires.Before(deadline) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Len returns the number of cached (possibly stale) entries.
+func (pc *PolicyCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.entries)
+}

@@ -1,0 +1,126 @@
+package mtasts
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testPolicy(maxAge int64) Policy {
+	return Policy{Version: Version, Mode: ModeEnforce, MaxAge: maxAge,
+		MXPatterns: []string{"mx.example.com"}}
+}
+
+func TestCacheStoreGet(t *testing.T) {
+	now := time.Unix(1000, 0)
+	pc := NewPolicyCache(10)
+	pc.Now = func() time.Time { return now }
+
+	pc.Store("example.com", testPolicy(3600), "id1")
+	e, ok := pc.Get("example.com")
+	if !ok || e.RecordID != "id1" || e.Policy.MaxAge != 3600 {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+
+	// Within max_age: fresh.
+	now = now.Add(59 * time.Minute)
+	if _, ok := pc.Get("example.com"); !ok {
+		t.Error("entry expired too early")
+	}
+	// Beyond max_age: expired.
+	now = now.Add(2 * time.Minute)
+	if _, ok := pc.Get("example.com"); ok {
+		t.Error("entry should have expired")
+	}
+}
+
+func TestCacheNeedsRefresh(t *testing.T) {
+	now := time.Unix(1000, 0)
+	pc := NewPolicyCache(10)
+	pc.Now = func() time.Time { return now }
+
+	if !pc.NeedsRefresh("example.com", "id1") {
+		t.Error("empty cache must need refresh")
+	}
+	pc.Store("example.com", testPolicy(3600), "id1")
+	if pc.NeedsRefresh("example.com", "id1") {
+		t.Error("same id must not need refresh")
+	}
+	// The id changed in DNS: refetch even though max_age has not elapsed.
+	if !pc.NeedsRefresh("example.com", "id2") {
+		t.Error("changed id must need refresh")
+	}
+}
+
+func TestCacheZeroMaxAgeNotStored(t *testing.T) {
+	pc := NewPolicyCache(10)
+	pc.Store("example.com", testPolicy(0), "id1")
+	if pc.Len() != 0 {
+		t.Error("zero max_age should not be cached")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	now := time.Unix(1000, 0)
+	pc := NewPolicyCache(3)
+	pc.Now = func() time.Time { return now }
+	for i := 0; i < 3; i++ {
+		pc.Store(fmt.Sprintf("d%d.example", i), testPolicy(int64(100*(i+1))), "id")
+	}
+	// Full: inserting a new domain evicts the earliest-expiring (d0).
+	pc.Store("d3.example", testPolicy(1000), "id")
+	if pc.Len() != 3 {
+		t.Fatalf("Len = %d", pc.Len())
+	}
+	if _, ok := pc.Get("d0.example"); ok {
+		t.Error("d0 should have been evicted")
+	}
+	if _, ok := pc.Get("d3.example"); !ok {
+		t.Error("d3 should be present")
+	}
+	// Updating an existing entry does not evict.
+	pc.Store("d3.example", testPolicy(2000), "id2")
+	if pc.Len() != 3 {
+		t.Errorf("update changed Len to %d", pc.Len())
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	pc := NewPolicyCache(10)
+	pc.Store("example.com", testPolicy(3600), "id1")
+	pc.Invalidate("example.com")
+	if _, ok := pc.Get("example.com"); ok {
+		t.Error("Invalidate did not remove entry")
+	}
+}
+
+// Property: cache freshness is exactly t < FetchedAt + MaxAge.
+func TestCachedPolicyFresh(t *testing.T) {
+	base := time.Unix(5000, 0)
+	e := CachedPolicy{FetchedAt: base, Expires: base.Add(100 * time.Second)}
+	if !e.Fresh(base.Add(99 * time.Second)) {
+		t.Error("99s should be fresh")
+	}
+	if e.Fresh(base.Add(100 * time.Second)) {
+		t.Error("exactly max_age should be stale")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	pc := NewPolicyCache(100)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			d := fmt.Sprintf("d%d.example", i)
+			for j := 0; j < 500; j++ {
+				pc.Store(d, testPolicy(60), "id")
+				pc.Get(d)
+				pc.NeedsRefresh(d, "id")
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

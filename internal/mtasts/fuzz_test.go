@@ -1,0 +1,71 @@
+package mtasts
+
+import "testing"
+
+// Native fuzz targets; `go test` runs the seed corpus, `go test -fuzz`
+// explores further. The invariants: no panics, and no parser returns a
+// "valid" result that violates its own postconditions.
+
+func FuzzParseRecord(f *testing.F) {
+	for _, seed := range []string{
+		"v=STSv1; id=20240929;",
+		"v=STSv1;",
+		"v=STSv1; id=bad-id;",
+		"v=STSv1; id=1; ext=val;",
+		"v = STSv1 ; id = x ;",
+		"v=spf1 -all",
+		";;;===",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		rec, err := ParseRecord(s)
+		if err == nil {
+			if rec.Version != Version {
+				t.Fatalf("valid record with version %q", rec.Version)
+			}
+			if rec.ID == "" || len(rec.ID) > 32 {
+				t.Fatalf("valid record with bad id %q", rec.ID)
+			}
+			// Round-trip: the canonical serialization must re-parse.
+			if _, err := ParseRecord(rec.String()); err != nil {
+				t.Fatalf("canonical form %q does not re-parse: %v", rec.String(), err)
+			}
+		}
+	})
+}
+
+func FuzzParsePolicy(f *testing.F) {
+	for _, seed := range []string{
+		"version: STSv1\nmode: enforce\nmx: mx.example.com\nmax_age: 86400\n",
+		rfcExamplePolicy,
+		"version: STSv1\r\nmode: none\r\nmax_age: 0\r\n",
+		"mode: enforce\n",
+		"",
+		"version: STSv1\nmode: enforce\nmx: *.x.y\nmax_age: 1\nmax_age: 2\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		p, err := ParsePolicy(body)
+		if err == nil {
+			if !p.Mode.Valid() {
+				t.Fatalf("valid policy with mode %q", p.Mode)
+			}
+			if p.MaxAge < 0 || p.MaxAge > MaxMaxAge {
+				t.Fatalf("valid policy with max_age %d", p.MaxAge)
+			}
+			if p.Mode != ModeNone && len(p.MXPatterns) == 0 {
+				t.Fatal("valid enforce/testing policy without mx patterns")
+			}
+			for _, pat := range p.MXPatterns {
+				if CheckMXPattern(pat) != nil {
+					t.Fatalf("valid policy with invalid pattern %q", pat)
+				}
+			}
+			if _, err := ParsePolicy([]byte(p.String())); err != nil {
+				t.Fatalf("canonical policy does not re-parse: %v\n%s", err, p.String())
+			}
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package mtasts
+
+import (
+	"strings"
+
+	"github.com/netsecurelab/mtasts/internal/strutil"
+)
+
+// MatchMX reports whether an MX host name matches a single policy mx
+// pattern per RFC 8461 §4.1, which adopts RFC 6125 server-identity
+// semantics: an exact case-insensitive comparison, or — for patterns whose
+// leftmost label is "*" — a match of exactly one leftmost label, so
+// "*.example.com" matches "mx.example.com" but neither "example.com" nor
+// "a.b.example.com".
+func MatchMX(pattern, mxHost string) bool {
+	pattern = strutil.CanonicalName(pattern)
+	mxHost = strutil.CanonicalName(mxHost)
+	if pattern == "" || mxHost == "" {
+		return false
+	}
+	if rest, ok := strings.CutPrefix(pattern, "*."); ok {
+		i := strings.IndexByte(mxHost, '.')
+		if i < 0 {
+			return false
+		}
+		return mxHost[i+1:] == rest
+	}
+	return pattern == mxHost
+}
+
+// Matches reports whether mxHost matches at least one pattern of the
+// policy.
+func (p Policy) Matches(mxHost string) bool {
+	for _, pat := range p.MXPatterns {
+		if MatchMX(pat, mxHost) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchingPattern returns the first pattern matching mxHost, or "" when
+// none match.
+func (p Policy) MatchingPattern(mxHost string) string {
+	for _, pat := range p.MXPatterns {
+		if MatchMX(pat, mxHost) {
+			return pat
+		}
+	}
+	return ""
+}
+
+// FilterMatching partitions MX hosts into those permitted by the policy and
+// those that fail matching. Order is preserved.
+func (p Policy) FilterMatching(mxHosts []string) (matched, unmatched []string) {
+	for _, h := range mxHosts {
+		if p.Matches(h) {
+			matched = append(matched, h)
+		} else {
+			unmatched = append(unmatched, h)
+		}
+	}
+	return matched, unmatched
+}

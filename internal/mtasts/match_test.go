@@ -1,0 +1,58 @@
+package mtasts
+
+import "testing"
+
+func TestMatchMX(t *testing.T) {
+	cases := []struct {
+		pattern, host string
+		want          bool
+	}{
+		{"mail.example.com", "mail.example.com", true},
+		{"MAIL.Example.COM", "mail.example.com.", true},
+		{"mail.example.com", "mail2.example.com", false},
+		{"*.example.com", "mail.example.com", true},
+		{"*.example.com", "example.com", false},
+		{"*.example.com", "a.b.example.com", false},
+		{"*.example.com", "mail.example.net", false},
+		{"example.com", "mail.example.com", false},
+		{"", "mail.example.com", false},
+		{"mail.example.com", "", false},
+		// Paper §4.4: mx pattern containing the mta-sts label (a common
+		// RFC misunderstanding) must not match the real MX.
+		{"mta-sts.example.com", "mail.example.com", false},
+	}
+	for _, c := range cases {
+		if got := MatchMX(c.pattern, c.host); got != c.want {
+			t.Errorf("MatchMX(%q, %q) = %v, want %v", c.pattern, c.host, got, c.want)
+		}
+	}
+}
+
+func TestPolicyMatches(t *testing.T) {
+	p := Policy{MXPatterns: []string{"mail.example.com", "*.example.net"}}
+	if !p.Matches("mail.example.com") || !p.Matches("mx7.example.net") {
+		t.Error("expected matches failed")
+	}
+	if p.Matches("mail.example.org") || p.Matches("deep.mx.example.net") {
+		t.Error("unexpected matches")
+	}
+	if got := p.MatchingPattern("mx7.example.net"); got != "*.example.net" {
+		t.Errorf("MatchingPattern = %q", got)
+	}
+	if got := p.MatchingPattern("nope.example.org"); got != "" {
+		t.Errorf("MatchingPattern(no match) = %q", got)
+	}
+}
+
+func TestFilterMatching(t *testing.T) {
+	p := Policy{MXPatterns: []string{"*.example.com"}}
+	matched, unmatched := p.FilterMatching([]string{
+		"mx1.example.com", "mx.other.net", "mx2.example.com",
+	})
+	if len(matched) != 2 || len(unmatched) != 1 {
+		t.Fatalf("matched=%v unmatched=%v", matched, unmatched)
+	}
+	if matched[0] != "mx1.example.com" || matched[1] != "mx2.example.com" || unmatched[0] != "mx.other.net" {
+		t.Errorf("order not preserved: %v %v", matched, unmatched)
+	}
+}

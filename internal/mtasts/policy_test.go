@@ -1,0 +1,166 @@
+package mtasts
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// rfcExamplePolicy is the example from RFC 8461 §3.2.
+const rfcExamplePolicy = "version: STSv1\r\nmode: enforce\r\nmx: mail.example.com\r\nmx: *.example.net\r\nmx: backupmx.example.com\r\nmax_age: 604800\r\n"
+
+func TestParsePolicyRFCExample(t *testing.T) {
+	p, err := ParsePolicy([]byte(rfcExamplePolicy))
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	if p.Version != "STSv1" || p.Mode != ModeEnforce || p.MaxAge != 604800 {
+		t.Errorf("policy = %+v", p)
+	}
+	want := []string{"mail.example.com", "*.example.net", "backupmx.example.com"}
+	if len(p.MXPatterns) != len(want) {
+		t.Fatalf("patterns = %v", p.MXPatterns)
+	}
+	for i := range want {
+		if p.MXPatterns[i] != want[i] {
+			t.Errorf("pattern[%d] = %q, want %q", i, p.MXPatterns[i], want[i])
+		}
+	}
+}
+
+func TestParsePolicyLFOnly(t *testing.T) {
+	// Plain LF line endings are accepted (ABNF allows LF / CRLF).
+	in := "version: STSv1\nmode: testing\nmx: mx.example.com\nmax_age: 86400\n"
+	p, err := ParsePolicy([]byte(in))
+	if err != nil || p.Mode != ModeTesting {
+		t.Errorf("ParsePolicy(LF) = %+v, %v", p, err)
+	}
+}
+
+func TestParsePolicyModeNoneWithoutMX(t *testing.T) {
+	in := "version: STSv1\nmode: none\nmax_age: 86400\n"
+	p, err := ParsePolicy([]byte(in))
+	if err != nil || p.Mode != ModeNone {
+		t.Errorf("mode none without mx should parse: %+v, %v", p, err)
+	}
+}
+
+func TestParsePolicyExtensionsAndWhitespace(t *testing.T) {
+	in := "version:STSv1\nmode:   enforce\nmx:mx1.example.com\nmax_age: 1000\nextkey: some value ok\n"
+	p, err := ParsePolicy([]byte(in))
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	if len(p.Extensions) != 1 || p.Extensions[0].Name != "extkey" {
+		t.Errorf("extensions = %+v", p.Extensions)
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want error
+	}{
+		{"empty", "", ErrEmptyPolicy},
+		{"whitespace only", " \r\n \n", ErrEmptyPolicy},
+		{"missing version", "mode: enforce\nmx: a.example.com\nmax_age: 100\n", ErrPolicyVersion},
+		{"bad version", "version: STSv2\nmode: enforce\nmx: a.example.com\nmax_age: 100\n", ErrPolicyVersion},
+		{"missing mode", "version: STSv1\nmx: a.example.com\nmax_age: 100\n", ErrPolicyMode},
+		{"bad mode", "version: STSv1\nmode: enforced\nmx: a.example.com\nmax_age: 100\n", ErrPolicyMode},
+		{"mode case", "version: STSv1\nmode: Enforce\nmx: a.example.com\nmax_age: 100\n", ErrPolicyMode},
+		{"missing max_age", "version: STSv1\nmode: enforce\nmx: a.example.com\n", ErrPolicyMaxAge},
+		{"bad max_age", "version: STSv1\nmode: enforce\nmx: a.example.com\nmax_age: 1w\n", ErrPolicyMaxAge},
+		{"negative max_age", "version: STSv1\nmode: enforce\nmx: a.example.com\nmax_age: -1\n", ErrPolicyMaxAge},
+		{"excessive max_age", "version: STSv1\nmode: enforce\nmx: a.example.com\nmax_age: 99999999999\n", ErrPolicyMaxAge},
+		{"no mx in enforce", "version: STSv1\nmode: enforce\nmax_age: 100\n", ErrPolicyNoMX},
+		{"no mx in testing", "version: STSv1\nmode: testing\nmax_age: 100\n", ErrPolicyNoMX},
+		{"email as mx", "version: STSv1\nmode: enforce\nmx: admin@example.com\nmax_age: 100\n", ErrPolicyBadMX},
+		{"trailing dot mx", "version: STSv1\nmode: enforce\nmx: mx.example.com.\nmax_age: 100\n", ErrPolicyBadMX},
+		{"empty mx", "version: STSv1\nmode: enforce\nmx:\nmax_age: 100\n", ErrPolicyBadMX},
+		{"inner wildcard mx", "version: STSv1\nmode: enforce\nmx: mx.*.example.com\nmax_age: 100\n", ErrPolicyBadMX},
+		{"single label mx", "version: STSv1\nmode: enforce\nmx: localhost\nmax_age: 100\n", ErrPolicyBadMX},
+		{"line without colon", "version: STSv1\nmode: enforce\nbogus line\nmx: a.example.com\nmax_age: 100\n", ErrPolicyLine},
+		{"duplicate version", "version: STSv1\nversion: STSv1\nmode: enforce\nmx: a.example.com\nmax_age: 100\n", ErrPolicyDuplicate},
+		{"duplicate mode", "version: STSv1\nmode: enforce\nmode: testing\nmx: a.example.com\nmax_age: 100\n", ErrPolicyDuplicate},
+		{"duplicate max_age", "version: STSv1\nmode: enforce\nmx: a.example.com\nmax_age: 100\nmax_age: 200\n", ErrPolicyDuplicate},
+		{"non-ascii", "version: STSv1\nmode: enforce\nmx: \xc3\xa9xample.com\nmax_age: 100\n", ErrPolicyBadCharset},
+		{"oversize", "version: STSv1\n" + strings.Repeat("x", MaxPolicySize) + "\n", ErrPolicyTooLarge},
+	}
+	for _, c := range cases {
+		_, err := ParsePolicy([]byte(c.in))
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCheckMXPattern(t *testing.T) {
+	valid := []string{"mx.example.com", "*.example.com", "a-b.example.co.uk", "mx1.sub.example.com", "xn--d1acufc.example.org"}
+	for _, p := range valid {
+		if err := CheckMXPattern(p); err != nil {
+			t.Errorf("CheckMXPattern(%q) = %v, want nil", p, err)
+		}
+	}
+	invalid := []string{"", "*.", "mx.example.com.", "user@example.com", "mx .example.com",
+		"http://example.com", "*.*.example.com", "-bad.example.com", "bad-.example.com",
+		"com", strings.Repeat("a", 64) + ".example.com", "*." + strings.Repeat("long.", 60) + "example.com"}
+	for _, p := range invalid {
+		if err := CheckMXPattern(p); err == nil {
+			t.Errorf("CheckMXPattern(%q) = nil, want error", p)
+		}
+	}
+}
+
+// Property: String() output of a valid policy re-parses to an equivalent
+// policy.
+func TestPolicySerializationRoundTrip(t *testing.T) {
+	policies := []Policy{
+		{Version: Version, Mode: ModeEnforce, MaxAge: 604800,
+			MXPatterns: []string{"mail.example.com", "*.example.net"}},
+		{Version: Version, Mode: ModeTesting, MaxAge: 1,
+			MXPatterns: []string{"a.b.example.org"}},
+		{Version: Version, Mode: ModeNone, MaxAge: 86400},
+		{Version: Version, Mode: ModeEnforce, MaxAge: MaxMaxAge,
+			MXPatterns: []string{"x.example.se"}, Extensions: []Field{{"comment", "hello"}}},
+	}
+	for _, p := range policies {
+		q, err := ParsePolicy([]byte(p.String()))
+		if err != nil {
+			t.Errorf("round-trip of %+v: %v", p, err)
+			continue
+		}
+		if q.Mode != p.Mode || q.MaxAge != p.MaxAge || len(q.MXPatterns) != len(p.MXPatterns) {
+			t.Errorf("round-trip mismatch: %+v vs %+v", q, p)
+		}
+		for i := range p.MXPatterns {
+			if q.MXPatterns[i] != p.MXPatterns[i] {
+				t.Errorf("pattern %d: %q vs %q", i, q.MXPatterns[i], p.MXPatterns[i])
+			}
+		}
+	}
+}
+
+func TestParsePolicyNeverPanics(t *testing.T) {
+	seeds := []string{
+		"version", ":", "\r", "\n\n\n", "mx:", "max_age:",
+		"version: STSv1\nmode: enforce\nmx: a.example.com\nmax_age: 100",
+		strings.Repeat(":", 100), "\x00", "version: STSv1\x00",
+	}
+	for _, s := range seeds {
+		_, _ = ParsePolicy([]byte(s))
+	}
+}
+
+func TestModeValid(t *testing.T) {
+	for _, m := range []Mode{ModeEnforce, ModeTesting, ModeNone} {
+		if !m.Valid() {
+			t.Errorf("%q should be valid", m)
+		}
+	}
+	for _, m := range []Mode{"", "Enforce", "report", "strict"} {
+		if m.Valid() {
+			t.Errorf("%q should be invalid", m)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package mtasts implements SMTP MTA Strict Transport Security (RFC 8461):
+// the "_mta-sts" DNS TXT record, the HTTPS-served policy file, mx pattern
+// matching, the sender-side policy cache with trust-on-first-use semantics,
+// and the full sender validation flow (Figure 1 of the paper). It is the
+// core library of the reproduction; every scanner and experiment is built
+// on the parsers and validators defined here.
+package mtasts
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/netsecurelab/mtasts/internal/strutil"
+)
+
+// Version is the only MTA-STS version defined by RFC 8461.
+const Version = "STSv1"
+
+// RecordPrefix is the required beginning of an MTA-STS TXT record.
+const RecordPrefix = "v=" + Version
+
+// Record error kinds (the §4.3.2 taxonomy: of 331 broken records, 19.6% had
+// no id, 61% an invalid id, 15.7% a bad version prefix, and 2 bad
+// extensions).
+var (
+	ErrNoRecord        = errors.New("mtasts: no MTA-STS record")
+	ErrMultipleRecords = errors.New("mtasts: more than one record starting with v=STSv1")
+	ErrBadVersion      = errors.New("mtasts: record does not begin with v=STSv1")
+	ErrMissingID       = errors.New("mtasts: record has no id field")
+	ErrBadID           = errors.New("mtasts: id is not 1*32 alphanumeric characters")
+	ErrBadExtension    = errors.New("mtasts: extension field violates RFC 8461 ABNF")
+	ErrDuplicateField  = errors.New("mtasts: duplicate field in record")
+)
+
+// Record is a parsed "_mta-sts" TXT record.
+type Record struct {
+	// Version is always "STSv1" for a valid record.
+	Version string
+	// ID uniquely identifies the policy instance; senders refetch the
+	// policy when it changes.
+	ID string
+	// Extensions holds any additional fields, in order of appearance.
+	Extensions []Field
+}
+
+// Field is a key-value extension pair.
+type Field struct{ Name, Value string }
+
+// String re-serializes the record in canonical form.
+func (r Record) String() string {
+	var sb strings.Builder
+	sb.WriteString("v=")
+	sb.WriteString(r.Version)
+	sb.WriteString("; id=")
+	sb.WriteString(r.ID)
+	for _, f := range r.Extensions {
+		sb.WriteString("; ")
+		sb.WriteString(f.Name)
+		sb.WriteByte('=')
+		sb.WriteString(f.Value)
+	}
+	sb.WriteByte(';')
+	return sb.String()
+}
+
+// ParseRecord parses a single TXT value as an MTA-STS record, enforcing the
+// RFC 8461 §3.1 ABNF: the record must begin with "v=STSv1", must contain
+// exactly one id of 1-32 alphanumeric characters, and any further fields
+// must be well-formed extensions.
+func ParseRecord(txt string) (Record, error) {
+	rec := Record{}
+	if !HasRecordPrefix(txt) {
+		return rec, fmt.Errorf("%w: %q", ErrBadVersion, clip(txt))
+	}
+	fields := strings.Split(txt, ";")
+	seen := map[string]bool{}
+	for i, raw := range fields {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			// Trailing ";" produces one empty field; empty fields elsewhere
+			// (";;") violate the ABNF's field-delim rule.
+			if i == len(fields)-1 {
+				continue
+			}
+			return rec, fmt.Errorf("%w: empty field at position %d", ErrBadExtension, i)
+		}
+		name, value, ok := strings.Cut(raw, "=")
+		if !ok {
+			return rec, fmt.Errorf("%w: field %q has no '='", ErrBadExtension, clip(raw))
+		}
+		name = strings.TrimSpace(name)
+		value = strings.TrimSpace(value)
+		switch name {
+		case "v":
+			if i != 0 {
+				return rec, fmt.Errorf("%w: v field not first", ErrBadVersion)
+			}
+			if value != Version {
+				return rec, fmt.Errorf("%w: version %q", ErrBadVersion, clip(value))
+			}
+			rec.Version = value
+		case "id":
+			if seen["id"] {
+				return rec, fmt.Errorf("%w: id", ErrDuplicateField)
+			}
+			if len(value) > 32 || !strutil.IsAlphanumeric(value) {
+				return rec, fmt.Errorf("%w: %q", ErrBadID, clip(value))
+			}
+			rec.ID = value
+		default:
+			if !validExtName(name) || !validExtValue(value) {
+				return rec, fmt.Errorf("%w: %q=%q", ErrBadExtension, clip(name), clip(value))
+			}
+			if seen[name] {
+				return rec, fmt.Errorf("%w: %s", ErrDuplicateField, clip(name))
+			}
+			rec.Extensions = append(rec.Extensions, Field{Name: name, Value: value})
+		}
+		seen[name] = true
+	}
+	if rec.ID == "" {
+		if !seen["id"] {
+			return rec, ErrMissingID
+		}
+		return rec, fmt.Errorf("%w: empty", ErrBadID)
+	}
+	return rec, nil
+}
+
+// DiscoverRecord applies the RFC 8461 multi-record rule to the full TXT
+// RRset at "_mta-sts.<domain>": records not starting with "v=STSv1" are
+// ignored; exactly one STSv1 record must remain. It returns the parsed
+// record or an error classifying why MTA-STS is considered not (or
+// incorrectly) deployed.
+func DiscoverRecord(txts []string) (Record, error) {
+	var candidates []string
+	for _, txt := range txts {
+		if HasRecordPrefix(txt) {
+			candidates = append(candidates, txt)
+		}
+	}
+	switch len(candidates) {
+	case 0:
+		if len(txts) > 0 {
+			// TXT records exist but none is an STS record: check whether one
+			// looks like a malformed attempt ("v =STSv1", "V=stsv1", ...).
+			for _, txt := range txts {
+				if looksLikeSTSAttempt(txt) {
+					return Record{}, fmt.Errorf("%w: %q", ErrBadVersion, clip(txt))
+				}
+			}
+		}
+		return Record{}, ErrNoRecord
+	case 1:
+		return ParseRecord(candidates[0])
+	default:
+		return Record{}, fmt.Errorf("%w: %d records", ErrMultipleRecords, len(candidates))
+	}
+}
+
+// HasRecordPrefix reports whether txt begins with "v=STSv1" per the strict
+// matching RFC 8461 requires (case-sensitive, optional whitespace around
+// "=" is permitted by the ABNF's *WSP).
+func HasRecordPrefix(txt string) bool {
+	s := txt
+	if !strings.HasPrefix(s, "v") {
+		return false
+	}
+	s = strings.TrimLeft(s[1:], " \t")
+	if !strings.HasPrefix(s, "=") {
+		return false
+	}
+	s = strings.TrimLeft(s[1:], " \t")
+	if !strings.HasPrefix(s, Version) {
+		return false
+	}
+	rest := s[len(Version):]
+	return rest == "" || rest[0] == ';' || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// looksLikeSTSAttempt detects TXT values that were probably meant to be
+// MTA-STS records but fail the version prefix (e.g. "v=STSV1", "v=sts1").
+func looksLikeSTSAttempt(txt string) bool {
+	l := strings.ToLower(strings.TrimSpace(txt))
+	return strings.HasPrefix(l, "v=sts") || strings.Contains(l, "stsv1")
+}
+
+// validExtName checks sts-ext-name: (ALPHA/DIGIT) *31(ALPHA/DIGIT/"_"/"-"/".").
+func validExtName(s string) bool {
+	if s == "" || len(s) > 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alnum := 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
+		if i == 0 && !alnum {
+			return false
+		}
+		if !alnum && c != '_' && c != '-' && c != '.' {
+			return false
+		}
+	}
+	return true
+}
+
+// validExtValue checks sts-ext-value: 1*(%x21-3A / %x3C / %x3E-7E), i.e.
+// visible ASCII except ";" and "=".
+func validExtValue(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x21 || c > 0x7E || c == ';' || c == '=' {
+			return false
+		}
+	}
+	return true
+}
+
+// clip shortens a string for inclusion in error messages.
+func clip(s string) string {
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}

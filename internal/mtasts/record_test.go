@@ -1,0 +1,155 @@
+package mtasts
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRecordValid(t *testing.T) {
+	cases := []struct {
+		in     string
+		wantID string
+		exts   int
+	}{
+		{"v=STSv1; id=20240431;", "20240431", 0},
+		{"v=STSv1; id=20240431", "20240431", 0},
+		{"v=STSv1;id=abc123", "abc123", 0},
+		{"v=STSv1; id=A1", "A1", 0},
+		{"v = STSv1 ; id = 20240431 ;", "20240431", 0}, // *WSP around delimiters
+		{"v=STSv1; id=1; ext-1=value1", "1", 1},
+		{"v=STSv1; id=1; e_x.t2=ok; another=x", "1", 2},
+	}
+	for _, c := range cases {
+		rec, err := ParseRecord(c.in)
+		if err != nil {
+			t.Errorf("ParseRecord(%q): %v", c.in, err)
+			continue
+		}
+		if rec.ID != c.wantID || rec.Version != Version || len(rec.Extensions) != c.exts {
+			t.Errorf("ParseRecord(%q) = %+v", c.in, rec)
+		}
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr error
+	}{
+		{"v=STSv1;", ErrMissingID},                           // paper: 19.6% no id
+		{"v=STSv1", ErrMissingID},                            //
+		{"v=STSv1; id=2024-04-31", ErrBadID},                 // paper: 61% invalid id ('-')
+		{"v=STSv1; id=", ErrBadID},                           //
+		{"v=STSv1; id=" + strings.Repeat("a", 33), ErrBadID}, // >32 chars
+		{"v=STSv1; id=has space", ErrBadID},                  //
+		{"v=STSv2; id=1", ErrBadVersion},                     // paper: 15.7% bad version
+		{"V=STSv1; id=1", ErrBadVersion},                     // case-sensitive
+		{"v=stsv1; id=1", ErrBadVersion},                     //
+		{"id=1; v=STSv1", ErrBadVersion},                     // v not first
+		{"v=STSv1; id=1; mx: a.com", ErrBadExtension},        // paper's example of bad extension
+		{"v=STSv1; id=1; =value", ErrBadExtension},           // empty ext name
+		{"v=STSv1; id=1; name=", ErrBadExtension},            // empty ext value
+		{"v=STSv1; id=1; 0bad name=x", ErrBadExtension},      // space in name
+		{"v=STSv1; id=1; ;x=1", ErrBadExtension},             // empty inner field
+		{"v=STSv1; id=1; id=2", ErrDuplicateField},           // duplicate id
+		{"v=STSv1; id=1; a=1; a=2", ErrDuplicateField},       // duplicate ext
+		{"v=STSv1; id=1; noequals", ErrBadExtension},         // field without '='
+		{"v=STSv1; id=1; bad=va;lue", ErrBadExtension},       // split produces bad field
+		{"v=STSv1; id=1; bad=v\x7fl", ErrBadExtension},       // non-printable
+	}
+	for _, c := range cases {
+		_, err := ParseRecord(c.in)
+		if !errors.Is(err, c.wantErr) {
+			t.Errorf("ParseRecord(%q) err = %v, want %v", c.in, err, c.wantErr)
+		}
+	}
+}
+
+func TestDiscoverRecord(t *testing.T) {
+	// Exactly one STS record among unrelated TXT values.
+	rec, err := DiscoverRecord([]string{
+		"google-site-verification=xyz",
+		"v=STSv1; id=20240431;",
+		"v=spf1 -all",
+	})
+	if err != nil || rec.ID != "20240431" {
+		t.Errorf("DiscoverRecord = %+v, %v", rec, err)
+	}
+
+	// No record at all.
+	_, err = DiscoverRecord([]string{"v=spf1 -all"})
+	if !errors.Is(err, ErrNoRecord) {
+		t.Errorf("want ErrNoRecord, got %v", err)
+	}
+	_, err = DiscoverRecord(nil)
+	if !errors.Is(err, ErrNoRecord) {
+		t.Errorf("want ErrNoRecord for empty set, got %v", err)
+	}
+
+	// Multiple STS records: treated as not deployed per RFC 8461.
+	_, err = DiscoverRecord([]string{"v=STSv1; id=1", "v=STSv1; id=2"})
+	if !errors.Is(err, ErrMultipleRecords) {
+		t.Errorf("want ErrMultipleRecords, got %v", err)
+	}
+
+	// A malformed STS attempt is classified as a bad version, not absence.
+	_, err = DiscoverRecord([]string{"v=STSV1; id=1"})
+	if !errors.Is(err, ErrBadVersion) {
+		t.Errorf("want ErrBadVersion for malformed attempt, got %v", err)
+	}
+}
+
+func TestHasRecordPrefix(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"v=STSv1; id=1", true},
+		{"v=STSv1", true},
+		{"v = STSv1; id=1", true},
+		{"v=STSv11; id=1", false}, // version token must end at a delimiter
+		{"v=STSv1x", false},
+		{"v=spf1 -all", false},
+		{"x=STSv1", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := HasRecordPrefix(c.in); got != c.want {
+			t.Errorf("HasRecordPrefix(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: a parsed record re-serializes to a string that parses to the
+// same record (canonical round-trip).
+func TestRecordRoundTrip(t *testing.T) {
+	ids := []string{"1", "20240431", "abcDEF123", strings.Repeat("z", 32)}
+	for _, id := range ids {
+		rec := Record{Version: Version, ID: id, Extensions: []Field{{"ext", "val"}}}
+		rec2, err := ParseRecord(rec.String())
+		if err != nil {
+			t.Errorf("round-trip parse of %q: %v", rec.String(), err)
+			continue
+		}
+		if rec2.ID != rec.ID || len(rec2.Extensions) != 1 || rec2.Extensions[0] != rec.Extensions[0] {
+			t.Errorf("round-trip mismatch: %+v vs %+v", rec2, rec)
+		}
+	}
+}
+
+// Property: ParseRecord never panics and never returns both a zero error
+// and an empty ID.
+func TestParseRecordTotal(t *testing.T) {
+	f := func(s string) bool {
+		rec, err := ParseRecord(s)
+		if err == nil && rec.ID == "" {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

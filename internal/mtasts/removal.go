@@ -1,0 +1,137 @@
+package mtasts
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file implements the safe MTA-STS removal procedure of RFC 8461
+// (§2.6 of the paper) and a classifier for how a hosting provider actually
+// deprovisions departed customers (§5 of the paper found that none of the
+// Table 2 providers follow the recommended wind-down).
+
+// WindDownMaxAge is the short policy lifetime recommended while winding
+// down (one day).
+const WindDownMaxAge = 86400
+
+// WindDown is the correct removal sequence for a domain currently
+// publishing MTA-STS.
+type WindDown struct {
+	// NonePolicy is the transitional policy to publish first: mode none
+	// with a short max_age.
+	NonePolicy Policy
+	// NewRecord is the record to publish second: a fresh id so cached
+	// senders refetch the transitional policy.
+	NewRecord Record
+	// Wait is how long to keep serving the transitional policy before
+	// removing anything: the maximum of the previous policy's max_age and
+	// the transitional policy's max_age.
+	Wait time.Duration
+}
+
+// PlanWindDown computes the §2.6 removal sequence for a domain currently
+// serving `current` under `record`. The new record id is derived from the
+// old one with a "0" suffix (any change suffices; ids are opaque).
+func PlanWindDown(current Policy, record Record) WindDown {
+	none := Policy{
+		Version: Version,
+		Mode:    ModeNone,
+		MaxAge:  WindDownMaxAge,
+	}
+	newID := record.ID + "0"
+	if len(newID) > 32 {
+		newID = newID[1:] // stay within 1*32 alphanumeric
+	}
+	wait := current.MaxAge
+	if none.MaxAge > wait {
+		wait = none.MaxAge
+	}
+	return WindDown{
+		NonePolicy: none,
+		NewRecord:  Record{Version: Version, ID: newID},
+		Wait:       time.Duration(wait) * time.Second,
+	}
+}
+
+// Steps renders the plan as ordered human-readable instructions.
+func (w WindDown) Steps(domain string) []string {
+	return []string{
+		fmt.Sprintf("1. Publish the transitional policy at %s: %q", PolicyURL(domain), w.NonePolicy.String()),
+		fmt.Sprintf("2. Publish a new record at _mta-sts.%s: %q", domain, w.NewRecord.String()),
+		fmt.Sprintf("3. Wait %s so every cached sender refreshes", w.Wait),
+		fmt.Sprintf("4. Remove the _mta-sts.%s record, the mta-sts.%s name, and the policy file", domain, domain),
+	}
+}
+
+// DeprovisionBehavior classifies what a sender observes for a domain whose
+// owner stopped using (or paying for) its policy host — the §5 taxonomy.
+type DeprovisionBehavior int
+
+// Observed deprovisioning behaviors, from best to worst.
+const (
+	// DeprovisionGraceful: a mode-none policy is served — MTA-STS is
+	// disabled cleanly (the recommended transition state).
+	DeprovisionGraceful DeprovisionBehavior = iota
+	// DeprovisionEmptyPolicy: a syntactically invalid (e.g. empty) policy
+	// is served; senders treat it like mode none but it signals neglect
+	// (the DMARCReport behavior).
+	DeprovisionEmptyPolicy
+	// DeprovisionNXDomain: the policy host no longer resolves; senders
+	// fall back to opportunistic TLS but cached enforce policies can
+	// strand mail until they expire (MailHardener/URIports/PowerDMARC).
+	DeprovisionNXDomain
+	// DeprovisionBrokenTLS: the certificate lapsed; same fallback risk
+	// plus scanner noise (the Tutanota observation).
+	DeprovisionBrokenTLS
+	// DeprovisionStaleEnforce: a stale enforce policy keeps being served;
+	// if the domain's MX records change, compliant senders refuse
+	// delivery (EasyDMARC/Sendmarc/OnDMARC).
+	DeprovisionStaleEnforce
+)
+
+// String returns a short label for the behavior.
+func (b DeprovisionBehavior) String() string {
+	switch b {
+	case DeprovisionGraceful:
+		return "graceful (mode none)"
+	case DeprovisionEmptyPolicy:
+		return "empty policy file"
+	case DeprovisionNXDomain:
+		return "NXDOMAIN"
+	case DeprovisionBrokenTLS:
+		return "broken TLS"
+	case DeprovisionStaleEnforce:
+		return "stale enforce policy"
+	}
+	return fmt.Sprintf("behavior(%d)", int(b))
+}
+
+// Safe reports whether the behavior avoids both delivery failures and
+// lingering enforce policies.
+func (b DeprovisionBehavior) Safe() bool {
+	return b == DeprovisionGraceful
+}
+
+// ClassifyDeprovision maps a policy-fetch outcome for an opted-out domain
+// onto the deprovisioning taxonomy. policy is consulted only when err is
+// nil.
+func ClassifyDeprovision(policy Policy, err error) DeprovisionBehavior {
+	if err != nil {
+		switch StageOf(err) {
+		case StageDNS:
+			return DeprovisionNXDomain
+		case StageTLS:
+			return DeprovisionBrokenTLS
+		case StageSyntax:
+			return DeprovisionEmptyPolicy
+		default:
+			// TCP/HTTP failures behave like NXDOMAIN for senders: no
+			// policy obtainable.
+			return DeprovisionNXDomain
+		}
+	}
+	if policy.Mode == ModeNone {
+		return DeprovisionGraceful
+	}
+	return DeprovisionStaleEnforce
+}

@@ -1,0 +1,114 @@
+package mtasts
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlanWindDown(t *testing.T) {
+	current := Policy{Version: Version, Mode: ModeEnforce, MaxAge: 604800,
+		MXPatterns: []string{"mx.example.com"}}
+	record := Record{Version: Version, ID: "20240929"}
+
+	plan := PlanWindDown(current, record)
+	if plan.NonePolicy.Mode != ModeNone || plan.NonePolicy.MaxAge != WindDownMaxAge {
+		t.Errorf("transitional policy = %+v", plan.NonePolicy)
+	}
+	if plan.NewRecord.ID == record.ID {
+		t.Error("record id did not change")
+	}
+	if _, err := ParseRecord(plan.NewRecord.String()); err != nil {
+		t.Errorf("new record invalid: %v", err)
+	}
+	if _, err := ParsePolicy([]byte(plan.NonePolicy.String())); err != nil {
+		t.Errorf("transitional policy invalid: %v", err)
+	}
+	// Wait = max(old max_age, wind-down max_age).
+	if plan.Wait != 604800*time.Second {
+		t.Errorf("wait = %v", plan.Wait)
+	}
+
+	// Short-lived current policy: the wind-down max_age dominates.
+	current.MaxAge = 60
+	plan = PlanWindDown(current, record)
+	if plan.Wait != WindDownMaxAge*time.Second {
+		t.Errorf("wait = %v", plan.Wait)
+	}
+}
+
+func TestPlanWindDownLongID(t *testing.T) {
+	record := Record{Version: Version, ID: strings.Repeat("a", 32)}
+	plan := PlanWindDown(Policy{MaxAge: 1}, record)
+	if len(plan.NewRecord.ID) > 32 {
+		t.Errorf("new id too long: %q", plan.NewRecord.ID)
+	}
+	if plan.NewRecord.ID == record.ID {
+		t.Error("id unchanged")
+	}
+}
+
+func TestWindDownSteps(t *testing.T) {
+	plan := PlanWindDown(Policy{Version: Version, Mode: ModeEnforce, MaxAge: 86400,
+		MXPatterns: []string{"mx.example.com"}}, Record{Version: Version, ID: "1"})
+	steps := plan.Steps("example.com")
+	if len(steps) != 4 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	if !strings.Contains(steps[0], "mode: none") {
+		t.Errorf("step 1 = %q", steps[0])
+	}
+	if !strings.Contains(steps[3], "_mta-sts.example.com") {
+		t.Errorf("step 4 = %q", steps[3])
+	}
+}
+
+func TestClassifyDeprovision(t *testing.T) {
+	mkErr := func(stage Stage) error {
+		return &FetchError{Stage: stage, Err: errors.New("x")}
+	}
+	cases := []struct {
+		name   string
+		policy Policy
+		err    error
+		want   DeprovisionBehavior
+	}{
+		{"graceful", Policy{Mode: ModeNone}, nil, DeprovisionGraceful},
+		{"stale enforce", Policy{Mode: ModeEnforce}, nil, DeprovisionStaleEnforce},
+		{"stale testing", Policy{Mode: ModeTesting}, nil, DeprovisionStaleEnforce},
+		{"nxdomain", Policy{}, mkErr(StageDNS), DeprovisionNXDomain},
+		{"tcp treated as unavailable", Policy{}, mkErr(StageTCP), DeprovisionNXDomain},
+		{"broken tls", Policy{}, mkErr(StageTLS), DeprovisionBrokenTLS},
+		{"http treated as unavailable", Policy{}, mkErr(StageHTTP), DeprovisionNXDomain},
+		{"empty policy", Policy{}, mkErr(StageSyntax), DeprovisionEmptyPolicy},
+	}
+	for _, c := range cases {
+		if got := ClassifyDeprovision(c.policy, c.err); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+	if !DeprovisionGraceful.Safe() || DeprovisionStaleEnforce.Safe() {
+		t.Error("Safe() misclassifies")
+	}
+}
+
+// TestTable2ProvidersAllUnsafe mirrors the §5 conclusion: every registry
+// provider's opt-out behavior, classified through the sender-side
+// taxonomy, is unsafe (none follows the §2.6 wind-down). Verified against
+// the policysrv registry in that package's tests; here we pin the
+// classifier side: only mode-none rewrites count as graceful, and those
+// providers pair it with NXDOMAIN, which a sender sees first.
+func TestDeprovisionStringCoverage(t *testing.T) {
+	for b, want := range map[DeprovisionBehavior]string{
+		DeprovisionGraceful:     "graceful (mode none)",
+		DeprovisionEmptyPolicy:  "empty policy file",
+		DeprovisionNXDomain:     "NXDOMAIN",
+		DeprovisionBrokenTLS:    "broken TLS",
+		DeprovisionStaleEnforce: "stale enforce policy",
+	} {
+		if b.String() != want {
+			t.Errorf("String(%d) = %q", int(b), b.String())
+		}
+	}
+}

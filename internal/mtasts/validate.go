@@ -1,0 +1,225 @@
+package mtasts
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/netsecurelab/mtasts/internal/pki"
+)
+
+// Action is the delivery decision of a compliant sender after MTA-STS
+// evaluation.
+type Action int
+
+// Delivery decisions.
+const (
+	// ActionDeliver: proceed with delivery over (at least opportunistic) TLS.
+	ActionDeliver Action = iota
+	// ActionDeliverUnvalidated: proceed despite a validation failure
+	// (testing/none mode, or no usable policy — the downgrade window the
+	// paper warns about).
+	ActionDeliverUnvalidated
+	// ActionRefuse: a compliant sender MUST NOT deliver (enforce mode with
+	// a failed validation) — the "email delivery failure" outcome counted
+	// in Figures 7 and 8.
+	ActionRefuse
+)
+
+// String returns a short label for the action.
+func (a Action) String() string {
+	switch a {
+	case ActionDeliver:
+		return "deliver"
+	case ActionDeliverUnvalidated:
+		return "deliver-unvalidated"
+	case ActionRefuse:
+		return "refuse"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// TXTResolver provides the DNS dependency of validation. The production
+// implementation is resolver.Client; tests use fixtures.
+type TXTResolver interface {
+	// ResolveTXT returns all TXT values at name. Absence must be reported
+	// via an error satisfying IsNotFound.
+	ResolveTXT(ctx context.Context, name string) ([]string, error)
+	// IsNotFound classifies resolution errors meaning NXDOMAIN/NODATA.
+	IsNotFound(err error) bool
+}
+
+// MXVerifier validates the TLS certificate of one MX host; it returns the
+// PKIX problem observed when connecting (pki.OK on success). The live
+// implementation is smtpclient.Prober; offline pipelines check
+// CertProfiles.
+type MXVerifier interface {
+	VerifyMX(ctx context.Context, mxHost string) (pki.Problem, error)
+}
+
+// Validator is the sender-side MTA-STS engine: it discovers the record,
+// fetches (or reuses) the policy, matches the selected MX, verifies its
+// certificate, and renders the delivery decision — the complete flow of
+// Figure 1 in the paper.
+type Validator struct {
+	Resolver TXTResolver
+	Fetcher  *Fetcher
+	Cache    *PolicyCache
+	// Verify checks the MX certificate; nil skips certificate validation
+	// (the caller handles it during SMTP delivery).
+	Verify MXVerifier
+}
+
+// Evaluation is the full outcome of validating one (domain, MX) pair.
+type Evaluation struct {
+	Domain string
+	MXHost string
+
+	// RecordFound is true when a syntactically valid record was discovered.
+	RecordFound bool
+	// RecordErr holds the record discovery/parsing failure, if any.
+	RecordErr error
+	// Record is the parsed record when RecordFound.
+	Record Record
+
+	// PolicyFetched is true when a valid policy was obtained (from cache or
+	// network).
+	PolicyFetched bool
+	// PolicyFromCache marks cache hits.
+	PolicyFromCache bool
+	// PolicyErr holds the fetch/parse failure, if any.
+	PolicyErr error
+	// Policy is the effective policy when PolicyFetched.
+	Policy Policy
+
+	// MXMatched is true when the MX host matches a policy mx pattern.
+	MXMatched bool
+	// CertProblem is the MX certificate validation outcome (pki.OK when
+	// valid or not checked).
+	CertProblem pki.Problem
+
+	// Action is the final delivery decision.
+	Action Action
+}
+
+// Validate evaluates delivery of mail for domain via mxHost.
+//
+// Per RFC 8461: no (or unusable) record means MTA-STS does not apply; a
+// record without a fetchable policy falls back to any cached policy, and
+// otherwise to unvalidated delivery; with a policy in enforce mode, an MX
+// mismatch or certificate failure forbids delivery.
+func (v *Validator) Validate(ctx context.Context, domain, mxHost string) (Evaluation, error) {
+	ev := Evaluation{Domain: domain, MXHost: mxHost, Action: ActionDeliver}
+
+	// Step 1: discover the record.
+	txts, err := v.Resolver.ResolveTXT(ctx, "_mta-sts."+domain)
+	if err != nil && !v.Resolver.IsNotFound(err) {
+		// Transient DNS failure: RFC 8461 says continue with cache if
+		// present, else deliver (possibly unvalidated).
+		if cached, ok := v.cacheGet(domain); ok {
+			ev.PolicyFetched, ev.PolicyFromCache = true, true
+			ev.Policy = cached.Policy
+			return v.finish(ctx, ev)
+		}
+		ev.RecordErr = err
+		ev.Action = ActionDeliverUnvalidated
+		return ev, nil
+	}
+	rec, recErr := DiscoverRecord(txts)
+	if recErr != nil {
+		ev.RecordErr = recErr
+		if errors.Is(recErr, ErrNoRecord) {
+			// MTA-STS not deployed; but a cached policy must still be honored
+			// until it expires (§5.1 — removal requires a proper wind-down).
+			if cached, ok := v.cacheGet(domain); ok {
+				ev.PolicyFetched, ev.PolicyFromCache = true, true
+				ev.Policy = cached.Policy
+				return v.finish(ctx, ev)
+			}
+			return ev, nil
+		}
+		// A malformed record means MTA-STS is treated as not deployed, but
+		// cached policies again survive.
+		if cached, ok := v.cacheGet(domain); ok {
+			ev.PolicyFetched, ev.PolicyFromCache = true, true
+			ev.Policy = cached.Policy
+			return v.finish(ctx, ev)
+		}
+		ev.Action = ActionDeliverUnvalidated
+		return ev, nil
+	}
+	ev.RecordFound = true
+	ev.Record = rec
+
+	// Step 2: policy from cache (same id) or network.
+	if v.Cache != nil && !v.Cache.NeedsRefresh(domain, rec.ID) {
+		cached, _ := v.Cache.Get(domain)
+		ev.PolicyFetched, ev.PolicyFromCache = true, true
+		ev.Policy = cached.Policy
+		return v.finish(ctx, ev)
+	}
+	policy, _, fetchErr := v.Fetcher.Fetch(ctx, domain)
+	if fetchErr != nil {
+		ev.PolicyErr = fetchErr
+		// Fetch failure: fall back to a cached (possibly stale-id) policy.
+		if cached, ok := v.cacheGet(domain); ok {
+			ev.PolicyFetched, ev.PolicyFromCache = true, true
+			ev.Policy = cached.Policy
+			return v.finish(ctx, ev)
+		}
+		// No usable policy: deliver, unvalidated — the TLS-fallback
+		// downgrade the paper highlights (§4.3.3).
+		ev.Action = ActionDeliverUnvalidated
+		return ev, nil
+	}
+	ev.PolicyFetched = true
+	ev.Policy = policy
+	if v.Cache != nil {
+		v.Cache.Store(domain, policy, rec.ID)
+	}
+	return v.finish(ctx, ev)
+}
+
+func (v *Validator) cacheGet(domain string) (CachedPolicy, bool) {
+	if v.Cache == nil {
+		return CachedPolicy{}, false
+	}
+	return v.Cache.Get(domain)
+}
+
+// finish applies MX matching and certificate validation to an evaluation
+// that has an effective policy.
+func (v *Validator) finish(ctx context.Context, ev Evaluation) (Evaluation, error) {
+	policy := ev.Policy
+	if policy.Mode == ModeNone {
+		// No validation requested.
+		ev.MXMatched = policy.Matches(ev.MXHost)
+		ev.Action = ActionDeliver
+		return ev, nil
+	}
+	ev.MXMatched = policy.Matches(ev.MXHost)
+	if !ev.MXMatched {
+		ev.Action = decideOnFailure(policy.Mode)
+		return ev, nil
+	}
+	if v.Verify != nil {
+		problem, err := v.Verify.VerifyMX(ctx, ev.MXHost)
+		if err != nil {
+			return ev, fmt.Errorf("mtasts: verifying MX %s: %w", ev.MXHost, err)
+		}
+		ev.CertProblem = problem
+		if !problem.Valid() {
+			ev.Action = decideOnFailure(policy.Mode)
+			return ev, nil
+		}
+	}
+	ev.Action = ActionDeliver
+	return ev, nil
+}
+
+func decideOnFailure(m Mode) Action {
+	if m == ModeEnforce {
+		return ActionRefuse
+	}
+	return ActionDeliverUnvalidated
+}

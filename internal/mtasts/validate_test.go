@@ -1,0 +1,298 @@
+package mtasts
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/pki"
+)
+
+// fixtureResolver serves TXT values from a map; absent names are not-found.
+type fixtureResolver struct {
+	txt  map[string][]string
+	errs map[string]error
+}
+
+var errFixtureNotFound = errors.New("fixture: not found")
+
+func (f *fixtureResolver) ResolveTXT(ctx context.Context, name string) ([]string, error) {
+	if err, ok := f.errs[name]; ok {
+		return nil, err
+	}
+	if v, ok := f.txt[name]; ok {
+		return v, nil
+	}
+	return nil, errFixtureNotFound
+}
+
+func (f *fixtureResolver) IsNotFound(err error) bool { return errors.Is(err, errFixtureNotFound) }
+
+// fixtureVerifier returns a fixed problem per MX host.
+type fixtureVerifier struct{ problems map[string]pki.Problem }
+
+func (f *fixtureVerifier) VerifyMX(ctx context.Context, mx string) (pki.Problem, error) {
+	return f.problems[mx], nil
+}
+
+// newValidatorEnv builds a Validator backed by a live HTTPS policy server
+// serving the given policy body.
+func newValidatorEnv(t *testing.T, policyBody string, status int) (*Validator, *fixtureResolver, *fixtureVerifier) {
+	t.Helper()
+	ca := newFetcherCA(t)
+	srv := startPolicyServer(t, issue(t, ca, "mta-sts.example.com"), policyHandler(policyBody, status))
+	res := &fixtureResolver{txt: map[string][]string{
+		"_mta-sts.example.com": {"v=STSv1; id=20240431;"},
+	}}
+	ver := &fixtureVerifier{problems: map[string]pki.Problem{}}
+	v := &Validator{
+		Resolver: res,
+		Fetcher: &Fetcher{
+			Resolver: loopbackResolver(), RootCAs: ca.Pool(),
+			Port: srv.port, Timeout: 3 * time.Second,
+		},
+		Cache:  NewPolicyCache(16),
+		Verify: ver,
+	}
+	return v, res, ver
+}
+
+const enforcePolicy = "version: STSv1\nmode: enforce\nmx: mx.example.com\nmx: *.backup.example.com\nmax_age: 86400\n"
+const testingPolicy = "version: STSv1\nmode: testing\nmx: mx.example.com\nmax_age: 86400\n"
+const nonePolicy = "version: STSv1\nmode: none\nmax_age: 86400\n"
+
+func TestValidateHappyPath(t *testing.T) {
+	v, _, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	ev, err := v.Validate(context.Background(), "example.com", "mx.example.com")
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !ev.RecordFound || !ev.PolicyFetched || !ev.MXMatched || ev.Action != ActionDeliver {
+		t.Errorf("ev = %+v", ev)
+	}
+}
+
+func TestValidateWildcardMX(t *testing.T) {
+	v, _, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	ev, err := v.Validate(context.Background(), "example.com", "b1.backup.example.com")
+	if err != nil || !ev.MXMatched || ev.Action != ActionDeliver {
+		t.Errorf("wildcard: ev=%+v err=%v", ev, err)
+	}
+}
+
+func TestValidateEnforceMXMismatchRefuses(t *testing.T) {
+	v, _, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	ev, err := v.Validate(context.Background(), "example.com", "rogue.example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MXMatched || ev.Action != ActionRefuse {
+		t.Errorf("enforce mismatch: ev=%+v", ev)
+	}
+}
+
+func TestValidateTestingMXMismatchDelivers(t *testing.T) {
+	v, _, _ := newValidatorEnv(t, testingPolicy, http.StatusOK)
+	ev, err := v.Validate(context.Background(), "example.com", "rogue.example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Action != ActionDeliverUnvalidated {
+		t.Errorf("testing mismatch: ev=%+v", ev)
+	}
+}
+
+func TestValidateModeNoneSkipsValidation(t *testing.T) {
+	v, _, _ := newValidatorEnv(t, nonePolicy, http.StatusOK)
+	ev, err := v.Validate(context.Background(), "example.com", "whatever.example.org")
+	if err != nil || ev.Action != ActionDeliver {
+		t.Errorf("mode none: ev=%+v err=%v", ev, err)
+	}
+}
+
+func TestValidateEnforceBadCertRefuses(t *testing.T) {
+	v, _, ver := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	ver.problems["mx.example.com"] = pki.ProblemExpired
+	ev, err := v.Validate(context.Background(), "example.com", "mx.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Action != ActionRefuse || ev.CertProblem != pki.ProblemExpired {
+		t.Errorf("bad cert enforce: ev=%+v", ev)
+	}
+}
+
+func TestValidateTestingBadCertDelivers(t *testing.T) {
+	v, _, ver := newValidatorEnv(t, testingPolicy, http.StatusOK)
+	ver.problems["mx.example.com"] = pki.ProblemSelfSigned
+	ev, err := v.Validate(context.Background(), "example.com", "mx.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Action != ActionDeliverUnvalidated {
+		t.Errorf("bad cert testing: ev=%+v", ev)
+	}
+}
+
+func TestValidateNoRecord(t *testing.T) {
+	v, res, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	delete(res.txt, "_mta-sts.example.com")
+	ev, err := v.Validate(context.Background(), "example.com", "mx.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.RecordFound || ev.Action != ActionDeliver || !errors.Is(ev.RecordErr, ErrNoRecord) {
+		t.Errorf("no record: ev=%+v", ev)
+	}
+}
+
+func TestValidateMalformedRecordTreatedAsAbsent(t *testing.T) {
+	v, res, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	res.txt["_mta-sts.example.com"] = []string{"v=STSv1; id=bad-id;"}
+	ev, err := v.Validate(context.Background(), "example.com", "anything.example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.RecordFound || ev.Action == ActionRefuse {
+		t.Errorf("malformed record: ev=%+v", ev)
+	}
+}
+
+func TestValidatePolicyFetchFailureFallsBackUnvalidated(t *testing.T) {
+	// 404 on the policy file with an empty cache: the sender proceeds
+	// without MTA-STS — the downgrade window of §4.3.3.
+	v, _, _ := newValidatorEnv(t, enforcePolicy, http.StatusNotFound)
+	ev, err := v.Validate(context.Background(), "example.com", "rogue.example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Action != ActionDeliverUnvalidated || ev.PolicyFetched {
+		t.Errorf("fetch failure: ev=%+v", ev)
+	}
+	if StageOf(ev.PolicyErr) != StageHTTP {
+		t.Errorf("PolicyErr stage = %v", StageOf(ev.PolicyErr))
+	}
+}
+
+func TestValidateCachedPolicySurvivesFetchFailure(t *testing.T) {
+	v, _, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	ctx := context.Background()
+	// Prime the cache.
+	if _, err := v.Validate(ctx, "example.com", "mx.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	// Break the fetch path entirely; same record id → cache hit, enforce
+	// still applies.
+	v.Fetcher.Resolver = AddrResolverFunc(func(ctx context.Context, host string) ([]string, error) {
+		return nil, errors.New("resolver down")
+	})
+	ev, err := v.Validate(ctx, "example.com", "rogue.example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.PolicyFromCache || ev.Action != ActionRefuse {
+		t.Errorf("cached enforce: ev=%+v", ev)
+	}
+}
+
+func TestValidateCachedPolicySurvivesRecordRemoval(t *testing.T) {
+	// §2.6: abruptly removing the record does not clear sender caches.
+	v, res, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	ctx := context.Background()
+	if _, err := v.Validate(ctx, "example.com", "mx.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	delete(res.txt, "_mta-sts.example.com")
+	ev, err := v.Validate(ctx, "example.com", "rogue.example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.PolicyFromCache || ev.Action != ActionRefuse {
+		t.Errorf("cache after record removal: ev=%+v", ev)
+	}
+}
+
+func TestValidateIDChangeTriggersRefetch(t *testing.T) {
+	v, res, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	ctx := context.Background()
+	if _, err := v.Validate(ctx, "example.com", "mx.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	// Change the record id; the next validation must refetch (cache miss).
+	res.txt["_mta-sts.example.com"] = []string{"v=STSv1; id=20250101;"}
+	ev, err := v.Validate(ctx, "example.com", "mx.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.PolicyFromCache {
+		t.Errorf("id change should force refetch: ev=%+v", ev)
+	}
+}
+
+func TestValidateTransientDNSWithCache(t *testing.T) {
+	v, res, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	ctx := context.Background()
+	if _, err := v.Validate(ctx, "example.com", "mx.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	res.errs = map[string]error{"_mta-sts.example.com": errors.New("SERVFAIL")}
+	ev, err := v.Validate(ctx, "example.com", "rogue.example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.PolicyFromCache || ev.Action != ActionRefuse {
+		t.Errorf("transient DNS with cache: ev=%+v", ev)
+	}
+}
+
+func TestValidateTransientDNSWithoutCache(t *testing.T) {
+	v, res, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	res.errs = map[string]error{"_mta-sts.example.com": errors.New("SERVFAIL")}
+	ev, err := v.Validate(context.Background(), "example.com", "mx.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Action != ActionDeliverUnvalidated {
+		t.Errorf("transient DNS without cache: ev=%+v", ev)
+	}
+}
+
+func TestValidateDowngradeAttackScenario(t *testing.T) {
+	// End-to-end enforcement of the attack MTA-STS exists to stop: an
+	// attacker redirects MX resolution to a rogue host. With an enforce
+	// policy cached, the sender must refuse.
+	v, _, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	ctx := context.Background()
+	if _, err := v.Validate(ctx, "example.com", "mx.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := v.Validate(ctx, "example.com", "attacker.evil.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Action != ActionRefuse {
+		t.Errorf("downgrade scenario: ev=%+v", ev)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionDeliver.String() != "deliver" ||
+		ActionDeliverUnvalidated.String() != "deliver-unvalidated" ||
+		ActionRefuse.String() != "refuse" ||
+		Action(9).String() != "action(9)" {
+		t.Error("Action.String mismatch")
+	}
+}
+
+// TestValidateLiveTLSChain runs validation against a live TLS MX verifier
+// (via pki) rather than a fixture, covering the Verify integration.
+func TestValidateNilVerifySkipsCertCheck(t *testing.T) {
+	v, _, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	v.Verify = nil
+	ev, err := v.Validate(context.Background(), "example.com", "mx.example.com")
+	if err != nil || ev.Action != ActionDeliver || ev.CertProblem != pki.OK {
+		t.Errorf("nil verify: ev=%+v err=%v", ev, err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package notify implements the responsible-disclosure campaign of §4.7
+// of the paper as executable behavior: it composes a misconfiguration
+// notification for each affected domain (describing the exact errors the
+// scan found, with remediation guidance, and recommending TLSRPT per the
+// paper's disclosure emails) and delivers it to the postmaster address
+// over SMTP, recording deliveries and bounces.
+package notify
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/inconsistency"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/smtpclient"
+)
+
+// Outcome classifies one notification attempt.
+type Outcome int
+
+// Notification outcomes.
+const (
+	// OutcomeDelivered: the postmaster MX accepted the message.
+	OutcomeDelivered Outcome = iota
+	// OutcomeBounced: the transaction was rejected (the >5,000-bounce
+	// population of §4.7).
+	OutcomeBounced
+	// OutcomeUnreachable: no MX could be contacted at all.
+	OutcomeUnreachable
+	// OutcomeSkipped: the domain was not misconfigured; nothing sent.
+	OutcomeSkipped
+)
+
+// String returns a short label.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeDelivered:
+		return "delivered"
+	case OutcomeBounced:
+		return "bounced"
+	case OutcomeUnreachable:
+		return "unreachable"
+	}
+	return "skipped"
+}
+
+// Result records one domain's notification attempt.
+type Result struct {
+	Domain  string
+	Outcome Outcome
+	MXHost  string
+	Err     error
+}
+
+// Summary aggregates a campaign.
+type Summary struct {
+	Notified    int
+	Delivered   int
+	Bounced     int
+	Unreachable int
+	Skipped     int
+}
+
+// Campaign delivers notifications. DialAddr maps an MX host to a dial
+// address (loopback labs); nil dials host:Port directly.
+type Campaign struct {
+	// From is the envelope sender of the notifications.
+	From string
+	// HeloName is announced in EHLO.
+	HeloName string
+	// DialAddr maps MX hosts to dial addresses (tests); nil uses
+	// host:SMTPPort.
+	DialAddr func(mxHost string) string
+	// SMTPPort overrides port 25 when DialAddr is nil.
+	SMTPPort int
+	// Timeout bounds each delivery. Zero means 10s.
+	Timeout time.Duration
+}
+
+// Run notifies the postmaster of every misconfigured domain in results.
+// Delivery is opportunistic (the paper notified over plain SMTP): a
+// notification about broken TLS must not itself require working TLS.
+func (c *Campaign) Run(ctx context.Context, results []scanner.DomainResult) ([]Result, Summary) {
+	var out []Result
+	var sum Summary
+	for i := range results {
+		r := &results[i]
+		res := c.notifyOne(ctx, r)
+		out = append(out, res)
+		switch res.Outcome {
+		case OutcomeDelivered:
+			sum.Notified++
+			sum.Delivered++
+		case OutcomeBounced:
+			sum.Notified++
+			sum.Bounced++
+		case OutcomeUnreachable:
+			sum.Notified++
+			sum.Unreachable++
+		case OutcomeSkipped:
+			sum.Skipped++
+		}
+	}
+	return out, sum
+}
+
+func (c *Campaign) notifyOne(ctx context.Context, r *scanner.DomainResult) Result {
+	if !r.RecordPresent || !r.Misconfigured() {
+		return Result{Domain: r.Domain, Outcome: OutcomeSkipped}
+	}
+	body := Compose(r)
+	rcpt := "postmaster@" + r.Domain
+
+	var lastErr error
+	for _, mx := range r.MXHosts {
+		sender := &smtpclient.Sender{
+			HeloName: c.HeloName,
+			Timeout:  c.timeout(),
+			Port:     c.SMTPPort,
+		}
+		if c.DialAddr != nil {
+			sender.AddrOverride = c.DialAddr(mx)
+		}
+		_, err := sender.Deliver(ctx, mx, c.From, []string{rcpt}, body)
+		if err == nil {
+			return Result{Domain: r.Domain, Outcome: OutcomeDelivered, MXHost: mx}
+		}
+		lastErr = err
+		if isRejection(err) {
+			return Result{Domain: r.Domain, Outcome: OutcomeBounced, MXHost: mx, Err: err}
+		}
+	}
+	return Result{Domain: r.Domain, Outcome: OutcomeUnreachable, Err: lastErr}
+}
+
+func (c *Campaign) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.Timeout
+}
+
+// isRejection distinguishes an SMTP-level refusal (bounce) from a
+// connection-level failure (unreachable).
+func isRejection(err error) bool {
+	return err != nil && (strings.Contains(err.Error(), "rejected") ||
+		strings.Contains(err.Error(), "answered 5"))
+}
+
+// Compose renders the notification email for one scan result: subject,
+// headers, the per-category findings, remediation guidance, and the
+// TLSRPT recommendation the paper's campaign included.
+func Compose(r *scanner.DomainResult) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Subject: MTA-STS misconfiguration detected for %s\n", r.Domain)
+	fmt.Fprintf(&b, "Auto-Submitted: auto-generated\n\n")
+	fmt.Fprintf(&b, "Dear postmaster of %s,\n\n", r.Domain)
+	fmt.Fprintf(&b, "a routine scan of MTA-STS deployments found the following issue(s):\n\n")
+
+	for _, cat := range r.Categories() {
+		switch cat {
+		case scanner.CategoryDNSRecord:
+			fmt.Fprintf(&b, "* Your _mta-sts TXT record is invalid: %v.\n", r.RecordErr)
+			fmt.Fprintf(&b, "  Compliant senders treat MTA-STS as not deployed.\n")
+		case scanner.CategoryPolicy:
+			fmt.Fprintf(&b, "* Your policy could not be retrieved from %s\n", mtasts.PolicyURL(r.Domain))
+			fmt.Fprintf(&b, "  (failure at the %s stage", r.PolicyStage)
+			if r.PolicyStage == mtasts.StageTLS {
+				fmt.Fprintf(&b, ": %s certificate", r.PolicyCertProblem)
+			}
+			if r.PolicyHTTPStatus != 0 && r.PolicyStage == mtasts.StageHTTP {
+				fmt.Fprintf(&b, ": HTTP %d", r.PolicyHTTPStatus)
+			}
+			fmt.Fprintf(&b, ").\n  Senders fall back to opportunistic TLS — the downgrade MTA-STS should prevent.\n")
+		case scanner.CategoryMXCert:
+			for mx, p := range r.MXProblems {
+				if !p.Valid() {
+					fmt.Fprintf(&b, "* MX host %s presents a PKIX-invalid certificate (%s).\n", mx, p)
+				}
+			}
+		case scanner.CategoryInconsistency:
+			fmt.Fprintf(&b, "* Your policy's mx patterns %v do not match your MX records %v (%s mismatch).\n",
+				r.Mismatch.Patterns, r.Mismatch.MXHosts, r.Mismatch.Kind)
+			if r.Mismatch.Kind == inconsistency.Kind3LDPlus && r.Mismatch.MTASTSLabelInPattern {
+				fmt.Fprintf(&b, "  Note: mx patterns must name your mail hosts, not the mta-sts policy host.\n")
+			}
+		}
+	}
+
+	if r.DeliveryFailure() {
+		fmt.Fprintf(&b, "\nIMPORTANT: your policy is in \"enforce\" mode and no usable MX passes validation;\n")
+		fmt.Fprintf(&b, "MTA-STS-compliant senders currently REFUSE to deliver mail to %s.\n", r.Domain)
+	}
+
+	fmt.Fprintf(&b, "\nWe also recommend enabling SMTP TLS Reporting (RFC 8460) by publishing a\n")
+	fmt.Fprintf(&b, "_smtp._tls TXT record, so sending providers report TLS failures to you directly.\n")
+	fmt.Fprintf(&b, "\nThis notification is part of a research reproduction; no reply is needed.\n")
+	return []byte(b.String())
+}

@@ -1,0 +1,219 @@
+package notify
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/inconsistency"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/smtpd"
+)
+
+var testNow = time.Date(2024, 10, 22, 0, 0, 0, 0, time.UTC)
+
+// brokenResult fabricates a misconfigured scan result for domain with the
+// given MX hosts.
+func brokenResult(domain string, mxs ...string) scanner.DomainResult {
+	a := scanner.Artifacts{
+		Domain:             domain,
+		TXT:                []string{"v=STSv1; id=1;"},
+		MXHosts:            mxs,
+		PolicyHostResolves: true,
+		TCPOpen:            true,
+		PolicyCert:         pki.ExpiredProfile(testNow, mtasts.PolicyHost(domain)),
+		HTTPStatus:         200,
+		MXSTARTTLS:         map[string]bool{},
+		MXCerts:            map[string]pki.CertProfile{},
+	}
+	for _, mx := range mxs {
+		a.MXSTARTTLS[mx] = true
+		a.MXCerts[mx] = pki.GoodProfile(testNow, mx)
+	}
+	return scanner.ScanArtifacts(a, testNow)
+}
+
+func cleanResult(domain, mx string) scanner.DomainResult {
+	a := scanner.Artifacts{
+		Domain:             domain,
+		TXT:                []string{"v=STSv1; id=1;"},
+		MXHosts:            []string{mx},
+		PolicyHostResolves: true,
+		TCPOpen:            true,
+		PolicyCert:         pki.GoodProfile(testNow, mtasts.PolicyHost(domain)),
+		HTTPStatus:         200,
+		PolicyBody:         []byte("version: STSv1\nmode: enforce\nmx: " + mx + "\nmax_age: 86400\n"),
+		MXSTARTTLS:         map[string]bool{mx: true},
+		MXCerts:            map[string]pki.CertProfile{mx: pki.GoodProfile(testNow, mx)},
+	}
+	return scanner.ScanArtifacts(a, testNow)
+}
+
+// startInbox boots a postmaster MX.
+func startInbox(t *testing.T, b smtpd.Behavior) (*smtpd.Server, string) {
+	t.Helper()
+	srv := smtpd.New(b)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+func TestCampaignDeliversNotifications(t *testing.T) {
+	inbox, addr := startInbox(t, smtpd.Behavior{Hostname: "mx.broken.example", AcceptMail: true})
+	c := &Campaign{
+		From:     "research@netsecurelab.example",
+		HeloName: "notify.lab",
+		DialAddr: func(mx string) string { return addr },
+		Timeout:  3 * time.Second,
+	}
+	results := []scanner.DomainResult{
+		brokenResult("broken.example", "mx.broken.example"),
+		cleanResult("fine.example", "mx.fine.example"),
+	}
+	res, sum := c.Run(context.Background(), results)
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if sum.Notified != 1 || sum.Delivered != 1 || sum.Skipped != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+	msgs := inbox.Messages()
+	if len(msgs) != 1 {
+		t.Fatalf("inbox = %d messages", len(msgs))
+	}
+	if !strings.Contains(msgs[0].To[0], "postmaster@broken.example") {
+		t.Errorf("rcpt = %v", msgs[0].To)
+	}
+	body := string(msgs[0].Data)
+	if !strings.Contains(body, "TLS stage") || !strings.Contains(body, "expired certificate") {
+		t.Errorf("body missing diagnosis:\n%s", body)
+	}
+	if !strings.Contains(body, "_smtp._tls") {
+		t.Error("body missing the TLSRPT recommendation")
+	}
+}
+
+func TestCampaignBounce(t *testing.T) {
+	_, addr := startInbox(t, smtpd.Behavior{Hostname: "mx.gone.example", RejectAll: true})
+	c := &Campaign{
+		From: "research@netsecurelab.example", HeloName: "notify.lab",
+		DialAddr: func(mx string) string { return addr }, Timeout: 3 * time.Second,
+	}
+	_, sum := c.Run(context.Background(), []scanner.DomainResult{
+		brokenResult("gone.example", "mx.gone.example"),
+	})
+	if sum.Bounced != 1 || sum.Delivered != 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestCampaignUnreachable(t *testing.T) {
+	c := &Campaign{
+		From: "research@netsecurelab.example", HeloName: "notify.lab",
+		DialAddr: func(mx string) string { return "127.0.0.1:1" }, // closed port
+		Timeout:  time.Second,
+	}
+	_, sum := c.Run(context.Background(), []scanner.DomainResult{
+		brokenResult("dark.example", "mx.dark.example"),
+	})
+	if sum.Unreachable != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestCampaignFailover(t *testing.T) {
+	// First MX unreachable, second accepts: the notification arrives.
+	inbox, addr := startInbox(t, smtpd.Behavior{Hostname: "mx2.multi.example", AcceptMail: true})
+	c := &Campaign{
+		From: "research@netsecurelab.example", HeloName: "notify.lab",
+		DialAddr: func(mx string) string {
+			if mx == "mx1.multi.example" {
+				return "127.0.0.1:1"
+			}
+			return addr
+		},
+		Timeout: time.Second,
+	}
+	res, sum := c.Run(context.Background(), []scanner.DomainResult{
+		brokenResult("multi.example", "mx1.multi.example", "mx2.multi.example"),
+	})
+	if sum.Delivered != 1 {
+		t.Fatalf("summary = %+v (res %+v)", sum, res)
+	}
+	if res[0].MXHost != "mx2.multi.example" {
+		t.Errorf("delivered via %s", res[0].MXHost)
+	}
+	if len(inbox.Messages()) != 1 {
+		t.Error("no message in failover inbox")
+	}
+}
+
+func TestComposeCoversAllCategories(t *testing.T) {
+	// A result with every error category produces guidance for each.
+	a := scanner.Artifacts{
+		Domain:             "всё.example", // non-ASCII domain in the label is fine for compose
+		TXT:                []string{"v=STSv1;"},
+		MXHosts:            []string{"mx.bad.example"},
+		PolicyHostResolves: true,
+		TCPOpen:            true,
+		PolicyCert:         pki.GoodProfile(testNow, "mta-sts.всё.example"),
+		HTTPStatus:         200,
+		PolicyBody:         []byte("version: STSv1\nmode: enforce\nmx: mta-sts.other.example\nmax_age: 1\n"),
+		MXSTARTTLS:         map[string]bool{"mx.bad.example": true},
+		MXCerts:            map[string]pki.CertProfile{"mx.bad.example": pki.SelfSignedProfile(testNow, "mx.bad.example")},
+	}
+	r := scanner.ScanArtifacts(a, testNow)
+	body := string(Compose(&r))
+	for _, want := range []string{
+		"TXT record is invalid",
+		"PKIX-invalid certificate (self-signed)",
+		"do not match your MX records",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("compose missing %q in:\n%s", want, body)
+		}
+	}
+	if r.DeliveryFailure() && !strings.Contains(body, "REFUSE") {
+		t.Error("delivery-failure warning missing")
+	}
+}
+
+func TestComposeMTASTSLabelHint(t *testing.T) {
+	a := scanner.Artifacts{
+		Domain:             "hint.example",
+		TXT:                []string{"v=STSv1; id=1;"},
+		MXHosts:            []string{"mail.provider7.example"},
+		PolicyHostResolves: true,
+		TCPOpen:            true,
+		PolicyCert:         pki.GoodProfile(testNow, "mta-sts.hint.example"),
+		HTTPStatus:         200,
+		PolicyBody:         []byte("version: STSv1\nmode: testing\nmx: mta-sts.provider7.example\nmax_age: 1\n"),
+		MXSTARTTLS:         map[string]bool{"mail.provider7.example": true},
+		MXCerts:            map[string]pki.CertProfile{"mail.provider7.example": pki.GoodProfile(testNow, "mail.provider7.example")},
+	}
+	r := scanner.ScanArtifacts(a, testNow)
+	if r.Mismatch.Kind != inconsistency.Kind3LDPlus || !r.Mismatch.MTASTSLabelInPattern {
+		t.Fatalf("fixture mismatch = %+v", r.Mismatch)
+	}
+	body := string(Compose(&r))
+	if !strings.Contains(body, "not the mta-sts policy host") {
+		t.Error("3LD+ hint missing")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OutcomeDelivered: "delivered", OutcomeBounced: "bounced",
+		OutcomeUnreachable: "unreachable", OutcomeSkipped: "skipped",
+	} {
+		if o.String() != want {
+			t.Errorf("Outcome(%d) = %q", int(o), o.String())
+		}
+	}
+}

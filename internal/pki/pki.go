@@ -1,0 +1,281 @@
+// Package pki is the web-PKI substrate for the MTA-STS reproduction. It
+// plays the role the public certificate ecosystem plays for the paper: it
+// can mint real X.509 certificates (a test CA standing in for ACME issuers)
+// for the live servers, and it defines the PKIX validation error taxonomy
+// the study reports on (expired, self-signed, name mismatch, untrusted
+// chain, missing certificate — Figures 5 and 6).
+//
+// Because generating millions of real certificates is infeasible, the
+// at-scale pipeline uses CertProfile, a descriptor carrying exactly the
+// attributes PKIX validation inspects; ValidateProfile applies the same
+// decision procedure (and yields the same Problem codes) as the live-path
+// x509 classification in ClassifyVerifyError.
+package pki
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/strutil"
+)
+
+// Problem identifies why PKIX validation failed. The zero value means the
+// certificate validated.
+type Problem int
+
+// Validation outcomes, mirroring the paper's error categories.
+const (
+	// OK: the certificate chain validates and covers the host name.
+	OK Problem = iota
+	// ProblemExpired: the certificate is outside its validity window.
+	ProblemExpired
+	// ProblemSelfSigned: the leaf is self-issued and not in the trust store.
+	ProblemSelfSigned
+	// ProblemUntrusted: the chain does not lead to a trusted root.
+	ProblemUntrusted
+	// ProblemNameMismatch: no SAN/CN entry covers the host
+	// ("Common Name or Subject Alternative Name mismatch" in §4.3.3).
+	ProblemNameMismatch
+	// ProblemNoCertificate: the server has no certificate installed for the
+	// name (observed as a TLS alert; the DMARCReport case in §4.3.3).
+	ProblemNoCertificate
+)
+
+// String returns a short stable identifier for the problem.
+func (p Problem) String() string {
+	switch p {
+	case OK:
+		return "ok"
+	case ProblemExpired:
+		return "expired"
+	case ProblemSelfSigned:
+		return "self-signed"
+	case ProblemUntrusted:
+		return "untrusted"
+	case ProblemNameMismatch:
+		return "name-mismatch"
+	case ProblemNoCertificate:
+		return "no-certificate"
+	}
+	return fmt.Sprintf("problem(%d)", int(p))
+}
+
+// Valid reports whether the outcome is OK.
+func (p Problem) Valid() bool { return p == OK }
+
+// CA is a certificate authority that can issue leaf certificates for the
+// live substrate servers.
+type CA struct {
+	Cert *x509.Certificate
+	Key  *ecdsa.PrivateKey
+
+	mu     sync.Mutex
+	serial int64
+}
+
+// NewCA creates a self-signed root CA valid for ten years around now.
+func NewCA(name string, now time.Time) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("pki: generating CA key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: name, Organization: []string{"MTA-STS Repro Test CA"}},
+		NotBefore:             now.Add(-time.Hour),
+		NotAfter:              now.AddDate(10, 0, 0),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("pki: self-signing CA: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{Cert: cert, Key: key, serial: 1}, nil
+}
+
+// Pool returns a certificate pool containing only this CA.
+func (ca *CA) Pool() *x509.CertPool {
+	pool := x509.NewCertPool()
+	pool.AddCert(ca.Cert)
+	return pool
+}
+
+// IssueOptions controls leaf issuance.
+type IssueOptions struct {
+	// Names is the SAN list; the first entry also becomes the CN.
+	Names []string
+	// NotBefore/NotAfter bound validity; zero values default to
+	// (now-1h, now+90d).
+	NotBefore, NotAfter time.Time
+	// SelfSigned issues the leaf signed by its own key instead of the CA.
+	SelfSigned bool
+	// Now anchors the defaults.
+	Now time.Time
+}
+
+// Leaf is an issued certificate with its private key, ready for use in a
+// tls.Config.
+type Leaf struct {
+	Cert *x509.Certificate
+	Key  *ecdsa.PrivateKey
+	// DER is the raw certificate.
+	DER []byte
+}
+
+// TLSCertificate converts the leaf into a tls.Certificate.
+func (l *Leaf) TLSCertificate() tls.Certificate {
+	return tls.Certificate{Certificate: [][]byte{l.DER}, PrivateKey: l.Key, Leaf: l.Cert}
+}
+
+// Issue creates a leaf certificate per opts.
+func (ca *CA) Issue(opts IssueOptions) (*Leaf, error) {
+	if len(opts.Names) == 0 {
+		return nil, errors.New("pki: issue with no names")
+	}
+	now := opts.Now
+	if now.IsZero() {
+		now = time.Now()
+	}
+	nb, na := opts.NotBefore, opts.NotAfter
+	if nb.IsZero() {
+		nb = now.Add(-time.Hour)
+	}
+	if na.IsZero() {
+		na = now.Add(90 * 24 * time.Hour)
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("pki: generating leaf key: %w", err)
+	}
+	ca.mu.Lock()
+	ca.serial++
+	serial := ca.serial
+	ca.mu.Unlock()
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(serial),
+		Subject:      pkix.Name{CommonName: opts.Names[0]},
+		DNSNames:     opts.Names,
+		NotBefore:    nb,
+		NotAfter:     na,
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+	}
+	parent, signKey := ca.Cert, ca.Key
+	if opts.SelfSigned {
+		parent, signKey = tmpl, key
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, parent, &key.PublicKey, signKey)
+	if err != nil {
+		return nil, fmt.Errorf("pki: signing leaf for %v: %w", opts.Names, err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Leaf{Cert: cert, Key: key, DER: der}, nil
+}
+
+// Validate verifies a presented chain against roots for host at the given
+// time and maps the result onto the Problem taxonomy.
+func Validate(chain []*x509.Certificate, host string, roots *x509.CertPool, at time.Time) Problem {
+	if len(chain) == 0 {
+		return ProblemNoCertificate
+	}
+	leaf := chain[0]
+	inter := x509.NewCertPool()
+	for _, c := range chain[1:] {
+		inter.AddCert(c)
+	}
+	_, err := leaf.Verify(x509.VerifyOptions{
+		DNSName:       "", // name checked separately for a precise taxonomy
+		Roots:         roots,
+		Intermediates: inter,
+		CurrentTime:   at,
+		KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	})
+	if err != nil {
+		return ClassifyVerifyError(err, leaf)
+	}
+	if err := leaf.VerifyHostname(host); err != nil {
+		return ProblemNameMismatch
+	}
+	return OK
+}
+
+// ClassifyVerifyError maps an x509/tls verification error (plus the leaf,
+// when available) onto the Problem taxonomy.
+func ClassifyVerifyError(err error, leaf *x509.Certificate) Problem {
+	if err == nil {
+		return OK
+	}
+	var invalid x509.CertificateInvalidError
+	if errors.As(err, &invalid) && invalid.Reason == x509.Expired {
+		return ProblemExpired
+	}
+	var hostErr x509.HostnameError
+	if errors.As(err, &hostErr) {
+		return ProblemNameMismatch
+	}
+	var unkAuth x509.UnknownAuthorityError
+	if errors.As(err, &unkAuth) {
+		if leaf != nil && isSelfIssued(leaf) {
+			return ProblemSelfSigned
+		}
+		return ProblemUntrusted
+	}
+	// Fall back on string matching for tls-wrapped errors.
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "expired"):
+		return ProblemExpired
+	case strings.Contains(msg, "not valid for"), strings.Contains(msg, "doesn't contain"):
+		return ProblemNameMismatch
+	case strings.Contains(msg, "self-signed"), strings.Contains(msg, "self signed"):
+		return ProblemSelfSigned
+	case strings.Contains(msg, "no certificates"), strings.Contains(msg, "no common cipher"),
+		strings.Contains(msg, "internal error"), strings.Contains(msg, "unrecognized name"):
+		return ProblemNoCertificate
+	}
+	return ProblemUntrusted
+}
+
+func isSelfIssued(c *x509.Certificate) bool {
+	return c.Subject.String() == c.Issuer.String()
+}
+
+// MatchHostname implements the RFC 6125 name matching MTA-STS relies on:
+// an exact case-insensitive match, or a pattern whose leftmost label is "*"
+// matching exactly one label. It is shared by the descriptor validator and
+// by mx-pattern matching semantics tests.
+func MatchHostname(pattern, host string) bool {
+	pattern = strutil.CanonicalName(pattern)
+	host = strutil.CanonicalName(host)
+	if pattern == "" || host == "" {
+		return false
+	}
+	if !strings.HasPrefix(pattern, "*.") {
+		return pattern == host
+	}
+	rest := pattern[2:]
+	i := strings.IndexByte(host, '.')
+	if i < 0 {
+		return false
+	}
+	return host[i+1:] == rest
+}

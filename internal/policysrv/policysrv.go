@@ -1,0 +1,249 @@
+// Package policysrv implements the HTTPS policy-hosting substrate: a
+// multi-tenant web server that serves "/.well-known/mta-sts.txt" for many
+// policy domains, with per-tenant certificate behavior and the failure
+// modes the paper's Figure 5 taxonomy measures (closed port, bad TLS, 404,
+// empty file, syntax errors). It also models the third-party policy
+// hosting providers of Table 2, including their CNAME naming schemes and
+// their divergent handling of customers who opt out.
+package policysrv
+
+import (
+	"crypto/tls"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/strutil"
+)
+
+// CertMode selects the certificate a tenant's policy host presents.
+type CertMode int
+
+// Certificate behaviors.
+const (
+	CertGood CertMode = iota
+	CertExpired
+	CertSelfSigned
+	CertWrongName // certificate for the bare domain, missing the mta-sts label
+	CertMissing   // no certificate: handshake fails with an alert
+)
+
+// HTTPMode selects the HTTP-level behavior for a tenant.
+type HTTPMode int
+
+// HTTP behaviors.
+const (
+	HTTPServePolicy HTTPMode = iota
+	HTTPNotFound             // 404 on the well-known path
+	HTTPServerError          // 500
+	HTTPRedirect             // 301 (senders must not follow)
+	HTTPEmptyBody            // 200 with an empty file (§5, DMARCReport opt-out)
+	HTTPGarbage              // 200 with a non-policy body
+)
+
+// Tenant is one policy domain served by the host.
+type Tenant struct {
+	// Domain is the policy domain (e.g. "example.com"); the tenant is
+	// served for Host headers/SNI "mta-sts.<Domain>" plus any extra names
+	// registered with AddAlias.
+	Domain string
+	// Policy is the served policy.
+	Policy mtasts.Policy
+	// CertMode controls the presented certificate.
+	CertMode CertMode
+	// HTTPMode controls the HTTP response.
+	HTTPMode HTTPMode
+}
+
+// Server is a multi-tenant HTTPS policy host.
+type Server struct {
+	ca  *pki.CA
+	now func() time.Time
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant // key: served host name (canonical)
+	certs   map[string]*tls.Certificate
+
+	ln     net.Listener
+	httpSv *http.Server
+	port   int
+}
+
+// New creates a server that issues its certificates from ca.
+func New(ca *pki.CA, now func() time.Time) *Server {
+	if now == nil {
+		now = time.Now
+	}
+	return &Server{
+		ca:      ca,
+		now:     now,
+		tenants: make(map[string]*Tenant),
+		certs:   make(map[string]*tls.Certificate),
+	}
+}
+
+// AddTenant registers (or replaces) a tenant under "mta-sts.<domain>".
+func (s *Server) AddTenant(t *Tenant) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	host := strutil.CanonicalName(mtasts.PolicyHost(t.Domain))
+	s.tenants[host] = t
+	delete(s.certs, host) // force certificate re-issue on next handshake
+}
+
+// AddAlias serves an existing tenant under an additional host name (the
+// provider-side canonical name a customer CNAME points to).
+func (s *Server) AddAlias(domain, alias string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	host := strutil.CanonicalName(mtasts.PolicyHost(domain))
+	t, ok := s.tenants[host]
+	if !ok {
+		return fmt.Errorf("policysrv: no tenant for %s", domain)
+	}
+	s.tenants[strutil.CanonicalName(alias)] = t
+	return nil
+}
+
+// RemoveTenant drops a tenant and its aliases.
+func (s *Server) RemoveTenant(domain string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	host := strutil.CanonicalName(mtasts.PolicyHost(domain))
+	t := s.tenants[host]
+	if t == nil {
+		return
+	}
+	for name, tt := range s.tenants {
+		if tt == t {
+			delete(s.tenants, name)
+			delete(s.certs, name)
+		}
+	}
+}
+
+// Tenant returns the tenant registered for a served host name.
+func (s *Server) Tenant(host string) (*Tenant, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[strutil.CanonicalName(host)]
+	return t, ok
+}
+
+// Start listens on addr and serves HTTPS. The bound port is available via
+// Port.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("policysrv: listen: %w", err)
+	}
+	s.ln = ln
+	if tcp, ok := ln.Addr().(*net.TCPAddr); ok {
+		s.port = tcp.Port
+	}
+	tlsLn := tls.NewListener(ln, &tls.Config{
+		GetCertificate: s.getCertificate,
+		MinVersion:     tls.VersionTLS12,
+	})
+	s.httpSv = &http.Server{
+		Handler:           http.HandlerFunc(s.handle),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Handshake failures are a deliberately injected behavior here;
+		// keep them off the process stderr.
+		ErrorLog: log.New(io.Discard, "", 0),
+	}
+	go s.httpSv.Serve(tlsLn)
+	return ln.Addr(), nil
+}
+
+// Port returns the bound TCP port.
+func (s *Server) Port() int { return s.port }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s.httpSv != nil {
+		return s.httpSv.Close()
+	}
+	return nil
+}
+
+// getCertificate issues (and caches) the certificate matching the tenant's
+// CertMode, selected by SNI.
+func (s *Server) getCertificate(hello *tls.ClientHelloInfo) (*tls.Certificate, error) {
+	name := strutil.CanonicalName(hello.ServerName)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cert, ok := s.certs[name]; ok {
+		return cert, nil
+	}
+	t, ok := s.tenants[name]
+	if !ok {
+		return nil, fmt.Errorf("policysrv: unknown SNI %q", hello.ServerName)
+	}
+	cert, err := s.issueLocked(name, t)
+	if err != nil {
+		return nil, err
+	}
+	if cert != nil {
+		s.certs[name] = cert
+	}
+	return cert, err
+}
+
+func (s *Server) issueLocked(name string, t *Tenant) (*tls.Certificate, error) {
+	now := s.now()
+	opts := pki.IssueOptions{Names: []string{name}, Now: now}
+	switch t.CertMode {
+	case CertGood:
+	case CertExpired:
+		opts.NotBefore = now.Add(-100 * 24 * time.Hour)
+		opts.NotAfter = now.Add(-10 * 24 * time.Hour)
+	case CertSelfSigned:
+		opts.SelfSigned = true
+	case CertWrongName:
+		opts.Names = []string{t.Domain} // bare domain, no mta-sts label
+	case CertMissing:
+		return nil, fmt.Errorf("policysrv: no certificate installed for %s", name)
+	}
+	leaf, err := s.ca.Issue(opts)
+	if err != nil {
+		return nil, err
+	}
+	cert := leaf.TLSCertificate()
+	return &cert, nil
+}
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	host := strutil.CanonicalName(strings.Split(r.Host, ":")[0])
+	s.mu.RLock()
+	t, ok := s.tenants[host]
+	s.mu.RUnlock()
+	if !ok || r.URL.Path != mtasts.WellKnownPath {
+		http.NotFound(w, r)
+		return
+	}
+	switch t.HTTPMode {
+	case HTTPNotFound:
+		http.NotFound(w, r)
+	case HTTPServerError:
+		http.Error(w, "internal error", http.StatusInternalServerError)
+	case HTTPRedirect:
+		http.Redirect(w, r, "https://elsewhere.invalid/mta-sts.txt", http.StatusMovedPermanently)
+	case HTTPEmptyBody:
+		w.Header().Set("Content-Type", "text/plain")
+		w.WriteHeader(http.StatusOK)
+	case HTTPGarbage:
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprint(w, "<html><body>It works!</body></html>\n")
+	default:
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprint(w, t.Policy.String())
+	}
+}

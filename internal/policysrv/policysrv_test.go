@@ -1,0 +1,268 @@
+package policysrv
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+)
+
+var srvNow = time.Now()
+
+func enforcePolicy(mx ...string) mtasts.Policy {
+	return mtasts.Policy{Version: mtasts.Version, Mode: mtasts.ModeEnforce,
+		MaxAge: 86400, MXPatterns: mx}
+}
+
+// newEnv boots a policy server and returns it with a fetcher aimed at it.
+func newEnv(t *testing.T) (*Server, *pki.CA, *mtasts.Fetcher) {
+	t.Helper()
+	ca, err := pki.NewCA("PolicySrv CA", srvNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(ca, func() time.Time { return srvNow })
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	f := &mtasts.Fetcher{
+		Resolver: mtasts.AddrResolverFunc(func(ctx context.Context, host string) ([]string, error) {
+			return []string{"127.0.0.1"}, nil
+		}),
+		RootCAs: ca.Pool(),
+		Port:    srv.Port(),
+		Timeout: 3 * time.Second,
+	}
+	return srv, ca, f
+}
+
+func TestServePolicyMultiTenant(t *testing.T) {
+	srv, _, f := newEnv(t)
+	srv.AddTenant(&Tenant{Domain: "alpha.com", Policy: enforcePolicy("mx.alpha.com")})
+	srv.AddTenant(&Tenant{Domain: "beta.org", Policy: enforcePolicy("mx1.beta.org", "*.backup.beta.org")})
+
+	ctx := context.Background()
+	p1, _, err := f.Fetch(ctx, "alpha.com")
+	if err != nil || p1.MXPatterns[0] != "mx.alpha.com" {
+		t.Errorf("alpha: %+v, %v", p1, err)
+	}
+	p2, _, err := f.Fetch(ctx, "beta.org")
+	if err != nil || len(p2.MXPatterns) != 2 {
+		t.Errorf("beta: %+v, %v", p2, err)
+	}
+}
+
+func TestCertModes(t *testing.T) {
+	srv, _, f := newEnv(t)
+	cases := []struct {
+		domain string
+		mode   CertMode
+		want   pki.Problem
+	}{
+		{"expired.com", CertExpired, pki.ProblemExpired},
+		{"selfsigned.com", CertSelfSigned, pki.ProblemSelfSigned},
+		{"wrongname.com", CertWrongName, pki.ProblemNameMismatch},
+		{"missing.com", CertMissing, pki.ProblemNoCertificate},
+	}
+	for _, c := range cases {
+		srv.AddTenant(&Tenant{Domain: c.domain, Policy: enforcePolicy("mx." + c.domain), CertMode: c.mode})
+		_, _, err := f.Fetch(context.Background(), c.domain)
+		if mtasts.StageOf(err) != mtasts.StageTLS {
+			t.Errorf("%s: stage = %v (err=%v)", c.domain, mtasts.StageOf(err), err)
+			continue
+		}
+		if got := mtasts.CertProblemOf(err); got != c.want {
+			t.Errorf("%s: problem = %v, want %v", c.domain, got, c.want)
+		}
+	}
+}
+
+func TestHTTPModes(t *testing.T) {
+	srv, _, f := newEnv(t)
+	cases := []struct {
+		domain    string
+		mode      HTTPMode
+		wantStage mtasts.Stage
+		wantHTTP  int
+	}{
+		{"notfound.com", HTTPNotFound, mtasts.StageHTTP, http.StatusNotFound},
+		{"servererror.com", HTTPServerError, mtasts.StageHTTP, http.StatusInternalServerError},
+		{"redirect.com", HTTPRedirect, mtasts.StageHTTP, http.StatusMovedPermanently},
+		{"emptybody.com", HTTPEmptyBody, mtasts.StageSyntax, 0},
+		{"garbage.com", HTTPGarbage, mtasts.StageSyntax, 0},
+	}
+	for _, c := range cases {
+		srv.AddTenant(&Tenant{Domain: c.domain, Policy: enforcePolicy("mx." + c.domain), HTTPMode: c.mode})
+		_, _, err := f.Fetch(context.Background(), c.domain)
+		if mtasts.StageOf(err) != c.wantStage {
+			t.Errorf("%s: stage = %v (err=%v)", c.domain, mtasts.StageOf(err), err)
+			continue
+		}
+		if c.wantHTTP != 0 {
+			var fe *mtasts.FetchError
+			if !errors.As(err, &fe) || fe.HTTPStatus != c.wantHTTP {
+				t.Errorf("%s: status = %+v", c.domain, fe)
+			}
+		}
+	}
+}
+
+func TestAliasServesDelegatedName(t *testing.T) {
+	srv, _, f := newEnv(t)
+	provider, _ := LookupProvider("DMARCReport")
+	srv.AddTenant(&Tenant{Domain: "customer.com", Policy: enforcePolicy("mx.customer.com")})
+	canonical := provider.CanonicalName("customer.com")
+	if err := srv.AddAlias("customer.com", canonical); err != nil {
+		t.Fatal(err)
+	}
+	// Fetching via the provider's canonical name works (this is what a
+	// sender does after CNAME resolution: TLS SNI still carries the
+	// customer's policy host, but here we check the alias serves).
+	p, _, err := f.FetchFromHost(context.Background(), "customer.com", canonical)
+	if err != nil {
+		t.Fatalf("fetch via alias: %v", err)
+	}
+	if p.MXPatterns[0] != "mx.customer.com" {
+		t.Errorf("policy = %+v", p)
+	}
+	if err := srv.AddAlias("absent.com", "x.y"); err == nil {
+		t.Error("AddAlias for unknown tenant should fail")
+	}
+}
+
+func TestRemoveTenant(t *testing.T) {
+	srv, _, f := newEnv(t)
+	srv.AddTenant(&Tenant{Domain: "gone.com", Policy: enforcePolicy("mx.gone.com")})
+	if _, _, err := f.Fetch(context.Background(), "gone.com"); err != nil {
+		t.Fatalf("pre-removal fetch: %v", err)
+	}
+	srv.RemoveTenant("gone.com")
+	_, _, err := f.Fetch(context.Background(), "gone.com")
+	if mtasts.StageOf(err) != mtasts.StageTLS {
+		// Unknown SNI → handshake failure.
+		t.Errorf("post-removal: stage=%v err=%v", mtasts.StageOf(err), err)
+	}
+	if _, ok := srv.Tenant(mtasts.PolicyHost("gone.com")); ok {
+		t.Error("tenant still registered")
+	}
+}
+
+func TestCanonicalNameSchemes(t *testing.T) {
+	cases := []struct {
+		provider string
+		domain   string
+		want     string
+	}{
+		{"Tutanota", "a.com", "_mta-sts.tutanota.de"},
+		{"DMARCReport", "a.com", "a-com.mta-sts.dmarcinput.com"},
+		{"PowerDMARC", "a.com", "a-com._mta.mta-sts.tech"},
+		{"EasyDMARC", "a.com", "a_com__mta_sts.easydmarc.pro"},
+		{"Mailhardener", "a.com", "a.com._mta-sts.mailhardener.com"},
+		{"URIports", "a.com", "a-com._mta-sts.uriports.com"},
+		{"Sendmarc", "a.com", "a.com._mta-sts.sdmarc.net"},
+		{"OnDMARC", "a.com", "_mta-sts.a.com._mta-sts.smart.ondmarc.com"},
+	}
+	for _, c := range cases {
+		p, ok := LookupProvider(c.provider)
+		if !ok {
+			t.Errorf("provider %s not in registry", c.provider)
+			continue
+		}
+		if got := p.CanonicalName(c.domain); got != c.want {
+			t.Errorf("%s.CanonicalName(%q) = %q, want %q", c.provider, c.domain, got, c.want)
+		}
+		// And the reverse mapping identifies the provider.
+		back, ok := ProviderFor(p.CanonicalName(c.domain))
+		if !ok || back.Name != c.provider {
+			t.Errorf("ProviderFor(%q) = %v, %v", p.CanonicalName(c.domain), back.Name, ok)
+		}
+	}
+	if _, ok := ProviderFor("mta-sts.unrelated.example"); ok {
+		t.Error("ProviderFor matched an unrelated name")
+	}
+	if _, ok := LookupProvider("NoSuch"); ok {
+		t.Error("LookupProvider matched a bogus name")
+	}
+}
+
+func TestOptOutBehaviors(t *testing.T) {
+	last := enforcePolicy("mx.customer.com")
+
+	// NXDOMAIN providers stop serving.
+	for _, name := range []string{"PowerDMARC", "Mailhardener", "URIports"} {
+		p, _ := LookupProvider(name)
+		if _, ok := p.OptOutTenant("customer.com", last); ok {
+			t.Errorf("%s should return NXDOMAIN after opt-out", name)
+		}
+	}
+
+	// DMARCReport: cert reissued, empty policy file.
+	p, _ := LookupProvider("DMARCReport")
+	ten, ok := p.OptOutTenant("customer.com", last)
+	if !ok || ten.HTTPMode != HTTPEmptyBody || ten.CertMode != CertGood {
+		t.Errorf("DMARCReport opt-out tenant = %+v, %v", ten, ok)
+	}
+
+	// EasyDMARC/Sendmarc/OnDMARC: cert reissued, stale policy kept.
+	for _, name := range []string{"EasyDMARC", "Sendmarc", "OnDMARC"} {
+		p, _ := LookupProvider(name)
+		ten, ok := p.OptOutTenant("customer.com", last)
+		if !ok || ten.HTTPMode != HTTPServePolicy || ten.CertMode != CertGood ||
+			ten.Policy.Mode != mtasts.ModeEnforce {
+			t.Errorf("%s opt-out tenant = %+v, %v", name, ten, ok)
+		}
+	}
+
+	// Tutanota: certificate lapses (expired), stale policy kept.
+	p, _ = LookupProvider("Tutanota")
+	ten, ok = p.OptOutTenant("customer.com", last)
+	if !ok || ten.CertMode != CertExpired || ten.Policy.Mode != mtasts.ModeEnforce {
+		t.Errorf("Tutanota opt-out tenant = %+v, %v", ten, ok)
+	}
+}
+
+func TestOptOutEndToEnd(t *testing.T) {
+	// A DMARCReport customer opts out: the served policy becomes an empty
+	// file, which a compliant sender treats as a syntax failure.
+	srv, _, f := newEnv(t)
+	p, _ := LookupProvider("DMARCReport")
+	ten, ok := p.OptOutTenant("customer.com", enforcePolicy("mx.customer.com"))
+	if !ok {
+		t.Fatal("expected a served tenant")
+	}
+	srv.AddTenant(&ten)
+	_, _, err := f.Fetch(context.Background(), "customer.com")
+	if mtasts.StageOf(err) != mtasts.StageSyntax || !errors.Is(err, mtasts.ErrEmptyPolicy) {
+		t.Errorf("opt-out fetch: stage=%v err=%v", mtasts.StageOf(err), err)
+	}
+}
+
+func TestRegistryMatchesTable2(t *testing.T) {
+	if len(Registry) != 8 {
+		t.Fatalf("registry has %d providers, want 8", len(Registry))
+	}
+	// Only Tutanota offers email hosting.
+	for _, p := range Registry {
+		if p.EmailHosting != (p.Name == "Tutanota") {
+			t.Errorf("%s EmailHosting = %v", p.Name, p.EmailHosting)
+		}
+	}
+	// Exactly three NXDOMAIN providers; exactly four reissue certificates.
+	nx, reissue := 0, 0
+	for _, p := range Registry {
+		if p.OptOutNXDomain {
+			nx++
+		}
+		if p.OptOutReissueCert {
+			reissue++
+		}
+	}
+	if nx != 3 || reissue != 4 {
+		t.Errorf("NXDOMAIN=%d (want 3), reissue=%d (want 4)", nx, reissue)
+	}
+}

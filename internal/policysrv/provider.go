@@ -1,0 +1,155 @@
+package policysrv
+
+import (
+	"strings"
+
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/strutil"
+)
+
+// NameScheme is how a hosting provider derives the canonical policy-host
+// name a customer's CNAME must point to (the "CNAME Patterns" column of
+// Table 2).
+type NameScheme int
+
+// Naming schemes observed across the Table 2 providers.
+const (
+	// SchemeShared: every customer points at one shared name
+	// (Tutanota: _mta-sts.tutanota.de).
+	SchemeShared NameScheme = iota
+	// SchemeDashes: dots become dashes, prefixed to the base
+	// (DMARCReport: a-com.mta-sts.dmarcinput.com).
+	SchemeDashes
+	// SchemeUnderscores: dots become underscores with a double-underscore
+	// marker (EasyDMARC: a_com__mta_sts.easydmarc.pro).
+	SchemeUnderscores
+	// SchemePlainPrefix: the customer domain is kept verbatim as a prefix
+	// (Mailhardener: a.com._mta-sts.mailhardener.com).
+	SchemePlainPrefix
+	// SchemeLabeled: "_mta-sts." + domain + "." + base
+	// (OnDMARC: _mta-sts.a.com._mta-sts.smart.ondmarc.com).
+	SchemeLabeled
+)
+
+// OptOutPolicyUpdate is what happens to a departed customer's policy file
+// (last column of Table 2).
+type OptOutPolicyUpdate int
+
+// Policy-file handling after opt-out.
+const (
+	// UpdateNone: the stale policy keeps being served.
+	UpdateNone OptOutPolicyUpdate = iota
+	// UpdateEmptyFile: the policy is replaced with an empty file, which
+	// parsers reject — senders treat it like mode "none" (DMARCReport).
+	UpdateEmptyFile
+	// UpdateModeNone: the policy is rewritten to mode "none"
+	// (PowerDMARC, Mailhardener).
+	UpdateModeNone
+)
+
+// Provider describes a third-party policy hosting provider.
+type Provider struct {
+	// Name is the provider's display name.
+	Name string
+	// Base is the provider-controlled suffix of canonical names.
+	Base string
+	// Scheme derives per-customer canonical names.
+	Scheme NameScheme
+	// EmailHosting marks providers that also run the customer's MXes
+	// (only Tutanota in Table 2).
+	EmailHosting bool
+	// OptOutNXDomain: the canonical name is withdrawn from DNS after
+	// opt-out, so the policy domain stops resolving.
+	OptOutNXDomain bool
+	// OptOutReissueCert: certificates keep being issued for departed
+	// customers via ACME domain validation.
+	OptOutReissueCert bool
+	// OptOutUpdate is the policy-file handling after opt-out.
+	OptOutUpdate OptOutPolicyUpdate
+}
+
+// CanonicalName returns the provider-side host name the customer's
+// "mta-sts.<domain>" CNAME must target.
+func (p Provider) CanonicalName(domain string) string {
+	domain = strutil.CanonicalName(domain)
+	switch p.Scheme {
+	case SchemeShared:
+		return p.Base
+	case SchemeDashes:
+		return strings.ReplaceAll(domain, ".", "-") + "." + p.Base
+	case SchemeUnderscores:
+		return strings.ReplaceAll(domain, ".", "_") + "__mta_sts." + p.Base
+	case SchemePlainPrefix:
+		return domain + "." + p.Base
+	case SchemeLabeled:
+		return "_mta-sts." + domain + "." + p.Base
+	}
+	return p.Base
+}
+
+// OptOutTenant derives the tenant state served for a customer after an
+// incomplete opt-out (customer removed from the provider, CNAME left
+// behind), per the provider's Table 2 behavior. ok is false when the
+// provider stops serving the name entirely (NXDOMAIN providers).
+func (p Provider) OptOutTenant(domain string, last mtasts.Policy) (t Tenant, ok bool) {
+	if p.OptOutNXDomain {
+		return Tenant{}, false
+	}
+	t = Tenant{Domain: domain, Policy: last}
+	if !p.OptOutReissueCert {
+		// Certificates lapse: the scanner observes an expired certificate.
+		t.CertMode = CertExpired
+	}
+	switch p.OptOutUpdate {
+	case UpdateEmptyFile:
+		t.HTTPMode = HTTPEmptyBody
+	case UpdateModeNone:
+		t.Policy.Mode = mtasts.ModeNone
+		t.Policy.MXPatterns = nil
+	}
+	return t, true
+}
+
+// Registry is the Table 2 provider list, ordered by customer count in the
+// paper's latest snapshot.
+var Registry = []Provider{
+	{Name: "Tutanota", Base: "_mta-sts.tutanota.de", Scheme: SchemeShared,
+		EmailHosting: true, OptOutUpdate: UpdateNone},
+	{Name: "DMARCReport", Base: "mta-sts.dmarcinput.com", Scheme: SchemeDashes,
+		OptOutReissueCert: true, OptOutUpdate: UpdateEmptyFile},
+	{Name: "PowerDMARC", Base: "_mta.mta-sts.tech", Scheme: SchemeDashes,
+		OptOutNXDomain: true, OptOutUpdate: UpdateModeNone},
+	{Name: "EasyDMARC", Base: "easydmarc.pro", Scheme: SchemeUnderscores,
+		OptOutReissueCert: true, OptOutUpdate: UpdateNone},
+	{Name: "Mailhardener", Base: "_mta-sts.mailhardener.com", Scheme: SchemePlainPrefix,
+		OptOutNXDomain: true, OptOutUpdate: UpdateModeNone},
+	{Name: "URIports", Base: "_mta-sts.uriports.com", Scheme: SchemeDashes,
+		OptOutNXDomain: true, OptOutUpdate: UpdateNone},
+	{Name: "Sendmarc", Base: "_mta-sts.sdmarc.net", Scheme: SchemePlainPrefix,
+		OptOutReissueCert: true, OptOutUpdate: UpdateNone},
+	{Name: "OnDMARC", Base: "_mta-sts.smart.ondmarc.com", Scheme: SchemeLabeled,
+		OptOutReissueCert: true, OptOutUpdate: UpdateNone},
+}
+
+// LookupProvider finds a registry provider by name (case-insensitive).
+func LookupProvider(name string) (Provider, bool) {
+	for _, p := range Registry {
+		if strings.EqualFold(p.Name, name) {
+			return p, true
+		}
+	}
+	return Provider{}, false
+}
+
+// ProviderFor identifies which provider a CNAME target belongs to, by
+// suffix match on the provider base.
+func ProviderFor(cnameTarget string) (Provider, bool) {
+	target := strutil.CanonicalName(cnameTarget)
+	for _, p := range Registry {
+		base := strutil.CanonicalName(p.Base)
+		if target == base || strings.HasSuffix(target, "."+base) {
+			return p, true
+		}
+	}
+	return Provider{}, false
+}

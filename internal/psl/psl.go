@@ -1,0 +1,140 @@
+// Package psl implements a minimal public-suffix list and the
+// registrable-domain ("effective second-level domain", eSLD) computation
+// used by the managing-entity heuristics in §4.3.1 of the paper.
+//
+// The embedded list covers the TLDs measured by the paper (.com, .net,
+// .org, .se) plus the multi-label public suffixes that commonly appear in
+// mail-hosting infrastructure. Additional suffixes can be registered on a
+// custom List.
+package psl
+
+import (
+	"strings"
+
+	"github.com/netsecurelab/mtasts/internal/strutil"
+)
+
+// List is a set of public suffixes. Lookups are exact-label matches plus
+// wildcard rules of the form "*.<suffix>".
+type List struct {
+	exact    map[string]bool
+	wildcard map[string]bool // value of "*.x" stored under "x"
+}
+
+// defaultSuffixes is the embedded rule set. It deliberately covers the
+// paper's four TLDs, common ccTLD second-level registries seen in MX
+// hostnames, and infrastructure suffixes under which providers hand out
+// per-customer names.
+var defaultSuffixes = []string{
+	// Paper TLDs.
+	"com", "net", "org", "se",
+	// Common gTLDs that show up in MX / NS / policy-host names.
+	"io", "de", "uk", "nl", "eu", "co", "tech", "pro", "dev", "app",
+	"info", "biz", "us", "ca", "au", "fr", "ch", "at", "dk", "no", "fi",
+	"email", "cloud", "host", "online", "site", "xyz", "me",
+	// Multi-label public suffixes.
+	"co.uk", "org.uk", "ac.uk", "gov.uk",
+	"com.au", "net.au", "org.au",
+	"co.se", // historic
+	"com.br", "com.mx", "co.jp", "ne.jp", "or.jp", "co.nz",
+	// Wildcard example rules.
+	"*.compute.example-cloud.internal",
+}
+
+var defaultList = NewList(defaultSuffixes)
+
+// NewList builds a List from suffix rules. A rule beginning with "*."
+// declares every direct child of the remainder a public suffix.
+func NewList(rules []string) *List {
+	l := &List{exact: make(map[string]bool), wildcard: make(map[string]bool)}
+	for _, r := range rules {
+		r = strutil.CanonicalName(r)
+		if rest, ok := strings.CutPrefix(r, "*."); ok {
+			l.wildcard[rest] = true
+			continue
+		}
+		if r != "" {
+			l.exact[r] = true
+		}
+	}
+	return l
+}
+
+// Default returns the embedded list.
+func Default() *List { return defaultList }
+
+// Add registers an additional suffix rule on the list.
+func (l *List) Add(rule string) {
+	rule = strutil.CanonicalName(rule)
+	if rest, ok := strings.CutPrefix(rule, "*."); ok {
+		l.wildcard[rest] = true
+		return
+	}
+	if rule != "" {
+		l.exact[rule] = true
+	}
+}
+
+// PublicSuffix returns the longest public suffix of name according to the
+// list. When no rule matches, the rightmost label is used (the standard
+// "implicit *" rule), so PublicSuffix never returns "" for a non-empty name.
+func (l *List) PublicSuffix(name string) string {
+	labels := strutil.Labels(name)
+	if len(labels) == 0 {
+		return ""
+	}
+	// Scan from the longest candidate suffix to the shortest.
+	for i := 0; i < len(labels); i++ {
+		cand := strings.Join(labels[i:], ".")
+		if l.exact[cand] {
+			return cand
+		}
+		// "*.x" matches exactly one extra label in front of x.
+		if i+1 < len(labels) && l.wildcard[strings.Join(labels[i+1:], ".")] {
+			return cand
+		}
+	}
+	return labels[len(labels)-1]
+}
+
+// RegistrableDomain returns the eSLD of name: the public suffix plus one
+// label. It returns "" when name itself is a public suffix or empty.
+func (l *List) RegistrableDomain(name string) string {
+	name = strutil.CanonicalName(name)
+	suffix := l.PublicSuffix(name)
+	if suffix == "" || name == suffix {
+		return ""
+	}
+	rest := strings.TrimSuffix(name, "."+suffix)
+	labels := strutil.Labels(rest)
+	if len(labels) == 0 {
+		return ""
+	}
+	return labels[len(labels)-1] + "." + suffix
+}
+
+// RegistrableDomain computes the eSLD using the default list.
+func RegistrableDomain(name string) string {
+	return defaultList.RegistrableDomain(name)
+}
+
+// PublicSuffix computes the public suffix using the default list.
+func PublicSuffix(name string) string {
+	return defaultList.PublicSuffix(name)
+}
+
+// SameRegistrableDomain reports whether two names share an eSLD (and that
+// eSLD is non-empty). This is Heuristic 2's "same SLD" test from §4.3.1.
+func SameRegistrableDomain(a, b string) bool {
+	ra := RegistrableDomain(a)
+	return ra != "" && ra == RegistrableDomain(b)
+}
+
+// TLD returns the rightmost label of a name.
+func TLD(name string) string {
+	labels := strutil.Labels(name)
+	if len(labels) == 0 {
+		return ""
+	}
+	return labels[len(labels)-1]
+}

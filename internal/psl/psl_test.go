@@ -1,0 +1,123 @@
+package psl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPublicSuffix(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"example.com", "com"},
+		{"mail.example.com", "com"},
+		{"example.co.uk", "co.uk"},
+		{"www.example.co.uk", "co.uk"},
+		{"example.se", "se"},
+		{"com", "com"},
+		{"co.uk", "co.uk"},
+		{"example.unknown-tld", "unknown-tld"}, // implicit * rule
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := PublicSuffix(c.in); got != c.want {
+			t.Errorf("PublicSuffix(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRegistrableDomain(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"example.com", "example.com"},
+		{"mail.example.com", "example.com"},
+		{"a.b.c.example.com", "example.com"},
+		{"example.co.uk", "example.co.uk"},
+		{"mx1.example.co.uk", "example.co.uk"},
+		{"Example.COM.", "example.com"},
+		{"com", ""},
+		{"co.uk", ""},
+		{"", ""},
+		{"mta-sts.tutanota.de", "tutanota.de"},
+	}
+	for _, c := range cases {
+		if got := RegistrableDomain(c.in); got != c.want {
+			t.Errorf("RegistrableDomain(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWildcardRule(t *testing.T) {
+	l := NewList([]string{"com", "*.regional.example-registry"})
+	if got := l.PublicSuffix("zone1.regional.example-registry"); got != "zone1.regional.example-registry" {
+		t.Errorf("wildcard public suffix = %q", got)
+	}
+	if got := l.RegistrableDomain("customer.zone1.regional.example-registry"); got != "customer.zone1.regional.example-registry" {
+		t.Errorf("wildcard registrable domain = %q", got)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	l := NewList([]string{"com"})
+	l.Add("fancy.tld")
+	if got := l.RegistrableDomain("x.fancy.tld"); got != "x.fancy.tld" {
+		t.Errorf("after Add, RegistrableDomain = %q", got)
+	}
+	l.Add("*.dyn.tld")
+	if got := l.PublicSuffix("a.dyn.tld"); got != "a.dyn.tld" {
+		t.Errorf("after Add wildcard, PublicSuffix = %q", got)
+	}
+}
+
+func TestSameRegistrableDomain(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"mail.example.com", "mta-sts.example.com", true},
+		{"example.com", "example.com", true},
+		{"example.com", "example.net", false},
+		{"com", "com", false}, // empty eSLD never matches
+		{"mx.tutanota.de", "mta-sts.tutanota.de", true},
+	}
+	for _, c := range cases {
+		if got := SameRegistrableDomain(c.a, c.b); got != c.want {
+			t.Errorf("SameRegistrableDomain(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: the registrable domain of a name, when non-empty, is a suffix of
+// the canonical name on a label boundary, and its registrable domain is
+// itself (idempotence).
+func TestRegistrableDomainProperties(t *testing.T) {
+	labels := []string{"a", "mail", "mx1", "example", "foo", "bar", "com", "net", "org", "se", "co", "uk"}
+	f := func(seed uint32, n uint8) bool {
+		k := int(n%5) + 1
+		parts := make([]string, k)
+		s := seed
+		for i := range parts {
+			s = s*1664525 + 1013904223
+			parts[i] = labels[int(s)%len(labels)]
+		}
+		name := strings.Join(parts, ".")
+		rd := RegistrableDomain(name)
+		if rd == "" {
+			return true
+		}
+		if !(name == rd || strings.HasSuffix(name, "."+rd)) {
+			return false
+		}
+		return RegistrableDomain(rd) == rd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLD(t *testing.T) {
+	if got := TLD("mail.example.com"); got != "com" {
+		t.Errorf("TLD = %q", got)
+	}
+	if got := TLD(""); got != "" {
+		t.Errorf("TLD(empty) = %q", got)
+	}
+}

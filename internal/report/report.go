@@ -1,0 +1,212 @@
+// Package report renders experiment outputs for the terminal: aligned
+// tables and ASCII line charts approximating the paper's figures, so
+// `cmd/reproduce` can print every table and figure side by side with the
+// paper's reported values.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/netsecurelab/mtasts/internal/dataset"
+)
+
+// WriteTable renders a dataset.Table with aligned columns.
+func WriteTable(w io.Writer, t *dataset.Table) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Chart draws one or more series as an ASCII line chart of the given
+// height (rows) — a terminal rendition of a paper figure.
+type Chart struct {
+	Title  string
+	YLabel string
+	Height int
+	Series []dataset.Series
+}
+
+// seriesMarks distinguishes overlaid series.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Write renders the chart.
+func (c *Chart) Write(w io.Writer) {
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	if len(c.Series) == 0 {
+		fmt.Fprintf(w, "== %s == (no data)\n", c.Title)
+		return
+	}
+	width := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.Points) > width {
+			width = len(s.Points)
+		}
+		if v := s.Min(); v < lo {
+			lo = v
+		}
+		if v := s.Max(); v > hi {
+			hi = v
+		}
+	}
+	if width == 0 {
+		fmt.Fprintf(w, "== %s == (empty series)\n", c.Title)
+		return
+	}
+	if lo > 0 && lo < hi/3 {
+		lo = 0 // anchor near-zero ranges at zero, like the paper's axes
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for x, p := range s.Points {
+			y := int(math.Round((p.Value - lo) / (hi - lo) * float64(height-1)))
+			if y < 0 {
+				y = 0
+			}
+			if y > height-1 {
+				y = height - 1
+			}
+			row := height - 1 - y
+			grid[row][x] = mark
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", c.Title)
+	}
+	for i, row := range grid {
+		yVal := hi - (hi-lo)*float64(i)/float64(height-1)
+		fmt.Fprintf(w, "%8.3f | %s\n", yVal, string(row))
+	}
+	fmt.Fprintf(w, "%8s +-%s\n", "", strings.Repeat("-", width))
+	// X labels: first, middle, last.
+	first, last := "", ""
+	s0 := c.Series[0]
+	if len(s0.Points) > 0 {
+		first, last = s0.Points[0].Label, s0.Points[len(s0.Points)-1].Label
+	}
+	gap := width - len(first) - len(last)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(w, "%8s   %s%s%s\n", "", first, strings.Repeat(" ", gap), last)
+	for si, s := range c.Series {
+		fmt.Fprintf(w, "%8s   %c = %s\n", "", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(w, "%8s   y: %s\n", "", c.YLabel)
+	}
+}
+
+// Sparkline renders a single series as one line of block characters, for
+// compact summaries.
+func Sparkline(s dataset.Series) string {
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := s.Min(), s.Max()
+	if hi == lo {
+		hi = lo + 1
+	}
+	var sb strings.Builder
+	for _, p := range s.Points {
+		idx := int((p.Value - lo) / (hi - lo) * float64(len(blocks)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	return sb.String()
+}
+
+// ComparisonRow pairs a paper-reported value with the measured one for
+// EXPERIMENTS.md.
+type ComparisonRow struct {
+	Metric   string
+	Paper    string
+	Measured string
+	Holds    bool
+}
+
+// WriteComparison renders paper-vs-measured rows.
+func WriteComparison(w io.Writer, title string, rows []ComparisonRow) {
+	t := &dataset.Table{
+		Title:   title,
+		Headers: []string{"metric", "paper", "measured", "shape holds"},
+	}
+	for _, r := range rows {
+		holds := "yes"
+		if !r.Holds {
+			holds = "NO"
+		}
+		t.AddRow(r.Metric, r.Paper, r.Measured, holds)
+	}
+	WriteTable(w, t)
+}
+
+// MarkdownTable renders a dataset.Table as GitHub-flavored markdown.
+func MarkdownTable(t *dataset.Table) string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "### %s\n\n", t.Title)
+	}
+	sb.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}

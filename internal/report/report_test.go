@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/dataset"
+)
+
+func TestWriteTableAligned(t *testing.T) {
+	tbl := &dataset.Table{
+		Title:   "Demo",
+		Headers: []string{"tld", "domains"},
+	}
+	tbl.AddRow(".com", 53800)
+	tbl.AddRow(".se", 692)
+	var sb strings.Builder
+	WriteTable(&sb, tbl)
+	out := sb.String()
+	if !strings.Contains(out, "== Demo ==") || !strings.Contains(out, ".com") {
+		t.Errorf("output = %q", out)
+	}
+	// The header separator line must be present.
+	if !strings.Contains(out, "---") {
+		t.Error("no separator")
+	}
+}
+
+func TestChartWrite(t *testing.T) {
+	s1 := dataset.FromValues("com", []float64{0.02, 0.04, 0.07}, nil)
+	s2 := dataset.FromValues("org", []float64{0.03, 0.05, 0.12}, nil)
+	c := &Chart{Title: "Figure 2", YLabel: "% of domains", Height: 6, Series: []dataset.Series{s1, s2}}
+	var sb strings.Builder
+	c.Write(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "* = com") || !strings.Contains(out, "+ = org") {
+		t.Errorf("output = %q", out)
+	}
+	if !strings.Contains(out, "y: % of domains") {
+		t.Error("missing y label")
+	}
+	// Marks should appear in the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("missing series marks")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var sb strings.Builder
+	(&Chart{Title: "E"}).Write(&sb)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("output = %q", sb.String())
+	}
+	sb.Reset()
+	(&Chart{Title: "E2", Series: []dataset.Series{{Name: "empty"}}}).Write(&sb)
+	if !strings.Contains(sb.String(), "empty series") {
+		t.Errorf("output = %q", sb.String())
+	}
+}
+
+func TestChartFlatSeriesNoPanic(t *testing.T) {
+	s := dataset.FromValues("flat", []float64{5, 5, 5, 5}, nil)
+	var sb strings.Builder
+	(&Chart{Series: []dataset.Series{s}}).Write(&sb)
+	if sb.Len() == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := dataset.FromValues("x", []float64{0, 1, 2, 3}, nil)
+	sp := Sparkline(s)
+	if len([]rune(sp)) != 4 {
+		t.Errorf("sparkline = %q", sp)
+	}
+	if Sparkline(dataset.Series{}) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+}
+
+func TestWriteComparison(t *testing.T) {
+	var sb strings.Builder
+	WriteComparison(&sb, "Check", []ComparisonRow{
+		{Metric: "misconfigured", Paper: "29.6%", Measured: "29.1%", Holds: true},
+		{Metric: "broken", Paper: "1", Measured: "99", Holds: false},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "yes") || !strings.Contains(out, "NO") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	tbl := &dataset.Table{Title: "T", Headers: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	md := MarkdownTable(tbl)
+	for _, want := range []string{"### T", "| a | b |", "|---|---|", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

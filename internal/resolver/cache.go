@@ -1,0 +1,178 @@
+package resolver
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+)
+
+// entry is a cached lookup outcome.
+type entry struct {
+	rrs   []dnsmsg.RR
+	cname string
+	err   error
+}
+
+type cacheKey struct {
+	name string
+	t    dnsmsg.Type
+}
+
+type cacheItem struct {
+	key     cacheKey
+	val     entry
+	expires time.Time
+}
+
+// Cache is a TTL-respecting LRU cache of lookup outcomes. It is safe for
+// concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	items map[cacheKey]*list.Element
+	order *list.List // front = most recent
+
+	// now is replaceable for tests.
+	now func() time.Time
+}
+
+// NewCache returns a cache bounded to max entries (minimum 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{
+		max:   max,
+		items: make(map[cacheKey]*list.Element),
+		order: list.New(),
+		now:   time.Now,
+	}
+}
+
+// Get returns the cached outcome for (name, t) if present and unexpired.
+func (c *Cache) Get(name string, t dnsmsg.Type) (entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[cacheKey{name, t}]
+	if !ok {
+		return entry{}, false
+	}
+	item := el.Value.(*cacheItem)
+	if c.now().After(item.expires) {
+		c.removeLocked(el)
+		return entry{}, false
+	}
+	c.order.MoveToFront(el)
+	return item.val, true
+}
+
+// Put stores an outcome with the given TTL, evicting the least recently
+// used entry when full.
+func (c *Cache) Put(name string, t dnsmsg.Type, val entry, ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{name, t}
+	if el, ok := c.items[key]; ok {
+		item := el.Value.(*cacheItem)
+		item.val, item.expires = val, c.now().Add(ttl)
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.items) >= c.max {
+		c.removeLocked(c.order.Back())
+	}
+	el := c.order.PushFront(&cacheItem{key: key, val: val, expires: c.now().Add(ttl)})
+	c.items[key] = el
+}
+
+// Len returns the number of live entries (including any expired but not yet
+// evicted ones).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Flush drops every entry.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[cacheKey]*list.Element)
+	c.order.Init()
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	if el == nil {
+		return
+	}
+	item := el.Value.(*cacheItem)
+	delete(c.items, item.key)
+	c.order.Remove(el)
+}
+
+// RateLimiter is a token-bucket limiter gating outgoing DNS queries, per
+// the paper's "rate limit our queries" methodology (§3.1).
+type RateLimiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+	sleep  func(time.Duration)
+}
+
+// NewRateLimiter allows rate queries/second with the given burst.
+func NewRateLimiter(rate float64, burst int) *RateLimiter {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		now:    time.Now,
+		sleep:  func(d time.Duration) { time.Sleep(d) },
+	}
+}
+
+// Wait blocks until a token is available or ctx is done.
+func (l *RateLimiter) Wait(ctx context.Context) error {
+	for {
+		l.mu.Lock()
+		now := l.now()
+		if !l.last.IsZero() {
+			l.tokens += now.Sub(l.last).Seconds() * l.rate
+			if l.tokens > l.burst {
+				l.tokens = l.burst
+			}
+		}
+		l.last = now
+		if l.tokens >= 1 {
+			l.tokens--
+			l.mu.Unlock()
+			return nil
+		}
+		need := (1 - l.tokens) / l.rate
+		l.mu.Unlock()
+		wait := time.Duration(need * float64(time.Second))
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		l.sleep(wait)
+	}
+}

@@ -1,0 +1,402 @@
+// Package resolver provides the DNS client side of the measurement
+// apparatus: a stub resolver speaking the dnsmsg wire format over UDP with
+// TCP fallback on truncation, CNAME chasing across zones, a TTL-respecting
+// cache, and a token-bucket rate limiter (the paper rate-limits its scans
+// to avoid overloading small authoritative servers, §3.1).
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/strutil"
+)
+
+// Lookup errors. NXDomain and NoData are distinguished because MTA-STS
+// discovery treats them identically ("no record") while the scanner's DNS
+// error taxonomy does not.
+var (
+	ErrNXDomain   = errors.New("resolver: name does not exist (NXDOMAIN)")
+	ErrNoData     = errors.New("resolver: name exists but has no records of requested type")
+	ErrServFail   = errors.New("resolver: server failure (SERVFAIL)")
+	ErrRefused    = errors.New("resolver: query refused")
+	ErrTimeout    = errors.New("resolver: query timed out")
+	ErrBadMessage = errors.New("resolver: malformed response")
+	ErrCNAMELoop  = errors.New("resolver: CNAME chain too long")
+)
+
+// IsNotFound reports whether err is NXDOMAIN or NODATA — the two outcomes
+// RFC 8461 treats as "MTA-STS not supported".
+func IsNotFound(err error) bool {
+	return errors.Is(err, ErrNXDomain) || errors.Is(err, ErrNoData)
+}
+
+// Client resolves DNS queries against a fixed server address. It is safe
+// for concurrent use.
+type Client struct {
+	// ServerAddr is the "host:port" of the authoritative/recursive server.
+	ServerAddr string
+	// Timeout bounds each network exchange. Zero means 3s.
+	Timeout time.Duration
+	// MaxCNAME bounds cross-restart CNAME chasing. Zero means 8.
+	MaxCNAME int
+	// Limiter, when non-nil, gates outgoing queries.
+	Limiter *RateLimiter
+	// Cache, when non-nil, stores responses by (name, type) up to TTL.
+	Cache *Cache
+
+	mu  sync.Mutex
+	rnd *rand.Rand
+}
+
+// New returns a Client for the given server with a small shared cache.
+func New(serverAddr string) *Client {
+	return &Client{
+		ServerAddr: serverAddr,
+		Timeout:    3 * time.Second,
+		Cache:      NewCache(4096),
+		rnd:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 3 * time.Second
+	}
+	return c.Timeout
+}
+
+func (c *Client) maxCNAME() int {
+	if c.MaxCNAME <= 0 {
+		return 8
+	}
+	return c.MaxCNAME
+}
+
+func (c *Client) nextID() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rnd == nil {
+		c.rnd = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return uint16(c.rnd.Uint32())
+}
+
+// Lookup resolves (name, type), following CNAME chains across query
+// restarts, and returns the final RRset (CNAME records are not included).
+// The returned records all have the requested type.
+func (c *Client) Lookup(ctx context.Context, name string, t dnsmsg.Type) ([]dnsmsg.RR, error) {
+	cur := strutil.CanonicalName(name)
+	for depth := 0; depth <= c.maxCNAME(); depth++ {
+		rrs, cname, err := c.queryOnce(ctx, cur, t)
+		if err != nil {
+			return nil, err
+		}
+		if len(rrs) > 0 {
+			return rrs, nil
+		}
+		if cname == "" {
+			return nil, fmt.Errorf("%w: %s %s", ErrNoData, cur, t)
+		}
+		cur = cname
+	}
+	return nil, ErrCNAMELoop
+}
+
+// LookupCNAME returns the CNAME target at name, or ErrNoData when name has
+// no CNAME.
+func (c *Client) LookupCNAME(ctx context.Context, name string) (string, error) {
+	rrs, _, err := c.queryOnce(ctx, strutil.CanonicalName(name), dnsmsg.TypeCNAME)
+	if err != nil {
+		return "", err
+	}
+	for _, rr := range rrs {
+		if cd, ok := rr.Data.(dnsmsg.CNAMEData); ok {
+			return strutil.CanonicalName(cd.Target), nil
+		}
+	}
+	return "", fmt.Errorf("%w: %s CNAME", ErrNoData, name)
+}
+
+// LookupTXT returns the logical values of TXT records at name.
+func (c *Client) LookupTXT(ctx context.Context, name string) ([]string, error) {
+	rrs, err := c.Lookup(ctx, name, dnsmsg.TypeTXT)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(rrs))
+	for _, rr := range rrs {
+		if td, ok := rr.Data.(dnsmsg.TXTData); ok {
+			out = append(out, td.Joined())
+		}
+	}
+	return out, nil
+}
+
+// MX is a resolved mail exchange.
+type MX struct {
+	Preference uint16
+	Host       string
+}
+
+// LookupMX returns the MX records at name sorted by preference.
+func (c *Client) LookupMX(ctx context.Context, name string) ([]MX, error) {
+	rrs, err := c.Lookup(ctx, name, dnsmsg.TypeMX)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MX, 0, len(rrs))
+	for _, rr := range rrs {
+		if md, ok := rr.Data.(dnsmsg.MXData); ok {
+			out = append(out, MX{Preference: md.Preference, Host: strutil.CanonicalName(md.Host)})
+		}
+	}
+	// Insertion sort by preference keeps equal-preference order stable.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Preference < out[j-1].Preference; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+// LookupAddrs returns A (and, when includeV6 is set, AAAA) addresses.
+func (c *Client) LookupAddrs(ctx context.Context, name string, includeV6 bool) ([]netip.Addr, error) {
+	var out []netip.Addr
+	rrs, err := c.Lookup(ctx, name, dnsmsg.TypeA)
+	if err != nil && !IsNotFound(err) {
+		return nil, err
+	}
+	for _, rr := range rrs {
+		if ad, ok := rr.Data.(dnsmsg.AData); ok {
+			out = append(out, ad.Addr)
+		}
+	}
+	if includeV6 {
+		rrs6, err6 := c.Lookup(ctx, name, dnsmsg.TypeAAAA)
+		if err6 != nil && !IsNotFound(err6) {
+			return nil, err6
+		}
+		for _, rr := range rrs6 {
+			if ad, ok := rr.Data.(dnsmsg.AAAAData); ok {
+				out = append(out, ad.Addr)
+			}
+		}
+	}
+	if len(out) == 0 {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %s A/AAAA", ErrNoData, name)
+	}
+	return out, nil
+}
+
+// queryOnce performs a single query. On a CNAME-only answer it returns the
+// final CNAME target for the caller to restart with; records matching t are
+// returned directly.
+func (c *Client) queryOnce(ctx context.Context, name string, t dnsmsg.Type) (rrs []dnsmsg.RR, cname string, err error) {
+	if c.Cache != nil {
+		if ce, ok := c.Cache.Get(name, t); ok {
+			return ce.rrs, ce.cname, ce.err
+		}
+	}
+	rrs, cname, err = c.exchange(ctx, name, t)
+	if c.Cache != nil {
+		// Negative results are cached briefly; positives by minimum TTL.
+		ttl := 30 * time.Second
+		if err == nil {
+			ttl = minTTL(rrs)
+		} else if errors.Is(err, ErrTimeout) || errors.Is(err, ErrServFail) {
+			ttl = 0 // do not cache transient failures
+		}
+		if ttl > 0 {
+			c.Cache.Put(name, t, entry{rrs: rrs, cname: cname, err: err}, ttl)
+		}
+	}
+	return rrs, cname, err
+}
+
+func minTTL(rrs []dnsmsg.RR) time.Duration {
+	minV := uint32(300)
+	for i, rr := range rrs {
+		if i == 0 || rr.TTL < minV {
+			minV = rr.TTL
+		}
+	}
+	if minV == 0 {
+		minV = 1
+	}
+	if minV > 3600 {
+		minV = 3600
+	}
+	return time.Duration(minV) * time.Second
+}
+
+func (c *Client) exchange(ctx context.Context, name string, t dnsmsg.Type) ([]dnsmsg.RR, string, error) {
+	if c.Limiter != nil {
+		if err := c.Limiter.Wait(ctx); err != nil {
+			return nil, "", err
+		}
+	}
+	query := dnsmsg.NewQuery(c.nextID(), name, t)
+	wire, err := query.Pack()
+	if err != nil {
+		return nil, "", fmt.Errorf("resolver: packing query for %q: %w", name, err)
+	}
+
+	resp, err := c.exchangeUDP(ctx, wire, query.Header.ID)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.Header.Truncated {
+		resp, err = c.exchangeTCP(ctx, wire, query.Header.ID)
+		if err != nil {
+			return nil, "", err
+		}
+	}
+	return interpret(resp, name, t)
+}
+
+func (c *Client) exchangeUDP(ctx context.Context, wire []byte, id uint16) (*dnsmsg.Message, error) {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "udp", c.ServerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("resolver: dial udp %s: %w", c.ServerAddr, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(c.timeout())
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	conn.SetDeadline(deadline)
+	if _, err := conn.Write(wire); err != nil {
+		return nil, fmt.Errorf("resolver: send: %w", err)
+	}
+	buf := make([]byte, 65535)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return nil, fmt.Errorf("%w: udp %s", ErrTimeout, c.ServerAddr)
+			}
+			return nil, fmt.Errorf("resolver: recv: %w", err)
+		}
+		m, err := dnsmsg.Unpack(buf[:n])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		}
+		if m.Header.ID != id || !m.Header.Response {
+			continue // stray datagram; keep reading until deadline
+		}
+		return m, nil
+	}
+}
+
+func (c *Client) exchangeTCP(ctx context.Context, wire []byte, id uint16) (*dnsmsg.Message, error) {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", c.ServerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("resolver: dial tcp %s: %w", c.ServerAddr, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(c.timeout())
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	conn.SetDeadline(deadline)
+	out := make([]byte, 2+len(wire))
+	out[0], out[1] = byte(len(wire)>>8), byte(len(wire))
+	copy(out[2:], wire)
+	if _, err := conn.Write(out); err != nil {
+		return nil, fmt.Errorf("resolver: tcp send: %w", err)
+	}
+	var lenBuf [2]byte
+	if err := readFull(conn, lenBuf[:]); err != nil {
+		return nil, tcpRecvErr(err)
+	}
+	msg := make([]byte, int(lenBuf[0])<<8|int(lenBuf[1]))
+	if err := readFull(conn, msg); err != nil {
+		return nil, tcpRecvErr(err)
+	}
+	m, err := dnsmsg.Unpack(msg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if m.Header.ID != id || !m.Header.Response {
+		return nil, fmt.Errorf("%w: mismatched tcp response", ErrBadMessage)
+	}
+	return m, nil
+}
+
+func tcpRecvErr(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: tcp", ErrTimeout)
+	}
+	return fmt.Errorf("resolver: tcp recv: %w", err)
+}
+
+func readFull(conn net.Conn, b []byte) error {
+	n := 0
+	for n < len(b) {
+		m, err := conn.Read(b[n:])
+		n += m
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// interpret maps a response message to (matched records, last CNAME target,
+// error).
+func interpret(m *dnsmsg.Message, name string, t dnsmsg.Type) ([]dnsmsg.RR, string, error) {
+	switch m.Header.RCode {
+	case dnsmsg.RCodeSuccess:
+	case dnsmsg.RCodeNXDomain:
+		return nil, "", fmt.Errorf("%w: %s", ErrNXDomain, name)
+	case dnsmsg.RCodeServFail:
+		return nil, "", fmt.Errorf("%w: %s", ErrServFail, name)
+	case dnsmsg.RCodeRefused:
+		return nil, "", fmt.Errorf("%w: %s", ErrRefused, name)
+	default:
+		return nil, "", fmt.Errorf("resolver: unexpected rcode %s for %s", m.Header.RCode, name)
+	}
+	var matched []dnsmsg.RR
+	cname := ""
+	cur := strutil.CanonicalName(name)
+	// Walk the answer section following owner-name/CNAME links, tolerating
+	// arbitrary record order.
+	for range m.Answers {
+		advanced := false
+		for _, rr := range m.Answers {
+			owner := strutil.CanonicalName(rr.Name)
+			if owner != cur {
+				continue
+			}
+			if rr.Type == t {
+				matched = append(matched, rr)
+			} else if rr.Type == dnsmsg.TypeCNAME && t != dnsmsg.TypeCNAME {
+				cd, ok := rr.Data.(dnsmsg.CNAMEData)
+				if ok {
+					cur = strutil.CanonicalName(cd.Target)
+					cname = cur
+					advanced = true
+				}
+			}
+		}
+		if len(matched) > 0 || !advanced {
+			break
+		}
+	}
+	return matched, cname, nil
+}

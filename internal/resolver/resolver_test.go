@@ -1,0 +1,316 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/dnsserver"
+	"github.com/netsecurelab/mtasts/internal/dnszone"
+)
+
+// startServer boots an authoritative server with a canned example.com zone.
+func startServer(t *testing.T) (*dnsserver.Server, *Client) {
+	t.Helper()
+	z := dnszone.New("example.com")
+	add := func(rr dnsmsg.RR) { z.MustAdd(rr) }
+	add(dnsmsg.RR{Name: "example.com", Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 300,
+		Data: dnsmsg.AData{Addr: netip.MustParseAddr("192.0.2.1")}})
+	add(dnsmsg.RR{Name: "example.com", Type: dnsmsg.TypeAAAA, Class: dnsmsg.ClassIN, TTL: 300,
+		Data: dnsmsg.AAAAData{Addr: netip.MustParseAddr("2001:db8::1")}})
+	add(dnsmsg.RR{Name: "example.com", Type: dnsmsg.TypeMX, Class: dnsmsg.ClassIN, TTL: 300,
+		Data: dnsmsg.MXData{Preference: 20, Host: "mx2.example.com"}})
+	add(dnsmsg.RR{Name: "example.com", Type: dnsmsg.TypeMX, Class: dnsmsg.ClassIN, TTL: 300,
+		Data: dnsmsg.MXData{Preference: 10, Host: "mx1.example.com"}})
+	add(dnsmsg.RR{Name: "_mta-sts.example.com", Type: dnsmsg.TypeTXT, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.NewTXT("v=STSv1; id=20240431;")})
+	add(dnsmsg.RR{Name: "mta-sts.example.com", Type: dnsmsg.TypeCNAME, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.CNAMEData{Target: "policy.example.com"}})
+	add(dnsmsg.RR{Name: "policy.example.com", Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.AData{Addr: netip.MustParseAddr("192.0.2.80")}})
+
+	srv := dnsserver.New(nil)
+	srv.AddZone(z)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.WaitReady(ctx); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	return srv, New(addr.String())
+}
+
+func TestLookupTXT(t *testing.T) {
+	_, c := startServer(t)
+	vals, err := c.LookupTXT(context.Background(), "_mta-sts.example.com")
+	if err != nil {
+		t.Fatalf("LookupTXT: %v", err)
+	}
+	if len(vals) != 1 || vals[0] != "v=STSv1; id=20240431;" {
+		t.Errorf("TXT = %v", vals)
+	}
+}
+
+func TestLookupMXSorted(t *testing.T) {
+	_, c := startServer(t)
+	mxs, err := c.LookupMX(context.Background(), "example.com")
+	if err != nil {
+		t.Fatalf("LookupMX: %v", err)
+	}
+	if len(mxs) != 2 || mxs[0].Host != "mx1.example.com" || mxs[1].Host != "mx2.example.com" {
+		t.Errorf("MX = %+v", mxs)
+	}
+}
+
+func TestLookupAddrs(t *testing.T) {
+	_, c := startServer(t)
+	addrs, err := c.LookupAddrs(context.Background(), "example.com", true)
+	if err != nil {
+		t.Fatalf("LookupAddrs: %v", err)
+	}
+	if len(addrs) != 2 {
+		t.Errorf("addrs = %v", addrs)
+	}
+}
+
+func TestCNAMEFollowedAcrossRestart(t *testing.T) {
+	_, c := startServer(t)
+	addrs, err := c.LookupAddrs(context.Background(), "mta-sts.example.com", false)
+	if err != nil {
+		t.Fatalf("LookupAddrs via CNAME: %v", err)
+	}
+	if len(addrs) != 1 || addrs[0] != netip.MustParseAddr("192.0.2.80") {
+		t.Errorf("addrs = %v", addrs)
+	}
+	target, err := c.LookupCNAME(context.Background(), "mta-sts.example.com")
+	if err != nil || target != "policy.example.com" {
+		t.Errorf("LookupCNAME = %q, %v", target, err)
+	}
+}
+
+func TestNXDomainAndNoData(t *testing.T) {
+	_, c := startServer(t)
+	_, err := c.LookupTXT(context.Background(), "absent.example.com")
+	if !errors.Is(err, ErrNXDomain) {
+		t.Errorf("want NXDOMAIN, got %v", err)
+	}
+	_, err = c.LookupTXT(context.Background(), "example.com")
+	if !errors.Is(err, ErrNoData) {
+		t.Errorf("want NODATA, got %v", err)
+	}
+	if !IsNotFound(err) {
+		t.Error("IsNotFound(NODATA) = false")
+	}
+}
+
+func TestServFailAndRefused(t *testing.T) {
+	srv, c := startServer(t)
+	srv.SetBehavior(dnsserver.BehaviorServFail)
+	c.Cache = nil
+	_, err := c.LookupTXT(context.Background(), "_mta-sts.example.com")
+	if !errors.Is(err, ErrServFail) {
+		t.Errorf("want SERVFAIL, got %v", err)
+	}
+	srv.SetBehavior(dnsserver.BehaviorRefuse)
+	_, err = c.LookupTXT(context.Background(), "_mta-sts.example.com")
+	if !errors.Is(err, ErrRefused) {
+		t.Errorf("want REFUSED, got %v", err)
+	}
+}
+
+func TestTimeoutOnDrop(t *testing.T) {
+	srv, c := startServer(t)
+	srv.SetBehavior(dnsserver.BehaviorDrop)
+	c.Cache = nil
+	c.Timeout = 150 * time.Millisecond
+	start := time.Now()
+	_, err := c.LookupTXT(context.Background(), "_mta-sts.example.com")
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("want timeout, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout took too long")
+	}
+}
+
+func TestRefusedOutsideZones(t *testing.T) {
+	_, c := startServer(t)
+	_, err := c.LookupTXT(context.Background(), "example.org")
+	if !errors.Is(err, ErrRefused) {
+		t.Errorf("want REFUSED for out-of-zone, got %v", err)
+	}
+}
+
+func TestTCPFallbackOnTruncation(t *testing.T) {
+	// Build a zone whose TXT RRset exceeds the UDP payload cap.
+	z := dnszone.New("big.example")
+	for i := 0; i < 40; i++ {
+		z.MustAdd(dnsmsg.RR{Name: "big.example", Type: dnsmsg.TypeTXT, Class: dnsmsg.ClassIN, TTL: 60,
+			Data: dnsmsg.NewTXT(strings.Repeat("x", 100) + string(rune('a'+i)))})
+	}
+	srv := dnsserver.New(nil)
+	srv.AddZone(z)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.WaitReady(ctx); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	c := New(addr.String())
+	vals, err := c.LookupTXT(context.Background(), "big.example")
+	if err != nil {
+		t.Fatalf("LookupTXT over TCP fallback: %v", err)
+	}
+	if len(vals) != 40 {
+		t.Errorf("got %d TXT values, want 40", len(vals))
+	}
+}
+
+func TestCacheHitsAvoidNetwork(t *testing.T) {
+	srv, c := startServer(t)
+	ctx := context.Background()
+	if _, err := c.LookupTXT(ctx, "_mta-sts.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	before := srv.QueryCount()
+	for i := 0; i < 10; i++ {
+		if _, err := c.LookupTXT(ctx, "_mta-sts.example.com"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.QueryCount() != before {
+		t.Errorf("cache miss: query count rose from %d to %d", before, srv.QueryCount())
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	_, c := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.LookupMX(context.Background(), "example.com"); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestCacheLRUAndTTL(t *testing.T) {
+	cache := NewCache(2)
+	now := time.Unix(1000, 0)
+	cache.now = func() time.Time { return now }
+
+	cache.Put("a", dnsmsg.TypeA, entry{cname: "x"}, time.Minute)
+	cache.Put("b", dnsmsg.TypeA, entry{cname: "y"}, time.Minute)
+	if _, ok := cache.Get("a", dnsmsg.TypeA); !ok {
+		t.Fatal("a evicted too early")
+	}
+	// Inserting c evicts LRU (b, since a was just touched).
+	cache.Put("c", dnsmsg.TypeA, entry{cname: "z"}, time.Minute)
+	if _, ok := cache.Get("b", dnsmsg.TypeA); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := cache.Get("a", dnsmsg.TypeA); !ok {
+		t.Error("a should have survived")
+	}
+	// TTL expiry.
+	now = now.Add(2 * time.Minute)
+	if _, ok := cache.Get("a", dnsmsg.TypeA); ok {
+		t.Error("a should have expired")
+	}
+	cache.Flush()
+	if cache.Len() != 0 {
+		t.Error("Flush left entries")
+	}
+}
+
+func TestRateLimiter(t *testing.T) {
+	l := NewRateLimiter(100, 1)
+	var slept time.Duration
+	now := time.Unix(0, 0)
+	l.now = func() time.Time { return now }
+	l.sleep = func(d time.Duration) {
+		slept += d
+		now = now.Add(d)
+	}
+	ctx := context.Background()
+	for i := 0; i < 11; i++ {
+		if err := l.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 11 queries at 100 qps with burst 1: ~100ms of waiting.
+	if slept < 80*time.Millisecond || slept > 200*time.Millisecond {
+		t.Errorf("slept %v, want ~100ms", slept)
+	}
+}
+
+func TestRateLimiterContextCancel(t *testing.T) {
+	l := NewRateLimiter(0.001, 1)
+	ctx := context.Background()
+	if err := l.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	l.sleep = func(time.Duration) {} // avoid real sleeping
+	if err := l.Wait(cctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestLookupCNAMEAbsent(t *testing.T) {
+	_, c := startServer(t)
+	// example.com exists but has no CNAME: NODATA.
+	if _, err := c.LookupCNAME(context.Background(), "example.com"); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLookupAddrsNoRecords(t *testing.T) {
+	_, c := startServer(t)
+	// _mta-sts.example.com has only TXT: A lookup is NODATA even with v6.
+	_, err := c.LookupAddrs(context.Background(), "_mta-sts.example.com", true)
+	if !IsNotFound(err) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLookupMXEmptyName(t *testing.T) {
+	_, c := startServer(t)
+	// An NXDOMAIN name propagates the resolver error through LookupMX.
+	if _, err := c.LookupMX(context.Background(), "ghost.example.com"); !errors.Is(err, ErrNXDomain) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClientZeroValueDefaults(t *testing.T) {
+	srv, _ := startServer(t)
+	// A zero-value client (no cache, no rnd) must still work.
+	c := &Client{ServerAddr: srv.Addr().String(), Timeout: 2 * time.Second}
+	vals, err := c.LookupTXT(context.Background(), "_mta-sts.example.com")
+	if err != nil || len(vals) != 1 {
+		t.Errorf("zero-value client: %v, %v", vals, err)
+	}
+}

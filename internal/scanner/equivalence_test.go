@@ -1,0 +1,171 @@
+package scanner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/policysrv"
+)
+
+// TestLiveOfflineEquivalence pins the central substitution claim of the
+// reproduction: for every failure mode, scanning real sockets (Live) and
+// evaluating materialized artifacts (Offline) produce the same
+// classification — same error categories, same policy stage, same
+// certificate problem, same mismatch kind, same delivery verdict.
+func TestLiveOfflineEquivalence(t *testing.T) {
+	now := time.Now()
+
+	type mode struct {
+		name string
+		// configureLive mutates the live substrate for the domain.
+		configureLive func(m *miniInternet, domain string)
+		// artifacts builds the offline equivalent.
+		artifacts func(domain string) Artifacts
+	}
+
+	goodArt := func(domain string) Artifacts {
+		mx := "mx." + domain
+		return Artifacts{
+			Domain:             domain,
+			TXT:                []string{"v=STSv1; id=20240929;"},
+			MXHosts:            []string{mx},
+			PolicyHostResolves: true,
+			TCPOpen:            true,
+			PolicyCert:         pki.GoodProfile(now, mtasts.PolicyHost(domain)),
+			HTTPStatus:         200,
+			PolicyBody: []byte("version: STSv1\r\nmode: enforce\r\nmx: " + mx +
+				"\r\nmax_age: 86400\r\n"),
+			MXSTARTTLS: map[string]bool{mx: true},
+			MXCerts:    map[string]pki.CertProfile{mx: pki.GoodProfile(now, mx)},
+		}
+	}
+
+	modes := []mode{
+		{
+			name:          "clean",
+			configureLive: func(m *miniInternet, domain string) {},
+			artifacts:     goodArt,
+		},
+		{
+			name: "bad record id",
+			configureLive: func(m *miniInternet, domain string) {
+				m.zone.Remove("_mta-sts."+domain, dnsmsg.TypeTXT)
+				m.addRR(dnsmsg.RR{Name: "_mta-sts." + domain, Type: dnsmsg.TypeTXT,
+					Class: dnsmsg.ClassIN, TTL: 60, Data: dnsmsg.NewTXT("v=STSv1; id=bad-id;")})
+			},
+			artifacts: func(domain string) Artifacts {
+				a := goodArt(domain)
+				a.TXT = []string{"v=STSv1; id=bad-id;"}
+				return a
+			},
+		},
+		{
+			name: "policy host unresolvable",
+			configureLive: func(m *miniInternet, domain string) {
+				m.zone.Remove("mta-sts."+domain, dnsmsg.TypeA)
+			},
+			artifacts: func(domain string) Artifacts {
+				a := goodArt(domain)
+				a.PolicyHostResolves = false
+				return a
+			},
+		},
+		{
+			name: "policy TLS wrong name",
+			configureLive: func(m *miniInternet, domain string) {
+				tenant, _ := m.pol.Tenant("mta-sts." + domain)
+				tenant.CertMode = policysrv.CertWrongName
+				m.pol.AddTenant(tenant)
+			},
+			artifacts: func(domain string) Artifacts {
+				a := goodArt(domain)
+				a.PolicyCert = pki.GoodProfile(now, domain)
+				return a
+			},
+		},
+		{
+			name: "policy HTTP 404",
+			configureLive: func(m *miniInternet, domain string) {
+				tenant, _ := m.pol.Tenant("mta-sts." + domain)
+				tenant.HTTPMode = policysrv.HTTPNotFound
+				m.pol.AddTenant(tenant)
+			},
+			artifacts: func(domain string) Artifacts {
+				a := goodArt(domain)
+				a.HTTPStatus = 404
+				return a
+			},
+		},
+		{
+			name: "empty policy",
+			configureLive: func(m *miniInternet, domain string) {
+				tenant, _ := m.pol.Tenant("mta-sts." + domain)
+				tenant.HTTPMode = policysrv.HTTPEmptyBody
+				m.pol.AddTenant(tenant)
+			},
+			artifacts: func(domain string) Artifacts {
+				a := goodArt(domain)
+				a.PolicyBody = nil
+				return a
+			},
+		},
+		{
+			name: "mx pattern mismatch",
+			configureLive: func(m *miniInternet, domain string) {
+				tenant, _ := m.pol.Tenant("mta-sts." + domain)
+				tenant.Policy.MXPatterns = []string{"mx.formerhost.net"}
+				m.pol.AddTenant(tenant)
+			},
+			artifacts: func(domain string) Artifacts {
+				a := goodArt(domain)
+				a.PolicyBody = []byte("version: STSv1\r\nmode: enforce\r\nmx: mx.formerhost.net\r\nmax_age: 86400\r\n")
+				return a
+			},
+		},
+	}
+
+	for i, md := range modes {
+		md := md
+		t.Run(md.name, func(t *testing.T) {
+			domain := "eq" + string(rune('a'+i)) + ".com"
+			m := newMiniInternet(t)
+			m.addDomain(domain, enforceFor("mx."+domain), nil)
+			md.configureLive(m, domain)
+			m.live.DNS.Cache.Flush()
+
+			liveRes := m.live.ScanDomain(context.Background(), domain)
+			offRes := ScanArtifacts(md.artifacts(domain), now)
+
+			compare(t, "RecordPresent", liveRes.RecordPresent, offRes.RecordPresent)
+			compare(t, "RecordValid", liveRes.RecordValid, offRes.RecordValid)
+			compare(t, "PolicyOK", liveRes.PolicyOK, offRes.PolicyOK)
+			compare(t, "PolicyStage", liveRes.PolicyStage, offRes.PolicyStage)
+			compare(t, "PolicyCertProblem", liveRes.PolicyCertProblem, offRes.PolicyCertProblem)
+			compare(t, "MismatchKind", liveRes.Mismatch.Kind, offRes.Mismatch.Kind)
+			compare(t, "Misconfigured", liveRes.Misconfigured(), offRes.Misconfigured())
+			compare(t, "DeliveryFailure", liveRes.DeliveryFailure(), offRes.DeliveryFailure())
+
+			liveCats, offCats := liveRes.Categories(), offRes.Categories()
+			if len(liveCats) != len(offCats) {
+				t.Errorf("categories: live %v vs offline %v", liveCats, offCats)
+			} else {
+				for j := range liveCats {
+					if liveCats[j] != offCats[j] {
+						t.Errorf("category %d: live %v vs offline %v", j, liveCats[j], offCats[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func compare[T comparable](t *testing.T, field string, live, off T) {
+	t.Helper()
+	if live != off {
+		t.Errorf("%s: live=%v offline=%v", field, live, off)
+	}
+}

@@ -1,0 +1,175 @@
+package scanner
+
+import (
+	"context"
+	"crypto/x509"
+	"errors"
+	"net"
+	"strconv"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/inconsistency"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/resolver"
+	"github.com/netsecurelab/mtasts/internal/smtpclient"
+)
+
+// Live scans real infrastructure: DNS over UDP/TCP, the policy file over
+// HTTPS, and each MX over SMTP with STARTTLS. Pointed at the substrate
+// servers it exercises the exact sockets and state machines a real scan
+// would.
+type Live struct {
+	// DNS answers every record lookup.
+	DNS *resolver.Client
+	// Roots is the PKIX trust store for both the policy fetch and the MX
+	// probes.
+	Roots *x509.CertPool
+	// HTTPSPort and SMTPPort override 443/25 for loopback substrates.
+	HTTPSPort int
+	SMTPPort  int
+	// HeloName is used by the SMTP prober.
+	HeloName string
+	// Timeout bounds each component probe. Zero means 5s.
+	Timeout time.Duration
+	// Now anchors certificate validation.
+	Now func() time.Time
+}
+
+func (l *Live) timeout() time.Duration {
+	if l.Timeout <= 0 {
+		return 5 * time.Second
+	}
+	return l.Timeout
+}
+
+// ScanDomain runs the full §4.1 pipeline for one domain.
+func (l *Live) ScanDomain(ctx context.Context, domain string) DomainResult {
+	r := DomainResult{Domain: domain, MXProblems: make(map[string]pki.Problem)}
+
+	// MX records.
+	if mxs, err := l.DNS.LookupMX(ctx, domain); err == nil {
+		for _, mx := range mxs {
+			r.MXHosts = append(r.MXHosts, mx.Host)
+		}
+	}
+
+	// MTA-STS record.
+	txts, err := l.DNS.LookupTXT(ctx, "_mta-sts."+domain)
+	if err != nil && !resolver.IsNotFound(err) {
+		r.RecordPresent = true
+		r.RecordErr = err
+		// DNS failure on the record lookup also precludes policy fetch.
+		r.PolicyStage = mtasts.StageDNS
+		return r
+	}
+	rec, recErr := mtasts.DiscoverRecord(txts)
+	if errors.Is(recErr, mtasts.ErrNoRecord) {
+		return r
+	}
+	r.RecordPresent = true
+	if recErr != nil {
+		r.RecordErr = recErr
+	} else {
+		r.RecordValid = true
+		r.Record = rec
+	}
+
+	// Policy host delegation (for provider attribution).
+	if target, err := l.DNS.LookupCNAME(ctx, mtasts.PolicyHost(domain)); err == nil {
+		r.PolicyCNAME = target
+	}
+
+	// Policy retrieval.
+	fetcher := &mtasts.Fetcher{
+		Resolver: mtasts.AddrResolverFunc(l.resolveAddrs),
+		RootCAs:  l.Roots,
+		Timeout:  l.timeout(),
+		Port:     l.HTTPSPort,
+		Now:      l.Now,
+	}
+	policy, _, fetchErr := fetcher.Fetch(ctx, domain)
+	if fetchErr != nil {
+		r.PolicyStage = mtasts.StageOf(fetchErr)
+		r.PolicyCertProblem = mtasts.CertProblemOf(fetchErr)
+		var fe *mtasts.FetchError
+		if errors.As(fetchErr, &fe) {
+			r.PolicyHTTPStatus = fe.HTTPStatus
+			if fe.Stage == mtasts.StageSyntax {
+				r.PolicySyntaxErr = fe.Err
+			}
+		}
+	} else {
+		r.PolicyOK = true
+		r.Policy = policy
+	}
+
+	// MX probes.
+	for _, mx := range r.MXHosts {
+		problem, noTLS := l.probeMX(ctx, mx)
+		if noTLS {
+			r.MXNoSTARTTLS = append(r.MXNoSTARTTLS, mx)
+			continue
+		}
+		r.MXProblems[mx] = problem
+	}
+
+	if r.PolicyOK {
+		r.Mismatch = inconsistency.Analyze(domain, r.Policy, r.MXHosts)
+	}
+	return r
+}
+
+// probeMX resolves the MX host and runs the instrumented SMTP probe.
+// noTLS is true when the server does not offer STARTTLS at all.
+func (l *Live) probeMX(ctx context.Context, mxHost string) (problem pki.Problem, noTLS bool) {
+	addrs, err := l.DNS.LookupAddrs(ctx, mxHost, false)
+	if err != nil || len(addrs) == 0 {
+		return pki.ProblemNoCertificate, false
+	}
+	port := l.SMTPPort
+	if port == 0 {
+		port = 25
+	}
+	p := &smtpclient.Prober{
+		HeloName:     l.HeloName,
+		Roots:        l.Roots,
+		Timeout:      l.timeout(),
+		AddrOverride: net.JoinHostPort(addrs[0].String(), strconv.Itoa(port)),
+		Now:          l.Now,
+	}
+	res := p.Probe(ctx, mxHost)
+	if errors.Is(res.Err, smtpclient.ErrNoSTARTTLS) {
+		return pki.OK, true
+	}
+	if !res.TLSEstablished {
+		return pki.ProblemNoCertificate, false
+	}
+	return res.CertProblem, false
+}
+
+// resolveAddrs bridges the mtasts.Fetcher DNS dependency onto the wire
+// resolver, chasing CNAMEs as LookupAddrs does.
+func (l *Live) resolveAddrs(ctx context.Context, host string) ([]string, error) {
+	addrs, err := l.DNS.LookupAddrs(ctx, host, true)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(addrs))
+	for i, a := range addrs {
+		out[i] = a.String()
+	}
+	return out, nil
+}
+
+// TXTResolverAdapter adapts resolver.Client to mtasts.TXTResolver for use
+// with the sender-side Validator.
+type TXTResolverAdapter struct{ Client *resolver.Client }
+
+// ResolveTXT implements mtasts.TXTResolver.
+func (a TXTResolverAdapter) ResolveTXT(ctx context.Context, name string) ([]string, error) {
+	return a.Client.LookupTXT(ctx, name)
+}
+
+// IsNotFound implements mtasts.TXTResolver.
+func (a TXTResolverAdapter) IsNotFound(err error) bool { return resolver.IsNotFound(err) }

@@ -1,0 +1,267 @@
+package scanner
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/dnsserver"
+	"github.com/netsecurelab/mtasts/internal/dnszone"
+	"github.com/netsecurelab/mtasts/internal/inconsistency"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/policysrv"
+	"github.com/netsecurelab/mtasts/internal/resolver"
+	"github.com/netsecurelab/mtasts/internal/smtpd"
+)
+
+// miniInternet wires the full substrate: an authoritative DNS server, a
+// multi-tenant HTTPS policy host, and per-domain SMTP servers, all on
+// loopback. It is the live-scan environment for integration tests.
+type miniInternet struct {
+	t    *testing.T
+	ca   *pki.CA
+	dns  *dnsserver.Server
+	zone *dnszone.Zone
+	pol  *policysrv.Server
+	live *Live
+
+	smtpServers map[string]*smtpd.Server
+}
+
+func newMiniInternet(t *testing.T) *miniInternet {
+	t.Helper()
+	ca, err := pki.NewCA("Mini Internet CA", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zone := dnszone.New("com")
+	dns := dnsserver.New(nil)
+	dns.AddZone(zone)
+	dnsAddr, err := dns.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dns.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := dns.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	pol := policysrv.New(ca, nil)
+	if _, err := pol.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pol.Close() })
+
+	m := &miniInternet{
+		t: t, ca: ca, dns: dns, zone: zone, pol: pol,
+		smtpServers: make(map[string]*smtpd.Server),
+	}
+	m.live = &Live{
+		DNS:       resolver.New(dnsAddr.String()),
+		Roots:     ca.Pool(),
+		HTTPSPort: pol.Port(),
+		HeloName:  "scanner.test",
+		Timeout:   3 * time.Second,
+	}
+	return m
+}
+
+func (m *miniInternet) addRR(rr dnsmsg.RR) { m.zone.MustAdd(rr) }
+
+func (m *miniInternet) a(name string) dnsmsg.RR {
+	return dnsmsg.RR{Name: name, Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.AData{Addr: netip.MustParseAddr("127.0.0.1")}}
+}
+
+// addDomain provisions a complete MTA-STS deployment for domain: DNS
+// records, policy tenant, and an SMTP server with a certificate for the MX
+// host. certOpts mutate the MX certificate issuance.
+func (m *miniInternet) addDomain(domain string, policy mtasts.Policy, mxCert func(*pki.IssueOptions)) {
+	m.t.Helper()
+	mx := "mx." + domain
+	m.addRR(dnsmsg.RR{Name: domain, Type: dnsmsg.TypeMX, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.MXData{Preference: 10, Host: mx}})
+	m.addRR(dnsmsg.RR{Name: "_mta-sts." + domain, Type: dnsmsg.TypeTXT, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.NewTXT("v=STSv1; id=20240929;")})
+	m.addRR(m.a("mta-sts." + domain))
+	m.addRR(m.a(mx))
+
+	m.pol.AddTenant(&policysrv.Tenant{Domain: domain, Policy: policy})
+
+	opts := pki.IssueOptions{Names: []string{mx}}
+	if mxCert != nil {
+		mxCert(&opts)
+	}
+	leaf, err := m.ca.Issue(opts)
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	cert := leaf.TLSCertificate()
+	srv := smtpd.New(smtpd.Behavior{Hostname: mx, Certificate: &cert})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	m.t.Cleanup(func() { srv.Close() })
+	m.smtpServers[domain] = srv
+	// Each smtpd instance binds its own port; tests provision one domain
+	// per miniInternet so the Live scanner can carry a single SMTP port.
+	_, portStr, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	m.live.SMTPPort = port
+}
+
+func enforceFor(mx ...string) mtasts.Policy {
+	return mtasts.Policy{Version: mtasts.Version, Mode: mtasts.ModeEnforce, MaxAge: 86400, MXPatterns: mx}
+}
+
+func TestLiveScanCleanDomain(t *testing.T) {
+	m := newMiniInternet(t)
+	m.addDomain("good.com", enforceFor("mx.good.com"), nil)
+
+	r := m.live.ScanDomain(context.Background(), "good.com")
+	if !r.RecordValid || !r.PolicyOK {
+		t.Fatalf("r = %+v", r)
+	}
+	if r.Misconfigured() {
+		t.Errorf("clean live domain misconfigured: %v (policy stage %v, mx %v)",
+			r.Categories(), r.PolicyStage, r.MXProblems)
+	}
+	if p, ok := r.MXProblems["mx.good.com"]; !ok || p != pki.OK {
+		t.Errorf("MX problem = %v (ok=%v)", p, ok)
+	}
+}
+
+func TestLiveScanNoRecord(t *testing.T) {
+	m := newMiniInternet(t)
+	m.addRR(dnsmsg.RR{Name: "plain.com", Type: dnsmsg.TypeMX, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.MXData{Preference: 10, Host: "mx.plain.com"}})
+	m.addRR(m.a("mx.plain.com"))
+	r := m.live.ScanDomain(context.Background(), "plain.com")
+	if r.RecordPresent {
+		t.Errorf("r = %+v", r)
+	}
+}
+
+func TestLiveScanBadRecordGoodPolicy(t *testing.T) {
+	m := newMiniInternet(t)
+	m.addDomain("badrec.com", enforceFor("mx.badrec.com"), nil)
+	// Replace the record with an invalid one.
+	m.zone.Remove("_mta-sts.badrec.com", dnsmsg.TypeTXT)
+	m.addRR(dnsmsg.RR{Name: "_mta-sts.badrec.com", Type: dnsmsg.TypeTXT, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.NewTXT("v=STSv1; id=bad-id;")})
+	m.live.DNS.Cache.Flush()
+
+	r := m.live.ScanDomain(context.Background(), "badrec.com")
+	if !r.RecordPresent || r.RecordValid {
+		t.Fatalf("r.Record = %+v err=%v", r.Record, r.RecordErr)
+	}
+	if !hasCategory(r, CategoryDNSRecord) {
+		t.Errorf("categories = %v", r.Categories())
+	}
+	// The policy itself still fetches fine.
+	if !r.PolicyOK {
+		t.Errorf("policy stage = %v", r.PolicyStage)
+	}
+}
+
+func TestLiveScanPolicyDNSError(t *testing.T) {
+	m := newMiniInternet(t)
+	m.addDomain("nodns.com", enforceFor("mx.nodns.com"), nil)
+	m.zone.Remove("mta-sts.nodns.com", dnsmsg.TypeA)
+	m.live.DNS.Cache.Flush()
+
+	r := m.live.ScanDomain(context.Background(), "nodns.com")
+	if r.PolicyOK || r.PolicyStage != mtasts.StageDNS {
+		t.Errorf("stage = %v", r.PolicyStage)
+	}
+}
+
+func TestLiveScanPolicyTLSError(t *testing.T) {
+	m := newMiniInternet(t)
+	m.addDomain("badtls.com", enforceFor("mx.badtls.com"), nil)
+	tenant, _ := m.pol.Tenant("mta-sts.badtls.com")
+	tenant.CertMode = policysrv.CertWrongName
+	m.pol.AddTenant(tenant) // reset cached certificate
+
+	r := m.live.ScanDomain(context.Background(), "badtls.com")
+	if r.PolicyStage != mtasts.StageTLS || r.PolicyCertProblem != pki.ProblemNameMismatch {
+		t.Errorf("stage=%v problem=%v", r.PolicyStage, r.PolicyCertProblem)
+	}
+}
+
+func TestLiveScanInconsistentPolicy(t *testing.T) {
+	m := newMiniInternet(t)
+	m.addDomain("drift.com", enforceFor("mx.formerhost.net"), nil)
+
+	r := m.live.ScanDomain(context.Background(), "drift.com")
+	if !r.PolicyOK {
+		t.Fatalf("policy stage = %v", r.PolicyStage)
+	}
+	if r.Mismatch.Kind != inconsistency.KindDomain {
+		t.Errorf("mismatch = %v", r.Mismatch.Kind)
+	}
+	if !r.DeliveryFailure() {
+		t.Error("enforce + full mismatch should be a delivery failure")
+	}
+}
+
+func TestLiveScanMXBadCert(t *testing.T) {
+	m := newMiniInternet(t)
+	m.addDomain("badmx.com", enforceFor("mx.badmx.com"), func(o *pki.IssueOptions) {
+		o.SelfSigned = true
+	})
+	r := m.live.ScanDomain(context.Background(), "badmx.com")
+	if p := r.MXProblems["mx.badmx.com"]; p != pki.ProblemSelfSigned {
+		t.Errorf("MX problem = %v", p)
+	}
+	if !hasCategory(r, CategoryMXCert) || !r.DeliveryFailure() {
+		t.Errorf("categories = %v, failure = %v", r.Categories(), r.DeliveryFailure())
+	}
+}
+
+func TestLiveScanPolicyDelegationCNAME(t *testing.T) {
+	m := newMiniInternet(t)
+	m.addDomain("delegated.com", enforceFor("mx.delegated.com"), nil)
+	// Replace the A record with a CNAME to a provider host.
+	m.zone.Remove("mta-sts.delegated.com", dnsmsg.TypeA)
+	m.addRR(dnsmsg.RR{Name: "mta-sts.delegated.com", Type: dnsmsg.TypeCNAME, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.CNAMEData{Target: "provider-policy.com"}})
+	m.addRR(m.a("provider-policy.com"))
+	m.live.DNS.Cache.Flush()
+
+	r := m.live.ScanDomain(context.Background(), "delegated.com")
+	if r.PolicyCNAME != "provider-policy.com" {
+		t.Errorf("PolicyCNAME = %q", r.PolicyCNAME)
+	}
+	if !r.PolicyOK {
+		t.Errorf("policy stage = %v", r.PolicyStage)
+	}
+}
+
+func TestRunnerParallelScan(t *testing.T) {
+	m := newMiniInternet(t)
+	m.addDomain("par.com", enforceFor("mx.par.com"), nil)
+	runner := &Runner{Workers: 4, Scan: m.live}
+	results := runner.Run(context.Background(), []string{"par.com", "par.com", "par.com", "absent.com"})
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	s := Summarize(results)
+	if s.Total != 4 || s.WithRecord != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+}

@@ -1,0 +1,244 @@
+package scanner
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/inconsistency"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+)
+
+var scanNow = time.Date(2024, 9, 29, 0, 0, 0, 0, time.UTC)
+
+// goodArtifacts returns a fully correct deployment.
+func goodArtifacts(domain string) Artifacts {
+	mx := "mx." + domain
+	return Artifacts{
+		Domain:             domain,
+		TXT:                []string{"v=STSv1; id=20240929;"},
+		MXHosts:            []string{mx},
+		PolicyHostResolves: true,
+		TCPOpen:            true,
+		PolicyCert:         pki.GoodProfile(scanNow, mtasts.PolicyHost(domain)),
+		HTTPStatus:         200,
+		PolicyBody: []byte("version: STSv1\nmode: enforce\nmx: " + mx +
+			"\nmax_age: 86400\n"),
+		MXSTARTTLS: map[string]bool{mx: true},
+		MXCerts:    map[string]pki.CertProfile{mx: pki.GoodProfile(scanNow, mx)},
+	}
+}
+
+func TestScanArtifactsClean(t *testing.T) {
+	r := ScanArtifacts(goodArtifacts("example.com"), scanNow)
+	if !r.RecordPresent || !r.RecordValid || !r.PolicyOK {
+		t.Fatalf("r = %+v", r)
+	}
+	if r.Misconfigured() {
+		t.Errorf("clean domain misconfigured: %v", r.Categories())
+	}
+	if r.DeliveryFailure() {
+		t.Error("clean domain flagged as delivery failure")
+	}
+}
+
+func TestScanArtifactsNoRecord(t *testing.T) {
+	a := goodArtifacts("example.com")
+	a.TXT = []string{"v=spf1 -all"}
+	r := ScanArtifacts(a, scanNow)
+	if r.RecordPresent {
+		t.Errorf("r = %+v", r)
+	}
+}
+
+func TestScanArtifactsBadRecord(t *testing.T) {
+	a := goodArtifacts("example.com")
+	a.TXT = []string{"v=STSv1; id=2024-09-29;"} // dash in id
+	r := ScanArtifacts(a, scanNow)
+	if !r.RecordPresent || r.RecordValid {
+		t.Fatalf("r = %+v", r)
+	}
+	if !errors.Is(r.RecordErr, mtasts.ErrBadID) {
+		t.Errorf("RecordErr = %v", r.RecordErr)
+	}
+	if !hasCategory(r, CategoryDNSRecord) {
+		t.Errorf("categories = %v", r.Categories())
+	}
+}
+
+func TestScanArtifactsPolicyStages(t *testing.T) {
+	mutate := []struct {
+		name  string
+		fn    func(*Artifacts)
+		stage mtasts.Stage
+	}{
+		{"dns", func(a *Artifacts) { a.PolicyHostResolves = false }, mtasts.StageDNS},
+		{"tcp", func(a *Artifacts) { a.TCPOpen = false }, mtasts.StageTCP},
+		{"tls", func(a *Artifacts) { a.PolicyCert = pki.ExpiredProfile(scanNow, mtasts.PolicyHost(a.Domain)) }, mtasts.StageTLS},
+		{"http", func(a *Artifacts) { a.HTTPStatus = 404 }, mtasts.StageHTTP},
+		{"syntax", func(a *Artifacts) { a.PolicyBody = []byte("garbage") }, mtasts.StageSyntax},
+		{"empty", func(a *Artifacts) { a.PolicyBody = nil }, mtasts.StageSyntax},
+	}
+	for _, m := range mutate {
+		a := goodArtifacts("example.com")
+		m.fn(&a)
+		r := ScanArtifacts(a, scanNow)
+		if r.PolicyOK || r.PolicyStage != m.stage {
+			t.Errorf("%s: stage = %v ok=%v", m.name, r.PolicyStage, r.PolicyOK)
+		}
+		if !hasCategory(r, CategoryPolicy) {
+			t.Errorf("%s: categories = %v", m.name, r.Categories())
+		}
+	}
+}
+
+func TestScanArtifactsTLSWrongName(t *testing.T) {
+	// The dominant self-managed error: certificate for the bare domain.
+	a := goodArtifacts("example.com")
+	a.PolicyCert = pki.GoodProfile(scanNow, "example.com")
+	r := ScanArtifacts(a, scanNow)
+	if r.PolicyStage != mtasts.StageTLS || r.PolicyCertProblem != pki.ProblemNameMismatch {
+		t.Errorf("stage=%v problem=%v", r.PolicyStage, r.PolicyCertProblem)
+	}
+}
+
+func TestScanArtifactsMXCerts(t *testing.T) {
+	a := goodArtifacts("example.com")
+	a.MXHosts = []string{"mx1.example.com", "mx2.example.com"}
+	a.MXSTARTTLS = map[string]bool{"mx1.example.com": true, "mx2.example.com": true}
+	a.MXCerts = map[string]pki.CertProfile{
+		"mx1.example.com": pki.GoodProfile(scanNow, "mx1.example.com"),
+		"mx2.example.com": pki.SelfSignedProfile(scanNow, "mx2.example.com"),
+	}
+	a.PolicyBody = []byte("version: STSv1\nmode: enforce\nmx: mx1.example.com\nmx: mx2.example.com\nmax_age: 86400\n")
+	r := ScanArtifacts(a, scanNow)
+	if !hasCategory(r, CategoryMXCert) {
+		t.Fatalf("categories = %v", r.Categories())
+	}
+	if !r.PartiallyMXInvalid() || r.AllMXInvalid() {
+		t.Errorf("partial/all = %v/%v", r.PartiallyMXInvalid(), r.AllMXInvalid())
+	}
+	if !r.EnforceCertFailureRisk() {
+		t.Error("enforce cert risk not flagged")
+	}
+	// One valid matched MX remains: not a hard delivery failure.
+	if r.DeliveryFailure() {
+		t.Error("delivery failure with a usable MX")
+	}
+}
+
+func TestScanArtifactsAllMXInvalidDeliveryFailure(t *testing.T) {
+	a := goodArtifacts("example.com")
+	a.MXCerts["mx.example.com"] = pki.ExpiredProfile(scanNow, "mx.example.com")
+	r := ScanArtifacts(a, scanNow)
+	if !r.AllMXInvalid() || !r.DeliveryFailure() {
+		t.Errorf("all-invalid enforce: all=%v fail=%v", r.AllMXInvalid(), r.DeliveryFailure())
+	}
+}
+
+func TestScanArtifactsTestingModeNoDeliveryFailure(t *testing.T) {
+	a := goodArtifacts("example.com")
+	a.PolicyBody = []byte("version: STSv1\nmode: testing\nmx: mx.example.com\nmax_age: 86400\n")
+	a.MXCerts["mx.example.com"] = pki.ExpiredProfile(scanNow, "mx.example.com")
+	r := ScanArtifacts(a, scanNow)
+	if r.DeliveryFailure() || r.EnforceCertFailureRisk() {
+		t.Errorf("testing mode flagged: %+v", r)
+	}
+}
+
+func TestScanArtifactsInconsistency(t *testing.T) {
+	a := goodArtifacts("example.com")
+	a.PolicyBody = []byte("version: STSv1\nmode: enforce\nmx: mx.oldprovider.net\nmax_age: 86400\n")
+	r := ScanArtifacts(a, scanNow)
+	if !hasCategory(r, CategoryInconsistency) {
+		t.Fatalf("categories = %v", r.Categories())
+	}
+	if r.Mismatch.Kind != inconsistency.KindDomain {
+		t.Errorf("kind = %v", r.Mismatch.Kind)
+	}
+	if !r.EnforceMismatchFailure() || !r.DeliveryFailure() {
+		t.Errorf("enforce mismatch: %v %v", r.EnforceMismatchFailure(), r.DeliveryFailure())
+	}
+}
+
+func TestScanArtifactsNoSTARTTLSExcluded(t *testing.T) {
+	// Footnote 4: MXes without any TLS are excluded from cert analysis.
+	a := goodArtifacts("example.com")
+	a.MXSTARTTLS["mx.example.com"] = false
+	r := ScanArtifacts(a, scanNow)
+	if len(r.MXProblems) != 0 || len(r.MXNoSTARTTLS) != 1 {
+		t.Errorf("r = %+v", r)
+	}
+	if hasCategory(r, CategoryMXCert) {
+		t.Error("no-STARTTLS host counted as cert error")
+	}
+}
+
+func TestScanArtifactsMultipleErrorsNotExclusive(t *testing.T) {
+	// §4.2: "a domain may have multiple errors at the same time."
+	a := goodArtifacts("example.com")
+	a.TXT = []string{"v=STSv1;"} // missing id
+	a.MXCerts["mx.example.com"] = pki.SelfSignedProfile(scanNow, "mx.example.com")
+	r := ScanArtifacts(a, scanNow)
+	if len(r.Categories()) < 2 {
+		t.Errorf("categories = %v", r.Categories())
+	}
+}
+
+func TestArtifactsValidate(t *testing.T) {
+	a := goodArtifacts("example.com")
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	a.MXCerts["ghost.example.com"] = pki.GoodProfile(scanNow, "ghost.example.com")
+	if err := a.Validate(); err == nil {
+		t.Error("Validate accepted cert for unknown MX")
+	}
+	bad := Artifacts{}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted empty artifacts")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results := []DomainResult{
+		ScanArtifacts(goodArtifacts("a.com"), scanNow),
+	}
+	broken := goodArtifacts("b.com")
+	broken.PolicyCert = pki.SelfSignedProfile(scanNow, "mta-sts.b.com")
+	results = append(results, ScanArtifacts(broken, scanNow))
+	noRec := goodArtifacts("c.com")
+	noRec.TXT = nil
+	results = append(results, ScanArtifacts(noRec, scanNow))
+
+	s := Summarize(results)
+	if s.Total != 3 || s.WithRecord != 2 || s.Misconfigured != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.ByCategory[CategoryPolicy] != 1 || s.PolicyStageCounts["TLS"] != 1 {
+		t.Errorf("policy breakdown = %+v", s)
+	}
+}
+
+func hasCategory(r DomainResult, c Category) bool {
+	for _, got := range r.Categories() {
+		if got == c {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCategoryString(t *testing.T) {
+	want := map[Category]string{
+		CategoryDNSRecord: "DNS Records", CategoryPolicy: "Policy Retrieval",
+		CategoryMXCert: "MX Hosts Cert.", CategoryInconsistency: "Inconsistency",
+		Category(9): "unknown",
+	}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("Category(%d) = %q, want %q", int(c), c.String(), w)
+		}
+	}
+}

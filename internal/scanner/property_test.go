@@ -1,0 +1,109 @@
+package scanner
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/inconsistency"
+	"github.com/netsecurelab/mtasts/internal/pki"
+)
+
+// TestScanArtifactsPropertyInvariants feeds randomized artifacts through
+// the offline scanner and checks structural invariants that must hold for
+// any input:
+//
+//  1. never panics;
+//  2. a domain without an MTA-STS record is never misconfigured;
+//  3. DeliveryFailure implies an enforce policy;
+//  4. AllMXInvalid and PartiallyMXInvalid are mutually exclusive;
+//  5. a reported inconsistency implies a fetched policy;
+//  6. every reported category is one of the four defined ones.
+func TestScanArtifactsPropertyInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	now := time.Date(2024, 9, 29, 0, 0, 0, 0, time.UTC)
+
+	txtPool := [][]string{
+		nil,
+		{"v=spf1 -all"},
+		{"v=STSv1; id=20240929;"},
+		{"v=STSv1;"},
+		{"v=STSv1; id=bad-id;"},
+		{"v=STSV1; id=x;"},
+		{"v=STSv1; id=a;", "v=STSv1; id=b;"},
+	}
+	bodyPool := [][]byte{
+		nil,
+		[]byte("garbage"),
+		[]byte("version: STSv1\nmode: enforce\nmx: mx.p.example\nmax_age: 86400\n"),
+		[]byte("version: STSv1\nmode: testing\nmx: *.p.example\nmax_age: 60\n"),
+		[]byte("version: STSv1\nmode: none\nmax_age: 60\n"),
+		[]byte("version: STSv1\nmode: enforce\nmx: postmaster@p.example\nmax_age: 1\n"),
+	}
+	certPool := []pki.CertProfile{
+		pki.GoodProfile(now, "mta-sts.p.example"),
+		pki.GoodProfile(now, "p.example"),
+		pki.ExpiredProfile(now, "mta-sts.p.example"),
+		pki.SelfSignedProfile(now, "mta-sts.p.example"),
+		pki.MissingProfile(),
+		{},
+	}
+	statusPool := []int{0, 200, 301, 404, 500}
+
+	for i := 0; i < 5000; i++ {
+		nMX := r.Intn(3)
+		mxs := make([]string, nMX)
+		starttls := map[string]bool{}
+		certs := map[string]pki.CertProfile{}
+		for j := range mxs {
+			mxs[j] = []string{"mx.p.example", "mx2.p.example", "mx.other.example"}[r.Intn(3)]
+			starttls[mxs[j]] = r.Intn(4) > 0
+			switch r.Intn(4) {
+			case 0:
+				certs[mxs[j]] = pki.GoodProfile(now, mxs[j])
+			case 1:
+				certs[mxs[j]] = pki.ExpiredProfile(now, mxs[j])
+			case 2:
+				certs[mxs[j]] = pki.SelfSignedProfile(now, mxs[j])
+			}
+		}
+		a := Artifacts{
+			Domain:             "p.example",
+			TXT:                txtPool[r.Intn(len(txtPool))],
+			MXHosts:            mxs,
+			PolicyHostResolves: r.Intn(8) > 0,
+			PolicyCNAME:        []string{"", "x.provider.example"}[r.Intn(2)],
+			TCPOpen:            r.Intn(8) > 0,
+			PolicyCert:         certPool[r.Intn(len(certPool))],
+			HTTPStatus:         statusPool[r.Intn(len(statusPool))],
+			PolicyBody:         bodyPool[r.Intn(len(bodyPool))],
+			MXSTARTTLS:         starttls,
+			MXCerts:            certs,
+		}
+
+		res := ScanArtifacts(a, now) // invariant 1: no panic
+
+		if !res.RecordPresent {
+			if res.Misconfigured() {
+				t.Fatalf("iter %d: no record but misconfigured: %+v", i, res)
+			}
+			continue
+		}
+		if res.DeliveryFailure() && res.Policy.Mode != "enforce" {
+			t.Fatalf("iter %d: delivery failure without enforce: %+v", i, res)
+		}
+		if res.AllMXInvalid() && res.PartiallyMXInvalid() {
+			t.Fatalf("iter %d: all-invalid and partially-invalid both true", i)
+		}
+		if res.Mismatch.Kind != inconsistency.KindNone && !res.PolicyOK {
+			t.Fatalf("iter %d: mismatch reported without a policy", i)
+		}
+		for _, c := range res.Categories() {
+			switch c {
+			case CategoryDNSRecord, CategoryPolicy, CategoryMXCert, CategoryInconsistency:
+			default:
+				t.Fatalf("iter %d: unknown category %v", i, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package scanner implements the paper's measurement pipeline (§4.1–§4.2):
+// for every domain with an MTA-STS record it checks the record's syntax,
+// retrieves the policy over HTTPS with a staged error taxonomy
+// (DNS/TCP/TLS/HTTP/Syntax, Figure 5), probes each MX over SMTP/STARTTLS
+// for PKIX-valid certificates (Figure 6), and tests the consistency of mx
+// patterns against MX records (Figure 8).
+//
+// Two backends produce the same DomainResult schema: Live scans real
+// sockets (the substrate servers), and Offline evaluates materialized
+// artifacts — actual TXT strings, policy bodies, and certificate
+// descriptors — through the same parsers and validators, which is how the
+// pipeline runs at the paper's 68K-domain scale.
+package scanner
+
+import (
+	"github.com/netsecurelab/mtasts/internal/inconsistency"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+)
+
+// Category is the Figure 4 error grouping.
+type Category int
+
+// Error categories (not mutually exclusive).
+const (
+	// CategoryDNSRecord: the MTA-STS TXT record is invalid.
+	CategoryDNSRecord Category = iota
+	// CategoryPolicy: the policy could not be retrieved or parsed.
+	CategoryPolicy
+	// CategoryMXCert: at least one MX host presents a PKIX-invalid
+	// certificate.
+	CategoryMXCert
+	// CategoryInconsistency: components are individually valid but the mx
+	// patterns do not match the MX records.
+	CategoryInconsistency
+)
+
+// String returns the Figure 4 series label.
+func (c Category) String() string {
+	switch c {
+	case CategoryDNSRecord:
+		return "DNS Records"
+	case CategoryPolicy:
+		return "Policy Retrieval"
+	case CategoryMXCert:
+		return "MX Hosts Cert."
+	case CategoryInconsistency:
+		return "Inconsistency"
+	}
+	return "unknown"
+}
+
+// DomainResult is everything one scan records about one domain.
+type DomainResult struct {
+	Domain string
+	// MXHosts are the domain's MX records at scan time.
+	MXHosts []string
+
+	// RecordPresent is true when any TXT at _mta-sts.<domain> looks like
+	// an MTA-STS record or attempt; domains without it are outside the
+	// study population.
+	RecordPresent bool
+	// RecordValid is true when exactly one syntactically valid record was
+	// found.
+	RecordValid bool
+	// Record is the parsed record when valid.
+	Record mtasts.Record
+	// RecordErr classifies the record failure (ErrMissingID, ErrBadID,
+	// ErrBadVersion, ErrBadExtension, ErrMultipleRecords).
+	RecordErr error
+
+	// PolicyOK is true when a valid policy was fetched.
+	PolicyOK bool
+	// Policy is the parsed policy when PolicyOK.
+	Policy mtasts.Policy
+	// PolicyStage is the retrieval failure stage (StageNone when OK).
+	PolicyStage mtasts.Stage
+	// PolicyCertProblem refines StageTLS failures.
+	PolicyCertProblem pki.Problem
+	// PolicyHTTPStatus refines StageHTTP failures.
+	PolicyHTTPStatus int
+	// PolicySyntaxErr holds the parse failure for StageSyntax.
+	PolicySyntaxErr error
+	// PolicyCNAME is the delegation target of mta-sts.<domain>, if any.
+	PolicyCNAME string
+
+	// MXProblems maps each probed MX host to its certificate outcome.
+	// Hosts that do not offer STARTTLS at all are absent (footnote 4 of
+	// the paper: only TLS-capable MXes are analyzed further) and recorded
+	// in MXNoSTARTTLS.
+	MXProblems   map[string]pki.Problem
+	MXNoSTARTTLS []string
+
+	// Mismatch is the consistency analysis (§4.4); only meaningful when a
+	// policy was obtained.
+	Mismatch inconsistency.Finding
+}
+
+// Categories returns the Figure 4 error categories the domain falls into.
+func (r *DomainResult) Categories() []Category {
+	var cats []Category
+	if r.RecordPresent && !r.RecordValid {
+		cats = append(cats, CategoryDNSRecord)
+	}
+	if r.RecordValid && !r.PolicyOK {
+		cats = append(cats, CategoryPolicy)
+	}
+	if r.invalidMXCount() > 0 {
+		cats = append(cats, CategoryMXCert)
+	}
+	if r.PolicyOK && r.Mismatch.Kind != inconsistency.KindNone {
+		cats = append(cats, CategoryInconsistency)
+	}
+	return cats
+}
+
+// Misconfigured reports whether the domain has any error (§4.2: 29.6% of
+// MTA-STS domains in the latest snapshot).
+func (r *DomainResult) Misconfigured() bool { return len(r.Categories()) > 0 }
+
+func (r *DomainResult) invalidMXCount() int {
+	n := 0
+	for _, p := range r.MXProblems {
+		if !p.Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// AllMXInvalid reports whether every probed MX presented an invalid
+// certificate (Figure 7 "All Invalid").
+func (r *DomainResult) AllMXInvalid() bool {
+	return len(r.MXProblems) > 0 && r.invalidMXCount() == len(r.MXProblems)
+}
+
+// PartiallyMXInvalid reports whether some but not all MXes are invalid
+// (Figure 7 "Partially Invalid").
+func (r *DomainResult) PartiallyMXInvalid() bool {
+	n := r.invalidMXCount()
+	return n > 0 && n < len(r.MXProblems)
+}
+
+// EnforceCertFailureRisk reports the Figure 7 "enforce mode" series:
+// an enforce policy with at least one PKIX-invalid MX host.
+func (r *DomainResult) EnforceCertFailureRisk() bool {
+	return r.PolicyOK && r.Policy.Mode == mtasts.ModeEnforce && r.invalidMXCount() > 0
+}
+
+// EnforceMismatchFailure reports the Figure 8 "enforce mode" series: an
+// enforce policy none of whose patterns match any MX record.
+func (r *DomainResult) EnforceMismatchFailure() bool {
+	return r.PolicyOK && r.Policy.Mode == mtasts.ModeEnforce &&
+		r.Mismatch.Kind != inconsistency.KindNone
+}
+
+// DeliveryFailure reports whether a compliant sender would be unable to
+// deliver to the domain at all: an enforce policy where no MX matches, or
+// every matching MX fails certificate validation (the 640-domain / 3.2%
+// population in the paper's abstract).
+func (r *DomainResult) DeliveryFailure() bool {
+	if !r.PolicyOK || r.Policy.Mode != mtasts.ModeEnforce {
+		return false
+	}
+	matched, _ := r.Policy.FilterMatching(r.MXHosts)
+	if len(r.MXHosts) > 0 && len(matched) == 0 {
+		return true
+	}
+	// All matched MXes must fail TLS for delivery to be impossible.
+	usable := 0
+	for _, mx := range matched {
+		if p, ok := r.MXProblems[mx]; ok && p.Valid() {
+			usable++
+		}
+	}
+	return len(matched) > 0 && usable == 0 && len(r.MXProblems) > 0
+}

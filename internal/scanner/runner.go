@@ -1,0 +1,136 @@
+package scanner
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Scanner is the per-domain scan interface shared by Live and artifact
+// replays.
+type Scanner interface {
+	ScanDomain(ctx context.Context, domain string) DomainResult
+}
+
+// Runner fans a scan out over many domains with a bounded worker pool,
+// mirroring the paper's weekly/monthly snapshot scans.
+type Runner struct {
+	// Workers is the pool size (minimum 1).
+	Workers int
+	// Scan is the per-domain scanner.
+	Scan Scanner
+}
+
+// Run scans all domains and returns results sorted by domain name. The
+// context cancels outstanding work; completed results are still returned.
+func (r *Runner) Run(ctx context.Context, domains []string) []DomainResult {
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan string)
+	resCh := make(chan DomainResult, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range jobs {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				resCh <- r.Scan.ScanDomain(ctx, d)
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, d := range domains {
+			select {
+			case <-ctx.Done():
+				return
+			case jobs <- d:
+			}
+		}
+	}()
+	done := make(chan struct{})
+	var results []DomainResult
+	go func() {
+		defer close(done)
+		for res := range resCh {
+			results = append(results, res)
+		}
+	}()
+	wg.Wait()
+	close(resCh)
+	<-done
+	sort.Slice(results, func(i, j int) bool { return results[i].Domain < results[j].Domain })
+	return results
+}
+
+// Summary aggregates a snapshot of results into the headline counts of
+// §4.2 and the per-figure series.
+type Summary struct {
+	Total         int // domains scanned
+	WithRecord    int // domains with an MTA-STS record (valid or not)
+	Misconfigured int
+
+	ByCategory map[Category]int
+	// PolicyStageCounts breaks CategoryPolicy down per Figure 5.
+	PolicyStageCounts map[string]int
+	// MismatchKindCounts breaks CategoryInconsistency down per Figure 8.
+	MismatchKindCounts map[string]int
+
+	AllMXInvalid       int
+	PartiallyMXInvalid int
+	EnforceCertRisk    int
+	EnforceMismatch    int
+	DeliveryFailures   int
+}
+
+// Summarize computes the aggregate over a result set.
+func Summarize(results []DomainResult) Summary {
+	s := Summary{
+		ByCategory:         make(map[Category]int),
+		PolicyStageCounts:  make(map[string]int),
+		MismatchKindCounts: make(map[string]int),
+	}
+	for i := range results {
+		r := &results[i]
+		s.Total++
+		if !r.RecordPresent {
+			continue
+		}
+		s.WithRecord++
+		if r.Misconfigured() {
+			s.Misconfigured++
+		}
+		for _, c := range r.Categories() {
+			s.ByCategory[c]++
+			switch c {
+			case CategoryPolicy:
+				s.PolicyStageCounts[r.PolicyStage.String()]++
+			case CategoryInconsistency:
+				s.MismatchKindCounts[r.Mismatch.Kind.String()]++
+			}
+		}
+		if r.AllMXInvalid() {
+			s.AllMXInvalid++
+		}
+		if r.PartiallyMXInvalid() {
+			s.PartiallyMXInvalid++
+		}
+		if r.EnforceCertFailureRisk() {
+			s.EnforceCertRisk++
+		}
+		if r.EnforceMismatchFailure() {
+			s.EnforceMismatch++
+		}
+		if r.DeliveryFailure() {
+			s.DeliveryFailures++
+		}
+	}
+	return s
+}

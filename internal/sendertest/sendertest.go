@@ -1,0 +1,269 @@
+// Package sendertest reproduces the sender-side analysis of §6: a test
+// platform in the style of email-security-scans.org that receives mail
+// from many sender domains at instrumented recipient configurations and
+// records, per sender, whether it uses TLS, validates certificates, and
+// enforces MTA-STS and/or DANE. The sender population is calibrated to
+// the §6.1 dataset (2,394 sender domains); per-sender behavior is
+// evaluated against recipient configurations through the same decision
+// logic a compliant MTA implements.
+package sendertest
+
+import "fmt"
+
+// Behavior is the security posture of one sending MTA, as the platform
+// infers it from observed deliveries.
+type Behavior struct {
+	// Domain is the sender domain.
+	Domain string
+	// SupportsTLS: the sender negotiates STARTTLS at all (94.6%).
+	SupportsTLS bool
+	// RequirePKIXAlways: refuses delivery on any invalid certificate,
+	// regardless of MTA-STS/DANE (1.3%).
+	RequirePKIXAlways bool
+	// ValidatesMTASTS: fetches and enforces MTA-STS policies (19.6%).
+	ValidatesMTASTS bool
+	// ValidatesDANE: validates TLSA records (29.8%).
+	ValidatesDANE bool
+	// PrefersMTASTSOverDANE: the RFC-violating ordering (2.6%; the known
+	// postfix-mta-sts-resolver milter bug, §6.2 fn. 11). Only meaningful
+	// for dual validators.
+	PrefersMTASTSOverDANE bool
+}
+
+// Opportunistic reports whether the sender encrypts when possible but
+// accepts any certificate absent a policy.
+func (b Behavior) Opportunistic() bool { return b.SupportsTLS && !b.RequirePKIXAlways }
+
+// RecipientConfig is one instrumented test domain of the platform.
+type RecipientConfig struct {
+	Name string
+	// MTASTS: the domain publishes a (valid) MTA-STS record and policy.
+	MTASTS bool
+	// MTASTSMode is "enforce"/"testing"/"none" when MTASTS.
+	MTASTSMode string
+	// MXMatchesPolicy: the advertised MX matches the policy's patterns.
+	MXMatchesPolicy bool
+	// DANE: usable (DNSSEC-secure) TLSA records exist.
+	DANE bool
+	// TLSAMatches: the TLSA records match the presented certificate.
+	TLSAMatches bool
+	// CertPKIXValid: the MX certificate validates under the web PKI.
+	CertPKIXValid bool
+	// OffersSTARTTLS: the MX advertises STARTTLS.
+	OffersSTARTTLS bool
+}
+
+// Outcome is what the platform records for one delivery attempt.
+type Outcome struct {
+	Delivered bool
+	UsedTLS   bool
+	// Validated reports which mechanism, if any, gated the delivery.
+	Validated Mechanism
+	// Refused marks a compliant refusal.
+	Refused bool
+}
+
+// Mechanism identifies the validation path taken.
+type Mechanism int
+
+// Validation mechanisms.
+const (
+	MechNone Mechanism = iota
+	MechOpportunistic
+	MechPKIX
+	MechMTASTS
+	MechDANE
+)
+
+// String returns a short label.
+func (m Mechanism) String() string {
+	switch m {
+	case MechOpportunistic:
+		return "opportunistic"
+	case MechPKIX:
+		return "pkix"
+	case MechMTASTS:
+		return "mta-sts"
+	case MechDANE:
+		return "dane"
+	}
+	return "none"
+}
+
+// Deliver evaluates the sender's decision procedure against a recipient.
+// It mirrors RFC 7672 + RFC 8461 precedence: usable DANE is checked first
+// (unless the sender has the documented preference bug), then MTA-STS,
+// then opportunistic TLS.
+func (b Behavior) Deliver(rc RecipientConfig) Outcome {
+	if !b.SupportsTLS || !rc.OffersSTARTTLS {
+		// Plaintext delivery (or sender that never encrypts).
+		return Outcome{Delivered: true}
+	}
+	useMTASTSFirst := b.PrefersMTASTSOverDANE && b.ValidatesMTASTS && rc.MTASTS
+
+	if b.ValidatesDANE && rc.DANE && !useMTASTSFirst {
+		if rc.TLSAMatches {
+			return Outcome{Delivered: true, UsedTLS: true, Validated: MechDANE}
+		}
+		return Outcome{Refused: true, Validated: MechDANE}
+	}
+	if b.ValidatesMTASTS && rc.MTASTS && rc.MTASTSMode != "none" {
+		ok := rc.MXMatchesPolicy && rc.CertPKIXValid
+		if ok {
+			return Outcome{Delivered: true, UsedTLS: true, Validated: MechMTASTS}
+		}
+		if rc.MTASTSMode == "enforce" {
+			return Outcome{Refused: true, Validated: MechMTASTS}
+		}
+		return Outcome{Delivered: true, UsedTLS: true, Validated: MechMTASTS}
+	}
+	if b.RequirePKIXAlways {
+		if rc.CertPKIXValid {
+			return Outcome{Delivered: true, UsedTLS: true, Validated: MechPKIX}
+		}
+		return Outcome{Refused: true, Validated: MechPKIX}
+	}
+	return Outcome{Delivered: true, UsedTLS: true, Validated: MechOpportunistic}
+}
+
+// Population counts (§6.1/§6.2).
+const (
+	PopulationSize   = 2394
+	TLSSenders       = 2264 // 94.6%
+	AlwaysPKIX       = 31   // 1.3%
+	MTASTSValidators = 469  // 19.6%
+	DANEValidators   = 714  // 29.8%
+	BothValidators   = 203  // 8.5%
+	PreferenceBug    = 62   // 2.6%
+)
+
+// NewPopulation constructs the §6 sender population deterministically:
+// index ranges realize every reported count and containment (validators
+// are TLS senders; the preference bug occurs only among dual validators).
+func NewPopulation() []Behavior {
+	pop := make([]Behavior, PopulationSize)
+	// Index layout within [0, TLSSenders):
+	//   [0, MTASTSValidators)                      MTA-STS validators
+	//   [overlapStart, overlapStart+Both)          ∩ DANE validators
+	//   [MTASTSValidators, MTASTSValidators+rest)  DANE-only validators
+	//   [TLSSenders-AlwaysPKIX, TLSSenders)        always-PKIX senders
+	overlapStart := MTASTSValidators - BothValidators // 266
+	daneOnly := DANEValidators - BothValidators       // 511
+	for i := range pop {
+		b := Behavior{Domain: fmt.Sprintf("sender%04d.example", i)}
+		if i < TLSSenders {
+			b.SupportsTLS = true
+		}
+		if i < MTASTSValidators {
+			b.ValidatesMTASTS = true
+		}
+		if i >= overlapStart && i < MTASTSValidators+daneOnly {
+			b.ValidatesDANE = true
+		}
+		if i >= overlapStart && i < overlapStart+PreferenceBug {
+			b.PrefersMTASTSOverDANE = true
+		}
+		if i >= TLSSenders-AlwaysPKIX && i < TLSSenders {
+			b.RequirePKIXAlways = true
+		}
+		pop[i] = b
+	}
+	return pop
+}
+
+// Stats are the §6.2 aggregate numbers.
+type Stats struct {
+	Senders       int
+	TLS           int
+	Opportunistic int
+	AlwaysPKIX    int
+	MTASTS        int
+	DANE          int
+	Both          int
+	PreferFlipped int
+}
+
+// Percent formats n as a percentage of the population.
+func (s Stats) Percent(n int) float64 { return 100 * float64(n) / float64(s.Senders) }
+
+// Aggregate computes the platform statistics over a sender population by
+// probing each sender against the discriminating recipient configs.
+func Aggregate(pop []Behavior) Stats {
+	var st Stats
+	st.Senders = len(pop)
+	for _, b := range pop {
+		probe := Probe(b)
+		if probe.TLS {
+			st.TLS++
+		}
+		if probe.Opportunistic {
+			st.Opportunistic++
+		}
+		if probe.AlwaysPKIX {
+			st.AlwaysPKIX++
+		}
+		if probe.MTASTS {
+			st.MTASTS++
+		}
+		if probe.DANE {
+			st.DANE++
+		}
+		if probe.MTASTS && probe.DANE {
+			st.Both++
+		}
+		if probe.PreferFlipped {
+			st.PreferFlipped++
+		}
+	}
+	return st
+}
+
+// ProbeResult is the behavioral fingerprint the platform derives for one
+// sender from delivery observations alone.
+type ProbeResult struct {
+	TLS           bool
+	Opportunistic bool
+	AlwaysPKIX    bool
+	MTASTS        bool
+	DANE          bool
+	PreferFlipped bool
+}
+
+// Probe runs the discriminating recipient configurations against one
+// sender and infers its behavior purely from outcomes — the platform never
+// reads the Behavior flags directly, so the inference logic is itself
+// under test.
+func Probe(b Behavior) ProbeResult {
+	var r ProbeResult
+
+	// Config A: plain TLS recipient with an invalid certificate.
+	plainBadCert := RecipientConfig{OffersSTARTTLS: true, CertPKIXValid: false}
+	outA := b.Deliver(plainBadCert)
+	r.TLS = outA.UsedTLS || outA.Refused
+	r.Opportunistic = outA.Delivered && outA.UsedTLS
+	r.AlwaysPKIX = outA.Refused && outA.Validated == MechPKIX
+
+	// Config B: MTA-STS enforce with a deliberately mismatching MX.
+	stsBroken := RecipientConfig{OffersSTARTTLS: true, CertPKIXValid: true,
+		MTASTS: true, MTASTSMode: "enforce", MXMatchesPolicy: false}
+	outB := b.Deliver(stsBroken)
+	r.MTASTS = outB.Refused && outB.Validated == MechMTASTS
+
+	// Config C: DANE with mismatching TLSA records.
+	daneBroken := RecipientConfig{OffersSTARTTLS: true, CertPKIXValid: true,
+		DANE: true, TLSAMatches: false}
+	outC := b.Deliver(daneBroken)
+	r.DANE = outC.Refused && outC.Validated == MechDANE
+
+	// Config D: both present; TLSA mismatching but PKIX+MTA-STS valid. A
+	// compliant dual validator refuses (DANE first); the buggy milter
+	// validates MTA-STS and delivers (§6.2 footnote 10).
+	both := RecipientConfig{OffersSTARTTLS: true, CertPKIXValid: true,
+		MTASTS: true, MTASTSMode: "enforce", MXMatchesPolicy: true,
+		DANE: true, TLSAMatches: false}
+	outD := b.Deliver(both)
+	if r.MTASTS && r.DANE {
+		r.PreferFlipped = outD.Delivered && outD.Validated == MechMTASTS
+	}
+	return r
+}

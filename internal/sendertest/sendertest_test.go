@@ -1,0 +1,149 @@
+package sendertest
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPopulationStats(t *testing.T) {
+	pop := NewPopulation()
+	if len(pop) != PopulationSize {
+		t.Fatalf("population = %d", len(pop))
+	}
+	st := Aggregate(pop)
+
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"TLS senders", st.TLS, TLSSenders},
+		{"always-PKIX", st.AlwaysPKIX, AlwaysPKIX},
+		{"MTA-STS validators", st.MTASTS, MTASTSValidators},
+		{"DANE validators", st.DANE, DANEValidators},
+		{"both validators", st.Both, BothValidators},
+		{"preference bug", st.PreferFlipped, PreferenceBug},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	// Percentages match §6.2 within a tenth of a point.
+	pcts := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"TLS %", st.Percent(st.TLS), 94.6},
+		{"opportunistic %", st.Percent(st.Opportunistic), 93.3}, // paper: 93.2
+		{"always-PKIX %", st.Percent(st.AlwaysPKIX), 1.3},
+		{"MTA-STS %", st.Percent(st.MTASTS), 19.6},
+		{"DANE %", st.Percent(st.DANE), 29.8},
+		{"both %", st.Percent(st.Both), 8.5},
+		{"preference bug %", st.Percent(st.PreferFlipped), 2.6},
+	}
+	for _, c := range pcts {
+		if math.Abs(c.got-c.want) > 0.15 {
+			t.Errorf("%s = %.2f, want ~%.1f", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestDeliverDecisionMatrix(t *testing.T) {
+	full := Behavior{SupportsTLS: true, ValidatesMTASTS: true, ValidatesDANE: true}
+	buggy := full
+	buggy.PrefersMTASTSOverDANE = true
+	opportunistic := Behavior{SupportsTLS: true}
+	plaintext := Behavior{}
+	pkix := Behavior{SupportsTLS: true, RequirePKIXAlways: true}
+
+	cases := []struct {
+		name   string
+		b      Behavior
+		rc     RecipientConfig
+		refuse bool
+		mech   Mechanism
+	}{
+		{"no TLS offered -> plaintext", full,
+			RecipientConfig{OffersSTARTTLS: false}, false, MechNone},
+		{"plaintext sender ignores everything", plaintext,
+			RecipientConfig{OffersSTARTTLS: true, MTASTS: true, MTASTSMode: "enforce"}, false, MechNone},
+		{"DANE precedence over MTA-STS", full,
+			RecipientConfig{OffersSTARTTLS: true, DANE: true, TLSAMatches: true,
+				MTASTS: true, MTASTSMode: "enforce", MXMatchesPolicy: false, CertPKIXValid: false},
+			false, MechDANE},
+		{"DANE mismatch refuses despite valid MTA-STS", full,
+			RecipientConfig{OffersSTARTTLS: true, DANE: true, TLSAMatches: false,
+				MTASTS: true, MTASTSMode: "enforce", MXMatchesPolicy: true, CertPKIXValid: true},
+			true, MechDANE},
+		{"buggy milter flips precedence", buggy,
+			RecipientConfig{OffersSTARTTLS: true, DANE: true, TLSAMatches: false,
+				MTASTS: true, MTASTSMode: "enforce", MXMatchesPolicy: true, CertPKIXValid: true},
+			false, MechMTASTS},
+		{"MTA-STS enforce bad cert refuses", full,
+			RecipientConfig{OffersSTARTTLS: true, MTASTS: true, MTASTSMode: "enforce",
+				MXMatchesPolicy: true, CertPKIXValid: false},
+			true, MechMTASTS},
+		{"MTA-STS testing bad cert delivers", full,
+			RecipientConfig{OffersSTARTTLS: true, MTASTS: true, MTASTSMode: "testing",
+				MXMatchesPolicy: false, CertPKIXValid: false},
+			false, MechMTASTS},
+		{"MTA-STS mode none skips validation", full,
+			RecipientConfig{OffersSTARTTLS: true, MTASTS: true, MTASTSMode: "none",
+				MXMatchesPolicy: false, CertPKIXValid: false},
+			false, MechOpportunistic},
+		{"opportunistic accepts bad cert", opportunistic,
+			RecipientConfig{OffersSTARTTLS: true, CertPKIXValid: false}, false, MechOpportunistic},
+		{"always-PKIX refuses bad cert", pkix,
+			RecipientConfig{OffersSTARTTLS: true, CertPKIXValid: false}, true, MechPKIX},
+		{"always-PKIX accepts good cert", pkix,
+			RecipientConfig{OffersSTARTTLS: true, CertPKIXValid: true}, false, MechPKIX},
+	}
+	for _, c := range cases {
+		out := c.b.Deliver(c.rc)
+		if out.Refused != c.refuse || out.Validated != c.mech {
+			t.Errorf("%s: got refused=%v mech=%v, want refused=%v mech=%v",
+				c.name, out.Refused, out.Validated, c.refuse, c.mech)
+		}
+		if out.Refused == out.Delivered {
+			t.Errorf("%s: refused and delivered must be exclusive", c.name)
+		}
+	}
+}
+
+func TestProbeInfersFromOutcomesOnly(t *testing.T) {
+	// The probe must recover each behavior flag for every combination.
+	for _, tls := range []bool{true, false} {
+		for _, sts := range []bool{true, false} {
+			for _, dane := range []bool{true, false} {
+				b := Behavior{SupportsTLS: tls}
+				if tls {
+					b.ValidatesMTASTS = sts
+					b.ValidatesDANE = dane
+				}
+				r := Probe(b)
+				if r.TLS != tls {
+					t.Errorf("tls=%v sts=%v dane=%v: probe TLS = %v", tls, sts, dane, r.TLS)
+				}
+				if r.MTASTS != (tls && sts) {
+					t.Errorf("tls=%v sts=%v: probe MTASTS = %v", tls, sts, r.MTASTS)
+				}
+				if r.DANE != (tls && dane) {
+					t.Errorf("tls=%v dane=%v: probe DANE = %v", tls, dane, r.DANE)
+				}
+			}
+		}
+	}
+}
+
+func TestMechanismString(t *testing.T) {
+	for m, want := range map[Mechanism]string{
+		MechNone: "none", MechOpportunistic: "opportunistic",
+		MechPKIX: "pkix", MechMTASTS: "mta-sts", MechDANE: "dane",
+	} {
+		if m.String() != want {
+			t.Errorf("Mechanism(%d) = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package sendertest
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/tlsrpt"
+)
+
+// BuildTLSRPTReport aggregates one day of the platform's delivery
+// outcomes against a recipient configuration into an RFC 8460 report, as
+// the recipient's TLSRPT rua destination would receive it from a large
+// sending organization (Appendix B: only two major providers send these;
+// this produces what they would send).
+func BuildTLSRPTReport(pop []Behavior, rc RecipientConfig, day time.Time) *tlsrpt.Report {
+	start := day.Truncate(24 * time.Hour)
+	r := tlsrpt.NewReport(
+		"mtasts-repro sender platform",
+		"mailto:tlsrpt@sender-platform.example",
+		fmt.Sprintf("%s-%s", start.Format("2006-01-02"), rc.Name),
+		start, start.Add(24*time.Hour),
+	)
+	ptype := tlsrpt.PolicyTypeNoFind
+	switch {
+	case rc.DANE:
+		ptype = tlsrpt.PolicyTypeTLSA
+	case rc.MTASTS:
+		ptype = tlsrpt.PolicyTypeSTS
+	}
+	mx := "mx." + rc.Name
+	for _, b := range pop {
+		out := b.Deliver(rc)
+		switch {
+		case out.Delivered && out.UsedTLS:
+			r.AddSuccess(ptype, rc.Name, 1)
+		case out.Delivered:
+			// Plaintext delivery: a TLS failure from the report's view.
+			r.AddFailure(ptype, rc.Name, tlsrpt.ResultSTARTTLSNotSupported, mx, 1)
+		case out.Refused:
+			r.AddFailure(ptype, rc.Name, resultFor(out, rc), mx, 1)
+		}
+	}
+	return r
+}
+
+// resultFor maps a refusal to the RFC 8460 result type.
+func resultFor(out Outcome, rc RecipientConfig) tlsrpt.ResultType {
+	switch out.Validated {
+	case MechDANE:
+		return tlsrpt.ResultTLSAInvalid
+	case MechMTASTS:
+		if !rc.MXMatchesPolicy {
+			return tlsrpt.ResultValidationFailure
+		}
+		return tlsrpt.ResultSTSWebPKIInvalid
+	case MechPKIX:
+		return tlsrpt.ResultCertificateNotTrusted
+	}
+	return tlsrpt.ResultValidationFailure
+}

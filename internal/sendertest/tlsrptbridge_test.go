@@ -1,0 +1,93 @@
+package sendertest
+
+import (
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/tlsrpt"
+)
+
+func TestBuildTLSRPTReportSTSBroken(t *testing.T) {
+	pop := NewPopulation()
+	day := time.Date(2024, 9, 28, 13, 0, 0, 0, time.UTC)
+	rc := RecipientConfig{
+		Name: "recipient.example", OffersSTARTTLS: true, CertPKIXValid: true,
+		MTASTS: true, MTASTSMode: "enforce", MXMatchesPolicy: false,
+	}
+	r := BuildTLSRPTReport(pop, rc, day)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	p := r.Policy(tlsrpt.PolicyTypeSTS, "recipient.example")
+	total := p.Summary.TotalSuccessfulSessionCount + p.Summary.TotalFailureSessionCount
+	if total != int64(len(pop)) {
+		t.Errorf("sessions = %d, want %d", total, len(pop))
+	}
+	// Refusals: exactly the MTA-STS validators (enforce + mismatch).
+	var validationFailures int64
+	for _, fd := range p.FailureDetails {
+		if fd.ResultType == tlsrpt.ResultValidationFailure {
+			validationFailures += fd.FailedSessionCount
+		}
+	}
+	if validationFailures != MTASTSValidators {
+		t.Errorf("validation failures = %d, want %d", validationFailures, MTASTSValidators)
+	}
+	// Non-TLS senders show up as starttls-not-supported.
+	var noTLS int64
+	for _, fd := range p.FailureDetails {
+		if fd.ResultType == tlsrpt.ResultSTARTTLSNotSupported {
+			noTLS += fd.FailedSessionCount
+		}
+	}
+	if noTLS != PopulationSize-TLSSenders {
+		t.Errorf("no-TLS failures = %d, want %d", noTLS, PopulationSize-TLSSenders)
+	}
+}
+
+func TestBuildTLSRPTReportDANEBroken(t *testing.T) {
+	pop := NewPopulation()
+	day := time.Now()
+	rc := RecipientConfig{
+		Name: "dane.example", OffersSTARTTLS: true, CertPKIXValid: true,
+		DANE: true, TLSAMatches: false,
+	}
+	r := BuildTLSRPTReport(pop, rc, day)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := r.Policy(tlsrpt.PolicyTypeTLSA, "dane.example")
+	var tlsaFailures int64
+	for _, fd := range p.FailureDetails {
+		if fd.ResultType == tlsrpt.ResultTLSAInvalid {
+			tlsaFailures += fd.FailedSessionCount
+		}
+	}
+	// All DANE validators refuse on the broken TLSA RRset.
+	if tlsaFailures != DANEValidators {
+		t.Errorf("tlsa failures = %d, want %d", tlsaFailures, DANEValidators)
+	}
+	// The report round-trips through JSON.
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := tlsrpt.UnmarshalReport(data)
+	if err != nil || back.Validate() != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+}
+
+func TestBuildTLSRPTReportCleanRecipient(t *testing.T) {
+	pop := NewPopulation()
+	rc := RecipientConfig{
+		Name: "clean.example", OffersSTARTTLS: true, CertPKIXValid: true,
+		MTASTS: true, MTASTSMode: "enforce", MXMatchesPolicy: true,
+	}
+	r := BuildTLSRPTReport(pop, rc, time.Now())
+	p := r.Policy(tlsrpt.PolicyTypeSTS, "clean.example")
+	if p.Summary.TotalFailureSessionCount != PopulationSize-TLSSenders {
+		// Only the non-TLS senders fail against a clean recipient.
+		t.Errorf("failures = %d, want %d", p.Summary.TotalFailureSessionCount, PopulationSize-TLSSenders)
+	}
+}

@@ -1,0 +1,190 @@
+// Package simnet is the synthetic Internet of the reproduction: a
+// generative, seeded model of the MTA-STS ecosystem calibrated to the
+// counts the paper reports, standing in for the TLD zone files and the
+// live Internet the authors scanned (see the substitution table in
+// DESIGN.md). It produces, for every monthly snapshot of the measurement
+// period, the exact observables a scan would collect — TXT record strings,
+// policy bodies, certificate descriptors, MX sets — which the scanner
+// package evaluates through the same parsers and validators used on live
+// sockets.
+package simnet
+
+import "time"
+
+// Timeline of the study.
+var (
+	// StudyStart is the first DNS-scan snapshot (2021-09).
+	StudyStart = time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC)
+	// StudyEnd is the last snapshot (2024-09-29 in the paper).
+	StudyEnd = time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	// ComponentScanStart is the first component scan (2023-11).
+	ComponentScanStart = time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC)
+)
+
+// Months is the number of monthly snapshots (2021-09 .. 2024-09 inclusive).
+const Months = 37
+
+// ComponentScanFirstIndex is the snapshot index of the first component
+// scan (2023-11 is 26 months after 2021-09).
+const ComponentScanFirstIndex = 26
+
+// SnapshotTime returns the date of snapshot index t.
+func SnapshotTime(t int) time.Time { return StudyStart.AddDate(0, t, 0) }
+
+// TLDParams calibrates one TLD's population, matching Table 1 and the
+// Figure 2 endpoints.
+type TLDParams struct {
+	TLD string
+	// DomainsWithMXStart/End are the denominator sizes (paper scale).
+	DomainsWithMXStart, DomainsWithMXEnd int
+	// AdoptersStart/End are MTA-STS domain counts at the first and last
+	// snapshot (paper scale).
+	AdoptersStart, AdoptersEnd int
+	// TLSRPTStart/End are TLSRPT domain counts (Appendix B).
+	TLSRPTStart, TLSRPTEnd int
+}
+
+// TLDs holds the calibration for the four measured TLDs. Adopter start
+// counts are the paper's 2021-10 figures; MX denominators interpolate
+// modest zone growth.
+var TLDs = []TLDParams{
+	{TLD: "com", DomainsWithMXStart: 70_000_000, DomainsWithMXEnd: 73_939_004,
+		AdoptersStart: 12_148, AdoptersEnd: 53_800, TLSRPTStart: 11_531, TLSRPTEnd: 52_641},
+	{TLD: "net", DomainsWithMXStart: 6_100_000, DomainsWithMXEnd: 6_248_969,
+		AdoptersStart: 1_610, AdoptersEnd: 6_183, TLSRPTStart: 1_480, TLSRPTEnd: 5_920},
+	{TLD: "org", DomainsWithMXStart: 5_600_000, DomainsWithMXEnd: 5_781_423,
+		AdoptersStart: 1_916, AdoptersEnd: 7_355, TLSRPTStart: 1_527, TLSRPTEnd: 7_192},
+	{TLD: "se", DomainsWithMXStart: 800_000, DomainsWithMXEnd: 822_449,
+		AdoptersStart: 190, AdoptersEnd: 692, TLSRPTStart: 170, TLSRPTEnd: 650},
+}
+
+// TotalAdoptersEnd is the paper's final-snapshot MTA-STS population
+// (68,030); the per-TLD ends sum to it.
+const TotalAdoptersEnd = 68_030
+
+// Management-mix calibration (§4.3.3, §4.3.4, §4.5).
+const (
+	// PolicyClassifiedFrac: 79.3% of MTA-STS domains could be classified
+	// into third-party vs self-managed policy hosting.
+	PolicyClassifiedFrac = 0.793
+	// PolicyThirdFrac: of classified, 28,591/53,935 use third-party
+	// policy hosting.
+	PolicyThirdFrac = 0.530
+	// MXClassifiedFrac: 94.4% classified for MX hosting.
+	MXClassifiedFrac = 0.944
+	// MXThirdFrac: 40,683/64,195 use third-party MX.
+	MXThirdFrac = 0.634
+)
+
+// Error-rate calibration for the latest snapshot (§4.3, §4.4). Rates are
+// per management class. Historic snapshots scale these (see ratesAt).
+type ErrorRates struct {
+	// Policy-retrieval error rates by class.
+	PolicySelf, PolicyThird, PolicyUnclassified float64
+	// Policy error-stage mix for self-managed (fractions of failing
+	// domains): DNS, TCP, TLS, HTTP, Syntax must sum to 1.
+	SelfStageDNS, SelfStageTCP, SelfStageTLS, SelfStageHTTP, SelfStageSyntax float64
+	// TLS sub-mix for self-managed failures.
+	SelfTLSNameMismatch, SelfTLSSelfSigned, SelfTLSExpired float64
+	// Stage mix for third-party failures.
+	ThirdStageTCP, ThirdStageTLS, ThirdStageHTTP, ThirdStageSyntax float64
+	// TLS sub-mix for third-party failures.
+	ThirdTLSMissing, ThirdTLSExpired, ThirdTLSSelfSigned float64
+
+	// MX certificate error rates by class.
+	MXSelf, MXThird float64
+	// MX error mix (CN mismatch dominates for self-managed, §4.3.4).
+	MXNameMismatch, MXSelfSigned, MXExpired float64
+	// AllInvalidFrac: of domains with MX errors, the share where every MX
+	// is invalid (vs partially invalid).
+	AllInvalidFrac float64
+
+	// Record error rate (tiny, §4.3.2) and its mix.
+	Record                                                  float64
+	RecordNoID, RecordBadID, RecordBadVersion, RecordBadExt float64
+
+	// Inconsistency rates (§4.4/§4.5): probability of a persistent
+	// mismatch, by provider arrangement.
+	MismatchDiffProviders, MismatchSameProvider, MismatchSelf float64
+	// Mismatch kind mix (Domain dominates; 3LD+, typos, TLD).
+	KindDomain, Kind3LD, KindTypo, KindTLD float64
+	// ObsoleteMXFrac: share of Domain-kind mismatches that stem from an MX
+	// migration the policy never followed (Figure 9 reaches 63%).
+	ObsoleteMXFrac float64
+}
+
+// LatestRates is the calibration against the paper's final snapshot.
+var LatestRates = ErrorRates{
+	PolicySelf:         0.378, // 9,588 / 25,344
+	PolicyThird:        0.049, // 1,393 / 28,591 (incl. Porkbun wave)
+	PolicyUnclassified: 0.440, // residual mass to reach 17,184 total
+
+	SelfStageDNS: 0.004, SelfStageTCP: 0.020, SelfStageTLS: 0.925,
+	SelfStageHTTP: 0.039, SelfStageSyntax: 0.012,
+	SelfTLSNameMismatch: 0.945, SelfTLSSelfSigned: 0.035, SelfTLSExpired: 0.020,
+
+	ThirdStageTCP: 0.024, ThirdStageTLS: 0.780,
+	ThirdStageHTTP: 0.140, ThirdStageSyntax: 0.056,
+	ThirdTLSMissing: 0.436, ThirdTLSExpired: 0.300, ThirdTLSSelfSigned: 0.264,
+
+	MXSelf:         0.044, // 1,046 / 23,512
+	MXThird:        0.010, // 397 / 40,683
+	MXNameMismatch: 0.70, MXSelfSigned: 0.20, MXExpired: 0.10,
+	AllInvalidFrac: 0.92, // 1,326 all-invalid vs 1,443 any-invalid
+
+	Record:     0.0049, // 331 / 68,030
+	RecordNoID: 0.196, RecordBadID: 0.613, RecordBadVersion: 0.157, RecordBadExt: 0.034,
+
+	MismatchDiffProviders: 0.050,   // calibrated so ~640 diff-provider inconsistencies survive at the final snapshot (640/18,922 raw, §4.5)
+	MismatchSameProvider:  0.00013, // 1 / 7,492
+	MismatchSelf:          0.030,   // self-managed arrangements drift too
+	KindDomain:            0.55, Kind3LD: 0.39, KindTypo: 0.034, KindTLD: 0.026,
+	ObsoleteMXFrac: 0.63,
+}
+
+// Scripted incidents (§3.2, §4.3.3, §4.4, Appendix B).
+var (
+	// OrgAdoptionSpike: 461 .org domains of one organization adopt on
+	// 2024-01-02 (Figure 2).
+	OrgAdoptionSpikeMonth = monthIndex(2024, 1)
+	OrgAdoptionSpikeCount = 461
+
+	// LucidgrowMonth: on 2024-01-23 all 246 lucidgrow.com customer
+	// domains mismatch in enforce mode for one snapshot (Figure 8/10).
+	LucidgrowMonth = monthIndex(2024, 1)
+	LucidgrowCount = 246
+
+	// SelfSignedWaveMonth: a leading third-party provider serves
+	// self-signed certificates for 1,385 domains on 2024-06-08 (Figure 5).
+	SelfSignedWaveMonth = monthIndex(2024, 6)
+	SelfSignedWaveCount = 1385
+
+	// PorkbunStartMonth: from August 2024, newly registered Porkbun
+	// domains carry invalid policy-host certificates; 7,237 affected in
+	// the latest snapshot (Figure 4/5).
+	PorkbunStartMonth = monthIndex(2024, 8)
+	PorkbunCount      = 7237
+
+	// SeTLSRPTDropMonth: 82 .se domains revoke TLSRPT in Dec 2021
+	// (Figure 12 top).
+	SeTLSRPTDropMonth = monthIndex(2021, 12)
+	SeTLSRPTDropCount = 82
+
+	// NetTLSRPTWaveMonth: Jun–Aug 2024, 1,411 .net domains add TLSRPT;
+	// only 198 have MTA-STS (Figure 12 bottom dip).
+	NetTLSRPTWaveMonth      = monthIndex(2024, 6)
+	NetTLSRPTWaveCount      = 1411
+	NetTLSRPTWaveWithMTASTS = 198
+)
+
+// monthIndex converts a calendar month to a snapshot index.
+func monthIndex(year, month int) int {
+	return (year-2021)*12 + (month - 9)
+}
+
+// Disclosure-campaign calibration (§4.7).
+const (
+	DisclosureNotified   = 20144
+	DisclosureBounceFrac = 0.25 // >5,000 of 20,144 bounced
+	DisclosureFixedFrac  = 0.10 // 2,064 resolved within the window
+)

@@ -1,0 +1,352 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+)
+
+// recordErrKind enumerates §4.3.2 record failures.
+type recordErrKind int
+
+const (
+	recOK recordErrKind = iota
+	recNoID
+	recBadID
+	recBadVersion
+	recBadExt
+	recMultiple
+)
+
+// policyErrKind enumerates Figure 5 policy-retrieval failures.
+type policyErrKind int
+
+const (
+	polOK policyErrKind = iota
+	polDNS
+	polTCP
+	polTLSNameMismatch
+	polTLSSelfSigned
+	polTLSExpired
+	polTLSMissing
+	polHTTP404
+	polHTTP500
+	polSyntaxBadMX
+	polSyntaxEmpty
+)
+
+// mxErrKind enumerates Figure 6 MX certificate failures.
+type mxErrKind int
+
+const (
+	mxOK mxErrKind = iota
+	mxNameMismatch
+	mxSelfSigned
+	mxExpired
+)
+
+// errorPlan is the realized error state of one domain at one snapshot.
+type errorPlan struct {
+	record recordErrKind
+	policy policyErrKind
+	// mxErrs aligns with the domain's MX hosts at the snapshot.
+	mxErrs []mxErrKind
+}
+
+// persistEpoch groups snapshots so errors persist for a few months before
+// the domain "churns" (fixes old issues, introduces new ones).
+const persistEpoch = 3
+
+func epochOf(d *Domain, t int) string {
+	return itoa((t + d.Index%persistEpoch) / persistEpoch)
+}
+
+// basePolicySelfRate is the non-Porkbun self-managed policy error rate; it
+// combines with the Porkbun cohort to the paper's 37.8% at the final
+// snapshot (see params.go for the reconciliation).
+const basePolicySelfRate = 0.17
+
+// planAt derives the domain's error state at snapshot t.
+func (w *World) planAt(d *Domain, t int) errorPlan {
+	seed := w.Cfg.Seed
+	ep := epochOf(d, t)
+	var plan errorPlan
+
+	// Record errors (§4.3.2) — rare, any management class.
+	r := LatestRates
+	if unit(seed, d.Name, "rec", ep) < r.Record {
+		switch pick(unit(seed, d.Name, "reckind"), r.RecordNoID, r.RecordBadID, r.RecordBadVersion, r.RecordBadExt, 1) {
+		case 0:
+			plan.record = recNoID
+		case 1:
+			plan.record = recBadID
+		case 2:
+			plan.record = recBadVersion
+		case 3:
+			plan.record = recBadExt
+		default:
+			plan.record = recMultiple
+		}
+	}
+
+	// Policy-retrieval errors (Figure 5).
+	plan.policy = w.policyPlanAt(d, t, ep)
+
+	// MX certificate errors (Figure 6). The error applies to all MXes
+	// (AllInvalidFrac) or only the first of several.
+	mxs := d.MXHostsAt(t)
+	plan.mxErrs = make([]mxErrKind, len(mxs))
+	mxRate := r.MXThird
+	if d.MXClass == ClassSelf {
+		mxRate = r.MXSelf
+		if t == Months-1 {
+			// "270 domains ... fixed their Common Name mismatch error in
+			// our latest snapshot": a small final-month dip.
+			mxRate *= 0.95
+		}
+	} else if d.MXClass == ClassUnclassifiable {
+		mxRate = (r.MXSelf + r.MXThird) / 2
+	}
+	if unit(seed, d.Name, "mx", ep) < mxRate {
+		var kind mxErrKind
+		switch pick(unit(seed, d.Name, "mxkind"), r.MXNameMismatch, r.MXSelfSigned, 1) {
+		case 0:
+			kind = mxNameMismatch
+		case 1:
+			kind = mxSelfSigned
+		default:
+			kind = mxExpired
+		}
+		all := len(mxs) == 1 || unit(seed, d.Name, "mxall") < r.AllInvalidFrac
+		for i := range mxs {
+			if all || i == 0 {
+				plan.mxErrs[i] = kind
+			}
+		}
+	}
+	return plan
+}
+
+func (w *World) policyPlanAt(d *Domain, t int, ep string) policyErrKind {
+	seed := w.Cfg.Seed
+	r := LatestRates
+
+	// Scripted incidents take precedence.
+	if d.Porkbun {
+		// Invalid policy-host certificates from registration onward.
+		return polTLSNameMismatch
+	}
+	if d.SelfSignWave && t == SelfSignedWaveMonth {
+		return polTLSSelfSigned
+	}
+
+	var rate float64
+	switch d.PolicyClass {
+	case ClassSelf:
+		rate = basePolicySelfRate
+	case ClassThird:
+		rate = r.PolicyThird
+	default:
+		rate = r.PolicyUnclassified
+	}
+	if unit(seed, d.Name, "pol", ep) >= rate {
+		return polOK
+	}
+
+	// Stage mix by class.
+	u := unit(seed, d.Name, "polstage", ep)
+	if d.PolicyClass == ClassThird {
+		switch pick(u, r.ThirdStageTCP, r.ThirdStageTLS, r.ThirdStageHTTP, 1) {
+		case 0:
+			return polTCP
+		case 1:
+			switch pick(unit(seed, d.Name, "poltls", ep), r.ThirdTLSMissing, r.ThirdTLSExpired, 1) {
+			case 0:
+				return polTLSMissing
+			case 1:
+				return polTLSExpired
+			default:
+				return polTLSSelfSigned
+			}
+		case 2:
+			if unit(seed, d.Name, "polhttp") < 0.65 {
+				return polHTTP404
+			}
+			return polHTTP500
+		default:
+			if unit(seed, d.Name, "polsyn") < 0.5 {
+				return polSyntaxEmpty // the DMARCReport empty-file case
+			}
+			return polSyntaxBadMX
+		}
+	}
+	// Self-managed / unclassified mix.
+	switch pick(u, r.SelfStageDNS, r.SelfStageTCP, r.SelfStageTLS, r.SelfStageHTTP, 1) {
+	case 0:
+		return polDNS
+	case 1:
+		return polTCP
+	case 2:
+		switch pick(unit(seed, d.Name, "poltls", ep), r.SelfTLSNameMismatch, r.SelfTLSSelfSigned, 1) {
+		case 0:
+			return polTLSNameMismatch
+		case 1:
+			return polTLSSelfSigned
+		default:
+			return polTLSExpired
+		}
+	case 3:
+		if unit(seed, d.Name, "polhttp") < 0.65 {
+			return polHTTP404
+		}
+		return polHTTP500
+	default:
+		return polSyntaxBadMX
+	}
+}
+
+// ArtifactsAt materializes the scan observables for domain d at snapshot
+// t: real TXT strings, a real policy body, and certificate descriptors —
+// everything scanner.ScanArtifacts needs. It returns ok=false when the
+// domain has not yet adopted MTA-STS at t.
+func (w *World) ArtifactsAt(d *Domain, t int) (scanner.Artifacts, bool) {
+	if d.AdoptedAt > t {
+		return scanner.Artifacts{}, false
+	}
+	now := SnapshotTime(t)
+	plan := w.planAt(d, t)
+	mxs := d.MXHostsAt(t)
+
+	a := scanner.Artifacts{
+		Domain:             d.Name,
+		MXHosts:            mxs,
+		PolicyHostResolves: true,
+		PolicyCNAME:        d.PolicyHostCNAME(),
+		TCPOpen:            true,
+		PolicyCert:         pki.GoodProfile(now, mtasts.PolicyHost(d.Name)),
+		HTTPStatus:         200,
+		MXSTARTTLS:         make(map[string]bool, len(mxs)),
+		MXCerts:            make(map[string]pki.CertProfile, len(mxs)),
+	}
+
+	// TXT record.
+	id := fmt.Sprintf("%d%02d%02d", now.Year(), int(now.Month()), 1)
+	switch plan.record {
+	case recOK:
+		a.TXT = []string{"v=STSv1; id=" + id + ";"}
+	case recNoID:
+		a.TXT = []string{"v=STSv1;"}
+	case recBadID:
+		a.TXT = []string{fmt.Sprintf("v=STSv1; id=%d-%02d-01;", now.Year(), int(now.Month()))}
+	case recBadVersion:
+		a.TXT = []string{"v=STSV1; id=" + id + ";"}
+	case recBadExt:
+		// The paper's example: "v=STSv1; id=1; mx: a.com; mode: testing;"
+		a.TXT = []string{"v=STSv1; id=1; mx: a.com; mode: testing;"}
+	case recMultiple:
+		a.TXT = []string{"v=STSv1; id=" + id + "a;", "v=STSv1; id=" + id + "b;"}
+	}
+
+	// Policy pipeline.
+	switch plan.policy {
+	case polOK:
+		a.PolicyBody = []byte(w.policyBody(d, t))
+	case polDNS:
+		a.PolicyHostResolves = false
+	case polTCP:
+		a.TCPOpen = false
+	case polTLSNameMismatch:
+		a.PolicyCert = pki.GoodProfile(now, d.Name) // bare domain, no mta-sts label
+		a.PolicyBody = []byte(w.policyBody(d, t))
+	case polTLSSelfSigned:
+		a.PolicyCert = pki.SelfSignedProfile(now, mtasts.PolicyHost(d.Name))
+		a.PolicyBody = []byte(w.policyBody(d, t))
+	case polTLSExpired:
+		a.PolicyCert = pki.ExpiredProfile(now, mtasts.PolicyHost(d.Name))
+		a.PolicyBody = []byte(w.policyBody(d, t))
+	case polTLSMissing:
+		a.PolicyCert = pki.MissingProfile()
+	case polHTTP404:
+		a.HTTPStatus = 404
+	case polHTTP500:
+		a.HTTPStatus = 500
+	case polSyntaxBadMX:
+		// Invalid mx patterns: an email address (64% of syntax errors stem
+		// from such misunderstandings, §4.3.3).
+		a.PolicyBody = []byte("version: STSv1\r\nmode: " + d.Mode +
+			"\r\nmx: postmaster@" + d.Name + "\r\nmax_age: 86400\r\n")
+	case polSyntaxEmpty:
+		a.PolicyBody = nil
+	}
+
+	// MX certificates.
+	for i, mx := range mxs {
+		a.MXSTARTTLS[mx] = true
+		var kind mxErrKind
+		if i < len(plan.mxErrs) {
+			kind = plan.mxErrs[i]
+		}
+		switch kind {
+		case mxOK:
+			a.MXCerts[mx] = pki.GoodProfile(now, mx)
+		case mxNameMismatch:
+			a.MXCerts[mx] = pki.GoodProfile(now, "other-"+mx)
+		case mxSelfSigned:
+			a.MXCerts[mx] = pki.SelfSignedProfile(now, mx)
+		case mxExpired:
+			a.MXCerts[mx] = pki.ExpiredProfile(now, mx)
+		}
+	}
+	return a, true
+}
+
+// policyBody renders the domain's policy file at snapshot t, including the
+// lucidgrow incident (for one snapshot, the outsourced policy lists none
+// of the per-customer MX hosts).
+func (w *World) policyBody(d *Domain, t int) string {
+	patterns := d.PolicyPatternsAt(t)
+	if d.Lucidgrow {
+		if t == LucidgrowMonth {
+			patterns = []string{"mx.dmarcinput.com"}
+		} else {
+			patterns = d.MXHostsAt(t)
+		}
+	}
+	mode := d.Mode
+	var sb strings.Builder
+	sb.WriteString("version: STSv1\r\n")
+	sb.WriteString("mode: " + mode + "\r\n")
+	if mode != "none" {
+		for _, p := range patterns {
+			sb.WriteString("mx: " + p + "\r\n")
+		}
+	}
+	sb.WriteString("max_age: 604800\r\n")
+	return sb.String()
+}
+
+// ScanSnapshot runs the offline scanner over every live domain at t and
+// returns the results, in population order.
+func (w *World) ScanSnapshot(t int) []scanner.DomainResult {
+	now := SnapshotTime(t)
+	var out []scanner.DomainResult
+	for _, d := range w.Domains {
+		if a, ok := w.ArtifactsAt(d, t); ok {
+			out = append(out, scanner.ScanArtifacts(a, now))
+		}
+	}
+	return out
+}
+
+// DomainByName finds a domain by name (nil when absent).
+func (w *World) DomainByName(name string) *Domain {
+	for _, d := range w.Domains {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package simnet
+
+import "hash/fnv"
+
+// hash64 mixes arbitrary strings and integers into a 64-bit value with a
+// splitmix64 finalizer. All stochastic decisions in the model derive from
+// it, so a World is fully determined by its seed.
+func hash64(seed int64, parts ...string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(b[:])
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return splitmix64(h.Sum64())
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to [0, 1).
+func unit(seed int64, parts ...string) float64 {
+	return float64(hash64(seed, parts...)>>11) / float64(1<<53)
+}
+
+// pick selects an index from cumulative weights; weights need not sum to 1
+// (the remainder goes to the last index).
+func pick(u float64, weights ...float64) int {
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// itoa is a tiny allocation-free integer formatter for hash keys.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,177 @@
+package simnet
+
+import (
+	"math"
+
+	"github.com/netsecurelab/mtasts/internal/scanner"
+)
+
+// DomainsWithMX interpolates the TLD's denominator (all registered domains
+// with MX records) at snapshot t. These counts stay at paper scale — the
+// analysis only ever divides by them.
+func DomainsWithMX(tp TLDParams, t int) float64 {
+	frac := float64(t) / float64(Months-1)
+	return float64(tp.DomainsWithMXStart) + frac*float64(tp.DomainsWithMXEnd-tp.DomainsWithMXStart)
+}
+
+// DeploymentPercent returns the Figure 2 series for one TLD: the
+// percentage of domains with MX records that publish an MTA-STS record,
+// per snapshot. World counts are rescaled back to paper scale so the
+// series is comparable across Scale settings.
+func (w *World) DeploymentPercent(tld string) []float64 {
+	var tp TLDParams
+	for _, p := range TLDs {
+		if p.TLD == tld {
+			tp = p
+		}
+	}
+	out := make([]float64, Months)
+	scale := w.Cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	for t := 0; t < Months; t++ {
+		adopters := float64(w.AdoptedCount(t, tld)) / scale
+		out[t] = 100 * adopters / DomainsWithMX(tp, t)
+	}
+	return out
+}
+
+// TLSRPTPercentOfMX returns the Figure 12 top series for one TLD: % of
+// domains with MX records that publish TLSRPT. The model rides on the
+// MTA-STS population plus the TLSRPT-only cohorts (the .net wave publishes
+// TLSRPT without MTA-STS).
+func (w *World) TLSRPTPercentOfMX(tld string) []float64 {
+	var tp TLDParams
+	for _, p := range TLDs {
+		if p.TLD == tld {
+			tp = p
+		}
+	}
+	out := make([]float64, Months)
+	scale := w.Cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	for t := 0; t < Months; t++ {
+		n := 0
+		for _, d := range w.byTLD[tld] {
+			if w.TLSRPTAt(d, t) {
+				n++
+			}
+		}
+		count := float64(n) / scale
+		// TLSRPT adoption outside the MTA-STS population: calibrated so the
+		// TLD endpoint totals match Appendix B.
+		count += w.tlsrptOnly(tp, t)
+		out[t] = 100 * count / DomainsWithMX(tp, t)
+	}
+	return out
+}
+
+// tlsrptOnly models domains publishing TLSRPT without MTA-STS (paper
+// scale), including the 2024 .net wave.
+func (w *World) tlsrptOnly(tp TLDParams, t int) float64 {
+	frac := float64(t) / float64(Months-1)
+	base := (float64(tp.TLSRPTStart) + frac*float64(tp.TLSRPTEnd-tp.TLSRPTStart)) * 0.30
+	if tp.TLD == "net" && t >= NetTLSRPTWaveMonth {
+		ramp := math.Min(1, float64(t-NetTLSRPTWaveMonth+1)/3.0)
+		base += ramp * float64(NetTLSRPTWaveCount-NetTLSRPTWaveWithMTASTS)
+	}
+	if tp.TLD == "se" && t >= SeTLSRPTDropMonth {
+		base -= float64(SeTLSRPTDropCount) * 0.3
+	}
+	if base < 0 {
+		base = 0
+	}
+	return base
+}
+
+// TLSRPTPercentOfMTASTS returns the Figure 12 bottom series for one TLD:
+// % of MTA-STS domains that also publish TLSRPT.
+func (w *World) TLSRPTPercentOfMTASTS(tld string) []float64 {
+	out := make([]float64, Months)
+	for t := 0; t < Months; t++ {
+		adopters, both := 0, 0
+		for _, d := range w.byTLD[tld] {
+			if d.AdoptedAt > t {
+				continue
+			}
+			adopters++
+			if w.TLSRPTAt(d, t) {
+				both++
+			}
+		}
+		if adopters > 0 {
+			out[t] = 100 * float64(both) / float64(adopters)
+		}
+		// The 2024 .net wave adds MX domains with TLSRPT but few MTA-STS
+		// domains — visible as a dip only in the top panel's composition;
+		// the bottom panel reflects the in-population ratio directly.
+	}
+	return out
+}
+
+// TrancoBins is the number of Figure 3 rank bins (1M ranks / 10K).
+const TrancoBins = 100
+
+// TrancoAdoptionPercent computes Figure 3 from the generated population:
+// % of Tranco-ranked domains (bins of 10,000 ranks) that publish MTA-STS
+// at the final snapshot. Ranks are sampled at generation time with a
+// density decaying from the top of the list, so the popularity
+// correlation the paper reports emerges from the domains themselves.
+func (w *World) TrancoAdoptionPercent() []float64 {
+	scale := w.Cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	last := Months - 1
+	counts := make([]int, TrancoBins)
+	for _, d := range w.Domains {
+		if d.Rank <= 0 || d.AdoptedAt > last {
+			continue
+		}
+		bin := (d.Rank - 1) / 10000
+		if bin >= 0 && bin < TrancoBins {
+			counts[bin]++
+		}
+	}
+	out := make([]float64, TrancoBins)
+	for b := 0; b < TrancoBins; b++ {
+		// Each bin holds 10,000 ranked domains (scaled with the world).
+		out[b] = 100 * float64(counts[b]) / (10000 * scale)
+	}
+	return out
+}
+
+// DisclosureOutcome models §4.7: of the misconfigured domains notified,
+// the share that bounced and the share resolved within the follow-up
+// window.
+type DisclosureOutcome struct {
+	Notified int
+	Bounced  int
+	Resolved int
+}
+
+// Disclosure simulates the §4.7 notification campaign over a scanned
+// final snapshot: every misconfigured domain is mailed at its postmaster
+// address; a share bounces, and (independently of whether the mail
+// arrived, per the paper's caveat) a share of domains resolve their issue
+// within the follow-up window.
+func (w *World) Disclosure(results []scanner.DomainResult) DisclosureOutcome {
+	var out DisclosureOutcome
+	for i := range results {
+		r := &results[i]
+		if !r.RecordPresent || !r.Misconfigured() {
+			continue
+		}
+		out.Notified++
+		if unit(w.Cfg.Seed, r.Domain, "bounce") < DisclosureBounceFrac {
+			out.Bounced++
+		}
+		if unit(w.Cfg.Seed, r.Domain, "fix") < DisclosureFixedFrac {
+			out.Resolved++
+		}
+	}
+	return out
+}

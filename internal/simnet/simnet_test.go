@@ -1,0 +1,370 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/inconsistency"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+)
+
+func fullWorld(t *testing.T) *World {
+	t.Helper()
+	return Generate(Config{Seed: 1, Scale: 1.0})
+}
+
+func TestPopulationMatchesTable1(t *testing.T) {
+	w := fullWorld(t)
+	if got := len(w.Domains); got != TotalAdoptersEnd {
+		t.Errorf("total domains = %d, want %d", got, TotalAdoptersEnd)
+	}
+	last := Months - 1
+	for _, tp := range TLDs {
+		got := w.AdoptedCount(last, tp.TLD)
+		if got != tp.AdoptersEnd {
+			t.Errorf("%s adopters = %d, want %d", tp.TLD, got, tp.AdoptersEnd)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{Seed: 7, Scale: 0.02})
+	b := Generate(Config{Seed: 7, Scale: 0.02})
+	if len(a.Domains) != len(b.Domains) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Domains), len(b.Domains))
+	}
+	for i := range a.Domains {
+		da, db := a.Domains[i], b.Domains[i]
+		if *da != *db {
+			t.Fatalf("domain %d differs: %+v vs %+v", i, da, db)
+		}
+	}
+	ra := scanner.Summarize(a.ScanSnapshot(Months - 1))
+	rb := scanner.Summarize(b.ScanSnapshot(Months - 1))
+	if ra.Misconfigured != rb.Misconfigured {
+		t.Errorf("scan results differ: %d vs %d", ra.Misconfigured, rb.Misconfigured)
+	}
+}
+
+func TestAdoptionGrowth(t *testing.T) {
+	w := Generate(Config{Seed: 3, Scale: 0.1})
+	prev := 0
+	for tm := 0; tm < Months; tm++ {
+		n := w.AdoptedCount(tm, "")
+		if n < prev {
+			t.Fatalf("adoption shrank at month %d: %d < %d", tm, n, prev)
+		}
+		prev = n
+	}
+	// Start ≈ scaled sum of AdoptersStart (15,864 * 0.1).
+	start := w.AdoptedCount(0, "")
+	if start < 1000 || start > 2200 {
+		t.Errorf("start adopters = %d", start)
+	}
+	// Acceleration: more adoptions in the second half than the first.
+	mid := w.AdoptedCount(Months/2, "")
+	if mid-start >= prev-mid {
+		t.Errorf("adoption not accelerating: first half %d, second half %d", mid-start, prev-mid)
+	}
+}
+
+func TestOrgSpike(t *testing.T) {
+	w := fullWorld(t)
+	before := w.AdoptedCount(OrgAdoptionSpikeMonth-1, "org")
+	at := w.AdoptedCount(OrgAdoptionSpikeMonth, "org")
+	jump := at - before
+	if jump < OrgAdoptionSpikeCount {
+		t.Errorf(".org jump = %d, want >= %d", jump, OrgAdoptionSpikeCount)
+	}
+}
+
+// TestLatestSnapshotCalibration verifies the paper's headline numbers
+// within tolerance: 29.6% misconfigured, policy errors the dominant class
+// (70–85% of misconfigured domains), ~640 delivery failures.
+func TestLatestSnapshotCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale world")
+	}
+	w := fullWorld(t)
+	results := w.ScanSnapshot(Months - 1)
+	s := scanner.Summarize(results)
+
+	if s.WithRecord < 67000 || s.WithRecord > 68100 {
+		t.Errorf("WithRecord = %d", s.WithRecord)
+	}
+	misRate := float64(s.Misconfigured) / float64(s.WithRecord)
+	if misRate < 0.25 || misRate > 0.34 {
+		t.Errorf("misconfigured rate = %.3f, want ~0.296", misRate)
+	}
+	polShare := float64(s.ByCategory[scanner.CategoryPolicy]) / float64(s.Misconfigured)
+	if polShare < 0.65 || polShare > 0.92 {
+		t.Errorf("policy share of misconfigured = %.2f, want 0.70–0.85", polShare)
+	}
+	if s.DeliveryFailures < 350 || s.DeliveryFailures > 950 {
+		t.Errorf("delivery failures = %d, want ~640", s.DeliveryFailures)
+	}
+	// Record errors ≈ 331.
+	if rec := s.ByCategory[scanner.CategoryDNSRecord]; rec < 200 || rec > 500 {
+		t.Errorf("record errors = %d, want ~331", rec)
+	}
+	// TLS dominates policy-stage errors.
+	if s.PolicyStageCounts["TLS"] < s.PolicyStageCounts["HTTP"] ||
+		s.PolicyStageCounts["TLS"] < s.PolicyStageCounts["TCP"] {
+		t.Errorf("TLS not dominant: %+v", s.PolicyStageCounts)
+	}
+}
+
+// TestManagementSplitShape: self-managed policy hosting fails far more
+// often than third-party (the paper's central comparison).
+func TestManagementSplitShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale world")
+	}
+	w := fullWorld(t)
+	tm := Months - 1
+	now := SnapshotTime(tm)
+	counts := map[ManagementClass][2]int{} // class -> {errors, total}
+	for _, d := range w.Domains {
+		a, ok := w.ArtifactsAt(d, tm)
+		if !ok {
+			continue
+		}
+		r := scanner.ScanArtifacts(a, now)
+		c := counts[d.PolicyClass]
+		c[1]++
+		if r.RecordValid && !r.PolicyOK {
+			c[0]++
+		}
+		counts[d.PolicyClass] = c
+	}
+	selfRate := float64(counts[ClassSelf][0]) / float64(counts[ClassSelf][1])
+	thirdRate := float64(counts[ClassThird][0]) / float64(counts[ClassThird][1])
+	// Paper: 37.8% vs 4.9%.
+	if selfRate < 0.30 || selfRate > 0.45 {
+		t.Errorf("self-managed policy error rate = %.3f, want ~0.378", selfRate)
+	}
+	if thirdRate < 0.03 || thirdRate > 0.09 {
+		t.Errorf("third-party policy error rate = %.3f, want ~0.049", thirdRate)
+	}
+	if selfRate < 4*thirdRate {
+		t.Errorf("self (%.3f) should dwarf third-party (%.3f)", selfRate, thirdRate)
+	}
+}
+
+func TestPorkbunWaveRaisesErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale world")
+	}
+	w := fullWorld(t)
+	before := scanner.Summarize(w.ScanSnapshot(PorkbunStartMonth - 1))
+	after := scanner.Summarize(w.ScanSnapshot(Months - 1))
+	rateBefore := float64(before.Misconfigured) / float64(before.WithRecord)
+	rateAfter := float64(after.Misconfigured) / float64(after.WithRecord)
+	if rateAfter < rateBefore+0.05 {
+		t.Errorf("Porkbun wave: rate %.3f -> %.3f, expected +>=0.05", rateBefore, rateAfter)
+	}
+}
+
+func TestLucidgrowIncident(t *testing.T) {
+	w := Generate(Config{Seed: 5, Scale: 0.2})
+	var lg *Domain
+	for _, d := range w.Domains {
+		if d.Lucidgrow {
+			lg = d
+			break
+		}
+	}
+	if lg == nil {
+		t.Fatal("no lucidgrow domains generated")
+	}
+	now := SnapshotTime(LucidgrowMonth)
+	a, ok := w.ArtifactsAt(lg, LucidgrowMonth)
+	if !ok {
+		t.Fatal("lucidgrow domain not adopted by incident month")
+	}
+	r := scanner.ScanArtifacts(a, now)
+	if r.PolicyOK && r.Mismatch.Kind == inconsistency.KindNone {
+		t.Errorf("lucidgrow domain should mismatch at incident month: %+v", r.Mismatch)
+	}
+	if r.PolicyOK && !r.EnforceMismatchFailure() {
+		t.Error("lucidgrow incident should be an enforce-mode failure")
+	}
+	// One month later the incident is resolved.
+	a2, _ := w.ArtifactsAt(lg, LucidgrowMonth+1)
+	r2 := scanner.ScanArtifacts(a2, SnapshotTime(LucidgrowMonth+1))
+	if r2.PolicyOK && r2.Mismatch.Kind != inconsistency.KindNone {
+		t.Errorf("lucidgrow mismatch should resolve: %+v", r2.Mismatch)
+	}
+}
+
+func TestSelfSignedWaveTransient(t *testing.T) {
+	w := Generate(Config{Seed: 2, Scale: 0.2})
+	var wave *Domain
+	for _, d := range w.Domains {
+		if d.SelfSignWave {
+			wave = d
+			break
+		}
+	}
+	if wave == nil {
+		t.Fatal("no wave domains")
+	}
+	a, _ := w.ArtifactsAt(wave, SelfSignedWaveMonth)
+	r := scanner.ScanArtifacts(a, SnapshotTime(SelfSignedWaveMonth))
+	if r.PolicyStage != mtasts.StageTLS {
+		t.Errorf("wave month stage = %v", r.PolicyStage)
+	}
+}
+
+func TestObsoleteMXHistoricalMatch(t *testing.T) {
+	w := Generate(Config{Seed: 4, Scale: 0.3})
+	var d *Domain
+	for _, dd := range w.Domains {
+		if dd.Mismatch == MismatchDomainObsolete && dd.AdoptedAt < dd.MigrationMonth {
+			d = dd
+			break
+		}
+	}
+	if d == nil {
+		t.Skip("no obsolete-MX domain with pre-migration history in this world")
+	}
+	// Before migration: policy matches.
+	pre := d.MXHostsAt(d.MigrationMonth - 1)
+	patterns := d.PolicyPatternsAt(d.MigrationMonth - 1)
+	p := mtasts.Policy{MXPatterns: patterns}
+	if !p.Matches(pre[0]) {
+		t.Errorf("pre-migration should match: %v vs %v", patterns, pre)
+	}
+	// After: mismatch, but historical MX explains it.
+	post := d.MXHostsAt(d.MigrationMonth)
+	p2 := mtasts.Policy{MXPatterns: d.PolicyPatternsAt(d.MigrationMonth)}
+	if p2.Matches(post[0]) {
+		t.Errorf("post-migration should mismatch: %v vs %v", p2.MXPatterns, post)
+	}
+	if idx := inconsistency.MatchesHistorical(p2, [][]string{post, pre}); idx != 1 {
+		t.Errorf("historical join = %d, want 1", idx)
+	}
+}
+
+func TestDeploymentSeriesShape(t *testing.T) {
+	w := Generate(Config{Seed: 1, Scale: 0.1})
+	for _, tld := range []string{"com", "net", "org", "se"} {
+		s := w.DeploymentPercent(tld)
+		if len(s) != Months {
+			t.Fatalf("series length = %d", len(s))
+		}
+		if s[Months-1] <= s[0] {
+			t.Errorf("%s: deployment not growing (%.4f -> %.4f)", tld, s[0], s[Months-1])
+		}
+		if s[Months-1] > 0.2 || s[Months-1] < 0.01 {
+			t.Errorf("%s: final deployment %% = %.4f out of range", tld, s[Months-1])
+		}
+	}
+	// Endpoint check for .com at paper scale: 53,800 / 73.9M = 0.0728%.
+	wf := fullWorld(t)
+	com := wf.DeploymentPercent("com")
+	if math.Abs(com[Months-1]-0.0728) > 0.01 {
+		t.Errorf(".com final = %.4f%%, want ~0.0728%%", com[Months-1])
+	}
+}
+
+func TestTrancoSeriesShape(t *testing.T) {
+	w := Generate(Config{Seed: 1, Scale: 0.3})
+	s := w.TrancoAdoptionPercent()
+	if len(s) != TrancoBins {
+		t.Fatalf("bins = %d", len(s))
+	}
+	avg := func(lo, hi int) float64 {
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += s[i]
+		}
+		return sum / float64(hi-lo)
+	}
+	top, bottom := avg(0, 10), avg(90, 100)
+	if top < 0.9 || top > 1.5 {
+		t.Errorf("top bins = %.2f%%, want ~1.1%%", top)
+	}
+	if bottom < 0.25 || bottom > 0.60 {
+		t.Errorf("bottom bins = %.2f%%, want ~0.4%%", bottom)
+	}
+	if top <= bottom {
+		t.Error("popularity correlation inverted")
+	}
+}
+
+func TestTLSRPTSeriesShape(t *testing.T) {
+	w := Generate(Config{Seed: 1, Scale: 0.1})
+	for _, tld := range []string{"com", "org"} {
+		bottom := w.TLSRPTPercentOfMTASTS(tld)
+		if bottom[Months-1] <= bottom[2] {
+			t.Errorf("%s: TLSRPT share of MTA-STS domains not rising (%.1f -> %.1f)",
+				tld, bottom[2], bottom[Months-1])
+		}
+		if bottom[Months-1] < 55 || bottom[Months-1] > 85 {
+			t.Errorf("%s: final TLSRPT share = %.1f%%, want ~70%%", tld, bottom[Months-1])
+		}
+		top := w.TLSRPTPercentOfMX(tld)
+		if top[Months-1] <= top[0] {
+			t.Errorf("%s: TLSRPT absolute adoption not rising", tld)
+		}
+	}
+}
+
+func TestDisclosureModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale world")
+	}
+	w := fullWorld(t)
+	results := w.ScanSnapshot(Months - 1)
+	out := w.Disclosure(results)
+	if out.Notified < 15000 || out.Notified > 25000 {
+		t.Errorf("notified = %d, want ~20,144", out.Notified)
+	}
+	bounceRate := float64(out.Bounced) / float64(out.Notified)
+	if bounceRate < 0.20 || bounceRate > 0.30 {
+		t.Errorf("bounce rate = %.2f, want ~0.25", bounceRate)
+	}
+	fixRate := float64(out.Resolved) / float64(out.Notified)
+	if fixRate < 0.07 || fixRate > 0.13 {
+		t.Errorf("fix rate = %.2f, want ~0.10", fixRate)
+	}
+}
+
+func TestSameProviderInconsistencyNearZero(t *testing.T) {
+	w := fullWorld(t)
+	same, sameMis := 0, 0
+	for _, d := range w.Domains {
+		if sameProviderPair(d) {
+			same++
+			if d.Mismatch != MismatchNone {
+				sameMis++
+			}
+		}
+	}
+	if same < 6000 {
+		t.Errorf("same-provider population = %d, want ~7,400", same)
+	}
+	if sameMis < 1 || sameMis > 5 {
+		t.Errorf("same-provider mismatches = %d, want ~1", sameMis)
+	}
+	if w.DomainByName("laura-norman.com") == nil {
+		t.Error("laura-norman.com missing from the world")
+	}
+}
+
+func TestArtifactsAlwaysValid(t *testing.T) {
+	w := Generate(Config{Seed: 9, Scale: 0.02})
+	for _, tm := range []int{0, ComponentScanFirstIndex, Months - 1} {
+		for _, d := range w.Domains {
+			a, ok := w.ArtifactsAt(d, tm)
+			if !ok {
+				continue
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("invalid artifacts for %s at %d: %v", d.Name, tm, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package simnet
+
+import (
+	"fmt"
+
+	"github.com/netsecurelab/mtasts/internal/classify"
+)
+
+// ViewAt materializes the public DNS view of a domain — the input to the
+// §4.3.1 managing-entity heuristics — consistent with the domain's ground
+// truth classes. The classify package's attribution of these views is
+// validated against ground truth in the experiments tests.
+func (w *World) ViewAt(d *Domain, t int) classify.DomainView {
+	v := classify.DomainView{Domain: d.Name}
+	mxs := d.MXHostsAt(t)
+	v.MXHosts = mxs
+	v.MXAddrs = make(map[string][]string, len(mxs))
+
+	// Apex address: unique per domain.
+	v.ApexAddrs = []string{uniqueAddr(w.Cfg.Seed, d.Name, "apex")}
+
+	// NS records.
+	switch d.PolicyClass {
+	case ClassSelf:
+		v.NS = []string{"ns1." + d.Name}
+	default:
+		v.NS = []string{"ns1.big-dns-provider.test", "ns2.big-dns-provider.test"}
+	}
+
+	// MX addresses.
+	for _, mx := range mxs {
+		if d.MXClass == ClassThird {
+			// Provider-shared addresses.
+			v.MXAddrs[mx] = []string{providerAddr(d.MXProviderOrSelf())}
+		} else {
+			v.MXAddrs[mx] = []string{uniqueAddr(w.Cfg.Seed, d.Name, "mx")}
+		}
+	}
+
+	// Policy host.
+	switch d.PolicyClass {
+	case ClassThird:
+		v.PolicyCNAME = d.PolicyHostCNAME()
+		v.PolicyAddrs = []string{providerAddr(d.PolicyProvider)}
+	case ClassSelf:
+		v.PolicyAddrs = []string{uniqueAddr(w.Cfg.Seed, d.Name, "policy")}
+	default:
+		// Unclassifiable domains present ambiguous infrastructure: a
+		// shared mid-popularity host, no CNAME delegation.
+		pool := hash64(w.Cfg.Seed, d.Name, "ambig") % 8
+		v.PolicyAddrs = []string{fmt.Sprintf("198.18.7.%d", 10+pool)}
+	}
+	return v
+}
+
+// uniqueAddr derives a stable per-domain address in 10.0.0.0/8.
+func uniqueAddr(seed int64, name, kind string) string {
+	h := hash64(seed, name, kind, "addr")
+	return fmt.Sprintf("10.%d.%d.%d", (h>>16)%250+1, (h>>8)%250+1, h%250+1)
+}
+
+// providerAddr derives the shared address of a provider in 198.51.100.0/24
+// style space.
+func providerAddr(provider string) string {
+	h := hash64(0, "provider", provider)
+	return fmt.Sprintf("198.51.%d.%d", (h>>8)%100+1, h%250+1)
+}
+
+// Views materializes every live domain's view at snapshot t.
+func (w *World) Views(t int) []classify.DomainView {
+	var out []classify.DomainView
+	for _, d := range w.Domains {
+		if d.AdoptedAt <= t {
+			out = append(out, w.ViewAt(d, t))
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package simnet
+
+import (
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/classify"
+)
+
+func TestViewAtConsistentWithGroundTruth(t *testing.T) {
+	w := Generate(Config{Seed: 21, Scale: 0.02})
+	last := Months - 1
+	for _, d := range w.Domains {
+		if d.AdoptedAt > last {
+			continue
+		}
+		v := w.ViewAt(d, last)
+		if v.Domain != d.Name {
+			t.Fatalf("view domain = %q", v.Domain)
+		}
+		if len(v.MXHosts) == 0 || len(v.ApexAddrs) == 0 {
+			t.Fatalf("%s: empty view %+v", d.Name, v)
+		}
+		switch d.PolicyClass {
+		case ClassThird:
+			if v.PolicyCNAME == "" {
+				t.Errorf("%s: third-party policy without CNAME", d.Name)
+			}
+		case ClassSelf:
+			if v.PolicyCNAME != "" {
+				t.Errorf("%s: self-managed policy with CNAME %q", d.Name, v.PolicyCNAME)
+			}
+			if len(v.NS) == 0 || v.NS[0] != "ns1."+d.Name {
+				t.Errorf("%s: self-managed NS = %v", d.Name, v.NS)
+			}
+		}
+		for _, mx := range v.MXHosts {
+			if len(v.MXAddrs[mx]) == 0 {
+				t.Errorf("%s: MX %s has no addresses", d.Name, mx)
+			}
+		}
+	}
+}
+
+func TestViewsPopulationFiltered(t *testing.T) {
+	w := Generate(Config{Seed: 21, Scale: 0.02})
+	early := w.Views(0)
+	late := w.Views(Months - 1)
+	if len(early) >= len(late) {
+		t.Errorf("views: early %d >= late %d", len(early), len(late))
+	}
+	if len(late) != len(w.Domains) {
+		t.Errorf("late views = %d, domains = %d", len(late), len(w.Domains))
+	}
+}
+
+func TestProviderAddrsShared(t *testing.T) {
+	// All customers of one provider share the provider's address; distinct
+	// providers get distinct addresses.
+	a := providerAddr("google")
+	b := providerAddr("google")
+	c := providerAddr("outlook")
+	if a != b {
+		t.Errorf("provider addr not stable: %q vs %q", a, b)
+	}
+	if a == c {
+		t.Errorf("distinct providers share %q", a)
+	}
+}
+
+func TestUniqueAddrsDiffer(t *testing.T) {
+	seen := map[string]int{}
+	for i := 0; i < 500; i++ {
+		seen[uniqueAddr(1, itoa(i)+".example", "apex")]++
+	}
+	if len(seen) < 450 {
+		t.Errorf("only %d distinct addresses among 500 domains", len(seen))
+	}
+}
+
+// TestClassifierOnPolicyGroundTruth: the §4.3.1 heuristics attribute
+// policy hosting consistently with the ground truth for the clear-cut
+// classes.
+func TestClassifierOnPolicyGroundTruth(t *testing.T) {
+	w := Generate(Config{Seed: 13, Scale: 0.05})
+	last := Months - 1
+	views := w.Views(last)
+	c := classify.NewClassifier(views, nil)
+	agree, total := 0, 0
+	for _, d := range w.Domains {
+		if d.AdoptedAt > last || d.PolicyClass == ClassUnclassifiable {
+			continue
+		}
+		got := c.Classify(w.ViewAt(d, last))
+		want := classify.SelfManaged
+		if d.PolicyClass == ClassThird {
+			want = classify.ThirdParty
+		}
+		total++
+		if got.Policy == want {
+			agree++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no domains")
+	}
+	if rate := float64(agree) / float64(total); rate < 0.85 {
+		t.Errorf("policy attribution agreement = %.3f (%d/%d)", rate, agree, total)
+	}
+}

@@ -1,0 +1,232 @@
+package smtpclient
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+)
+
+// Sender delivers mail over SMTP with STARTTLS. It is the delivery half of
+// the sender-MTA example; MTA-STS policy evaluation happens in
+// mtasts.Validator before Deliver is called.
+type Sender struct {
+	// HeloName is announced in EHLO.
+	HeloName string
+	// Roots is the PKIX trust store. Required when RequireTLS is set.
+	Roots *x509.CertPool
+	// RequireTLS refuses to deliver without a verified TLS session (the
+	// behavior an MTA-STS enforce policy demands). When false, delivery is
+	// opportunistic: TLS when offered, plaintext otherwise.
+	RequireTLS bool
+	// VerifyPeer, when set, replaces PKIX verification of the server
+	// chain (DANE delivery verifies against TLSA records instead of
+	// Roots). It runs after the handshake; a nil return marks the
+	// certificate verified.
+	VerifyPeer func(chain []*x509.Certificate, host string) error
+	// Timeout bounds the whole delivery. Zero means 30s.
+	Timeout time.Duration
+	// Port overrides port 25.
+	Port int
+	// AddrOverride, when set, is dialed instead of the MX host.
+	AddrOverride string
+}
+
+// Delivery errors.
+var (
+	ErrTLSRequired  = errors.New("smtpclient: TLS required but unavailable or invalid")
+	ErrRejected     = errors.New("smtpclient: server rejected the transaction")
+	errShortSession = errors.New("smtpclient: session ended prematurely")
+)
+
+// DeliveryResult records how a message was delivered.
+type DeliveryResult struct {
+	Host string
+	// TLS is true when the message was sent over TLS.
+	TLS bool
+	// CertVerified is true when the server certificate validated for Host.
+	CertVerified bool
+}
+
+// errHandshakeFailed marks a dead session after a failed STARTTLS
+// handshake; opportunistic delivery retries in plaintext.
+var errHandshakeFailed = errors.New("smtpclient: STARTTLS handshake failed")
+
+// Deliver sends one message to mxHost. Opportunistic senders (RequireTLS
+// unset) that hit a failed STARTTLS handshake reconnect once and deliver
+// in plaintext, as production MTAs do.
+func (s *Sender) Deliver(ctx context.Context, mxHost, from string, to []string, data []byte) (DeliveryResult, error) {
+	res, err := s.attempt(ctx, mxHost, from, to, data, true)
+	if err != nil && errors.Is(err, errHandshakeFailed) && !s.RequireTLS {
+		return s.attempt(ctx, mxHost, from, to, data, false)
+	}
+	return res, err
+}
+
+// attempt runs one SMTP session; tryTLS controls whether STARTTLS is used
+// when advertised.
+func (s *Sender) attempt(ctx context.Context, mxHost, from string, to []string, data []byte, tryTLS bool) (DeliveryResult, error) {
+	res := DeliveryResult{Host: mxHost}
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	addr := s.AddrOverride
+	if addr == "" {
+		port := 25
+		if s.Port != 0 {
+			port = s.Port
+		}
+		addr = net.JoinHostPort(mxHost, strconv.Itoa(port))
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return res, fmt.Errorf("smtpclient: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+
+	text := newTextConn(conn)
+	if code, _, err := text.readReply(); err != nil || code != 220 {
+		return res, fmt.Errorf("%w: greeting code %d err %v", errShortSession, code, err)
+	}
+	helo := s.HeloName
+	if helo == "" {
+		helo = "sender.mtasts-repro.test"
+	}
+	code, lines, err := text.cmd("EHLO " + helo)
+	if err != nil || code != 250 {
+		return res, fmt.Errorf("%w: EHLO code %d err %v", errShortSession, code, err)
+	}
+	starttls := false
+	for _, l := range lines {
+		if len(l) >= 8 && l[:8] == "STARTTLS" {
+			starttls = true
+		}
+	}
+
+	if starttls && tryTLS {
+		if code, _, err := text.cmd("STARTTLS"); err == nil && code == 220 {
+			tlsConn := tls.Client(conn, &tls.Config{
+				ServerName: mxHost,
+				RootCAs:    s.Roots,
+				// Verification outcome is checked explicitly below so
+				// opportunistic senders can proceed on failure.
+				InsecureSkipVerify: true,
+				MinVersion:         tls.VersionTLS12,
+			})
+			if err := tlsConn.HandshakeContext(ctx); err == nil {
+				res.TLS = true
+				certs := tlsConn.ConnectionState().PeerCertificates
+				if len(certs) > 0 {
+					if s.VerifyPeer != nil {
+						res.CertVerified = s.VerifyPeer(certs, mxHost) == nil
+					} else {
+						res.CertVerified = verifyChain(certs, mxHost, s.Roots)
+					}
+				}
+				text = newTextConn(tlsConn)
+				// Re-EHLO after TLS per RFC 3207.
+				if code, _, err := text.cmd("EHLO " + helo); err != nil || code != 250 {
+					return res, fmt.Errorf("%w: post-TLS EHLO code %d err %v", errShortSession, code, err)
+				}
+			} else {
+				if s.RequireTLS {
+					return res, fmt.Errorf("%w: handshake: %v", ErrTLSRequired, err)
+				}
+				// The session is unusable after a failed handshake; signal
+				// the caller to retry in plaintext.
+				return res, fmt.Errorf("%w: %v", errHandshakeFailed, err)
+			}
+		} else if s.RequireTLS {
+			return res, fmt.Errorf("%w: STARTTLS refused (code %d)", ErrTLSRequired, code)
+		}
+	}
+	if s.RequireTLS && (!res.TLS || !res.CertVerified) {
+		return res, ErrTLSRequired
+	}
+
+	steps := []struct {
+		cmd  string
+		want int
+	}{
+		{"MAIL FROM:<" + from + ">", 250},
+	}
+	for _, rcpt := range to {
+		steps = append(steps, struct {
+			cmd  string
+			want int
+		}{"RCPT TO:<" + rcpt + ">", 250})
+	}
+	for _, st := range steps {
+		code, _, err := text.cmd(st.cmd)
+		if err != nil {
+			return res, err
+		}
+		if code != st.want {
+			return res, fmt.Errorf("%w: %q answered %d", ErrRejected, st.cmd, code)
+		}
+	}
+	code, _, err = text.cmd("DATA")
+	if err != nil || code != 354 {
+		return res, fmt.Errorf("%w: DATA answered %d (err %v)", ErrRejected, code, err)
+	}
+	// Dot-stuff and terminate.
+	payload := dotStuff(data)
+	if _, err := text.w.Write(payload); err != nil {
+		return res, err
+	}
+	if code, _, err := text.cmd("."); err != nil || code != 250 {
+		return res, fmt.Errorf("%w: final dot answered %d (err %v)", ErrRejected, code, err)
+	}
+	text.cmd("QUIT")
+	return res, nil
+}
+
+func verifyChain(chain []*x509.Certificate, host string, roots *x509.CertPool) bool {
+	if len(chain) == 0 {
+		return false
+	}
+	inter := x509.NewCertPool()
+	for _, c := range chain[1:] {
+		inter.AddCert(c)
+	}
+	_, err := chain[0].Verify(x509.VerifyOptions{
+		DNSName:       host,
+		Roots:         roots,
+		Intermediates: inter,
+	})
+	return err == nil
+}
+
+// dotStuff prepares message data for the DATA phase: CRLF line endings and
+// a doubled leading dot per RFC 5321 §4.5.2.
+func dotStuff(data []byte) []byte {
+	out := make([]byte, 0, len(data)+16)
+	atLineStart := true
+	for i := 0; i < len(data); i++ {
+		c := data[i]
+		if atLineStart && c == '.' {
+			out = append(out, '.')
+		}
+		if c == '\n' && (i == 0 || data[i-1] != '\r') {
+			out = append(out, '\r')
+		}
+		out = append(out, c)
+		atLineStart = c == '\n'
+	}
+	if len(out) > 0 && out[len(out)-1] != '\n' {
+		out = append(out, '\r', '\n')
+	}
+	return out
+}

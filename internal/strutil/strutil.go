@@ -1,0 +1,114 @@
+// Package strutil provides small string utilities shared across the
+// measurement code: Levenshtein edit distance (used by the typo detector in
+// the inconsistency taxonomy, §4.4 of the paper) and DNS label helpers.
+package strutil
+
+import "strings"
+
+// Levenshtein returns the edit distance between a and b: the minimum number
+// of single-character insertions, deletions, and substitutions needed to
+// transform a into b. It runs in O(len(a)*len(b)) time and O(min(len)) space.
+func Levenshtein(a, b string) int {
+	// Ensure b is the shorter string so the row buffer is minimal.
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	row := make([]int, len(b)+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		prev := row[0] // row[j-1] from the previous iteration (diagonal)
+		row[0] = i
+		for j := 1; j <= len(b); j++ {
+			cur := row[j]
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			row[j] = min3(row[j]+1, row[j-1]+1, prev+cost)
+			prev = cur
+		}
+	}
+	return row[len(b)]
+}
+
+// LevenshteinAtMost reports whether Levenshtein(a, b) <= k without always
+// computing the full matrix; it short-circuits when the length difference
+// alone exceeds k.
+func LevenshteinAtMost(a, b string, k int) bool {
+	d := len(a) - len(b)
+	if d < 0 {
+		d = -d
+	}
+	if d > k {
+		return false
+	}
+	return Levenshtein(a, b) <= k
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Labels splits a domain name into its dot-separated labels, ignoring a
+// single trailing dot. An empty name yields nil.
+func Labels(name string) []string {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return nil
+	}
+	return strings.Split(name, ".")
+}
+
+// CanonicalName lowercases a domain name and strips one trailing dot,
+// producing the canonical form used as a map key throughout the codebase.
+func CanonicalName(name string) string {
+	return strings.ToLower(strings.TrimSuffix(name, "."))
+}
+
+// HasSuffixFold reports whether name ends with the given domain suffix on a
+// label boundary, comparing case-insensitively. A name equals its own suffix.
+func HasSuffixFold(name, suffix string) bool {
+	name = CanonicalName(name)
+	suffix = CanonicalName(suffix)
+	if name == suffix {
+		return true
+	}
+	return strings.HasSuffix(name, "."+suffix)
+}
+
+// ParentDomain returns the name with its leftmost label removed, or "" when
+// one or zero labels remain.
+func ParentDomain(name string) string {
+	name = CanonicalName(name)
+	i := strings.IndexByte(name, '.')
+	if i < 0 {
+		return ""
+	}
+	return name[i+1:]
+}
+
+// IsAlphanumeric reports whether s is non-empty and contains only ASCII
+// letters and digits. RFC 8461 restricts the MTA-STS record id to this set.
+func IsAlphanumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9') {
+			return false
+		}
+	}
+	return true
+}

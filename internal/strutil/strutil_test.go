@@ -1,0 +1,180 @@
+package strutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"mx1.example.com", "mx1.exmaple.com", 2},
+		{"mail.example.com", "mail.example.com", 0},
+		{"mail.example.com", "mali.example.com", 2},
+		{"a", "b", 1},
+		{"gmail.com", "gmial.com", 2},
+		{"mta-sts", "mta-st", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetry(t *testing.T) {
+	f := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinIdentity(t *testing.T) {
+	f := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangleInequality(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinBoundedByMaxLen(t *testing.T) {
+	f := func(a, b string) bool {
+		d := Levenshtein(a, b)
+		m := len(a)
+		if len(b) > m {
+			m = len(b)
+		}
+		return d <= m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinAtMost(t *testing.T) {
+	f := func(a, b string, k uint8) bool {
+		kk := int(k % 8)
+		return LevenshteinAtMost(a, b, kk) == (Levenshtein(a, b) <= kk)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Length-difference short circuit.
+	if LevenshteinAtMost("abcdefgh", "a", 3) {
+		t.Error("LevenshteinAtMost should short-circuit on length difference")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"example.com", []string{"example", "com"}},
+		{"example.com.", []string{"example", "com"}},
+		{"a.b.c.d", []string{"a", "b", "c", "d"}},
+		{"", nil},
+		{".", nil},
+		{"com", []string{"com"}},
+	}
+	for _, c := range cases {
+		got := Labels(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("Labels(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Labels(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestCanonicalName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Example.COM.", "example.com"},
+		{"example.com", "example.com"},
+		{"MTA-STS.Example.Com", "mta-sts.example.com"},
+		{".", ""},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := CanonicalName(c.in); got != c.want {
+			t.Errorf("CanonicalName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHasSuffixFold(t *testing.T) {
+	cases := []struct {
+		name, suffix string
+		want         bool
+	}{
+		{"mail.example.com", "example.com", true},
+		{"example.com", "example.com", true},
+		{"EXAMPLE.COM.", "example.com", true},
+		{"notexample.com", "example.com", false},
+		{"example.com", "mail.example.com", false},
+		{"mail.example.org", "example.com", false},
+	}
+	for _, c := range cases {
+		if got := HasSuffixFold(c.name, c.suffix); got != c.want {
+			t.Errorf("HasSuffixFold(%q, %q) = %v, want %v", c.name, c.suffix, got, c.want)
+		}
+	}
+}
+
+func TestParentDomain(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"mail.example.com", "example.com"},
+		{"example.com", "com"},
+		{"com", ""},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := ParentDomain(c.in); got != c.want {
+			t.Errorf("ParentDomain(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsAlphanumeric(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"20240431", true},
+		{"abcXYZ019", true},
+		{"", false},
+		{"2024-04-31", false},
+		{"id_1", false},
+		{"id 1", false},
+		{"ümlaut", false},
+	}
+	for _, c := range cases {
+		if got := IsAlphanumeric(c.in); got != c.want {
+			t.Errorf("IsAlphanumeric(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package survey
+
+// This file encodes the survey instrument of Appendix C: the pages, the
+// question kinds, and the skip logic. The response dataset in survey.go is
+// validated against this structure (every answered question must have been
+// reachable under the instrument's flow).
+
+// QuestionKind mirrors the Appendix C notation.
+type QuestionKind int
+
+// Question kinds (Appendix C legend).
+const (
+	KindSCQ QuestionKind = iota // single choice
+	KindMCQ                     // multiple choice
+	KindYN                      // yes/no
+	KindTB                      // open-ended textbox
+	KindGS                      // grid-style matrix
+	KindLS                      // Likert scale
+)
+
+// String returns the Appendix C abbreviation.
+func (k QuestionKind) String() string {
+	switch k {
+	case KindSCQ:
+		return "SCQ"
+	case KindMCQ:
+		return "MCQ"
+	case KindYN:
+		return "YN"
+	case KindTB:
+		return "TB"
+	case KindGS:
+		return "GS"
+	case KindLS:
+		return "LS"
+	}
+	return "?"
+}
+
+// Question is one instrument item.
+type Question struct {
+	ID      string
+	Page    int
+	Kind    QuestionKind
+	Text    string
+	Options []string
+	// Optional marks questions respondents may skip (all except consent).
+	Optional bool
+}
+
+// Page is one screen of the instrument, with its skip rule.
+type Page struct {
+	Number int
+	Title  string
+	// SkipTo, when non-nil, inspects a response and returns the page to
+	// jump to after this page (0 = next page, -1 = end survey).
+	SkipTo func(r *Response) int
+	Items  []Question
+}
+
+// Instrument is the Appendix C questionnaire. Only the questions the
+// tabulation consumes carry structured option lists; open-ended items are
+// present for completeness.
+var Instrument = []Page{
+	{Number: 1, Title: "Consent Form", Items: []Question{
+		{ID: "consent-participate", Page: 1, Kind: KindYN,
+			Text: "I consent voluntarily to be a participant in this study"},
+		{ID: "consent-publication", Page: 1, Kind: KindYN,
+			Text: "I understand that information I provide will be used for scientific reports"},
+	}},
+	{Number: 2, Title: "Basic Info", Items: []Question{
+		{ID: "org-name", Page: 2, Kind: KindTB, Optional: true,
+			Text: "Name of the organization whose e-mail service you manage"},
+		{ID: "domain-name", Page: 2, Kind: KindTB, Optional: true,
+			Text: "Name of the domain whose e-mail service you manage"},
+		{ID: "accounts", Page: 2, Kind: KindSCQ, Optional: true,
+			Text:    "How many email accounts exist under your operated infrastructure?",
+			Options: BucketLabels},
+	}},
+	{Number: 3, Title: "MTA-STS check 1",
+		SkipTo: func(r *Response) int {
+			if r.HeardOfMTASTS == 0 {
+				return -1 // never heard: survey ends
+			}
+			return 0
+		},
+		Items: []Question{
+			{ID: "heard-mtasts", Page: 3, Kind: KindYN, Optional: true,
+				Text: "Have you heard about MTA-STS?"},
+		}},
+	{Number: 4, Title: "MTA-STS check 2",
+		SkipTo: func(r *Response) int {
+			if r.Deployed == 0 {
+				return 10 // non-deployers jump to the why-not page
+			}
+			return 0
+		},
+		Items: []Question{
+			{ID: "deployed", Page: 4, Kind: KindYN, Optional: true,
+				Text: "Does your domain support MTA-STS?"},
+		}},
+	{Number: 5, Title: "Deployment for inbound emails", Items: []Question{
+		{ID: "deploy-state", Page: 5, Kind: KindGS, Optional: true,
+			Text: "Select the best option for each statement for your most used domain"},
+		{ID: "motivation", Page: 5, Kind: KindLS, Optional: true,
+			Text: "Why did you choose to adopt MTA-STS for your domain?",
+			Options: []string{
+				"Prevents downgrade or interception attack",
+				"Dependency on web PKI sounds more trustworthy",
+				"Provides optional testing only mode",
+				"DANE requires DNSSEC and is harder to manage",
+			}},
+		{ID: "rollout-reasons", Page: 5, Kind: KindLS, Optional: true,
+			Text: "Why do you think operators roll out MTA-STS?",
+			Options: []string{
+				"Customers asked us to", "Required by regulation",
+				"Wanted to play with it", "Google acceptance", "Pulse of tech-dev",
+			}},
+		{ID: "bottleneck", Page: 5, Kind: KindLS, Optional: true,
+			Text: "What is the largest bottleneck for MTA-STS deployment?",
+			Options: []string{
+				"Operational complexity", "Better alternative in DANE",
+				"Do not need email encryption",
+			}},
+	}},
+	{Number: 6, Title: "Misconfigurations", Items: []Question{
+		{ID: "setting-valid", Page: 6, Kind: KindSCQ, Optional: true,
+			Text: "Is the MTA-STS setting of your domain valid?", Options: []string{"yes", "no", "don't know"}},
+		{ID: "difficulty", Page: 6, Kind: KindLS, Optional: true,
+			Text: "Most difficult thing in setting up and managing MTA-STS",
+			Options: []string{
+				"Setting up associated DNS records", "Configuring HTTPS policy file",
+				"Configuring SMTP server with a PKI valid certificate",
+				"Managing policy update", "Opting out of MTA-STS",
+			}},
+		{ID: "invalid-causes", Page: 6, Kind: KindLS, Optional: true,
+			Text: "Main reason behind prevalent invalid MTA-STS configurations"},
+		{ID: "update-seq", Page: 6, Kind: KindSCQ, Optional: true,
+			Text: "While updating your policy, which sequence do you maintain?",
+			Options: []string{
+				"Update MTA-STS TXT record first", "Update HTTPS policy body first",
+				"Never updated", "Don't know",
+			}},
+	}},
+	{Number: 7, Title: "Policy Host Management",
+		SkipTo: func(r *Response) int { return 0 },
+		Items: []Question{
+			{ID: "policy-host-mgmt", Page: 7, Kind: KindSCQ, Optional: true,
+				Text:    "How do you manage your MTA-STS policy host?",
+				Options: []string{"outsourced to a 3rd-party policy hosting provider", "self-managed"}},
+		}},
+	{Number: 8, Title: "Management 1", Items: []Question{
+		{ID: "provider", Page: 8, Kind: KindSCQ, Optional: true,
+			Text: "Which 3rd-party policy host service do you use?",
+			Options: []string{
+				"Tutanota", "URIPorts", "Mailhardener", "PowerDMARC",
+				"EasyDMARC", "OnDMARC", "DMARCReport", "Other",
+			}},
+		{ID: "hosted-benefits", Page: 8, Kind: KindLS, Optional: true,
+			Text: "To what extent do you agree regarding hosted MTA-STS services?"},
+		{ID: "smtp-mgmt", Page: 8, Kind: KindSCQ, Optional: true,
+			Text:    "How do you manage your incoming SMTP server?",
+			Options: []string{"outsourced to an external email hosting provider", "self-managed"}},
+	}},
+	{Number: 9, Title: "Both outsourced", Items: []Question{
+		{ID: "same-provider", Page: 9, Kind: KindYN, Optional: true,
+			Text: "Does your email hosting provider manage your MTA-STS policy?"},
+	}},
+	{Number: 10, Title: "MTA-STS not supported", Items: []Question{
+		{ID: "why-not", Page: 10, Kind: KindSCQ, Optional: true,
+			Text: "Why do you NOT deploy MTA-STS for your domain?",
+			Options: []string{
+				"I do not understand how it works",
+				"I understand how it works, but I don't think I need it",
+				"Too complicated to deploy and manage",
+				"I use DANE", "Other",
+			}},
+		{ID: "ever-used", Page: 10, Kind: KindYN, Optional: true,
+			Text: "Have you ever used MTA-STS?"},
+	}},
+	{Number: 11, Title: "DANE check 1",
+		SkipTo: func(r *Response) int {
+			if r.HeardOfDANE == 0 {
+				return 13
+			}
+			return 0
+		},
+		Items: []Question{
+			{ID: "heard-dane", Page: 11, Kind: KindYN, Optional: true,
+				Text: "Have you heard about DANE?"},
+		}},
+	{Number: 12, Title: "Comparison w/ DANE", Items: []Question{
+		{ID: "dane-state", Page: 12, Kind: KindGS, Optional: true,
+			Text: "Does your email server support DANE for inbound emails?"},
+		{ID: "which-better", Page: 12, Kind: KindLS, Optional: true,
+			Text: "Which protocol is better in design for mandating email encryption?",
+			Options: []string{
+				"Definitely MTA-STS", "More MTA-STS", "Balanced", "More DANE", "Definitely DANE",
+			}},
+		{ID: "other-considerations", Page: 12, Kind: KindTB, Optional: true,
+			Text: "Other implementation considerations around MTA-STS and DANE"},
+	}},
+	{Number: 13, Title: "MTA-STS check 3", Items: []Question{
+		{ID: "validates-outbound", Page: 13, Kind: KindSCQ, Optional: true,
+			Text:    "Does your email server validate MTA-STS for outbound connections?",
+			Options: []string{"Yes", "No", "Don't Know"}},
+	}},
+	{Number: 14, Title: "Validation tool", Items: []Question{
+		{ID: "tool", Page: 14, Kind: KindSCQ, Optional: true,
+			Text:    "Which tool do you use to validate MTA-STS for outbound connections?",
+			Options: []string{"postfix-mta-sts-resolver", "mox", "proprietary", "other"}},
+	}},
+	{Number: 15, Title: "Validation bottleneck", Items: []Question{
+		{ID: "validation-bottleneck", Page: 15, Kind: KindLS, Optional: true,
+			Text: "Major bottleneck behind lack of MTA-STS validation support",
+			Options: []string{
+				"Lack of incentive from the sending side",
+				"Difficulty in policy cache maintenance",
+				"Low deployment rate among domains",
+				"Lack of awareness of its benefits",
+			}},
+	}},
+}
+
+// QuestionByID finds an instrument question.
+func QuestionByID(id string) (Question, bool) {
+	for _, p := range Instrument {
+		for _, q := range p.Items {
+			if q.ID == id {
+				return q, true
+			}
+		}
+	}
+	return Question{}, false
+}
+
+// ReachablePages simulates the instrument flow for a response: the set of
+// page numbers the respondent could have seen given the skip logic.
+func ReachablePages(r *Response) map[int]bool {
+	seen := map[int]bool{}
+	for i := 0; i < len(Instrument); {
+		p := Instrument[i]
+		seen[p.Number] = true
+		next := 0
+		if p.SkipTo != nil {
+			next = p.SkipTo(r)
+		}
+		switch {
+		case next == -1:
+			return seen
+		case next == 0:
+			i++
+		default:
+			// Jump to the page with that number.
+			j := -1
+			for k := range Instrument {
+				if Instrument[k].Number == next {
+					j = k
+					break
+				}
+			}
+			if j < 0 || j <= i {
+				return seen // defensive: no backward jumps
+			}
+			i = j
+		}
+	}
+	return seen
+}

@@ -1,0 +1,325 @@
+// Package survey encodes the operator survey of §7 / Appendix C of the
+// paper: the instrument's answer domains, a response dataset reproducing
+// every marginal reported in §7.2 and Figure 11, and the tabulation code
+// that computes those marginals. The published artifact of a survey is its
+// answer distribution; this package encodes that distribution as data (see
+// the substitution table in DESIGN.md).
+package survey
+
+// Unanswered marks a skipped question.
+const Unanswered = -1
+
+// AccountsBucket is the mail-setup size question (Page 2).
+type AccountsBucket int
+
+// Figure 11 buckets.
+const (
+	AccountsUnder10 AccountsBucket = iota
+	Accounts10to100
+	Accounts100to500
+	Accounts500to1k
+	AccountsOver1k
+)
+
+// BucketLabels are the Figure 11 x-axis labels.
+var BucketLabels = []string{"~10", "10 ~ 100", "100 ~ 500", "500 ~ 1k", "1k ~"}
+
+// Bottleneck is the "largest bottleneck for MTA-STS deployment" question.
+type Bottleneck int
+
+// Bottleneck options (Page 5).
+const (
+	BottleneckComplexity Bottleneck = iota
+	BottleneckDANEBetter
+	BottleneckNoNeed
+)
+
+// WhyNot is the "why do you NOT deploy MTA-STS" question (Page 10).
+type WhyNot int
+
+// WhyNot options.
+const (
+	WhyNotUseDANE WhyNot = iota
+	WhyNotTooComplicated
+	WhyNotDontUnderstand
+	WhyNotDontNeed
+	WhyNotOther
+)
+
+// UpdateSequence is the policy update ordering question (Page 6).
+type UpdateSequence int
+
+// Update sequences; TXT-first is the discouraged ordering.
+const (
+	UpdateTXTFirst UpdateSequence = iota
+	UpdatePolicyFirst
+	UpdateNever
+	UpdateDontKnow
+)
+
+// Difficulty is the "most difficult aspect" question (Page 6).
+type Difficulty int
+
+// Difficulty options.
+const (
+	DifficultyDNS Difficulty = iota
+	DifficultyHTTPSPolicy
+	DifficultySMTPCert
+	DifficultyPolicyUpdate
+	DifficultyOptOut
+)
+
+// DANEPreference is the head-to-head design question (Page 12).
+type DANEPreference int
+
+// Preference outcomes.
+const (
+	PreferDANE DANEPreference = iota
+	PreferMTASTS
+	PreferBalanced
+)
+
+// Response is one operator's answers. Enum fields use Unanswered (-1)
+// when the question was skipped or never shown by the survey flow.
+type Response struct {
+	ID       int
+	Accounts int // AccountsBucket or Unanswered
+
+	HeardOfMTASTS int // 1 yes, 0 no, Unanswered
+	Deployed      int // 1 yes, 0 no, Unanswered
+
+	// Deployment motivations (multi-select; only meaningful when
+	// Deployed == 1).
+	MotivationDowngrade bool
+	MotivationWebPKI    bool
+	MotivationOverDANE  bool
+	MotivationCustomer  bool
+	MotivationRegulator bool
+	MotivationBigMail   bool
+
+	Bottleneck int // Bottleneck or Unanswered
+	WhyNot     int // WhyNot or Unanswered
+
+	Difficulty     int // Difficulty or Unanswered
+	UpdateSequence int // UpdateSequence or Unanswered
+
+	HeardOfDANE  int // 1/0/Unanswered
+	ServesTLSA   int // 1/0/Unanswered (among DANE-aware)
+	NoDNSSEC     bool
+	Preference   int // DANEPreference or Unanswered
+	ValidatesOut int // sender-side MTA-STS validation: 1/0/Unanswered
+}
+
+// Dataset is a set of survey responses.
+type Dataset struct {
+	// Initial is the number of people who opened the survey (120).
+	Initial   int
+	Responses []Response
+}
+
+// figure11Deployed is the per-bucket count of deployed respondents.
+var figure11Deployed = [5]int{8, 11, 9, 10, 12} // sums to 50
+
+// figure11Total is the per-bucket count of respondents who answered the
+// accounts question (92): 22 manage <10 accounts, 36 manage >500.
+var figure11Total = [5]int{22, 20, 14, 16, 20}
+
+// NewPaperDataset constructs the deterministic response set whose
+// marginals equal every §7.2 / Figure 11 statistic. The assignment is by
+// respondent index; Tabulate recovers the paper's numbers exactly (the
+// tests in this package pin each one).
+func NewPaperDataset() *Dataset {
+	ds := &Dataset{Initial: 120}
+	for i := 0; i < 117; i++ {
+		r := Response{
+			ID: i, Accounts: Unanswered, HeardOfMTASTS: Unanswered,
+			Deployed: Unanswered, Bottleneck: Unanswered, WhyNot: Unanswered,
+			Difficulty: Unanswered, UpdateSequence: Unanswered,
+			HeardOfDANE: Unanswered, ServesTLSA: Unanswered,
+			Preference: Unanswered, ValidatesOut: Unanswered,
+		}
+
+		// Familiarity (Page 3): 94 answered, 89 yes.
+		if i < 94 {
+			if i < 89 {
+				r.HeardOfMTASTS = 1
+			} else {
+				r.HeardOfMTASTS = 0
+			}
+		}
+
+		// Deployment (Page 4): 88 of the aware answered; 50 yes.
+		if r.HeardOfMTASTS == 1 && i < 88 {
+			if i < 50 {
+				r.Deployed = 1
+			} else {
+				r.Deployed = 0
+			}
+		}
+
+		ds.Responses = append(ds.Responses, r)
+	}
+
+	// Accounts buckets (Figure 11): 92 respondents; the 50 deployed are
+	// distributed per figure11Deployed, the remaining 42 fill the totals.
+	bucketLeft := figure11Total
+	deployedLeft := figure11Deployed
+	assign := func(r *Response, wantDeployed bool) {
+		for b := 0; b < 5; b++ {
+			if bucketLeft[b] == 0 {
+				continue
+			}
+			if wantDeployed && deployedLeft[b] == 0 {
+				continue
+			}
+			if !wantDeployed && bucketLeft[b] <= deployedLeft[b] {
+				continue // reserve capacity for deployed respondents
+			}
+			r.Accounts = b
+			bucketLeft[b]--
+			if wantDeployed {
+				deployedLeft[b]--
+			}
+			return
+		}
+	}
+	for i := range ds.Responses {
+		r := &ds.Responses[i]
+		if r.Deployed == 1 {
+			assign(r, true)
+		}
+	}
+	for i := range ds.Responses {
+		r := &ds.Responses[i]
+		if r.Accounts == Unanswered && r.Deployed != 1 {
+			total := 0
+			for _, b := range bucketLeft {
+				total += b
+			}
+			if total == 0 {
+				break
+			}
+			assign(r, false)
+		}
+	}
+
+	// Deployment motivations (42 of the deployed answered; §7.2).
+	midx := 0
+	for i := range ds.Responses {
+		r := &ds.Responses[i]
+		if r.Deployed != 1 {
+			continue
+		}
+		if midx < 42 {
+			r.MotivationDowngrade = midx < 34 // 34/42 = 80.9%
+			r.MotivationWebPKI = midx < 9
+			r.MotivationOverDANE = midx >= 9 && midx < 19 // 10
+			r.MotivationBigMail = midx >= 19 && midx < 24 // 5
+		}
+		if midx < 41 {
+			r.MotivationCustomer = midx < 13                // 13/41
+			r.MotivationRegulator = midx >= 13 && midx < 27 // 14/41
+		}
+		// Bottleneck (43 answered): 21 complexity, 17 DANE better, 5 none.
+		if midx < 43 {
+			switch {
+			case midx < 21:
+				r.Bottleneck = int(BottleneckComplexity)
+			case midx < 38:
+				r.Bottleneck = int(BottleneckDANEBetter)
+			default:
+				r.Bottleneck = int(BottleneckNoNeed)
+			}
+		}
+		// Management difficulty (41 answered): 8 HTTPS policy, 11 updates.
+		if midx < 41 {
+			switch {
+			case midx < 8:
+				r.Difficulty = int(DifficultyHTTPSPolicy)
+			case midx < 19:
+				r.Difficulty = int(DifficultyPolicyUpdate)
+			case midx < 27:
+				r.Difficulty = int(DifficultyDNS)
+			case midx < 35:
+				r.Difficulty = int(DifficultySMTPCert)
+			default:
+				r.Difficulty = int(DifficultyOptOut)
+			}
+		}
+		// Update sequence (42 answered): 15 never, 10 TXT-first.
+		if midx < 42 {
+			switch {
+			case midx < 15:
+				r.UpdateSequence = int(UpdateNever)
+			case midx < 25:
+				r.UpdateSequence = int(UpdateTXTFirst)
+			case midx < 37:
+				r.UpdateSequence = int(UpdatePolicyFirst)
+			default:
+				r.UpdateSequence = int(UpdateDontKnow)
+			}
+		}
+		midx++
+	}
+
+	// Non-deployers (Page 10): 33 answered; 15 use DANE, 9 too complex.
+	widx := 0
+	for i := range ds.Responses {
+		r := &ds.Responses[i]
+		if r.Deployed != 0 {
+			continue
+		}
+		if widx < 33 {
+			switch {
+			case widx < 15:
+				r.WhyNot = int(WhyNotUseDANE)
+			case widx < 24:
+				r.WhyNot = int(WhyNotTooComplicated)
+			case widx < 28:
+				r.WhyNot = int(WhyNotDontUnderstand)
+			case widx < 31:
+				r.WhyNot = int(WhyNotDontNeed)
+			default:
+				r.WhyNot = int(WhyNotOther)
+			}
+		}
+		widx++
+	}
+
+	// DANE block (Pages 11–12): 79 answered familiarity, 78 yes; 26 of the
+	// familiar serve no TLSA; 10 lack DNSSEC support; of 70 stating a
+	// preference, 51 prefer DANE (72.8%).
+	didx := 0
+	for i := range ds.Responses {
+		r := &ds.Responses[i]
+		if r.HeardOfMTASTS == Unanswered {
+			continue
+		}
+		if didx < 79 {
+			if didx < 78 {
+				r.HeardOfDANE = 1
+				if didx < 26 {
+					r.ServesTLSA = 0
+				} else {
+					r.ServesTLSA = 1
+				}
+				r.NoDNSSEC = didx >= 26 && didx < 36
+				if didx < 70 {
+					switch {
+					case didx < 51:
+						r.Preference = int(PreferDANE)
+					case didx < 59:
+						r.Preference = int(PreferMTASTS)
+					default:
+						r.Preference = int(PreferBalanced)
+					}
+				}
+			} else {
+				r.HeardOfDANE = 0
+			}
+		}
+		didx++
+	}
+
+	return ds
+}

@@ -1,0 +1,205 @@
+package survey
+
+import "testing"
+
+// TestPaperMarginals pins every §7.2 statistic.
+func TestPaperMarginals(t *testing.T) {
+	ds := NewPaperDataset()
+	f := ds.Tabulate()
+
+	checks := []struct {
+		name      string
+		got, want int
+	}{
+		{"initial respondents", ds.Initial, 120},
+		{"engaged", f.Engaged, 117},
+		{"familiarity asked", f.FamiliarityAsked, 94},
+		{"familiar", f.Familiar, 89}, // 94.7%
+		{"deployment asked", f.DeploymentAsked, 88},
+		{"deployed", f.Deployed, 50}, // 56.8%
+		{"motivation: downgrade", f.MotivationDowngrade, 34},
+		{"motivation: web PKI", f.MotivationWebPKI, 9},
+		{"motivation: over DANE", f.MotivationOverDANE, 10},
+		{"motivation: customer demand", f.MotivationCustomer, 13},
+		{"motivation: regulation", f.MotivationRegulator, 14},
+		{"motivation: big providers", f.MotivationBigMail, 5},
+		{"bottleneck asked", f.BottleneckAsked, 43},
+		{"bottleneck: complexity", f.BottleneckComplexity, 21}, // 48.8%
+		{"bottleneck: DANE better", f.BottleneckDANE, 17},      // 39.5%
+		{"bottleneck: no need", f.BottleneckNoNeed, 5},         // 11.6%
+		{"why-not asked", f.WhyNotAsked, 33},
+		{"why-not: use DANE", f.WhyNotDANE, 15},      // 45.4%
+		{"why-not: too complex", f.WhyNotComplex, 9}, // 27.2%
+		{"difficulty asked", f.DifficultyAsked, 41},
+		{"difficulty: HTTPS policy", f.DifficultyHTTPS, 8},    // 19.5%
+		{"difficulty: policy update", f.DifficultyUpdate, 11}, // 26.8%
+		{"update sequence asked", f.UpdateSeqAsked, 42},
+		{"update: never", f.UpdateNever, 15},        // 35.7%
+		{"update: TXT first", f.UpdateTXTFirst, 10}, // 23.8%
+		{"DANE asked", f.DANEAsked, 79},
+		{"DANE familiar", f.DANEFamiliar, 78}, // 98.7%
+		{"no TLSA", f.NoTLSA, 26},             // 33.3%
+		{"no DNSSEC support", f.NoDNSSECSupport, 10},
+		{"preference asked", f.PreferenceAsked, 70},
+		{"prefer DANE", f.PreferDANECount, 51}, // 72.8%
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestPaperPercentages(t *testing.T) {
+	f := NewPaperDataset().Tabulate()
+	pct := func(n, d int) float64 { return 100 * float64(n) / float64(d) }
+	if p := pct(f.Familiar, f.FamiliarityAsked); p < 94.6 || p > 94.8 {
+		t.Errorf("awareness = %.1f%%, want 94.7%%", p)
+	}
+	if p := pct(f.BottleneckComplexity, f.BottleneckAsked); p < 48.7 || p > 48.9 {
+		t.Errorf("complexity = %.1f%%, want 48.8%%", p)
+	}
+	if p := pct(f.WhyNotDANE, f.WhyNotAsked); p < 45.3 || p > 45.6 {
+		t.Errorf("DANE instead = %.1f%%, want 45.4%%", p)
+	}
+	if p := pct(f.PreferDANECount, f.PreferenceAsked); p < 72.7 || p > 73.0 {
+		t.Errorf("prefer DANE = %.1f%%, want 72.8%%", p)
+	}
+}
+
+func TestFigure11(t *testing.T) {
+	ds := NewPaperDataset()
+	labels, total, deployed := ds.Figure11()
+	if len(labels) != 5 {
+		t.Fatalf("labels = %v", labels)
+	}
+	sumT, sumD := 0, 0
+	for i := range total {
+		sumT += total[i]
+		sumD += deployed[i]
+		if deployed[i] > total[i] {
+			t.Errorf("bucket %s: deployed %d > total %d", labels[i], deployed[i], total[i])
+		}
+	}
+	if sumT != 92 {
+		t.Errorf("total respondents with accounts = %d, want 92", sumT)
+	}
+	if sumD != 50 {
+		t.Errorf("deployed with accounts = %d, want 50", sumD)
+	}
+	// Anchors from the paper: 22 manage <10 accounts, 36 manage >500.
+	if total[0] != 22 {
+		t.Errorf("bucket ~10 = %d, want 22", total[0])
+	}
+	if over500 := total[3] + total[4]; over500 != 36 {
+		t.Errorf("buckets >500 = %d, want 36", over500)
+	}
+}
+
+func TestSurveyFlowConsistency(t *testing.T) {
+	// The instrument's skip logic must hold in the dataset: nobody who
+	// answered "never heard of MTA-STS" (or skipped it) has later answers.
+	ds := NewPaperDataset()
+	for _, r := range ds.Responses {
+		if r.HeardOfMTASTS != 1 {
+			if r.Deployed != Unanswered {
+				t.Errorf("respondent %d answered deployment without awareness", r.ID)
+			}
+			if r.Bottleneck != Unanswered || r.WhyNot != Unanswered {
+				t.Errorf("respondent %d answered follow-ups without awareness", r.ID)
+			}
+		}
+		if r.Deployed != 1 && r.Bottleneck != Unanswered {
+			t.Errorf("respondent %d answered deployer question without deploying", r.ID)
+		}
+		if r.Deployed != 0 && r.WhyNot != Unanswered {
+			t.Errorf("respondent %d answered non-deployer question", r.ID)
+		}
+	}
+}
+
+func TestInstrumentStructure(t *testing.T) {
+	if len(Instrument) != 15 {
+		t.Fatalf("pages = %d, want 15 (Appendix C)", len(Instrument))
+	}
+	seen := map[string]bool{}
+	for _, p := range Instrument {
+		if len(p.Items) == 0 {
+			t.Errorf("page %d has no questions", p.Number)
+		}
+		for _, q := range p.Items {
+			if q.Page != p.Number {
+				t.Errorf("question %s claims page %d, lives on %d", q.ID, q.Page, p.Number)
+			}
+			if seen[q.ID] {
+				t.Errorf("duplicate question id %s", q.ID)
+			}
+			seen[q.ID] = true
+			// Only the consent questions are mandatory.
+			if !q.Optional && p.Number != 1 {
+				t.Errorf("non-consent question %s is mandatory", q.ID)
+			}
+		}
+	}
+	// The accounts question carries the Figure 11 buckets.
+	q, ok := QuestionByID("accounts")
+	if !ok || len(q.Options) != len(BucketLabels) {
+		t.Errorf("accounts question = %+v", q)
+	}
+	if _, ok := QuestionByID("nope"); ok {
+		t.Error("QuestionByID matched a bogus id")
+	}
+}
+
+// TestDatasetRespectsInstrumentFlow: every answer in the paper dataset
+// must come from a page the respondent could reach under the skip logic.
+func TestDatasetRespectsInstrumentFlow(t *testing.T) {
+	ds := NewPaperDataset()
+	for i := range ds.Responses {
+		r := &ds.Responses[i]
+		pages := ReachablePages(r)
+		check := func(answered bool, page int, what string) {
+			if answered && !pages[page] {
+				t.Errorf("respondent %d answered %s on unreachable page %d", r.ID, what, page)
+			}
+		}
+		check(r.Deployed != Unanswered, 4, "deployment")
+		check(r.Bottleneck != Unanswered, 5, "bottleneck")
+		check(r.Difficulty != Unanswered, 6, "difficulty")
+		check(r.UpdateSequence != Unanswered, 6, "update sequence")
+		check(r.WhyNot != Unanswered, 10, "why-not")
+		check(r.Preference != Unanswered, 12, "preference")
+	}
+}
+
+func TestReachablePagesSkipLogic(t *testing.T) {
+	// Never heard of MTA-STS: the survey ends at page 3.
+	r := &Response{HeardOfMTASTS: 0, Deployed: Unanswered, HeardOfDANE: Unanswered}
+	pages := ReachablePages(r)
+	if !pages[3] || pages[4] || pages[10] {
+		t.Errorf("non-aware flow pages = %v", pages)
+	}
+	// Aware non-deployer: jumps to page 10, continues to the DANE block.
+	r = &Response{HeardOfMTASTS: 1, Deployed: 0, HeardOfDANE: 1}
+	pages = ReachablePages(r)
+	if pages[5] || !pages[10] || !pages[12] {
+		t.Errorf("non-deployer flow pages = %v", pages)
+	}
+	// DANE-unaware deployer: skips the comparison page.
+	r = &Response{HeardOfMTASTS: 1, Deployed: 1, HeardOfDANE: 0}
+	pages = ReachablePages(r)
+	if !pages[5] || pages[12] || !pages[13] {
+		t.Errorf("DANE-unaware flow pages = %v", pages)
+	}
+}
+
+func TestQuestionKindStrings(t *testing.T) {
+	for k, want := range map[QuestionKind]string{
+		KindSCQ: "SCQ", KindMCQ: "MCQ", KindYN: "YN",
+		KindTB: "TB", KindGS: "GS", KindLS: "LS", QuestionKind(99): "?",
+	} {
+		if k.String() != want {
+			t.Errorf("kind %d = %q", int(k), k.String())
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package survey
+
+// Findings are the tabulated marginals of a dataset — the §7.2 numbers.
+type Findings struct {
+	Engaged int // respondents answering at least one question
+
+	FamiliarityAsked int // answered the MTA-STS familiarity question
+	Familiar         int // had heard of MTA-STS
+
+	DeploymentAsked int
+	Deployed        int
+
+	// Motivations (among deployed respondents who answered).
+	MotivationAsked     int
+	MotivationDowngrade int
+	MotivationWebPKI    int
+	MotivationOverDANE  int
+	MotivationCustomer  int
+	MotivationRegulator int
+	MotivationBigMail   int
+
+	// Bottleneck among deployers.
+	BottleneckAsked      int
+	BottleneckComplexity int
+	BottleneckDANE       int
+	BottleneckNoNeed     int
+
+	// Why-not among non-deployers.
+	WhyNotAsked   int
+	WhyNotDANE    int
+	WhyNotComplex int
+
+	// Management.
+	DifficultyAsked  int
+	DifficultyHTTPS  int
+	DifficultyUpdate int
+
+	UpdateSeqAsked int
+	UpdateNever    int
+	UpdateTXTFirst int
+
+	// DANE block.
+	DANEAsked       int
+	DANEFamiliar    int
+	NoTLSA          int
+	NoDNSSECSupport int
+	PreferenceAsked int
+	PreferDANECount int
+}
+
+// Tabulate computes the findings of a dataset.
+func (ds *Dataset) Tabulate() Findings {
+	var f Findings
+	f.Engaged = len(ds.Responses)
+	for i := range ds.Responses {
+		r := &ds.Responses[i]
+		if r.HeardOfMTASTS != Unanswered {
+			f.FamiliarityAsked++
+			if r.HeardOfMTASTS == 1 {
+				f.Familiar++
+			}
+		}
+		if r.Deployed != Unanswered {
+			f.DeploymentAsked++
+			if r.Deployed == 1 {
+				f.Deployed++
+			}
+		}
+		if r.Deployed == 1 {
+			if r.MotivationDowngrade || r.MotivationWebPKI || r.MotivationOverDANE || r.MotivationBigMail {
+				f.MotivationAsked++
+			}
+			if r.MotivationDowngrade {
+				f.MotivationDowngrade++
+			}
+			if r.MotivationWebPKI {
+				f.MotivationWebPKI++
+			}
+			if r.MotivationOverDANE {
+				f.MotivationOverDANE++
+			}
+			if r.MotivationCustomer {
+				f.MotivationCustomer++
+			}
+			if r.MotivationRegulator {
+				f.MotivationRegulator++
+			}
+			if r.MotivationBigMail {
+				f.MotivationBigMail++
+			}
+			if r.Bottleneck != Unanswered {
+				f.BottleneckAsked++
+				switch Bottleneck(r.Bottleneck) {
+				case BottleneckComplexity:
+					f.BottleneckComplexity++
+				case BottleneckDANEBetter:
+					f.BottleneckDANE++
+				case BottleneckNoNeed:
+					f.BottleneckNoNeed++
+				}
+			}
+			if r.Difficulty != Unanswered {
+				f.DifficultyAsked++
+				switch Difficulty(r.Difficulty) {
+				case DifficultyHTTPSPolicy:
+					f.DifficultyHTTPS++
+				case DifficultyPolicyUpdate:
+					f.DifficultyUpdate++
+				}
+			}
+			if r.UpdateSequence != Unanswered {
+				f.UpdateSeqAsked++
+				switch UpdateSequence(r.UpdateSequence) {
+				case UpdateNever:
+					f.UpdateNever++
+				case UpdateTXTFirst:
+					f.UpdateTXTFirst++
+				}
+			}
+		}
+		if r.Deployed == 0 && r.WhyNot != Unanswered {
+			f.WhyNotAsked++
+			switch WhyNot(r.WhyNot) {
+			case WhyNotUseDANE:
+				f.WhyNotDANE++
+			case WhyNotTooComplicated:
+				f.WhyNotComplex++
+			}
+		}
+		if r.HeardOfDANE != Unanswered {
+			f.DANEAsked++
+			if r.HeardOfDANE == 1 {
+				f.DANEFamiliar++
+				if r.ServesTLSA == 0 {
+					f.NoTLSA++
+				}
+				if r.NoDNSSEC {
+					f.NoDNSSECSupport++
+				}
+				if r.Preference != Unanswered {
+					f.PreferenceAsked++
+					if DANEPreference(r.Preference) == PreferDANE {
+						f.PreferDANECount++
+					}
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Figure11 returns the demographics histogram: for each accounts bucket,
+// the number of respondents and the number who deployed MTA-STS.
+func (ds *Dataset) Figure11() (labels []string, total, deployed []int) {
+	total = make([]int, len(BucketLabels))
+	deployed = make([]int, len(BucketLabels))
+	for i := range ds.Responses {
+		r := &ds.Responses[i]
+		if r.Accounts == Unanswered {
+			continue
+		}
+		total[r.Accounts]++
+		if r.Deployed == 1 {
+			deployed[r.Accounts]++
+		}
+	}
+	return append([]string(nil), BucketLabels...), total, deployed
+}

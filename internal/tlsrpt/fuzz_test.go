@@ -1,0 +1,26 @@
+package tlsrpt
+
+import "testing"
+
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"v=TLSRPTv1; rua=mailto:tls@example.com",
+		"v=TLSRPTv1; rua=https://r.example/v1,mailto:a@b.c",
+		"v=TLSRPTv1",
+		"",
+		"v=TLSRPTv1; rua=",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		rec, err := Parse(s)
+		if err == nil {
+			if rec.Version != Version || len(rec.RUAs) == 0 {
+				t.Fatalf("valid record with %+v", rec)
+			}
+			if _, err := Parse(rec.String()); err != nil {
+				t.Fatalf("canonical form does not re-parse: %v (%q)", err, rec.String())
+			}
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package tlsrpt
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// This file implements the aggregate report format of RFC 8460 §4: the
+// JSON document a sending MTA delivers to the rua destinations declared in
+// a TLSRPT record, summarizing its TLS/MTA-STS/DANE outcomes for one
+// policy domain over one day. The paper's Appendix B notes only Google and
+// Microsoft send these today; this implementation lets the sender-MTA
+// substrate generate and consume them.
+
+// PolicyType is the mechanism a report section describes.
+type PolicyType string
+
+// RFC 8460 §4.3 policy types.
+const (
+	PolicyTypeTLSA   PolicyType = "tlsa"
+	PolicyTypeSTS    PolicyType = "sts"
+	PolicyTypeNoFind PolicyType = "no-policy-found"
+)
+
+// ResultType is a failure classification (RFC 8460 §4.3).
+type ResultType string
+
+// Failure result types used by the reproduction.
+const (
+	ResultSTARTTLSNotSupported    ResultType = "starttls-not-supported"
+	ResultCertificateExpired      ResultType = "certificate-expired"
+	ResultCertificateNotTrusted   ResultType = "certificate-not-trusted"
+	ResultCertificateHostMismatch ResultType = "certificate-host-mismatch"
+	ResultValidationFailure       ResultType = "validation-failure"
+	ResultSTSPolicyFetchError     ResultType = "sts-policy-fetch-error"
+	ResultSTSPolicyInvalid        ResultType = "sts-policy-invalid"
+	ResultSTSWebPKIInvalid        ResultType = "sts-webpki-invalid"
+	ResultTLSAInvalid             ResultType = "tlsa-invalid"
+	ResultDNSSECInvalid           ResultType = "dnssec-invalid"
+)
+
+// Report is an RFC 8460 aggregate report.
+type Report struct {
+	OrganizationName string         `json:"organization-name"`
+	DateRange        DateRange      `json:"date-range"`
+	ContactInfo      string         `json:"contact-info"`
+	ReportID         string         `json:"report-id"`
+	Policies         []PolicyResult `json:"policies"`
+}
+
+// DateRange bounds the reporting window.
+type DateRange struct {
+	StartDatetime time.Time `json:"start-datetime"`
+	EndDatetime   time.Time `json:"end-datetime"`
+}
+
+// PolicyResult is the per-policy section of a report.
+type PolicyResult struct {
+	Policy         PolicyDesc      `json:"policy"`
+	Summary        Summary         `json:"summary"`
+	FailureDetails []FailureDetail `json:"failure-details,omitempty"`
+}
+
+// PolicyDesc identifies the evaluated policy.
+type PolicyDesc struct {
+	PolicyType   PolicyType `json:"policy-type"`
+	PolicyString []string   `json:"policy-string,omitempty"`
+	PolicyDomain string     `json:"policy-domain"`
+	MXHost       []string   `json:"mx-host,omitempty"`
+}
+
+// Summary counts sessions.
+type Summary struct {
+	TotalSuccessfulSessionCount int64 `json:"total-successful-session-count"`
+	TotalFailureSessionCount    int64 `json:"total-failure-session-count"`
+}
+
+// FailureDetail describes one failure class observed during the window.
+type FailureDetail struct {
+	ResultType          ResultType `json:"result-type"`
+	SendingMTAIP        string     `json:"sending-mta-ip,omitempty"`
+	ReceivingMXHostname string     `json:"receiving-mx-hostname,omitempty"`
+	ReceivingIP         string     `json:"receiving-ip,omitempty"`
+	FailedSessionCount  int64      `json:"failed-session-count"`
+	FailureReasonCode   string     `json:"failure-reason-code,omitempty"`
+}
+
+// NewReport starts a report for the given reporting window.
+func NewReport(org, contact, id string, start, end time.Time) *Report {
+	return &Report{
+		OrganizationName: org,
+		ContactInfo:      contact,
+		ReportID:         id,
+		DateRange:        DateRange{StartDatetime: start.UTC(), EndDatetime: end.UTC()},
+	}
+}
+
+// Policy returns the report section for (ptype, domain), creating it on
+// first use.
+func (r *Report) Policy(ptype PolicyType, domain string) *PolicyResult {
+	for i := range r.Policies {
+		p := &r.Policies[i]
+		if p.Policy.PolicyType == ptype && p.Policy.PolicyDomain == domain {
+			return p
+		}
+	}
+	r.Policies = append(r.Policies, PolicyResult{
+		Policy: PolicyDesc{PolicyType: ptype, PolicyDomain: domain},
+	})
+	return &r.Policies[len(r.Policies)-1]
+}
+
+// AddSuccess records n successful sessions for a policy domain.
+func (r *Report) AddSuccess(ptype PolicyType, domain string, n int64) {
+	r.Policy(ptype, domain).Summary.TotalSuccessfulSessionCount += n
+}
+
+// AddFailure records n failed sessions of one result type against one MX.
+func (r *Report) AddFailure(ptype PolicyType, domain string, result ResultType, mxHost string, n int64) {
+	p := r.Policy(ptype, domain)
+	p.Summary.TotalFailureSessionCount += n
+	for i := range p.FailureDetails {
+		fd := &p.FailureDetails[i]
+		if fd.ResultType == result && fd.ReceivingMXHostname == mxHost {
+			fd.FailedSessionCount += n
+			return
+		}
+	}
+	p.FailureDetails = append(p.FailureDetails, FailureDetail{
+		ResultType:          result,
+		ReceivingMXHostname: mxHost,
+		FailedSessionCount:  n,
+	})
+}
+
+// Marshal renders the report as RFC 8460 JSON.
+func (r *Report) Marshal() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// UnmarshalReport parses an RFC 8460 JSON report.
+func UnmarshalReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("tlsrpt: parsing report: %w", err)
+	}
+	if r.ReportID == "" {
+		return nil, fmt.Errorf("tlsrpt: report without report-id")
+	}
+	return &r, nil
+}
+
+// Validate checks internal consistency: per-policy failure counts must
+// equal the sum of failure details, and the window must be ordered.
+func (r *Report) Validate() error {
+	if r.DateRange.EndDatetime.Before(r.DateRange.StartDatetime) {
+		return fmt.Errorf("tlsrpt: date range ends before it starts")
+	}
+	for _, p := range r.Policies {
+		var sum int64
+		for _, fd := range p.FailureDetails {
+			if fd.FailedSessionCount < 0 {
+				return fmt.Errorf("tlsrpt: negative failure count for %s", p.Policy.PolicyDomain)
+			}
+			sum += fd.FailedSessionCount
+		}
+		if sum != p.Summary.TotalFailureSessionCount {
+			return fmt.Errorf("tlsrpt: %s: failure details sum %d != summary %d",
+				p.Policy.PolicyDomain, sum, p.Summary.TotalFailureSessionCount)
+		}
+	}
+	return nil
+}
+
+// Merge folds another report's counts into r (same-window aggregation
+// across sending hosts of one organization).
+func (r *Report) Merge(other *Report) {
+	for _, op := range other.Policies {
+		p := r.Policy(op.Policy.PolicyType, op.Policy.PolicyDomain)
+		p.Summary.TotalSuccessfulSessionCount += op.Summary.TotalSuccessfulSessionCount
+		for _, fd := range op.FailureDetails {
+			r.AddFailure(op.Policy.PolicyType, op.Policy.PolicyDomain,
+				fd.ResultType, fd.ReceivingMXHostname, fd.FailedSessionCount)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package tlsrpt implements SMTP TLS Reporting records (RFC 8460) as used
+// by Appendix B / Figure 12 of the paper: parsing and validating the
+// "_smtp._tls" TXT record that declares where senders should deliver TLS
+// failure reports.
+package tlsrpt
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Version is the only TLSRPT version defined by RFC 8460.
+const Version = "TLSRPTv1"
+
+// RecordName returns the owner name of a domain's TLSRPT record.
+func RecordName(domain string) string { return "_smtp._tls." + domain }
+
+// Record errors.
+var (
+	ErrNoRecord        = errors.New("tlsrpt: no TLSRPT record")
+	ErrMultipleRecords = errors.New("tlsrpt: more than one TLSRPT record")
+	ErrBadVersion      = errors.New("tlsrpt: record does not begin with v=TLSRPTv1")
+	ErrNoRUA           = errors.New("tlsrpt: record has no rua field")
+	ErrBadRUA          = errors.New("tlsrpt: invalid rua URI")
+	ErrBadField        = errors.New("tlsrpt: malformed field")
+)
+
+// Record is a parsed TLSRPT record.
+type Record struct {
+	Version string
+	// RUAs are the report destination URIs (mailto: or https:).
+	RUAs []string
+	// Extensions preserves unknown fields.
+	Extensions []Field
+}
+
+// Field is a key-value extension pair.
+type Field struct{ Name, Value string }
+
+// String re-serializes the record.
+func (r Record) String() string {
+	var sb strings.Builder
+	sb.WriteString("v=")
+	sb.WriteString(r.Version)
+	sb.WriteString("; rua=")
+	sb.WriteString(strings.Join(r.RUAs, ","))
+	for _, f := range r.Extensions {
+		sb.WriteString("; ")
+		sb.WriteString(f.Name)
+		sb.WriteByte('=')
+		sb.WriteString(f.Value)
+	}
+	return sb.String()
+}
+
+// Parse parses one TXT value as a TLSRPT record.
+func Parse(txt string) (Record, error) {
+	var rec Record
+	if !HasPrefix(txt) {
+		return rec, fmt.Errorf("%w: %q", ErrBadVersion, txt)
+	}
+	fields := strings.Split(txt, ";")
+	for i, raw := range fields {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			if i == len(fields)-1 {
+				continue
+			}
+			return rec, fmt.Errorf("%w: empty field", ErrBadField)
+		}
+		name, value, ok := strings.Cut(raw, "=")
+		if !ok {
+			return rec, fmt.Errorf("%w: %q", ErrBadField, raw)
+		}
+		name = strings.TrimSpace(name)
+		value = strings.TrimSpace(value)
+		switch name {
+		case "v":
+			if value != Version {
+				return rec, fmt.Errorf("%w: %q", ErrBadVersion, value)
+			}
+			rec.Version = value
+		case "rua":
+			for _, uri := range strings.Split(value, ",") {
+				uri = strings.TrimSpace(uri)
+				if !validRUA(uri) {
+					return rec, fmt.Errorf("%w: %q", ErrBadRUA, uri)
+				}
+				rec.RUAs = append(rec.RUAs, uri)
+			}
+		default:
+			rec.Extensions = append(rec.Extensions, Field{Name: name, Value: value})
+		}
+	}
+	if len(rec.RUAs) == 0 {
+		return rec, ErrNoRUA
+	}
+	return rec, nil
+}
+
+// Discover applies the single-record rule to a TXT RRset at the
+// "_smtp._tls" name.
+func Discover(txts []string) (Record, error) {
+	var candidates []string
+	for _, txt := range txts {
+		if HasPrefix(txt) {
+			candidates = append(candidates, txt)
+		}
+	}
+	switch len(candidates) {
+	case 0:
+		return Record{}, ErrNoRecord
+	case 1:
+		return Parse(candidates[0])
+	default:
+		return Record{}, fmt.Errorf("%w: %d", ErrMultipleRecords, len(candidates))
+	}
+}
+
+// HasPrefix reports whether txt begins with "v=TLSRPTv1".
+func HasPrefix(txt string) bool {
+	s := strings.TrimSpace(txt)
+	if !strings.HasPrefix(s, "v") {
+		return false
+	}
+	s = strings.TrimLeft(s[1:], " \t")
+	if !strings.HasPrefix(s, "=") {
+		return false
+	}
+	s = strings.TrimLeft(s[1:], " \t")
+	if !strings.HasPrefix(s, Version) {
+		return false
+	}
+	rest := s[len(Version):]
+	return rest == "" || rest[0] == ';' || rest[0] == ' '
+}
+
+func validRUA(uri string) bool {
+	if rest, ok := strings.CutPrefix(uri, "mailto:"); ok {
+		at := strings.IndexByte(rest, '@')
+		return at > 0 && at < len(rest)-1
+	}
+	if rest, ok := strings.CutPrefix(uri, "https://"); ok {
+		return rest != ""
+	}
+	return false
+}

@@ -1,0 +1,91 @@
+package tlsrpt
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		ruas int
+	}{
+		{"v=TLSRPTv1; rua=mailto:tls-reports@example.com", 1},
+		{"v=TLSRPTv1; rua=mailto:a@x.com,mailto:b@y.com", 2},
+		{"v=TLSRPTv1; rua=https://reporting.example.com/v1", 1},
+		{"v=TLSRPTv1;rua=mailto:r@example.com;", 1},
+		{"v=TLSRPTv1; rua=mailto:r@example.com; ext=1", 1},
+	}
+	for _, c := range cases {
+		rec, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if len(rec.RUAs) != c.ruas || rec.Version != Version {
+			t.Errorf("Parse(%q) = %+v", c.in, rec)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want error
+	}{
+		{"v=TLSRPTv2; rua=mailto:a@b.c", ErrBadVersion},
+		{"rua=mailto:a@b.c", ErrBadVersion},
+		{"v=TLSRPTv1", ErrNoRUA},
+		{"v=TLSRPTv1; rua=", ErrBadRUA},
+		{"v=TLSRPTv1; rua=ftp://x", ErrBadRUA},
+		{"v=TLSRPTv1; rua=mailto:nodomain", ErrBadRUA},
+		{"v=TLSRPTv1; rua=mailto:a@b.c; ;x=1", ErrBadField},
+		{"v=TLSRPTv1; badfield; rua=mailto:a@b.c", ErrBadField},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.in); !errors.Is(err, c.want) {
+			t.Errorf("Parse(%q) err = %v, want %v", c.in, err, c.want)
+		}
+	}
+}
+
+func TestDiscover(t *testing.T) {
+	rec, err := Discover([]string{"v=spf1 -all", "v=TLSRPTv1; rua=mailto:r@example.com"})
+	if err != nil || len(rec.RUAs) != 1 {
+		t.Errorf("Discover = %+v, %v", rec, err)
+	}
+	if _, err := Discover([]string{"v=spf1 -all"}); !errors.Is(err, ErrNoRecord) {
+		t.Errorf("no record err = %v", err)
+	}
+	_, err = Discover([]string{"v=TLSRPTv1; rua=mailto:a@b.c", "v=TLSRPTv1; rua=mailto:d@e.f"})
+	if !errors.Is(err, ErrMultipleRecords) {
+		t.Errorf("multiple err = %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rec := Record{Version: Version, RUAs: []string{"mailto:a@b.c", "https://r.example/v1"},
+		Extensions: []Field{{"ext", "val"}}}
+	rec2, err := Parse(rec.String())
+	if err != nil {
+		t.Fatalf("round-trip: %v (%q)", err, rec.String())
+	}
+	if len(rec2.RUAs) != 2 || len(rec2.Extensions) != 1 {
+		t.Errorf("round-trip = %+v", rec2)
+	}
+}
+
+func TestRecordName(t *testing.T) {
+	if RecordName("example.com") != "_smtp._tls.example.com" {
+		t.Error("RecordName mismatch")
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	if !HasPrefix("v=TLSRPTv1; rua=mailto:a@b.c") || !HasPrefix("v = TLSRPTv1") {
+		t.Error("HasPrefix false negative")
+	}
+	if HasPrefix("v=TLSRPTv11") || HasPrefix("v=tlsrptv1") || HasPrefix("") {
+		t.Error("HasPrefix false positive")
+	}
+}

@@ -1,0 +1,83 @@
+package mtastsrepro
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFacadeRecordParsing(t *testing.T) {
+	rec, err := ParseRecord("v=STSv1; id=20240929;")
+	if err != nil || rec.ID != "20240929" {
+		t.Fatalf("ParseRecord = %+v, %v", rec, err)
+	}
+	if _, err := ParseRecord("v=STSv1; id=bad-id;"); err == nil {
+		t.Error("bad id accepted")
+	}
+	rec, err = DiscoverRecord([]string{"v=spf1 -all", "v=STSv1; id=1;"})
+	if err != nil || rec.ID != "1" {
+		t.Errorf("DiscoverRecord = %+v, %v", rec, err)
+	}
+}
+
+func TestFacadePolicyParsing(t *testing.T) {
+	p, err := ParsePolicy([]byte("version: STSv1\nmode: enforce\nmx: mx.example.com\nmax_age: 604800\n"))
+	if err != nil || p.Mode != ModeEnforce {
+		t.Fatalf("ParsePolicy = %+v, %v", p, err)
+	}
+	if !p.Matches("mx.example.com") || p.Matches("evil.example.net") {
+		t.Error("Matches misbehaves")
+	}
+	if !MatchMX("*.example.com", "mx.example.com") {
+		t.Error("MatchMX wildcard failed")
+	}
+	if err := CheckMXPattern("user@example.com"); err == nil {
+		t.Error("CheckMXPattern accepted an email address")
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if PolicyHost("example.com") != "mta-sts.example.com" {
+		t.Error("PolicyHost")
+	}
+	if PolicyURL("example.com") != "https://mta-sts.example.com/.well-known/mta-sts.txt" {
+		t.Error("PolicyURL")
+	}
+	pc := NewPolicyCache(4)
+	pc.Store("example.com", Policy{Version: "STSv1", Mode: ModeEnforce, MaxAge: 60,
+		MXPatterns: []string{"mx.example.com"}}, "id1")
+	if _, ok := pc.Get("example.com"); !ok {
+		t.Error("cache miss")
+	}
+}
+
+func TestFacadeWorldAndScan(t *testing.T) {
+	w := GenerateWorld(WorldConfig{Seed: 1, Scale: 0.01})
+	if len(w.Domains) == 0 {
+		t.Fatal("empty world")
+	}
+	results := w.ScanSnapshot(10)
+	s := Summarize(results)
+	if s.WithRecord == 0 {
+		t.Error("no MTA-STS domains in snapshot")
+	}
+}
+
+func TestFacadeScanArtifacts(t *testing.T) {
+	now := time.Now()
+	a := Artifacts{
+		Domain:             "example.com",
+		TXT:                []string{"v=STSv1; id=1;"},
+		MXHosts:            []string{"mx.example.com"},
+		PolicyHostResolves: true,
+		TCPOpen:            true,
+		PolicyCert:         GoodCertProfile(now, PolicyHost("example.com")),
+		HTTPStatus:         404,
+	}
+	r := ScanArtifacts(a, now)
+	if r.PolicyOK || r.PolicyStage != StageHTTP {
+		t.Errorf("r = %+v", r)
+	}
+	if !r.Misconfigured() {
+		t.Error("404 policy should be misconfigured")
+	}
+}

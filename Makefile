@@ -1,0 +1,22 @@
+# Standard entry points; CI runs `make check`.
+GO ?= go
+
+.PHONY: build test race vet check reproduce
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy packages (worker pool + lock-free metrics).
+race:
+	$(GO) test -race ./internal/obs ./internal/scanner
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+reproduce:
+	$(GO) run ./cmd/reproduce

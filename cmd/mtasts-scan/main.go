@@ -3,14 +3,23 @@
 // against real sockets, and prints a per-domain TSV plus the aggregate
 // summary — the §4.2 snapshot for an arbitrary population.
 //
+// With -metrics-addr it serves live JSON metrics (/metrics) and scan
+// progress (/debug/scanprogress) while the scan runs; with -events-out it
+// appends one JSONL event per scanned domain for post-hoc analysis. Both
+// default off, in which case the scan pays no observability cost beyond
+// nil checks. An end-of-run metric summary is printed to stderr whenever
+// either flag is set.
+//
 // Usage:
 //
-//	mtasts-scan -dns 127.0.0.1:5353 [-workers 16] [-rate 100] < domains.txt
+//	mtasts-scan -dns 127.0.0.1:5353 [-workers 16] [-rate 100] [-ca ca.pem]
+//	            [-metrics-addr 127.0.0.1:9090] [-events-out scan.jsonl] < domains.txt
 package main
 
 import (
 	"bufio"
 	"context"
+	"crypto/x509"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +28,7 @@ import (
 
 	"github.com/netsecurelab/mtasts/internal/dataset"
 	"github.com/netsecurelab/mtasts/internal/inconsistency"
+	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/report"
 	"github.com/netsecurelab/mtasts/internal/resolver"
 	"github.com/netsecurelab/mtasts/internal/scanner"
@@ -32,6 +42,10 @@ func main() {
 	httpsPort := flag.Int("https-port", 443, "policy server HTTPS port")
 	smtpPort := flag.Int("smtp-port", 25, "MX SMTP port")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-probe timeout")
+	caFile := flag.String("ca", "", "PEM file with extra trusted roots (e.g. mtasts-host -ca-out)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics and /debug/scanprogress on this host:port while scanning")
+	eventsOut := flag.String("events-out", "", "append JSONL scan events to this file")
 	flag.Parse()
 
 	if *dnsAddr == "" {
@@ -46,18 +60,63 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Observability is on whenever either flag asks for it; otherwise the
+	// registry stays nil and the pipeline pays only nil checks.
+	var reg *obs.Registry
+	var sink *obs.EventSink
+	if *metricsAddr != "" || *eventsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opening events file:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = obs.NewEventSink(f)
+	}
+	if *metricsAddr != "" {
+		srv, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics  progress: http://%s/debug/scanprogress\n",
+			srv.Addr(), srv.Addr())
+	}
+
+	var roots *x509.CertPool
+	if *caFile != "" {
+		pem, err := os.ReadFile(*caFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reading CA file:", err)
+			os.Exit(1)
+		}
+		roots = x509.NewCertPool()
+		if !roots.AppendCertsFromPEM(pem) {
+			fmt.Fprintf(os.Stderr, "no certificates found in %s\n", *caFile)
+			os.Exit(1)
+		}
+	}
+
 	dns := resolver.New(*dnsAddr)
+	dns.Obs = reg
 	if *rate > 0 {
 		dns.Limiter = resolver.NewRateLimiter(*rate, 10)
 	}
 	live := &scanner.Live{
 		DNS:       dns,
+		Roots:     roots,
 		HTTPSPort: *httpsPort,
 		SMTPPort:  *smtpPort,
 		HeloName:  "mtasts-scan.invalid",
 		Timeout:   *timeout,
+		Obs:       reg,
+		Events:    sink,
 	}
-	runner := &scanner.Runner{Workers: *workers, Scan: live}
+	runner := &scanner.Runner{Workers: *workers, Scan: live, Obs: reg, Events: sink}
 	results := runner.Run(context.Background(), domains)
 
 	tbl := &dataset.Table{Headers: []string{
@@ -102,6 +161,18 @@ func main() {
 	}
 	sum.AddRow("delivery failures", s.DeliveryFailures)
 	report.WriteTable(os.Stderr, sum)
+
+	if reg != nil {
+		fmt.Fprintln(os.Stderr)
+		mt := &dataset.Table{Title: "Observability summary", Headers: []string{"metric", "value"}}
+		for _, row := range reg.Snapshot().SummaryRows() {
+			mt.AddRow(row[0], row[1])
+		}
+		if sink != nil && sink.Dropped() > 0 {
+			mt.AddRow("events.dropped", sink.Dropped())
+		}
+		report.WriteTable(os.Stderr, mt)
+	}
 }
 
 func readDomains(path string) ([]string, error) {

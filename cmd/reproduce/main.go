@@ -2,10 +2,16 @@
 // the synthetic ecosystem and prints them, together with paper-vs-measured
 // shape checks. With -write-experiments it also rewrites EXPERIMENTS.md.
 //
+// With -metrics-addr it serves live JSON metrics while the (potentially
+// long, at -scale 1.0) run executes; with -events-out it appends one
+// JSONL event per experiment. Either flag also prints an end-of-run
+// metric summary to stderr.
+//
 // Usage:
 //
 //	reproduce [-scale 1.0] [-seed 1] [-experiment all|table1|figure2|...]
 //	          [-write-experiments EXPERIMENTS.md]
+//	          [-metrics-addr 127.0.0.1:9090] [-events-out runs.jsonl]
 package main
 
 import (
@@ -13,9 +19,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/netsecurelab/mtasts/internal/dataset"
 	"github.com/netsecurelab/mtasts/internal/experiments"
+	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/report"
 	"github.com/netsecurelab/mtasts/internal/simnet"
 )
@@ -27,9 +35,38 @@ func main() {
 	which := flag.String("experiment", "all",
 		"experiment to run: all, table1, table2, figure2..figure12, records, senders, survey, disclosure")
 	writeExp := flag.String("write-experiments", "", "write EXPERIMENTS.md-style shape report to this file")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics and /debug/scanprogress on this host:port while running")
+	eventsOut := flag.String("events-out", "", "append JSONL experiment events to this file")
 	flag.Parse()
 
+	var reg *obs.Registry
+	var sink *obs.EventSink
+	if *metricsAddr != "" || *eventsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opening events file:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = obs.NewEventSink(f)
+	}
+	if *metricsAddr != "" {
+		srv, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	}
+
+	genSpan := reg.StartSpan("reproduce.generate_world")
 	env := experiments.NewEnv(simnet.Config{Seed: *seed, Scale: *scale})
+	genSpan.End()
 	out := os.Stdout
 
 	chart := func(title, ylabel string, series ...dataset.Series) {
@@ -37,7 +74,31 @@ func main() {
 		c.Write(out)
 	}
 
-	switch strings.ToLower(*which) {
+	expName := strings.ToLower(*which)
+	expStart := time.Now()
+	defer func() {
+		took := time.Since(expStart)
+		if reg != nil {
+			reg.Histogram("reproduce.experiment.seconds", nil).ObserveDuration(took)
+			reg.Counter("reproduce.experiments.total").Inc()
+		}
+		sink.Emit("experiment.done", map[string]any{
+			"experiment":  expName,
+			"scale":       *scale,
+			"seed":        *seed,
+			"duration_ms": float64(took.Microseconds()) / 1000,
+		})
+		if reg != nil {
+			fmt.Fprintln(os.Stderr)
+			mt := &dataset.Table{Title: "Observability summary", Headers: []string{"metric", "value"}}
+			for _, row := range reg.Snapshot().SummaryRows() {
+				mt.AddRow(row[0], row[1])
+			}
+			report.WriteTable(os.Stderr, mt)
+		}
+	}()
+
+	switch expName {
 	case "all":
 		rows := env.RunAll(out)
 		if *writeExp != "" {

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/pki"
 )
 
@@ -52,6 +53,26 @@ func (s Stage) String() string {
 		return "Policy Syntax"
 	}
 	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Key returns the stable lowercase identifier used as the final segment
+// of metric names ("mtasts.fetch.errors.tls", "scan.policy.stage_errors.dns").
+func (s Stage) Key() string {
+	switch s {
+	case StageNone:
+		return "none"
+	case StageDNS:
+		return "dns"
+	case StageTCP:
+		return "tcp"
+	case StageTLS:
+		return "tls"
+	case StageHTTP:
+		return "http"
+	case StageSyntax:
+		return "syntax"
+	}
+	return fmt.Sprintf("stage%d", int(s))
 }
 
 // FetchError wraps a retrieval failure with its pipeline stage and — for
@@ -115,6 +136,10 @@ type Fetcher struct {
 	Port int
 	// Now anchors certificate validation time; nil means time.Now.
 	Now func() time.Time
+	// Obs, when non-nil, receives per-stage fetch latencies
+	// (mtasts.fetch.{dns,tcp_dial,tls_handshake,http,parse}.seconds) and
+	// outcome counters keyed by Stage (mtasts.fetch.errors.<stage>).
+	Obs *obs.Registry
 }
 
 // Fetch retrieves and parses the policy for domain. The raw body (possibly
@@ -126,6 +151,20 @@ func (f *Fetcher) Fetch(ctx context.Context, domain string) (Policy, []byte, err
 // FetchFromHost retrieves the policy for domain from an explicit policy
 // host (the two differ only in diagnostic scenarios).
 func (f *Fetcher) FetchFromHost(ctx context.Context, domain, host string) (Policy, []byte, error) {
+	sp := f.Obs.StartSpan("mtasts.fetch")
+	policy, body, err := f.fetchFromHost(ctx, domain, host)
+	sp.EndErr(err)
+	if f.Obs.Enabled() {
+		if err == nil {
+			f.Obs.Counter("mtasts.fetch.ok").Inc()
+		} else {
+			f.Obs.Counter("mtasts.fetch.errors." + StageOf(err).Key()).Inc()
+		}
+	}
+	return policy, body, err
+}
+
+func (f *Fetcher) fetchFromHost(ctx context.Context, domain, host string) (Policy, []byte, error) {
 	timeout := f.Timeout
 	if timeout <= 0 {
 		timeout = 10 * time.Second
@@ -135,7 +174,9 @@ func (f *Fetcher) FetchFromHost(ctx context.Context, domain, host string) (Polic
 
 	// Stage 1: DNS. Resolve explicitly so resolution failures are
 	// attributable (the http transport would fold them into dial errors).
+	dnsSpan := f.Obs.StartSpan("mtasts.fetch.dns")
 	addrs, err := f.resolveAddrs(ctx, host)
+	dnsSpan.EndErr(err)
 	if err != nil || len(addrs) == 0 {
 		if err == nil {
 			err = fmt.Errorf("no addresses for %s", host)
@@ -149,6 +190,7 @@ func (f *Fetcher) FetchFromHost(ctx context.Context, domain, host string) (Polic
 	}
 
 	// Stage 2: TCP.
+	dialSpan := f.Obs.StartSpan("mtasts.fetch.tcp_dial")
 	dialer := &net.Dialer{}
 	var conn net.Conn
 	var dialErr error
@@ -158,6 +200,7 @@ func (f *Fetcher) FetchFromHost(ctx context.Context, domain, host string) (Polic
 			break
 		}
 	}
+	dialSpan.EndErr(dialErr)
 	if dialErr != nil {
 		return Policy{}, nil, &FetchError{Stage: StageTCP, Err: dialErr}
 	}
@@ -176,7 +219,9 @@ func (f *Fetcher) FetchFromHost(ctx context.Context, domain, host string) (Polic
 	if dl, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(dl)
 	}
+	tlsSpan := f.Obs.StartSpan("mtasts.fetch.tls_handshake")
 	if err := tlsConn.HandshakeContext(ctx); err != nil {
+		tlsSpan.EndErr(err)
 		var leaf *x509.Certificate
 		var certErr *tls.CertificateVerificationError
 		if errors.As(err, &certErr) && len(certErr.UnverifiedCertificates) > 0 {
@@ -188,14 +233,18 @@ func (f *Fetcher) FetchFromHost(ctx context.Context, domain, host string) (Polic
 			Err:         err,
 		}
 	}
+	tlsSpan.End()
 
 	// Stage 4: HTTP. A single GET over the established connection; 3xx
 	// responses MUST NOT be followed (RFC 8461 §3.3), so any non-200 is an
 	// HTTP-stage failure.
+	httpSpan := f.Obs.StartSpan("mtasts.fetch.http")
 	body, status, err := httpGet(ctx, tlsConn, host)
 	if err != nil {
+		httpSpan.EndErr(err)
 		return Policy{}, nil, &FetchError{Stage: StageHTTP, HTTPStatus: status, Err: err}
 	}
+	httpSpan.End()
 	if status != http.StatusOK {
 		return Policy{}, body, &FetchError{
 			Stage:      StageHTTP,
@@ -205,7 +254,9 @@ func (f *Fetcher) FetchFromHost(ctx context.Context, domain, host string) (Polic
 	}
 
 	// Stage 5: policy syntax.
+	parseSpan := f.Obs.StartSpan("mtasts.fetch.parse")
 	policy, err := ParsePolicy(body)
+	parseSpan.EndErr(err)
 	if err != nil {
 		return Policy{}, body, &FetchError{Stage: StageSyntax, Err: err}
 	}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventSink writes structured scan events as line-delimited JSON (JSONL),
+// the post-hoc analysis channel: one self-contained object per line with
+// an RFC 3339 timestamp and an event name, followed by the caller's
+// fields. Writes are serialized; a nil *EventSink discards everything.
+//
+//	{"ts":"2026-08-05T12:00:00.123Z","event":"scan.domain","domain":"x.com",...}
+type EventSink struct {
+	mu      sync.Mutex
+	w       io.Writer
+	now     func() time.Time
+	errored atomic.Bool // latched on first write/encode failure
+	dropped atomic.Int64
+}
+
+// NewEventSink writes events to w. The caller owns w's lifecycle (and any
+// buffering); Emit never closes it.
+func NewEventSink(w io.Writer) *EventSink {
+	if w == nil {
+		return nil
+	}
+	return &EventSink{w: w, now: time.Now}
+}
+
+// Emit writes one event line. Reserved keys "ts" and "event" in fields
+// are overwritten. Emit never fails: after a write error the sink latches
+// into a dropping state (observable via Dropped) so a full disk cannot
+// stall a scan.
+func (s *EventSink) Emit(event string, fields map[string]any) {
+	if s == nil {
+		return
+	}
+	if s.errored.Load() {
+		s.dropped.Add(1)
+		return
+	}
+	obj := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		obj[k] = v
+	}
+	obj["ts"] = s.now().UTC().Format(time.RFC3339Nano)
+	obj["event"] = event
+	line, err := json.Marshal(obj)
+	if err != nil {
+		s.errored.Store(true)
+		s.dropped.Add(1)
+		return
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	_, werr := s.w.Write(line)
+	s.mu.Unlock()
+	if werr != nil {
+		s.errored.Store(true)
+		s.dropped.Add(1)
+	}
+}
+
+// Dropped returns the number of events lost to encode/write failures
+// (0 on nil).
+func (s *EventSink) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets covers the probe latencies of the measurement
+// pipeline, from sub-millisecond loopback substrate round trips to the
+// multi-second timeouts of unresponsive MXes (per-probe timeout defaults
+// are 5–10s; 30s is the terminal overflow boundary). Values are upper
+// bounds in seconds.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram is a fixed-bucket cumulative histogram of float64 observations
+// (seconds, for latency use). Observations are lock-free; bucket bounds
+// are immutable after creation. All methods are safe on a nil receiver.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds; implicit +Inf last
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefaultLatencyBuckets
+	}
+	bounds := make([]float64, len(buckets))
+	copy(bounds, buckets)
+	sort.Float64s(bounds)
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// ObserveSince records the time elapsed since start. On a nil histogram
+// it performs no clock read.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.ObserveDuration(time.Since(start))
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, as exported
+// in the /metrics JSON document.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	// Sum of all observations, seconds.
+	Sum float64 `json:"sum"`
+	// Buckets holds per-bucket (non-cumulative) counts; Bounds[i] is the
+	// inclusive upper bound of Buckets[i]. Buckets has one more entry than
+	// Bounds: the overflow (+Inf) bucket.
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+}
+
+// Snapshot copies the current state. A nil histogram yields a zero
+// snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.Sum(),
+		Bounds:  h.bounds,
+		Buckets: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 < q < 1) by linear
+// interpolation within the containing bucket, the standard fixed-bucket
+// estimate. Observations in the overflow bucket are attributed to the
+// largest finite bound. Returns 0 when empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	for i, n := range s.Buckets {
+		cum += n
+		if float64(cum) >= rank {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			if n == 0 {
+				return hi
+			}
+			frac := (rank - float64(cum-n)) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks completion of a bounded run (a snapshot scan over a
+// domain list). It is safe for concurrent use and on a nil receiver.
+type Progress struct {
+	total      atomic.Int64
+	done       atomic.Int64
+	inFlight   atomic.Int64
+	startNanos atomic.Int64 // unix nanos of the first Start/Add; 0 = not started
+}
+
+func (p *Progress) markStarted() {
+	if p.startNanos.Load() != 0 {
+		return
+	}
+	p.startNanos.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// SetTotal declares the number of work items in the run.
+func (p *Progress) SetTotal(n int64) {
+	if p == nil {
+		return
+	}
+	p.total.Store(n)
+	p.markStarted()
+}
+
+// Start marks one item as in flight.
+func (p *Progress) Start() {
+	if p == nil {
+		return
+	}
+	p.markStarted()
+	p.inFlight.Add(1)
+}
+
+// Done marks one in-flight item as completed.
+func (p *Progress) Done() {
+	if p == nil {
+		return
+	}
+	p.inFlight.Add(-1)
+	p.done.Add(1)
+}
+
+// Add marks n items completed without the Start/Done pairing (for callers
+// that do not track in-flight state).
+func (p *Progress) Add(n int64) {
+	if p == nil {
+		return
+	}
+	p.markStarted()
+	p.done.Add(n)
+}
+
+// Completed returns the number of completed items (0 on nil).
+func (p *Progress) Completed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.done.Load()
+}
+
+// ProgressSnapshot is the exported state of a Progress, served at
+// /debug/scanprogress.
+type ProgressSnapshot struct {
+	Total    int64 `json:"total"`
+	Done     int64 `json:"done"`
+	InFlight int64 `json:"in_flight"`
+	// ElapsedSeconds since the first item started (0 when idle).
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// RatePerSecond is the mean completion rate over the elapsed window.
+	RatePerSecond float64 `json:"rate_per_second"`
+	// ETASeconds extrapolates the remaining items at the current rate
+	// (0 when the total is unknown or the rate is zero).
+	ETASeconds float64 `json:"eta_seconds"`
+}
+
+// Snapshot copies the current state. A nil progress yields a zero
+// snapshot.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	s := ProgressSnapshot{
+		Total:    p.total.Load(),
+		Done:     p.done.Load(),
+		InFlight: p.inFlight.Load(),
+	}
+	if start := p.startNanos.Load(); start != 0 {
+		s.ElapsedSeconds = time.Since(time.Unix(0, start)).Seconds()
+	}
+	if s.ElapsedSeconds > 0 {
+		s.RatePerSecond = float64(s.Done) / s.ElapsedSeconds
+	}
+	if s.RatePerSecond > 0 && s.Total > s.Done {
+		s.ETASeconds = float64(s.Total-s.Done) / s.RatePerSecond
+	}
+	return s
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/netsecurelab/mtasts/internal/dnsmsg"
@@ -27,6 +28,21 @@ type cacheItem struct {
 	expires time.Time
 }
 
+// CacheStats are cumulative effectiveness counters, maintained whether or
+// not observability is enabled (atomic increments, negligible cost) and
+// exported by the resolver as resolver.cache.* gauges.
+type CacheStats struct {
+	// Hits counts Gets answered from an unexpired entry.
+	Hits int64
+	// Misses counts Gets with no usable entry (absent or expired).
+	Misses int64
+	// Expired counts Gets that found an entry past its TTL (a subset of
+	// Misses).
+	Expired int64
+	// Evictions counts LRU evictions under capacity pressure.
+	Evictions int64
+}
+
 // Cache is a TTL-respecting LRU cache of lookup outcomes. It is safe for
 // concurrent use.
 type Cache struct {
@@ -34,6 +50,8 @@ type Cache struct {
 	max   int
 	items map[cacheKey]*list.Element
 	order *list.List // front = most recent
+
+	hits, misses, expired, evictions atomic.Int64
 
 	// now is replaceable for tests.
 	now func() time.Time
@@ -58,15 +76,29 @@ func (c *Cache) Get(name string, t dnsmsg.Type) (entry, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[cacheKey{name, t}]
 	if !ok {
+		c.misses.Add(1)
 		return entry{}, false
 	}
 	item := el.Value.(*cacheItem)
 	if c.now().After(item.expires) {
 		c.removeLocked(el)
+		c.expired.Add(1)
+		c.misses.Add(1)
 		return entry{}, false
 	}
 	c.order.MoveToFront(el)
+	c.hits.Add(1)
 	return item.val, true
+}
+
+// Stats returns the cumulative effectiveness counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Expired:   c.expired.Load(),
+		Evictions: c.evictions.Load(),
+	}
 }
 
 // Put stores an outcome with the given TTL, evicting the least recently
@@ -86,6 +118,7 @@ func (c *Cache) Put(name string, t dnsmsg.Type, val entry, ttl time.Duration) {
 	}
 	for len(c.items) >= c.max {
 		c.removeLocked(c.order.Back())
+		c.evictions.Add(1)
 	}
 	el := c.order.PushFront(&cacheItem{key: key, val: val, expires: c.now().Add(ttl)})
 	c.items[key] = el

@@ -1,0 +1,14 @@
+// Package resolver provides the DNS client side of the measurement
+// apparatus: a stub resolver speaking the dnsmsg wire format over UDP with
+// TCP fallback on truncation, CNAME chasing across zones, a TTL-respecting
+// cache, and a token-bucket rate limiter (the paper rate-limits its scans
+// to avoid overloading small authoritative servers, §3.1).
+//
+// Setting Client.Obs to an *obs.Registry instruments every query: a
+// resolver.query.seconds latency histogram, resolver.queries.total and
+// per-kind resolver.query.errors.<kind> counters, TCP-fallback and
+// rate-limiter-wait counters, and snapshot-time gauges over the cache's
+// hit/miss/expiry statistics (which Cache tracks unconditionally via
+// cheap atomics — see CacheStats). A nil Obs costs one pointer check per
+// query. The metric catalog is docs/OBSERVABILITY.md.
+package resolver

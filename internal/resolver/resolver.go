@@ -1,8 +1,3 @@
-// Package resolver provides the DNS client side of the measurement
-// apparatus: a stub resolver speaking the dnsmsg wire format over UDP with
-// TCP fallback on truncation, CNAME chasing across zones, a TTL-respecting
-// cache, and a token-bucket rate limiter (the paper rate-limits its scans
-// to avoid overloading small authoritative servers, §3.1).
 package resolver
 
 import (
@@ -16,6 +11,7 @@ import (
 	"time"
 
 	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/strutil"
 )
 
@@ -51,9 +47,15 @@ type Client struct {
 	Limiter *RateLimiter
 	// Cache, when non-nil, stores responses by (name, type) up to TTL.
 	Cache *Cache
+	// Obs, when non-nil, receives query latencies, error-taxonomy
+	// counters, TCP-fallback and rate-limit-wait counters, and cache
+	// effectiveness gauges (see docs/OBSERVABILITY.md). A nil registry
+	// costs one pointer check per query.
+	Obs *obs.Registry
 
-	mu  sync.Mutex
-	rnd *rand.Rand
+	mu      sync.Mutex
+	rnd     *rand.Rand
+	obsOnce sync.Once
 }
 
 // New returns a Client for the given server with a small shared cache.
@@ -240,10 +242,76 @@ func minTTL(rrs []dnsmsg.RR) time.Duration {
 	return time.Duration(minV) * time.Second
 }
 
+// obsInit registers the snapshot-time cache gauges once per client.
+func (c *Client) obsInit() {
+	if c.Obs == nil {
+		return
+	}
+	c.obsOnce.Do(func() {
+		cache := c.Cache
+		if cache == nil {
+			return
+		}
+		c.Obs.GaugeFunc("resolver.cache.entries", func() int64 { return int64(cache.Len()) })
+		c.Obs.GaugeFunc("resolver.cache.hits", func() int64 { return cache.Stats().Hits })
+		c.Obs.GaugeFunc("resolver.cache.misses", func() int64 { return cache.Stats().Misses })
+		c.Obs.GaugeFunc("resolver.cache.expired", func() int64 { return cache.Stats().Expired })
+		c.Obs.GaugeFunc("resolver.cache.evictions", func() int64 { return cache.Stats().Evictions })
+	})
+}
+
+// errKind maps a lookup error onto its taxonomy segment for
+// resolver.query.errors.<kind> counters.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, ErrNXDomain):
+		return "nxdomain"
+	case errors.Is(err, ErrNoData):
+		return "nodata"
+	case errors.Is(err, ErrServFail):
+		return "servfail"
+	case errors.Is(err, ErrRefused):
+		return "refused"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrBadMessage):
+		return "badmsg"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	}
+	return "other"
+}
+
 func (c *Client) exchange(ctx context.Context, name string, t dnsmsg.Type) ([]dnsmsg.RR, string, error) {
+	c.obsInit()
+	if !c.Obs.Enabled() {
+		return c.doExchange(ctx, name, t)
+	}
+	c.Obs.Counter("resolver.queries.total").Inc()
+	start := time.Now()
+	rrs, cname, err := c.doExchange(ctx, name, t)
+	c.Obs.Histogram("resolver.query.seconds", nil).ObserveSince(start)
+	if err != nil {
+		c.Obs.Counter("resolver.query.errors." + errKind(err)).Inc()
+	}
+	return rrs, cname, err
+}
+
+func (c *Client) doExchange(ctx context.Context, name string, t dnsmsg.Type) ([]dnsmsg.RR, string, error) {
 	if c.Limiter != nil {
+		var waitStart time.Time
+		if c.Obs.Enabled() {
+			waitStart = time.Now()
+		}
 		if err := c.Limiter.Wait(ctx); err != nil {
 			return nil, "", err
+		}
+		if c.Obs.Enabled() {
+			waited := time.Since(waitStart)
+			c.Obs.Histogram("resolver.ratelimit.wait_seconds", nil).ObserveDuration(waited)
+			if waited >= time.Millisecond {
+				c.Obs.Counter("resolver.ratelimit.waits").Inc()
+			}
 		}
 	}
 	query := dnsmsg.NewQuery(c.nextID(), name, t)
@@ -257,6 +325,7 @@ func (c *Client) exchange(ctx context.Context, name string, t dnsmsg.Type) ([]dn
 		return nil, "", err
 	}
 	if resp.Header.Truncated {
+		c.Obs.Counter("resolver.queries.tcp_fallbacks").Inc()
 		resp, err = c.exchangeTCP(ctx, wire, query.Header.ID)
 		if err != nil {
 			return nil, "", err

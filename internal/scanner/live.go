@@ -10,6 +10,7 @@ import (
 
 	"github.com/netsecurelab/mtasts/internal/inconsistency"
 	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/pki"
 	"github.com/netsecurelab/mtasts/internal/resolver"
 	"github.com/netsecurelab/mtasts/internal/smtpclient"
@@ -34,6 +35,15 @@ type Live struct {
 	Timeout time.Duration
 	// Now anchors certificate validation.
 	Now func() time.Time
+	// Obs, when non-nil, receives per-stage timings (scan.{mx_lookup,
+	// record_lookup,policy_fetch,mx_probe}.seconds) and the error-taxonomy
+	// counters of Figures 4–6 — scan.policy.stage_errors.<stage> keyed by
+	// mtasts.Stage and scan.mx.cert.<problem> keyed by pki.Problem. It is
+	// also handed down to the policy Fetcher and SMTP Prober.
+	Obs *obs.Registry
+	// Events, when non-nil, receives one "scan.domain" JSONL event per
+	// scanned domain for post-hoc analysis.
+	Events *obs.EventSink
 }
 
 func (l *Live) timeout() time.Duration {
@@ -43,20 +53,40 @@ func (l *Live) timeout() time.Duration {
 	return l.Timeout
 }
 
-// ScanDomain runs the full §4.1 pipeline for one domain.
+// ScanDomain runs the full §4.1 pipeline for one domain, timing each
+// stage and counting its outcome against Obs, and emitting one
+// "scan.domain" event to Events.
 func (l *Live) ScanDomain(ctx context.Context, domain string) DomainResult {
+	sp := l.Obs.StartSpan("scan.domain")
+	r := l.scanDomain(ctx, domain)
+	d := sp.End()
+	l.recordOutcome(&r, d)
+	return r
+}
+
+func (l *Live) scanDomain(ctx context.Context, domain string) DomainResult {
 	r := DomainResult{Domain: domain, MXProblems: make(map[string]pki.Problem)}
 
-	// MX records.
-	if mxs, err := l.DNS.LookupMX(ctx, domain); err == nil {
+	// MX records. NXDOMAIN/NODATA means "no MX" (still scannable);
+	// anything else is a lookup failure worth surfacing — the probe and
+	// consistency stages run on an empty MX set.
+	mxSpan := l.Obs.StartSpan("scan.mx_lookup")
+	mxs, err := l.DNS.LookupMX(ctx, domain)
+	switch {
+	case err == nil:
 		for _, mx := range mxs {
 			r.MXHosts = append(r.MXHosts, mx.Host)
 		}
+	case !resolver.IsNotFound(err):
+		r.MXLookupErr = err
 	}
+	mxSpan.EndErr(r.MXLookupErr)
 
 	// MTA-STS record.
+	recSpan := l.Obs.StartSpan("scan.record_lookup")
 	txts, err := l.DNS.LookupTXT(ctx, "_mta-sts."+domain)
 	if err != nil && !resolver.IsNotFound(err) {
+		recSpan.EndErr(err)
 		r.RecordPresent = true
 		r.RecordErr = err
 		// DNS failure on the record lookup also precludes policy fetch.
@@ -65,8 +95,12 @@ func (l *Live) ScanDomain(ctx context.Context, domain string) DomainResult {
 	}
 	rec, recErr := mtasts.DiscoverRecord(txts)
 	if errors.Is(recErr, mtasts.ErrNoRecord) {
+		// "No record" is the common case at Internet scale, not a lookup
+		// error — don't count it in scan.record_lookup.errors.
+		recSpan.End()
 		return r
 	}
+	recSpan.EndErr(recErr)
 	r.RecordPresent = true
 	if recErr != nil {
 		r.RecordErr = recErr
@@ -87,8 +121,11 @@ func (l *Live) ScanDomain(ctx context.Context, domain string) DomainResult {
 		Timeout:  l.timeout(),
 		Port:     l.HTTPSPort,
 		Now:      l.Now,
+		Obs:      l.Obs,
 	}
+	fetchSpan := l.Obs.StartSpan("scan.policy_fetch")
 	policy, _, fetchErr := fetcher.Fetch(ctx, domain)
+	fetchSpan.EndErr(fetchErr)
 	if fetchErr != nil {
 		r.PolicyStage = mtasts.StageOf(fetchErr)
 		r.PolicyCertProblem = mtasts.CertProblemOf(fetchErr)
@@ -105,6 +142,7 @@ func (l *Live) ScanDomain(ctx context.Context, domain string) DomainResult {
 	}
 
 	// MX probes.
+	probeSpan := l.Obs.StartSpan("scan.mx_probe")
 	for _, mx := range r.MXHosts {
 		problem, noTLS := l.probeMX(ctx, mx)
 		if noTLS {
@@ -113,11 +151,76 @@ func (l *Live) ScanDomain(ctx context.Context, domain string) DomainResult {
 		}
 		r.MXProblems[mx] = problem
 	}
+	probeSpan.End()
 
 	if r.PolicyOK {
 		r.Mismatch = inconsistency.Analyze(domain, r.Policy, r.MXHosts)
 	}
 	return r
+}
+
+// recordOutcome translates one DomainResult into the error-taxonomy
+// counters and the per-domain scan event.
+func (l *Live) recordOutcome(r *DomainResult, took time.Duration) {
+	if l.Obs.Enabled() {
+		o := l.Obs
+		o.Counter("scan.domains.total").Inc()
+		// scan.mx_lookup.errors is maintained by the scan.mx_lookup span
+		// (EndErr) — not incremented again here.
+		if r.RecordPresent {
+			o.Counter("scan.record.present").Inc()
+			if !r.RecordValid {
+				o.Counter("scan.record.invalid").Inc()
+			}
+			if r.PolicyOK {
+				o.Counter("scan.policy.ok").Inc()
+			} else if r.PolicyStage != mtasts.StageNone {
+				o.Counter("scan.policy.stage_errors." + r.PolicyStage.Key()).Inc()
+				if r.PolicyStage == mtasts.StageTLS {
+					o.Counter("scan.policy.cert." + r.PolicyCertProblem.String()).Inc()
+				}
+			}
+		}
+		for _, p := range r.MXProblems {
+			o.Counter("scan.mx.cert." + p.String()).Inc()
+		}
+		o.Counter("scan.mx.probed").Add(int64(len(r.MXProblems)))
+		o.Counter("scan.mx.no_starttls").Add(int64(len(r.MXNoSTARTTLS)))
+		if r.PolicyOK && r.Mismatch.Kind != inconsistency.KindNone {
+			o.Counter("scan.mismatch.total").Inc()
+		}
+		for _, c := range r.Categories() {
+			o.Counter("scan.category." + c.Key()).Inc()
+		}
+		if r.DeliveryFailure() {
+			o.Counter("scan.delivery_failures").Inc()
+		}
+	}
+
+	if l.Events != nil {
+		cats := make([]string, 0, 4)
+		for _, c := range r.Categories() {
+			cats = append(cats, c.Key())
+		}
+		fields := map[string]any{
+			"domain":           r.Domain,
+			"duration_ms":      float64(took.Microseconds()) / 1000,
+			"record_present":   r.RecordPresent,
+			"record_valid":     r.RecordValid,
+			"policy_ok":        r.PolicyOK,
+			"policy_stage":     r.PolicyStage.Key(),
+			"mx_hosts":         len(r.MXHosts),
+			"mx_invalid":       r.invalidMXCount(),
+			"mx_no_starttls":   len(r.MXNoSTARTTLS),
+			"mismatch":         r.Mismatch.Kind.String(),
+			"categories":       cats,
+			"delivery_failure": r.DeliveryFailure(),
+		}
+		if r.MXLookupErr != nil {
+			fields["mx_lookup_err"] = r.MXLookupErr.Error()
+		}
+		l.Events.Emit("scan.domain", fields)
+	}
 }
 
 // probeMX resolves the MX host and runs the instrumented SMTP probe.
@@ -137,6 +240,7 @@ func (l *Live) probeMX(ctx context.Context, mxHost string) (problem pki.Problem,
 		Timeout:      l.timeout(),
 		AddrOverride: net.JoinHostPort(addrs[0].String(), strconv.Itoa(port)),
 		Now:          l.Now,
+		Obs:          l.Obs,
 	}
 	res := p.Probe(ctx, mxHost)
 	if errors.Is(res.Err, smtpclient.ErrNoSTARTTLS) {

@@ -1,15 +1,3 @@
-// Package scanner implements the paper's measurement pipeline (§4.1–§4.2):
-// for every domain with an MTA-STS record it checks the record's syntax,
-// retrieves the policy over HTTPS with a staged error taxonomy
-// (DNS/TCP/TLS/HTTP/Syntax, Figure 5), probes each MX over SMTP/STARTTLS
-// for PKIX-valid certificates (Figure 6), and tests the consistency of mx
-// patterns against MX records (Figure 8).
-//
-// Two backends produce the same DomainResult schema: Live scans real
-// sockets (the substrate servers), and Offline evaluates materialized
-// artifacts — actual TXT strings, policy bodies, and certificate
-// descriptors — through the same parsers and validators, which is how the
-// pipeline runs at the paper's 68K-domain scale.
 package scanner
 
 import (
@@ -50,11 +38,33 @@ func (c Category) String() string {
 	return "unknown"
 }
 
+// Key returns the stable lowercase identifier used as the final segment
+// of metric names (scan.category.<key>) and in scan events.
+func (c Category) Key() string {
+	switch c {
+	case CategoryDNSRecord:
+		return "dns_record"
+	case CategoryPolicy:
+		return "policy"
+	case CategoryMXCert:
+		return "mx_cert"
+	case CategoryInconsistency:
+		return "inconsistency"
+	}
+	return "unknown"
+}
+
 // DomainResult is everything one scan records about one domain.
 type DomainResult struct {
 	Domain string
 	// MXHosts are the domain's MX records at scan time.
 	MXHosts []string
+	// MXLookupErr records a failed MX lookup (SERVFAIL, timeout, …).
+	// NXDOMAIN/NODATA — a domain that simply has no MX records — is not
+	// an error and leaves this nil. When set, MXHosts is empty and the MX
+	// probe and consistency stages could not run, so their verdicts are
+	// absence-of-evidence rather than evidence of health.
+	MXLookupErr error
 
 	// RecordPresent is true when any TXT at _mta-sts.<domain> looks like
 	// an MTA-STS record or attempt; domains without it are outside the

@@ -4,6 +4,9 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/obs"
 )
 
 // Scanner is the per-domain scan interface shared by Live and artifact
@@ -19,6 +22,15 @@ type Runner struct {
 	Workers int
 	// Scan is the per-domain scanner.
 	Scan Scanner
+	// Obs, when non-nil, receives run-level metrics: the "scan" progress
+	// tracker (total/done/in-flight/rate, served at /debug/scanprogress),
+	// the scanner.queue.depth and scanner.workers.busy gauges, the
+	// scanner.scans.total counter, and the scanner.domain_scan.seconds
+	// latency histogram. A nil registry costs one pointer check per run.
+	Obs *obs.Registry
+	// Events, when non-nil, receives scan.run.start / scan.run.end
+	// events bracketing each Run call.
+	Events *obs.EventSink
 }
 
 // Run scans all domains and returns results sorted by domain name. The
@@ -28,6 +40,22 @@ func (r *Runner) Run(ctx context.Context, domains []string) []DomainResult {
 	if workers < 1 {
 		workers = 1
 	}
+
+	// Run-level instrumentation; every handle is nil (a no-op) when Obs
+	// is nil.
+	prog := r.Obs.Progress("scan")
+	prog.SetTotal(int64(len(domains)))
+	queueDepth := r.Obs.Gauge("scanner.queue.depth")
+	queueDepth.Set(int64(len(domains)))
+	busy := r.Obs.Gauge("scanner.workers.busy")
+	r.Obs.Gauge("scanner.workers.total").Set(int64(workers))
+	scans := r.Obs.Counter("scanner.scans.total")
+	scanHist := r.Obs.Histogram("scanner.domain_scan.seconds", nil)
+	runSpan := r.Obs.StartSpan("scan.run")
+	r.Events.Emit("scan.run.start", map[string]any{
+		"domains": len(domains), "workers": workers,
+	})
+
 	jobs := make(chan string)
 	resCh := make(chan DomainResult, workers)
 	var wg sync.WaitGroup
@@ -41,7 +69,21 @@ func (r *Runner) Run(ctx context.Context, domains []string) []DomainResult {
 					return
 				default:
 				}
-				resCh <- r.Scan.ScanDomain(ctx, d)
+				queueDepth.Dec()
+				busy.Inc()
+				prog.Start()
+				var start time.Time
+				if scanHist != nil {
+					start = time.Now()
+				}
+				res := r.Scan.ScanDomain(ctx, d)
+				if scanHist != nil {
+					scanHist.ObserveSince(start)
+				}
+				prog.Done()
+				busy.Dec()
+				scans.Inc()
+				resCh <- res
 			}
 		}()
 	}
@@ -67,6 +109,11 @@ func (r *Runner) Run(ctx context.Context, domains []string) []DomainResult {
 	close(resCh)
 	<-done
 	sort.Slice(results, func(i, j int) bool { return results[i].Domain < results[j].Domain })
+
+	runSpan.End()
+	r.Events.Emit("scan.run.end", map[string]any{
+		"domains": len(domains), "completed": len(results),
+	})
 	return results
 }
 

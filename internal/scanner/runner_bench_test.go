@@ -1,0 +1,48 @@
+package scanner
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/obs"
+)
+
+// nopScanner isolates Runner overhead from probe cost.
+type nopScanner struct{}
+
+func (nopScanner) ScanDomain(_ context.Context, d string) DomainResult {
+	return DomainResult{Domain: d}
+}
+
+func benchDomains(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("d%04d.com", i)
+	}
+	return out
+}
+
+// BenchmarkRunnerNilObs is the regression guard for the nil-registry
+// contract: instrumentation with Obs == nil must cost only pointer
+// checks, so Runner throughput stays at its pre-observability level.
+func BenchmarkRunnerNilObs(b *testing.B) {
+	domains := benchDomains(256)
+	r := &Runner{Workers: 8, Scan: nopScanner{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(context.Background(), domains)
+	}
+}
+
+// BenchmarkRunnerWithObs measures the enabled-path cost for comparison.
+func BenchmarkRunnerWithObs(b *testing.B) {
+	domains := benchDomains(256)
+	r := &Runner{Workers: 8, Scan: nopScanner{}, Obs: obs.NewRegistry()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(context.Background(), domains)
+	}
+}

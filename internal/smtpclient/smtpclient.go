@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/pki"
 )
 
@@ -68,11 +69,37 @@ type Prober struct {
 	AddrOverride string
 	// Now anchors certificate validation; nil means time.Now.
 	Now func() time.Time
+	// Obs, when non-nil, receives probe latencies
+	// (smtp.probe.{dial,greeting,tls_handshake}.seconds) and outcome
+	// counters, including smtp.probe.cert.<problem> keyed by the PKIX
+	// taxonomy.
+	Obs *obs.Registry
 }
 
 // Probe runs the §4.1 sequence against mxHost: connect, EHLO (HELO
 // fallback), STARTTLS, retrieve certificate, quit. It never sends mail.
 func (p *Prober) Probe(ctx context.Context, mxHost string) ProbeResult {
+	sp := p.Obs.StartSpan("smtp.probe")
+	res := p.probe(ctx, mxHost)
+	sp.EndErr(res.Err)
+	if p.Obs.Enabled() {
+		switch {
+		case !res.Connected:
+			p.Obs.Counter("smtp.probe.connect_errors").Inc()
+		case res.Greylisted:
+			p.Obs.Counter("smtp.probe.greylisted").Inc()
+		case errors.Is(res.Err, ErrNoSTARTTLS):
+			p.Obs.Counter("smtp.probe.no_starttls").Inc()
+		}
+		if res.TLSEstablished {
+			p.Obs.Counter("smtp.probe.tls_established").Inc()
+			p.Obs.Counter("smtp.probe.cert." + res.CertProblem.String()).Inc()
+		}
+	}
+	return res
+}
+
+func (p *Prober) probe(ctx context.Context, mxHost string) ProbeResult {
 	res := ProbeResult{Host: mxHost}
 	timeout := p.Timeout
 	if timeout <= 0 {
@@ -82,8 +109,10 @@ func (p *Prober) Probe(ctx context.Context, mxHost string) ProbeResult {
 	defer cancel()
 
 	addr := p.dialAddr(mxHost)
+	dialSpan := p.Obs.StartSpan("smtp.probe.dial")
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
+	dialSpan.EndErr(err)
 	if err != nil {
 		res.Err = fmt.Errorf("smtpclient: dial %s: %w", addr, err)
 		return res
@@ -97,7 +126,9 @@ func (p *Prober) Probe(ctx context.Context, mxHost string) ProbeResult {
 	text := newTextConn(conn)
 
 	// Greeting.
+	greetSpan := p.Obs.StartSpan("smtp.probe.greeting")
 	code, _, err := text.readReply()
+	greetSpan.EndErr(err)
 	if err != nil {
 		res.Err = fmt.Errorf("%w: %v", ErrBadGreeting, err)
 		return res
@@ -160,11 +191,14 @@ func (p *Prober) Probe(ctx context.Context, mxHost string) ProbeResult {
 		InsecureSkipVerify: true,
 		MinVersion:         tls.VersionTLS12,
 	})
+	tlsSpan := p.Obs.StartSpan("smtp.probe.tls_handshake")
 	if err := tlsConn.HandshakeContext(ctx); err != nil {
+		tlsSpan.EndErr(err)
 		res.Err = fmt.Errorf("smtpclient: TLS handshake with %s: %w", mxHost, err)
 		res.CertProblem = pki.ProblemNoCertificate
 		return res
 	}
+	tlsSpan.End()
 	res.TLSEstablished = true
 	res.Certificates = tlsConn.ConnectionState().PeerCertificates
 

@@ -1,7 +1,7 @@
-# Standard entry points; CI runs `make check`.
+# Standard entry points; CI runs `make check` and `make smoke-faults`.
 GO ?= go
 
-.PHONY: build test race vet check reproduce
+.PHONY: build test race vet check reproduce smoke-faults
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrency-heavy packages (worker pool + lock-free metrics).
+# Race-check the concurrency-heavy packages (worker pool + lock-free
+# metrics + retry/fault layers).
 race:
-	$(GO) test -race ./internal/obs ./internal/scanner
+	$(GO) test -race ./internal/obs ./internal/scanner ./internal/retry ./internal/faults
 
 vet:
 	$(GO) vet ./...
@@ -20,3 +21,10 @@ check: build vet test race
 
 reproduce:
 	$(GO) run ./cmd/reproduce
+
+# Seeded fault-injection smoke: scans healthy loopback deployments
+# through ~10% DNS loss + SERVFAIL/REFUSED blips + connection resets and
+# fails on any misclassification or same-seed nondeterminism
+# (docs/ROBUSTNESS.md).
+smoke-faults:
+	$(GO) run ./cmd/reproduce -experiment robustness -fault-seed 7

@@ -13,7 +13,14 @@
 // Usage:
 //
 //	mtasts-scan -dns 127.0.0.1:5353 [-workers 16] [-rate 100] [-ca ca.pem]
+//	            [-retries 3] [-retry-base 100ms] [-retry-budget 10000]
 //	            [-metrics-addr 127.0.0.1:9090] [-events-out scan.jsonl] < domains.txt
+//
+// With -retries above 1, transient failures (DNS timeouts and SERVFAILs,
+// torn connections, HTTP 5xx) are retried with exponential backoff before
+// a verdict is recorded — the paper's re-scan methodology, see
+// docs/ROBUSTNESS.md. Persistent verdicts (NXDOMAIN, certificate
+// validation failures, policy syntax errors) are never retried.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/report"
 	"github.com/netsecurelab/mtasts/internal/resolver"
+	"github.com/netsecurelab/mtasts/internal/retry"
 	"github.com/netsecurelab/mtasts/internal/scanner"
 )
 
@@ -42,6 +50,9 @@ func main() {
 	httpsPort := flag.Int("https-port", 443, "policy server HTTPS port")
 	smtpPort := flag.Int("smtp-port", 25, "MX SMTP port")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-probe timeout")
+	retries := flag.Int("retries", 1, "attempts per network operation (1 = no retries)")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "first retry backoff delay")
+	retryBudget := flag.Int64("retry-budget", 0, "total retries allowed across the run (0 = unlimited)")
 	caFile := flag.String("ca", "", "PEM file with extra trusted roots (e.g. mtasts-host -ca-out)")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics and /debug/scanprogress on this host:port while scanning")
@@ -101,20 +112,32 @@ func main() {
 		}
 	}
 
+	// One retry budget is shared by every layer (DNS, policy fetch, SMTP
+	// probes) so a pathological population cannot multiply the scan cost.
+	var budget *retry.Budget
+	if *retryBudget > 0 {
+		budget = retry.NewBudget(*retryBudget)
+	}
 	dns := resolver.New(*dnsAddr)
 	dns.Obs = reg
+	dns.MaxAttempts = *retries
+	dns.RetryBase = *retryBase
+	dns.RetryBudget = budget
 	if *rate > 0 {
 		dns.Limiter = resolver.NewRateLimiter(*rate, 10)
 	}
 	live := &scanner.Live{
-		DNS:       dns,
-		Roots:     roots,
-		HTTPSPort: *httpsPort,
-		SMTPPort:  *smtpPort,
-		HeloName:  "mtasts-scan.invalid",
-		Timeout:   *timeout,
-		Obs:       reg,
-		Events:    sink,
+		DNS:         dns,
+		Roots:       roots,
+		HTTPSPort:   *httpsPort,
+		SMTPPort:    *smtpPort,
+		HeloName:    "mtasts-scan.invalid",
+		Timeout:     *timeout,
+		Obs:         reg,
+		Events:      sink,
+		MaxAttempts: *retries,
+		RetryBase:   *retryBase,
+		RetryBudget: budget,
 	}
 	runner := &scanner.Runner{Workers: *workers, Scan: live, Obs: reg, Events: sink}
 	results := runner.Run(context.Background(), domains)
@@ -154,12 +177,29 @@ func main() {
 	fmt.Fprintln(os.Stderr)
 	sum := &dataset.Table{Title: "Scan summary", Headers: []string{"metric", "count"}}
 	sum.AddRow("domains scanned", s.Total)
+	if s.Canceled > 0 {
+		sum.AddRow("canceled (no verdict)", s.Canceled)
+	}
 	sum.AddRow("with MTA-STS record", s.WithRecord)
 	sum.AddRow("misconfigured", s.Misconfigured)
 	for cat, n := range s.ByCategory {
 		sum.AddRow("  "+cat.String(), n)
 	}
 	sum.AddRow("delivery failures", s.DeliveryFailures)
+	if *retries > 1 {
+		var rets, rec, gave int64
+		for i := range results {
+			rets += results[i].Retries
+			rec += results[i].RetryRecovered
+			gave += results[i].RetryGaveUp
+		}
+		sum.AddRow("retries", rets)
+		sum.AddRow("retry recovered", rec)
+		sum.AddRow("retry gave up", gave)
+		if budget != nil {
+			sum.AddRow("retry budget left", budget.Remaining())
+		}
+	}
 	report.WriteTable(os.Stderr, sum)
 
 	if reg != nil {

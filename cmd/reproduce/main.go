@@ -12,6 +12,12 @@
 //	reproduce [-scale 1.0] [-seed 1] [-experiment all|table1|figure2|...]
 //	          [-write-experiments EXPERIMENTS.md]
 //	          [-metrics-addr 127.0.0.1:9090] [-events-out runs.jsonl]
+//
+// The robustness experiment (-experiment robustness) is different: it
+// scans a fleet of healthy loopback deployments through a seeded fault
+// plan (-fault-* flags, see docs/ROBUSTNESS.md) and exits nonzero if any
+// domain is misclassified with retries enabled or if two same-seed runs
+// diverge, which makes it a CI smoke for transient-failure handling.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 
 	"github.com/netsecurelab/mtasts/internal/dataset"
 	"github.com/netsecurelab/mtasts/internal/experiments"
+	"github.com/netsecurelab/mtasts/internal/faults"
 	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/report"
 	"github.com/netsecurelab/mtasts/internal/simnet"
@@ -33,8 +40,18 @@ func main() {
 		"population scale (1.0 = the paper's 68K MTA-STS domains)")
 	seed := flag.Int64("seed", 1, "world seed")
 	which := flag.String("experiment", "all",
-		"experiment to run: all, table1, table2, figure2..figure12, records, senders, survey, disclosure")
+		"experiment to run: all, table1, table2, figure2..figure12, records, senders, survey, disclosure, robustness")
 	writeExp := flag.String("write-experiments", "", "write EXPERIMENTS.md-style shape report to this file")
+	retries := flag.Int("retries", 4, "robustness: attempts per network operation")
+	faultSeed := flag.Int64("fault-seed", 0, "robustness: fault plan seed (0 = use -seed)")
+	faultDomains := flag.Int("fault-domains", 12, "robustness: healthy domains to provision")
+	faultDNSLoss := flag.Float64("fault-dns-loss", 0.10, "robustness: DNS query drop rate")
+	faultDNSServFail := flag.Float64("fault-dns-servfail", 0.05, "robustness: DNS SERVFAIL rate")
+	faultDNSRefuse := flag.Float64("fault-dns-refuse", 0.03, "robustness: DNS REFUSED rate")
+	faultDNSTruncate := flag.Float64("fault-dns-truncate", 0.05, "robustness: DNS truncation rate (UDP only)")
+	faultConnReset := flag.Float64("fault-conn-reset", 0.08, "robustness: pre-greeting/mid-handshake reset rate")
+	faultLatency := flag.Duration("fault-latency", 2*time.Millisecond, "robustness: injected latency")
+	faultLatencyRate := flag.Float64("fault-latency-rate", 0.20, "robustness: injected latency rate")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics and /debug/scanprogress on this host:port while running")
 	eventsOut := flag.String("events-out", "", "append JSONL experiment events to this file")
@@ -62,6 +79,66 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	}
+
+	// The robustness experiment runs against live loopback sockets, not
+	// the synthetic world — handle it before paying for world generation.
+	// It doubles as the CI fault-injection smoke: a misclassified domain
+	// or a nondeterministic same-seed rerun is a nonzero exit.
+	if strings.ToLower(*which) == "robustness" {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		cfg := experiments.RobustnessConfig{
+			Domains:     *faultDomains,
+			Seed:        fseed,
+			MaxAttempts: *retries,
+			Obs:         reg,
+			Plan: faults.Plan{
+				Seed:        fseed,
+				DNSLoss:     *faultDNSLoss,
+				DNSServFail: *faultDNSServFail,
+				DNSRefuse:   *faultDNSRefuse,
+				DNSTruncate: *faultDNSTruncate,
+				ConnReset:   *faultConnReset,
+				Latency:     *faultLatency,
+				LatencyRate: *faultLatencyRate,
+			},
+		}
+		start := time.Now()
+		rep, err := experiments.RunRobustness(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report.WriteTable(os.Stdout, rep.Table())
+		sink.Emit("experiment.done", map[string]any{
+			"experiment":    "robustness",
+			"seed":          fseed,
+			"duration_ms":   float64(time.Since(start).Microseconds()) / 1000,
+			"deterministic": rep.Deterministic,
+			"misclassified": len(rep.Misclassified()),
+		})
+		if reg != nil {
+			fmt.Fprintln(os.Stderr)
+			mt := &dataset.Table{Title: "Observability summary", Headers: []string{"metric", "value"}}
+			for _, row := range reg.Snapshot().SummaryRows() {
+				mt.AddRow(row[0], row[1])
+			}
+			report.WriteTable(os.Stderr, mt)
+		}
+		if !rep.Deterministic {
+			fmt.Fprintln(os.Stderr, "FAIL: same-seed fault runs diverged")
+			os.Exit(1)
+		}
+		if mis := rep.Misclassified(); len(mis) > 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: %d healthy domains misclassified with retries on:\n  %s\n",
+				len(mis), strings.Join(mis, "\n  "))
+			os.Exit(1)
+		}
+		fmt.Println("robustness: PASS (zero misclassifications, deterministic)")
+		return
 	}
 
 	genSpan := reg.StartSpan("reproduce.generate_world")

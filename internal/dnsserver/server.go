@@ -17,6 +17,7 @@ import (
 
 	"github.com/netsecurelab/mtasts/internal/dnsmsg"
 	"github.com/netsecurelab/mtasts/internal/dnszone"
+	"github.com/netsecurelab/mtasts/internal/faults"
 	"github.com/netsecurelab/mtasts/internal/strutil"
 )
 
@@ -42,6 +43,7 @@ type Server struct {
 	zones    map[string]*dnszone.Zone // origin -> zone
 	behavior Behavior
 	delay    time.Duration // artificial per-query latency
+	faults   *faults.Injector
 	logger   *slog.Logger
 
 	udpConn *net.UDPConn
@@ -92,6 +94,16 @@ func (s *Server) SetDelay(d time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.delay = d
+}
+
+// SetFaults installs a per-query fault injector; unlike SetBehavior
+// (which fails every query) it decides fate query by query from the
+// injector's seeded plan, keyed by the question's (name, type). Nil
+// removes it.
+func (s *Server) SetFaults(inj *faults.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = inj
 }
 
 // QueryCount returns the number of queries handled so far.
@@ -176,7 +188,7 @@ func (s *Server) serveUDP() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			resp := s.handlePacket(pkt)
+			resp := s.handlePacket(pkt, "udp")
 			if resp == nil {
 				return // drop behavior
 			}
@@ -232,7 +244,7 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 		if _, err := readFull(conn, pkt); err != nil {
 			return
 		}
-		resp := s.handlePacket(pkt)
+		resp := s.handlePacket(pkt, "tcp")
 		if resp == nil {
 			return
 		}
@@ -258,15 +270,15 @@ func readFull(conn net.Conn, b []byte) (int, error) {
 	return n, nil
 }
 
-// handlePacket parses, answers, and serializes one query. A nil return
-// means the query should be dropped.
-func (s *Server) handlePacket(pkt []byte) []byte {
+// handlePacket parses, answers, and serializes one query arriving over
+// proto ("udp" or "tcp"). A nil return means the query should be dropped.
+func (s *Server) handlePacket(pkt []byte, proto string) []byte {
 	s.qmu.Lock()
 	s.queryCount++
 	s.qmu.Unlock()
 
 	s.mu.RLock()
-	behavior, delay := s.behavior, s.delay
+	behavior, delay, inj := s.behavior, s.delay, s.faults
 	s.mu.RUnlock()
 
 	if delay > 0 {
@@ -299,6 +311,35 @@ func (s *Server) handlePacket(pkt []byte) []byte {
 	case BehaviorRefuse:
 		resp.Answers, resp.Authority, resp.Additional = nil, nil, nil
 		resp.Header.RCode = dnsmsg.RCodeRefused
+	}
+
+	if inj != nil {
+		q := query.Questions[0]
+		act, fdelay := inj.DNS(strutil.CanonicalName(q.Name) + "/" + q.Type.String())
+		if fdelay > 0 {
+			select {
+			case <-time.After(fdelay):
+			case <-s.closed:
+				return nil
+			}
+		}
+		switch act {
+		case faults.DNSDrop:
+			return nil
+		case faults.DNSServFail:
+			resp.Answers, resp.Authority, resp.Additional = nil, nil, nil
+			resp.Header.RCode = dnsmsg.RCodeServFail
+		case faults.DNSRefuse:
+			resp.Answers, resp.Authority, resp.Additional = nil, nil, nil
+			resp.Header.RCode = dnsmsg.RCodeRefused
+		case faults.DNSTruncate:
+			// Only meaningful on UDP: force the TC bit so the client
+			// retries over TCP, where the same key may fault again.
+			if proto == "udp" {
+				resp.Answers, resp.Authority, resp.Additional = nil, nil, nil
+				resp.Header.Truncated = true
+			}
+		}
 	}
 	b, err := resp.Pack()
 	if err != nil {

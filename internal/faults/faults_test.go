@@ -1,0 +1,163 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func drawSequence(inj *Injector, key string, n int) []DNSAction {
+	out := make([]DNSAction, n)
+	for i := range out {
+		out[i], _ = inj.DNS(key)
+	}
+	return out
+}
+
+func TestDeterministicAcrossInjectors(t *testing.T) {
+	plan := Plan{
+		Seed:        42,
+		DNSLoss:     0.2,
+		DNSServFail: 0.1,
+		DNSRefuse:   0.1,
+		DNSTruncate: 0.1,
+		ConnReset:   0.3,
+	}
+	a, b := NewInjector(plan), NewInjector(plan)
+	keys := []string{"example.com/TXT", "mx1.example.com/A", "other.org/MX"}
+	for _, key := range keys {
+		sa, sb := drawSequence(a, key, 50), drawSequence(b, key, 50)
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("key %q event %d: %v vs %v", key, i, sa[i], sb[i])
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		ca, _ := a.Conn("smtpd", "mx1.example.com")
+		cb, _ := b.Conn("smtpd", "mx1.example.com")
+		if ca != cb {
+			t.Fatalf("conn event %d: %v vs %v", i, ca, cb)
+		}
+	}
+}
+
+// Interleaving order across keys must not change per-key decisions:
+// that is what keeps concurrent scans deterministic per domain.
+func TestPerKeyIndependence(t *testing.T) {
+	plan := Plan{Seed: 7, DNSLoss: 0.4}
+	a, b := NewInjector(plan), NewInjector(plan)
+	want := drawSequence(a, "x", 20)
+	var got []DNSAction
+	for i := 0; i < 20; i++ {
+		b.DNS("noise1")
+		act, _ := b.DNS("x")
+		got = append(got, act)
+		b.DNS("noise2")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: interleaved %v vs solo %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	mk := func(seed int64) []DNSAction {
+		return drawSequence(NewInjector(Plan{Seed: seed, DNSLoss: 0.5}), "k", 64)
+	}
+	a, b := mk(1), mk(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical 64-event sequences")
+	}
+}
+
+func TestApproximateRates(t *testing.T) {
+	plan := Plan{Seed: 9, DNSLoss: 0.1, DNSServFail: 0.1, MaxConsecutive: 1000}
+	inj := NewInjector(plan)
+	const n = 20000
+	var drop, servfail int
+	for i := 0; i < n; i++ {
+		// Fresh key per event: measures the raw per-event rate without
+		// the consecutive bound interfering.
+		act, _ := inj.DNS(string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + itoa(i))
+		switch act {
+		case DNSDrop:
+			drop++
+		case DNSServFail:
+			servfail++
+		}
+	}
+	for name, got := range map[string]int{"drop": drop, "servfail": servfail} {
+		rate := float64(got) / n
+		if rate < 0.07 || rate > 0.13 {
+			t.Errorf("%s rate = %.3f, want ~0.10", name, rate)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// With rate 1.0 every draw wants to fault, so the observed pattern is
+// exactly MaxConsecutive faults then one forced pass: the property that
+// guarantees a retry loop with MaxAttempts > MaxConsecutive recovers.
+func TestMaxConsecutiveForcesPass(t *testing.T) {
+	plan := Plan{Seed: 3, DNSLoss: 1.0, MaxConsecutive: 2}
+	seq := drawSequence(NewInjector(plan), "k", 9)
+	want := []DNSAction{DNSDrop, DNSDrop, DNSNone, DNSDrop, DNSDrop, DNSNone, DNSDrop, DNSDrop, DNSNone}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("event %d: %v, want %v (full: %v)", i, seq[i], want[i], seq)
+		}
+	}
+}
+
+func TestLatencyAndCounts(t *testing.T) {
+	plan := Plan{Seed: 5, LatencyRate: 1.0, Latency: 7 * time.Millisecond}
+	inj := NewInjector(plan)
+	for i := 0; i < 3; i++ {
+		act, delay := inj.DNS("k")
+		if act != DNSNone {
+			t.Errorf("event %d: act = %v with only latency configured", i, act)
+		}
+		if delay != 7*time.Millisecond {
+			t.Errorf("event %d: delay = %v", i, delay)
+		}
+	}
+	if got := inj.Counts()["dns.delay"]; got != 3 {
+		t.Errorf("dns.delay count = %d, want 3", got)
+	}
+}
+
+func TestNilAndInactiveInjector(t *testing.T) {
+	var nilInj *Injector
+	if act, d := nilInj.DNS("k"); act != DNSNone || d != 0 {
+		t.Error("nil injector should be a no-op")
+	}
+	if act, d := nilInj.Conn("smtpd", "k"); act != ConnNone || d != 0 {
+		t.Error("nil injector Conn should be a no-op")
+	}
+	if nilInj.Counts() != nil {
+		t.Error("nil injector Counts should be nil")
+	}
+	idle := NewInjector(Plan{Seed: 1})
+	if act, _ := idle.DNS("k"); act != DNSNone {
+		t.Error("inactive plan should never fault")
+	}
+}

@@ -14,6 +14,8 @@ import (
 
 	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/resolver"
+	"github.com/netsecurelab/mtasts/internal/retry"
 )
 
 // Stage identifies where in the policy retrieval pipeline a failure
@@ -140,6 +142,14 @@ type Fetcher struct {
 	// (mtasts.fetch.{dns,tcp_dial,tls_handshake,http,parse}.seconds) and
 	// outcome counters keyed by Stage (mtasts.fetch.errors.<stage>).
 	Obs *obs.Registry
+	// MaxAttempts bounds attempts per fetch, retrying transient failures
+	// (see TransientFetchErr) with backoff; each attempt gets a fresh
+	// Timeout. Zero or one means a single attempt.
+	MaxAttempts int
+	// RetryBase overrides the first backoff delay (default 100ms).
+	RetryBase time.Duration
+	// RetryBudget, when non-nil, caps total retries across the run.
+	RetryBudget *retry.Budget
 }
 
 // Fetch retrieves and parses the policy for domain. The raw body (possibly
@@ -152,7 +162,20 @@ func (f *Fetcher) Fetch(ctx context.Context, domain string) (Policy, []byte, err
 // host (the two differ only in diagnostic scenarios).
 func (f *Fetcher) FetchFromHost(ctx context.Context, domain, host string) (Policy, []byte, error) {
 	sp := f.Obs.StartSpan("mtasts.fetch")
-	policy, body, err := f.fetchFromHost(ctx, domain, host)
+	var policy Policy
+	var body []byte
+	err := retry.Policy{
+		Name:        "mtasts.fetch",
+		MaxAttempts: f.MaxAttempts,
+		BaseDelay:   f.RetryBase,
+		Budget:      f.RetryBudget,
+		Transient:   TransientFetchErr,
+		Obs:         f.Obs,
+	}.Do(ctx, func(ctx context.Context) error {
+		var opErr error
+		policy, body, opErr = f.fetchFromHost(ctx, domain, host)
+		return opErr
+	})
 	sp.EndErr(err)
 	if f.Obs.Enabled() {
 		if err == nil {
@@ -309,6 +332,40 @@ func httpGet(ctx context.Context, conn *tls.Conn, host string) ([]byte, int, err
 // IsNoRecord reports whether an error indicates the absence of MTA-STS
 // (rather than a broken deployment).
 func IsNoRecord(err error) bool { return errors.Is(err, ErrNoRecord) }
+
+// TransientFetchErr reports whether a policy-fetch failure could clear
+// on retry. Stage verdicts that reflect the deployment itself — a
+// certificate that fails PKIX validation, a non-5xx HTTP status, a
+// syntax error in the policy body — are persistent; socket-level
+// failures at any stage (timeouts, resets, dropped DNS) are transient.
+func TransientFetchErr(err error) bool {
+	var fe *FetchError
+	if !errors.As(err, &fe) {
+		return retry.TransientNetErr(err)
+	}
+	switch fe.Stage {
+	case StageDNS:
+		return resolver.TransientErr(fe.Err)
+	case StageTCP:
+		return retry.TransientNetErr(fe.Err)
+	case StageTLS:
+		// A completed handshake that failed certificate verification is a
+		// deployment verdict; anything below that (reset, EOF, timeout)
+		// is the network.
+		var cve *tls.CertificateVerificationError
+		if errors.As(fe.Err, &cve) {
+			return false
+		}
+		return retry.TransientNetErr(fe.Err)
+	case StageHTTP:
+		if fe.HTTPStatus != 0 {
+			// The server answered: only 429/5xx suggest a passing condition.
+			return fe.HTTPStatus == http.StatusTooManyRequests || fe.HTTPStatus >= 500
+		}
+		return retry.TransientNetErr(fe.Err)
+	}
+	return false
+}
 
 // StageOf extracts the retrieval stage from an error chain, or StageNone.
 func StageOf(err error) Stage {

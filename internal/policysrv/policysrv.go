@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/netsecurelab/mtasts/internal/faults"
 	"github.com/netsecurelab/mtasts/internal/mtasts"
 	"github.com/netsecurelab/mtasts/internal/pki"
 	"github.com/netsecurelab/mtasts/internal/strutil"
@@ -70,6 +71,7 @@ type Server struct {
 	mu      sync.RWMutex
 	tenants map[string]*Tenant // key: served host name (canonical)
 	certs   map[string]*tls.Certificate
+	faults  *faults.Injector
 
 	ln     net.Listener
 	httpSv *http.Server
@@ -129,6 +131,15 @@ func (s *Server) RemoveTenant(domain string) {
 	}
 }
 
+// SetFaults installs a per-connection fault injector, keyed by the
+// handshake's SNI, realizing added latency and mid-handshake resets
+// from its seeded plan. Nil removes it.
+func (s *Server) SetFaults(inj *faults.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = inj
+}
+
 // Tenant returns the tenant registered for a served host name.
 func (s *Server) Tenant(host string) (*Tenant, bool) {
 	s.mu.RLock()
@@ -149,8 +160,9 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 		s.port = tcp.Port
 	}
 	tlsLn := tls.NewListener(ln, &tls.Config{
-		GetCertificate: s.getCertificate,
-		MinVersion:     tls.VersionTLS12,
+		GetCertificate:     s.getCertificate,
+		GetConfigForClient: s.faultHook,
+		MinVersion:         tls.VersionTLS12,
 	})
 	s.httpSv = &http.Server{
 		Handler:           http.HandlerFunc(s.handle),
@@ -172,6 +184,28 @@ func (s *Server) Close() error {
 		return s.httpSv.Close()
 	}
 	return nil
+}
+
+// faultHook runs after the ClientHello arrives and realizes injected
+// connection faults. A nil returned config continues the handshake with
+// the listener's configuration.
+func (s *Server) faultHook(hello *tls.ClientHelloInfo) (*tls.Config, error) {
+	s.mu.RLock()
+	inj := s.faults
+	s.mu.RUnlock()
+	act, delay := inj.Conn("policysrv", strutil.CanonicalName(hello.ServerName))
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if act == faults.ConnReset {
+		// Close the socket before erroring out of the handshake so the
+		// client observes a torn connection (EOF/reset) — the transient
+		// failure shape — rather than a TLS alert, which would read as a
+		// persistent TLS-stage verdict.
+		hello.Conn.Close()
+		return nil, fmt.Errorf("policysrv: injected mid-handshake reset for %q", hello.ServerName)
+	}
+	return nil, nil
 }
 
 // getCertificate issues (and caches) the certificate matching the tenant's

@@ -124,11 +124,22 @@ func (c *Cache) Put(name string, t dnsmsg.Type, val entry, ttl time.Duration) {
 	c.items[key] = el
 }
 
-// Len returns the number of live entries (including any expired but not yet
-// evicted ones).
+// Len returns the number of unexpired entries, pruning any expired but
+// not-yet-evicted ones first so the resolver.cache.entries gauge reflects
+// the live population rather than dead weight awaiting LRU eviction.
+// (Pruning here does not touch the Expired counter, which counts only
+// expirations observed by Get.)
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := c.now()
+	for el := c.order.Back(); el != nil; {
+		prev := el.Prev()
+		if item := el.Value.(*cacheItem); now.After(item.expires) {
+			c.removeLocked(el)
+		}
+		el = prev
+	}
 	return len(c.items)
 }
 

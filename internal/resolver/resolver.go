@@ -12,6 +12,7 @@ import (
 
 	"github.com/netsecurelab/mtasts/internal/dnsmsg"
 	"github.com/netsecurelab/mtasts/internal/obs"
+	"github.com/netsecurelab/mtasts/internal/retry"
 	"github.com/netsecurelab/mtasts/internal/strutil"
 )
 
@@ -52,6 +53,14 @@ type Client struct {
 	// effectiveness gauges (see docs/OBSERVABILITY.md). A nil registry
 	// costs one pointer check per query.
 	Obs *obs.Registry
+	// MaxAttempts bounds attempts per query, retrying transient failures
+	// (timeouts, SERVFAIL/REFUSED, malformed replies) with backoff.
+	// Zero or one means a single attempt.
+	MaxAttempts int
+	// RetryBase overrides the first backoff delay (default 100ms).
+	RetryBase time.Duration
+	// RetryBudget, when non-nil, caps total retries across the run.
+	RetryBudget *retry.Budget
 
 	mu      sync.Mutex
 	rnd     *rand.Rand
@@ -210,20 +219,56 @@ func (c *Client) queryOnce(ctx context.Context, name string, t dnsmsg.Type) (rrs
 			return ce.rrs, ce.cname, ce.err
 		}
 	}
-	rrs, cname, err = c.exchange(ctx, name, t)
+	err = c.retryPolicy().Do(ctx, func(ctx context.Context) error {
+		var opErr error
+		rrs, cname, opErr = c.exchange(ctx, name, t)
+		return opErr
+	})
 	if c.Cache != nil {
-		// Negative results are cached briefly; positives by minimum TTL.
-		ttl := 30 * time.Second
-		if err == nil {
+		// Positive answers cache by minimum TTL; of the negatives only
+		// NXDOMAIN is cached, briefly. Transient failures — SERVFAIL,
+		// REFUSED, timeouts, malformed replies — are never cached: a
+		// one-off blip must not poison every later query for this
+		// (name, type) in the run. (NODATA surfaces here as a nil error
+		// with an empty RRset, so it caches on the positive path.)
+		var ttl time.Duration
+		switch {
+		case err == nil:
 			ttl = minTTL(rrs)
-		} else if errors.Is(err, ErrTimeout) || errors.Is(err, ErrServFail) {
-			ttl = 0 // do not cache transient failures
+		case errors.Is(err, ErrNXDomain):
+			ttl = 30 * time.Second
 		}
 		if ttl > 0 {
 			c.Cache.Put(name, t, entry{rrs: rrs, cname: cname, err: err}, ttl)
 		}
 	}
 	return rrs, cname, err
+}
+
+func (c *Client) retryPolicy() retry.Policy {
+	return retry.Policy{
+		Name:        "resolver",
+		MaxAttempts: c.MaxAttempts,
+		BaseDelay:   c.RetryBase,
+		Budget:      c.RetryBudget,
+		Transient:   TransientErr,
+		Obs:         c.Obs,
+	}
+}
+
+// TransientErr reports whether a lookup error reflects a condition a
+// retry could clear — timeouts, SERVFAIL/REFUSED blips, garbled replies,
+// socket-level failures — as opposed to an authoritative verdict
+// (NXDOMAIN, NODATA, a CNAME loop).
+func TransientErr(err error) bool {
+	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrServFail) ||
+		errors.Is(err, ErrRefused) || errors.Is(err, ErrBadMessage) {
+		return true
+	}
+	if IsNotFound(err) || errors.Is(err, ErrCNAMELoop) {
+		return false
+	}
+	return retry.TransientNetErr(err)
 }
 
 func minTTL(rrs []dnsmsg.RR) time.Duration {

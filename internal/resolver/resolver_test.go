@@ -305,6 +305,116 @@ func TestLookupMXEmptyName(t *testing.T) {
 	}
 }
 
+// Regression: a one-off REFUSED (or garbled) reply must not be served
+// from the cache once the server recovers — only NXDOMAIN/NODATA
+// negatives are cacheable; transient failures never are.
+func TestTransientErrorsNotCached(t *testing.T) {
+	srv, c := startServer(t)
+	ctx := context.Background()
+
+	srv.SetBehavior(dnsserver.BehaviorRefuse)
+	if _, err := c.LookupTXT(ctx, "_mta-sts.example.com"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("want REFUSED, got %v", err)
+	}
+	srv.SetBehavior(dnsserver.BehaviorNormal)
+	vals, err := c.LookupTXT(ctx, "_mta-sts.example.com")
+	if err != nil || len(vals) != 1 {
+		t.Errorf("REFUSED was cached: post-recovery lookup = %v, %v", vals, err)
+	}
+
+	srv.SetBehavior(dnsserver.BehaviorServFail)
+	if _, err := c.LookupMX(ctx, "example.com"); !errors.Is(err, ErrServFail) {
+		t.Fatalf("want SERVFAIL, got %v", err)
+	}
+	srv.SetBehavior(dnsserver.BehaviorNormal)
+	if _, err := c.LookupMX(ctx, "example.com"); err != nil {
+		t.Errorf("SERVFAIL was cached: post-recovery lookup err = %v", err)
+	}
+}
+
+// NXDOMAIN, by contrast, stays briefly cached: repeat lookups must not
+// hit the network again.
+func TestNXDomainStillCached(t *testing.T) {
+	srv, c := startServer(t)
+	ctx := context.Background()
+	if _, err := c.LookupTXT(ctx, "absent.example.com"); !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("want NXDOMAIN, got %v", err)
+	}
+	before := srv.QueryCount()
+	for i := 0; i < 5; i++ {
+		if _, err := c.LookupTXT(ctx, "absent.example.com"); !errors.Is(err, ErrNXDomain) {
+			t.Fatalf("want cached NXDOMAIN, got %v", err)
+		}
+	}
+	if got := srv.QueryCount(); got != before {
+		t.Errorf("NXDOMAIN not cached: query count rose from %d to %d", before, got)
+	}
+}
+
+// A client with MaxAttempts > 1 recovers from a transient SERVFAIL blip
+// within a single Lookup call.
+func TestRetryRecoversFromBlip(t *testing.T) {
+	srv, c := startServer(t)
+	c.MaxAttempts = 3
+	c.RetryBase = time.Millisecond
+	srv.SetBehavior(dnsserver.BehaviorServFail)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(50 * time.Millisecond)
+		srv.SetBehavior(dnsserver.BehaviorNormal)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var vals []string
+	var err error
+	// The blip may outlast one 3-attempt lookup; what must hold is that
+	// lookups succeed as soon as the server recovers, with no poisoned
+	// cache and no retry-loop wedge.
+	for i := 0; i < 50; i++ {
+		if vals, err = c.LookupTXT(ctx, "_mta-sts.example.com"); err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	<-done
+	if err != nil || len(vals) != 1 {
+		t.Fatalf("lookup never recovered: %v, %v", vals, err)
+	}
+}
+
+func TestTransientErrClassification(t *testing.T) {
+	for _, err := range []error{ErrTimeout, ErrServFail, ErrRefused, ErrBadMessage} {
+		if !TransientErr(err) {
+			t.Errorf("TransientErr(%v) = false", err)
+		}
+	}
+	for _, err := range []error{ErrNXDomain, ErrNoData, ErrCNAMELoop, context.Canceled, nil} {
+		if TransientErr(err) {
+			t.Errorf("TransientErr(%v) = true", err)
+		}
+	}
+}
+
+// Regression: Len must not report expired-but-unevicted entries.
+func TestCacheLenPrunesExpired(t *testing.T) {
+	cache := NewCache(8)
+	now := time.Unix(1000, 0)
+	cache.now = func() time.Time { return now }
+	cache.Put("a", dnsmsg.TypeA, entry{cname: "x"}, time.Minute)
+	cache.Put("b", dnsmsg.TypeA, entry{cname: "y"}, time.Hour)
+	if got := cache.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	now = now.Add(2 * time.Minute)
+	if got := cache.Len(); got != 1 {
+		t.Errorf("Len = %d after expiry, want 1 (expired entry still counted)", got)
+	}
+	if _, ok := cache.Get("b", dnsmsg.TypeA); !ok {
+		t.Error("unexpired entry pruned by Len")
+	}
+}
+
 func TestClientZeroValueDefaults(t *testing.T) {
 	srv, _ := startServer(t)
 	// A zero-value client (no cache, no rnd) must still work.

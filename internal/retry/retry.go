@@ -1,0 +1,289 @@
+// Package retry is the shared retry/backoff helper of the scan pipeline.
+// Large-scale TLS and email measurement studies (Holz et al., Mayer et
+// al.) retry and re-probe failing endpoints so that transient network
+// conditions — lossy paths, SERVFAIL blips, slow or reset connections —
+// are not misclassified as persistent misconfigurations; this package
+// gives every client layer (resolver, policy fetcher, SMTP prober) the
+// same budgeted, context-aware, observably-instrumented retry loop.
+//
+// A retried operation must distinguish transient from persistent
+// failures: retrying NXDOMAIN or a certificate-verification failure
+// wastes probes and changes nothing, while retrying a timeout or a
+// connection reset separates a flaky path from a broken deployment.
+// Each adopter supplies its own classifier; TransientNetErr covers the
+// socket-level cases they share.
+package retry
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/obs"
+)
+
+// Budget caps the total number of retries (attempts beyond an
+// operation's first) spent across a whole run, so a badly degraded
+// network cannot multiply scan cost without bound. A nil *Budget means
+// unlimited. Safe for concurrent use.
+type Budget struct{ left atomic.Int64 }
+
+// NewBudget returns a budget allowing n retries in total.
+func NewBudget(n int64) *Budget {
+	b := &Budget{}
+	b.left.Store(n)
+	return b
+}
+
+// Take consumes one retry from the budget, reporting false when the
+// budget is exhausted. A nil budget always allows.
+func (b *Budget) Take() bool {
+	if b == nil {
+		return true
+	}
+	return b.left.Add(-1) >= 0
+}
+
+// Remaining returns the retries left (0 on an exhausted or nil budget).
+func (b *Budget) Remaining() int64 {
+	if b == nil {
+		return 0
+	}
+	if n := b.left.Load(); n > 0 {
+		return n
+	}
+	return 0
+}
+
+// Stats accumulates attempt accounting for every Policy.Do call that
+// runs under one context — the scanner attaches one per domain so a
+// DomainResult can record how hard its verdict was to obtain. All
+// methods are safe on a nil receiver and for concurrent use.
+type Stats struct {
+	attempts  atomic.Int64
+	retries   atomic.Int64
+	recovered atomic.Int64
+	gaveUp    atomic.Int64
+}
+
+// Attempts is the total number of operation attempts, including firsts.
+func (s *Stats) Attempts() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.attempts.Load()
+}
+
+// Retries is the number of attempts beyond each operation's first.
+func (s *Stats) Retries() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.retries.Load()
+}
+
+// Recovered counts operations that succeeded after at least one retry —
+// verdicts that would have been misclassified without retrying.
+func (s *Stats) Recovered() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.recovered.Load()
+}
+
+// GaveUp counts operations that exhausted their attempts (or budget) on
+// transient errors.
+func (s *Stats) GaveUp() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.gaveUp.Load()
+}
+
+type statsKey struct{}
+
+// WithStats derives a context carrying a fresh Stats that every
+// Policy.Do under it will feed.
+func WithStats(ctx context.Context) (context.Context, *Stats) {
+	s := &Stats{}
+	return context.WithValue(ctx, statsKey{}, s), s
+}
+
+// StatsFrom returns the Stats carried by ctx, or nil.
+func StatsFrom(ctx context.Context) *Stats {
+	s, _ := ctx.Value(statsKey{}).(*Stats)
+	return s
+}
+
+// Policy configures one layer's retry behavior. The zero value performs
+// a single attempt (no retries) while still feeding context Stats, so
+// adopters can wrap operations unconditionally.
+type Policy struct {
+	// Name prefixes the obs counters: <Name>.retries, <Name>.gave_up,
+	// <Name>.retry.recovered, <Name>.retry.attempts.
+	Name string
+	// MaxAttempts bounds total attempts per operation; <= 1 disables
+	// retrying.
+	MaxAttempts int
+	// BaseDelay is the first backoff (doubled per retry). Zero means
+	// 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means 2s.
+	MaxDelay time.Duration
+	// Jitter spreads each backoff uniformly over ±(Jitter/2)·delay.
+	// Zero means 0.5; negative disables jitter.
+	Jitter float64
+	// Transient classifies an error as retryable. Nil means
+	// TransientNetErr.
+	Transient func(error) bool
+	// Budget, when non-nil, is the run-wide retry allowance shared with
+	// other policies.
+	Budget *Budget
+	// Obs, when non-nil, receives the retry counters.
+	Obs *obs.Registry
+	// Sleep replaces the backoff sleep (tests). Nil means a
+	// context-aware timer wait.
+	Sleep func(context.Context, time.Duration) error
+}
+
+// Do runs op with the policy's retry loop: transient errors are retried
+// with exponential backoff and jitter until the attempt or budget limit
+// is hit, the context is done, or the error is persistent. It returns
+// the last error. Attempts are recorded against the context's Stats
+// (WithStats) and the policy's obs counters.
+func (p Policy) Do(ctx context.Context, op func(context.Context) error) error {
+	maxAttempts := p.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	classify := p.Transient
+	if classify == nil {
+		classify = TransientNetErr
+	}
+	stats := StatsFrom(ctx)
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op(ctx)
+		if stats != nil {
+			stats.attempts.Add(1)
+		}
+		p.Obs.Counter(p.Name + ".retry.attempts").Inc()
+		if err == nil {
+			if attempt > 1 {
+				if stats != nil {
+					stats.recovered.Add(1)
+				}
+				p.Obs.Counter(p.Name + ".retry.recovered").Inc()
+			}
+			return nil
+		}
+		if !classify(err) || ctx.Err() != nil {
+			return err
+		}
+		if attempt >= maxAttempts || !p.Budget.Take() {
+			// Transient and out of attempts: the caller's verdict may
+			// not reflect the endpoint's steady state.
+			if maxAttempts > 1 {
+				if stats != nil {
+					stats.gaveUp.Add(1)
+				}
+				p.Obs.Counter(p.Name + ".gave_up").Inc()
+			}
+			return err
+		}
+		if serr := p.sleep(ctx, p.backoff(attempt)); serr != nil {
+			return err
+		}
+		if stats != nil {
+			stats.retries.Add(1)
+		}
+		p.Obs.Counter(p.Name + ".retries").Inc()
+	}
+}
+
+// backoff computes the delay before attempt+1: BaseDelay doubled per
+// completed attempt, capped at MaxDelay, spread by the jitter fraction.
+func (p Policy) backoff(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxD := p.MaxDelay
+	if maxD <= 0 {
+		maxD = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < maxD; i++ {
+		d *= 2
+	}
+	if d > maxD {
+		d = maxD
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	if jitter > 0 {
+		// Uniform in [1-j/2, 1+j/2]; rand's global source is
+		// goroutine-safe and jitter never affects scan outcomes.
+		f := 1 + jitter*(rand.Float64()-0.5)
+		d = time.Duration(float64(d) * f)
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// TransientNetErr reports whether err looks like a transient
+// socket-level failure: timeouts, resets, refused or dropped
+// connections, and truncated streams. Context cancellation is not
+// transient (the caller is shutting down); a per-attempt deadline
+// surfacing as DeadlineExceeded is (the next attempt gets a fresh
+// one — Policy.Do separately stops when its own context is done).
+func TransientNetErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ETIMEDOUT) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	// Any remaining net.OpError is a socket-layer failure (dial, read,
+	// write) rather than a protocol-level verdict.
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}

@@ -1,0 +1,194 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/obs"
+)
+
+var errTransient = fmt.Errorf("blip: %w", syscall.ECONNRESET)
+
+func noSleep(p *Policy) []time.Duration {
+	var slept []time.Duration
+	p.Sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	return slept
+}
+
+func TestDoRecoversAfterTransientFailures(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := Policy{Name: "x", MaxAttempts: 4, Obs: reg}
+	noSleep(&p)
+	ctx, stats := WithStats(context.Background())
+	calls := 0
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errTransient
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if stats.Attempts() != 3 || stats.Retries() != 2 || stats.Recovered() != 1 || stats.GaveUp() != 0 {
+		t.Errorf("stats = %d/%d/%d/%d", stats.Attempts(), stats.Retries(), stats.Recovered(), stats.GaveUp())
+	}
+	if reg.Counter("x.retries").Value() != 2 || reg.Counter("x.retry.recovered").Value() != 1 {
+		t.Errorf("counters: retries=%d recovered=%d",
+			reg.Counter("x.retries").Value(), reg.Counter("x.retry.recovered").Value())
+	}
+}
+
+func TestDoGivesUpAfterMaxAttempts(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := Policy{Name: "x", MaxAttempts: 3, Obs: reg}
+	noSleep(&p)
+	ctx, stats := WithStats(context.Background())
+	calls := 0
+	err := p.Do(ctx, func(context.Context) error { calls++; return errTransient })
+	if !errors.Is(err, syscall.ECONNRESET) || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if stats.GaveUp() != 1 {
+		t.Errorf("gaveUp = %d", stats.GaveUp())
+	}
+	if reg.Counter("x.gave_up").Value() != 1 {
+		t.Errorf("x.gave_up = %d", reg.Counter("x.gave_up").Value())
+	}
+}
+
+func TestDoDoesNotRetryPersistentErrors(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Transient: func(error) bool { return false }}
+	noSleep(&p)
+	calls := 0
+	wantErr := errors.New("persistent")
+	err := p.Do(context.Background(), func(context.Context) error { calls++; return wantErr })
+	if err != wantErr || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoZeroValueSingleAttempt(t *testing.T) {
+	var p Policy
+	ctx, stats := WithStats(context.Background())
+	calls := 0
+	if err := p.Do(ctx, func(context.Context) error { calls++; return errTransient }); err == nil {
+		t.Fatal("want error")
+	}
+	if calls != 1 || stats.Attempts() != 1 || stats.GaveUp() != 0 {
+		t.Errorf("calls=%d attempts=%d gaveUp=%d", calls, stats.Attempts(), stats.GaveUp())
+	}
+}
+
+func TestDoStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 10}
+	noSleep(&p)
+	calls := 0
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		cancel()
+		return errTransient
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestBudgetSharedAcrossPolicies(t *testing.T) {
+	b := NewBudget(3)
+	p := Policy{MaxAttempts: 10, Budget: b}
+	noSleep(&p)
+	calls := 0
+	// One op burns the whole budget: 1 first attempt + 3 retried.
+	p.Do(context.Background(), func(context.Context) error { calls++; return errTransient })
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4 (1 + 3 budgeted retries)", calls)
+	}
+	// The next op gets no retries at all.
+	calls = 0
+	p.Do(context.Background(), func(context.Context) error { calls++; return errTransient })
+	if calls != 1 {
+		t.Errorf("calls = %d after budget exhausted, want 1", calls)
+	}
+	if b.Remaining() != 0 {
+		t.Errorf("Remaining = %d", b.Remaining())
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 50, 50}
+	for i, w := range want {
+		if got := p.backoff(i + 1); got != w*time.Millisecond {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, Jitter: 0.5}
+	for i := 0; i < 200; i++ {
+		d := p.backoff(1)
+		if d < 75*time.Millisecond || d > 125*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside [75ms, 125ms]", d)
+		}
+	}
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestTransientNetErr(t *testing.T) {
+	transient := []error{
+		timeoutErr{},
+		fmt.Errorf("recv: %w", io.EOF),
+		io.ErrUnexpectedEOF,
+		syscall.ECONNRESET,
+		syscall.ECONNREFUSED,
+		&net.OpError{Op: "read", Err: errors.New("weird")},
+		context.DeadlineExceeded,
+	}
+	for _, err := range transient {
+		if !TransientNetErr(err) {
+			t.Errorf("TransientNetErr(%v) = false", err)
+		}
+	}
+	persistent := []error{
+		nil,
+		context.Canceled,
+		errors.New("policy syntax error"),
+	}
+	for _, err := range persistent {
+		if TransientNetErr(err) {
+			t.Errorf("TransientNetErr(%v) = true", err)
+		}
+	}
+}
+
+func TestNilBudgetAndNilStats(t *testing.T) {
+	var b *Budget
+	if !b.Take() {
+		t.Error("nil budget should allow retries")
+	}
+	var s *Stats
+	if s.Attempts() != 0 || s.Retries() != 0 || s.Recovered() != 0 || s.GaveUp() != 0 {
+		t.Error("nil stats should read zero")
+	}
+	if StatsFrom(context.Background()) != nil {
+		t.Error("StatsFrom on bare context should be nil")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/pki"
 	"github.com/netsecurelab/mtasts/internal/resolver"
+	"github.com/netsecurelab/mtasts/internal/retry"
 	"github.com/netsecurelab/mtasts/internal/smtpclient"
 )
 
@@ -44,6 +45,17 @@ type Live struct {
 	// Events, when non-nil, receives one "scan.domain" JSONL event per
 	// scanned domain for post-hoc analysis.
 	Events *obs.EventSink
+	// MaxAttempts enables transient-failure retries in the policy
+	// fetcher and SMTP prober this scanner constructs. The DNS client
+	// carries its own retry configuration (resolver.Client.MaxAttempts);
+	// set both for end-to-end robustness. Zero or one means single
+	// attempts.
+	MaxAttempts int
+	// RetryBase overrides the first backoff delay of those layers.
+	RetryBase time.Duration
+	// RetryBudget, when non-nil, caps total retries across the run,
+	// shared by every layer it is handed to.
+	RetryBudget *retry.Budget
 }
 
 func (l *Live) timeout() time.Duration {
@@ -58,7 +70,14 @@ func (l *Live) timeout() time.Duration {
 // "scan.domain" event to Events.
 func (l *Live) ScanDomain(ctx context.Context, domain string) DomainResult {
 	sp := l.Obs.StartSpan("scan.domain")
+	// Every retry loop under this context (resolver, fetcher, prober)
+	// feeds the same per-domain stats.
+	ctx, stats := retry.WithStats(ctx)
 	r := l.scanDomain(ctx, domain)
+	r.Attempts = stats.Attempts()
+	r.Retries = stats.Retries()
+	r.RetryRecovered = stats.Recovered()
+	r.RetryGaveUp = stats.GaveUp()
 	d := sp.End()
 	l.recordOutcome(&r, d)
 	return r
@@ -116,12 +135,15 @@ func (l *Live) scanDomain(ctx context.Context, domain string) DomainResult {
 
 	// Policy retrieval.
 	fetcher := &mtasts.Fetcher{
-		Resolver: mtasts.AddrResolverFunc(l.resolveAddrs),
-		RootCAs:  l.Roots,
-		Timeout:  l.timeout(),
-		Port:     l.HTTPSPort,
-		Now:      l.Now,
-		Obs:      l.Obs,
+		Resolver:    mtasts.AddrResolverFunc(l.resolveAddrs),
+		RootCAs:     l.Roots,
+		Timeout:     l.timeout(),
+		Port:        l.HTTPSPort,
+		Now:         l.Now,
+		Obs:         l.Obs,
+		MaxAttempts: l.MaxAttempts,
+		RetryBase:   l.RetryBase,
+		RetryBudget: l.RetryBudget,
 	}
 	fetchSpan := l.Obs.StartSpan("scan.policy_fetch")
 	policy, _, fetchErr := fetcher.Fetch(ctx, domain)
@@ -195,6 +217,12 @@ func (l *Live) recordOutcome(r *DomainResult, took time.Duration) {
 		if r.DeliveryFailure() {
 			o.Counter("scan.delivery_failures").Inc()
 		}
+		if r.Retries > 0 {
+			o.Counter("scan.domains.retried").Inc()
+		}
+		if r.RetryRecovered > 0 {
+			o.Counter("scan.domains.recovered").Inc()
+		}
 	}
 
 	if l.Events != nil {
@@ -215,6 +243,10 @@ func (l *Live) recordOutcome(r *DomainResult, took time.Duration) {
 			"mismatch":         r.Mismatch.Kind.String(),
 			"categories":       cats,
 			"delivery_failure": r.DeliveryFailure(),
+			"attempts":         r.Attempts,
+			"retries":          r.Retries,
+			"retry_recovered":  r.RetryRecovered,
+			"retry_gave_up":    r.RetryGaveUp,
 		}
 		if r.MXLookupErr != nil {
 			fields["mx_lookup_err"] = r.MXLookupErr.Error()
@@ -241,6 +273,9 @@ func (l *Live) probeMX(ctx context.Context, mxHost string) (problem pki.Problem,
 		AddrOverride: net.JoinHostPort(addrs[0].String(), strconv.Itoa(port)),
 		Now:          l.Now,
 		Obs:          l.Obs,
+		MaxAttempts:  l.MaxAttempts,
+		RetryBase:    l.RetryBase,
+		RetryBudget:  l.RetryBudget,
 	}
 	res := p.Probe(ctx, mxHost)
 	if errors.Is(res.Err, smtpclient.ErrNoSTARTTLS) {

@@ -104,6 +104,25 @@ type DomainResult struct {
 	// Mismatch is the consistency analysis (§4.4); only meaningful when a
 	// policy was obtained.
 	Mismatch inconsistency.Finding
+
+	// Attempts counts every network operation attempt (DNS exchanges,
+	// policy fetches, SMTP probes) behind this verdict, including firsts.
+	Attempts int64
+	// Retries counts attempts beyond each operation's first.
+	Retries int64
+	// RetryRecovered counts operations that succeeded only after a
+	// retry — the verdict survived a transient failure that a
+	// single-attempt scan would have misclassified.
+	RetryRecovered int64
+	// RetryGaveUp counts operations that exhausted their retry
+	// allowance on transient errors; verdicts built on them may not
+	// reflect the endpoint's steady state.
+	RetryGaveUp int64
+
+	// Canceled marks a domain whose scan was cut short by run
+	// cancellation. Its other fields are partial evidence, not a
+	// verdict, and it is excluded from the error taxonomy.
+	Canceled bool
 }
 
 // Categories returns the Figure 4 error categories the domain falls into.

@@ -34,7 +34,11 @@ type Runner struct {
 }
 
 // Run scans all domains and returns results sorted by domain name. The
-// context cancels outstanding work; completed results are still returned.
+// context cancels outstanding work; completed results are still
+// returned, and every domain that did not get a full scan is returned
+// as a Canceled result so the run reconciles: len(results) always
+// equals len(domains), the queue-depth gauge drains to zero, and the
+// progress tracker finishes at done == total.
 func (r *Runner) Run(ctx context.Context, domains []string) []DomainResult {
 	workers := r.Workers
 	if workers < 1 {
@@ -58,16 +62,28 @@ func (r *Runner) Run(ctx context.Context, domains []string) []DomainResult {
 
 	jobs := make(chan string)
 	resCh := make(chan DomainResult, workers)
+	canceledC := r.Obs.Counter("scanner.domains.canceled")
+	// cancelResult accounts a domain the run could not scan: the queue
+	// drains, the progress tracker still reaches done == total (Add skips
+	// the in-flight pairing), and the caller gets a Canceled placeholder.
+	cancelResult := func(d string) DomainResult {
+		queueDepth.Dec()
+		prog.Add(1)
+		canceledC.Inc()
+		return DomainResult{Domain: d, Canceled: true}
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for d := range jobs {
-				select {
-				case <-ctx.Done():
-					return
-				default:
+				if ctx.Err() != nil {
+					// Canceled after the job was pulled: account for it
+					// instead of dropping it, and keep draining so every
+					// in-channel domain is accounted.
+					resCh <- cancelResult(d)
+					continue
 				}
 				queueDepth.Dec()
 				busy.Inc()
@@ -87,11 +103,18 @@ func (r *Runner) Run(ctx context.Context, domains []string) []DomainResult {
 			}
 		}()
 	}
+	// The feeder joins the same WaitGroup: it may emit canceled results
+	// for the unsent tail, so resCh must stay open until it exits too.
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		defer close(jobs)
-		for _, d := range domains {
+		for i, d := range domains {
 			select {
 			case <-ctx.Done():
+				for _, rest := range domains[i:] {
+					resCh <- cancelResult(rest)
+				}
 				return
 			case jobs <- d:
 			}
@@ -99,9 +122,13 @@ func (r *Runner) Run(ctx context.Context, domains []string) []DomainResult {
 	}()
 	done := make(chan struct{})
 	var results []DomainResult
+	var canceled int
 	go func() {
 		defer close(done)
 		for res := range resCh {
+			if res.Canceled {
+				canceled++
+			}
 			results = append(results, res)
 		}
 	}()
@@ -112,7 +139,7 @@ func (r *Runner) Run(ctx context.Context, domains []string) []DomainResult {
 
 	runSpan.End()
 	r.Events.Emit("scan.run.end", map[string]any{
-		"domains": len(domains), "completed": len(results),
+		"domains": len(domains), "completed": len(results) - canceled, "canceled": canceled,
 	})
 	return results
 }
@@ -120,7 +147,8 @@ func (r *Runner) Run(ctx context.Context, domains []string) []DomainResult {
 // Summary aggregates a snapshot of results into the headline counts of
 // §4.2 and the per-figure series.
 type Summary struct {
-	Total         int // domains scanned
+	Total         int // domains submitted (scanned + canceled)
+	Canceled      int // domains cut short by run cancellation
 	WithRecord    int // domains with an MTA-STS record (valid or not)
 	Misconfigured int
 
@@ -147,6 +175,12 @@ func Summarize(results []DomainResult) Summary {
 	for i := range results {
 		r := &results[i]
 		s.Total++
+		if r.Canceled {
+			// Partial evidence, not a verdict: canceled domains are
+			// counted but excluded from the error taxonomy.
+			s.Canceled++
+			continue
+		}
 		if !r.RecordPresent {
 			continue
 		}

@@ -1,0 +1,119 @@
+package scanner
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/obs"
+)
+
+// slowScanner blocks each scan until release is closed, then returns a
+// minimal result; it counts how many scans actually ran.
+type slowScanner struct {
+	release chan struct{}
+	ran     atomic.Int64
+}
+
+func (s *slowScanner) ScanDomain(ctx context.Context, domain string) DomainResult {
+	select {
+	case <-s.release:
+	case <-ctx.Done():
+	}
+	s.ran.Add(1)
+	return DomainResult{Domain: domain}
+}
+
+// Regression: canceling a run mid-flight used to drop domains already
+// pulled from the queue (no DomainResult at all), abandon the unsent
+// tail, and leave scanner.queue.depth nonzero. Every submitted domain
+// must come back — scanned or Canceled — with the gauges drained.
+func TestRunnerCancelAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	scan := &slowScanner{release: make(chan struct{})}
+	r := &Runner{Workers: 4, Scan: scan, Obs: reg}
+
+	domains := make([]string, 64)
+	for i := range domains {
+		domains[i] = "d" + string(rune('a'+i/26)) + string(rune('a'+i%26)) + ".example"
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	resCh := make(chan []DomainResult, 1)
+	go func() { resCh <- r.Run(ctx, domains) }()
+
+	// Let the pool pick up work, then cancel while scans are blocked.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	close(scan.release)
+
+	var results []DomainResult
+	select {
+	case results = <-resCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+
+	if len(results) != len(domains) {
+		t.Fatalf("got %d results for %d domains", len(results), len(domains))
+	}
+	seen := make(map[string]bool, len(results))
+	canceled := 0
+	for _, res := range results {
+		if seen[res.Domain] {
+			t.Errorf("domain %s reported twice", res.Domain)
+		}
+		seen[res.Domain] = true
+		if res.Canceled {
+			canceled++
+		}
+	}
+	for _, d := range domains {
+		if !seen[d] {
+			t.Errorf("domain %s unaccounted for", d)
+		}
+	}
+	if depth := reg.Gauge("scanner.queue.depth").Value(); depth != 0 {
+		t.Errorf("scanner.queue.depth = %d after run, want 0", depth)
+	}
+	if busy := reg.Gauge("scanner.workers.busy").Value(); busy != 0 {
+		t.Errorf("scanner.workers.busy = %d after run, want 0", busy)
+	}
+	snap := reg.Progress("scan").Snapshot()
+	if snap.Done != int64(len(domains)) || snap.InFlight != 0 {
+		t.Errorf("progress done=%d inFlight=%d, want done=%d inFlight=0",
+			snap.Done, snap.InFlight, len(domains))
+	}
+	if got := reg.Counter("scanner.domains.canceled").Value(); got != int64(canceled) {
+		t.Errorf("scanner.domains.canceled = %d, results marked canceled = %d", got, canceled)
+	}
+	if int64(canceled) == 0 && scan.ran.Load() < int64(len(domains)) {
+		t.Errorf("no canceled results yet only %d/%d scans ran", scan.ran.Load(), len(domains))
+	}
+
+	s := Summarize(results)
+	if s.Total != len(domains) || s.Canceled != canceled {
+		t.Errorf("Summary total=%d canceled=%d, want %d/%d", s.Total, s.Canceled, len(domains), canceled)
+	}
+}
+
+// An uncanceled run must be unaffected by the accounting path.
+func TestRunnerUncanceledHasNoCanceledResults(t *testing.T) {
+	reg := obs.NewRegistry()
+	scan := &slowScanner{release: make(chan struct{})}
+	close(scan.release)
+	r := &Runner{Workers: 3, Scan: scan, Obs: reg}
+	results := r.Run(context.Background(), []string{"a.example", "b.example", "c.example"})
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, res := range results {
+		if res.Canceled {
+			t.Errorf("%s marked canceled on a clean run", res.Domain)
+		}
+	}
+	if got := reg.Counter("scanner.domains.canceled").Value(); got != 0 {
+		t.Errorf("scanner.domains.canceled = %d on a clean run", got)
+	}
+}

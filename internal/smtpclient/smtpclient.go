@@ -20,6 +20,7 @@ import (
 
 	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/retry"
 )
 
 // Probe errors.
@@ -74,13 +75,34 @@ type Prober struct {
 	// counters, including smtp.probe.cert.<problem> keyed by the PKIX
 	// taxonomy.
 	Obs *obs.Registry
+	// MaxAttempts bounds attempts per probe, retrying transient failures
+	// (see TransientProbeErr) with backoff; each attempt gets a fresh
+	// Timeout. Zero or one means a single attempt.
+	MaxAttempts int
+	// RetryBase overrides the first backoff delay (default 100ms).
+	RetryBase time.Duration
+	// RetryBudget, when non-nil, caps total retries across the run.
+	RetryBudget *retry.Budget
 }
 
 // Probe runs the §4.1 sequence against mxHost: connect, EHLO (HELO
 // fallback), STARTTLS, retrieve certificate, quit. It never sends mail.
 func (p *Prober) Probe(ctx context.Context, mxHost string) ProbeResult {
 	sp := p.Obs.StartSpan("smtp.probe")
-	res := p.probe(ctx, mxHost)
+	var res ProbeResult
+	// The result of the final attempt (res.Err mirrors Do's return) is
+	// what gets reported.
+	_ = retry.Policy{
+		Name:        "smtp.probe",
+		MaxAttempts: p.MaxAttempts,
+		BaseDelay:   p.RetryBase,
+		Budget:      p.RetryBudget,
+		Transient:   TransientProbeErr,
+		Obs:         p.Obs,
+	}.Do(ctx, func(ctx context.Context) error {
+		res = p.probe(ctx, mxHost)
+		return res.Err
+	})
 	sp.EndErr(res.Err)
 	if p.Obs.Enabled() {
 		switch {
@@ -130,7 +152,7 @@ func (p *Prober) probe(ctx context.Context, mxHost string) ProbeResult {
 	code, _, err := text.readReply()
 	greetSpan.EndErr(err)
 	if err != nil {
-		res.Err = fmt.Errorf("%w: %v", ErrBadGreeting, err)
+		res.Err = fmt.Errorf("%w: %w", ErrBadGreeting, err)
 		return res
 	}
 	if code >= 400 && code < 500 {
@@ -223,6 +245,22 @@ func (p *Prober) dialAddr(mxHost string) string {
 		port = p.Port
 	}
 	return net.JoinHostPort(mxHost, strconv.Itoa(port))
+}
+
+// TransientProbeErr reports whether a probe failure could clear on
+// retry: socket-level errors (dial failures, resets, timeouts, a torn
+// connection mid-greeting) and greylisting, which is transient by
+// definition — the §4.1 methodology reconnects to pass it. Protocol
+// verdicts (no STARTTLS, STARTTLS rejected, a handshake that reached a
+// certificate) are persistent properties of the deployment.
+func TransientProbeErr(err error) bool {
+	if errors.Is(err, ErrGreylisted) {
+		return true
+	}
+	if errors.Is(err, ErrNoSTARTTLS) {
+		return false
+	}
+	return retry.TransientNetErr(err)
 }
 
 // VerifyMX adapts Probe to the mtasts.MXVerifier interface: it returns the

@@ -15,6 +15,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/netsecurelab/mtasts/internal/faults"
 )
 
 // Behavior controls how the server advertises and performs STARTTLS.
@@ -61,6 +63,7 @@ type Server struct {
 	seen      map[string]bool // greylist memory, by remote IP
 	messages  []Message
 	connCount int
+	faults    *faults.Injector
 }
 
 // New creates a server with the given behavior.
@@ -136,6 +139,21 @@ func (s *Server) getBehavior() Behavior {
 	return s.behavior
 }
 
+// SetFaults installs a per-connection fault injector, keyed by the
+// server's announced hostname, realizing added latency and
+// pre-greeting connection resets from its seeded plan. Nil removes it.
+func (s *Server) SetFaults(inj *faults.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = inj
+}
+
+func (s *Server) getFaults() *faults.Injector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}
+
 func (s *Server) serve() {
 	defer s.wg.Done()
 	for {
@@ -180,6 +198,20 @@ func (s *Server) session(conn net.Conn) {
 		conn: conn,
 		r:    bufio.NewReader(conn),
 		w:    bufio.NewWriter(conn),
+	}
+	// Injected connection faults come before any protocol exchange: the
+	// client sees a silent close (reset) instead of a greeting — the
+	// transient failure shape a retry should clear.
+	act, delay := s.getFaults().Conn("smtpd", b.Hostname)
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-s.closed:
+			return
+		}
+	}
+	if act == faults.ConnReset {
+		return
 	}
 	if b.Greylist && !s.greylistPass(conn) {
 		sess.reply(451, "4.7.1 greylisted, try again later")

@@ -1,7 +1,7 @@
 # Standard entry points; CI runs `make check` and `make smoke-faults`.
 GO ?= go
 
-.PHONY: build test race vet check reproduce smoke-faults
+.PHONY: build test race vet lint lint-baseline check reproduce smoke-faults
 
 build:
 	$(GO) build ./...
@@ -9,15 +9,28 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrency-heavy packages (worker pool + lock-free
-# metrics + retry/fault layers).
+# Race-check the whole module; the concurrency-heavy packages (worker
+# pool, lock-free metrics, retry/fault layers, loopback servers) all
+# have goroutine-crossing tests.
 race:
-	$(GO) test -race ./internal/obs ./internal/scanner ./internal/retry ./internal/faults
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+# Project-specific static analysis (docs/LINT.md): dropped errors,
+# context propagation, metric-name drift against docs/OBSERVABILITY.md,
+# dead values, raw sleeps in retry paths. Fails on any finding not in
+# the committed baseline (.mtastslint-baseline.json, kept empty).
+lint:
+	$(GO) run ./cmd/mtastslint
+
+# Regenerate the baseline from current findings. The goal state is an
+# empty baseline: prefer fixing or //lint:ignore-ing findings instead.
+lint-baseline:
+	$(GO) run ./cmd/mtastslint -write-baseline
+
+check: build vet lint test race
 
 reproduce:
 	$(GO) run ./cmd/reproduce

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -116,8 +117,7 @@ func writeSnapshot(world *simnet.World, t int, outDir string) error {
 		return err
 	}
 	if _, err := zone.WriteTo(zf); err != nil {
-		zf.Close()
-		return err
+		return errors.Join(err, zf.Close())
 	}
 	if err := zf.Close(); err != nil {
 		return err

@@ -158,7 +158,10 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
-	srv.Close()
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "shutdown:", err)
+		os.Exit(1)
+	}
 }
 
 func parseCertMode(v string) (policysrv.CertMode, error) {

@@ -171,7 +171,10 @@ func main() {
 		tbl.AddRow(r.Domain, record, policy, stage, string(r.Policy.Mode),
 			invalid, mismatch, r.DeliveryFailure())
 	}
-	tbl.WriteTSV(os.Stdout)
+	if err := tbl.WriteTSV(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "writing results:", err)
+		os.Exit(1)
+	}
 
 	s := scanner.Summarize(results)
 	fmt.Fprintln(os.Stderr)

@@ -1,0 +1,53 @@
+// Command mtastslint runs the project's static-analysis suite
+// (internal/lint) over the module: errdrop, ctxpass, obsnames,
+// deadvalue and sleeploop, with //lint:ignore suppressions and a
+// committed baseline for grandfathered sites. It exits 0 when the tree
+// is clean, 1 on new findings, 2 on operational errors.
+//
+// Usage:
+//
+//	mtastslint [-dir .] [-json] [-baseline file] [-write-baseline]
+//	           [-only errdrop,obsnames] [-list]
+//
+// docs/LINT.md documents each analyzer and the baseline workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/netsecurelab/mtasts/internal/lint"
+)
+
+func main() {
+	var (
+		dir           = flag.String("dir", ".", "module root to analyze (directory containing go.mod)")
+		jsonOut       = flag.Bool("json", false, "report findings as JSON instead of file:line:col text")
+		baseline      = flag.String("baseline", "", "baseline file (default <dir>/"+lint.DefaultBaselineName+")")
+		writeBaseline = flag.Bool("write-baseline", false, "regenerate the baseline from current findings and exit 0")
+		only          = flag.String("only", "", "comma-separated analyzer names to run (default all)")
+		list          = flag.Bool("list", false, "list analyzers and exit")
+		docs          = flag.String("docs", "", "observability doc for obsnames (default <dir>/docs/OBSERVABILITY.md)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All(*docs) {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	opts := lint.Options{
+		Dir:           *dir,
+		BaselinePath:  *baseline,
+		DocsPath:      *docs,
+		JSON:          *jsonOut,
+		WriteBaseline: *writeBaseline,
+	}
+	if *only != "" {
+		opts.Only = strings.Split(*only, ",")
+	}
+	os.Exit(lint.Main(opts, os.Stdout, os.Stderr))
+}

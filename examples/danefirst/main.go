@@ -97,7 +97,9 @@ func main() {
 	// A compliant outbound MTA with a chain-validating resolver.
 	dnsClient := resolver.New(dnsAddr.String())
 	validator := dnssec.NewValidator(dnsClient)
-	validator.AddAnchor(signer.DS())
+	if err := validator.AddAnchor(signer.DS()); err != nil {
+		log.Fatal(err)
+	}
 	outbound := &mta.Outbound{
 		DNS: dnsClient,
 		Validator: &mtasts.Validator{

@@ -81,8 +81,14 @@ func main() {
 		log.Fatal(err)
 	}
 	defer mx.Close()
-	_, smtpPortStr, _ := net.SplitHostPort(mxAddr.String())
-	smtpPort, _ := strconv.Atoi(smtpPortStr)
+	_, smtpPortStr, err := net.SplitHostPort(mxAddr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	smtpPort, err := strconv.Atoi(smtpPortStr)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 4. Validate the deployment end-to-end with the public API.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -118,6 +118,7 @@ func (t *Table) WriteTSV(w io.Writer) error {
 // TSV returns the table in TSV form.
 func (t *Table) TSV() string {
 	var sb strings.Builder
+	//lint:ignore errdrop writes to a strings.Builder cannot fail
 	t.WriteTSV(&sb)
 	return sb.String()
 }

@@ -120,15 +120,24 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dnsserver: resolve %q: %w", addr, err)
 	}
-	conn, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		return nil, fmt.Errorf("dnsserver: listen udp: %w", err)
-	}
-	// Bind TCP on the same port as the UDP socket.
-	ln, err := net.Listen("tcp", conn.LocalAddr().String())
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("dnsserver: listen tcp: %w", err)
+	// Bind UDP, then TCP on the same port. With an ephemeral port request
+	// the kernel picks the UDP port freely, so the matching TCP port may
+	// already belong to someone else — re-roll a few times before giving up.
+	var conn *net.UDPConn
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		conn, err = net.ListenUDP("udp", udpAddr)
+		if err != nil {
+			return nil, fmt.Errorf("dnsserver: listen udp: %w", err)
+		}
+		ln, err = net.Listen("tcp", conn.LocalAddr().String())
+		if err == nil {
+			break
+		}
+		err = errors.Join(fmt.Errorf("dnsserver: listen tcp: %w", err), conn.Close())
+		if udpAddr.Port != 0 || attempt >= 4 {
+			return nil, err
+		}
 	}
 	s.udpConn, s.tcpLn = conn, ln
 	s.wg.Add(2)
@@ -153,14 +162,15 @@ func (s *Server) Close() error {
 	default:
 	}
 	close(s.closed)
+	var errs []error
 	if s.udpConn != nil {
-		s.udpConn.Close()
+		errs = append(errs, s.udpConn.Close())
 	}
 	if s.tcpLn != nil {
-		s.tcpLn.Close()
+		errs = append(errs, s.tcpLn.Close())
 	}
 	s.wg.Wait()
-	return nil
+	return errors.Join(errs...)
 }
 
 const maxUDPPayload = 1232 // common EDNS-less safe size; we truncate beyond it
@@ -299,7 +309,11 @@ func (s *Server) handlePacket(pkt []byte, proto string) []byte {
 		if len(pkt) >= 2 {
 			resp.Header.ID = uint16(pkt[0])<<8 | uint16(pkt[1])
 		}
-		b, _ := resp.Pack()
+		b, err := resp.Pack()
+		if err != nil {
+			s.logger.Error("pack FORMERR response", "err", err)
+			return nil
+		}
 		return b
 	}
 
@@ -346,7 +360,14 @@ func (s *Server) handlePacket(pkt []byte, proto string) []byte {
 		s.logger.Error("pack response", "err", err)
 		fallback := &dnsmsg.Message{Header: dnsmsg.Header{
 			ID: query.Header.ID, Response: true, RCode: dnsmsg.RCodeServFail}}
-		b, _ = fallback.Pack()
+		b, err = fallback.Pack()
+		if err != nil {
+			// A header-only SERVFAIL failing to pack means the message
+			// codec itself is broken; dropping the reply (a DNS timeout
+			// for the client) is the only honest response left.
+			s.logger.Error("pack fallback SERVFAIL", "err", err)
+			return nil
+		}
 	}
 	return b
 }
@@ -410,17 +431,10 @@ func (s *Server) WaitReady(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	var dialer net.Dialer
 	for {
-		conn, err := net.Dial("udp", s.udpConn.LocalAddr().String())
-		if err == nil {
-			conn.SetDeadline(time.Now().Add(200 * time.Millisecond))
-			conn.Write(b)
-			resp := make([]byte, 512)
-			_, err = conn.Read(resp)
-			conn.Close()
-			if err == nil {
-				return nil
-			}
+		if probeReady(ctx, &dialer, s.udpConn.LocalAddr().String(), b) {
+			return nil
 		}
 		select {
 		case <-ctx.Done():
@@ -428,4 +442,23 @@ func (s *Server) WaitReady(ctx context.Context) error {
 		case <-time.After(20 * time.Millisecond):
 		}
 	}
+}
+
+// probeReady sends one probe query and reports whether an answer came
+// back within the per-probe deadline.
+func probeReady(ctx context.Context, dialer *net.Dialer, addr string, query []byte) bool {
+	conn, err := dialer.DialContext(ctx, "udp", addr)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(200 * time.Millisecond)); err != nil {
+		return false
+	}
+	if _, err := conn.Write(query); err != nil {
+		return false
+	}
+	resp := make([]byte, 512)
+	_, err = conn.Read(resp)
+	return err == nil
 }

@@ -18,6 +18,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/netip"
@@ -236,14 +237,12 @@ func buildRobustnessWorld(n int) (*robustnessWorld, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := w.dns.WaitReady(ctx); err != nil {
-		w.Close()
-		return nil, err
+		return nil, errors.Join(err, w.Close())
 	}
 
 	w.pol = policysrv.New(ca, nil)
 	if _, err := w.pol.Start("127.0.0.1:0"); err != nil {
-		w.Close()
-		return nil, err
+		return nil, errors.Join(err, w.Close())
 	}
 
 	a := func(name string) dnsmsg.RR {
@@ -271,39 +270,37 @@ func buildRobustnessWorld(n int) (*robustnessWorld, error) {
 	// One listener serves every MX: the certificate carries all names.
 	leaf, err := ca.Issue(pki.IssueOptions{Names: mxNames})
 	if err != nil {
-		w.Close()
-		return nil, err
+		return nil, errors.Join(err, w.Close())
 	}
 	cert := leaf.TLSCertificate()
 	w.smtp = smtpd.New(smtpd.Behavior{Hostname: "mx.shared.test", Certificate: &cert})
 	smtpAddr, err := w.smtp.Start("127.0.0.1:0")
 	if err != nil {
-		w.Close()
-		return nil, err
+		return nil, errors.Join(err, w.Close())
 	}
 	_, portStr, err := net.SplitHostPort(smtpAddr.String())
 	if err != nil {
-		w.Close()
-		return nil, err
+		return nil, errors.Join(err, w.Close())
 	}
 	w.smtpPort, err = strconv.Atoi(portStr)
 	if err != nil {
-		w.Close()
-		return nil, err
+		return nil, errors.Join(err, w.Close())
 	}
 	return w, nil
 }
 
-func (w *robustnessWorld) Close() {
+func (w *robustnessWorld) Close() error {
+	var errs []error
 	if w.smtp != nil {
-		w.smtp.Close()
+		errs = append(errs, w.smtp.Close())
 	}
 	if w.pol != nil {
-		w.pol.Close()
+		errs = append(errs, w.pol.Close())
 	}
 	if w.dns != nil {
-		w.dns.Close()
+		errs = append(errs, w.dns.Close())
 	}
+	return errors.Join(errs...)
 }
 
 // setFaults installs (or, with nil, removes) one injector on all three

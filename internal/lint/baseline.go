@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is the committed set of grandfathered findings. Entries are
+// keyed by analyzer, file and message — not line — so edits elsewhere in
+// a file do not resurrect a grandfathered site, while fixing the site
+// (or moving it to another file) retires the entry.
+//
+// The workflow: `mtastslint -write-baseline` snapshots current findings;
+// subsequent runs exit non-zero only on findings absent from the
+// baseline. The goal state, which this repo is in, is an empty baseline.
+type Baseline struct {
+	// Findings are the grandfathered entries, sorted for stable diffs.
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry mirrors Finding minus the position-within-file fields.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+func (e BaselineEntry) key() string { return e.Analyzer + "\x00" + e.File + "\x00" + e.Message }
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, so fresh checkouts and new repos need no setup.
+func LoadBaseline(path string) (*Baseline, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bl Baseline
+	if err := json.Unmarshal(b, &bl); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &bl, nil
+}
+
+// Filter splits findings into those not covered by the baseline (new —
+// these fail the build) and those grandfathered by it. Each baseline
+// entry absorbs any number of identical findings in its file.
+func (bl *Baseline) Filter(findings []Finding) (fresh, grandfathered []Finding) {
+	keys := make(map[string]bool, len(bl.Findings))
+	for _, e := range bl.Findings {
+		keys[e.key()] = true
+	}
+	for _, f := range findings {
+		if keys[f.Key()] {
+			grandfathered = append(grandfathered, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh, grandfathered
+}
+
+// WriteBaseline writes findings as a baseline file, deduplicated and
+// sorted.
+func WriteBaseline(path string, findings []Finding) error {
+	seen := make(map[string]bool)
+	bl := Baseline{Findings: []BaselineEntry{}}
+	for _, f := range findings {
+		e := BaselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message}
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		bl.Findings = append(bl.Findings, e)
+	}
+	sort.Slice(bl.Findings, func(i, j int) bool { return bl.Findings[i].key() < bl.Findings[j].key() })
+	b, err := json.MarshalIndent(bl, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ctxpassBlocking maps package path → function names that block on the
+// network without taking a context, plus the context-aware replacement
+// to suggest. Library code under internal/ must use the replacement so
+// cancellation and deadlines thread all the way to the socket.
+var ctxpassBlocking = map[string]map[string]string{
+	"net": {
+		"Dial":        "(*net.Dialer).DialContext",
+		"DialTimeout": "(*net.Dialer).DialContext",
+		"LookupHost":  "(*net.Resolver).LookupHost",
+		"LookupIP":    "(*net.Resolver).LookupIP",
+		"LookupMX":    "(*net.Resolver).LookupMX",
+		"LookupTXT":   "(*net.Resolver).LookupTXT",
+		"LookupAddr":  "(*net.Resolver).LookupAddr",
+		"LookupCNAME": "(*net.Resolver).LookupCNAME",
+	},
+	"crypto/tls": {
+		"Dial":           "tls.Dialer.DialContext",
+		"DialWithDialer": "tls.Dialer.DialContext",
+	},
+	"net/http": {
+		"Get":      "http.NewRequestWithContext",
+		"Head":     "http.NewRequestWithContext",
+		"Post":     "http.NewRequestWithContext",
+		"PostForm": "http.NewRequestWithContext",
+	},
+	"net/smtp": {
+		"Dial": "a context-aware dialer plus smtp.NewClient",
+	},
+}
+
+// ctxpassExemptPkgs are internal packages allowed to mint root
+// contexts: experiment harnesses own their run lifecycle the way main
+// functions do.
+func ctxpassExempt(importPath string) bool {
+	return strings.Contains(importPath, "/internal/experiments")
+}
+
+// CtxPass enforces the context-propagation convention: library code
+// under internal/ that talks to the network must accept and thread a
+// context.Context. It flags (a) context.Background()/context.TODO()
+// outside main packages, tests and internal/experiments, and (b) calls
+// to blocking net/DNS/HTTP/SMTP APIs that have context-aware
+// equivalents.
+func CtxPass() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxpass",
+		Doc:  "requires context.Context threading in internal/ network code",
+	}
+	a.Run = func(pass *Pass) {
+		if !isInternalPkg(pass.Pkg.ImportPath) || pass.Pkg.Types.Name() == "main" {
+			return
+		}
+		rootExempt := ctxpassExempt(pass.Pkg.ImportPath)
+		info := pass.Pkg.Info
+		pass.inspect(func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			pkgPath := funcPkgPath(fn)
+			if pkgPath == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") && recvTypeString(fn) == "" {
+				if !rootExempt {
+					pass.Reportf(call.Pos(), "context.%s() in library code; accept a context.Context from the caller", fn.Name())
+				}
+				return true
+			}
+			if repl, ok := ctxpassBlocking[pkgPath][fn.Name()]; ok && recvTypeString(fn) == "" {
+				pass.Reportf(call.Pos(), "%s.%s blocks without a context; use %s", fn.Pkg().Name(), fn.Name(), repl)
+			}
+			return true
+		})
+	}
+	return a
+}

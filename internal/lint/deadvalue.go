@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deadvaluePurePkgs are packages whose exported functions compute
+// values without side effects: discarding their result discards the
+// whole call.
+var deadvaluePurePkgs = map[string]bool{
+	"strings": true, "strconv": true, "path": true,
+	"unicode": true, "unicode/utf8": true,
+}
+
+// deadvaluePureMethods lists pure methods by receiver type.
+var deadvaluePureMethods = map[string]map[string]bool{
+	"net/http.Header": {"Get": true, "Values": true, "Clone": true},
+	"net/url.Values":  {"Get": true, "Encode": true},
+}
+
+// DeadValue reports computed-and-discarded expressions: `_ = expr`
+// assignments (and pure calls used as bare statements) whose right side
+// has no side effects, so the statement does nothing at all. The
+// `_ = resp.Header.Get("Content-Type")` this PR removed from
+// internal/mtasts/fetch.go is the motivating instance — code that looks
+// like a check but checks nothing. Type assertions (`_ = x.(T)`) are
+// exempt: the single-value form panics on mismatch, which is the point.
+func DeadValue() *Analyzer {
+	a := &Analyzer{
+		Name: "deadvalue",
+		Doc:  "flags side-effect-free expressions whose value is discarded",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		pass.inspect(func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 || !isBlank(stmt.Lhs[0]) {
+					return true
+				}
+				rhs := ast.Unparen(stmt.Rhs[0])
+				if call, ok := rhs.(*ast.CallExpr); ok && len(errorResultIndexes(info, call)) > 0 {
+					return true // dropping an error is errdrop's finding, not a dead value
+				}
+				if sideEffectFree(info, rhs) {
+					pass.Reportf(stmt.Pos(), "value is computed and discarded (dead `_ =` assignment)")
+				}
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok || len(errorResultIndexes(info, call)) > 0 {
+					return true
+				}
+				if callResults(info, call) == nil {
+					return true // conversion or builtin; not statement-shaped anyway
+				}
+				if sideEffectFree(info, call) {
+					pass.Reportf(stmt.Pos(), "result of %s is discarded and the call has no side effects", funcName(calleeFunc(info, call)))
+				}
+			}
+			return true
+		})
+	}
+	return a
+}
+
+// sideEffectFree conservatively reports whether evaluating e cannot
+// change program state: identifiers, literals, field selections, pure
+// arithmetic, conversions, and calls into the pure allowlist. Anything
+// it does not recognize — channel ops, type assertions, unknown calls —
+// counts as effectful.
+func sideEffectFree(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.ParenExpr:
+		return sideEffectFree(info, e.X)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			switch sel.Kind() {
+			case types.FieldVal, types.MethodVal, types.MethodExpr:
+				// Field read or method value (not a call).
+				return sideEffectFree(info, e.X)
+			}
+			return false
+		}
+		return true // qualified identifier pkg.Name
+	case *ast.StarExpr:
+		return sideEffectFree(info, e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() != "<-" && sideEffectFree(info, e.X)
+	case *ast.BinaryExpr:
+		return sideEffectFree(info, e.X) && sideEffectFree(info, e.Y)
+	case *ast.IndexExpr:
+		return sideEffectFree(info, e.X) && sideEffectFree(info, e.Index)
+	case *ast.SliceExpr:
+		for _, idx := range []ast.Expr{e.X, e.Low, e.High, e.Max} {
+			if idx != nil && !sideEffectFree(info, idx) {
+				return false
+			}
+		}
+		return true
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if !sideEffectFree(info, elt) {
+				return false
+			}
+		}
+		return true
+	case *ast.CallExpr:
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+			// Conversion: pure if the operand is.
+			return len(e.Args) == 1 && sideEffectFree(info, e.Args[0])
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				if b.Name() == "len" || b.Name() == "cap" {
+					return len(e.Args) == 1 && sideEffectFree(info, e.Args[0])
+				}
+				return false
+			}
+		}
+		fn := calleeFunc(info, e)
+		if fn == nil {
+			return false
+		}
+		pure := false
+		if recv := recvTypeString(fn); recv != "" {
+			pure = deadvaluePureMethods[recv][fn.Name()]
+		} else {
+			pure = deadvaluePurePkgs[funcPkgPath(fn)]
+		}
+		if !pure {
+			return false
+		}
+		for _, arg := range e.Args {
+			if !sideEffectFree(info, arg) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

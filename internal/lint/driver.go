@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// DefaultBaselineName is the committed baseline file at the module
+// root. The repo keeps it empty-or-near-empty; -write-baseline
+// regenerates it.
+const DefaultBaselineName = ".mtastslint-baseline.json"
+
+// Options configures one driver run.
+type Options struct {
+	// Dir is the module root. Empty means ".".
+	Dir string
+	// BaselinePath locates the baseline file; empty means
+	// Dir/DefaultBaselineName.
+	BaselinePath string
+	// DocsPath overrides the observability document for obsnames.
+	DocsPath string
+	// JSON switches the report from file:line:col text to a JSON
+	// document {"findings": [...], "grandfathered": N}.
+	JSON bool
+	// WriteBaseline regenerates the baseline from current findings
+	// instead of failing on them.
+	WriteBaseline bool
+	// Only restricts the run to the named analyzers (empty = all).
+	Only []string
+}
+
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Findings      []Finding `json:"findings"`
+	Grandfathered int       `json:"grandfathered"`
+}
+
+// Main loads the module, runs the analyzer suite, applies the baseline
+// and writes the report. It returns the process exit code: 0 when no
+// new findings, 1 when new findings exist, 2 on operational errors
+// (parse/typecheck failures, unreadable baseline).
+func Main(opts Options, stdout, stderr io.Writer) int {
+	dir := opts.Dir
+	if dir == "" {
+		dir = "."
+	}
+	analyzers := All(opts.DocsPath)
+	if len(opts.Only) > 0 {
+		byName := make(map[string]*Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var selected []*Analyzer
+		for _, name := range opts.Only {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "mtastslint: unknown analyzer %q\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+		analyzers = selected
+	}
+
+	module, err := Load(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtastslint: %v\n", err)
+		return 2
+	}
+	findings := Run(module, analyzers)
+
+	baselinePath := opts.BaselinePath
+	if baselinePath == "" {
+		baselinePath = filepath.Join(module.Dir, DefaultBaselineName)
+	}
+	if opts.WriteBaseline {
+		if err := WriteBaseline(baselinePath, findings); err != nil {
+			fmt.Fprintf(stderr, "mtastslint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "mtastslint: wrote %d baseline entries to %s\n", len(findings), baselinePath)
+		return 0
+	}
+	baseline, err := LoadBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtastslint: %v\n", err)
+		return 2
+	}
+	fresh, grandfathered := baseline.Filter(findings)
+
+	if opts.JSON {
+		report := jsonReport{Findings: fresh, Grandfathered: len(grandfathered)}
+		if report.Findings == nil {
+			report.Findings = []Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(stderr, "mtastslint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range fresh {
+			fmt.Fprintln(stdout, f.String())
+		}
+		if len(fresh) > 0 || len(grandfathered) > 0 {
+			fmt.Fprintf(stderr, "mtastslint: %d finding(s), %d grandfathered by %s\n",
+				len(fresh), len(grandfathered), filepath.Base(baselinePath))
+		}
+	}
+	if len(fresh) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The testdata mini-module holds exactly one finding (an errdrop in
+// fixmod.go); the driver tests exercise reporting and the baseline
+// round-trip against it.
+const fixtureModule = "testdata/module"
+
+func runDriver(t *testing.T, opts Options) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = Main(opts, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestDriverTextReport(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	code, out, errb := runDriver(t, Options{Dir: fixtureModule, BaselinePath: baseline})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "fixmod.go:11:2: error result of fixmod.fail is assigned to _ [errdrop]") {
+		t.Errorf("unexpected text report:\n%s", out)
+	}
+	if !strings.Contains(errb, "1 finding(s)") {
+		t.Errorf("summary missing from stderr: %s", errb)
+	}
+}
+
+func TestDriverJSONAndBaselineRoundTrip(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+
+	code, out, errb := runDriver(t, Options{Dir: fixtureModule, BaselinePath: baseline, JSON: true})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errb)
+	}
+	var report struct {
+		Findings      []Finding `json:"findings"`
+		Grandfathered int       `json:"grandfathered"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(report.Findings) != 1 || report.Grandfathered != 0 {
+		t.Fatalf("report = %+v, want 1 finding, 0 grandfathered", report)
+	}
+	f := report.Findings[0]
+	if f.Analyzer != "errdrop" || f.File != "fixmod.go" || f.Line != 11 {
+		t.Errorf("finding = %+v", f)
+	}
+
+	// Snapshot the baseline; the same run must now pass with the finding
+	// grandfathered rather than fresh.
+	code, _, errb = runDriver(t, Options{Dir: fixtureModule, BaselinePath: baseline, WriteBaseline: true})
+	if code != 0 {
+		t.Fatalf("write-baseline exit = %d; stderr: %s", code, errb)
+	}
+	if !strings.Contains(errb, "wrote 1 baseline entries") {
+		t.Errorf("stderr: %s", errb)
+	}
+	code, out, _ = runDriver(t, Options{Dir: fixtureModule, BaselinePath: baseline, JSON: true})
+	if code != 0 {
+		t.Fatalf("exit code after baselining = %d, want 0", code)
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Findings) != 0 || report.Grandfathered != 1 {
+		t.Errorf("report after baselining = %+v, want 0 findings, 1 grandfathered", report)
+	}
+}
+
+func TestDriverOnlySelection(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	// deadvalue deliberately cedes dropped errors to errdrop, so
+	// restricting to it runs the mini-module clean.
+	code, out, errb := runDriver(t, Options{Dir: fixtureModule, BaselinePath: baseline, Only: []string{"deadvalue"}})
+	if code != 0 || out != "" {
+		t.Errorf("exit = %d, stdout = %q, stderr = %s", code, out, errb)
+	}
+	code, _, errb = runDriver(t, Options{Dir: fixtureModule, BaselinePath: baseline, Only: []string{"nonsense"}})
+	if code != 2 || !strings.Contains(errb, `unknown analyzer "nonsense"`) {
+		t.Errorf("exit = %d, stderr = %s", code, errb)
+	}
+}
+
+func TestBaselineKeyIgnoresLine(t *testing.T) {
+	bl := &Baseline{Findings: []BaselineEntry{{Analyzer: "errdrop", File: "a.go", Message: "m"}}}
+	fresh, grandfathered := bl.Filter([]Finding{
+		{Analyzer: "errdrop", File: "a.go", Line: 10, Message: "m"},
+		{Analyzer: "errdrop", File: "a.go", Line: 99, Message: "m"}, // moved: still absorbed
+		{Analyzer: "errdrop", File: "b.go", Line: 10, Message: "m"}, // other file: fresh
+	})
+	if len(grandfathered) != 2 || len(fresh) != 1 || fresh[0].File != "b.go" {
+		t.Errorf("fresh = %v, grandfathered = %v", fresh, grandfathered)
+	}
+}
+
+func TestLoadBaselineMissingFileIsEmpty(t *testing.T) {
+	bl, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || len(bl.Findings) != 0 {
+		t.Errorf("bl = %+v, err = %v", bl, err)
+	}
+}

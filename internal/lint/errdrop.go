@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errdropAllowedPkgs are packages whose error returns are convention-
+// ally ignorable: fmt's writers report errors almost no caller can act
+// on (and the project's CLIs print to stdout best-effort).
+var errdropAllowedPkgs = map[string]bool{
+	"fmt": true,
+}
+
+// errdropAllowedRecvs are receiver types whose Write-shaped methods are
+// documented never to fail.
+var errdropAllowedRecvs = map[string]bool{
+	"*strings.Builder": true,
+	"*bytes.Buffer":    true,
+	"hash.Hash":        true,
+}
+
+// errdropDeferAllowed are method names whose errors are conventionally
+// dropped in defer statements (the original error, not the cleanup
+// error, is what the caller reports).
+var errdropDeferAllowed = map[string]bool{
+	"Close": true, "Flush": true, "Stop": true,
+}
+
+// errdropDeadlineSetters are net.Conn deadline methods: a failure means
+// the socket is already dead, which the very next read or write
+// surfaces with a better error.
+var errdropDeadlineSetters = map[string]bool{
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+// ErrDrop reports discarded error returns: calls used as bare
+// statements, `_ =` assignments of error-yielding calls, and deferred
+// or spawned error-returning calls — PR 1's silently-swallowed
+// MX-lookup bug was exactly this defect class. fmt printers,
+// never-failing writers (strings.Builder, bytes.Buffer, hash.Hash) and
+// deferred Close/Flush/Stop are allowed; everything else needs handling
+// or a //lint:ignore errdrop annotation.
+func ErrDrop() *Analyzer {
+	a := &Analyzer{
+		Name: "errdrop",
+		Doc:  "flags discarded error returns outside a small allowlist",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		pass.inspect(func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if errdropFlags(info, call, false) {
+					pass.Reportf(call.Pos(), "error result of %s is discarded", funcName(calleeFunc(info, call)))
+				}
+			case *ast.DeferStmt:
+				if errdropFlags(info, stmt.Call, true) {
+					pass.Reportf(stmt.Call.Pos(), "error result of deferred %s is discarded", funcName(calleeFunc(info, stmt.Call)))
+				}
+			case *ast.GoStmt:
+				if errdropFlags(info, stmt.Call, false) {
+					pass.Reportf(stmt.Call.Pos(), "error result of go %s is discarded", funcName(calleeFunc(info, stmt.Call)))
+				}
+			case *ast.AssignStmt:
+				if len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				errIdx := errorResultIndexes(info, call)
+				if len(errIdx) == 0 || errdropAllowed(info, call, false) {
+					return true
+				}
+				// Flag only when every error result lands in a blank
+				// identifier; capturing any one of them counts as handling.
+				if len(stmt.Lhs) == 1 && len(errIdx) >= 1 {
+					if isBlank(stmt.Lhs[0]) {
+						pass.Reportf(stmt.Pos(), "error result of %s is assigned to _", funcName(calleeFunc(info, call)))
+					}
+					return true
+				}
+				allBlank := true
+				for _, i := range errIdx {
+					if i < len(stmt.Lhs) && !isBlank(stmt.Lhs[i]) {
+						allBlank = false
+					}
+				}
+				if allBlank {
+					pass.Reportf(stmt.Pos(), "error result of %s is assigned to _", funcName(calleeFunc(info, call)))
+				}
+			}
+			return true
+		})
+	}
+	return a
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// errdropFlags reports whether discarding every result of call drops an
+// error that the allowlist does not excuse.
+func errdropFlags(info *types.Info, call *ast.CallExpr, deferred bool) bool {
+	return len(errorResultIndexes(info, call)) > 0 && !errdropAllowed(info, call, deferred)
+}
+
+func errdropAllowed(info *types.Info, call *ast.CallExpr, deferred bool) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		// Calls through function values have no stable identity to
+		// allowlist; stay quiet rather than noisy.
+		return true
+	}
+	if errdropAllowedPkgs[funcPkgPath(fn)] {
+		return true
+	}
+	recv := recvTypeString(fn)
+	if errdropAllowedRecvs[recv] {
+		return true
+	}
+	// Methods promoted from embedded never-failing writers keep their
+	// receiver spelling; a *bufio.Writer behind an interface does not.
+	if strings.HasPrefix(recv, "*strings.") || strings.HasPrefix(recv, "*bytes.") {
+		return true
+	}
+	if errdropDeadlineSetters[fn.Name()] && (strings.HasPrefix(recv, "net.") || strings.HasPrefix(recv, "*net.")) {
+		return true
+	}
+	// hash.Hash writes never fail, but Write resolves to the embedded
+	// io.Writer method; recognize the call by the receiver expression's
+	// static type instead.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[sel.X]; ok {
+			if named, ok := tv.Type.(*types.Named); ok {
+				if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "hash" {
+					return true
+				}
+			}
+		}
+	}
+	if deferred && errdropDeferAllowed[fn.Name()] {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// want is one expectation parsed from a fixture's `// want "substring"`
+// comment: the finding must land on that file and line, and its message
+// must contain the substring.
+type want struct {
+	file   string // base name
+	line   int
+	substr string
+}
+
+const wantMarker = `// want "`
+
+func parseWants(t *testing.T, dir string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(b), "\n") {
+			idx := strings.Index(line, wantMarker)
+			if idx < 0 {
+				continue
+			}
+			rest := line[idx+len(wantMarker):]
+			end := strings.IndexByte(rest, '"')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want comment", e.Name(), i+1)
+			}
+			wants = append(wants, want{file: e.Name(), line: i + 1, substr: rest[:end]})
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", dir)
+	}
+	return wants
+}
+
+// lintFixture loads testdata/src/<fixture> under importPath, runs the
+// analyzer, and diffs the findings against the fixture's want comments
+// in both directions.
+func lintFixture(t *testing.T, fixture, importPath string, a *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	m, _, err := LoadFixture("../..", dir, importPath)
+	if err != nil {
+		t.Fatalf("LoadFixture(%s): %v", dir, err)
+	}
+	findings := Run(m, []*Analyzer{a})
+	wants := parseWants(t, dir)
+
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		found := false
+		for i, f := range findings {
+			if matched[i] || filepath.Base(f.File) != w.file || f.Line != w.line {
+				continue
+			}
+			if !strings.Contains(f.Message, w.substr) {
+				t.Errorf("%s:%d: got %q, want message containing %q", w.file, w.line, f.Message, w.substr)
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("%s:%d: no %s finding (want message containing %q)", w.file, w.line, a.Name, w.substr)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+func TestErrDropGolden(t *testing.T) {
+	lintFixture(t, "errdrop", "github.com/netsecurelab/mtasts/internal/fixerrdrop", ErrDrop())
+}
+
+func TestCtxPassGolden(t *testing.T) {
+	lintFixture(t, "ctxpass", "github.com/netsecurelab/mtasts/internal/fixctx", CtxPass())
+}
+
+func TestObsNamesGolden(t *testing.T) {
+	lintFixture(t, "obsnames", "github.com/netsecurelab/mtasts/internal/fixobs",
+		ObsNames(filepath.Join("testdata", "obsdocs.md")))
+}
+
+func TestDeadValueGolden(t *testing.T) {
+	lintFixture(t, "deadvalue", "github.com/netsecurelab/mtasts/internal/fixdead", DeadValue())
+}
+
+func TestSleepLoopGolden(t *testing.T) {
+	lintFixture(t, "sleeploop", "github.com/netsecurelab/mtasts/internal/fixsleep", SleepLoop())
+}
+
+// TestCtxPassSkipsCommandsAndExperiments pins the analyzer's scope
+// rules: the same source is quiet outside internal/ and in the
+// experiments harness.
+func TestCtxPassScope(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "ctxpass")
+	for _, importPath := range []string{
+		"github.com/netsecurelab/mtasts/cmd/fixctx", // not internal/
+	} {
+		m, _, err := LoadFixture("../..", dir, importPath)
+		if err != nil {
+			t.Fatalf("LoadFixture(%s): %v", importPath, err)
+		}
+		if findings := Run(m, []*Analyzer{CtxPass()}); len(findings) != 0 {
+			t.Errorf("%s: want no findings outside internal/, got %v", importPath, findings)
+		}
+	}
+	m, _, err := LoadFixture("../..", dir, "github.com/netsecurelab/mtasts/internal/experiments/fixctx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(m, []*Analyzer{CtxPass()}) {
+		if strings.Contains(f.Message, "context.Background") || strings.Contains(f.Message, "context.TODO") {
+			t.Errorf("experiments package should mint root contexts freely, got %s", f)
+		}
+	}
+}
+
+func TestSleepLoopSkipsRetryPackage(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "sleeploop")
+	m, _, err := LoadFixture("../..", dir, "github.com/netsecurelab/mtasts/internal/retry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings := Run(m, []*Analyzer{SleepLoop()}); len(findings) != 0 {
+		t.Errorf("internal/retry implements the sanctioned wait; want no findings, got %v", findings)
+	}
+}

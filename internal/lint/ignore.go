@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// IgnorePrefix is the suppression-comment directive:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The directive suppresses the named analyzers (or every analyzer, for
+// "*") on the directive's own line and on the line immediately below
+// it, so it works both as a trailing comment and as a standalone
+// comment above the offending statement. The reason is mandatory:
+// grandfathered sites must say why.
+const IgnorePrefix = "//lint:ignore "
+
+// ignoreIndex maps file → line → analyzer names suppressed there
+// ("*" suppresses all).
+type ignoreIndex map[string]map[int][]string
+
+func (ix ignoreIndex) suppressed(file string, line int, analyzer string) bool {
+	for _, name := range ix[file][line] {
+		if name == "*" || name == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// buildIgnoreIndex scans the package's comments for suppression
+// directives. Malformed directives (missing analyzer list or reason)
+// suppress nothing.
+func buildIgnoreIndex(fset *token.FileSet, pkg *Package) ignoreIndex {
+	ix := make(ignoreIndex)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, IgnorePrefix)
+				if !ok {
+					continue
+				}
+				names, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if names == "" || strings.TrimSpace(reason) == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ix[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					ix[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(names, ",") {
+					lines[pos.Line] = append(lines[pos.Line], name)
+					lines[pos.Line+1] = append(lines[pos.Line+1], name)
+				}
+			}
+		}
+	}
+	return ix
+}

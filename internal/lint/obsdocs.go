@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// MetricRegistry is the set of metric names docs/OBSERVABILITY.md
+// documents — the ground truth obsnames checks call sites against.
+// Names come in two forms: exact ("scan.domains.total") and patterns
+// with <wildcard> segments ("scan.category.<category>",
+// "<op>.retry.attempts"), each wildcard standing for exactly one
+// dotted segment supplied at run time.
+type MetricRegistry struct {
+	exact    map[string]bool
+	patterns [][]string // dotted segments; "<...>" entries are wildcards
+}
+
+// Names returns the exact names and pattern spellings in the registry,
+// unsorted (tests sort).
+func (r *MetricRegistry) Names() []string {
+	var out []string
+	for n := range r.exact {
+		out = append(out, n)
+	}
+	for _, p := range r.patterns {
+		out = append(out, strings.Join(p, "."))
+	}
+	return out
+}
+
+func isWildcard(seg string) bool {
+	return strings.HasPrefix(seg, "<") && strings.HasSuffix(seg, ">")
+}
+
+// MatchExact reports whether a fully-literal metric name is documented:
+// either verbatim or as an instance of a pattern.
+func (r *MetricRegistry) MatchExact(name string) bool {
+	if r.exact[name] {
+		return true
+	}
+	segs := strings.Split(name, ".")
+	for _, pat := range r.patterns {
+		if len(pat) != len(segs) {
+			continue
+		}
+		ok := true
+		for i, p := range pat {
+			if !isWildcard(p) && p != segs[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchPrefix reports whether some documented name or pattern can begin
+// with the literal prefix lit (the "scan.category." in
+// `"scan.category." + c.Key()`).
+func (r *MetricRegistry) MatchPrefix(lit string) bool {
+	for n := range r.exact {
+		if strings.HasPrefix(n, lit) {
+			return true
+		}
+	}
+	for _, pat := range r.patterns {
+		head, ok := patternHead(pat)
+		if ok && strings.HasPrefix(head, lit) {
+			return true
+		}
+		// A prefix reaching past the literal head into wildcard
+		// territory (rare) cannot be validated; treat the head match as
+		// the requirement.
+		if ok && strings.HasPrefix(lit, head) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchSuffix reports whether some documented pattern can end with the
+// literal suffix lit (the ".retry.attempts" in
+// `p.Name + ".retry.attempts"`).
+func (r *MetricRegistry) MatchSuffix(lit string) bool {
+	for _, pat := range r.patterns {
+		tail, ok := patternTail(pat)
+		if ok && strings.HasSuffix(tail, lit) {
+			return true
+		}
+	}
+	for n := range r.exact {
+		if strings.HasSuffix(n, lit) {
+			return true
+		}
+	}
+	return false
+}
+
+// patternHead returns the literal text before the first wildcard,
+// including the joining dot ("scan.category.").
+func patternHead(pat []string) (string, bool) {
+	var head []string
+	for _, seg := range pat {
+		if isWildcard(seg) {
+			return strings.Join(head, ".") + ".", true
+		}
+		head = append(head, seg)
+	}
+	return "", false
+}
+
+// patternTail returns the literal text after the last wildcard,
+// including the joining dot (".retry.attempts").
+func patternTail(pat []string) (string, bool) {
+	last := -1
+	for i, seg := range pat {
+		if isWildcard(seg) {
+			last = i
+		}
+	}
+	if last < 0 || last == len(pat)-1 {
+		return "", false
+	}
+	return "." + strings.Join(pat[last+1:], "."), true
+}
+
+// LoadMetricRegistry generates the registry from the observability
+// document: it harvests every backticked metric name in the
+// "## Metric catalog" section — table rows, span lists and prose —
+// expanding {a,b,c} alternations and adding the .seconds/.total/.errors
+// series every span implies. Keeping the registry generated from the
+// docs (rather than hand-maintained) is the point: an undocumented
+// metric cannot pass the linter, and a documented-but-renamed one
+// fails at the stale call site.
+func LoadMetricRegistry(path string) (*MetricRegistry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obsnames registry: %w", err)
+	}
+	reg := &MetricRegistry{exact: make(map[string]bool)}
+	inCatalog := false
+	inSpans := false
+	for _, line := range strings.Split(string(b), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "## ") {
+			inCatalog = trimmed == "## Metric catalog"
+			continue
+		}
+		if !inCatalog {
+			continue
+		}
+		if trimmed == "" {
+			inSpans = false
+			continue
+		}
+		if strings.HasPrefix(trimmed, "Spans:") || strings.HasPrefix(trimmed, "Span ") {
+			inSpans = true
+		}
+		isProgressRow := strings.HasPrefix(trimmed, "|") && strings.Contains(trimmed, "| progress")
+		for _, tok := range backtickTokens(trimmed) {
+			for _, name := range expandAlternation(tok) {
+				if !metricNameShaped(name, isProgressRow) {
+					continue
+				}
+				reg.add(name)
+				if inSpans {
+					reg.add(name + ".seconds")
+					reg.add(name + ".total")
+					reg.add(name + ".errors")
+				}
+			}
+		}
+	}
+	if len(reg.exact) == 0 && len(reg.patterns) == 0 {
+		return nil, fmt.Errorf("obsnames registry: no metric names found in %s (missing \"## Metric catalog\" section?)", path)
+	}
+	return reg, nil
+}
+
+func (r *MetricRegistry) add(name string) {
+	if strings.Contains(name, "<") {
+		r.patterns = append(r.patterns, strings.Split(name, "."))
+		return
+	}
+	r.exact[name] = true
+}
+
+// backtickTokens extracts `code`-quoted tokens from a markdown line.
+func backtickTokens(line string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(line, '`')
+		if i < 0 {
+			return out
+		}
+		line = line[i+1:]
+		j := strings.IndexByte(line, '`')
+		if j < 0 {
+			return out
+		}
+		out = append(out, line[:j])
+		line = line[j+1:]
+	}
+}
+
+// expandAlternation turns "a.{x,y}.b" into ["a.x.b", "a.y.b"];
+// tokens without braces pass through.
+func expandAlternation(tok string) []string {
+	i := strings.IndexByte(tok, '{')
+	if i < 0 {
+		return []string{tok}
+	}
+	j := strings.IndexByte(tok[i:], '}')
+	if j < 0 {
+		return []string{tok}
+	}
+	j += i
+	var out []string
+	for _, alt := range strings.Split(tok[i+1:j], ",") {
+		out = append(out, expandAlternation(tok[:i]+alt+tok[j+1:])...)
+	}
+	return out
+}
+
+// metricNameShaped filters harvested tokens down to plausible metric
+// names: lowercase dotted paths (single-segment only for progress-table
+// rows), with <wildcard> segments allowed; paths, flags and identifiers
+// with slashes or uppercase are rejected.
+func metricNameShaped(tok string, allowSingleSegment bool) bool {
+	if tok == "" || strings.ContainsAny(tok, "/* ") {
+		return false
+	}
+	segs := strings.Split(tok, ".")
+	if len(segs) < 2 && !allowSingleSegment {
+		return false
+	}
+	for _, seg := range segs {
+		if seg == "" {
+			return false
+		}
+		if isWildcard(seg) {
+			continue
+		}
+		for _, r := range seg {
+			if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' && r != '-' {
+				return false
+			}
+		}
+	}
+	return true
+}

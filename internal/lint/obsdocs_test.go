@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestLoadMetricRegistryRealDocs pins the parser against the real
+// observability document: names the code actually uses must be in the
+// registry, in every matching mode obsnames relies on.
+func TestLoadMetricRegistryRealDocs(t *testing.T) {
+	reg, err := LoadMetricRegistry(filepath.Join("..", "..", "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"scan.domains.total",
+		"mtasts.fetch.ok",
+		"mtasts.fetch.wrong_content_type", // RFC 8461 §3.3 counter added with this suite
+		"obs.export.errors",
+		"resolver.cache.hits",      // {…} alternation expansion
+		"scan.category.dns_record", // instance of scan.category.<category>
+		"scan.domain.seconds",      // implied by the scan.domain span
+		"mtasts.fetch.tls_handshake.seconds",
+	} {
+		if !reg.MatchExact(name) {
+			t.Errorf("MatchExact(%q) = false, want documented", name)
+		}
+	}
+	for _, name := range []string{"scan.bogus.metric", "docs/LINT.md", "WriteJSON"} {
+		if reg.MatchExact(name) {
+			t.Errorf("MatchExact(%q) = true for an undocumented name", name)
+		}
+	}
+	if !reg.MatchPrefix("scan.policy.stage_errors.") {
+		t.Error(`MatchPrefix("scan.policy.stage_errors.") = false`)
+	}
+	if reg.MatchPrefix("scan.nope.") {
+		t.Error(`MatchPrefix("scan.nope.") = true`)
+	}
+	if !reg.MatchSuffix(".retry.attempts") {
+		t.Error(`MatchSuffix(".retry.attempts") = false`)
+	}
+	if reg.MatchSuffix(".retry.nonsense") {
+		t.Error(`MatchSuffix(".retry.nonsense") = true`)
+	}
+}
+
+func TestLoadMetricRegistryErrors(t *testing.T) {
+	if _, err := LoadMetricRegistry(filepath.Join(t.TempDir(), "absent.md")); err == nil {
+		t.Error("missing file: want error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.md")
+	if err := os.WriteFile(empty, []byte("# No catalog here\n\njust `prose`\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMetricRegistry(empty); err == nil {
+		t.Error("catalog-less file: want error")
+	}
+}
+
+func TestExpandAlternation(t *testing.T) {
+	got := expandAlternation("resolver.cache.{entries,hits}")
+	want := []string{"resolver.cache.entries", "resolver.cache.hits"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("expandAlternation = %v, want %v", got, want)
+	}
+	if got := expandAlternation("plain.name"); !reflect.DeepEqual(got, []string{"plain.name"}) {
+		t.Errorf("plain token = %v", got)
+	}
+}
+
+func TestMetricNameShaped(t *testing.T) {
+	cases := []struct {
+		tok    string
+		single bool
+		want   bool
+	}{
+		{"scan.domains.total", false, true},
+		{"scan.category.<category>", false, true},
+		{"scan", false, false}, // single segment needs the progress-row carve-out
+		{"scan", true, true},
+		{"docs/LINT.md", false, false},
+		{"ROADMAP.md", false, false},
+		{"scan..total", false, false},
+	}
+	for _, c := range cases {
+		if got := metricNameShaped(c.tok, c.single); got != c.want {
+			t.Errorf("metricNameShaped(%q, %v) = %v, want %v", c.tok, c.single, got, c.want)
+		}
+	}
+}

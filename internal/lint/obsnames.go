@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// obsNameMethods maps obs API entry points to the index of their
+// metric-name argument.
+var obsNameMethods = map[string]int{
+	"Counter":   0,
+	"Gauge":     0,
+	"GaugeFunc": 0,
+	"Histogram": 0,
+	"Progress":  0,
+	"StartSpan": 0, // (*Registry).StartSpan(name); package-level StartSpan(ctx, name) handled below
+}
+
+// ObsNames checks every metric-name string reaching the obs registry —
+// Counter, Gauge, GaugeFunc, Histogram, Progress and StartSpan — against
+// the registry generated from docs/OBSERVABILITY.md, catching typos,
+// case drift and undocumented metrics at compile time rather than on a
+// dashboard. Constant names must be documented exactly; for
+// "literal" + dynamic (and dynamic + "literal") concatenations the
+// literal part must anchor a documented <wildcard> pattern. Fully
+// dynamic names are skipped. docsPath overrides the document location
+// (tests); empty means <module>/docs/OBSERVABILITY.md.
+func ObsNames(docsPath string) *Analyzer {
+	a := &Analyzer{
+		Name: "obsnames",
+		Doc:  "checks obs metric names against the docs/OBSERVABILITY.md catalog",
+	}
+	var (
+		once    sync.Once
+		reg     *MetricRegistry
+		loadErr error
+		errSent bool
+	)
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		pass.inspect(func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "/internal/obs") {
+				return true
+			}
+			argIdx, ok := obsNameMethods[fn.Name()]
+			if !ok {
+				return true
+			}
+			if fn.Name() == "StartSpan" && recvTypeString(fn) == "" {
+				argIdx = 1 // package-level StartSpan(ctx, name)
+			}
+			if argIdx >= len(call.Args) {
+				return true
+			}
+			// The registry loads lazily at the first obs call site, so a
+			// module that never records a metric needs no catalog at all.
+			once.Do(func() {
+				path := docsPath
+				if path == "" {
+					path = filepath.Join(pass.Module.Dir, "docs", "OBSERVABILITY.md")
+				}
+				reg, loadErr = LoadMetricRegistry(path)
+			})
+			if loadErr != nil {
+				if !errSent {
+					errSent = true
+					pass.Reportf(call.Pos(), "cannot build metric registry: %v", loadErr)
+				}
+				return true
+			}
+			checkMetricName(pass, reg, call.Args[argIdx])
+			return true
+		})
+	}
+	return a
+}
+
+func checkMetricName(pass *Pass, reg *MetricRegistry, arg ast.Expr) {
+	info := pass.Pkg.Info
+	// The type checker constant-folds literals and concatenations of
+	// constants, so "a" + "b" and named constants all land here.
+	if tv, ok := info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		name := constant.StringVal(tv.Value)
+		if !reg.MatchExact(name) {
+			pass.Reportf(arg.Pos(), "metric name %q is not documented in docs/OBSERVABILITY.md", name)
+		}
+		return
+	}
+	bin, ok := ast.Unparen(arg).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD {
+		return // fully dynamic: nothing to check statically
+	}
+	constString := func(e ast.Expr) (string, bool) {
+		tv, ok := info.Types[e]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return "", false
+		}
+		return constant.StringVal(tv.Value), true
+	}
+	if lit, ok := constString(bin.X); ok {
+		if !reg.MatchPrefix(lit) {
+			pass.Reportf(arg.Pos(), "no documented metric matches prefix %q (docs/OBSERVABILITY.md)", lit)
+		}
+		return
+	}
+	if lit, ok := constString(bin.Y); ok {
+		if !reg.MatchSuffix(lit) {
+			pass.Reportf(arg.Pos(), "no documented metric matches suffix %q (docs/OBSERVABILITY.md)", lit)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package fixmod is a one-file module with exactly one lint finding (a
+// dropped error); the driver tests pin the baseline round-trip on it.
+package fixmod
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+// Use drops fail's error on purpose.
+func Use() {
+	_ = fail()
+}

@@ -1,0 +1,3 @@
+module example.com/fixmod
+
+go 1.22

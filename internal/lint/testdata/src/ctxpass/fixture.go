@@ -1,0 +1,32 @@
+// Fixture for the ctxpass analyzer (loaded under an internal/ import
+// path, where the convention applies).
+package fixctx
+
+import (
+	"context"
+	"net"
+	"net/http"
+)
+
+func roots() {
+	ctx := context.Background() // want "context.Background() in library code"
+	_ = ctx.Err()
+	_ = context.TODO() // want "context.TODO() in library code"
+}
+
+func dials(ctx context.Context) error {
+	c, err := net.Dial("tcp", "example.com:25") // want "net.Dial blocks without a context"
+	if err == nil {
+		return c.Close()
+	}
+	resp, err := http.Get("https://example.com/") // want "http.Get blocks without a context"
+	if err == nil {
+		return resp.Body.Close()
+	}
+	var d net.Dialer
+	c2, err := d.DialContext(ctx, "tcp", "example.com:25")
+	if err == nil {
+		return c2.Close()
+	}
+	return err
+}

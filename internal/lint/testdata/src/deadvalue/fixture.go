@@ -1,0 +1,26 @@
+// Fixture for the deadvalue analyzer.
+package fixdead
+
+import (
+	"errors"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func compute(s string, m map[string]int) {
+	_ = strings.ToUpper(s) // want "dead `_ =` assignment"
+	_ = s                  // want "dead `_ =` assignment"
+	_ = m["k"]             // want "dead `_ =` assignment"
+	_ = len(s)             // want "dead `_ =` assignment"
+	strings.ToUpper(s)     // want "discarded and the call has no side effects"
+
+	var x any = s
+	_ = x.(string) // single-value assertion panics on mismatch: not dead
+	_ = mayFail()  // dropping an error is errdrop's finding, not deadvalue's
+
+	upper := strings.ToUpper(s)
+	if upper == "" {
+		panic("unreachable")
+	}
+}

@@ -1,0 +1,58 @@
+// Fixture for the errdrop analyzer: every line carrying a want comment
+// must produce a finding whose message contains the quoted substring;
+// every other line must stay quiet.
+package fixerrdrop
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func drops() {
+	mayFail()      // want "error result of fixerrdrop.mayFail is discarded"
+	_ = mayFail()  // want "assigned to _"
+	_, _ = pair()  // want "assigned to _"
+	n, _ := pair() // want "assigned to _"
+	if n != 0 {
+		return
+	}
+	go mayFail()    // want "error result of go fixerrdrop.mayFail"
+	defer mayFail() // want "error result of deferred fixerrdrop.mayFail"
+}
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := pair()
+	if n == 0 {
+		return err
+	}
+	return nil
+}
+
+func allowlisted(c closer) {
+	var sb strings.Builder
+	sb.WriteString("never fails")
+	fmt.Println("conventionally best-effort")
+	defer c.Close()
+	fn := mayFail
+	fn() // calls through function values have no identity to allowlist
+}
+
+func suppressed() {
+	//lint:ignore errdrop fixture demonstrates the standalone directive
+	mayFail()
+	mayFail() //lint:ignore errdrop fixture demonstrates the trailing directive
+	//lint:ignore errdrop
+	mayFail() // want "is discarded"
+}

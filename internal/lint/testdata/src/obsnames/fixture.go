@@ -1,0 +1,26 @@
+// Fixture for the obsnames analyzer, checked against the miniature
+// catalog in testdata/obsdocs.md.
+package fixobs
+
+import (
+	"context"
+
+	"github.com/netsecurelab/mtasts/internal/obs"
+)
+
+func counters(r *obs.Registry, key string) {
+	r.Counter("scan.domains.total").Inc()
+	r.Counter("scan.domains.bogus").Inc() // want "not documented in docs/OBSERVABILITY.md"
+	r.Counter("scan.category." + key).Inc()
+	r.Counter("scan.nope." + key).Inc() // want "no documented metric matches prefix"
+	r.Counter(key + ".retry.attempts").Inc()
+	r.Counter(key + ".retry.bogus").Inc() // want "no documented metric matches suffix"
+	r.Counter(key).Inc()                  // fully dynamic: nothing to check statically
+}
+
+func spans(ctx context.Context, r *obs.Registry) {
+	sp := r.StartSpan("scan.domain")
+	sp2 := obs.StartSpan(ctx, "scan.domain.seconds")
+	sp3 := obs.StartSpan(ctx, "scan.bogus.span") // want "not documented in docs/OBSERVABILITY.md"
+	_, _, _ = sp, sp2, sp3
+}

@@ -1,0 +1,37 @@
+// Fixture for the sleeploop analyzer (loaded under an internal/ import
+// path, where the convention applies).
+package fixsleep
+
+import (
+	"context"
+	"time"
+)
+
+func inLoop() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond) // want "raw time.Sleep in a loop"
+	}
+}
+
+func overRange(xs []int) {
+	for range xs {
+		time.Sleep(time.Millisecond) // want "raw time.Sleep in a loop"
+	}
+}
+
+func withCtx(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want "ignores the function's context.Context"
+}
+
+func closureInLoop() {
+	for i := 0; i < 2; i++ {
+		wait := func() {
+			time.Sleep(time.Millisecond) // want "raw time.Sleep in a loop"
+		}
+		wait()
+	}
+}
+
+func plain() {
+	time.Sleep(time.Millisecond) // no loop, no context in scope: allowed
+}

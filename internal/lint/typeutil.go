@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves the function or method object a call invokes, or
+// nil for calls through function values, builtins and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the package declaring fn
+// ("" for builtins and universe-scope objects).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// recvTypeString renders fn's receiver type like "*bytes.Buffer", or ""
+// for package-level functions. Stdlib receivers are qualified by import
+// path ("net/http.Header"), which the allowlists key on; messages use
+// pkgNameQualifier for readability.
+func recvTypeString(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return types.TypeString(sig.Recv().Type(), nil)
+}
+
+func pkgNameQualifier(p *types.Package) string { return p.Name() }
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// callResults returns the result tuple of call's static callee type
+// (nil when the expression is not of a function type, e.g. a
+// conversion).
+func callResults(info *types.Info, call *ast.CallExpr) *types.Tuple {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Results()
+}
+
+// errorResultIndexes lists the positions of error-typed results in the
+// call's result tuple.
+func errorResultIndexes(info *types.Info, call *ast.CallExpr) []int {
+	results := callResults(info, call)
+	if results == nil {
+		return nil
+	}
+	var idx []int
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// hasContextParam reports whether the function type carries a
+// context.Context parameter.
+func hasContextParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isInternalPkg reports whether the import path lies under the module's
+// internal/ tree — the library code the conventions target (commands
+// under cmd/ and examples/ are allowed more latitude).
+func isInternalPkg(importPath string) bool {
+	return strings.Contains(importPath, "/internal/") || strings.HasSuffix(importPath, "/internal")
+}
+
+// funcName renders a call target for messages: "pkg.Func" or
+// "(recv).Method".
+func funcName(fn *types.Func) string {
+	if fn == nil {
+		return "function"
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "(" + types.TypeString(sig.Recv().Type(), pkgNameQualifier) + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

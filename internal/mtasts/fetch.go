@@ -10,6 +10,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"github.com/netsecurelab/mtasts/internal/obs"
@@ -262,12 +263,18 @@ func (f *Fetcher) fetchFromHost(ctx context.Context, domain, host string) (Polic
 	// responses MUST NOT be followed (RFC 8461 §3.3), so any non-200 is an
 	// HTTP-stage failure.
 	httpSpan := f.Obs.StartSpan("mtasts.fetch.http")
-	body, status, err := httpGet(ctx, tlsConn, host)
+	body, status, contentType, err := httpGet(ctx, tlsConn, host)
 	if err != nil {
 		httpSpan.EndErr(err)
 		return Policy{}, nil, &FetchError{Stage: StageHTTP, HTTPStatus: status, Err: err}
 	}
 	httpSpan.End()
+	// RFC 8461 §3.3: the media type SHOULD be text/plain. Senders in the
+	// wild accept other types, so a mismatch is measured (it is a real
+	// misconfiguration signal) but does not fail the fetch.
+	if !isTextPlain(contentType) {
+		f.Obs.Counter("mtasts.fetch.wrong_content_type").Inc()
+	}
 	if status != http.StatusOK {
 		return Policy{}, body, &FetchError{
 			Stage:      StageHTTP,
@@ -302,31 +309,37 @@ func (f *Fetcher) resolveAddrs(ctx context.Context, host string) ([]string, erro
 // handling correct without the redirect-following and connection-pooling
 // machinery of http.Client, which RFC 8461 forbids or makes observability
 // harder.
-func httpGet(ctx context.Context, conn *tls.Conn, host string) ([]byte, int, error) {
+func httpGet(ctx context.Context, conn *tls.Conn, host string) ([]byte, int, string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "https://"+host+WellKnownPath, nil)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", err
 	}
 	req.Header.Set("User-Agent", "mtasts-repro/1.0 (policy fetcher)")
 	if err := req.Write(conn); err != nil {
-		return nil, 0, fmt.Errorf("writing request: %w", err)
+		return nil, 0, "", fmt.Errorf("writing request: %w", err)
 	}
 	resp, err := http.ReadResponse(bufio.NewReader(conn), req)
 	if err != nil {
-		return nil, 0, fmt.Errorf("reading response: %w", err)
+		return nil, 0, "", fmt.Errorf("reading response: %w", err)
 	}
 	defer resp.Body.Close()
+	contentType := resp.Header.Get("Content-Type")
 	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxPolicySize+1))
 	if err != nil {
-		return nil, resp.StatusCode, fmt.Errorf("reading body: %w", err)
+		return nil, resp.StatusCode, contentType, fmt.Errorf("reading body: %w", err)
 	}
 	if len(body) > MaxPolicySize {
-		return nil, resp.StatusCode, ErrPolicyTooLarge
+		return nil, resp.StatusCode, contentType, ErrPolicyTooLarge
 	}
-	// RFC 8461 says the media type SHOULD be text/plain; we record but do
-	// not fail on other types, matching common MTA behavior.
-	_ = resp.Header.Get("Content-Type")
-	return body, resp.StatusCode, nil
+	return body, resp.StatusCode, contentType, nil
+}
+
+// isTextPlain reports whether a Content-Type header value names the
+// text/plain media type RFC 8461 §3.3 asks for, ignoring parameters
+// such as charset.
+func isTextPlain(contentType string) bool {
+	mediaType, _, _ := strings.Cut(contentType, ";")
+	return strings.EqualFold(strings.TrimSpace(mediaType), "text/plain")
 }
 
 // IsNoRecord reports whether an error indicates the absence of MTA-STS

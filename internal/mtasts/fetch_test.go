@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/pki"
 )
 
@@ -225,6 +226,42 @@ func TestFetchEmptyPolicyIsSyntaxError(t *testing.T) {
 	_, _, err := f.Fetch(context.Background(), "example.com")
 	if StageOf(err) != StageSyntax || !errors.Is(err, ErrEmptyPolicy) {
 		t.Errorf("empty policy: stage=%v err=%v", StageOf(err), err)
+	}
+}
+
+func TestFetchWrongContentType(t *testing.T) {
+	// RFC 8461 §3.3: the policy SHOULD be served as text/plain. A wrong
+	// media type is counted but does not fail the fetch.
+	ca := newFetcherCA(t)
+	cert := issue(t, ca, "mta-sts.example.com")
+	cases := []struct {
+		contentType string
+		want        int64
+	}{
+		{"text/plain", 0},
+		{"text/plain; charset=utf-8", 0},
+		{"TEXT/PLAIN", 0},
+		{"text/html", 1},
+		{"", 1},
+	}
+	for _, c := range cases {
+		srv := startPolicyServer(t, cert, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if c.contentType == "" {
+				w.Header()["Content-Type"] = nil // suppress sniffing's default
+			} else {
+				w.Header().Set("Content-Type", c.contentType)
+			}
+			w.Write([]byte(rfcExamplePolicy))
+		}))
+		reg := obs.NewRegistry()
+		f := &Fetcher{Resolver: loopbackResolver(), RootCAs: ca.Pool(), Port: srv.port,
+			Timeout: 3 * time.Second, Obs: reg}
+		if _, _, err := f.Fetch(context.Background(), "example.com"); err != nil {
+			t.Fatalf("Content-Type %q: Fetch: %v", c.contentType, err)
+		}
+		if got := reg.Counter("mtasts.fetch.wrong_content_type").Value(); got != c.want {
+			t.Errorf("Content-Type %q: wrong_content_type = %d, want %d", c.contentType, got, c.want)
+		}
 	}
 }
 

@@ -135,7 +135,11 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		_ = r.WriteJSON(w)
+		if err := r.WriteJSON(w); err != nil {
+			// The response is underway, so the error cannot reach the
+			// client; count it where the next scrape will see it.
+			r.Counter("obs.export.errors").Inc()
+		}
 	})
 }
 
@@ -158,7 +162,9 @@ func (r *Registry) ProgressHandler() http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(out)
+		if err := enc.Encode(out); err != nil {
+			r.Counter("obs.export.errors").Inc()
+		}
 	})
 }
 
@@ -189,9 +195,10 @@ func (r *Registry) PublishExpvar(name string) {
 
 // Server is a running metrics HTTP listener.
 type Server struct {
-	ln   net.Listener
-	srv  *http.Server
-	done chan struct{}
+	ln       net.Listener
+	srv      *http.Server
+	done     chan struct{}
+	serveErr error // set before done closes
 }
 
 // Serve starts an HTTP server for the registry's endpoints on addr
@@ -209,7 +216,9 @@ func (r *Registry) Serve(addr string) (*Server, error) {
 	}
 	go func() {
 		defer close(s.done)
-		_ = s.srv.Serve(ln)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.serveErr = err
+		}
 	}()
 	return s, nil
 }
@@ -217,9 +226,13 @@ func (r *Registry) Serve(addr string) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and waits for the serve loop to exit.
+// Close stops the listener, waits for the serve loop to exit, and
+// reports any error the loop died with.
 func (s *Server) Close() error {
 	err := s.srv.Close()
 	<-s.done
+	if err == nil {
+		err = s.serveErr
+	}
 	return err
 }

@@ -9,6 +9,7 @@ package policysrv
 
 import (
 	"crypto/tls"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -73,9 +74,11 @@ type Server struct {
 	certs   map[string]*tls.Certificate
 	faults  *faults.Injector
 
-	ln     net.Listener
-	httpSv *http.Server
-	port   int
+	ln        net.Listener
+	httpSv    *http.Server
+	port      int
+	serveDone chan struct{}
+	serveErr  error // set before serveDone closes
 }
 
 // New creates a server that issues its certificates from ca.
@@ -171,19 +174,28 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 		// keep them off the process stderr.
 		ErrorLog: log.New(io.Discard, "", 0),
 	}
-	go s.httpSv.Serve(tlsLn)
+	s.serveDone = make(chan struct{})
+	go func() {
+		defer close(s.serveDone)
+		if err := s.httpSv.Serve(tlsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr = err
+		}
+	}()
 	return ln.Addr(), nil
 }
 
 // Port returns the bound TCP port.
 func (s *Server) Port() int { return s.port }
 
-// Close stops the server.
+// Close stops the server, reporting any error the background serve
+// loop died with.
 func (s *Server) Close() error {
-	if s.httpSv != nil {
-		return s.httpSv.Close()
+	if s.httpSv == nil {
+		return nil
 	}
-	return nil
+	err := s.httpSv.Close()
+	<-s.serveDone
+	return errors.Join(err, s.serveErr)
 }
 
 // faultHook runs after the ClientHello arrives and realizes injected
@@ -202,6 +214,7 @@ func (s *Server) faultHook(hello *tls.ClientHelloInfo) (*tls.Config, error) {
 		// client observes a torn connection (EOF/reset) — the transient
 		// failure shape — rather than a TLS alert, which would read as a
 		// persistent TLS-stage verdict.
+		//lint:ignore errdrop the torn socket is the injected fault; its close error is meaningless
 		hello.Conn.Close()
 		return nil, fmt.Errorf("policysrv: injected mid-handshake reset for %q", hello.ServerName)
 	}

@@ -189,6 +189,7 @@ func (s *Sender) attempt(ctx context.Context, mxHost, from string, to []string, 
 	if code, _, err := text.cmd("."); err != nil || code != 250 {
 		return res, fmt.Errorf("%w: final dot answered %d (err %v)", ErrRejected, code, err)
 	}
+	//lint:ignore errdrop QUIT is best-effort courtesy; the delivery already succeeded
 	text.cmd("QUIT")
 	return res, nil
 }

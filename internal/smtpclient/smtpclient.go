@@ -90,9 +90,10 @@ type Prober struct {
 func (p *Prober) Probe(ctx context.Context, mxHost string) ProbeResult {
 	sp := p.Obs.StartSpan("smtp.probe")
 	var res ProbeResult
-	// The result of the final attempt (res.Err mirrors Do's return) is
-	// what gets reported.
-	_ = retry.Policy{
+	// Do's return is the final attempt's error; assigning it back keeps
+	// the reported result honest even if the retry loop someday returns
+	// an error the closure never saw (budget or context shutdown).
+	res.Err = retry.Policy{
 		Name:        "smtp.probe",
 		MaxAttempts: p.MaxAttempts,
 		BaseDelay:   p.RetryBase,
@@ -232,7 +233,8 @@ func (p *Prober) probe(ctx context.Context, mxHost string) ProbeResult {
 
 	// End the session without delivering (QUIT over the TLS channel).
 	tlsText := newTextConn(tlsConn)
-	tlsText.cmd("QUIT") // best effort; ignore the response
+	//lint:ignore errdrop QUIT is best-effort courtesy; the probe verdict is already complete
+	tlsText.cmd("QUIT")
 	return res
 }
 

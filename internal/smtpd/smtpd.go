@@ -102,11 +102,12 @@ func (s *Server) Close() error {
 	default:
 	}
 	close(s.closed)
+	var err error
 	if s.ln != nil {
-		s.ln.Close()
+		err = s.ln.Close()
 	}
 	s.wg.Wait()
-	return nil
+	return err
 }
 
 // Messages returns the mail accepted so far.
@@ -323,7 +324,9 @@ func (s *Server) greylistPass(conn net.Conn) bool {
 }
 
 func (sess *session) upgradeTLS(b Behavior) bool {
-	sess.w.Flush()
+	if err := sess.w.Flush(); err != nil {
+		return false
+	}
 	conf := &tls.Config{MinVersion: tls.VersionTLS12}
 	if b.Certificate != nil {
 		conf.Certificates = []tls.Certificate{*b.Certificate}
@@ -375,6 +378,7 @@ func (sess *session) readData() ([]byte, error) {
 
 func (sess *session) reply(code int, text string) {
 	fmt.Fprintf(sess.w, "%d %s\r\n", code, text)
+	//lint:ignore errdrop a failed reply means the client hung up; the session loop sees it on the next read
 	sess.w.Flush()
 }
 
@@ -386,6 +390,7 @@ func (sess *session) replyMulti(code int, lines []string) {
 		}
 		fmt.Fprintf(sess.w, "%d%s%s\r\n", code, sep, l)
 	}
+	//lint:ignore errdrop a failed reply means the client hung up; the session loop sees it on the next read
 	sess.w.Flush()
 }
 

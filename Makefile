@@ -1,7 +1,12 @@
-# Standard entry points; CI runs `make check` and `make smoke-faults`.
+# Standard entry points; CI runs `make check`, `make smoke-faults`, and
+# `make fuzz`.
 GO ?= go
 
-.PHONY: build test race vet lint lint-baseline check reproduce smoke-faults
+# Per-target budget for the CI fuzz smoke (`make fuzz`); raise it
+# locally for real exploration, e.g. `make fuzz FUZZTIME=5m`.
+FUZZTIME ?= 10s
+
+.PHONY: build test race vet lint lint-baseline check reproduce smoke-faults fuzz bench
 
 build:
 	$(GO) build ./...
@@ -41,3 +46,19 @@ reproduce:
 # (docs/ROBUSTNESS.md).
 smoke-faults:
 	$(GO) run ./cmd/reproduce -experiment robustness -fault-seed 7
+
+# Coverage-guided fuzzing smoke over the wire-format parsers (`go test
+# -fuzz` accepts one target per invocation). The committed seed corpora
+# under */testdata/fuzz/ also run as part of the plain test suite.
+fuzz:
+	$(GO) test ./internal/dnsmsg -run '^$$' -fuzz '^FuzzDecodeMessage$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dnsmsg -run '^$$' -fuzz '^FuzzUnpack$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mtasts -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mtasts -run '^$$' -fuzz '^FuzzParseRecord$$' -fuzztime $(FUZZTIME)
+
+# Scheduler benchmarks (flat pool vs staged pipeline) plus the
+# BENCH_scan.json comparison the tentpole's >=2x acceptance bar reads
+# (docs/PIPELINE.md).
+bench:
+	$(GO) test ./internal/scanner -run '^$$' -bench 'BenchmarkRunner(Flat|Pipelined)' -benchtime 1x -count 1
+	$(GO) test ./internal/scanner -run '^TestBenchScanJSON$$' -count 1 -benchscan-out $(CURDIR)/BENCH_scan.json

@@ -46,6 +46,10 @@ func main() {
 	dnsAddr := flag.String("dns", "", "DNS server address (host:port), required")
 	domainsFile := flag.String("domains", "-", "domain list file ('-' for stdin)")
 	workers := flag.Int("workers", 16, "concurrent scan workers")
+	stageWorkersSpec := flag.String("stage-workers", "",
+		"run the staged pipeline instead of the flat pool, with per-stage pool sizes (\"dns=16,fetch=8,probe=32\"; \"auto\" sizes every stage from -workers)")
+	dedup := flag.Bool("dedup", false,
+		"collapse duplicate in-flight policy fetches and MX probes and share results across domains (implies the staged pipeline)")
 	rate := flag.Float64("rate", 100, "DNS queries per second (0 = unlimited)")
 	httpsPort := flag.Int("https-port", 443, "policy server HTTPS port")
 	smtpPort := flag.Int("smtp-port", 25, "MX SMTP port")
@@ -140,6 +144,16 @@ func main() {
 		RetryBudget: budget,
 	}
 	runner := &scanner.Runner{Workers: *workers, Scan: live, Obs: reg, Events: sink}
+	if *stageWorkersSpec != "" || *dedup {
+		sw, err := scanner.ParseStageWorkers(*stageWorkersSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runner.Pipelined = true
+		runner.StageWorkers = sw
+		runner.Dedup = *dedup
+	}
 	results := runner.Run(context.Background(), domains)
 
 	tbl := &dataset.Table{Headers: []string{

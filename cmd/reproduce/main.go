@@ -32,6 +32,7 @@ import (
 	"github.com/netsecurelab/mtasts/internal/faults"
 	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/report"
+	"github.com/netsecurelab/mtasts/internal/scanner"
 	"github.com/netsecurelab/mtasts/internal/simnet"
 )
 
@@ -52,6 +53,9 @@ func main() {
 	faultConnReset := flag.Float64("fault-conn-reset", 0.08, "robustness: pre-greeting/mid-handshake reset rate")
 	faultLatency := flag.Duration("fault-latency", 2*time.Millisecond, "robustness: injected latency")
 	faultLatencyRate := flag.Float64("fault-latency-rate", 0.20, "robustness: injected latency rate")
+	stageWorkersSpec := flag.String("stage-workers", "",
+		"robustness: also verify the staged pipeline backend under faults, with these pool sizes (\"dns=4,fetch=2,probe=8\" or \"auto\")")
+	dedup := flag.Bool("dedup", false, "robustness: enable singleflight dedup in the pipelined verification run (implies a pipelined run)")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics and /debug/scanprogress on this host:port while running")
 	eventsOut := flag.String("events-out", "", "append JSONL experiment events to this file")
@@ -95,6 +99,8 @@ func main() {
 			Seed:        fseed,
 			MaxAttempts: *retries,
 			Obs:         reg,
+			Pipelined:   *stageWorkersSpec != "" || *dedup,
+			Dedup:       *dedup,
 			Plan: faults.Plan{
 				Seed:        fseed,
 				DNSLoss:     *faultDNSLoss,
@@ -105,6 +111,14 @@ func main() {
 				Latency:     *faultLatency,
 				LatencyRate: *faultLatencyRate,
 			},
+		}
+		if cfg.Pipelined {
+			sw, err := scanner.ParseStageWorkers(*stageWorkersSpec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			cfg.StageWorkers = sw
 		}
 		start := time.Now()
 		rep, err := experiments.RunRobustness(cfg)

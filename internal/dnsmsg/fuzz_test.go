@@ -1,6 +1,9 @@
 package dnsmsg
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 // FuzzUnpack: the wire decoder must never panic, and anything it accepts
 // must re-pack and re-parse to an equal question count.
@@ -37,6 +40,59 @@ func FuzzUnpack(f *testing.F) {
 		if len(m2.Questions) != len(m.Questions) || len(m2.Answers) != len(m.Answers) {
 			t.Fatalf("section counts changed: %d/%d vs %d/%d",
 				len(m.Questions), len(m.Answers), len(m2.Questions), len(m2.Answers))
+		}
+	})
+}
+
+// FuzzDecodeMessage: stronger than FuzzUnpack's count check — after one
+// decode→encode round the encoding must be a fixed point. Pack emits a
+// canonical form (deterministic compression, normalized counts), so
+// decoding its own output and re-encoding must reproduce it byte for
+// byte; any drift means the codec loses or invents information.
+func FuzzDecodeMessage(f *testing.F) {
+	q := NewQuery(0x1234, "_mta-sts.example.com", TypeTXT)
+	wire, _ := q.Pack()
+	f.Add(wire)
+	resp := &Message{
+		Header: Header{ID: 9, Response: true, Authoritative: true},
+		Questions: []Question{
+			{Name: "example.com", Type: TypeMX, Class: ClassIN},
+		},
+		Answers: []RR{
+			{Name: "example.com", Type: TypeMX, Class: ClassIN, TTL: 300,
+				Data: MXData{Preference: 10, Host: "mx1.example.com"}},
+			{Name: "example.com", Type: TypeMX, Class: ClassIN, TTL: 300,
+				Data: MXData{Preference: 20, Host: "mx2.example.com"}},
+			{Name: "_mta-sts.example.com", Type: TypeTXT, Class: ClassIN, TTL: 60,
+				Data: NewTXT("v=STSv1; id=20240929;")},
+		},
+	}
+	wire2, _ := resp.Pack()
+	f.Add(wire2)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 12}) // pointer into header
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Unpack(b)
+		if err != nil {
+			return
+		}
+		w1, err := m.Pack()
+		if err != nil {
+			// Same tolerance as FuzzUnpack: pointer games can decode into
+			// names that exceed encoding limits.
+			return
+		}
+		m2, err := Unpack(w1)
+		if err != nil {
+			t.Fatalf("canonical encoding does not decode: %v", err)
+		}
+		w2, err := m2.Pack()
+		if err != nil {
+			t.Fatalf("decoded canonical message does not re-encode: %v", err)
+		}
+		if !bytes.Equal(w1, w2) {
+			t.Fatalf("encode is not a fixed point:\n w1 = %x\n w2 = %x", w1, w2)
 		}
 	})
 }

@@ -1,0 +1,192 @@
+package dnszone
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+)
+
+// Property tests for the zone store and its text format. They are
+// seeded, not time-randomized, so a failure reproduces with the printed
+// seed.
+
+const propOrigin = "test"
+
+func randLabel(rng *rand.Rand) string {
+	const chars = "abcdefghijklmnopqrstuvwxyz0123456789-"
+	n := 1 + rng.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = chars[rng.Intn(len(chars))]
+	}
+	return string(b)
+}
+
+func randName(rng *rand.Rand) string {
+	labels := make([]string, 1+rng.Intn(3))
+	for i := range labels {
+		labels[i] = randLabel(rng)
+	}
+	return strings.Join(labels, ".") + "." + propOrigin
+}
+
+// randTXT draws strings over the full byte range, so quoting must cope
+// with spaces, quotes, backslashes, control bytes, and invalid UTF-8.
+func randTXT(rng *rand.Rand) []string {
+	strs := make([]string, 1+rng.Intn(3))
+	for i := range strs {
+		b := make([]byte, rng.Intn(24))
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		strs[i] = string(b)
+	}
+	return strs
+}
+
+func randRR(rng *rand.Rand) dnsmsg.RR {
+	rr := dnsmsg.RR{Name: randName(rng), Class: dnsmsg.ClassIN, TTL: uint32(rng.Intn(100000))}
+	switch rng.Intn(6) {
+	case 0:
+		rr.Type = dnsmsg.TypeA
+		var ip [4]byte
+		rng.Read(ip[:])
+		rr.Data = dnsmsg.AData{Addr: netip.AddrFrom4(ip)}
+	case 1:
+		rr.Type = dnsmsg.TypeAAAA
+		var ip [16]byte
+		rng.Read(ip[:])
+		ip[0] = 0x20 // keep it a plain IPv6 address, never 4-in-6
+		rr.Data = dnsmsg.AAAAData{Addr: netip.AddrFrom16(ip)}
+	case 2:
+		rr.Type = dnsmsg.TypeNS
+		rr.Data = dnsmsg.NSData{Host: randName(rng)}
+	case 3:
+		rr.Type = dnsmsg.TypeCNAME
+		rr.Data = dnsmsg.CNAMEData{Target: randName(rng)}
+	case 4:
+		rr.Type = dnsmsg.TypeMX
+		rr.Data = dnsmsg.MXData{Preference: uint16(rng.Intn(1 << 16)), Host: randName(rng)}
+	default:
+		rr.Type = dnsmsg.TypeTXT
+		rr.Data = dnsmsg.TXTData{Strings: randTXT(rng)}
+	}
+	return rr
+}
+
+// TestZoneFileRoundTripProperty: serializing a random zone, parsing the
+// text back, and serializing again must reproduce the text byte for
+// byte, with no records gained or lost. The first WriteTo output is
+// already canonical (Add canonicalizes owners, Names sorts), so the
+// round trip is an exact fixed point, not merely an equivalence.
+func TestZoneFileRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		z := New(propOrigin)
+		added := 0
+		for i := 0; i < 5+rng.Intn(60); i++ {
+			// CNAME-exclusivity makes some draws invalid by construction;
+			// those must be rejected, never silently stored.
+			if err := z.Add(randRR(rng)); err == nil {
+				added++
+			}
+		}
+		if z.Len() != added {
+			t.Fatalf("seed %d: zone holds %d records, accepted %d", seed, z.Len(), added)
+		}
+
+		var s1 bytes.Buffer
+		if _, err := z.WriteTo(&s1); err != nil {
+			t.Fatalf("seed %d: WriteTo: %v", seed, err)
+		}
+		z2, err := ParseFile(bytes.NewReader(s1.Bytes()), "")
+		if err != nil {
+			t.Fatalf("seed %d: ParseFile: %v\nzone:\n%s", seed, err, s1.String())
+		}
+		if z2.Origin() != z.Origin() {
+			t.Fatalf("seed %d: origin %q became %q", seed, z.Origin(), z2.Origin())
+		}
+		if z2.Len() != z.Len() {
+			t.Fatalf("seed %d: %d records became %d", seed, z.Len(), z2.Len())
+		}
+		var s2 bytes.Buffer
+		if _, err := z2.WriteTo(&s2); err != nil {
+			t.Fatalf("seed %d: second WriteTo: %v", seed, err)
+		}
+		if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+			t.Fatalf("seed %d: round trip is not a fixed point:\nfirst:\n%s\nsecond:\n%s",
+				seed, s1.String(), s2.String())
+		}
+	}
+}
+
+// TestCNAMEChaseTerminationProperty: on arbitrary CNAME graphs —
+// including self-loops, long cycles, and dangling or out-of-zone
+// targets — Lookup must always return, with answers bounded by the
+// chase limit, SERVFAIL on in-zone loops, and the same result twice.
+func TestCNAMEChaseTerminationProperty(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		n := 2 + rng.Intn(20)
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("n%02d.%s", i, propOrigin)
+		}
+		z := New(propOrigin)
+		for i, name := range nodes {
+			switch rng.Intn(10) {
+			case 0: // terminator: plain address record
+				z.MustAdd(dnsmsg.RR{Name: name, Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 60,
+					Data: dnsmsg.AData{Addr: netip.AddrFrom4([4]byte{127, 0, 0, byte(i)})}})
+			case 1: // out-of-zone target: chase must stop at the zone cut
+				z.MustAdd(dnsmsg.RR{Name: name, Type: dnsmsg.TypeCNAME, Class: dnsmsg.ClassIN, TTL: 60,
+					Data: dnsmsg.CNAMEData{Target: "external.example"}})
+			default: // random in-zone edge — cycles and self-loops included
+				z.MustAdd(dnsmsg.RR{Name: name, Type: dnsmsg.TypeCNAME, Class: dnsmsg.ClassIN, TTL: 60,
+					Data: dnsmsg.CNAMEData{Target: nodes[rng.Intn(n)]}})
+			}
+		}
+
+		for _, name := range nodes {
+			res, err := z.Lookup(name, dnsmsg.TypeA)
+			if err != nil {
+				t.Fatalf("seed %d: Lookup(%s): %v", seed, name, err)
+			}
+			if len(res.Answers) > maxCNAMEChain+1 {
+				t.Fatalf("seed %d: Lookup(%s) returned %d answers, chase limit is %d",
+					seed, name, len(res.Answers), maxCNAMEChain)
+			}
+			if res.RCode == dnsmsg.RCodeServFail {
+				// A detected loop surfaces the truncated chase trace: a full
+				// chain of CNAMEs and nothing else.
+				if len(res.Answers) != maxCNAMEChain+1 {
+					t.Fatalf("seed %d: Lookup(%s) SERVFAIL with %d answers, want %d",
+						seed, name, len(res.Answers), maxCNAMEChain+1)
+				}
+				if last := res.Answers[len(res.Answers)-1]; last.Type != dnsmsg.TypeCNAME {
+					t.Fatalf("seed %d: Lookup(%s) SERVFAIL chain ends in %s", seed, name, last.Type)
+				}
+			}
+			if res.RCode == dnsmsg.RCodeSuccess && !res.NameExists {
+				t.Fatalf("seed %d: Lookup(%s) NOERROR on a name that was added", seed, name)
+			}
+			// Every answer before the last must be a CNAME step; only the
+			// final one may carry the address.
+			for j, rr := range res.Answers[:max(0, len(res.Answers)-1)] {
+				if rr.Type != dnsmsg.TypeCNAME {
+					t.Fatalf("seed %d: Lookup(%s) answer %d is %s mid-chain", seed, name, j, rr.Type)
+				}
+			}
+			again, err := z.Lookup(name, dnsmsg.TypeA)
+			if err != nil || again.RCode != res.RCode || len(again.Answers) != len(res.Answers) {
+				t.Fatalf("seed %d: Lookup(%s) not deterministic: %+v vs %+v (err %v)",
+					seed, name, res, again, err)
+			}
+		}
+	}
+}

@@ -65,6 +65,15 @@ type RobustnessConfig struct {
 	DNSTimeout time.Duration
 	// Obs, when non-nil, receives the metrics of every layer.
 	Obs *obs.Registry
+	// Pipelined adds a fifth run: the same fault plan and retries
+	// through the staged pipeline backend. Unlike the Workers=1 runs it
+	// is concurrent, so fingerprint determinism does not apply — the
+	// check is purely that no healthy domain is misclassified.
+	Pipelined bool
+	// StageWorkers sizes the pipelined run's stage pools.
+	StageWorkers scanner.StageWorkers
+	// Dedup enables result sharing in the pipelined run.
+	Dedup bool
 }
 
 func (c RobustnessConfig) withDefaults() RobustnessConfig {
@@ -144,6 +153,9 @@ type RobustnessReport struct {
 	WithRetry [2]RobustnessRun
 	// Deterministic reports whether the two WithRetry fingerprints match.
 	Deterministic bool
+	// Pipelined, when RobustnessConfig.Pipelined was set, is the staged
+	// pipeline run through the same fault plan with retries enabled.
+	Pipelined *RobustnessRun
 }
 
 // Misclassified returns the union of misclassified domains across the
@@ -151,7 +163,11 @@ type RobustnessReport struct {
 func (r *RobustnessReport) Misclassified() []string {
 	seen := make(map[string]bool)
 	var out []string
-	for _, run := range r.WithRetry {
+	runs := []*RobustnessRun{&r.WithRetry[0], &r.WithRetry[1]}
+	if r.Pipelined != nil {
+		runs = append(runs, r.Pipelined)
+	}
+	for _, run := range runs {
 		for _, d := range run.Misclassified {
 			if !seen[d] {
 				seen[d] = true
@@ -189,6 +205,9 @@ func (r *RobustnessReport) Table() *dataset.Table {
 	row(&r.NoRetry)
 	row(&r.WithRetry[0])
 	row(&r.WithRetry[1])
+	if r.Pipelined != nil {
+		row(r.Pipelined)
+	}
 	return t
 }
 
@@ -311,10 +330,13 @@ func (w *robustnessWorld) setFaults(inj *faults.Injector) {
 	w.smtp.SetFaults(inj)
 }
 
-// run scans the whole fleet once under the given injector. Workers is
-// pinned to 1 so the order of network operations — and therefore the
-// injector's per-key fault sequences — is identical across runs.
-func (w *robustnessWorld) run(label string, inj *faults.Injector, maxAttempts int, cfg RobustnessConfig) RobustnessRun {
+// run scans the whole fleet once under the given injector. For the
+// sequential runs Workers is pinned to 1 so the order of network
+// operations — and therefore the injector's per-key fault sequences —
+// is identical across runs; pipelined=true instead exercises the staged
+// concurrent backend, where only the classifications (not the
+// interleaving-dependent retry counts) are expected to be stable.
+func (w *robustnessWorld) run(label string, inj *faults.Injector, maxAttempts int, cfg RobustnessConfig, pipelined bool) RobustnessRun {
 	w.setFaults(inj)
 	defer w.setFaults(nil)
 
@@ -335,6 +357,11 @@ func (w *robustnessWorld) run(label string, inj *faults.Injector, maxAttempts in
 		RetryBase:   cfg.RetryBase,
 	}
 	runner := &scanner.Runner{Workers: 1, Scan: live, Obs: cfg.Obs}
+	if pipelined {
+		runner.Pipelined = true
+		runner.StageWorkers = cfg.StageWorkers
+		runner.Dedup = cfg.Dedup
+	}
 	results := runner.Run(context.Background(), w.domains)
 
 	run := RobustnessRun{Label: label, Summary: scanner.Summarize(results)}
@@ -396,7 +423,8 @@ func invalidMXProblems(r *scanner.DomainResult) int {
 
 // RunRobustness provisions the substrate and executes the four runs:
 // baseline (no faults), faulted without retries, and two identically
-// seeded faulted runs with retries.
+// seeded faulted runs with retries — plus, when cfg.Pipelined is set, a
+// fifth run through the staged pipeline backend.
 func RunRobustness(cfg RobustnessConfig) (*RobustnessReport, error) {
 	cfg = cfg.withDefaults()
 	w, err := buildRobustnessWorld(cfg.Domains)
@@ -406,10 +434,14 @@ func RunRobustness(cfg RobustnessConfig) (*RobustnessReport, error) {
 	defer w.Close()
 
 	rep := &RobustnessReport{Plan: cfg.Plan, Domains: cfg.Domains}
-	rep.Baseline = w.run("baseline (no faults)", nil, cfg.MaxAttempts, cfg)
-	rep.NoRetry = w.run("faults, no retries", faults.NewInjector(cfg.Plan), 1, cfg)
-	rep.WithRetry[0] = w.run("faults + retries #1", faults.NewInjector(cfg.Plan), cfg.MaxAttempts, cfg)
-	rep.WithRetry[1] = w.run("faults + retries #2", faults.NewInjector(cfg.Plan), cfg.MaxAttempts, cfg)
+	rep.Baseline = w.run("baseline (no faults)", nil, cfg.MaxAttempts, cfg, false)
+	rep.NoRetry = w.run("faults, no retries", faults.NewInjector(cfg.Plan), 1, cfg, false)
+	rep.WithRetry[0] = w.run("faults + retries #1", faults.NewInjector(cfg.Plan), cfg.MaxAttempts, cfg, false)
+	rep.WithRetry[1] = w.run("faults + retries #2", faults.NewInjector(cfg.Plan), cfg.MaxAttempts, cfg, false)
 	rep.Deterministic = rep.WithRetry[0].Fingerprint == rep.WithRetry[1].Fingerprint
+	if cfg.Pipelined {
+		run := w.run("faults + retries, pipelined", faults.NewInjector(cfg.Plan), cfg.MaxAttempts, cfg, true)
+		rep.Pipelined = &run
+	}
 	return rep, nil
 }

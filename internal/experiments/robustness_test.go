@@ -54,6 +54,58 @@ func TestRobustnessRetriesAbsorbSeededFaults(t *testing.T) {
 	}
 }
 
+// The pipelined backend must absorb the same seeded faults the flat
+// runs do: with MaxAttempts strictly above the plan's MaxConsecutive,
+// recovery is guaranteed regardless of stage interleaving, so every
+// domain in the healthy fleet must come back fully clean — byte-for-byte
+// the same (all-healthy) classifications the flat retry runs produce.
+// Fingerprint determinism is not asserted for this run: it is
+// concurrent, so retry-trace ordering is interleaving-sensitive.
+func TestRobustnessPipelinedMatchesFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-substrate fault-injection run")
+	}
+	rep, err := RunRobustness(RobustnessConfig{
+		Seed:      1,
+		Pipelined: true,
+		Dedup:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := rep.Pipelined
+	if run == nil {
+		t.Fatal("Pipelined run missing from report")
+	}
+	if len(run.Misclassified) != 0 {
+		t.Errorf("pipelined run misclassified %d/%d domains:\n  %s",
+			len(run.Misclassified), rep.Domains,
+			strings.Join(run.Misclassified, "\n  "))
+	}
+	if run.Summary.Total != rep.Domains {
+		t.Errorf("pipelined run scanned %d domains, fleet has %d",
+			run.Summary.Total, rep.Domains)
+	}
+	if run.Retries == 0 {
+		t.Error("pipelined run recorded no retries — the fault plan injected nothing")
+	}
+	if run.Recovered == 0 {
+		t.Error("pipelined run recovered no operations — faults were never absorbed")
+	}
+	// Same aggregate verdicts as the flat retry run: an all-healthy fleet
+	// means both summaries report full health, not merely similar health.
+	flat := rep.WithRetry[0].Summary
+	if run.Summary.WithRecord != flat.WithRecord ||
+		run.Summary.Misconfigured != flat.Misconfigured ||
+		run.Summary.DeliveryFailures != flat.DeliveryFailures {
+		t.Errorf("pipelined summary diverged from flat:\n  flat: %+v\n  pipe: %+v",
+			flat, run.Summary)
+	}
+	if !rep.Passed() {
+		t.Error("report.Passed() = false with a clean pipelined run")
+	}
+}
+
 // A fresh injector per run means the faulted runs see the same fault
 // sequence; different seeds must actually change the injected pattern.
 func TestRobustnessSeedMatters(t *testing.T) {

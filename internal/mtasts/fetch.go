@@ -151,6 +151,14 @@ type Fetcher struct {
 	RetryBase time.Duration
 	// RetryBudget, when non-nil, caps total retries across the run.
 	RetryBudget *retry.Budget
+	// SessionCache, when non-nil, enables TLS session resumption across
+	// fetches from this Fetcher. A scan shares one Fetcher across all
+	// its domains, so repeated fetches against the same provider skip
+	// the full handshake; crypto/tls keys the cache by server name, so
+	// sessions never leak across policy hosts. Resumed connections
+	// still surface the original certificate chain in ConnectionState,
+	// so certificate classification is unaffected.
+	SessionCache tls.ClientSessionCache
 }
 
 // Fetch retrieves and parses the policy for domain. The raw body (possibly
@@ -232,9 +240,10 @@ func (f *Fetcher) fetchFromHost(ctx context.Context, domain, host string) (Polic
 
 	// Stage 3: TLS handshake with PKIX validation for the policy host name.
 	tlsConf := &tls.Config{
-		ServerName: host,
-		RootCAs:    f.RootCAs,
-		MinVersion: tls.VersionTLS12,
+		ServerName:         host,
+		RootCAs:            f.RootCAs,
+		MinVersion:         tls.VersionTLS12,
+		ClientSessionCache: f.SessionCache,
 	}
 	if f.Now != nil {
 		tlsConf.Time = f.Now

@@ -7,12 +7,14 @@ import (
 	"math/rand"
 	"net"
 	"net/netip"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/netsecurelab/mtasts/internal/dnsmsg"
 	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/retry"
+	"github.com/netsecurelab/mtasts/internal/sf"
 	"github.com/netsecurelab/mtasts/internal/strutil"
 )
 
@@ -65,6 +67,22 @@ type Client struct {
 	mu      sync.Mutex
 	rnd     *rand.Rand
 	obsOnce sync.Once
+	// flight coalesces concurrent identical (name, type) queries into
+	// one wire exchange whose answer fans out to every waiter
+	// (resolver.queries.coalesced counts the joins). Workers scanning
+	// overlapping MX sets would otherwise race past the cache and send
+	// duplicate queries back to back.
+	flight sf.Group[coalesced]
+}
+
+// coalesced is a completed query outcome as shared between coalesced
+// callers. A leader panic hands waiters the zero value, which reads as
+// NODATA — wrong answer beats deadlock, and the panic still propagates
+// on the leader.
+type coalesced struct {
+	rrs   []dnsmsg.RR
+	cname string
+	err   error
 }
 
 // New returns a Client for the given server with a small shared cache.
@@ -219,30 +237,40 @@ func (c *Client) queryOnce(ctx context.Context, name string, t dnsmsg.Type) (rrs
 			return ce.rrs, ce.cname, ce.err
 		}
 	}
-	err = c.retryPolicy().Do(ctx, func(ctx context.Context) error {
-		var opErr error
-		rrs, cname, opErr = c.exchange(ctx, name, t)
-		return opErr
+	// The retry loop and the cache store run once per coalesced group,
+	// under the leader's context; joiners inherit the leader's answer
+	// without touching the wire.
+	v, shared := c.flight.Do(name+"\x00"+strconv.Itoa(int(t)), func() coalesced {
+		var res coalesced
+		res.err = c.retryPolicy().Do(ctx, func(ctx context.Context) error {
+			var opErr error
+			res.rrs, res.cname, opErr = c.exchange(ctx, name, t)
+			return opErr
+		})
+		if c.Cache != nil {
+			// Positive answers cache by minimum TTL; of the negatives only
+			// NXDOMAIN is cached, briefly. Transient failures — SERVFAIL,
+			// REFUSED, timeouts, malformed replies — are never cached: a
+			// one-off blip must not poison every later query for this
+			// (name, type) in the run. (NODATA surfaces here as a nil error
+			// with an empty RRset, so it caches on the positive path.)
+			var ttl time.Duration
+			switch {
+			case res.err == nil:
+				ttl = minTTL(res.rrs)
+			case errors.Is(res.err, ErrNXDomain):
+				ttl = 30 * time.Second
+			}
+			if ttl > 0 {
+				c.Cache.Put(name, t, entry{rrs: res.rrs, cname: res.cname, err: res.err}, ttl)
+			}
+		}
+		return res
 	})
-	if c.Cache != nil {
-		// Positive answers cache by minimum TTL; of the negatives only
-		// NXDOMAIN is cached, briefly. Transient failures — SERVFAIL,
-		// REFUSED, timeouts, malformed replies — are never cached: a
-		// one-off blip must not poison every later query for this
-		// (name, type) in the run. (NODATA surfaces here as a nil error
-		// with an empty RRset, so it caches on the positive path.)
-		var ttl time.Duration
-		switch {
-		case err == nil:
-			ttl = minTTL(rrs)
-		case errors.Is(err, ErrNXDomain):
-			ttl = 30 * time.Second
-		}
-		if ttl > 0 {
-			c.Cache.Put(name, t, entry{rrs: rrs, cname: cname, err: err}, ttl)
-		}
+	if shared {
+		c.Obs.Counter("resolver.queries.coalesced").Inc()
 	}
-	return rrs, cname, err
+	return v.rrs, v.cname, v.err
 }
 
 func (c *Client) retryPolicy() retry.Policy {

@@ -2,10 +2,12 @@ package scanner
 
 import (
 	"context"
+	"crypto/tls"
 	"crypto/x509"
 	"errors"
 	"net"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/netsecurelab/mtasts/internal/inconsistency"
@@ -56,6 +58,20 @@ type Live struct {
 	// RetryBudget, when non-nil, caps total retries across the run,
 	// shared by every layer it is handed to.
 	RetryBudget *retry.Budget
+	// SessionCache overrides the TLS session cache handed to the shared
+	// policy fetcher. Nil gets a per-scanner LRU cache, so repeated
+	// fetches against the same provider resume instead of re-handshaking.
+	SessionCache tls.ClientSessionCache
+
+	// One fetcher and one prober serve every domain this scanner
+	// touches; both are stateless per call, and sharing them is what
+	// lets the session cache and the pipeline's dedup layer work.
+	// Built lazily from the fields above on first use — configure the
+	// scanner before the first ScanDomain/stage call.
+	fetcherOnce sync.Once
+	fetcher     *mtasts.Fetcher
+	proberOnce  sync.Once
+	prober      *smtpclient.Prober
 }
 
 func (l *Live) timeout() time.Duration {
@@ -78,12 +94,32 @@ func (l *Live) ScanDomain(ctx context.Context, domain string) DomainResult {
 	r.Retries = stats.Retries()
 	r.RetryRecovered = stats.Recovered()
 	r.RetryGaveUp = stats.GaveUp()
-	d := sp.End()
-	l.recordOutcome(&r, d)
+	l.Finalize(&r, sp.End())
 	return r
 }
 
+// scanDomain composes the pipeline stages sequentially — the flat
+// backend's per-domain path, with the stage-bracketing spans the
+// pipelined Runner deliberately does not emit (docs/PIPELINE.md).
 func (l *Live) scanDomain(ctx context.Context, domain string) DomainResult {
+	r, done := l.Discover(ctx, domain)
+	if done {
+		return r
+	}
+	applyFetch(&r, l.FetchPolicy(ctx, domain))
+	probeSpan := l.Obs.StartSpan("scan.mx_probe")
+	for _, mx := range r.MXHosts {
+		applyProbe(&r, mx, l.ProbeHost(ctx, mx))
+	}
+	probeSpan.End()
+	return r
+}
+
+// Discover implements StageScanner: the DNS stage — MX records, the
+// MTA-STS TXT record, and the policy-host delegation CNAME. done means
+// the fetch and probe stages must be skipped: either the domain has no
+// MTA-STS record at all, or a DNS failure precluded the policy fetch.
+func (l *Live) Discover(ctx context.Context, domain string) (DomainResult, bool) {
 	r := DomainResult{Domain: domain, MXProblems: make(map[string]pki.Problem)}
 
 	// MX records. NXDOMAIN/NODATA means "no MX" (still scannable);
@@ -110,14 +146,14 @@ func (l *Live) scanDomain(ctx context.Context, domain string) DomainResult {
 		r.RecordErr = err
 		// DNS failure on the record lookup also precludes policy fetch.
 		r.PolicyStage = mtasts.StageDNS
-		return r
+		return r, true
 	}
 	rec, recErr := mtasts.DiscoverRecord(txts)
 	if errors.Is(recErr, mtasts.ErrNoRecord) {
 		// "No record" is the common case at Internet scale, not a lookup
 		// error — don't count it in scan.record_lookup.errors.
 		recSpan.End()
-		return r
+		return r, true
 	}
 	recSpan.EndErr(recErr)
 	r.RecordPresent = true
@@ -132,53 +168,87 @@ func (l *Live) scanDomain(ctx context.Context, domain string) DomainResult {
 	if target, err := l.DNS.LookupCNAME(ctx, mtasts.PolicyHost(domain)); err == nil {
 		r.PolicyCNAME = target
 	}
+	return r, false
+}
 
-	// Policy retrieval.
-	fetcher := &mtasts.Fetcher{
-		Resolver:    mtasts.AddrResolverFunc(l.resolveAddrs),
-		RootCAs:     l.Roots,
-		Timeout:     l.timeout(),
-		Port:        l.HTTPSPort,
-		Now:         l.Now,
-		Obs:         l.Obs,
-		MaxAttempts: l.MaxAttempts,
-		RetryBase:   l.RetryBase,
-		RetryBudget: l.RetryBudget,
-	}
+// FetchPolicy implements StageScanner: the policy-retrieval stage. It
+// depends only on scan-global configuration plus the domain, so the
+// pipelined Runner may share its outcome between concurrent scans of
+// the same domain.
+func (l *Live) FetchPolicy(ctx context.Context, domain string) FetchOutcome {
 	fetchSpan := l.Obs.StartSpan("scan.policy_fetch")
-	policy, _, fetchErr := fetcher.Fetch(ctx, domain)
+	policy, _, fetchErr := l.sharedFetcher().Fetch(ctx, domain)
 	fetchSpan.EndErr(fetchErr)
-	if fetchErr != nil {
-		r.PolicyStage = mtasts.StageOf(fetchErr)
-		r.PolicyCertProblem = mtasts.CertProblemOf(fetchErr)
-		var fe *mtasts.FetchError
-		if errors.As(fetchErr, &fe) {
-			r.PolicyHTTPStatus = fe.HTTPStatus
-			if fe.Stage == mtasts.StageSyntax {
-				r.PolicySyntaxErr = fe.Err
-			}
-		}
-	} else {
-		r.PolicyOK = true
-		r.Policy = policy
+	if fetchErr == nil {
+		return FetchOutcome{OK: true, Policy: policy}
 	}
-
-	// MX probes.
-	probeSpan := l.Obs.StartSpan("scan.mx_probe")
-	for _, mx := range r.MXHosts {
-		problem, noTLS := l.probeMX(ctx, mx)
-		if noTLS {
-			r.MXNoSTARTTLS = append(r.MXNoSTARTTLS, mx)
-			continue
-		}
-		r.MXProblems[mx] = problem
+	out := FetchOutcome{
+		Stage:       mtasts.StageOf(fetchErr),
+		CertProblem: mtasts.CertProblemOf(fetchErr),
 	}
-	probeSpan.End()
+	var fe *mtasts.FetchError
+	if errors.As(fetchErr, &fe) {
+		out.HTTPStatus = fe.HTTPStatus
+		if fe.Stage == mtasts.StageSyntax {
+			out.SyntaxErr = fe.Err
+		}
+	}
+	return out
+}
 
+// Finalize implements StageScanner: the consistency verdict (§4.4)
+// needs both the served policy and the MX set, so it runs once every
+// stage is done; it then feeds the error-taxonomy counters and emits
+// the per-domain scan event.
+func (l *Live) Finalize(r *DomainResult, took time.Duration) {
 	if r.PolicyOK {
-		r.Mismatch = inconsistency.Analyze(domain, r.Policy, r.MXHosts)
+		r.Mismatch = inconsistency.Analyze(r.Domain, r.Policy, r.MXHosts)
 	}
-	return r
+	l.recordOutcome(r, took)
+}
+
+// sharedFetcher lazily builds the one policy fetcher this scanner uses
+// for every domain — previously a throwaway per domain, now shared so
+// TLS sessions resume across fetches.
+func (l *Live) sharedFetcher() *mtasts.Fetcher {
+	l.fetcherOnce.Do(func() {
+		cache := l.SessionCache
+		if cache == nil {
+			cache = tls.NewLRUClientSessionCache(1024)
+		}
+		l.fetcher = &mtasts.Fetcher{
+			Resolver:     mtasts.AddrResolverFunc(l.resolveAddrs),
+			RootCAs:      l.Roots,
+			Timeout:      l.timeout(),
+			Port:         l.HTTPSPort,
+			Now:          l.Now,
+			Obs:          l.Obs,
+			MaxAttempts:  l.MaxAttempts,
+			RetryBase:    l.RetryBase,
+			RetryBudget:  l.RetryBudget,
+			SessionCache: cache,
+		}
+	})
+	return l.fetcher
+}
+
+// sharedProber lazily builds the one SMTP prober shared by every MX
+// probe; the dial address is passed per call (ProbeAddr), so no
+// per-probe Prober construction is needed.
+func (l *Live) sharedProber() *smtpclient.Prober {
+	l.proberOnce.Do(func() {
+		l.prober = &smtpclient.Prober{
+			HeloName:    l.HeloName,
+			Roots:       l.Roots,
+			Timeout:     l.timeout(),
+			Now:         l.Now,
+			Obs:         l.Obs,
+			MaxAttempts: l.MaxAttempts,
+			RetryBase:   l.RetryBase,
+			RetryBudget: l.RetryBudget,
+		}
+	})
+	return l.prober
 }
 
 // recordOutcome translates one DomainResult into the error-taxonomy
@@ -255,36 +325,28 @@ func (l *Live) recordOutcome(r *DomainResult, took time.Duration) {
 	}
 }
 
-// probeMX resolves the MX host and runs the instrumented SMTP probe.
-// noTLS is true when the server does not offer STARTTLS at all.
-func (l *Live) probeMX(ctx context.Context, mxHost string) (problem pki.Problem, noTLS bool) {
+// ProbeHost implements StageScanner: resolve the MX host and run the
+// instrumented SMTP probe. Like FetchPolicy it depends only on
+// scan-global state plus the host, so the pipelined Runner may share
+// one host's outcome across every domain listing it.
+func (l *Live) ProbeHost(ctx context.Context, mxHost string) ProbeOutcome {
 	addrs, err := l.DNS.LookupAddrs(ctx, mxHost, false)
 	if err != nil || len(addrs) == 0 {
-		return pki.ProblemNoCertificate, false
+		return ProbeOutcome{Problem: pki.ProblemNoCertificate}
 	}
 	port := l.SMTPPort
 	if port == 0 {
 		port = 25
 	}
-	p := &smtpclient.Prober{
-		HeloName:     l.HeloName,
-		Roots:        l.Roots,
-		Timeout:      l.timeout(),
-		AddrOverride: net.JoinHostPort(addrs[0].String(), strconv.Itoa(port)),
-		Now:          l.Now,
-		Obs:          l.Obs,
-		MaxAttempts:  l.MaxAttempts,
-		RetryBase:    l.RetryBase,
-		RetryBudget:  l.RetryBudget,
-	}
-	res := p.Probe(ctx, mxHost)
+	addr := net.JoinHostPort(addrs[0].String(), strconv.Itoa(port))
+	res := l.sharedProber().ProbeAddr(ctx, mxHost, addr)
 	if errors.Is(res.Err, smtpclient.ErrNoSTARTTLS) {
-		return pki.OK, true
+		return ProbeOutcome{NoSTARTTLS: true}
 	}
 	if !res.TLSEstablished {
-		return pki.ProblemNoCertificate, false
+		return ProbeOutcome{Problem: pki.ProblemNoCertificate}
 	}
-	return res.CertProblem, false
+	return ProbeOutcome{Problem: res.CertProblem}
 }
 
 // resolveAddrs bridges the mtasts.Fetcher DNS dependency onto the wire

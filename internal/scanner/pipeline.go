@@ -1,0 +1,374 @@
+package scanner
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/obs"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/retry"
+)
+
+// The pipelined runner replaces the flat per-domain worker pool with
+// three stage pools — DNS discovery, policy fetch, SMTP probing — wired
+// by bounded queues, so each resource class (resolver sockets, HTTPS
+// clients, SMTP dials) is sized independently and a slow MX cannot
+// stall DNS discovery for the rest of the run. The paper's apparatus
+// (§3) relies on exactly this shape: recipient-side probing is
+// embarrassingly parallel per stage and massively redundant across
+// domains, so stages parallelize and the dedup layer (dedup.go)
+// collapses the redundancy. docs/PIPELINE.md has the full picture.
+
+// FetchOutcome is the policy-retrieval stage's verdict for one domain,
+// carried between pipeline stages and folded into the DomainResult by
+// applyFetch. It is self-contained so a dedup cache can replay it for
+// another waiter without rerunning the fetch.
+type FetchOutcome struct {
+	// OK is true when a valid policy was fetched and parsed.
+	OK bool
+	// Policy is the parsed policy when OK.
+	Policy mtasts.Policy
+	// Stage is the retrieval failure stage (StageNone when OK).
+	Stage mtasts.Stage
+	// CertProblem refines StageTLS failures.
+	CertProblem pki.Problem
+	// HTTPStatus refines StageHTTP failures. Backends fill it per their
+	// own semantics (Live leaves it 0 on success, artifact replay
+	// records the observed 200) and applyFetch copies it verbatim, so
+	// flat and pipelined runs of the same backend agree byte for byte.
+	HTTPStatus int
+	// SyntaxErr holds the parse failure for StageSyntax.
+	SyntaxErr error
+}
+
+// ProbeOutcome is the SMTP/STARTTLS stage's verdict for one MX host.
+type ProbeOutcome struct {
+	// NoSTARTTLS is true when the server does not offer STARTTLS at
+	// all; Problem is meaningless then (footnote 4 of the paper).
+	NoSTARTTLS bool
+	// Problem is the certificate verdict for STARTTLS-capable hosts.
+	Problem pki.Problem
+}
+
+// StageScanner is a Scanner decomposed into the three pipeline stages
+// plus a finalizer. The contract mirrors the flat path exactly:
+//
+//	r, done := Discover(ctx, d)     // DNS: MX, TXT record, CNAME
+//	if !done {
+//	    applyFetch(&r, FetchPolicy(ctx, d))
+//	    for _, mx := range r.MXHosts {
+//	        applyProbe(&r, mx, ProbeHost(ctx, mx))
+//	    }
+//	}
+//	Finalize(&r, took)              // consistency analysis + outcome obs
+//
+// FetchPolicy and ProbeHost take only scan-global state plus their key
+// (domain / MX host) so the dedup layer can safely share their results
+// across domains.
+type StageScanner interface {
+	Scanner
+
+	// Discover runs the DNS stage. done means the remaining stages must
+	// be skipped (no MTA-STS record, or a DNS failure that precludes the
+	// policy fetch); Finalize still runs.
+	Discover(ctx context.Context, domain string) (r DomainResult, done bool)
+	// FetchPolicy runs the policy-retrieval stage.
+	FetchPolicy(ctx context.Context, domain string) FetchOutcome
+	// ProbeHost probes one MX host over SMTP/STARTTLS.
+	ProbeHost(ctx context.Context, mxHost string) ProbeOutcome
+	// Finalize derives the cross-stage verdicts (consistency analysis)
+	// and records per-domain outcome metrics/events.
+	Finalize(r *DomainResult, took time.Duration)
+}
+
+// applyFetch folds a fetch outcome into the result exactly as the flat
+// scan paths do.
+func applyFetch(r *DomainResult, f FetchOutcome) {
+	if f.OK {
+		r.PolicyOK = true
+		r.Policy = f.Policy
+		r.PolicyHTTPStatus = f.HTTPStatus
+		return
+	}
+	r.PolicyStage = f.Stage
+	r.PolicyCertProblem = f.CertProblem
+	r.PolicyHTTPStatus = f.HTTPStatus
+	r.PolicySyntaxErr = f.SyntaxErr
+}
+
+// applyProbe folds one MX probe outcome into the result. Iteration over
+// r.MXHosts preserves the flat path's MXNoSTARTTLS ordering.
+func applyProbe(r *DomainResult, mxHost string, p ProbeOutcome) {
+	if p.NoSTARTTLS {
+		r.MXNoSTARTTLS = append(r.MXNoSTARTTLS, mxHost)
+		return
+	}
+	r.MXProblems[mxHost] = p.Problem
+}
+
+// StageWorkers sizes the pipelined Runner's per-stage pools. Zero or
+// negative fields fall back to the Runner's flat Workers count, so
+// `Pipelined: true` alone is a sane configuration.
+type StageWorkers struct {
+	DNS   int
+	Fetch int
+	Probe int
+}
+
+func (s StageWorkers) withDefaults(base int) StageWorkers {
+	if base < 1 {
+		base = 1
+	}
+	if s.DNS < 1 {
+		s.DNS = base
+	}
+	if s.Fetch < 1 {
+		s.Fetch = base
+	}
+	if s.Probe < 1 {
+		s.Probe = base
+	}
+	return s
+}
+
+// Total returns the summed pool size across stages.
+func (s StageWorkers) Total() int { return s.DNS + s.Fetch + s.Probe }
+
+// ParseStageWorkers parses the -stage-workers flag syntax:
+// "dns=8,fetch=4,probe=16". Stages may be omitted (they default to the
+// Runner's Workers count); "auto" or "" means all defaults.
+func ParseStageWorkers(spec string) (StageWorkers, error) {
+	var sw StageWorkers
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "auto" {
+		return sw, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return StageWorkers{}, fmt.Errorf("scanner: stage-workers %q: want stage=N", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 1 {
+			return StageWorkers{}, fmt.Errorf("scanner: stage-workers %q: pool size must be a positive integer", part)
+		}
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "dns":
+			sw.DNS = n
+		case "fetch":
+			sw.Fetch = n
+		case "probe":
+			sw.Probe = n
+		default:
+			return StageWorkers{}, fmt.Errorf("scanner: stage-workers %q: unknown stage (want dns, fetch or probe)", key)
+		}
+	}
+	return sw, nil
+}
+
+// pipeJob is one domain moving through the pipeline. Exactly one
+// goroutine owns a job at a time (ownership passes with the channel
+// send), so its fields need no locking.
+type pipeJob struct {
+	domain string
+
+	// ctx/stats carry the per-domain retry accounting; start anchors the
+	// scanner.domain_scan.seconds observation. Set at DNS intake.
+	ctx   context.Context
+	stats *retry.Stats
+	start time.Time
+
+	res DomainResult
+	// canceled: the run's context was done before the DNS stage touched
+	// the domain; res is a Canceled placeholder and every later stage
+	// (including Finalize) is skipped, mirroring the flat path.
+	canceled bool
+	// done: Discover short-circuited (no record / record-lookup
+	// failure); fetch and probe pass the job through untouched but
+	// Finalize still runs.
+	done bool
+}
+
+// stageObs bundles one stage's instrumentation; all handles are nil
+// no-ops when the registry is nil.
+type stageObs struct {
+	depth *obs.Gauge
+	busy  *obs.Gauge
+	lat   *obs.Histogram
+}
+
+func newStageObs(reg *obs.Registry, stage string, workers int) stageObs {
+	reg.Gauge("scanner.stage." + stage + ".workers").Set(int64(workers))
+	return stageObs{
+		depth: reg.Gauge("scanner.stage." + stage + ".queue.depth"),
+		busy:  reg.Gauge("scanner.stage." + stage + ".busy"),
+		lat:   reg.Histogram("scanner.stage."+stage+".latency.seconds", nil),
+	}
+}
+
+// runStage starts a pool of workers draining in, applying fn to each
+// live job, and forwarding everything to out. Jobs marked canceled or
+// done pass through without running fn (and without counting toward the
+// stage's latency histogram). When every worker has exited, out is
+// closed, so closure propagates feeder → dns → fetch → probe → out.
+func runStage(workers int, so stageObs, in <-chan *pipeJob, out chan<- *pipeJob, nextDepth *obs.Gauge, fn func(*pipeJob) bool) {
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range in {
+				so.depth.Dec()
+				if !job.canceled && !job.done {
+					so.busy.Inc()
+					var t0 time.Time
+					if so.lat != nil {
+						t0 = time.Now()
+					}
+					ran := fn(job)
+					if so.lat != nil && ran {
+						so.lat.ObserveSince(t0)
+					}
+					so.busy.Dec()
+				}
+				if nextDepth != nil {
+					nextDepth.Inc()
+				}
+				out <- job
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+}
+
+// runPipelined is Run's staged backend. The observable run-level
+// contract is identical to the flat pool: len(results) == len(domains),
+// results sorted by domain, canceled placeholders for unscanned
+// domains, progress reaching done == total, and the same run-level
+// counters/histogram/span/events.
+func (r *Runner) runPipelined(ctx context.Context, domains []string, scan StageScanner) []DomainResult {
+	sw := r.StageWorkers.withDefaults(r.Workers)
+
+	prog := r.Obs.Progress("scan")
+	prog.SetTotal(int64(len(domains)))
+	scans := r.Obs.Counter("scanner.scans.total")
+	canceledC := r.Obs.Counter("scanner.domains.canceled")
+	scanHist := r.Obs.Histogram("scanner.domain_scan.seconds", nil)
+	runSpan := r.Obs.StartSpan("scan.run")
+	r.Events.Emit("scan.run.start", map[string]any{
+		"domains": len(domains), "workers": sw.Total(),
+		"pipelined": true, "dedup": r.Dedup,
+		"stage_workers": map[string]any{"dns": sw.DNS, "fetch": sw.Fetch, "probe": sw.Probe},
+	})
+
+	var dd *dedup
+	if r.Dedup {
+		dd = &dedup{}
+	}
+
+	dnsObs := newStageObs(r.Obs, "dns", sw.DNS)
+	fetchObs := newStageObs(r.Obs, "fetch", sw.Fetch)
+	probeObs := newStageObs(r.Obs, "probe", sw.Probe)
+
+	// Bounded queues: enough slack to keep a stage busy while the next
+	// one drains, small enough that backpressure reaches the feeder.
+	dnsQ := make(chan *pipeJob, 2*sw.DNS)
+	fetchQ := make(chan *pipeJob, 2*sw.Fetch)
+	probeQ := make(chan *pipeJob, 2*sw.Probe)
+	outQ := make(chan *pipeJob, sw.Probe)
+
+	go func() {
+		defer close(dnsQ)
+		for _, d := range domains {
+			dnsObs.depth.Inc()
+			dnsQ <- &pipeJob{domain: d}
+		}
+	}()
+
+	runStage(sw.DNS, dnsObs, dnsQ, fetchQ, fetchObs.depth, func(job *pipeJob) bool {
+		if ctx.Err() != nil {
+			// Canceled before this domain was touched: account for it
+			// like the flat pool's cancelResult so the run reconciles.
+			job.canceled = true
+			job.res = DomainResult{Domain: job.domain, Canceled: true}
+			prog.Add(1)
+			canceledC.Inc()
+			return false
+		}
+		job.ctx, job.stats = retry.WithStats(ctx)
+		job.start = time.Now()
+		prog.Start()
+		job.res, job.done = scan.Discover(job.ctx, job.domain)
+		return true
+	})
+	runStage(sw.Fetch, fetchObs, fetchQ, probeQ, probeObs.depth, func(job *pipeJob) bool {
+		if dd != nil {
+			out, _ := dd.fetch.Do(job.domain, func() FetchOutcome {
+				return scan.FetchPolicy(job.ctx, job.domain)
+			})
+			applyFetch(&job.res, out)
+		} else {
+			applyFetch(&job.res, scan.FetchPolicy(job.ctx, job.domain))
+		}
+		return true
+	})
+	runStage(sw.Probe, probeObs, probeQ, outQ, nil, func(job *pipeJob) bool {
+		for _, mx := range job.res.MXHosts {
+			var out ProbeOutcome
+			if dd != nil {
+				out, _ = dd.probe.Do(mx, func() ProbeOutcome {
+					return scan.ProbeHost(job.ctx, mx)
+				})
+			} else {
+				out = scan.ProbeHost(job.ctx, mx)
+			}
+			applyProbe(&job.res, mx, out)
+		}
+		return true
+	})
+
+	// Collector: the only goroutine touching results, so no lock. Each
+	// job arrives exactly once — channels never drop, stages always
+	// forward, and closure is ordered behind the last forward.
+	results := make([]DomainResult, 0, len(domains))
+	canceled := 0
+	for job := range outQ {
+		if job.canceled {
+			canceled++
+			results = append(results, job.res)
+			continue
+		}
+		job.res.Attempts = job.stats.Attempts()
+		job.res.Retries = job.stats.Retries()
+		job.res.RetryRecovered = job.stats.Recovered()
+		job.res.RetryGaveUp = job.stats.GaveUp()
+		if scanHist != nil {
+			scanHist.ObserveSince(job.start)
+		}
+		scan.Finalize(&job.res, time.Since(job.start))
+		prog.Done()
+		scans.Inc()
+		results = append(results, job.res)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Domain < results[j].Domain })
+
+	if dd != nil {
+		fs, ps := dd.fetch.Stats(), dd.probe.Stats()
+		r.Obs.Counter("scanner.dedup.hits").Add(fs.Hits + ps.Hits)
+		r.Obs.Counter("scanner.dedup.misses").Add(fs.Misses + ps.Misses)
+	}
+	runSpan.End()
+	r.Events.Emit("scan.run.end", map[string]any{
+		"domains": len(domains), "completed": len(results) - canceled, "canceled": canceled,
+	})
+	return results
+}

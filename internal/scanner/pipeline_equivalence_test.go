@@ -1,0 +1,81 @@
+package scanner_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/simnet"
+)
+
+// TestPipelinedMatchesFlatOnFullDataset is the tentpole's acceptance
+// check: over the complete generated study population at the final
+// snapshot — every record, policy, certificate, and MX failure mode the
+// simulation emits, including shared provider MX hosts — the staged
+// pipeline with dedup enabled classifies every domain byte-identically
+// to the seed flat worker pool. (It lives in package scanner_test
+// because simnet itself imports scanner.)
+//
+// Both backends run the same ArtifactScanner, so the comparison
+// isolates the scheduler: any lost stage, misapplied outcome, or
+// cross-domain cache bleed shows up as a ClassificationKey diff.
+func TestPipelinedMatchesFlatOnFullDataset(t *testing.T) {
+	world := simnet.Generate(simnet.Config{Seed: 7, Scale: 0.05})
+	last := simnet.Months - 1
+
+	var arts []scanner.Artifacts
+	for _, d := range world.Domains {
+		if a, ok := world.ArtifactsAt(d, last); ok {
+			arts = append(arts, a)
+		}
+	}
+	if len(arts) < 100 {
+		t.Fatalf("dataset too small to be meaningful: %d domains", len(arts))
+	}
+	domains := make([]string, len(arts))
+	for i := range arts {
+		domains[i] = arts[i].Domain
+	}
+	scan := scanner.NewArtifactScanner(arts, simnet.SnapshotTime(last), 0)
+
+	flat := (&scanner.Runner{Workers: 16, Scan: scan}).Run(context.Background(), domains)
+	want := make(map[string]string, len(flat))
+	for i := range flat {
+		want[flat[i].Domain] = flat[i].ClassificationKey()
+	}
+
+	for _, cfg := range []struct {
+		name  string
+		dedup bool
+	}{
+		{"pipelined", false},
+		{"pipelined+dedup", true},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			runner := &scanner.Runner{
+				Workers:   16,
+				Scan:      scan,
+				Pipelined: true,
+				Dedup:     cfg.dedup,
+			}
+			results := runner.Run(context.Background(), domains)
+			if len(results) != len(domains) {
+				t.Fatalf("%d results for %d domains", len(results), len(domains))
+			}
+			diffs := 0
+			for i := range results {
+				r := &results[i]
+				if key := r.ClassificationKey(); key != want[r.Domain] {
+					diffs++
+					if diffs <= 3 {
+						t.Errorf("%s diverged:\n  flat: %s\n  pipe: %s",
+							r.Domain, want[r.Domain], key)
+					}
+				}
+			}
+			if diffs > 3 {
+				t.Errorf("... and %d more divergent domains (of %d)", diffs-3, len(domains))
+			}
+		})
+	}
+}

@@ -1,6 +1,10 @@
 package scanner
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
 	"github.com/netsecurelab/mtasts/internal/inconsistency"
 	"github.com/netsecurelab/mtasts/internal/mtasts"
 	"github.com/netsecurelab/mtasts/internal/pki"
@@ -123,6 +127,34 @@ type DomainResult struct {
 	// cancellation. Its other fields are partial evidence, not a
 	// verdict, and it is excluded from the error taxonomy.
 	Canceled bool
+}
+
+// ClassificationKey canonically encodes every classification-bearing
+// field of the result — everything a scan concludes about the domain,
+// excluding the retry-accounting fields (Attempts, Retries,
+// RetryRecovered, RetryGaveUp), which legitimately vary with scheduling
+// even when the verdict does not. Two results with equal keys classify
+// identically in every figure and summary; equivalence tests compare
+// keys to prove the flat and pipelined schedulers agree.
+func (r *DomainResult) ClassificationKey() string {
+	mxKeys := make([]string, 0, len(r.MXProblems))
+	for mx := range r.MXProblems {
+		mxKeys = append(mxKeys, mx)
+	}
+	sort.Strings(mxKeys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "domain=%s canceled=%v mx=%v mx_lookup_err=%v ",
+		r.Domain, r.Canceled, r.MXHosts, r.MXLookupErr)
+	fmt.Fprintf(&b, "present=%v valid=%v record=%+v record_err=%v ",
+		r.RecordPresent, r.RecordValid, r.Record, r.RecordErr)
+	fmt.Fprintf(&b, "policy_ok=%v policy=%+v stage=%s cert=%s http=%d syntax=%v cname=%s ",
+		r.PolicyOK, r.Policy, r.PolicyStage.Key(), r.PolicyCertProblem, r.PolicyHTTPStatus,
+		r.PolicySyntaxErr, r.PolicyCNAME)
+	for _, mx := range mxKeys {
+		fmt.Fprintf(&b, "mx[%s]=%s ", mx, r.MXProblems[mx])
+	}
+	fmt.Fprintf(&b, "no_starttls=%v mismatch=%+v", r.MXNoSTARTTLS, r.Mismatch)
+	return b.String()
 }
 
 // Categories returns the Figure 4 error categories the domain falls into.

@@ -15,10 +15,16 @@ type Scanner interface {
 	ScanDomain(ctx context.Context, domain string) DomainResult
 }
 
-// Runner fans a scan out over many domains with a bounded worker pool,
-// mirroring the paper's weekly/monthly snapshot scans.
+// Runner fans a scan out over many domains, mirroring the paper's
+// weekly/monthly snapshot scans. It has two backends: the flat
+// per-domain worker pool (default) and, when Pipelined is set and Scan
+// implements StageScanner, the staged pipeline of pipeline.go. Both
+// honor the same contract: results sorted by domain, one result per
+// submitted domain, canceled placeholders for domains the run could
+// not scan.
 type Runner struct {
-	// Workers is the pool size (minimum 1).
+	// Workers is the flat pool size (minimum 1); it also seeds any
+	// unset StageWorkers field in pipelined mode.
 	Workers int
 	// Scan is the per-domain scanner.
 	Scan Scanner
@@ -26,11 +32,25 @@ type Runner struct {
 	// tracker (total/done/in-flight/rate, served at /debug/scanprogress),
 	// the scanner.queue.depth and scanner.workers.busy gauges, the
 	// scanner.scans.total counter, and the scanner.domain_scan.seconds
-	// latency histogram. A nil registry costs one pointer check per run.
+	// latency histogram. Pipelined runs replace the flat pool gauges
+	// with the scanner.stage.<stage>.* family. A nil registry costs one
+	// pointer check per run.
 	Obs *obs.Registry
 	// Events, when non-nil, receives scan.run.start / scan.run.end
 	// events bracketing each Run call.
 	Events *obs.EventSink
+
+	// Pipelined selects the staged backend. It requires Scan to
+	// implement StageScanner; otherwise Run falls back to the flat pool.
+	Pipelined bool
+	// StageWorkers sizes the per-stage pools in pipelined mode; unset
+	// stages default to Workers.
+	StageWorkers StageWorkers
+	// Dedup, in pipelined mode, collapses duplicate in-flight policy
+	// fetches and MX probes and shares their results across domains for
+	// the duration of the run (scanner.dedup.hits/misses count the
+	// effect; docs/PIPELINE.md discusses when sharing is sound).
+	Dedup bool
 }
 
 // Run scans all domains and returns results sorted by domain name. The
@@ -40,6 +60,16 @@ type Runner struct {
 // equals len(domains), the queue-depth gauge drains to zero, and the
 // progress tracker finishes at done == total.
 func (r *Runner) Run(ctx context.Context, domains []string) []DomainResult {
+	if r.Pipelined {
+		if ss, ok := r.Scan.(StageScanner); ok {
+			return r.runPipelined(ctx, domains, ss)
+		}
+	}
+	return r.runFlat(ctx, domains)
+}
+
+// runFlat is the seed worker-pool backend, unchanged in behavior.
+func (r *Runner) runFlat(ctx context.Context, domains []string) []DomainResult {
 	workers := r.Workers
 	if workers < 1 {
 		workers = 1

@@ -2,11 +2,22 @@ package scanner
 
 import (
 	"context"
+	"encoding/json"
+	"flag"
 	"fmt"
+	"os"
 	"testing"
+	"time"
 
+	"github.com/netsecurelab/mtasts/internal/mtasts"
 	"github.com/netsecurelab/mtasts/internal/obs"
+	"github.com/netsecurelab/mtasts/internal/pki"
 )
+
+// benchScanOut, when set, makes TestBenchScanJSON time both scheduler
+// backends on the synthetic workload and write the comparison to the
+// given JSON file (the repo's BENCH_scan.json). `make bench` wires it.
+var benchScanOut = flag.String("benchscan-out", "", "write flat-vs-pipelined scan timings to this JSON file")
 
 // nopScanner isolates Runner overhead from probe cost.
 type nopScanner struct{}
@@ -26,6 +37,10 @@ func benchDomains(n int) []string {
 // BenchmarkRunnerNilObs is the regression guard for the nil-registry
 // contract: instrumentation with Obs == nil must cost only pointer
 // checks, so Runner throughput stays at its pre-observability level.
+// Together with BenchmarkRunnerWithObs it is the seed baseline — both
+// predate the staged pipeline and exercise only the flat backend;
+// BenchmarkRunnerFlat/BenchmarkRunnerPipelined below compare the two
+// schedulers on a workload with realistic per-stage costs.
 func BenchmarkRunnerNilObs(b *testing.B) {
 	domains := benchDomains(256)
 	r := &Runner{Workers: 8, Scan: nopScanner{}}
@@ -45,4 +60,153 @@ func BenchmarkRunnerWithObs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r.Run(context.Background(), domains)
 	}
+}
+
+// benchArtifacts builds n fully healthy domains, each listing two MX
+// hosts drawn from a shared pool of hostPool providers — the hosting
+// concentration that makes probe dedup pay off on real populations.
+func benchArtifacts(n, hostPool int) []Artifacts {
+	pool := make([]string, hostPool)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("mx%03d.bench.example", i)
+	}
+	arts := make([]Artifacts, n)
+	for i := range arts {
+		domain := fmt.Sprintf("b%05d.example", i)
+		mx1, mx2 := pool[(2*i)%hostPool], pool[(2*i+1)%hostPool]
+		arts[i] = Artifacts{
+			Domain:             domain,
+			TXT:                []string{"v=STSv1; id=20240929;"},
+			MXHosts:            []string{mx1, mx2},
+			PolicyHostResolves: true,
+			TCPOpen:            true,
+			PolicyCert:         pki.GoodProfile(scanNow, mtasts.PolicyHost(domain)),
+			HTTPStatus:         200,
+			PolicyBody: []byte("version: STSv1\nmode: enforce\nmx: " + mx1 +
+				"\nmx: " + mx2 + "\nmax_age: 86400\n"),
+			MXSTARTTLS: map[string]bool{mx1: true, mx2: true},
+			MXCerts: map[string]pki.CertProfile{
+				mx1: pki.GoodProfile(scanNow, mx1),
+				mx2: pki.GoodProfile(scanNow, mx2),
+			},
+		}
+	}
+	return arts
+}
+
+// benchOpDelay is the synthetic per-unit network cost for the scheduler
+// benchmarks (ArtifactScanner charges 3 units for DNS discovery, 2 for
+// the policy fetch, and 5 per MX probe).
+const benchOpDelay = 50 * time.Microsecond
+
+// benchBackends is the single table both scheduler benchmarks and the
+// BENCH_scan.json writer draw from, so they can never drift apart.
+var benchBackends = []struct {
+	name      string
+	pipelined bool
+	configure func(r *Runner)
+}{
+	{name: "flat", configure: func(r *Runner) { r.Workers = 64 }},
+	{name: "pipelined", pipelined: true, configure: func(r *Runner) {
+		r.Pipelined = true
+		r.StageWorkers = StageWorkers{DNS: 32, Fetch: 24, Probe: 8}
+		r.Dedup = true
+	}},
+}
+
+var benchSizes = []int{1000, 10000}
+
+func benchRunner(scan *ArtifactScanner, backend int) *Runner {
+	r := &Runner{Scan: scan}
+	benchBackends[backend].configure(r)
+	return r
+}
+
+// BenchmarkRunnerFlat and BenchmarkRunnerPipelined compare the two
+// scheduler backends on the same synthetic population at equal total
+// worker budget (64): flat pays every probe, the pipeline collapses
+// duplicate MX probes across domains and overlaps the stages.
+func BenchmarkRunnerFlat(b *testing.B)      { benchBackend(b, 0) }
+func BenchmarkRunnerPipelined(b *testing.B) { benchBackend(b, 1) }
+
+func benchBackend(b *testing.B, backend int) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("domains=%d", n), func(b *testing.B) {
+			arts := benchArtifacts(n, 50)
+			domains := make([]string, n)
+			for i := range arts {
+				domains[i] = arts[i].Domain
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				scan := NewArtifactScanner(arts, scanNow, benchOpDelay)
+				r := benchRunner(scan, backend)
+				b.StartTimer()
+				if res := r.Run(context.Background(), domains); len(res) != n {
+					b.Fatalf("%d results for %d domains", len(res), n)
+				}
+			}
+		})
+	}
+}
+
+// TestBenchScanJSON times one run of each backend at every bench size
+// and writes the comparison to -benchscan-out; it is skipped otherwise.
+// The 10k-domain speedup is the tentpole's acceptance bar: the pipeline
+// with dedup must be at least 2x the flat pool on this workload.
+func TestBenchScanJSON(t *testing.T) {
+	if *benchScanOut == "" {
+		t.Skip("run via make bench (-benchscan-out not set)")
+	}
+	type row struct {
+		Backend   string  `json:"backend"`
+		Domains   int     `json:"domains"`
+		Seconds   float64 `json:"seconds"`
+		DomainsPS float64 `json:"domains_per_second"`
+	}
+	out := struct {
+		Workload string  `json:"workload"`
+		OpDelay  string  `json:"op_delay"`
+		Rows     []row   `json:"rows"`
+		Speedup  float64 `json:"speedup_10k"`
+	}{
+		Workload: "healthy domains, 2 MX each from a 50-host pool, 64 total workers",
+		OpDelay:  benchOpDelay.String(),
+	}
+	elapsed := make(map[string]float64) // "backend/n" -> seconds
+	for _, n := range benchSizes {
+		arts := benchArtifacts(n, 50)
+		domains := make([]string, n)
+		for i := range arts {
+			domains[i] = arts[i].Domain
+		}
+		for backend := range benchBackends {
+			scan := NewArtifactScanner(arts, scanNow, benchOpDelay)
+			r := benchRunner(scan, backend)
+			start := time.Now()
+			if res := r.Run(context.Background(), domains); len(res) != n {
+				t.Fatalf("%d results for %d domains", len(res), n)
+			}
+			secs := time.Since(start).Seconds()
+			name := benchBackends[backend].name
+			elapsed[fmt.Sprintf("%s/%d", name, n)] = secs
+			out.Rows = append(out.Rows, row{
+				Backend: name, Domains: n, Seconds: secs,
+				DomainsPS: float64(n) / secs,
+			})
+		}
+	}
+	out.Speedup = elapsed["flat/10000"] / elapsed["pipelined/10000"]
+	if out.Speedup < 2 {
+		t.Errorf("pipelined speedup at 10k domains = %.2fx, want >= 2x", out.Speedup)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchScanOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (speedup %.2fx)", *benchScanOut, out.Speedup)
 }

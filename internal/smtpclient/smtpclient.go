@@ -88,6 +88,15 @@ type Prober struct {
 // Probe runs the §4.1 sequence against mxHost: connect, EHLO (HELO
 // fallback), STARTTLS, retrieve certificate, quit. It never sends mail.
 func (p *Prober) Probe(ctx context.Context, mxHost string) ProbeResult {
+	return p.ProbeAddr(ctx, mxHost, p.dialAddr(mxHost))
+}
+
+// ProbeAddr is Probe with an explicit dial address (ip:port), letting
+// one shared Prober serve many hosts whose addresses the caller already
+// resolved — the scanner's staged pipeline does this so MX probes can
+// be deduplicated per host without building a Prober per probe. The
+// certificate is still validated against mxHost.
+func (p *Prober) ProbeAddr(ctx context.Context, mxHost, addr string) ProbeResult {
 	sp := p.Obs.StartSpan("smtp.probe")
 	var res ProbeResult
 	// Do's return is the final attempt's error; assigning it back keeps
@@ -101,7 +110,7 @@ func (p *Prober) Probe(ctx context.Context, mxHost string) ProbeResult {
 		Transient:   TransientProbeErr,
 		Obs:         p.Obs,
 	}.Do(ctx, func(ctx context.Context) error {
-		res = p.probe(ctx, mxHost)
+		res = p.probe(ctx, mxHost, addr)
 		return res.Err
 	})
 	sp.EndErr(res.Err)
@@ -122,7 +131,7 @@ func (p *Prober) Probe(ctx context.Context, mxHost string) ProbeResult {
 	return res
 }
 
-func (p *Prober) probe(ctx context.Context, mxHost string) ProbeResult {
+func (p *Prober) probe(ctx context.Context, mxHost, addr string) ProbeResult {
 	res := ProbeResult{Host: mxHost}
 	timeout := p.Timeout
 	if timeout <= 0 {
@@ -131,7 +140,6 @@ func (p *Prober) probe(ctx context.Context, mxHost string) ProbeResult {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
-	addr := p.dialAddr(mxHost)
 	dialSpan := p.Obs.StartSpan("smtp.probe.dial")
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)

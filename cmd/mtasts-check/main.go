@@ -101,6 +101,13 @@ func main() {
 	fmt.Println()
 	if r.Misconfigured() {
 		fmt.Printf("verdict: MISCONFIGURED — categories: %v\n", r.Categories())
+		for _, e := range r.TaxErrors() {
+			if msg := e.Error(); msg != string(e.Code) {
+				fmt.Printf("  %-18s %s\n", e.Code, msg)
+			} else {
+				fmt.Printf("  %s\n", e.Code)
+			}
+		}
 		if r.DeliveryFailure() {
 			fmt.Println("WARNING: compliant senders will REFUSE to deliver mail to this domain")
 		}

@@ -219,6 +219,12 @@ func main() {
 	}
 	report.WriteTable(os.Stderr, sum)
 
+	if len(s.ByCode) > 0 {
+		fmt.Fprintln(os.Stderr)
+		report.WriteTable(os.Stderr, report.ErrorTaxonomyTable(
+			"Error taxonomy (domains per code, docs/ERRORS.md)", s.ByCode))
+	}
+
 	if reg != nil {
 		fmt.Fprintln(os.Stderr)
 		mt := &dataset.Table{Title: "Observability summary", Headers: []string{"metric", "value"}}

@@ -41,7 +41,7 @@ func main() {
 		"population scale (1.0 = the paper's 68K MTA-STS domains)")
 	seed := flag.Int64("seed", 1, "world seed")
 	which := flag.String("experiment", "all",
-		"experiment to run: all, table1, table2, figure2..figure12, records, senders, survey, disclosure, robustness")
+		"experiment to run: all, table1, table2, figure2..figure12, records, errors, senders, survey, disclosure, robustness")
 	writeExp := flag.String("write-experiments", "", "write EXPERIMENTS.md-style shape report to this file")
 	retries := flag.Int("retries", 4, "robustness: attempts per network operation")
 	faultSeed := flag.Int64("fault-seed", 0, "robustness: fault plan seed (0 = use -seed)")
@@ -233,6 +233,8 @@ func main() {
 		chart("Figure 12 (bottom): TLSRPT of MTA-STS domains", "%", bottom...)
 	case "records":
 		report.WriteTable(out, env.RecordErrorBreakdown())
+	case "errors":
+		report.WriteTable(out, env.ErrorTaxonomy())
 	case "senders":
 		report.WriteTable(out, env.SenderSide())
 	case "survey":
@@ -282,6 +284,7 @@ func writeExperiments(path string, env *experiments.Env, rows []report.Compariso
 	fmt.Fprintln(f, report.MarkdownTable(env.Table1()))
 	fmt.Fprintln(f, report.MarkdownTable(env.Table2()))
 	fmt.Fprintln(f, report.MarkdownTable(env.RecordErrorBreakdown()))
+	fmt.Fprintln(f, report.MarkdownTable(env.ErrorTaxonomy()))
 	fmt.Fprintln(f, report.MarkdownTable(env.SenderSide()))
 	fmt.Fprintln(f, report.MarkdownTable(env.Figure11()))
 	fmt.Fprintln(f, report.MarkdownTable(env.SurveyFindings()))

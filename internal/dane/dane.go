@@ -15,10 +15,10 @@ import (
 	"crypto/sha256"
 	"crypto/sha512"
 	"crypto/x509"
-	"errors"
 	"fmt"
 
 	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/errtax"
 )
 
 // Certificate usages (RFC 6698 §2.1.1). SMTP (RFC 7672) only uses DANE-TA
@@ -43,12 +43,14 @@ const (
 	MatchingSHA512 uint8 = 2
 )
 
-// Errors returned by verification.
+// Errors returned by verification, typed into the scan error taxonomy
+// (docs/ERRORS.md). All are persistent verdicts about the deployment's
+// TLSA records, never retried.
 var (
-	ErrNoTLSARecords = errors.New("dane: no TLSA records")
-	ErrInsecureTLSA  = errors.New("dane: TLSA records not DNSSEC-validated")
-	ErrNoMatch       = errors.New("dane: no TLSA record matches the presented certificate")
-	ErrBadParams     = errors.New("dane: unsupported TLSA parameter combination")
+	ErrNoTLSARecords = errtax.New(errtax.LayerDANE, errtax.CodeNoTLSARecords, false, "dane: no TLSA records")
+	ErrInsecureTLSA  = errtax.New(errtax.LayerDANE, errtax.CodeInsecureTLSA, false, "dane: TLSA records not DNSSEC-validated")
+	ErrNoMatch       = errtax.New(errtax.LayerDANE, errtax.CodeTLSANoMatch, false, "dane: no TLSA record matches the presented certificate")
+	ErrBadParams     = errtax.New(errtax.LayerDANE, errtax.CodeTLSABadParams, false, "dane: unsupported TLSA parameter combination")
 )
 
 // Record is a TLSA record together with its DNSSEC security status.
@@ -71,6 +73,7 @@ func TLSAName(mxHost string) string { return "_25._tcp." + mxHost }
 func FromRR(rr dnsmsg.RR, secure bool) (Record, error) {
 	td, ok := rr.Data.(dnsmsg.TLSAData)
 	if !ok {
+		//lint:ignore codes a non-TLSA RR here is a caller bug, not a scan verdict to classify
 		return Record{}, fmt.Errorf("dane: record %s is %s, not TLSA", rr.Name, rr.Type)
 	}
 	return Record{

@@ -1,0 +1,213 @@
+// Package errtax is the scan pipeline's typed error taxonomy. Every
+// failure mode the paper's measurement methodology distinguishes —
+// invalid MTA-STS TXT records, failed policy retrievals, PKIX-invalid MX
+// certificates, policy/MX inconsistencies (§5, Figure 4) — is a stable
+// snake_case Code registered in a central registry (registry.go,
+// cataloged for humans in docs/ERRORS.md). Producing layers (resolver,
+// mtasts record/policy/fetch, smtpclient, dane) attach codes by
+// returning *Error values; consuming layers (retry, scanner, report,
+// obs) key off the code instead of matching error strings or booleans.
+//
+// Two invariants matter to the rest of the module:
+//
+//   - Message stability. An *Error formats exactly like its Cause, so
+//     converting a sentinel from errors.New to errtax carries zero
+//     observable change through %v/%s/%w formatting — the scanner's
+//     ClassificationKey, pinned byte-identical by the equivalence tests,
+//     does not move.
+//
+//   - Transience. Each Error carries the transient-vs-persistent verdict
+//     that the retry layer previously recomputed with per-package
+//     classifier funcs. Transient is the single classifier now: it reads
+//     the bit from the first *Error in the chain and falls back to the
+//     shared socket-level heuristic (TransientNet) for untyped errors.
+package errtax
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+)
+
+// Layer names the pipeline stage that produced an error. It is
+// coarser than Code (several codes per layer) and stable for use in
+// JSON events.
+type Layer string
+
+// Producing layers, in pipeline order.
+const (
+	// LayerDNS: TXT discovery and record parsing (internal/resolver,
+	// internal/mtasts record.go).
+	LayerDNS Layer = "dns"
+	// LayerFetch: HTTPS policy retrieval and policy parsing
+	// (internal/mtasts fetch.go, policy.go).
+	LayerFetch Layer = "fetch"
+	// LayerProbe: SMTP STARTTLS probing and MX certificate validation
+	// (internal/smtpclient, internal/pki verdicts).
+	LayerProbe Layer = "probe"
+	// LayerDANE: TLSA lookup and matching on the sender path
+	// (internal/dane).
+	LayerDANE Layer = "dane"
+	// LayerScan: cross-stage verdicts only the scanner can compute
+	// (policy/MX inconsistency).
+	LayerScan Layer = "scan"
+)
+
+// Code is a stable snake_case wire identifier for one failure mode.
+// Codes appear verbatim in metric names (scan.error.<code>), JSONL scan
+// events, and docs/ERRORS.md; they are never renamed, only added.
+type Code string
+
+// Error is a scan failure with a taxonomy position. It wraps (and
+// formats exactly like) an underlying cause, adding the machine-readable
+// layer, code, and transient-vs-persistent classification.
+type Error struct {
+	Layer     Layer
+	Code      Code
+	Transient bool
+	// Cause is the underlying error; Error() delegates to it so typing
+	// an error never changes its message. May be nil for pure verdicts,
+	// in which case the code itself is the message.
+	Cause error
+}
+
+// New returns a taxonomy error with a fixed message — the typed
+// replacement for a package-level errors.New sentinel.
+func New(layer Layer, code Code, transient bool, msg string) *Error {
+	return &Error{Layer: layer, Code: code, Transient: transient, Cause: errors.New(msg)}
+}
+
+// Wrap attaches a taxonomy position to an existing error, preserving its
+// message and chain.
+func Wrap(layer Layer, code Code, transient bool, cause error) *Error {
+	return &Error{Layer: layer, Code: code, Transient: transient, Cause: cause}
+}
+
+// Error formats exactly like the cause so typed sentinels render
+// byte-identically to the errors.New values they replaced.
+func (e *Error) Error() string {
+	if e.Cause != nil {
+		return e.Cause.Error()
+	}
+	return string(e.Code)
+}
+
+// Unwrap exposes the cause to errors.Is/As. Sentinel matching stays
+// pointer-identity under errors.Is (no custom Is method): several
+// sentinels may share one code (ErrMissingID and ErrBadID are both
+// bad_syntax) and must remain distinguishable; code-level matching is
+// what HasCode is for.
+func (e *Error) Unwrap() error { return e.Cause }
+
+// errJSON is the wire form: the cause collapses to its message.
+type errJSON struct {
+	Layer     Layer  `json:"layer"`
+	Code      Code   `json:"code"`
+	Transient bool   `json:"transient,omitempty"`
+	Message   string `json:"message,omitempty"`
+}
+
+// MarshalJSON encodes {layer, code, transient, message}; the cause chain
+// collapses to its rendered message.
+func (e *Error) MarshalJSON() ([]byte, error) {
+	j := errJSON{Layer: e.Layer, Code: e.Code, Transient: e.Transient}
+	if msg := e.Error(); msg != string(e.Code) {
+		j.Message = msg
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON rebuilds an Error from its wire form. The cause becomes
+// an opaque error carrying the recorded message, so layer, code,
+// transience, and rendered message all round-trip.
+func (e *Error) UnmarshalJSON(data []byte) error {
+	var j errJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*e = Error{Layer: j.Layer, Code: j.Code, Transient: j.Transient}
+	if j.Message != "" {
+		e.Cause = errors.New(j.Message)
+	}
+	return nil
+}
+
+// CodeOf returns the taxonomy code of the first *Error in err's chain.
+// ok is false for untyped errors (and nil).
+func CodeOf(err error) (code Code, ok bool) {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code, true
+	}
+	return "", false
+}
+
+// HasCode reports whether err's chain carries the given code.
+func HasCode(err error, code Code) bool {
+	c, ok := CodeOf(err)
+	return ok && c == code
+}
+
+// Transient is the pipeline-wide retry classifier: it reports whether
+// err is worth retrying. Context cancellation is never transient (the
+// caller is shutting down). A typed error answers with its own Transient
+// bit; untyped errors fall back to the socket-level heuristic
+// (TransientNet). This replaces the per-layer classifiers the resolver,
+// policy fetcher, and SMTP prober used to carry.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Transient
+	}
+	return TransientNet(err)
+}
+
+// TransientNet reports whether err looks like a transient socket-level
+// failure: timeouts, resets, refused or dropped connections, and
+// truncated streams. Context cancellation is not transient (the caller
+// is shutting down); a per-attempt deadline surfacing as
+// DeadlineExceeded is (the next attempt gets a fresh one — retry's
+// Policy.Do separately stops when its own context is done).
+func TransientNet(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ETIMEDOUT) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	// Any remaining net.OpError is a socket-layer failure (dial, read,
+	// write) rather than a protocol-level verdict.
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// GoString makes %#v render something readable in test failures.
+func (e *Error) GoString() string {
+	return fmt.Sprintf("errtax.Error{Layer:%q, Code:%q, Transient:%v, Cause:%v}",
+		e.Layer, e.Code, e.Transient, e.Cause)
+}

@@ -1,0 +1,208 @@
+package errtax
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"regexp"
+	"syscall"
+	"testing"
+)
+
+// snakeCase is the wire-code grammar: lowercase segments joined by
+// single underscores, no digits needed so far, no leading/trailing
+// underscores.
+var snakeCase = regexp.MustCompile(`^[a-z]+(_[a-z]+)*$`)
+
+func TestRegistryCodesUniqueAndSnakeCase(t *testing.T) {
+	seen := make(map[Code]bool)
+	for _, in := range Registry() {
+		if seen[in.Code] {
+			t.Errorf("code %q registered twice", in.Code)
+		}
+		seen[in.Code] = true
+		if !snakeCase.MatchString(string(in.Code)) {
+			t.Errorf("code %q is not snake_case", in.Code)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("empty registry")
+	}
+}
+
+func TestEveryCodeHasExactlyOneCategory(t *testing.T) {
+	valid := map[Category]bool{
+		CategoryDNSRecord:     true,
+		CategoryPolicy:        true,
+		CategoryMXCert:        true,
+		CategoryInconsistency: true,
+	}
+	for _, in := range Registry() {
+		if !valid[in.Category] {
+			t.Errorf("code %q has unknown category %q", in.Code, in.Category)
+		}
+		if got := CategoryOf(in.Code); got != in.Category {
+			t.Errorf("CategoryOf(%q) = %q, registry says %q", in.Code, got, in.Category)
+		}
+		if in.Layer == "" {
+			t.Errorf("code %q has no layer", in.Code)
+		}
+		if in.Doc == "" || in.Paper == "" {
+			t.Errorf("code %q missing Doc or Paper provenance", in.Code)
+		}
+	}
+	if CategoryOf("definitely_not_registered") != "" {
+		t.Error("CategoryOf on an unregistered code should be empty")
+	}
+}
+
+func TestCodesSortedAndMatchRegistry(t *testing.T) {
+	codes := Codes()
+	if len(codes) != len(Registry()) {
+		t.Fatalf("Codes() has %d entries, Registry() has %d", len(codes), len(Registry()))
+	}
+	for i := 1; i < len(codes); i++ {
+		if codes[i-1] >= codes[i] {
+			t.Errorf("Codes() not strictly sorted at %d: %q >= %q", i, codes[i-1], codes[i])
+		}
+	}
+	for _, c := range codes {
+		if _, ok := Lookup(c); !ok {
+			t.Errorf("Codes() returned %q but Lookup misses it", c)
+		}
+	}
+}
+
+func TestMessageStability(t *testing.T) {
+	const msg = "resolver: lookup timed out"
+	typed := New(LayerDNS, CodeTimeout, true, msg)
+	if typed.Error() != msg {
+		t.Fatalf("Error() = %q, want %q", typed.Error(), msg)
+	}
+	// Wrapping through fmt must render identically to the plain sentinel.
+	plain := errors.New(msg)
+	if got, want := fmt.Sprintf("query failed: %v", typed), fmt.Sprintf("query failed: %v", plain); got != want {
+		t.Errorf("%%v formatting diverged: %q vs %q", got, want)
+	}
+	// A cause-less verdict falls back to the code string.
+	bare := &Error{Layer: LayerScan, Code: CodeInconsistency}
+	if bare.Error() != string(CodeInconsistency) {
+		t.Errorf("nil-cause Error() = %q, want code string", bare.Error())
+	}
+}
+
+func TestCodeOfHasCodeThroughWrapping(t *testing.T) {
+	sentinel := New(LayerDNS, CodeServFail, true, "resolver: SERVFAIL")
+	wrapped := fmt.Errorf("attempt 3: %w", fmt.Errorf("query _mta-sts.example.com: %w", sentinel))
+
+	if c, ok := CodeOf(wrapped); !ok || c != CodeServFail {
+		t.Errorf("CodeOf through two wraps = %q, %v", c, ok)
+	}
+	if !HasCode(wrapped, CodeServFail) {
+		t.Error("HasCode should see servfail through wrapping")
+	}
+	if HasCode(wrapped, CodeNXDomain) {
+		t.Error("HasCode matched the wrong code")
+	}
+	if c, ok := CodeOf(errors.New("untyped")); ok || c != "" {
+		t.Errorf("CodeOf(untyped) = %q, %v; want empty, false", c, ok)
+	}
+	if _, ok := CodeOf(nil); ok {
+		t.Error("CodeOf(nil) reported a code")
+	}
+
+	// errors.Is stays pointer-identity: two sentinels sharing a code do
+	// not match each other.
+	other := New(LayerDNS, CodeServFail, true, "resolver: SERVFAIL elsewhere")
+	if errors.Is(wrapped, other) {
+		t.Error("errors.Is matched a different sentinel with the same code")
+	}
+	if !errors.Is(wrapped, sentinel) {
+		t.Error("errors.Is lost the original sentinel through wrapping")
+	}
+}
+
+func TestOuterCodeWinsOverInner(t *testing.T) {
+	inner := New(LayerDNS, CodeTimeout, true, "resolver: timeout")
+	outer := Wrap(LayerFetch, CodeDNSLookup, false, fmt.Errorf("fetch policy: %w", inner))
+	if c, _ := CodeOf(outer); c != CodeDNSLookup {
+		t.Errorf("CodeOf = %q, want the outermost code %q", c, CodeDNSLookup)
+	}
+	if Transient(outer) {
+		t.Error("Transient should read the outermost typed error's bit")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	cases := []*Error{
+		New(LayerDNS, CodeNXDomain, false, "resolver: NXDOMAIN"),
+		Wrap(LayerFetch, CodeTLSHandshake, true, fmt.Errorf("fetch: %w", io.EOF)),
+		{Layer: LayerScan, Code: CodeInconsistency}, // nil cause
+	}
+	for _, in := range cases {
+		data, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal %#v: %v", in, err)
+		}
+		var out Error
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if out.Layer != in.Layer || out.Code != in.Code || out.Transient != in.Transient {
+			t.Errorf("round trip changed fields: in %#v out %#v", in, &out)
+		}
+		if out.Error() != in.Error() {
+			t.Errorf("round trip changed message: %q -> %q", in.Error(), out.Error())
+		}
+	}
+	// The wire form omits the message when it equals the code.
+	data, _ := json.Marshal(&Error{Layer: LayerScan, Code: CodeInconsistency})
+	if want := `{"layer":"scan","code":"inconsistency"}`; string(data) != want {
+		t.Errorf("compact wire form = %s, want %s", data, want)
+	}
+}
+
+func TestTransientClassifier(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"canceled", context.Canceled, false},
+		{"canceled wrapping typed transient", fmt.Errorf("%w: %w", context.Canceled, New(LayerDNS, CodeServFail, true, "x")), false},
+		{"typed transient", New(LayerDNS, CodeServFail, true, "x"), true},
+		{"typed persistent", New(LayerDNS, CodeNXDomain, false, "x"), false},
+		{"typed persistent wrapping reset", Wrap(LayerFetch, CodeTLSHandshake, false, syscall.ECONNRESET), false},
+		{"untyped reset", syscall.ECONNRESET, true},
+		{"untyped deadline", context.DeadlineExceeded, true},
+		{"untyped eof", io.ErrUnexpectedEOF, true},
+		{"untyped protocol error", errors.New("unexpected banner"), false},
+	}
+	for _, tc := range cases {
+		if got := Transient(tc.err); got != tc.want {
+			t.Errorf("Transient(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestTransientRegistryDefaultsAreConsistent(t *testing.T) {
+	// New/Wrap with a registry code should agree with the registry's
+	// fixed bit for non-varying codes; this catches a sentinel declared
+	// with the wrong transience.
+	fixedTransient := map[Code]bool{}
+	for _, in := range Registry() {
+		if !in.Varies {
+			fixedTransient[in.Code] = in.Transient
+		}
+	}
+	for code, want := range fixedTransient {
+		in, _ := Lookup(code)
+		e := New(in.Layer, code, in.Transient, "probe")
+		if Transient(e) != want {
+			t.Errorf("code %q: sentinel built from registry disagrees with registry bit", code)
+		}
+	}
+}

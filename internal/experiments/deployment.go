@@ -6,6 +6,7 @@ import (
 
 	"github.com/netsecurelab/mtasts/internal/dataset"
 	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/report"
 	"github.com/netsecurelab/mtasts/internal/scanner"
 	"github.com/netsecurelab/mtasts/internal/simnet"
 )
@@ -126,6 +127,16 @@ func (e *Env) RecordErrorBreakdown() *dataset.Table {
 	t.AddRow("multiple records", multiple, pct(multiple))
 	t.AddRow("total", total, "100%")
 	return t
+}
+
+// ErrorTaxonomy breaks the final snapshot's misconfigurations down to
+// individual error codes (docs/ERRORS.md) — the per-code refinement of
+// Figure 4's category view, counting domains affected by each failure
+// mode at least once.
+func (e *Env) ErrorTaxonomy() *dataset.Table {
+	s := e.Summary(simnet.Months - 1)
+	return report.ErrorTaxonomyTable(
+		"Figure 4 refined: error codes per domain (final snapshot)", s.ByCode)
 }
 
 // Disclosure reproduces §4.7: the notification campaign outcome.

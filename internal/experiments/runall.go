@@ -41,6 +41,7 @@ func (e *Env) RunAll(w io.Writer) []report.ComparisonRow {
 	)
 
 	table(e.RecordErrorBreakdown())
+	table(e.ErrorTaxonomy())
 
 	// Figure 5 and the self-vs-third comparison.
 	selfPanel, thirdPanel := e.Figure5()

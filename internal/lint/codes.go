@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// codesScope lists the errtax-producing packages: every error these
+// packages hand across their public surface should carry a taxonomy
+// code (docs/ERRORS.md), either by being an errtax sentinel or by
+// wrapping one with %w. Path-segment suffixes of the import path.
+var codesScope = []string{
+	"internal/resolver",
+	"internal/mtasts",
+	"internal/smtpclient",
+	"internal/dane",
+}
+
+func codesApplies(importPath string) bool {
+	for _, s := range codesScope {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) ||
+			strings.Contains(importPath, "/"+s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Codes reports untyped error constructions escaping the
+// errtax-producing packages (resolver, mtasts, smtpclient, dane):
+// package-level errors.New sentinels, and return statements building
+// their error with errors.New or a fmt.Errorf that wraps nothing — in
+// both cases the caller gets an error with no taxonomy code, which the
+// scanner can only classify by string matching. Use an errtax sentinel
+// (errtax.New), wrap one with fmt.Errorf("...: %w", ErrSentinel), or
+// annotate deliberate exceptions with //lint:ignore codes <reason>
+// (ErrNoRecord and ErrBadGreeting are the precedents; both say why).
+func Codes() *Analyzer {
+	a := &Analyzer{
+		Name: "codes",
+		Doc:  "requires errtax codes on errors leaving producer packages",
+	}
+	a.Run = func(pass *Pass) {
+		if !codesApplies(pass.Pkg.ImportPath) {
+			return
+		}
+		info := pass.Pkg.Info
+		pass.inspect(func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				if pass.InTestFile(node.Pos()) {
+					return false
+				}
+			case *ast.GenDecl:
+				// Package-level sentinels: var ErrX = errors.New("...").
+				if node.Tok != token.VAR || pass.InTestFile(node.Pos()) {
+					return true
+				}
+				for _, spec := range node.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						if call, ok := ast.Unparen(v).(*ast.CallExpr); ok && isErrorsNew(info, call) {
+							pass.Reportf(call.Pos(), "sentinel declared with errors.New carries no errtax code; use errtax.New or say why it stays untyped")
+						}
+					}
+				}
+				return false
+			case *ast.ReturnStmt:
+				for _, res := range node.Results {
+					call, ok := ast.Unparen(res).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if isErrorsNew(info, call) {
+						pass.Reportf(call.Pos(), "returned errors.New carries no errtax code; return an errtax sentinel or wrap one with %%w")
+						continue
+					}
+					if isFmtErrorf(info, call) && !errorfWraps(call) {
+						pass.Reportf(call.Pos(), "returned fmt.Errorf without %%w carries no errtax code; wrap an errtax sentinel")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return a
+}
+
+func isErrorsNew(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && funcPkgPath(fn) == "errors" && fn.Name() == "New"
+}
+
+func isFmtErrorf(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && funcPkgPath(fn) == "fmt" && fn.Name() == "Errorf"
+}
+
+// errorfWraps reports whether a fmt.Errorf call's format string carries
+// a %w verb. A non-literal format cannot be checked; stay quiet.
+func errorfWraps(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return true
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return true
+	}
+	return strings.Contains(lit.Value, "%w")
+}

@@ -111,6 +111,28 @@ func TestSleepLoopGolden(t *testing.T) {
 	lintFixture(t, "sleeploop", "github.com/netsecurelab/mtasts/internal/fixsleep", SleepLoop())
 }
 
+func TestCodesGolden(t *testing.T) {
+	lintFixture(t, "codes", "github.com/netsecurelab/mtasts/internal/smtpclient/fixcodes", Codes())
+}
+
+// TestCodesScope pins the analyzer to the errtax-producing packages:
+// the same fixture is quiet under any other import path.
+func TestCodesScope(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "codes")
+	for _, importPath := range []string{
+		"github.com/netsecurelab/mtasts/internal/scanner/fixcodes", // consumer, not producer
+		"github.com/netsecurelab/mtasts/cmd/fixcodes",
+	} {
+		m, _, err := LoadFixture("../..", dir, importPath)
+		if err != nil {
+			t.Fatalf("LoadFixture(%s): %v", importPath, err)
+		}
+		if findings := Run(m, []*Analyzer{Codes()}); len(findings) != 0 {
+			t.Errorf("%s: want no findings outside producer packages, got %v", importPath, findings)
+		}
+	}
+}
+
 // TestCtxPassSkipsCommandsAndExperiments pins the analyzer's scope
 // rules: the same source is quiet outside internal/ and in the
 // experiments harness.

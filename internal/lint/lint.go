@@ -9,8 +9,10 @@
 // errors must not be silently dropped (errdrop), blocking network code
 // must thread context.Context (ctxpass), metric names must match
 // docs/OBSERVABILITY.md (obsnames), computed values must be used
-// (deadvalue), and retryable paths must use internal/retry backoff
-// rather than raw time.Sleep (sleeploop). docs/LINT.md documents each
+// (deadvalue), retryable paths must use internal/retry backoff
+// rather than raw time.Sleep (sleeploop), and errors leaving the
+// errtax-producing packages must carry a taxonomy code (codes).
+// docs/LINT.md documents each
 // analyzer, the //lint:ignore suppression syntax, and the baseline
 // workflow.
 package lint
@@ -147,6 +149,7 @@ func All(docsPath string) []*Analyzer {
 		ObsNames(docsPath),
 		DeadValue(),
 		SleepLoop(),
+		Codes(),
 	}
 }
 

@@ -1,0 +1,57 @@
+// Fixture for the codes analyzer: errors leaving an errtax-producing
+// package must carry a taxonomy code.
+package fixcodes
+
+import (
+	"errors"
+	"fmt"
+)
+
+// An untyped package-level sentinel is flagged...
+var ErrUntyped = errors.New("fixcodes: untyped") // want "sentinel declared with errors.New"
+
+// ...unless it is annotated with a reason.
+//
+//lint:ignore codes deliberate: absence is a population fact, not a verdict
+var ErrDeliberate = errors.New("fixcodes: deliberately untyped")
+
+// Grouped declarations are walked per value.
+var (
+	ErrGroupedA = errors.New("fixcodes: grouped a") // want "sentinel declared with errors.New"
+	notACall    = "fine"
+)
+
+func returnsUntypedNew() error {
+	return errors.New("fixcodes: ad hoc") // want "returned errors.New"
+}
+
+func returnsNakedErrorf(name string) error {
+	return fmt.Errorf("fixcodes: bad thing with %s", name) // want "returned fmt.Errorf without %w"
+}
+
+func returnsWrappingErrorf(name string) error {
+	return fmt.Errorf("fixcodes: %s: %w", name, ErrDeliberate) // wraps: quiet
+}
+
+func returnsSentinel() error {
+	return ErrDeliberate // not a call: quiet
+}
+
+func returnsPair() (int, error) {
+	return 0, errors.New("fixcodes: second result") // want "returned errors.New"
+}
+
+func suppressedReturn() error {
+	//lint:ignore codes caller treats this as opaque by design
+	return errors.New("fixcodes: suppressed")
+}
+
+func nonLiteralFormat(f string) error {
+	return fmt.Errorf(f, "x") // format unknown: quiet
+}
+
+func localNotReturned() {
+	err := errors.New("fixcodes: local, never escapes via return") // quiet: not return position
+	_ = err
+	_ = notACall
+}

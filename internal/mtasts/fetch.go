@@ -13,9 +13,9 @@ import (
 	"strings"
 	"time"
 
+	"github.com/netsecurelab/mtasts/internal/errtax"
 	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/pki"
-	"github.com/netsecurelab/mtasts/internal/resolver"
 	"github.com/netsecurelab/mtasts/internal/retry"
 )
 
@@ -95,6 +95,57 @@ func (e *FetchError) Error() string {
 // Unwrap exposes the underlying error.
 func (e *FetchError) Unwrap() error { return e.Err }
 
+// Tax positions the failure in the scan error taxonomy: the stage picks
+// the code (a syntax failure refines to the wrapped parse error's own
+// code), and the transient bit reproduces the retry classification —
+// stage verdicts that reflect the deployment itself (a certificate that
+// fails PKIX validation, a non-5xx HTTP status, a policy syntax error)
+// are persistent, while socket-level failures at any stage (timeouts,
+// resets, dropped DNS) are transient.
+func (e *FetchError) Tax() *errtax.Error {
+	code := errtax.CodeParse
+	transient := false
+	switch e.Stage {
+	case StageDNS:
+		code, transient = errtax.CodeDNSLookup, errtax.Transient(e.Err)
+	case StageTCP:
+		code, transient = errtax.CodeTCPConnect, errtax.TransientNet(e.Err)
+	case StageTLS:
+		// A completed handshake that failed certificate verification is a
+		// deployment verdict; anything below that (reset, EOF, timeout)
+		// is the network.
+		code = errtax.CodeTLSHandshake
+		var cve *tls.CertificateVerificationError
+		if !errors.As(e.Err, &cve) {
+			transient = errtax.TransientNet(e.Err)
+		}
+	case StageHTTP:
+		code = errtax.CodeHTTPStatus
+		if e.HTTPStatus != 0 {
+			// The server answered: only 429/5xx suggest a passing condition.
+			transient = e.HTTPStatus == http.StatusTooManyRequests || e.HTTPStatus >= 500
+		} else {
+			transient = errtax.TransientNet(e.Err)
+		}
+	case StageSyntax:
+		if c, ok := errtax.CodeOf(e.Err); ok {
+			code = c
+		}
+	}
+	return errtax.Wrap(errtax.LayerFetch, code, transient, e)
+}
+
+// As surfaces the computed taxonomy position to errors.As, so consumers
+// (errtax.Transient, the scanner's code extraction) see a typed error
+// without the fetcher allocating one on the success path.
+func (e *FetchError) As(target any) bool {
+	if t, ok := target.(**errtax.Error); ok {
+		*t = e.Tax()
+		return true
+	}
+	return false
+}
+
 // PolicyHost returns the conventional policy host name for a policy
 // domain: "mta-sts." + domain (RFC 8461 §3.3).
 func PolicyHost(domain string) string { return "mta-sts." + domain }
@@ -144,8 +195,9 @@ type Fetcher struct {
 	// outcome counters keyed by Stage (mtasts.fetch.errors.<stage>).
 	Obs *obs.Registry
 	// MaxAttempts bounds attempts per fetch, retrying transient failures
-	// (see TransientFetchErr) with backoff; each attempt gets a fresh
-	// Timeout. Zero or one means a single attempt.
+	// (per FetchError.Tax, consulted through errtax.Transient) with
+	// backoff; each attempt gets a fresh Timeout. Zero or one means a
+	// single attempt.
 	MaxAttempts int
 	// RetryBase overrides the first backoff delay (default 100ms).
 	RetryBase time.Duration
@@ -178,7 +230,6 @@ func (f *Fetcher) FetchFromHost(ctx context.Context, domain, host string) (Polic
 		MaxAttempts: f.MaxAttempts,
 		BaseDelay:   f.RetryBase,
 		Budget:      f.RetryBudget,
-		Transient:   TransientFetchErr,
 		Obs:         f.Obs,
 	}.Do(ctx, func(ctx context.Context) error {
 		var opErr error
@@ -354,40 +405,6 @@ func isTextPlain(contentType string) bool {
 // IsNoRecord reports whether an error indicates the absence of MTA-STS
 // (rather than a broken deployment).
 func IsNoRecord(err error) bool { return errors.Is(err, ErrNoRecord) }
-
-// TransientFetchErr reports whether a policy-fetch failure could clear
-// on retry. Stage verdicts that reflect the deployment itself — a
-// certificate that fails PKIX validation, a non-5xx HTTP status, a
-// syntax error in the policy body — are persistent; socket-level
-// failures at any stage (timeouts, resets, dropped DNS) are transient.
-func TransientFetchErr(err error) bool {
-	var fe *FetchError
-	if !errors.As(err, &fe) {
-		return retry.TransientNetErr(err)
-	}
-	switch fe.Stage {
-	case StageDNS:
-		return resolver.TransientErr(fe.Err)
-	case StageTCP:
-		return retry.TransientNetErr(fe.Err)
-	case StageTLS:
-		// A completed handshake that failed certificate verification is a
-		// deployment verdict; anything below that (reset, EOF, timeout)
-		// is the network.
-		var cve *tls.CertificateVerificationError
-		if errors.As(fe.Err, &cve) {
-			return false
-		}
-		return retry.TransientNetErr(fe.Err)
-	case StageHTTP:
-		if fe.HTTPStatus != 0 {
-			// The server answered: only 429/5xx suggest a passing condition.
-			return fe.HTTPStatus == http.StatusTooManyRequests || fe.HTTPStatus >= 500
-		}
-		return retry.TransientNetErr(fe.Err)
-	}
-	return false
-}
 
 // StageOf extracts the retrieval stage from an error chain, or StageNone.
 func StageOf(err error) Stage {

@@ -1,9 +1,10 @@
 package mtasts
 
 import (
-	"errors"
 	"fmt"
 	"strings"
+
+	"github.com/netsecurelab/mtasts/internal/errtax"
 )
 
 // Mode is the sender behavior a policy requests on validation failure.
@@ -28,19 +29,23 @@ func (m Mode) Valid() bool {
 // MaxMaxAge is the largest max_age RFC 8461 allows (about one year).
 const MaxMaxAge = 31557600
 
-// Policy parse/semantic error kinds (the §4.3.3 "Policy Syntax" taxonomy).
+// Policy parse/semantic error kinds (the §4.3.3 "Policy Syntax"
+// taxonomy), typed into the policy-retrieval category of the scan error
+// taxonomy (docs/ERRORS.md). Version and mx-pattern failures carry their
+// own codes because the paper tabulates them separately; every other
+// parse failure shares the generic parse code. All are persistent.
 var (
-	ErrEmptyPolicy      = errors.New("mtasts: empty policy file")
-	ErrPolicyVersion    = errors.New("mtasts: missing or invalid policy version")
-	ErrPolicyMode       = errors.New("mtasts: missing or invalid mode")
-	ErrPolicyMaxAge     = errors.New("mtasts: missing or invalid max_age")
-	ErrPolicyNoMX       = errors.New("mtasts: no mx entry in enforce/testing policy")
-	ErrPolicyBadMX      = errors.New("mtasts: invalid mx pattern")
-	ErrPolicyLine       = errors.New("mtasts: malformed policy line")
-	ErrPolicyDuplicate  = errors.New("mtasts: duplicate policy field")
-	ErrPolicyTooLarge   = errors.New("mtasts: policy file exceeds size limit")
-	ErrPolicyNotCRLF    = errors.New("mtasts: policy lines not terminated by LF/CRLF")
-	ErrPolicyBadCharset = errors.New("mtasts: policy contains non-ASCII bytes")
+	ErrEmptyPolicy      = errtax.New(errtax.LayerFetch, errtax.CodeParse, false, "mtasts: empty policy file")
+	ErrPolicyVersion    = errtax.New(errtax.LayerFetch, errtax.CodeVersionMismatch, false, "mtasts: missing or invalid policy version")
+	ErrPolicyMode       = errtax.New(errtax.LayerFetch, errtax.CodeParse, false, "mtasts: missing or invalid mode")
+	ErrPolicyMaxAge     = errtax.New(errtax.LayerFetch, errtax.CodeParse, false, "mtasts: missing or invalid max_age")
+	ErrPolicyNoMX       = errtax.New(errtax.LayerFetch, errtax.CodeBadMXPattern, false, "mtasts: no mx entry in enforce/testing policy")
+	ErrPolicyBadMX      = errtax.New(errtax.LayerFetch, errtax.CodeBadMXPattern, false, "mtasts: invalid mx pattern")
+	ErrPolicyLine       = errtax.New(errtax.LayerFetch, errtax.CodeParse, false, "mtasts: malformed policy line")
+	ErrPolicyDuplicate  = errtax.New(errtax.LayerFetch, errtax.CodeParse, false, "mtasts: duplicate policy field")
+	ErrPolicyTooLarge   = errtax.New(errtax.LayerFetch, errtax.CodeParse, false, "mtasts: policy file exceeds size limit")
+	ErrPolicyNotCRLF    = errtax.New(errtax.LayerFetch, errtax.CodeParse, false, "mtasts: policy lines not terminated by LF/CRLF")
+	ErrPolicyBadCharset = errtax.New(errtax.LayerFetch, errtax.CodeParse, false, "mtasts: policy contains non-ASCII bytes")
 )
 
 // MaxPolicySize is the largest policy body the fetcher accepts (RFC 8461

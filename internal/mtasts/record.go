@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/netsecurelab/mtasts/internal/errtax"
 	"github.com/netsecurelab/mtasts/internal/strutil"
 )
 
@@ -22,15 +23,19 @@ const RecordPrefix = "v=" + Version
 
 // Record error kinds (the §4.3.2 taxonomy: of 331 broken records, 19.6% had
 // no id, 61% an invalid id, 15.7% a bad version prefix, and 2 bad
-// extensions).
+// extensions). All are persistent verdicts typed into the DNS-record
+// category of the scan error taxonomy (docs/ERRORS.md); ErrNoRecord
+// alone stays untyped because the absence of MTA-STS is a population
+// boundary, not a misconfiguration.
 var (
+	//lint:ignore codes absence of MTA-STS is a population boundary, not a misconfiguration
 	ErrNoRecord        = errors.New("mtasts: no MTA-STS record")
-	ErrMultipleRecords = errors.New("mtasts: more than one record starting with v=STSv1")
-	ErrBadVersion      = errors.New("mtasts: record does not begin with v=STSv1")
-	ErrMissingID       = errors.New("mtasts: record has no id field")
-	ErrBadID           = errors.New("mtasts: id is not 1*32 alphanumeric characters")
-	ErrBadExtension    = errors.New("mtasts: extension field violates RFC 8461 ABNF")
-	ErrDuplicateField  = errors.New("mtasts: duplicate field in record")
+	ErrMultipleRecords = errtax.New(errtax.LayerDNS, errtax.CodeMultipleRecords, false, "mtasts: more than one record starting with v=STSv1")
+	ErrBadVersion      = errtax.New(errtax.LayerDNS, errtax.CodeBadVersion, false, "mtasts: record does not begin with v=STSv1")
+	ErrMissingID       = errtax.New(errtax.LayerDNS, errtax.CodeBadSyntax, false, "mtasts: record has no id field")
+	ErrBadID           = errtax.New(errtax.LayerDNS, errtax.CodeBadSyntax, false, "mtasts: id is not 1*32 alphanumeric characters")
+	ErrBadExtension    = errtax.New(errtax.LayerDNS, errtax.CodeBadSyntax, false, "mtasts: extension field violates RFC 8461 ABNF")
+	ErrDuplicateField  = errtax.New(errtax.LayerDNS, errtax.CodeBadSyntax, false, "mtasts: duplicate field in record")
 )
 
 // Record is a parsed "_mta-sts" TXT record.

@@ -1,0 +1,55 @@
+package report
+
+import (
+	"sort"
+
+	"github.com/netsecurelab/mtasts/internal/dataset"
+	"github.com/netsecurelab/mtasts/internal/errtax"
+)
+
+// taxonomyOrder is the Figure 4 presentation order for the per-code
+// breakdown: pipeline stages first, the cross-stage verdict last.
+var taxonomyOrder = []errtax.Category{
+	errtax.CategoryDNSRecord,
+	errtax.CategoryPolicy,
+	errtax.CategoryMXCert,
+	errtax.CategoryInconsistency,
+}
+
+// ErrorTaxonomyTable renders a per-code domain count (scanner's
+// Summary.ByCode) grouped by Figure 4 category, codes sorted within
+// each category. Codes with zero affected domains are omitted; the
+// full catalog lives in docs/ERRORS.md.
+func ErrorTaxonomyTable(title string, byCode map[errtax.Code]int) *dataset.Table {
+	t := &dataset.Table{
+		Title:   title,
+		Headers: []string{"category", "code", "domains"},
+	}
+	perCat := make(map[errtax.Category][]errtax.Code)
+	for code, n := range byCode {
+		if n == 0 {
+			continue
+		}
+		cat := errtax.CategoryOf(code)
+		perCat[cat] = append(perCat[cat], code)
+	}
+	for _, cat := range taxonomyOrder {
+		codes := perCat[cat]
+		sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+		for _, code := range codes {
+			t.AddRow(string(cat), string(code), byCode[code])
+		}
+		delete(perCat, cat)
+	}
+	// Unregistered codes (future additions running against older docs)
+	// still render rather than vanish.
+	var rest []errtax.Code
+	for _, codes := range perCat {
+		rest = append(rest, codes...)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	for _, code := range rest {
+		t.AddRow(string(errtax.CategoryOf(code)), string(code), byCode[code])
+	}
+	return t
+}

@@ -12,23 +12,28 @@ import (
 	"time"
 
 	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/errtax"
 	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/retry"
 	"github.com/netsecurelab/mtasts/internal/sf"
 	"github.com/netsecurelab/mtasts/internal/strutil"
 )
 
-// Lookup errors. NXDomain and NoData are distinguished because MTA-STS
-// discovery treats them identically ("no record") while the scanner's DNS
-// error taxonomy does not.
+// Lookup errors, typed into the scan error taxonomy (docs/ERRORS.md).
+// NXDomain and NoData are distinguished because MTA-STS discovery treats
+// them identically ("no record") while the scanner's DNS error taxonomy
+// does not. The transient bit each sentinel carries is what the retry
+// layer keys off (errtax.Transient): authoritative verdicts — NXDOMAIN,
+// NODATA, a CNAME loop — are never retried, while timeouts and
+// SERVFAIL/REFUSED/garbled-reply blips are.
 var (
-	ErrNXDomain   = errors.New("resolver: name does not exist (NXDOMAIN)")
-	ErrNoData     = errors.New("resolver: name exists but has no records of requested type")
-	ErrServFail   = errors.New("resolver: server failure (SERVFAIL)")
-	ErrRefused    = errors.New("resolver: query refused")
-	ErrTimeout    = errors.New("resolver: query timed out")
-	ErrBadMessage = errors.New("resolver: malformed response")
-	ErrCNAMELoop  = errors.New("resolver: CNAME chain too long")
+	ErrNXDomain   = errtax.New(errtax.LayerDNS, errtax.CodeNXDomain, false, "resolver: name does not exist (NXDOMAIN)")
+	ErrNoData     = errtax.New(errtax.LayerDNS, errtax.CodeNoData, false, "resolver: name exists but has no records of requested type")
+	ErrServFail   = errtax.New(errtax.LayerDNS, errtax.CodeServFail, true, "resolver: server failure (SERVFAIL)")
+	ErrRefused    = errtax.New(errtax.LayerDNS, errtax.CodeRefused, true, "resolver: query refused")
+	ErrTimeout    = errtax.New(errtax.LayerDNS, errtax.CodeTimeout, true, "resolver: query timed out")
+	ErrBadMessage = errtax.New(errtax.LayerDNS, errtax.CodeBadDNSMessage, true, "resolver: malformed response")
+	ErrCNAMELoop  = errtax.New(errtax.LayerDNS, errtax.CodeCNAMELoop, false, "resolver: CNAME chain too long")
 )
 
 // IsNotFound reports whether err is NXDOMAIN or NODATA — the two outcomes
@@ -279,24 +284,11 @@ func (c *Client) retryPolicy() retry.Policy {
 		MaxAttempts: c.MaxAttempts,
 		BaseDelay:   c.RetryBase,
 		Budget:      c.RetryBudget,
-		Transient:   TransientErr,
-		Obs:         c.Obs,
+		// Transient is left nil: retry defaults to errtax.Transient, which
+		// reads each sentinel's transient bit and falls back to the shared
+		// socket-level heuristic for untyped errors.
+		Obs: c.Obs,
 	}
-}
-
-// TransientErr reports whether a lookup error reflects a condition a
-// retry could clear — timeouts, SERVFAIL/REFUSED blips, garbled replies,
-// socket-level failures — as opposed to an authoritative verdict
-// (NXDOMAIN, NODATA, a CNAME loop).
-func TransientErr(err error) bool {
-	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrServFail) ||
-		errors.Is(err, ErrRefused) || errors.Is(err, ErrBadMessage) {
-		return true
-	}
-	if IsNotFound(err) || errors.Is(err, ErrCNAMELoop) {
-		return false
-	}
-	return retry.TransientNetErr(err)
 }
 
 func minTTL(rrs []dnsmsg.RR) time.Duration {
@@ -511,7 +503,7 @@ func interpret(m *dnsmsg.Message, name string, t dnsmsg.Type) ([]dnsmsg.RR, stri
 	case dnsmsg.RCodeRefused:
 		return nil, "", fmt.Errorf("%w: %s", ErrRefused, name)
 	default:
-		return nil, "", fmt.Errorf("resolver: unexpected rcode %s for %s", m.Header.RCode, name)
+		return nil, "", fmt.Errorf("%w: unexpected rcode %s for %s", ErrBadMessage, m.Header.RCode, name)
 	}
 	var matched []dnsmsg.RR
 	cname := ""

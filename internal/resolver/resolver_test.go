@@ -3,6 +3,7 @@ package resolver
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/netip"
 	"strings"
 	"sync"
@@ -12,6 +13,8 @@ import (
 	"github.com/netsecurelab/mtasts/internal/dnsmsg"
 	"github.com/netsecurelab/mtasts/internal/dnsserver"
 	"github.com/netsecurelab/mtasts/internal/dnszone"
+	"github.com/netsecurelab/mtasts/internal/errtax"
+	"github.com/netsecurelab/mtasts/internal/sf"
 )
 
 // startServer boots an authoritative server with a canned example.com zone.
@@ -383,15 +386,54 @@ func TestRetryRecoversFromBlip(t *testing.T) {
 	}
 }
 
+// The resolver's sentinels carry their retry classification as a typed
+// transient bit; errtax.Transient (the retry layer's default classifier)
+// must read it, including through fmt.Errorf wrapping.
 func TestTransientErrClassification(t *testing.T) {
 	for _, err := range []error{ErrTimeout, ErrServFail, ErrRefused, ErrBadMessage} {
-		if !TransientErr(err) {
-			t.Errorf("TransientErr(%v) = false", err)
+		if !errtax.Transient(err) {
+			t.Errorf("errtax.Transient(%v) = false", err)
+		}
+		if wrapped := fmt.Errorf("%w: ctx", err); !errtax.Transient(wrapped) {
+			t.Errorf("errtax.Transient(%v) = false through wrapping", wrapped)
 		}
 	}
 	for _, err := range []error{ErrNXDomain, ErrNoData, ErrCNAMELoop, context.Canceled, nil} {
-		if TransientErr(err) {
-			t.Errorf("TransientErr(%v) = true", err)
+		if errtax.Transient(err) {
+			t.Errorf("errtax.Transient(%v) = true", err)
+		}
+	}
+}
+
+// Lookup errors coalesced by the in-flight singleflight group must keep
+// their taxonomy codes: every waiter shares the same typed error value.
+func TestCoalescedErrorsKeepCodes(t *testing.T) {
+	if c, ok := errtax.CodeOf(fmt.Errorf("%w: shared", ErrServFail)); !ok || c != errtax.CodeServFail {
+		t.Fatalf("CodeOf(wrapped ErrServFail) = %q, %v", c, ok)
+	}
+	g := &sf.Group[error]{}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i], _ = g.Do("q", func() error {
+				time.Sleep(2 * time.Millisecond)
+				return fmt.Errorf("%w: coalesced", ErrServFail)
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrServFail) {
+			t.Errorf("waiter %d: errors.Is lost sentinel: %v", i, err)
+		}
+		if c, ok := errtax.CodeOf(err); !ok || c != errtax.CodeServFail {
+			t.Errorf("waiter %d: CodeOf = %q, %v", i, c, ok)
+		}
+		if !errtax.Transient(err) {
+			t.Errorf("waiter %d: coalesced SERVFAIL not transient", i)
 		}
 	}
 }

@@ -10,20 +10,20 @@
 // failures: retrying NXDOMAIN or a certificate-verification failure
 // wastes probes and changes nothing, while retrying a timeout or a
 // connection reset separates a flaky path from a broken deployment.
-// Each adopter supplies its own classifier; TransientNetErr covers the
-// socket-level cases they share.
+// That classification lives in the typed error taxonomy: by default
+// Policy.Do consults errtax.Transient, which reads the transient bit
+// carried by typed errors and falls back to the shared socket-level
+// heuristic (errtax.TransientNet) for untyped ones. Adopters no longer
+// carry their own classifier funcs.
 package retry
 
 import (
 	"context"
-	"errors"
-	"io"
 	"math/rand"
-	"net"
 	"sync/atomic"
-	"syscall"
 	"time"
 
+	"github.com/netsecurelab/mtasts/internal/errtax"
 	"github.com/netsecurelab/mtasts/internal/obs"
 )
 
@@ -139,7 +139,8 @@ type Policy struct {
 	// Zero means 0.5; negative disables jitter.
 	Jitter float64
 	// Transient classifies an error as retryable. Nil means
-	// TransientNetErr.
+	// errtax.Transient — the taxonomy-wide classifier, which is what
+	// every pipeline layer uses; override only in tests.
 	Transient func(error) bool
 	// Budget, when non-nil, is the run-wide retry allowance shared with
 	// other policies.
@@ -163,7 +164,7 @@ func (p Policy) Do(ctx context.Context, op func(context.Context) error) error {
 	}
 	classify := p.Transient
 	if classify == nil {
-		classify = TransientNetErr
+		classify = errtax.Transient
 	}
 	stats := StatsFrom(ctx)
 	var err error
@@ -252,38 +253,4 @@ func (p Policy) sleep(ctx context.Context, d time.Duration) error {
 	case <-t.C:
 		return nil
 	}
-}
-
-// TransientNetErr reports whether err looks like a transient
-// socket-level failure: timeouts, resets, refused or dropped
-// connections, and truncated streams. Context cancellation is not
-// transient (the caller is shutting down); a per-attempt deadline
-// surfacing as DeadlineExceeded is (the next attempt gets a fresh
-// one — Policy.Do separately stops when its own context is done).
-func TransientNetErr(err error) bool {
-	if err == nil {
-		return false
-	}
-	if errors.Is(err, context.Canceled) {
-		return false
-	}
-	if errors.Is(err, context.DeadlineExceeded) {
-		return true
-	}
-	var ne net.Error
-	if errors.As(err, &ne) && ne.Timeout() {
-		return true
-	}
-	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
-		return true
-	}
-	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
-		errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.EPIPE) ||
-		errors.Is(err, syscall.ETIMEDOUT) || errors.Is(err, net.ErrClosed) {
-		return true
-	}
-	// Any remaining net.OpError is a socket-layer failure (dial, read,
-	// write) rather than a protocol-level verdict.
-	var oe *net.OpError
-	return errors.As(err, &oe)
 }

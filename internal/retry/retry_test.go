@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/netsecurelab/mtasts/internal/errtax"
 	"github.com/netsecurelab/mtasts/internal/obs"
 )
 
@@ -152,7 +153,11 @@ func (timeoutErr) Error() string   { return "i/o timeout" }
 func (timeoutErr) Timeout() bool   { return true }
 func (timeoutErr) Temporary() bool { return true }
 
-func TestTransientNetErr(t *testing.T) {
+// The nil-classifier default is errtax.Transient: socket-level failures
+// retry, typed persistent verdicts and cancellation do not — and the
+// typed transient bit survives Do's error passthrough, so errors.Is/As
+// still resolve codes on what Do returns.
+func TestDefaultClassifierIsErrtax(t *testing.T) {
 	transient := []error{
 		timeoutErr{},
 		fmt.Errorf("recv: %w", io.EOF),
@@ -161,21 +166,57 @@ func TestTransientNetErr(t *testing.T) {
 		syscall.ECONNREFUSED,
 		&net.OpError{Op: "read", Err: errors.New("weird")},
 		context.DeadlineExceeded,
+		errtax.New(errtax.LayerDNS, errtax.CodeServFail, true, "typed transient"),
 	}
 	for _, err := range transient {
-		if !TransientNetErr(err) {
-			t.Errorf("TransientNetErr(%v) = false", err)
+		if !errtax.Transient(err) {
+			t.Errorf("errtax.Transient(%v) = false", err)
 		}
 	}
 	persistent := []error{
 		nil,
 		context.Canceled,
 		errors.New("policy syntax error"),
+		errtax.New(errtax.LayerDNS, errtax.CodeNXDomain, false, "typed persistent"),
 	}
 	for _, err := range persistent {
-		if TransientNetErr(err) {
-			t.Errorf("TransientNetErr(%v) = true", err)
+		if errtax.Transient(err) {
+			t.Errorf("errtax.Transient(%v) = true", err)
 		}
+	}
+
+	// A Policy with a nil Transient func must retry exactly the errors
+	// errtax.Transient says to: a typed persistent error stops after one
+	// attempt, a typed transient error consumes every attempt.
+	sleep := func(context.Context, time.Duration) error { return nil }
+	typedPersistent := errtax.New(errtax.LayerDNS, errtax.CodeNXDomain, false, "nope")
+	calls := 0
+	err := Policy{MaxAttempts: 3, Sleep: sleep}.Do(context.Background(), func(context.Context) error {
+		calls++
+		return fmt.Errorf("lookup: %w", typedPersistent)
+	})
+	if calls != 1 {
+		t.Errorf("persistent typed error retried: %d attempts", calls)
+	}
+	if !errors.Is(err, typedPersistent) {
+		t.Errorf("errors.Is lost the sentinel through Do: %v", err)
+	}
+	if c, ok := errtax.CodeOf(err); !ok || c != errtax.CodeNXDomain {
+		t.Errorf("CodeOf(Do err) = %q, %v; want nxdomain", c, ok)
+	}
+
+	typedTransient := errtax.New(errtax.LayerDNS, errtax.CodeServFail, true, "blip")
+	calls = 0
+	err = Policy{MaxAttempts: 3, Sleep: sleep}.Do(context.Background(), func(context.Context) error {
+		calls++
+		return typedTransient
+	})
+	if calls != 3 {
+		t.Errorf("transient typed error: %d attempts, want 3", calls)
+	}
+	var te *errtax.Error
+	if !errors.As(err, &te) || te.Code != errtax.CodeServFail {
+		t.Errorf("errors.As lost the typed error through Do: %v", err)
 	}
 }
 

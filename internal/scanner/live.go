@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/netsecurelab/mtasts/internal/errtax"
 	"github.com/netsecurelab/mtasts/internal/inconsistency"
 	"github.com/netsecurelab/mtasts/internal/mtasts"
 	"github.com/netsecurelab/mtasts/internal/obs"
@@ -72,6 +73,19 @@ type Live struct {
 	fetcher     *mtasts.Fetcher
 	proberOnce  sync.Once
 	prober      *smtpclient.Prober
+	errTaxOnce  sync.Once
+}
+
+// registerErrTaxCounters pre-registers one scan.error.<code> counter per
+// registered taxonomy code, so a metrics snapshot always shows the full
+// taxonomy — zeros included — instead of only the codes that happened to
+// fire.
+func (l *Live) registerErrTaxCounters() {
+	l.errTaxOnce.Do(func() {
+		for _, code := range errtax.Codes() {
+			l.Obs.Counter("scan.error." + string(code))
+		}
+	})
 }
 
 func (l *Live) timeout() time.Duration {
@@ -198,12 +212,13 @@ func (l *Live) FetchPolicy(ctx context.Context, domain string) FetchOutcome {
 
 // Finalize implements StageScanner: the consistency verdict (§4.4)
 // needs both the served policy and the MX set, so it runs once every
-// stage is done; it then feeds the error-taxonomy counters and emits
-// the per-domain scan event.
+// stage is done; it then materializes the typed error taxonomy, feeds
+// the error-taxonomy counters, and emits the per-domain scan event.
 func (l *Live) Finalize(r *DomainResult, took time.Duration) {
 	if r.PolicyOK {
 		r.Mismatch = inconsistency.Analyze(r.Domain, r.Policy, r.MXHosts)
 	}
+	r.Errors = r.deriveTaxErrors()
 	l.recordOutcome(r, took)
 }
 
@@ -281,6 +296,10 @@ func (l *Live) recordOutcome(r *DomainResult, took time.Duration) {
 		if r.PolicyOK && r.Mismatch.Kind != inconsistency.KindNone {
 			o.Counter("scan.mismatch.total").Inc()
 		}
+		l.registerErrTaxCounters()
+		for i := range r.Errors {
+			o.Counter("scan.error." + string(r.Errors[i].Code)).Inc()
+		}
 		for _, c := range r.Categories() {
 			o.Counter("scan.category." + c.Key()).Inc()
 		}
@@ -300,6 +319,10 @@ func (l *Live) recordOutcome(r *DomainResult, took time.Duration) {
 		for _, c := range r.Categories() {
 			cats = append(cats, c.Key())
 		}
+		codes := make([]string, 0, len(r.Errors))
+		for i := range r.Errors {
+			codes = append(codes, string(r.Errors[i].Code))
+		}
 		fields := map[string]any{
 			"domain":           r.Domain,
 			"duration_ms":      float64(took.Microseconds()) / 1000,
@@ -312,6 +335,7 @@ func (l *Live) recordOutcome(r *DomainResult, took time.Duration) {
 			"mx_no_starttls":   len(r.MXNoSTARTTLS),
 			"mismatch":         r.Mismatch.Kind.String(),
 			"categories":       cats,
+			"errors":           codes,
 			"delivery_failure": r.DeliveryFailure(),
 			"attempts":         r.Attempts,
 			"retries":          r.Retries,
@@ -320,6 +344,12 @@ func (l *Live) recordOutcome(r *DomainResult, took time.Duration) {
 		}
 		if r.MXLookupErr != nil {
 			fields["mx_lookup_err"] = r.MXLookupErr.Error()
+			// The MX lookup failure is deliberately outside Errors (it is
+			// an infrastructure failure, not a domain verdict), but its
+			// code still aids triage when present.
+			if c, ok := errtax.CodeOf(r.MXLookupErr); ok {
+				fields["mx_lookup_err_code"] = string(c)
+			}
 		}
 		l.Events.Emit("scan.domain", fields)
 	}

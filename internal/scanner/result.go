@@ -1,10 +1,12 @@
 package scanner
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
+	"github.com/netsecurelab/mtasts/internal/errtax"
 	"github.com/netsecurelab/mtasts/internal/inconsistency"
 	"github.com/netsecurelab/mtasts/internal/mtasts"
 	"github.com/netsecurelab/mtasts/internal/pki"
@@ -109,6 +111,18 @@ type DomainResult struct {
 	// policy was obtained.
 	Mismatch inconsistency.Finding
 
+	// Errors is the domain's position in the paper's error taxonomy
+	// (docs/ERRORS.md): one typed error per misconfiguration the scan
+	// established — the invalid record, the failed policy retrieval, each
+	// PKIX-invalid MX, the policy/MX inconsistency. Populated by Finalize
+	// from the fields above (TaxErrors derives it on demand for results
+	// built by hand); the Figure 4 Categories are a projection of these
+	// codes. Deliberately excluded: MXLookupErr (an infrastructure
+	// failure, not a verdict about the domain), no-STARTTLS hosts
+	// (footnote 4 excludes them from certificate analysis), and the
+	// non-fatal wrong Content-Type measurement.
+	Errors []errtax.Error
+
 	// Attempts counts every network operation attempt (DNS exchanges,
 	// policy fetches, SMTP probes) behind this verdict, including firsts.
 	Attempts int64
@@ -157,20 +171,139 @@ func (r *DomainResult) ClassificationKey() string {
 	return b.String()
 }
 
-// Categories returns the Figure 4 error categories the domain falls into.
-func (r *DomainResult) Categories() []Category {
-	var cats []Category
+// TaxErrors returns the domain's typed taxonomy errors: the finalized
+// Errors field when populated, otherwise derived on the spot from the
+// classification fields (so hand-built results classify identically).
+func (r *DomainResult) TaxErrors() []errtax.Error {
+	if r.Errors != nil {
+		return r.Errors
+	}
+	return r.deriveTaxErrors()
+}
+
+// deriveTaxErrors projects the classification fields onto the error
+// taxonomy. The conditions mirror, clause for clause, the seed's
+// Categories logic, so the category set derived from these codes is
+// extensionally identical to the pre-taxonomy booleans (pinned by the
+// equivalence tests).
+func (r *DomainResult) deriveTaxErrors() []errtax.Error {
+	var errs []errtax.Error
 	if r.RecordPresent && !r.RecordValid {
-		cats = append(cats, CategoryDNSRecord)
+		errs = append(errs, taxFromErr(r.RecordErr, errtax.LayerDNS, errtax.CodeBadSyntax))
 	}
 	if r.RecordValid && !r.PolicyOK {
-		cats = append(cats, CategoryPolicy)
+		code, cause := r.policyCode()
+		info, _ := errtax.Lookup(code)
+		errs = append(errs, errtax.Error{Layer: errtax.LayerFetch, Code: code, Transient: info.Transient && !info.Varies, Cause: cause})
 	}
-	if r.invalidMXCount() > 0 {
-		cats = append(cats, CategoryMXCert)
+	for _, mx := range r.sortedMXProblemHosts() {
+		if p := r.MXProblems[mx]; !p.Valid() {
+			errs = append(errs, errtax.Error{
+				Layer: errtax.LayerProbe,
+				Code:  certProblemCode(p),
+				Cause: &mxCertError{host: mx, problem: p},
+			})
+		}
 	}
 	if r.PolicyOK && r.Mismatch.Kind != inconsistency.KindNone {
-		cats = append(cats, CategoryInconsistency)
+		errs = append(errs, errtax.Error{Layer: errtax.LayerScan, Code: errtax.CodeInconsistency})
+	}
+	return errs
+}
+
+// taxFromErr types err: a typed error in the chain keeps its position
+// (with the full chain as cause); an untyped one gets the fallback code
+// with the registry's default transience.
+func taxFromErr(err error, fallbackLayer errtax.Layer, fallbackCode errtax.Code) errtax.Error {
+	var te *errtax.Error
+	if errors.As(err, &te) {
+		return errtax.Error{Layer: te.Layer, Code: te.Code, Transient: te.Transient, Cause: err}
+	}
+	info, _ := errtax.Lookup(fallbackCode)
+	return errtax.Error{Layer: fallbackLayer, Code: fallbackCode, Transient: info.Transient && !info.Varies, Cause: err}
+}
+
+// policyCode maps the retrieval failure stage to its taxonomy code; a
+// syntax failure refines to the parse error's own code.
+func (r *DomainResult) policyCode() (errtax.Code, error) {
+	switch r.PolicyStage {
+	case mtasts.StageDNS:
+		return errtax.CodeDNSLookup, nil
+	case mtasts.StageTCP:
+		return errtax.CodeTCPConnect, nil
+	case mtasts.StageTLS:
+		return errtax.CodeTLSHandshake, nil
+	case mtasts.StageHTTP:
+		return errtax.CodeHTTPStatus, nil
+	case mtasts.StageSyntax:
+		if c, ok := errtax.CodeOf(r.PolicySyntaxErr); ok {
+			return c, r.PolicySyntaxErr
+		}
+		return errtax.CodeParse, r.PolicySyntaxErr
+	}
+	return errtax.CodeParse, nil
+}
+
+// certProblemCode maps a PKIX validation outcome onto the taxonomy.
+func certProblemCode(p pki.Problem) errtax.Code {
+	switch p {
+	case pki.ProblemExpired:
+		return errtax.CodeExpired
+	case pki.ProblemSelfSigned:
+		return errtax.CodeSelfSigned
+	case pki.ProblemUntrusted:
+		return errtax.CodeUntrustedChain
+	case pki.ProblemNameMismatch:
+		return errtax.CodeNameMismatch
+	}
+	return errtax.CodeNoCertificate
+}
+
+// mxCertError carries the host behind an MX certificate verdict without
+// allocating a formatted string unless someone prints it.
+type mxCertError struct {
+	host    string
+	problem pki.Problem
+}
+
+func (e *mxCertError) Error() string {
+	return fmt.Sprintf("scanner: mx %s certificate: %s", e.host, e.problem)
+}
+
+func (r *DomainResult) sortedMXProblemHosts() []string {
+	hosts := make([]string, 0, len(r.MXProblems))
+	for mx := range r.MXProblems {
+		hosts = append(hosts, mx)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// categoryOrder fixes the Figure 4 presentation order; Categories
+// preserves it regardless of error order.
+var categoryOrder = [...]Category{CategoryDNSRecord, CategoryPolicy, CategoryMXCert, CategoryInconsistency}
+
+// Categories returns the Figure 4 error categories the domain falls
+// into, projected from its taxonomy codes via the errtax registry.
+func (r *DomainResult) Categories() []Category {
+	var present [len(categoryOrder)]bool
+	for _, e := range r.TaxErrors() {
+		switch errtax.CategoryOf(e.Code) {
+		case errtax.CategoryDNSRecord:
+			present[0] = true
+		case errtax.CategoryPolicy:
+			present[1] = true
+		case errtax.CategoryMXCert:
+			present[2] = true
+		case errtax.CategoryInconsistency:
+			present[3] = true
+		}
+	}
+	var cats []Category
+	for i, c := range categoryOrder {
+		if present[i] {
+			cats = append(cats, c)
+		}
 	}
 	return cats
 }

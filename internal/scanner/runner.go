@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/netsecurelab/mtasts/internal/errtax"
 	"github.com/netsecurelab/mtasts/internal/obs"
 )
 
@@ -183,6 +184,11 @@ type Summary struct {
 	Misconfigured int
 
 	ByCategory map[Category]int
+	// ByCode breaks the taxonomy down to individual error codes
+	// (docs/ERRORS.md): how many domains exhibit each failure mode at
+	// least once. Finer-grained than ByCategory — a domain with three
+	// expired MX certificates counts once under "expired".
+	ByCode map[errtax.Code]int
 	// PolicyStageCounts breaks CategoryPolicy down per Figure 5.
 	PolicyStageCounts map[string]int
 	// MismatchKindCounts breaks CategoryInconsistency down per Figure 8.
@@ -199,6 +205,7 @@ type Summary struct {
 func Summarize(results []DomainResult) Summary {
 	s := Summary{
 		ByCategory:         make(map[Category]int),
+		ByCode:             make(map[errtax.Code]int),
 		PolicyStageCounts:  make(map[string]int),
 		MismatchKindCounts: make(map[string]int),
 	}
@@ -225,6 +232,13 @@ func Summarize(results []DomainResult) Summary {
 				s.PolicyStageCounts[r.PolicyStage.String()]++
 			case CategoryInconsistency:
 				s.MismatchKindCounts[r.Mismatch.Kind.String()]++
+			}
+		}
+		seenCodes := make(map[errtax.Code]bool, 4)
+		for _, e := range r.TaxErrors() {
+			if !seenCodes[e.Code] {
+				seenCodes[e.Code] = true
+				s.ByCode[e.Code]++
 			}
 		}
 		if r.AllMXInvalid() {

@@ -37,9 +37,16 @@ type Sender struct {
 }
 
 // Delivery errors.
+// Delivery verdicts are deliberately outside the scan error taxonomy:
+// they describe what happened to one message on the sender path, not a
+// misconfiguration of the receiving domain (which the scan codes in
+// docs/ERRORS.md cover).
 var (
-	ErrTLSRequired  = errors.New("smtpclient: TLS required but unavailable or invalid")
-	ErrRejected     = errors.New("smtpclient: server rejected the transaction")
+	//lint:ignore codes delivery-path outcome, not a scan verdict
+	ErrTLSRequired = errors.New("smtpclient: TLS required but unavailable or invalid")
+	//lint:ignore codes delivery-path outcome, not a scan verdict
+	ErrRejected = errors.New("smtpclient: server rejected the transaction")
+	//lint:ignore codes delivery-path outcome, not a scan verdict
 	errShortSession = errors.New("smtpclient: session ended prematurely")
 )
 
@@ -54,6 +61,8 @@ type DeliveryResult struct {
 
 // errHandshakeFailed marks a dead session after a failed STARTTLS
 // handshake; opportunistic delivery retries in plaintext.
+//
+//lint:ignore codes internal control-flow marker for the plaintext retry, never escapes
 var errHandshakeFailed = errors.New("smtpclient: STARTTLS handshake failed")
 
 // Deliver sends one message to mxHost. Opportunistic senders (RequireTLS

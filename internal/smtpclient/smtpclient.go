@@ -18,15 +18,24 @@ import (
 	"strings"
 	"time"
 
+	"github.com/netsecurelab/mtasts/internal/errtax"
 	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/pki"
 	"github.com/netsecurelab/mtasts/internal/retry"
 )
 
-// Probe errors.
+// Probe errors. NoSTARTTLS and Greylisted are taxonomy verdicts with
+// fixed retry classifications: a missing STARTTLS capability is a
+// persistent property of the deployment (§5.3 footnote 4) while
+// greylisting is transient by definition — the §4.1 methodology
+// reconnects to pass it. BadGreeting stays untyped because its
+// transience depends on the wrapped cause (a torn connection
+// mid-greeting retries; a hostile 554 banner does not), which the
+// socket-level fallback in errtax.Transient classifies per instance.
 var (
-	ErrNoSTARTTLS  = errors.New("smtpclient: server does not advertise STARTTLS")
-	ErrGreylisted  = errors.New("smtpclient: server greylisted the probe")
+	ErrNoSTARTTLS = errtax.New(errtax.LayerProbe, errtax.CodeNoSTARTTLS, false, "smtpclient: server does not advertise STARTTLS")
+	ErrGreylisted = errtax.New(errtax.LayerProbe, errtax.CodeGreylisted, true, "smtpclient: server greylisted the probe")
+	//lint:ignore codes transience depends on the wrapped cause; classified per instance by errtax.Transient's fallback
 	ErrBadGreeting = errors.New("smtpclient: unexpected server greeting")
 )
 
@@ -76,8 +85,9 @@ type Prober struct {
 	// taxonomy.
 	Obs *obs.Registry
 	// MaxAttempts bounds attempts per probe, retrying transient failures
-	// (see TransientProbeErr) with backoff; each attempt gets a fresh
-	// Timeout. Zero or one means a single attempt.
+	// (greylisting, socket-level errors — classified by errtax.Transient)
+	// with backoff; each attempt gets a fresh Timeout. Zero or one means
+	// a single attempt.
 	MaxAttempts int
 	// RetryBase overrides the first backoff delay (default 100ms).
 	RetryBase time.Duration
@@ -107,7 +117,6 @@ func (p *Prober) ProbeAddr(ctx context.Context, mxHost, addr string) ProbeResult
 		MaxAttempts: p.MaxAttempts,
 		BaseDelay:   p.RetryBase,
 		Budget:      p.RetryBudget,
-		Transient:   TransientProbeErr,
 		Obs:         p.Obs,
 	}.Do(ctx, func(ctx context.Context) error {
 		res = p.probe(ctx, mxHost, addr)
@@ -257,22 +266,6 @@ func (p *Prober) dialAddr(mxHost string) string {
 	return net.JoinHostPort(mxHost, strconv.Itoa(port))
 }
 
-// TransientProbeErr reports whether a probe failure could clear on
-// retry: socket-level errors (dial failures, resets, timeouts, a torn
-// connection mid-greeting) and greylisting, which is transient by
-// definition — the §4.1 methodology reconnects to pass it. Protocol
-// verdicts (no STARTTLS, STARTTLS rejected, a handshake that reached a
-// certificate) are persistent properties of the deployment.
-func TransientProbeErr(err error) bool {
-	if errors.Is(err, ErrGreylisted) {
-		return true
-	}
-	if errors.Is(err, ErrNoSTARTTLS) {
-		return false
-	}
-	return retry.TransientNetErr(err)
-}
-
 // VerifyMX adapts Probe to the mtasts.MXVerifier interface: it returns the
 // PKIX problem for the host, with connection-level failures mapped to
 // ProblemNoCertificate (no TLS identity could be obtained).
@@ -319,10 +312,12 @@ func (t *textConn) readReply() (int, []string, error) {
 		}
 		raw = strings.TrimRight(raw, "\r\n")
 		if len(raw) < 3 {
+			//lint:ignore codes malformed SMTP reply: like ErrBadGreeting, classified per instance by the socket fallback
 			return 0, nil, fmt.Errorf("smtpclient: short reply %q", raw)
 		}
 		code, err := strconv.Atoi(raw[:3])
 		if err != nil {
+			//lint:ignore codes malformed SMTP reply: like ErrBadGreeting, classified per instance by the socket fallback
 			return 0, nil, fmt.Errorf("smtpclient: bad reply code in %q", raw)
 		}
 		rest := ""

@@ -1,12 +1,12 @@
-# Standard entry points; CI runs `make check`, `make smoke-faults`, and
-# `make fuzz`.
+# Standard entry points; CI runs `make check`, `make smoke-faults`,
+# `make smoke-campaign`, and `make fuzz`.
 GO ?= go
 
 # Per-target budget for the CI fuzz smoke (`make fuzz`); raise it
 # locally for real exploration, e.g. `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint lint-baseline check reproduce smoke-faults fuzz bench
+.PHONY: build test race vet lint lint-baseline check docs reproduce smoke-faults smoke-campaign fuzz bench
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,14 @@ lint:
 lint-baseline:
 	$(GO) run ./cmd/mtastslint -write-baseline
 
-check: build vet lint test race
+check: build vet lint docs test race
+
+# Docs-vs-code gates that run fast enough to gate every check: CLI
+# flags against README/docs (internal/docscheck), plus the linted
+# catalogs (metric names, error codes) indirectly via `make lint` and
+# the full test suite.
+docs:
+	$(GO) test ./internal/docscheck/ -count 1
 
 reproduce:
 	$(GO) run ./cmd/reproduce
@@ -46,6 +53,25 @@ reproduce:
 # (docs/ROBUSTNESS.md).
 smoke-faults:
 	$(GO) run ./cmd/reproduce -experiment robustness -fault-seed 7
+
+# Campaign crash drill over a real on-disk store: run two weeks but
+# stop mid-week-0 (exit 3 is the drill succeeding), resume to
+# completion, then require status/diff to see the full campaign and the
+# week-1 export to be byte-identical to a fresh uninterrupted run
+# (docs/CAMPAIGN.md). Built first because `go run` would mask exit 3.
+smoke-campaign:
+	$(GO) build -o /tmp/mtasts-campaign-smoke ./cmd/mtasts-campaign
+	rm -rf /tmp/mtasts-campaign-smoke-store /tmp/mtasts-campaign-smoke-ref
+	/tmp/mtasts-campaign-smoke run -dir /tmp/mtasts-campaign-smoke-store -weeks 2 -scale 0.02 -shard-size 64 -stop-after-shards 3; \
+		test $$? -eq 3 || { echo "smoke-campaign: expected exit 3 from the crash drill"; exit 1; }
+	/tmp/mtasts-campaign-smoke resume -dir /tmp/mtasts-campaign-smoke-store -weeks 2 -scale 0.02 -shard-size 64
+	/tmp/mtasts-campaign-smoke status -dir /tmp/mtasts-campaign-smoke-store | grep -q "2 weeks done" || { echo "smoke-campaign: status does not report 2 completed weeks"; exit 1; }
+	/tmp/mtasts-campaign-smoke diff -dir /tmp/mtasts-campaign-smoke-store -old 0 -new 1 > /dev/null
+	/tmp/mtasts-campaign-smoke run -dir /tmp/mtasts-campaign-smoke-ref -weeks 2 -scale 0.02 -shard-size 64
+	/tmp/mtasts-campaign-smoke export -dir /tmp/mtasts-campaign-smoke-store -week 1 > /tmp/mtasts-campaign-smoke-store.jsonl
+	/tmp/mtasts-campaign-smoke export -dir /tmp/mtasts-campaign-smoke-ref -week 1 > /tmp/mtasts-campaign-smoke-ref.jsonl
+	cmp /tmp/mtasts-campaign-smoke-store.jsonl /tmp/mtasts-campaign-smoke-ref.jsonl
+	@echo "smoke-campaign: crash-resume snapshot byte-identical"
 
 # Coverage-guided fuzzing smoke over the wire-format parsers (`go test
 # -fuzz` accepts one target per invocation). The committed seed corpora

@@ -18,9 +18,15 @@
 // plan (-fault-* flags, see docs/ROBUSTNESS.md) and exits nonzero if any
 // domain is misclassified with retries enabled or if two same-seed runs
 // diverge, which makes it a CI smoke for transient-failure handling.
+//
+// The longitudinal experiment (-experiment longitudinal, with -weeks,
+// -shard-size and -campaign-dir) runs the campaign engine over N
+// consecutive weekly sweeps of the synthetic world and renders trend and
+// churn tables from the stored snapshots (docs/CAMPAIGN.md).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +40,7 @@ import (
 	"github.com/netsecurelab/mtasts/internal/report"
 	"github.com/netsecurelab/mtasts/internal/scanner"
 	"github.com/netsecurelab/mtasts/internal/simnet"
+	"github.com/netsecurelab/mtasts/internal/store"
 )
 
 func main() {
@@ -41,7 +48,7 @@ func main() {
 		"population scale (1.0 = the paper's 68K MTA-STS domains)")
 	seed := flag.Int64("seed", 1, "world seed")
 	which := flag.String("experiment", "all",
-		"experiment to run: all, table1, table2, figure2..figure12, records, errors, senders, survey, disclosure, robustness")
+		"experiment to run: all, table1, table2, figure2..figure12, records, errors, senders, survey, disclosure, robustness, longitudinal")
 	writeExp := flag.String("write-experiments", "", "write EXPERIMENTS.md-style shape report to this file")
 	retries := flag.Int("retries", 4, "robustness: attempts per network operation")
 	faultSeed := flag.Int64("fault-seed", 0, "robustness: fault plan seed (0 = use -seed)")
@@ -56,6 +63,10 @@ func main() {
 	stageWorkersSpec := flag.String("stage-workers", "",
 		"robustness: also verify the staged pipeline backend under faults, with these pool sizes (\"dns=4,fetch=2,probe=8\" or \"auto\")")
 	dedup := flag.Bool("dedup", false, "robustness: enable singleflight dedup in the pipelined verification run (implies a pipelined run)")
+	weeks := flag.Int("weeks", 6, "longitudinal: consecutive weekly sweeps to run")
+	shardSize := flag.Int("shard-size", 256, "longitudinal: domains per campaign shard")
+	campaignDir := flag.String("campaign-dir", "",
+		"longitudinal: persist the campaign store in this directory (default: in-memory)")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics and /debug/scanprogress on this host:port while running")
 	eventsOut := flag.String("events-out", "", "append JSONL experiment events to this file")
@@ -242,6 +253,31 @@ func main() {
 		report.WriteTable(out, env.Figure11())
 	case "disclosure":
 		report.WriteTable(out, env.Disclosure())
+	case "longitudinal":
+		var st store.Store
+		if *campaignDir != "" {
+			disk, err := store.OpenDisk(*campaignDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer disk.Close()
+			st = disk
+		}
+		rep, err := experiments.RunLongitudinal(context.Background(), experiments.LongitudinalConfig{
+			World:     env.World,
+			Weeks:     *weeks,
+			Store:     st,
+			ShardSize: *shardSize,
+			Obs:       reg,
+			Events:    sink,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report.WriteTable(out, rep.TrendTable())
+		report.WriteTable(out, rep.ChurnTable())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
 		flag.Usage()

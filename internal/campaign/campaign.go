@@ -1,0 +1,292 @@
+package campaign
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/obs"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/store"
+)
+
+// DefaultShardSize is the per-shard domain count when Engine.ShardSize
+// is unset: large enough to keep the runner's worker pool busy, small
+// enough that a shard's results are a trivial memory bound.
+const DefaultShardSize = 1024
+
+// ErrStopped is returned by RunWeek when the engine hit its
+// StopAfterShards budget: the run is healthy but deliberately
+// interrupted (the CLI maps it to exit code 3 for crash drills).
+var ErrStopped = errors.New("campaign: stopped after shard budget")
+
+// DomainSource streams a campaign's domain list in a stable order; the
+// engine never materializes the full list. Returning an error from fn
+// aborts the stream with that error.
+type DomainSource func(fn func(domain string) error) error
+
+// SliceSource adapts an in-memory domain list.
+func SliceSource(domains []string) DomainSource {
+	return func(fn func(string) error) error {
+		for _, d := range domains {
+			if err := fn(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Checkpoint marks one durably-stored shard. Count and Hash fingerprint
+// the shard's domain slice so a resume over a *different* source list is
+// detected instead of silently mixing scans.
+type Checkpoint struct {
+	Count int    `json:"count"`
+	Hash  string `json:"hash"`
+}
+
+// Meta is the campaign's stored metadata.
+type Meta struct {
+	ID        string `json:"id"`
+	ShardSize int    `json:"shard_size"`
+	// WeeksDone lists completed weeks in ascending order.
+	WeeksDone []int `json:"weeks_done,omitempty"`
+}
+
+// Engine runs campaign weeks: sharded, checkpointed, resumable scans
+// whose results stream to a store.
+type Engine struct {
+	// Store persists records and checkpoints. Required.
+	Store store.Store
+	// Runner executes each shard's scan. Required.
+	Runner *scanner.Runner
+	// ID names the campaign inside the store. Required; no '/'.
+	ID string
+	// ShardSize is the per-shard domain count (DefaultShardSize if 0).
+	ShardSize int
+	// Obs, when non-nil, receives the campaign.* metrics cataloged in
+	// docs/OBSERVABILITY.md.
+	Obs *obs.Registry
+	// Events, when non-nil, receives campaign.week.start/end and
+	// campaign.shard.done events.
+	Events *obs.EventSink
+	// StopAfterShards, when > 0, makes RunWeek return ErrStopped after
+	// that many shards have been *scanned* (skipped checkpointed shards
+	// do not count) — the crash-drill hook behind the CLI's
+	// -stop-after-shards flag and the resume tests.
+	StopAfterShards int
+}
+
+func (e *Engine) shardSize() int {
+	if e.ShardSize > 0 {
+		return e.ShardSize
+	}
+	return DefaultShardSize
+}
+
+// RunWeek scans one week of the campaign: it streams the source into
+// shards, skips shards whose checkpoint already exists (resume), scans
+// the rest via the Runner, and after the final shard records the week
+// in the campaign metadata. Memory is bounded by one shard plus the
+// store's index regardless of the source's length.
+func (e *Engine) RunWeek(ctx context.Context, week int, src DomainSource) error {
+	if err := validateID(e.ID); err != nil {
+		return err
+	}
+	if e.Store == nil || e.Runner == nil {
+		return fmt.Errorf("campaign: Engine needs both Store and Runner")
+	}
+	if week < 0 || week >= maxWeeks {
+		return fmt.Errorf("campaign: week %d out of range [0, %d)", week, maxWeeks)
+	}
+	weekStart := time.Now()
+	if e.Events != nil {
+		e.Events.Emit("campaign.week.start", map[string]any{
+			"campaign": e.ID, "week": week, "shard_size": e.shardSize(),
+		})
+	}
+	var (
+		shard   = make([]string, 0, e.shardSize())
+		shardIx = 0
+		scanned = 0
+	)
+	flush := func() error {
+		if len(shard) == 0 {
+			return nil
+		}
+		ix := shardIx
+		shardIx++
+		done, err := e.runShard(ctx, week, ix, shard)
+		shard = shard[:0]
+		if err != nil {
+			return err
+		}
+		if done {
+			scanned++
+			if e.StopAfterShards > 0 && scanned >= e.StopAfterShards {
+				return ErrStopped
+			}
+		}
+		return nil
+	}
+	err := src(func(d string) error {
+		if d == "" {
+			return fmt.Errorf("campaign: empty domain in source")
+		}
+		shard = append(shard, d)
+		if len(shard) >= e.shardSize() {
+			return flush()
+		}
+		return nil
+	})
+	if err == nil {
+		err = flush()
+	}
+	if err != nil {
+		return err
+	}
+	if shardIx >= maxShards {
+		return fmt.Errorf("campaign: week %d needs %d shards, max %d", week, shardIx, maxShards)
+	}
+	if err := e.finishWeek(week); err != nil {
+		return err
+	}
+	if e.Obs.Enabled() {
+		e.Obs.Counter("campaign.weeks.completed").Inc()
+		e.Obs.Histogram("campaign.week.seconds", nil).ObserveSince(weekStart)
+	}
+	if e.Events != nil {
+		e.Events.Emit("campaign.week.end", map[string]any{
+			"campaign": e.ID, "week": week, "shards": shardIx,
+			"seconds": time.Since(weekStart).Seconds(),
+		})
+	}
+	return nil
+}
+
+// runShard scans one shard unless its checkpoint says it is already
+// stored. done reports whether a scan actually ran (vs. a resume skip).
+func (e *Engine) runShard(ctx context.Context, week, ix int, domains []string) (done bool, err error) {
+	ck := Checkpoint{Count: len(domains), Hash: shardHash(domains)}
+	ckKey := checkpointKey(e.ID, week, ix)
+	if raw, ok, err := e.Store.Get(ckKey); err != nil {
+		return false, err
+	} else if ok {
+		var have Checkpoint
+		if err := json.Unmarshal(raw, &have); err != nil {
+			return false, fmt.Errorf("campaign: decode checkpoint %s: %w", ckKey, err)
+		}
+		if have != ck {
+			return false, fmt.Errorf("campaign: shard %d of week %d was checkpointed over a different domain list (have %d domains hash %s, resuming with %d hash %s) — the source changed between run and resume",
+				ix, week, have.Count, have.Hash, ck.Count, ck.Hash)
+		}
+		e.Obs.Counter("campaign.shards.skipped").Inc()
+		return false, nil
+	}
+
+	results := e.Runner.Run(ctx, domains)
+	if ctx.Err() != nil {
+		// Canceled placeholders are partial evidence; store nothing and
+		// let a resume re-scan the shard cleanly.
+		return false, ctx.Err()
+	}
+	entries := make([]store.Entry, 0, len(results))
+	for i := range results {
+		rec := FromResult(&results[i])
+		v, err := rec.Encode()
+		if err != nil {
+			return false, err
+		}
+		entries = append(entries, store.Entry{Key: recordKey(e.ID, week, rec.Domain), Value: v})
+	}
+	if err := e.Store.Batch(entries); err != nil {
+		return false, err
+	}
+	// Order matters: results must be durable before the checkpoint can
+	// claim them (docs/CAMPAIGN.md "Crash recovery").
+	if err := e.Store.Sync(); err != nil {
+		return false, err
+	}
+	ckStart := time.Now()
+	raw, err := json.Marshal(ck)
+	if err != nil {
+		return false, err
+	}
+	if err := e.Store.Put(ckKey, raw); err != nil {
+		return false, err
+	}
+	if err := e.Store.Sync(); err != nil {
+		return false, err
+	}
+	if e.Obs.Enabled() {
+		e.Obs.Histogram("campaign.checkpoint.seconds", nil).ObserveSince(ckStart)
+		e.Obs.Counter("campaign.shards.completed").Inc()
+		e.Obs.Counter("campaign.domains.stored").Add(int64(len(entries)))
+		if sz, ok := e.Store.(store.Sizer); ok {
+			e.Obs.Gauge("campaign.store.bytes").Set(sz.SizeBytes())
+		}
+	}
+	if e.Events != nil {
+		e.Events.Emit("campaign.shard.done", map[string]any{
+			"campaign": e.ID, "week": week, "shard": ix, "domains": len(domains),
+		})
+	}
+	return true, nil
+}
+
+// finishWeek records week as done in the campaign metadata.
+func (e *Engine) finishWeek(week int) error {
+	meta, _, err := LoadMeta(e.Store, e.ID)
+	if err != nil {
+		return err
+	}
+	meta.ID = e.ID
+	meta.ShardSize = e.shardSize()
+	for _, w := range meta.WeeksDone {
+		if w == week {
+			return e.putMeta(meta)
+		}
+	}
+	meta.WeeksDone = append(meta.WeeksDone, week)
+	sort.Ints(meta.WeeksDone)
+	return e.putMeta(meta)
+}
+
+func (e *Engine) putMeta(meta Meta) error {
+	raw, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	if err := e.Store.Put(metaKey(e.ID), raw); err != nil {
+		return err
+	}
+	return e.Store.Sync()
+}
+
+// LoadMeta reads a campaign's metadata; ok is false when the campaign
+// has never completed a week.
+func LoadMeta(s store.Store, id string) (meta Meta, ok bool, err error) {
+	raw, ok, err := s.Get(metaKey(id))
+	if err != nil || !ok {
+		return Meta{}, false, err
+	}
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return Meta{}, false, fmt.Errorf("campaign: decode meta for %s: %w", id, err)
+	}
+	return meta, true, nil
+}
+
+// shardHash fingerprints a shard's domain slice.
+func shardHash(domains []string) string {
+	h := sha256.New()
+	for _, d := range domains {
+		h.Write([]byte(d))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}

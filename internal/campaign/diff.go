@@ -1,0 +1,208 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/obs"
+	"github.com/netsecurelab/mtasts/internal/store"
+)
+
+// Diff is the week-over-week delta of a campaign: adoption and churn
+// plus classification changes keyed by errtax codes and the
+// ClassificationKey hash. Counts are disjoint where it matters:
+// Adopted/Removed cover domains present in only one week; Changed and
+// Unchanged partition the continuing domains; NewlyMisconfigured and
+// NewlyHealthy are subsets of Changed; CodesAdded/CodesCleared count
+// per-code transitions among continuing domains only, so adoption churn
+// never inflates error churn.
+type Diff struct {
+	CampaignID string `json:"campaign"`
+	WeekOld    int    `json:"week_old"`
+	WeekNew    int    `json:"week_new"`
+	// OldDomains / NewDomains are each week's stored domain counts.
+	OldDomains int `json:"old_domains"`
+	NewDomains int `json:"new_domains"`
+	// Adopted / Removed count domains present in exactly one week.
+	Adopted int `json:"adopted"`
+	Removed int `json:"removed"`
+	// Changed / Unchanged partition continuing domains by whether their
+	// ClassificationKey hash moved.
+	Changed   int `json:"changed"`
+	Unchanged int `json:"unchanged"`
+	// NewlyMisconfigured / NewlyHealthy count continuing domains whose
+	// misconfigured verdict flipped on / off.
+	NewlyMisconfigured int `json:"newly_misconfigured"`
+	NewlyHealthy       int `json:"newly_healthy"`
+	// CodesAdded / CodesCleared count, per errtax code, continuing
+	// domains that gained / lost that code.
+	CodesAdded   map[string]int `json:"codes_added,omitempty"`
+	CodesCleared map[string]int `json:"codes_cleared,omitempty"`
+}
+
+// recItem is one record (or a scan failure) flowing out of streamWeek.
+type recItem struct {
+	rec DomainRecord
+	err error
+}
+
+// streamWeek scans one week's records into a bounded channel so two
+// weeks can be merge-joined with O(1) memory. Closing stop aborts the
+// underlying Scan promptly.
+func streamWeek(s store.Store, id string, week int, stop <-chan struct{}) <-chan recItem {
+	ch := make(chan recItem, 64)
+	go func() {
+		defer close(ch)
+		err := s.Scan(weekPrefix(id, week), func(_ string, v []byte) error {
+			rec, err := DecodeRecord(v)
+			if err != nil {
+				return err
+			}
+			select {
+			case ch <- recItem{rec: rec}:
+				return nil
+			case <-stop:
+				return store.ErrStop
+			}
+		})
+		if err != nil {
+			select {
+			case ch <- recItem{err: err}:
+			case <-stop:
+			}
+		}
+	}()
+	return ch
+}
+
+// ComputeDiff merge-joins two stored weeks in ascending domain order.
+// reg, when non-nil, records campaign.diff.seconds.
+func ComputeDiff(s store.Store, id string, weekOld, weekNew int, reg *obs.Registry) (Diff, error) {
+	if err := validateID(id); err != nil {
+		return Diff{}, err
+	}
+	start := time.Now()
+	d := Diff{
+		CampaignID:   id,
+		WeekOld:      weekOld,
+		WeekNew:      weekNew,
+		CodesAdded:   make(map[string]int),
+		CodesCleared: make(map[string]int),
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	oldCh := streamWeek(s, id, weekOld, stop)
+	newCh := streamWeek(s, id, weekNew, stop)
+
+	o, oOK := <-oldCh
+	n, nOK := <-newCh
+	for oOK || nOK {
+		if oOK && o.err != nil {
+			return Diff{}, o.err
+		}
+		if nOK && n.err != nil {
+			return Diff{}, n.err
+		}
+		switch {
+		case !nOK || (oOK && o.rec.Domain < n.rec.Domain):
+			d.OldDomains++
+			d.Removed++
+			o, oOK = <-oldCh
+		case !oOK || (nOK && n.rec.Domain < o.rec.Domain):
+			d.NewDomains++
+			d.Adopted++
+			n, nOK = <-newCh
+		default: // continuing domain
+			d.OldDomains++
+			d.NewDomains++
+			d.compare(&o.rec, &n.rec)
+			o, oOK = <-oldCh
+			n, nOK = <-newCh
+		}
+	}
+	if reg.Enabled() {
+		reg.Histogram("campaign.diff.seconds", nil).ObserveSince(start)
+	}
+	return d, nil
+}
+
+// compare folds one continuing domain into the diff.
+func (d *Diff) compare(o, n *DomainRecord) {
+	if o.Class == n.Class {
+		d.Unchanged++
+		return
+	}
+	d.Changed++
+	if !o.Misconfigured() && n.Misconfigured() {
+		d.NewlyMisconfigured++
+	}
+	if o.Misconfigured() && !n.Misconfigured() {
+		d.NewlyHealthy++
+	}
+	// Codes are sorted, so a linear walk yields added/cleared.
+	i, j := 0, 0
+	for i < len(o.Codes) || j < len(n.Codes) {
+		switch {
+		case j >= len(n.Codes) || (i < len(o.Codes) && o.Codes[i] < n.Codes[j]):
+			d.CodesCleared[o.Codes[i]]++
+			i++
+		case i >= len(o.Codes) || (j < len(n.Codes) && n.Codes[j] < o.Codes[i]):
+			d.CodesAdded[n.Codes[j]]++
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+}
+
+// WriteText renders the diff in a stable human-readable layout (maps
+// sorted by code), shared by the CLI and the longitudinal experiment.
+func (d *Diff) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "campaign %s: week %d -> week %d\n", d.CampaignID, d.WeekOld, d.WeekNew); err != nil {
+		return err
+	}
+	rows := []struct {
+		label string
+		n     int
+	}{
+		{"domains (old)", d.OldDomains},
+		{"domains (new)", d.NewDomains},
+		{"adopted", d.Adopted},
+		{"removed", d.Removed},
+		{"changed", d.Changed},
+		{"unchanged", d.Unchanged},
+		{"newly misconfigured", d.NewlyMisconfigured},
+		{"newly healthy", d.NewlyHealthy},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "  %-22s %d\n", r.label, r.n); err != nil {
+			return err
+		}
+	}
+	writeCodes := func(title string, m map[string]int) error {
+		if len(m) == 0 {
+			return nil
+		}
+		if _, err := fmt.Fprintf(w, "  %s:\n", title); err != nil {
+			return err
+		}
+		codes := make([]string, 0, len(m))
+		for c := range m {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		for _, c := range codes {
+			if _, err := fmt.Fprintf(w, "    %-28s %d\n", c, m[c]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeCodes("codes added", d.CodesAdded); err != nil {
+		return err
+	}
+	return writeCodes("codes cleared", d.CodesCleared)
+}

@@ -1,0 +1,81 @@
+package campaign
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/store"
+)
+
+// putRecord stores one hand-built record under the campaign layout.
+func putRecord(t *testing.T, s store.Store, id string, week int, rec DomainRecord) {
+	t.Helper()
+	v, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(recordKey(id, week, rec.Domain), v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffSemantics(t *testing.T) {
+	s := store.NewMem()
+	const id = "d"
+	// Week 0: a (healthy), b (misconfigured, code bad_syntax),
+	// c (unchanged filler), e (healthy, will regress).
+	putRecord(t, s, id, 0, DomainRecord{Domain: "a.example", Present: true, Class: "aaaa"})
+	putRecord(t, s, id, 0, DomainRecord{Domain: "b.example", Present: true, Class: "b0",
+		Codes: []string{"bad_syntax"}, Categories: []string{"dns_record"}})
+	putRecord(t, s, id, 0, DomainRecord{Domain: "c.example", Present: true, Class: "cccc"})
+	putRecord(t, s, id, 0, DomainRecord{Domain: "e.example", Present: true, Class: "e0"})
+	// Week 1: a gone; b healed but gained a different code; c unchanged;
+	// d adopted; e newly misconfigured.
+	putRecord(t, s, id, 1, DomainRecord{Domain: "b.example", Present: true, Class: "b1",
+		Codes: []string{"expired"}, Categories: []string{"mx_cert"}})
+	putRecord(t, s, id, 1, DomainRecord{Domain: "c.example", Present: true, Class: "cccc"})
+	putRecord(t, s, id, 1, DomainRecord{Domain: "d.example", Present: true, Class: "dddd"})
+	putRecord(t, s, id, 1, DomainRecord{Domain: "e.example", Present: true, Class: "e1",
+		Codes: []string{"inconsistency"}, Categories: []string{"inconsistency"}})
+
+	d, err := ComputeDiff(s, id, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Diff{
+		CampaignID: id, WeekOld: 0, WeekNew: 1,
+		OldDomains: 4, NewDomains: 4,
+		Adopted: 1, Removed: 1,
+		Changed: 2, Unchanged: 1,
+		NewlyMisconfigured: 1, NewlyHealthy: 0,
+		CodesAdded:   map[string]int{"expired": 1, "inconsistency": 1},
+		CodesCleared: map[string]int{"bad_syntax": 1},
+	}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("Diff = %+v\nwant  %+v", d, want)
+	}
+
+	var buf bytes.Buffer
+	if err := d.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"week 0 -> week 1", "adopted", "expired", "bad_syntax"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("WriteText output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestDiffEmptyWeeks(t *testing.T) {
+	s := store.NewMem()
+	d, err := ComputeDiff(s, "nothing", 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OldDomains != 0 || d.NewDomains != 0 || d.Adopted != 0 || d.Removed != 0 {
+		t.Fatalf("diff of empty weeks = %+v", d)
+	}
+}

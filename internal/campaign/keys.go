@@ -1,0 +1,61 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Store key layout (docs/CAMPAIGN.md "Store layout"):
+//
+//	c/<id>/meta                  campaign metadata (Meta)
+//	c/<id>/w/<week>/d/<domain>   one DomainRecord per scanned domain
+//	c/<id>/ck/<week>/<shard>     one Checkpoint per completed shard
+//
+// Week and shard numbers are zero-padded so lexicographic key order is
+// numeric order, which is what makes prefix scans yield weeks and
+// domains in a stable, mergeable order.
+
+// maxWeeks / maxShards bound the zero-padding; beyond them key order
+// would stop being numeric.
+const (
+	maxWeeks  = 10000
+	maxShards = 1000000
+)
+
+// validateID rejects campaign IDs that would break the key layout.
+func validateID(id string) error {
+	if id == "" {
+		return fmt.Errorf("campaign: empty campaign ID")
+	}
+	if strings.ContainsAny(id, "/ \t\n") {
+		return fmt.Errorf("campaign: ID %q must not contain '/' or whitespace", id)
+	}
+	return nil
+}
+
+func metaKey(id string) string {
+	return "c/" + id + "/meta"
+}
+
+func recordKey(id string, week int, domain string) string {
+	return fmt.Sprintf("c/%s/w/%04d/d/%s", id, week, domain)
+}
+
+// weekPrefix is the Scan prefix covering every domain record of a week.
+func weekPrefix(id string, week int) string {
+	return fmt.Sprintf("c/%s/w/%04d/d/", id, week)
+}
+
+func checkpointKey(id string, week, shard int) string {
+	return fmt.Sprintf("c/%s/ck/%04d/%06d", id, week, shard)
+}
+
+// checkpointPrefix covers every shard checkpoint of a week.
+func checkpointPrefix(id string, week int) string {
+	return fmt.Sprintf("c/%s/ck/%04d/", id, week)
+}
+
+// allCheckpointsPrefix covers every checkpoint of the campaign.
+func allCheckpointsPrefix(id string) string {
+	return "c/" + id + "/ck/"
+}

@@ -1,0 +1,84 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/store"
+)
+
+// watermarkScanner is a trivial per-domain scanner that samples the heap
+// watermark from inside the scan hot path, where a result-accumulating
+// engine would show its growth.
+type watermarkScanner struct {
+	n    atomic.Int64
+	peak atomic.Int64
+}
+
+func (w *watermarkScanner) ScanDomain(_ context.Context, domain string) scanner.DomainResult {
+	if w.n.Add(1)%16384 == 0 {
+		w.sample()
+	}
+	return scanner.DomainResult{Domain: domain}
+}
+
+func (w *watermarkScanner) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for {
+		cur := w.peak.Load()
+		if int64(ms.HeapAlloc) <= cur || w.peak.CompareAndSwap(cur, int64(ms.HeapAlloc)) {
+			return
+		}
+	}
+}
+
+// TestBoundedMemoryMillionDomains streams a million-domain week (see
+// memsize_*_test.go for the race-detector scaling) into the on-disk
+// store and asserts the heap watermark stays far below what
+// accumulating []DomainResult for the run would cost: the engine's
+// live set is one shard plus the store index, not the campaign.
+func TestBoundedMemoryMillionDomains(t *testing.T) {
+	const heapLimit = 512 << 20
+
+	disk, err := store.OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+
+	scan := &watermarkScanner{}
+	src := DomainSource(func(fn func(string) error) error {
+		for i := 0; i < memTestDomains; i++ {
+			if err := fn(fmt.Sprintf("d%07d.example", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	eng := &Engine{
+		Store:     disk,
+		Runner:    &scanner.Runner{Workers: 8, Scan: scan},
+		ID:        "mem",
+		ShardSize: 16384,
+	}
+	if err := eng.RunWeek(context.Background(), 0, src); err != nil {
+		t.Fatal(err)
+	}
+	scan.sample() // final sample after the last shard's batch
+
+	if n, err := store.Len(disk, weekPrefix("mem", 0)); err != nil || n != memTestDomains {
+		t.Fatalf("stored %d records err=%v, want %d", n, err, memTestDomains)
+	}
+	peak := scan.peak.Load()
+	t.Logf("heap watermark: %d MiB over %d domains (store: %d MiB, %d segments)",
+		peak>>20, memTestDomains, disk.SizeBytes()>>20, disk.Segments())
+	if peak > heapLimit {
+		t.Fatalf("heap watermark %d MiB exceeds %d MiB bound — results are accumulating",
+			peak>>20, int64(heapLimit)>>20)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package campaign
+
+// memTestDomains is the bounded-memory test population: the acceptance
+// bar is "at least a million domains without materializing the run".
+const memTestDomains = 1_000_000

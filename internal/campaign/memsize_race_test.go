@@ -1,0 +1,7 @@
+//go:build race
+
+package campaign
+
+// memTestDomains shrinks under the race detector, whose instrumentation
+// multiplies both runtime and heap; the bound being tested is the same.
+const memTestDomains = 150_000

@@ -1,0 +1,167 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/store"
+)
+
+// TestCrashResumeByteIdentical is the tentpole determinism proof: a
+// campaign killed after two shards — with a further shard's records
+// half-written and unchecked-pointed, the worst state an append-only
+// store can wake up in — must, after resume, export week snapshots and
+// diffs byte-identical to an uninterrupted run over the same seed.
+func TestCrashResumeByteIdentical(t *testing.T) {
+	const (
+		id        = "crash"
+		shardSize = 32
+	)
+
+	// Reference: uninterrupted weeks 0 and 1 on a fresh disk store.
+	refDir := t.TempDir()
+	ref, err := store.OpenDisk(refDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for week := 0; week <= 1; week++ {
+		if _, err := runTestWeek(t, ref, id, week, shardSize, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crashed run: week 0 completes, week 1 dies after 2 shards...
+	crashDir := t.TempDir()
+	crash, err := store.OpenDisk(crashDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runTestWeek(t, crash, id, 0, shardSize, 0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := runTestWeek(t, crash, id, 1, shardSize, 2)
+	if err != ErrStopped {
+		t.Fatalf("interrupted week: %v, want ErrStopped", err)
+	}
+	if n <= 3*shardSize {
+		t.Fatalf("snapshot has only %d domains; cannot leave a shard un-checkpointed", n)
+	}
+
+	// ...mid-shard: shard 2's first few records were written (with
+	// whatever partial verdicts were in flight) but never checkpointed.
+	var names []string
+	for _, d := range testWorld.Domains {
+		if _, ok := testWorld.ArtifactsAt(d, weekSnapshot(1)); ok {
+			names = append(names, d.Name)
+		}
+	}
+	sort.Strings(names)
+	for _, dom := range names[2*shardSize : 2*shardSize+3] {
+		junk := DomainRecord{Domain: dom, Canceled: true, Class: "deadbeefdeadbeef"}
+		v, err := junk.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := crash.Put(recordKey(id, 1, dom), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash: reopen the store cold and resume week 1 to completion.
+	if err := crash.Close(); err != nil {
+		t.Fatal(err)
+	}
+	crash, err = store.OpenDisk(crashDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runTestWeek(t, crash, id, 1, shardSize, 0); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+
+	for week := 0; week <= 1; week++ {
+		var a, b bytes.Buffer
+		if err := WriteSnapshot(&a, ref, id, week); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSnapshot(&b, crash, id, week); err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() == 0 {
+			t.Fatalf("week %d snapshot empty", week)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("week %d snapshot differs between uninterrupted and resumed runs (%d vs %d bytes)",
+				week, a.Len(), b.Len())
+		}
+	}
+
+	refDiff, err := ComputeDiff(ref, id, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashDiff, err := ComputeDiff(crash, id, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refDiff, crashDiff) {
+		t.Fatalf("diffs diverge:\nref:   %+v\ncrash: %+v", refDiff, crashDiff)
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := crash.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotBackendIndependent pins the other half of determinism:
+// the exported snapshot does not depend on which backend stored it.
+func TestSnapshotBackendIndependent(t *testing.T) {
+	mem := store.NewMem()
+	disk, err := store.OpenDisk(filepath.Join(t.TempDir(), "s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	for _, s := range []store.Store{mem, disk} {
+		if _, err := runTestWeek(t, s, "x", 0, 64, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var a, b bytes.Buffer
+	if err := WriteSnapshot(&a, mem, "x", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(&b, disk, "x", 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("snapshots differ across backends (%d vs %d bytes)", a.Len(), b.Len())
+	}
+}
+
+// TestCanceledRunStoresNothing: a context-canceled shard must not leak
+// partial verdicts into the store.
+func TestCanceledRunStoresNothing(t *testing.T) {
+	s := store.NewMem()
+	src, scan, _ := snapshotSource(testWorld, weekSnapshot(0))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := &Engine{
+		Store:  s,
+		Runner: &scanner.Runner{Workers: 2, Scan: scan},
+		ID:     "gone", ShardSize: 16,
+	}
+	if err := eng.RunWeek(ctx, 0, src); err == nil {
+		t.Fatal("canceled run reported success")
+	}
+	if n, err := store.Len(s, weekPrefix("gone", 0)); err != nil || n != 0 {
+		t.Fatalf("canceled run stored %d records (err=%v), want 0", n, err)
+	}
+}

@@ -1,0 +1,149 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/netsecurelab/mtasts/internal/store"
+)
+
+// WeekSummary aggregates one stored week — the row a trend table
+// renders. It is recomputed from stored records, never accumulated
+// during the scan, so resumed and uninterrupted runs summarize
+// identically.
+type WeekSummary struct {
+	Week    int
+	Domains int
+	// Deployment funnel.
+	Present  int
+	Valid    int
+	PolicyOK int
+	// Policy modes among PolicyOK domains.
+	Enforce int
+	Testing int
+	// Health.
+	Misconfigured   int
+	DeliveryFailure int
+	Canceled        int
+	// ByCategory counts Figure 4 category keys; ByCode errtax codes.
+	ByCategory map[string]int
+	ByCode     map[string]int
+}
+
+// Aggregate scans one week's records and folds them into a summary.
+func Aggregate(s store.Store, id string, week int) (WeekSummary, error) {
+	sum := WeekSummary{
+		Week:       week,
+		ByCategory: make(map[string]int),
+		ByCode:     make(map[string]int),
+	}
+	err := s.Scan(weekPrefix(id, week), func(_ string, v []byte) error {
+		rec, err := DecodeRecord(v)
+		if err != nil {
+			return err
+		}
+		sum.Domains++
+		if rec.Present {
+			sum.Present++
+		}
+		if rec.Valid {
+			sum.Valid++
+		}
+		if rec.PolicyOK {
+			sum.PolicyOK++
+			switch rec.Mode {
+			case "enforce":
+				sum.Enforce++
+			case "testing":
+				sum.Testing++
+			}
+		}
+		if rec.Misconfigured() {
+			sum.Misconfigured++
+		}
+		if rec.DeliveryFailure {
+			sum.DeliveryFailure++
+		}
+		if rec.Canceled {
+			sum.Canceled++
+		}
+		for _, c := range rec.Categories {
+			sum.ByCategory[c]++
+		}
+		for _, c := range rec.Codes {
+			sum.ByCode[c]++
+		}
+		return nil
+	})
+	return sum, err
+}
+
+// WriteSnapshot exports one week as canonical JSONL: one record value
+// per line, in ascending domain order. Because record encoding is
+// canonical and Scan order is specified, two stores holding the same
+// verdicts export byte-identical snapshots — the crash-resume
+// determinism contract (resume_test.go).
+func WriteSnapshot(w io.Writer, s store.Store, id string, week int) error {
+	return s.Scan(weekPrefix(id, week), func(_ string, v []byte) error {
+		if _, err := w.Write(v); err != nil {
+			return err
+		}
+		_, err := w.Write([]byte{'\n'})
+		return err
+	})
+}
+
+// Status describes a campaign's stored state for the CLI.
+type Status struct {
+	Meta Meta
+	// Weeks maps week → completed shard count (including weeks that are
+	// only partially scanned and not yet in Meta.WeeksDone).
+	Weeks map[int]int
+	// Records is the total stored domain-record count.
+	Records int
+	// StoreBytes is the backing store's size when it reports one.
+	StoreBytes int64
+}
+
+// ReadStatus inspects a campaign's stored state.
+func ReadStatus(s store.Store, id string) (Status, error) {
+	if err := validateID(id); err != nil {
+		return Status{}, err
+	}
+	st := Status{Weeks: make(map[int]int)}
+	meta, _, err := LoadMeta(s, id)
+	if err != nil {
+		return Status{}, err
+	}
+	st.Meta = meta
+	st.Meta.ID = id
+	err = s.Scan(allCheckpointsPrefix(id), func(k string, _ []byte) error {
+		rest := strings.TrimPrefix(k, allCheckpointsPrefix(id))
+		wk, _, ok := strings.Cut(rest, "/")
+		if !ok {
+			return fmt.Errorf("campaign: malformed checkpoint key %q", k)
+		}
+		w, err := strconv.Atoi(wk)
+		if err != nil {
+			return fmt.Errorf("campaign: malformed checkpoint key %q", k)
+		}
+		st.Weeks[w]++
+		return nil
+	})
+	if err != nil {
+		return Status{}, err
+	}
+	for w := range st.Weeks {
+		n, err := store.Len(s, weekPrefix(id, w))
+		if err != nil {
+			return Status{}, err
+		}
+		st.Records += n
+	}
+	if sz, ok := s.(store.Sizer); ok {
+		st.StoreBytes = sz.SizeBytes()
+	}
+	return st, nil
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/netsecurelab/mtasts/internal/campaign"
+	"github.com/netsecurelab/mtasts/internal/dataset"
+	"github.com/netsecurelab/mtasts/internal/obs"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/simnet"
+	"github.com/netsecurelab/mtasts/internal/store"
+)
+
+// WeekSnapshot maps campaign week w onto a simnet snapshot index. The
+// synthetic world advances in monthly snapshots and component scans
+// exist from ComponentScanFirstIndex on (§3), so week w of a campaign
+// replays snapshot ComponentScanFirstIndex+w, clamped to the study end.
+func WeekSnapshot(w int) int {
+	t := simnet.ComponentScanFirstIndex + w
+	if t > simnet.Months-1 {
+		t = simnet.Months - 1
+	}
+	return t
+}
+
+// SnapshotSource builds a campaign domain source and matching artifact
+// scanner for one simnet snapshot: the sorted adopter list plus a
+// replayable view of what a scanner would have observed that week.
+func SnapshotSource(w *simnet.World, t int) (campaign.DomainSource, scanner.Scanner) {
+	var (
+		names []string
+		arts  []scanner.Artifacts
+	)
+	for _, d := range w.Domains {
+		if a, ok := w.ArtifactsAt(d, t); ok {
+			names = append(names, d.Name)
+			arts = append(arts, a)
+		}
+	}
+	sort.Strings(names)
+	return campaign.SliceSource(names), scanner.NewArtifactScanner(arts, simnet.SnapshotTime(t), 0)
+}
+
+// LongitudinalConfig parameterizes the longitudinal experiment.
+type LongitudinalConfig struct {
+	// World is the synthetic ecosystem to sweep.
+	World *simnet.World
+	// Weeks is how many consecutive weekly sweeps to run (minimum 2 for
+	// a diff to exist).
+	Weeks int
+	// Store persists the campaign; nil runs in memory.
+	Store store.Store
+	// ID names the campaign in the store ("longitudinal" if empty).
+	ID string
+	// ShardSize, Workers tune the engine (engine/runner defaults if 0).
+	ShardSize int
+	Workers   int
+	// Obs/Events flow through to the engine.
+	Obs    *obs.Registry
+	Events *obs.EventSink
+}
+
+// LongitudinalReport is the experiment outcome: one summary per stored
+// week plus the week-over-week diffs between consecutive weeks.
+type LongitudinalReport struct {
+	Summaries []campaign.WeekSummary
+	Diffs     []campaign.Diff
+}
+
+// RunLongitudinal runs a multi-week campaign over the synthetic world —
+// the paper's §3 weekly-sweep methodology in miniature — and reads
+// every reported number back from the store, never from in-memory scan
+// results.
+func RunLongitudinal(ctx context.Context, cfg LongitudinalConfig) (*LongitudinalReport, error) {
+	if cfg.World == nil {
+		return nil, fmt.Errorf("longitudinal: nil World")
+	}
+	if cfg.Weeks < 2 {
+		return nil, fmt.Errorf("longitudinal: need at least 2 weeks, got %d", cfg.Weeks)
+	}
+	s := cfg.Store
+	if s == nil {
+		s = store.NewMem()
+	}
+	id := cfg.ID
+	if id == "" {
+		id = "longitudinal"
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	rep := &LongitudinalReport{}
+	for w := 0; w < cfg.Weeks; w++ {
+		src, scan := SnapshotSource(cfg.World, WeekSnapshot(w))
+		eng := &campaign.Engine{
+			Store:     s,
+			Runner:    &scanner.Runner{Workers: workers, Scan: scan, Obs: cfg.Obs},
+			ID:        id,
+			ShardSize: cfg.ShardSize,
+			Obs:       cfg.Obs,
+			Events:    cfg.Events,
+		}
+		if err := eng.RunWeek(ctx, w, src); err != nil {
+			return nil, fmt.Errorf("longitudinal week %d: %w", w, err)
+		}
+		sum, err := campaign.Aggregate(s, id, w)
+		if err != nil {
+			return nil, err
+		}
+		rep.Summaries = append(rep.Summaries, sum)
+		if w > 0 {
+			d, err := campaign.ComputeDiff(s, id, w-1, w, cfg.Obs)
+			if err != nil {
+				return nil, err
+			}
+			rep.Diffs = append(rep.Diffs, d)
+		}
+	}
+	return rep, nil
+}
+
+// TrendTable renders the per-week deployment and health trend.
+func (r *LongitudinalReport) TrendTable() *dataset.Table {
+	t := &dataset.Table{
+		Title: "Longitudinal campaign: weekly trend (from stored snapshots)",
+		Headers: []string{"week", "domains", "policy ok", "enforce", "testing",
+			"misconfig", "misconfig %", "delivery fail"},
+	}
+	for _, s := range r.Summaries {
+		pct := 0.0
+		if s.Domains > 0 {
+			pct = 100 * float64(s.Misconfigured) / float64(s.Domains)
+		}
+		t.AddRow(s.Week, s.Domains, s.PolicyOK, s.Enforce, s.Testing,
+			s.Misconfigured, fmt.Sprintf("%.1f%%", pct), s.DeliveryFailure)
+	}
+	return t
+}
+
+// ChurnTable renders the week-over-week churn from the stored diffs.
+func (r *LongitudinalReport) ChurnTable() *dataset.Table {
+	t := &dataset.Table{
+		Title: "Longitudinal campaign: week-over-week churn (campaign.Diff)",
+		Headers: []string{"weeks", "adopted", "removed", "changed", "unchanged",
+			"newly misconfig", "newly healthy"},
+	}
+	for _, d := range r.Diffs {
+		t.AddRow(fmt.Sprintf("%d->%d", d.WeekOld, d.WeekNew), d.Adopted, d.Removed,
+			d.Changed, d.Unchanged, d.NewlyMisconfigured, d.NewlyHealthy)
+	}
+	return t
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/store"
+)
+
+func TestRunLongitudinal(t *testing.T) {
+	rep, err := RunLongitudinal(context.Background(), LongitudinalConfig{
+		World: testEnv.World,
+		Weeks: 3,
+		Store: store.NewMem(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Summaries) != 3 || len(rep.Diffs) != 2 {
+		t.Fatalf("got %d summaries / %d diffs, want 3 / 2", len(rep.Summaries), len(rep.Diffs))
+	}
+	for w, s := range rep.Summaries {
+		if s.Week != w || s.Domains == 0 {
+			t.Fatalf("summary %d = %+v, want week %d with domains", w, s, w)
+		}
+	}
+	// Adoption only grows in the synthetic world's component-scan era.
+	for i, d := range rep.Diffs {
+		if d.NewDomains < d.OldDomains || d.Adopted == 0 {
+			t.Fatalf("diff %d = %+v, want growing adoption", i, d)
+		}
+		if d.OldDomains != rep.Summaries[i].Domains || d.NewDomains != rep.Summaries[i+1].Domains {
+			t.Fatalf("diff %d totals %d/%d disagree with summaries %d/%d",
+				i, d.OldDomains, d.NewDomains, rep.Summaries[i].Domains, rep.Summaries[i+1].Domains)
+		}
+	}
+	trend, churn := rep.TrendTable(), rep.ChurnTable()
+	if len(trend.Rows) != 3 || len(churn.Rows) != 2 {
+		t.Fatalf("tables have %d/%d rows, want 3/2", len(trend.Rows), len(churn.Rows))
+	}
+	if _, err := RunLongitudinal(context.Background(), LongitudinalConfig{World: testEnv.World, Weeks: 1}); err == nil {
+		t.Fatal("Weeks=1 accepted; a longitudinal run needs a diff")
+	}
+}

@@ -14,6 +14,7 @@
 // A third run with the same faults but retries disabled shows the
 // counterfactual: the misclassification rate a single-attempt scanner
 // would have reported.
+
 package experiments
 
 import (

@@ -1,25 +1,3 @@
-// Package faults implements a deterministic, seedable fault plan for
-// the scan substrate: per-query DNS packet loss, SERVFAIL/REFUSED
-// blips, forced truncation, added latency, and per-connection resets.
-// The substrate servers (dnsserver, policysrv, smtpd) consult an
-// Injector at their wire boundaries, so the scanner probes a
-// misbehaving Internet over real sockets — the precondition for testing
-// that retries separate transient failures from the paper's persistent
-// misconfiguration taxonomy (§4).
-//
-// Determinism is the point: every decision is a pure function of
-// (seed, kind, key, per-key sequence number), so two runs that issue
-// the same per-key event sequences experience identical faults and a
-// fault run can be replayed for debugging. Keys are chosen by the
-// substrate so that they are stable across runs — a DNS (name, type),
-// a TLS SNI, an SMTP server hostname — and per-key sequences are
-// independent, so concurrency across keys does not perturb decisions.
-//
-// Faults are transient by construction: MaxConsecutive bounds how many
-// consecutive events on one key may fault, so a retry loop with a
-// larger attempt budget is guaranteed to get through. That is what
-// makes "zero misclassifications with retries enabled" a testable
-// property rather than a statistical hope.
 package faults
 
 import (

@@ -115,6 +115,14 @@ func TestCodesGolden(t *testing.T) {
 	lintFixture(t, "codes", "github.com/netsecurelab/mtasts/internal/smtpclient/fixcodes", Codes())
 }
 
+func TestPkgDocGolden(t *testing.T) {
+	lintFixture(t, "pkgdoc", "github.com/netsecurelab/mtasts/internal/fixpkgdoc", PkgDoc())
+}
+
+func TestPkgDocMissingGolden(t *testing.T) {
+	lintFixture(t, "pkgdocmissing", "github.com/netsecurelab/mtasts/internal/fixpkgdocmissing", PkgDoc())
+}
+
 // TestCodesScope pins the analyzer to the errtax-producing packages:
 // the same fixture is quiet under any other import path.
 func TestCodesScope(t *testing.T) {

@@ -10,8 +10,9 @@
 // must thread context.Context (ctxpass), metric names must match
 // docs/OBSERVABILITY.md (obsnames), computed values must be used
 // (deadvalue), retryable paths must use internal/retry backoff
-// rather than raw time.Sleep (sleeploop), and errors leaving the
-// errtax-producing packages must carry a taxonomy code (codes).
+// rather than raw time.Sleep (sleeploop), errors leaving the
+// errtax-producing packages must carry a taxonomy code (codes), and
+// every package must carry a well-formed package doc comment (pkgdoc).
 // docs/LINT.md documents each
 // analyzer, the //lint:ignore suppression syntax, and the baseline
 // workflow.
@@ -150,6 +151,7 @@ func All(docsPath string) []*Analyzer {
 		DeadValue(),
 		SleepLoop(),
 		Codes(),
+		PkgDoc(),
 	}
 }
 

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PkgDoc checks that every package carries a package documentation
+// comment, that library comments follow the godoc convention ("Package
+// <name> ..."; main packages may open freeform, as the examples do),
+// and that exactly one file carries it — so coverage can't silently
+// regress and `go doc` never renders concatenated fragments. The
+// comment conventionally lives in doc.go for multi-file packages, but
+// any single file satisfies the check.
+func PkgDoc() *Analyzer {
+	a := &Analyzer{
+		Name: "pkgdoc",
+		Doc:  "checks that every package has a single, well-formed package doc comment",
+	}
+	a.Run = func(pass *Pass) {
+		var docs []*ast.File
+		for _, f := range pass.Pkg.Files {
+			if f.Doc != nil {
+				docs = append(docs, f)
+			}
+		}
+		name := pass.Pkg.Files[0].Name.Name
+		if len(docs) == 0 {
+			pass.Reportf(pass.Pkg.Files[0].Name.Pos(),
+				"package %s has no package documentation comment (add one, conventionally in doc.go)", name)
+			return
+		}
+		for _, f := range docs[1:] {
+			pass.Reportf(f.Doc.Pos(),
+				"package %s has more than one package comment; keep a single one (conventionally in doc.go)", name)
+		}
+		if name == "main" {
+			return // presence is enough for commands and examples
+		}
+		text := docs[0].Doc.Text()
+		want := "Package " + name + " "
+		if !strings.HasPrefix(text, want) && !strings.HasPrefix(text, strings.TrimRight(want, " ")+"\n") {
+			pass.Reportf(docs[0].Doc.Pos(),
+				"package comment should start %q (godoc convention), found %q",
+				want, firstLine(text))
+		}
+	}
+	return a
+}
+
+// firstLine truncates doc text to its first line for a readable finding.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 60 {
+		s = s[:60] + "..."
+	}
+	return s
+}

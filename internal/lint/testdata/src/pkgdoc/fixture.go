@@ -1,0 +1,5 @@
+// A freeform introduction that ignores the godoc convention. // want "should start"
+package pkgdocfix
+
+// Exported so the fixture is not empty.
+const Fixture = 1

@@ -1,0 +1,5 @@
+// Package pkgdocfix carries a second package comment. // want "more than one package comment"
+package pkgdocfix
+
+// Other keeps the second file non-trivial.
+const Other = 2

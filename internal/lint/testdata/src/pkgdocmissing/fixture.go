@@ -1,0 +1,5 @@
+package pkgdocmissing // want "no package documentation comment"
+
+// Missing keeps the fixture non-trivial; only the package clause lacks
+// a doc comment.
+const Missing = 3

@@ -1,0 +1,10 @@
+// Package report renders experiment outputs for the terminal and for
+// Markdown: aligned tables (WriteTable, MarkdownTable), ASCII line
+// charts approximating the paper's figures (Chart), and the
+// paper-vs-measured shape-check rows (ComparisonRow) that EXPERIMENTS.md
+// is generated from. cmd/reproduce composes these to print every table
+// and figure side by side with the paper's reported values, and
+// cmd/mtasts-campaign reuses the table renderer for campaign trend
+// output; keeping all rendering here keeps the experiment packages free
+// of formatting concerns.
+package report

@@ -1,7 +1,3 @@
-// Package report renders experiment outputs for the terminal: aligned
-// tables and ASCII line charts approximating the paper's figures, so
-// `cmd/reproduce` can print every table and figure side by side with the
-// paper's reported values.
 package report
 
 import (

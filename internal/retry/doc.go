@@ -1,0 +1,18 @@
+// Package retry is the shared retry/backoff helper of the scan pipeline.
+// Large-scale TLS and email measurement studies (Holz et al., Mayer et
+// al.) retry and re-probe failing endpoints so that transient network
+// conditions — lossy paths, SERVFAIL blips, slow or reset connections —
+// are not misclassified as persistent misconfigurations; this package
+// gives every client layer (resolver, policy fetcher, SMTP prober) the
+// same budgeted, context-aware, observably-instrumented retry loop.
+//
+// A retried operation must distinguish transient from persistent
+// failures: retrying NXDOMAIN or a certificate-verification failure
+// wastes probes and changes nothing, while retrying a timeout or a
+// connection reset separates a flaky path from a broken deployment.
+// That classification lives in the typed error taxonomy: by default
+// Policy.Do consults errtax.Transient, which reads the transient bit
+// carried by typed errors and falls back to the shared socket-level
+// heuristic (errtax.TransientNet) for untyped ones. Adopters no longer
+// carry their own classifier funcs.
+package retry

@@ -1,0 +1,121 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestMemDiskEquivalence drives Mem and Disk through the same random
+// operation sequence and asserts every observable — Get results, full
+// and prefixed Scans — agrees at each checkpoint, including across a
+// Close/reopen of the disk backend. This is the property that lets the
+// campaign layer treat the two backends as interchangeable.
+func TestMemDiskEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			mem := NewMem()
+			disk, err := OpenDisk(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			disk.SegmentBytes = 1 << 10 // exercise rotation constantly
+
+			key := func() string {
+				return fmt.Sprintf("%c/%03d", 'a'+rng.Intn(3), rng.Intn(60))
+			}
+			value := func() []byte {
+				return []byte(strings.Repeat(string(rune('A'+rng.Intn(26))), rng.Intn(40)))
+			}
+
+			const ops = 600
+			for i := 0; i < ops; i++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4: // Put
+					k, v := key(), value()
+					if err := mem.Put(k, v); err != nil {
+						t.Fatal(err)
+					}
+					if err := disk.Put(k, v); err != nil {
+						t.Fatal(err)
+					}
+				case 5, 6: // Batch
+					n := rng.Intn(8)
+					batch := make([]Entry, n)
+					for j := range batch {
+						batch[j] = Entry{Key: key(), Value: value()}
+					}
+					if err := mem.Batch(batch); err != nil {
+						t.Fatal(err)
+					}
+					if err := disk.Batch(batch); err != nil {
+						t.Fatal(err)
+					}
+				case 7: // Get
+					k := key()
+					mv, mok, merr := mem.Get(k)
+					dv, dok, derr := disk.Get(k)
+					if merr != nil || derr != nil || mok != dok || string(mv) != string(dv) {
+						t.Fatalf("op %d: Get(%q) diverged: mem=(%q,%v,%v) disk=(%q,%v,%v)",
+							i, k, mv, mok, merr, dv, dok, derr)
+					}
+				case 8: // reopen disk mid-sequence
+					if err := disk.Close(); err != nil {
+						t.Fatal(err)
+					}
+					disk, err = OpenDisk(dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					disk.SegmentBytes = 1 << 10
+				case 9: // compare a prefixed scan
+					p := string(rune('a' + rng.Intn(3)))
+					compareScans(t, mem, disk, p)
+				}
+			}
+			compareScans(t, mem, disk, "")
+			compareScans(t, mem, disk, "a/")
+			compareScans(t, mem, disk, "b/0")
+
+			// One final reopen: durability of the whole history.
+			if err := disk.Close(); err != nil {
+				t.Fatal(err)
+			}
+			disk, err = OpenDisk(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer disk.Close()
+			compareScans(t, mem, disk, "")
+		})
+	}
+}
+
+// compareScans asserts both backends yield the same ordered (key,
+// value) stream for a prefix.
+func compareScans(t *testing.T, a, b Store, prefix string) {
+	t.Helper()
+	dump := func(s Store) []string {
+		var out []string
+		if err := s.Scan(prefix, func(k string, v []byte) error {
+			out = append(out, k+"\x00"+string(v))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	av, bv := dump(a), dump(b)
+	if len(av) != len(bv) {
+		t.Fatalf("Scan(%q): %d vs %d items", prefix, len(av), len(bv))
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("Scan(%q) item %d diverged:\n  mem:  %q\n  disk: %q", prefix, i, av[i], bv[i])
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package store
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mem is the in-memory backend: a map under a mutex. It exists so
+// tests, experiments and one-shot campaign runs can use the campaign
+// engine without touching disk; Sync and Close are no-ops.
+type Mem struct {
+	mu   sync.RWMutex
+	m    map[string][]byte
+	size int64
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{m: make(map[string][]byte)}
+}
+
+// Get implements Store.
+func (s *Mem) Get(key string) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// Put implements Store.
+func (s *Mem) Put(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.put(key, value)
+	return nil
+}
+
+// Batch implements Store.
+func (s *Mem) Batch(entries []Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		s.put(e.Key, e.Value)
+	}
+	return nil
+}
+
+// put replaces one pair; the caller holds the write lock.
+func (s *Mem) put(key string, value []byte) {
+	if old, ok := s.m[key]; ok {
+		s.size -= int64(len(key) + len(old))
+	}
+	s.m[key] = append([]byte(nil), value...)
+	s.size += int64(len(key) + len(value))
+}
+
+// Scan implements Store: ascending key order over a snapshot of the
+// matching keys, so fn observes a consistent view.
+func (s *Mem) Scan(prefix string, fn func(key string, value []byte) error) error {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	values := make([][]byte, len(keys))
+	for i, k := range keys {
+		values[i] = s.m[k]
+	}
+	s.mu.RUnlock()
+	for i, k := range keys {
+		if err := fn(k, values[i]); err != nil {
+			if err == ErrStop {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync implements Store (memory is always "durable").
+func (s *Mem) Sync() error { return nil }
+
+// Close implements Store.
+func (s *Mem) Close() error { return nil }
+
+// SizeBytes implements Sizer: the sum of live key and value lengths.
+func (s *Mem) SizeBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}

@@ -1,12 +1,12 @@
 # Standard entry points; CI runs `make check`, `make smoke-faults`,
-# `make smoke-campaign`, and `make fuzz`.
+# `make smoke-campaign`, `make smoke-send`, and `make fuzz`.
 GO ?= go
 
 # Per-target budget for the CI fuzz smoke (`make fuzz`); raise it
 # locally for real exploration, e.g. `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint lint-baseline check docs reproduce smoke-faults smoke-campaign fuzz bench
+.PHONY: build test race vet lint lint-baseline check docs reproduce smoke-faults smoke-campaign smoke-send fuzz bench
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,13 @@ smoke-campaign:
 	cmp /tmp/mtasts-campaign-smoke-store.jsonl /tmp/mtasts-campaign-smoke-ref.jsonl
 	@echo "smoke-campaign: crash-resume snapshot byte-identical"
 
+# Sender crash-restart drill over the durable policy cache: a cold
+# mtasts-send process fetches and delivers, the policy host is killed,
+# and a second process must deliver warm — enforcing the on-disk policy
+# with zero policy fetches (docs/SENDER.md). Builds the real binary.
+smoke-send:
+	$(GO) test ./cmd/mtasts-send -run '^TestSmokeSend$$' -count 1 -sendsmoke -v
+
 # Coverage-guided fuzzing smoke over the wire-format parsers (`go test
 # -fuzz` accepts one target per invocation). The committed seed corpora
 # under */testdata/fuzz/ also run as part of the plain test suite.
@@ -84,7 +91,10 @@ fuzz:
 
 # Scheduler benchmarks (flat pool vs staged pipeline) plus the
 # BENCH_scan.json comparison the tentpole's >=2x acceptance bar reads
-# (docs/PIPELINE.md).
+# (docs/PIPELINE.md), and the sender policy-cache delivery benchmarks
+# emitting BENCH_cache.json (docs/SENDER.md).
 bench:
 	$(GO) test ./internal/scanner -run '^$$' -bench 'BenchmarkRunner(Flat|Pipelined)' -benchtime 1x -count 1
 	$(GO) test ./internal/scanner -run '^TestBenchScanJSON$$' -count 1 -benchscan-out $(CURDIR)/BENCH_scan.json
+	$(GO) test ./internal/policycache -run '^$$' -bench 'BenchmarkPolicyCacheDeliveries' -benchmem -count 1
+	$(GO) test ./internal/policycache -run '^TestBenchCacheJSON$$' -count 1 -benchcache-out $(CURDIR)/BENCH_cache.json

@@ -2,11 +2,12 @@
 // flag definitions out of each command's main.go with go/parser and
 // cross-checks them against README.md and docs/*.md. Three contracts
 // are enforced: every flag of the documented commands (mtasts-scan,
-// reproduce, mtasts-campaign) appears somewhere in the docs; every
-// backticked `-flag` token in the docs names a flag that still exists
-// (no stale references); and the per-subcommand flag tables in
-// docs/CAMPAIGN.md match cmd/mtasts-campaign exactly, both ways. The
-// package is test-only on purpose — it ships no code, only the gate.
+// reproduce, mtasts-campaign, mtasts-send) appears somewhere in the
+// docs; every backticked `-flag` token in the docs names a flag that
+// still exists (no stale references); and the flag tables in
+// docs/CAMPAIGN.md and docs/SENDER.md match their commands exactly,
+// both ways. The package is test-only on purpose — it ships no code,
+// only the gate.
 package docscheck
 
 import (
@@ -170,7 +171,7 @@ func TestDocumentedCommandFlagsCovered(t *testing.T) {
 		all.WriteByte('\n')
 	}
 	text := all.String()
-	for _, cmd := range []string{"mtasts-scan", "reproduce", "mtasts-campaign"} {
+	for _, cmd := range []string{"mtasts-scan", "reproduce", "mtasts-campaign", "mtasts-send"} {
 		for sub, set := range commandFlags(t, cmd) {
 			for name := range set {
 				re := regexp.MustCompile(`(^|[^\w-])-` + regexp.QuoteMeta(name) + `([^\w-]|$)`)
@@ -260,5 +261,40 @@ func TestCampaignRunbookTablesExact(t *testing.T) {
 	sort.Strings(missing)
 	for _, sub := range missing {
 		t.Errorf("CAMPAIGN.md: documents subcommand %q, which mtasts-campaign does not define", sub)
+	}
+}
+
+// TestSenderRunbookTableExact pins the flag table in docs/SENDER.md to
+// cmd/mtasts-send exactly: every flag the command defines has a table
+// row, every table row names a defined flag. mtasts-send registers on
+// the global flag set, so its flags live under the "" subcommand key.
+func TestSenderRunbookTableExact(t *testing.T) {
+	defined := commandFlags(t, "mtasts-send")[""]
+	if len(defined) == 0 {
+		t.Fatal("mtasts-send: no global flags parsed (format drift?)")
+	}
+	b, err := os.ReadFile(filepath.Join(root, "docs", "SENDER.md"))
+	if err != nil {
+		t.Fatalf("read SENDER.md: %v", err)
+	}
+	rowRe := regexp.MustCompile("^\\| `-([a-z][a-z0-9-]*)` \\|")
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(b), "\n") {
+		if m := rowRe.FindStringSubmatch(line); m != nil {
+			documented[m[1]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("SENDER.md: no flag table found (format drift?)")
+	}
+	for name := range defined {
+		if !documented[name] {
+			t.Errorf("mtasts-send: flag -%s has no table row in SENDER.md", name)
+		}
+	}
+	for name := range documented {
+		if !defined[name] {
+			t.Errorf("SENDER.md: table documents -%s, which mtasts-send does not define", name)
+		}
 	}
 }

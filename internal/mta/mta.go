@@ -23,6 +23,7 @@ import (
 	"github.com/netsecurelab/mtasts/internal/dnsmsg"
 	"github.com/netsecurelab/mtasts/internal/dnssec"
 	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/resolver"
 	"github.com/netsecurelab/mtasts/internal/smtpclient"
 	"github.com/netsecurelab/mtasts/internal/tlsrpt"
@@ -107,6 +108,8 @@ type Outbound struct {
 	Timeout time.Duration
 	// Report, when non-nil, accumulates RFC 8460 TLSRPT entries.
 	Report *tlsrpt.Report
+	// Obs receives mta.* metrics; nil disables them.
+	Obs *obs.Registry
 }
 
 // Send delivers one message to a single recipient domain, trying MX
@@ -332,18 +335,26 @@ func domainOf(addr string) (string, error) {
 // RefreshPolicies proactively revalidates cached MTA-STS policies that
 // expire within the window, so send-time evaluations stay cache-hot
 // (RFC 8461 §3.3: senders "SHOULD fetch the policy file at regular
-// intervals"). It returns the number of domains refreshed.
+// intervals"). Revalidation is in place: the cached entry is replaced
+// only by a successful fetch, never evicted first, so a refresh failure
+// (counted in mta.refresh.failures) leaves the old policy protecting
+// deliveries instead of reopening the TLS-fallback downgrade window.
+// It returns the number of domains refreshed.
 func (o *Outbound) RefreshPolicies(ctx context.Context, window time.Duration) int {
 	if o.Validator == nil || o.Validator.Cache == nil {
 		return 0
 	}
+	rs, ok := o.Validator.Cache.(mtasts.RefreshableStore)
+	if !ok {
+		return 0
+	}
 	n := 0
-	for _, domain := range o.Validator.Cache.ExpiringWithin(window) {
-		// Re-run discovery + fetch; the validator stores the fresh policy.
-		o.Validator.Cache.Invalidate(domain)
-		if _, err := o.Validator.Validate(ctx, domain, "refresh.invalid"); err == nil {
-			n++
+	for _, domain := range rs.ExpiringWithin(window) {
+		if err := o.Validator.Refresh(ctx, domain); err != nil {
+			o.Obs.Counter("mta.refresh.failures").Inc()
+			continue
 		}
+		n++
 	}
 	return n
 }

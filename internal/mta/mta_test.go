@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net/netip"
+	"sync"
 	"testing"
 	"time"
 
@@ -12,12 +13,16 @@ import (
 	"github.com/netsecurelab/mtasts/internal/dnssec"
 	"github.com/netsecurelab/mtasts/internal/dnsserver"
 	"github.com/netsecurelab/mtasts/internal/dnszone"
+	"github.com/netsecurelab/mtasts/internal/faults"
 	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/policycache"
 	"github.com/netsecurelab/mtasts/internal/policysrv"
 	"github.com/netsecurelab/mtasts/internal/resolver"
 	"github.com/netsecurelab/mtasts/internal/scanner"
 	"github.com/netsecurelab/mtasts/internal/smtpd"
+	"github.com/netsecurelab/mtasts/internal/store"
 	"github.com/netsecurelab/mtasts/internal/tlsrpt"
 )
 
@@ -312,8 +317,9 @@ func TestRefreshPolicies(t *testing.T) {
 	l.addDomain("iota.test", []string{"mx.iota.test"}, pol)
 
 	o := l.outbound(false)
+	pc := o.Validator.Cache.(*mtasts.PolicyCache)
 	now := time.Now()
-	o.Validator.Cache.Now = func() time.Time { return now }
+	pc.Now = func() time.Time { return now }
 	if _, err := o.Send(context.Background(), "a@s.lab", []string{"b@iota.test"}, []byte("x\n")); err != nil {
 		t.Fatal(err)
 	}
@@ -329,6 +335,113 @@ func TestRefreshPolicies(t *testing.T) {
 	// The refreshed entry is fresh again (expires ~1h from the new now).
 	if _, ok := o.Validator.Cache.Get("iota.test"); !ok {
 		t.Error("policy missing after refresh")
+	}
+}
+
+// A failed refetch must never evict the still-valid policy it was trying
+// to revalidate — the eviction-before-revalidation bug reopened the
+// TLS-fallback downgrade window on every refresh hiccup.
+func TestRefreshFailurePreservesPolicy(t *testing.T) {
+	l := newLab(t)
+	l.addMX("mx.kappa.test", false)
+	pol := enforce("mx.kappa.test")
+	pol.MaxAge = 3600
+	l.addDomain("kappa.test", []string{"mx.kappa.test"}, pol)
+
+	o := l.outbound(false)
+	o.Obs = obs.NewRegistry()
+	pc := o.Validator.Cache.(*mtasts.PolicyCache)
+	now := time.Now()
+	pc.Now = func() time.Time { return now }
+	if _, err := o.Send(context.Background(), "a@s.lab", []string{"b@kappa.test"}, []byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	cached, ok := pc.Get("kappa.test")
+	if !ok {
+		t.Fatal("policy not cached after delivery")
+	}
+
+	// Policy host dies; the entry drifts into the refresh window. The
+	// refetch fails, and the cached policy must survive untouched.
+	if err := l.pol.Close(); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(55 * time.Minute)
+	if n := o.RefreshPolicies(context.Background(), 10*time.Minute); n != 0 {
+		t.Errorf("refreshed %d, want 0", n)
+	}
+	if v := o.Obs.Counter("mta.refresh.failures").Value(); v == 0 {
+		t.Error("mta.refresh.failures not counted")
+	}
+	after, ok := pc.Get("kappa.test")
+	if !ok {
+		t.Fatal("failed refetch evicted a still-fresh policy")
+	}
+	if !after.Expires.Equal(cached.Expires) {
+		t.Error("entry replaced without a successful fetch")
+	}
+}
+
+// The acceptance drill: with a cached enforce policy and the policy host
+// down, deliveries past max_age keep enforcing the stale policy (served
+// from the durable cache, counters incrementing) instead of downgrading
+// to unvalidated TLS.
+func TestStaleServeNoDowngradeDrill(t *testing.T) {
+	l := newLab(t)
+	l.addMX("mx.lambda.test", false)
+	pol := enforce("mx.lambda.test")
+	pol.MaxAge = 3600
+	l.addDomain("lambda.test", []string{"mx.lambda.test"}, pol)
+
+	o := l.outbound(false)
+	now := time.Now()
+	cache, err := policycache.Open(store.NewMem(), policycache.Options{
+		Now: func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := cache.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	o.Validator.Cache = cache
+
+	// Cold delivery populates the cache.
+	out, err := o.Send(context.Background(), "a@s.lab", []string{"b@lambda.test"}, []byte("x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Delivered || out.Mechanism != MechanismMTASTS {
+		t.Fatalf("cold delivery = %+v", out)
+	}
+
+	// Policy host dies and the policy expires. Delivery must keep
+	// enforcing the stale policy from cache.
+	if err := l.pol.Close(); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Hour) // past max_age, inside the stale window
+	out, err = o.Send(context.Background(), "a@s.lab", []string{"b@lambda.test"}, []byte("y\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Delivered || out.Mechanism != MechanismMTASTS || !out.CertVerified {
+		t.Fatalf("stale delivery downgraded: %+v", out)
+	}
+	if !out.Evaluation.PolicyStale {
+		t.Error("evaluation did not mark the policy stale")
+	}
+	s := cache.Stats()
+	if s.StaleServed == 0 {
+		t.Error("stale_served did not increment")
+	}
+	if s.RefreshFailures == 0 {
+		t.Error("refresh_failures did not increment")
+	}
+	if len(l.inboxes["mx.lambda.test"].Messages()) != 2 {
+		t.Error("second message not delivered")
 	}
 }
 
@@ -407,5 +520,52 @@ func TestSendDANESkippedWhenChainInvalid(t *testing.T) {
 	}
 	if out.Mechanism == MechanismDANE {
 		t.Errorf("DANE applied without a validated chain: %+v", out)
+	}
+}
+
+// Concurrent deliveries to one cold domain must collapse to a single
+// policy fetch (stampede protection). The identity misses - collapsed ==
+// leader fetches holds regardless of interleaving; the injected policy-
+// host latency makes the deliveries actually overlap.
+func TestConcurrentDeliveriesCollapseToOneFetch(t *testing.T) {
+	l := newLab(t)
+	l.addMX("mx.mu.test", false)
+	l.addDomain("mu.test", []string{"mx.mu.test"}, enforce("mx.mu.test"))
+
+	o := l.outbound(false)
+	cache, err := policycache.Open(store.NewMem(), policycache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := cache.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	o.Validator.Cache = cache
+	l.pol.SetFaults(faults.NewInjector(faults.Plan{Seed: 1, LatencyRate: 1, Latency: 200 * time.Millisecond}))
+
+	const senders = 8
+	var wg sync.WaitGroup
+	errs := make([]error, senders)
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = o.Send(context.Background(), "a@s.lab", []string{"b@mu.test"}, []byte("x\n"))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	s := cache.Stats()
+	if leaders := s.Misses - s.Collapsed; leaders != 1 {
+		t.Errorf("policy fetched %d times for %d concurrent deliveries (stats %+v)", leaders, senders, s)
+	}
+	if got := len(l.inboxes["mx.mu.test"].Messages()); got != senders {
+		t.Errorf("inbox has %d messages, want %d", got, senders)
 	}
 }

@@ -18,6 +18,15 @@ type CachedPolicy struct {
 // Fresh reports whether the entry is still within its max_age at t.
 func (c CachedPolicy) Fresh(t time.Time) bool { return t.Before(c.Expires) }
 
+// DefaultStaleWindow bounds how long an expired entry is retained after
+// max_age elapses. Retention exists so the background refresher can still
+// find an entry that expired between its ticks, and so a sender can keep
+// enforcing an old policy when the refetch fails (RFC 8461 §5.1 warns
+// that losing the cached policy reopens the TLS-fallback downgrade
+// window). Expired entries are never served as fresh — only GetStale
+// returns them, and only inside this window.
+const DefaultStaleWindow = 24 * time.Hour
+
 // PolicyCache is the sender-side policy store of RFC 8461 §5: policies are
 // trusted on first use and served from cache until max_age elapses or the
 // record id changes. It is safe for concurrent use.
@@ -25,6 +34,11 @@ type PolicyCache struct {
 	mu      sync.Mutex
 	entries map[string]CachedPolicy // key: policy domain
 	max     int
+
+	// StaleWindow overrides DefaultStaleWindow when positive: how long an
+	// expired entry stays visible to GetStale and ExpiringWithin before it
+	// is dropped for good.
+	StaleWindow time.Duration
 
 	// Now is replaceable for tests; nil means time.Now.
 	Now func() time.Time
@@ -45,7 +59,16 @@ func (pc *PolicyCache) now() time.Time {
 	return time.Now()
 }
 
-// Get returns the cached policy for domain if present and fresh.
+func (pc *PolicyCache) staleWindow() time.Duration {
+	if pc.StaleWindow > 0 {
+		return pc.StaleWindow
+	}
+	return DefaultStaleWindow
+}
+
+// Get returns the cached policy for domain if present and fresh. An
+// expired entry is a miss, but it is retained for the stale window (see
+// GetStale) rather than evicted, so a failed refetch cannot destroy it.
 func (pc *PolicyCache) Get(domain string) (CachedPolicy, bool) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
@@ -53,7 +76,27 @@ func (pc *PolicyCache) Get(domain string) (CachedPolicy, bool) {
 	if !ok {
 		return CachedPolicy{}, false
 	}
-	if !e.Fresh(pc.now()) {
+	if now := pc.now(); !e.Fresh(now) {
+		if now.Sub(e.Expires) > pc.staleWindow() {
+			delete(pc.entries, domain)
+		}
+		return CachedPolicy{}, false
+	}
+	return e, true
+}
+
+// GetStale returns the cached policy for domain if present and not yet
+// expired beyond the stale window — the fallback a sender uses when a
+// refetch of an expired policy fails, so delivery keeps enforcing the old
+// policy instead of downgrading to unvalidated TLS.
+func (pc *PolicyCache) GetStale(domain string) (CachedPolicy, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e, ok := pc.entries[domain]
+	if !ok {
+		return CachedPolicy{}, false
+	}
+	if now := pc.now(); !e.Fresh(now) && now.Sub(e.Expires) > pc.staleWindow() {
 		delete(pc.entries, domain)
 		return CachedPolicy{}, false
 	}
@@ -126,15 +169,19 @@ func (pc *PolicyCache) Domains() []string {
 
 // ExpiringWithin returns the domains whose cached policies expire within
 // the window — the population a proactive refresher (RFC 8461 §3.3 "fetch
-// the policy file at regular intervals") should revalidate first.
+// the policy file at regular intervals") should revalidate first. The
+// deadline is inclusive, and entries that already expired are included
+// while they remain inside the stale window: an entry that lapsed between
+// refresher ticks must still be revalidated, not silently abandoned.
 func (pc *PolicyCache) ExpiringWithin(window time.Duration) []string {
 	now := pc.now()
 	deadline := now.Add(window)
+	oldest := now.Add(-pc.staleWindow())
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	var out []string
 	for d, e := range pc.entries {
-		if e.Expires.After(now) && e.Expires.Before(deadline) {
+		if !e.Expires.After(deadline) && !e.Expires.Before(oldest) {
 			out = append(out, d)
 		}
 	}

@@ -124,3 +124,67 @@ func TestCacheConcurrent(t *testing.T) {
 		<-done
 	}
 }
+
+func TestCacheGetStaleWindow(t *testing.T) {
+	now := time.Unix(1000, 0)
+	pc := NewPolicyCache(10)
+	pc.Now = func() time.Time { return now }
+	pc.StaleWindow = time.Hour
+	pc.Store("example.com", testPolicy(60), "id1")
+
+	// Expired but inside the stale window: Get misses, GetStale serves,
+	// and the entry is retained for a later successful refetch.
+	now = now.Add(10 * time.Minute)
+	if _, ok := pc.Get("example.com"); ok {
+		t.Error("expired entry served as fresh")
+	}
+	if e, ok := pc.GetStale("example.com"); !ok || e.RecordID != "id1" {
+		t.Error("expired entry not served stale inside the window")
+	}
+	if pc.Len() != 1 {
+		t.Error("expired entry evicted inside the stale window")
+	}
+
+	// Beyond the stale window: gone for good.
+	now = now.Add(2 * time.Hour)
+	if _, ok := pc.GetStale("example.com"); ok {
+		t.Error("entry served beyond the stale window")
+	}
+	if pc.Len() != 0 {
+		t.Error("beyond-window entry not pruned")
+	}
+}
+
+func TestCacheExpiringWithinBoundaries(t *testing.T) {
+	now := time.Unix(1000, 0)
+	pc := NewPolicyCache(10)
+	pc.Now = func() time.Time { return now }
+	pc.StaleWindow = time.Hour
+
+	pc.Store("exact.example", testPolicy(600), "id") // expires exactly at the deadline
+	pc.Store("later.example", testPolicy(601), "id") // expires just past it
+	pc.Store("lapsed.example", testPolicy(60), "id") // expires before the first tick
+	now = now.Add(2 * time.Minute)                   // lapsed.example now expired
+
+	got := map[string]bool{}
+	for _, d := range pc.ExpiringWithin(8 * time.Minute) {
+		got[d] = true
+	}
+	if !got["exact.example"] {
+		t.Error("deadline must be inclusive: an entry expiring exactly at now+window was skipped")
+	}
+	if got["later.example"] {
+		t.Error("entry past the window included")
+	}
+	if !got["lapsed.example"] {
+		t.Error("recently-expired entry skipped: it would never be refreshed and silently die")
+	}
+
+	// Beyond the stale window the lapsed entry stops being refreshable.
+	now = now.Add(90 * time.Minute)
+	for _, d := range pc.ExpiringWithin(8 * time.Minute) {
+		if d == "lapsed.example" {
+			t.Error("entry beyond the stale window still offered for refresh")
+		}
+	}
+}

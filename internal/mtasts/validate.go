@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/netsecurelab/mtasts/internal/pki"
 )
@@ -57,6 +58,44 @@ type MXVerifier interface {
 	VerifyMX(ctx context.Context, mxHost string) (pki.Problem, error)
 }
 
+// PolicyStore is the cache dependency of Validator: the sender-side TOFU
+// store of RFC 8461 §5. The in-process implementation is PolicyCache; the
+// durable, stampede-proof production implementation is
+// internal/policycache.Cache.
+type PolicyStore interface {
+	// Get returns the cached policy for domain if present and fresh.
+	Get(domain string) (CachedPolicy, bool)
+	// NeedsRefresh reports whether the cached policy (if any) must be
+	// refetched: missing, expired, or fetched under a different record id.
+	NeedsRefresh(domain, currentRecordID string) bool
+	// Store caches a freshly fetched policy under its record id.
+	Store(domain string, p Policy, recordID string)
+}
+
+// StaleStore is optionally implemented by policy stores that retain
+// expired entries for a bounded window. The validator's fallback paths use
+// it so a failed refetch keeps enforcing the old policy instead of
+// downgrading to unvalidated delivery.
+type StaleStore interface {
+	GetStale(domain string) (CachedPolicy, bool)
+}
+
+// RefreshableStore is optionally implemented by policy stores that can
+// enumerate entries due for proactive revalidation (the background
+// refresher's work list).
+type RefreshableStore interface {
+	ExpiringWithin(window time.Duration) []string
+}
+
+// FetchCoalescer is optionally implemented by policy stores that collapse
+// concurrent policy fetches for one domain into a single execution
+// (stampede protection): the first caller runs fetch, concurrent callers
+// block and share its result (shared=true). The leader's context governs
+// the network operation, so waiters can observe its cancellation error.
+type FetchCoalescer interface {
+	CoalesceFetch(domain string, fetch func() (Policy, error)) (p Policy, shared bool, err error)
+}
+
 // Validator is the sender-side MTA-STS engine: it discovers the record,
 // fetches (or reuses) the policy, matches the selected MX, verifies its
 // certificate, and renders the delivery decision — the complete flow of
@@ -64,7 +103,7 @@ type MXVerifier interface {
 type Validator struct {
 	Resolver TXTResolver
 	Fetcher  *Fetcher
-	Cache    *PolicyCache
+	Cache    PolicyStore
 	// Verify checks the MX certificate; nil skips certificate validation
 	// (the caller handles it during SMTP delivery).
 	Verify MXVerifier
@@ -87,6 +126,10 @@ type Evaluation struct {
 	PolicyFetched bool
 	// PolicyFromCache marks cache hits.
 	PolicyFromCache bool
+	// PolicyStale marks a cached policy served past its max_age because
+	// revalidation failed — the entry stays within the store's stale
+	// window and keeps enforcing until a successful refetch replaces it.
+	PolicyStale bool
 	// PolicyErr holds the fetch/parse failure, if any.
 	PolicyErr error
 	// Policy is the effective policy when PolicyFetched.
@@ -115,13 +158,15 @@ func (v *Validator) Validate(ctx context.Context, domain, mxHost string) (Evalua
 	txts, err := v.Resolver.ResolveTXT(ctx, "_mta-sts."+domain)
 	if err != nil && !v.Resolver.IsNotFound(err) {
 		// Transient DNS failure: RFC 8461 says continue with cache if
-		// present, else deliver (possibly unvalidated).
-		if cached, ok := v.cacheGet(domain); ok {
-			ev.PolicyFetched, ev.PolicyFromCache = true, true
+		// present, else deliver (possibly unvalidated). The error is
+		// recorded either way — a cache hit must not erase the failure
+		// from JSONL/report output.
+		ev.RecordErr = err
+		if cached, ok, stale := v.cacheGet(domain); ok {
+			ev.PolicyFetched, ev.PolicyFromCache, ev.PolicyStale = true, true, stale
 			ev.Policy = cached.Policy
 			return v.finish(ctx, ev)
 		}
-		ev.RecordErr = err
 		ev.Action = ActionDeliverUnvalidated
 		return ev, nil
 	}
@@ -131,7 +176,7 @@ func (v *Validator) Validate(ctx context.Context, domain, mxHost string) (Evalua
 		if errors.Is(recErr, ErrNoRecord) {
 			// MTA-STS not deployed; but a cached policy must still be honored
 			// until it expires (§5.1 — removal requires a proper wind-down).
-			if cached, ok := v.cacheGet(domain); ok {
+			if cached, ok := v.cacheFresh(domain); ok {
 				ev.PolicyFetched, ev.PolicyFromCache = true, true
 				ev.Policy = cached.Policy
 				return v.finish(ctx, ev)
@@ -140,7 +185,7 @@ func (v *Validator) Validate(ctx context.Context, domain, mxHost string) (Evalua
 		}
 		// A malformed record means MTA-STS is treated as not deployed, but
 		// cached policies again survive.
-		if cached, ok := v.cacheGet(domain); ok {
+		if cached, ok := v.cacheFresh(domain); ok {
 			ev.PolicyFetched, ev.PolicyFromCache = true, true
 			ev.Policy = cached.Policy
 			return v.finish(ctx, ev)
@@ -151,19 +196,20 @@ func (v *Validator) Validate(ctx context.Context, domain, mxHost string) (Evalua
 	ev.RecordFound = true
 	ev.Record = rec
 
-	// Step 2: policy from cache (same id) or network.
-	if v.Cache != nil && !v.Cache.NeedsRefresh(domain, rec.ID) {
-		cached, _ := v.Cache.Get(domain)
+	// Step 2: policy from cache (fresh, same id) or network.
+	if cached, ok := v.cacheFresh(domain); ok && cached.RecordID == rec.ID {
 		ev.PolicyFetched, ev.PolicyFromCache = true, true
 		ev.Policy = cached.Policy
 		return v.finish(ctx, ev)
 	}
-	policy, _, fetchErr := v.Fetcher.Fetch(ctx, domain)
+	policy, fetchErr := v.fetchAndStore(ctx, domain, rec.ID)
 	if fetchErr != nil {
 		ev.PolicyErr = fetchErr
-		// Fetch failure: fall back to a cached (possibly stale-id) policy.
-		if cached, ok := v.cacheGet(domain); ok {
-			ev.PolicyFetched, ev.PolicyFromCache = true, true
+		// Fetch failure: fall back to a cached policy — possibly stale-id,
+		// possibly expired within the stale window. The entry is never
+		// evicted on failure; only a successful fetch replaces it.
+		if cached, ok, stale := v.cacheGet(domain); ok {
+			ev.PolicyFetched, ev.PolicyFromCache, ev.PolicyStale = true, true, stale
 			ev.Policy = cached.Policy
 			return v.finish(ctx, ev)
 		}
@@ -174,17 +220,83 @@ func (v *Validator) Validate(ctx context.Context, domain, mxHost string) (Evalua
 	}
 	ev.PolicyFetched = true
 	ev.Policy = policy
-	if v.Cache != nil {
-		v.Cache.Store(domain, policy, rec.ID)
-	}
 	return v.finish(ctx, ev)
 }
 
-func (v *Validator) cacheGet(domain string) (CachedPolicy, bool) {
+// fetchAndStore retrieves the policy for domain and caches it under
+// recordID. When the store coalesces fetches, concurrent calls for one
+// domain collapse into a single network fetch (and a single Store); the
+// leader performs the write, waiters share the result.
+func (v *Validator) fetchAndStore(ctx context.Context, domain, recordID string) (Policy, error) {
+	fetch := func() (Policy, error) {
+		policy, _, err := v.Fetcher.Fetch(ctx, domain)
+		if err != nil {
+			return Policy{}, err
+		}
+		if v.Cache != nil {
+			v.Cache.Store(domain, policy, recordID)
+		}
+		return policy, nil
+	}
+	if fc, ok := v.Cache.(FetchCoalescer); ok {
+		policy, _, err := fc.CoalesceFetch(domain, fetch)
+		return policy, err
+	}
+	return fetch()
+}
+
+// Refresh revalidates the cached policy for domain in place: it re-runs
+// record discovery and the policy fetch, replacing the cached entry only
+// on success. Unlike an eviction-first refetch, any failure — transient
+// DNS, a withdrawn record, a dead policy host — leaves the old entry
+// serving deliveries until it expires (and through the store's stale
+// window after that), so a refresh hiccup can never reopen the
+// TLS-fallback downgrade window. This is what RFC 8461 §3.3's "fetch the
+// policy file at regular intervals" must mean for a sender that wants to
+// keep its §5 TOFU protection.
+func (v *Validator) Refresh(ctx context.Context, domain string) error {
+	txts, err := v.Resolver.ResolveTXT(ctx, "_mta-sts."+domain)
+	if err != nil {
+		return fmt.Errorf("mtasts: refresh %s: record discovery: %w", domain, err)
+	}
+	rec, err := DiscoverRecord(txts)
+	if err != nil {
+		// Includes ErrNoRecord: a withdrawn record does not clear sender
+		// caches (§5.1 — removal requires a proper wind-down).
+		return fmt.Errorf("mtasts: refresh %s: %w", domain, err)
+	}
+	if _, err := v.fetchAndStore(ctx, domain, rec.ID); err != nil {
+		return fmt.Errorf("mtasts: refresh %s: %w", domain, err)
+	}
+	return nil
+}
+
+// cacheFresh returns the fresh cached policy for domain, tolerating a nil
+// store.
+func (v *Validator) cacheFresh(domain string) (CachedPolicy, bool) {
 	if v.Cache == nil {
 		return CachedPolicy{}, false
 	}
 	return v.Cache.Get(domain)
+}
+
+// cacheGet returns a usable cached policy for the fallback paths: a fresh
+// entry when one exists, otherwise — when the store retains expired
+// entries — a stale one still inside its retention window. stale reports
+// which branch served.
+func (v *Validator) cacheGet(domain string) (cached CachedPolicy, ok, stale bool) {
+	if v.Cache == nil {
+		return CachedPolicy{}, false, false
+	}
+	if e, ok := v.Cache.Get(domain); ok {
+		return e, true, false
+	}
+	if ss, ok := v.Cache.(StaleStore); ok {
+		if e, ok := ss.GetStale(domain); ok {
+			return e, true, true
+		}
+	}
+	return CachedPolicy{}, false, false
 }
 
 // finish applies MX matching and certificate validation to an evaluation

@@ -296,3 +296,96 @@ func TestValidateNilVerifySkipsCertCheck(t *testing.T) {
 		t.Errorf("nil verify: ev=%+v err=%v", ev, err)
 	}
 }
+
+// The transient-DNS error must be recorded even when a cached policy
+// serves the evaluation — losing it from JSONL/report output hid real
+// resolver trouble behind healthy-looking cache hits.
+func TestValidateTransientDNSCacheHitRecordsErr(t *testing.T) {
+	v, res, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	ctx := context.Background()
+	if _, err := v.Validate(ctx, "example.com", "mx.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	servfail := errors.New("SERVFAIL")
+	res.errs = map[string]error{"_mta-sts.example.com": servfail}
+	ev, err := v.Validate(ctx, "example.com", "mx.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.PolicyFromCache {
+		t.Fatalf("expected cache hit: ev=%+v", ev)
+	}
+	if !errors.Is(ev.RecordErr, servfail) {
+		t.Errorf("RecordErr = %v, want the transient DNS failure recorded on the cache-hit path", ev.RecordErr)
+	}
+}
+
+// With a stale-retaining cache, a policy past max_age whose refetch
+// fails keeps enforcing (marked PolicyStale) instead of downgrading.
+func TestValidateStaleFallbackWhenFetchFails(t *testing.T) {
+	v, _, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	ctx := context.Background()
+	pc := v.Cache.(*PolicyCache)
+	now := time.Now()
+	pc.Now = func() time.Time { return now }
+	if _, err := v.Validate(ctx, "example.com", "mx.example.com"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expire the policy and break the fetch path.
+	now = now.Add(25 * time.Hour)
+	pc.StaleWindow = 48 * time.Hour
+	v.Fetcher.Resolver = AddrResolverFunc(func(ctx context.Context, host string) ([]string, error) {
+		return nil, errors.New("policy host down")
+	})
+
+	ev, err := v.Validate(ctx, "example.com", "rogue.example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.PolicyFromCache || !ev.PolicyStale || ev.Action != ActionRefuse {
+		t.Errorf("stale fallback: ev=%+v", ev)
+	}
+	if ev.PolicyErr == nil {
+		t.Error("fetch failure not recorded")
+	}
+}
+
+// Refresh revalidates in place: a failure leaves the cached entry
+// untouched; a success replaces it.
+func TestRefreshReplacesOnlyOnSuccess(t *testing.T) {
+	v, _, _ := newValidatorEnv(t, enforcePolicy, http.StatusOK)
+	ctx := context.Background()
+	if _, err := v.Validate(ctx, "example.com", "mx.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	pc := v.Cache.(*PolicyCache)
+	before, ok := pc.Get("example.com")
+	if !ok {
+		t.Fatal("policy not cached")
+	}
+
+	good := v.Fetcher.Resolver
+	v.Fetcher.Resolver = AddrResolverFunc(func(ctx context.Context, host string) ([]string, error) {
+		return nil, errors.New("policy host down")
+	})
+	if err := v.Refresh(ctx, "example.com"); err == nil {
+		t.Fatal("Refresh succeeded with the fetch path down")
+	}
+	after, ok := pc.Get("example.com")
+	if !ok {
+		t.Fatal("failed Refresh evicted the cached policy")
+	}
+	if !after.FetchedAt.Equal(before.FetchedAt) {
+		t.Error("failed Refresh replaced the entry")
+	}
+
+	v.Fetcher.Resolver = good
+	if err := v.Refresh(ctx, "example.com"); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	refreshed, ok := pc.Get("example.com")
+	if !ok || !refreshed.FetchedAt.After(before.FetchedAt) {
+		t.Errorf("successful Refresh did not replace the entry: %+v", refreshed)
+	}
+}

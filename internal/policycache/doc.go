@@ -1,0 +1,30 @@
+// Package policycache is the production sender-side MTA-STS policy
+// store: the TOFU cache of RFC 8461 §5 made durable, concurrent, and
+// stampede-proof.
+//
+// It layers three properties on top of the in-memory mtasts.PolicyCache
+// semantics:
+//
+//   - Durability. Entries persist through the internal/store ordered-KV
+//     interface (Mem for tests, the append-only Disk backend for real
+//     runs), so trust-on-first-use state survives MTA restarts — a
+//     restarted sender keeps enforcing without refetching, instead of
+//     reopening the TLS-fallback downgrade window the paper's §5–§6
+//     sender measurements show attackers exploit.
+//
+//   - Stampede protection. Fetch-on-miss routes through an internal/sf
+//     singleflight group, so N concurrent deliveries to one cold domain
+//     cause exactly one policy fetch; the rest share the leader's result
+//     (policycache.singleflight_collapsed counts the savings).
+//
+//   - Refresh-safe semantics. Revalidation happens in place: the old
+//     policy keeps serving until a successful fetch replaces it, and
+//     expired entries are retained for a bounded stale window so the
+//     background refresher can still find them and delivery can keep
+//     enforcing a known policy when the refetch fails (RFC 8461 §5.1).
+//
+// Cache implements the mtasts.PolicyStore, StaleStore, RefreshableStore,
+// and FetchCoalescer interfaces, so it drops into mtasts.Validator and
+// mta.Outbound unchanged. See docs/SENDER.md for the operational
+// runbook.
+package policycache

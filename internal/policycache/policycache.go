@@ -1,0 +1,400 @@
+package policycache
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/obs"
+	"github.com/netsecurelab/mtasts/internal/sf"
+	"github.com/netsecurelab/mtasts/internal/store"
+)
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultMax bounds the number of cached policy domains. Entries are
+	// ~hundreds of bytes, so the default costs a few tens of MiB at the
+	// scale of a large sender's active destination set.
+	DefaultMax = 65536
+)
+
+// keyPrefix namespaces policy entries inside the shared KV store, so a
+// cache can coexist with other state (campaign shards, checkpoints) in
+// one store directory.
+const keyPrefix = "policy/"
+
+// Options configures Open. The zero value is usable.
+type Options struct {
+	// Max bounds the number of cached domains; 0 means DefaultMax. When
+	// the store holds more at Open, the earliest-expiring entries are
+	// dropped first.
+	Max int
+	// StaleWindow bounds how long an expired entry remains servable via
+	// GetStale; 0 means mtasts.DefaultStaleWindow.
+	StaleWindow time.Duration
+	// Now replaces time.Now for tests.
+	Now func() time.Time
+	// Obs receives policycache.* metrics; nil disables them.
+	Obs *obs.Registry
+}
+
+// Stats is a snapshot of the cache's cumulative counters.
+type Stats struct {
+	// Hits counts Get calls answered with a fresh policy.
+	Hits int64
+	// Misses counts Get calls with no fresh policy (absent or expired).
+	Misses int64
+	// StaleServed counts GetStale calls answered with an expired policy
+	// inside the stale window — deliveries that kept enforcing an old
+	// policy because revalidation was failing.
+	StaleServed int64
+	// RefreshFailures counts failed fetches for domains that still had a
+	// cached (fresh or stale) entry — each one a revalidation that did
+	// NOT destroy the existing policy.
+	RefreshFailures int64
+	// Collapsed counts fetches avoided by singleflight: concurrent
+	// deliveries that shared another caller's in-flight fetch.
+	Collapsed int64
+	// PersistErrors counts store writes that failed; the in-memory state
+	// stays authoritative for the process lifetime when this is nonzero.
+	PersistErrors int64
+	// Entries is the current number of cached (possibly stale) domains.
+	Entries int
+}
+
+// fetchOutcome carries a leader's fetch result to singleflight waiters.
+// done distinguishes a real outcome from the zero value waiters receive
+// if the leader panics.
+type fetchOutcome struct {
+	policy mtasts.Policy
+	err    error
+	done   bool
+}
+
+// errFetchPanic is returned to waiters whose singleflight leader
+// panicked before producing an outcome.
+var errFetchPanic = errors.New("policycache: coalesced fetch aborted (leader panicked)")
+
+// persisted is the JSON form of one cache entry in the KV store.
+type persisted struct {
+	Policy    mtasts.Policy `json:"policy"`
+	RecordID  string        `json:"record_id"`
+	FetchedAt time.Time     `json:"fetched_at"`
+	Expires   time.Time     `json:"expires"`
+}
+
+// Cache is a durable, concurrent sender policy cache. It is safe for
+// concurrent use. Create it with Open.
+type Cache struct {
+	st          store.Store
+	max         int
+	staleWindow time.Duration
+	now         func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]mtasts.CachedPolicy
+
+	fetches sf.Group[fetchOutcome]
+
+	hits, misses, staleServed      atomic.Int64
+	refreshFailures, collapsed     atomic.Int64
+	persistErrors                  atomic.Int64
+	obsHits, obsMisses             *obs.Counter
+	obsStale, obsRefreshFail       *obs.Counter
+	obsCollapsed, obsPersistErrors *obs.Counter
+}
+
+// Compile-time proof that Cache satisfies every validator-side store
+// interface, so it drops into mtasts.Validator and mta.Outbound.
+var (
+	_ mtasts.PolicyStore      = (*Cache)(nil)
+	_ mtasts.StaleStore       = (*Cache)(nil)
+	_ mtasts.RefreshableStore = (*Cache)(nil)
+	_ mtasts.FetchCoalescer   = (*Cache)(nil)
+)
+
+// Open loads the cached policies persisted in st and returns a cache
+// backed by it. Tombstoned (invalidated) entries and entries expired
+// beyond the stale window are skipped; if more than Max remain, the
+// earliest-expiring are dropped until the bound holds.
+func Open(st store.Store, o Options) (*Cache, error) {
+	if o.Max <= 0 {
+		o.Max = DefaultMax
+	}
+	if o.StaleWindow <= 0 {
+		o.StaleWindow = mtasts.DefaultStaleWindow
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	c := &Cache{
+		st:          st,
+		max:         o.Max,
+		staleWindow: o.StaleWindow,
+		now:         o.Now,
+		entries:     make(map[string]mtasts.CachedPolicy),
+
+		obsHits:          o.Obs.Counter("policycache.hits"),
+		obsMisses:        o.Obs.Counter("policycache.misses"),
+		obsStale:         o.Obs.Counter("policycache.stale_served"),
+		obsRefreshFail:   o.Obs.Counter("policycache.refresh_failures"),
+		obsCollapsed:     o.Obs.Counter("policycache.singleflight_collapsed"),
+		obsPersistErrors: o.Obs.Counter("policycache.persist_errors"),
+	}
+	oldest := c.now().Add(-c.staleWindow)
+	err := st.Scan(keyPrefix, func(key string, value []byte) error {
+		if len(value) == 0 {
+			return nil // tombstone: entry was invalidated
+		}
+		var p persisted
+		if err := json.Unmarshal(value, &p); err != nil {
+			return fmt.Errorf("policycache: decoding %q: %w", key, err)
+		}
+		if p.Expires.Before(oldest) {
+			return nil // beyond the stale window: unusable, drop on load
+		}
+		c.entries[key[len(keyPrefix):]] = mtasts.CachedPolicy{
+			Policy:    p.Policy,
+			RecordID:  p.RecordID,
+			FetchedAt: p.FetchedAt,
+			Expires:   p.Expires,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("policycache: loading store: %w", err)
+	}
+	for len(c.entries) > c.max {
+		c.evictOldestLocked()
+	}
+	o.Obs.GaugeFunc("policycache.entries", func() int64 { return int64(c.Len()) })
+	return c, nil
+}
+
+// Close releases the underlying store. The cache is unusable afterwards.
+func (c *Cache) Close() error { return c.st.Close() }
+
+// Get returns the cached policy for domain if present and fresh. An
+// expired entry is a miss, but it is retained for the stale window (see
+// GetStale) so a failed refetch cannot destroy it.
+func (c *Cache) Get(domain string) (mtasts.CachedPolicy, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[domain]
+	if ok && e.Fresh(c.now()) {
+		c.hits.Add(1)
+		c.obsHits.Inc()
+		return e, true
+	}
+	if ok {
+		c.pruneLocked(domain, e)
+	}
+	c.misses.Add(1)
+	c.obsMisses.Inc()
+	return mtasts.CachedPolicy{}, false
+}
+
+// GetStale returns the cached policy for domain if present and not yet
+// expired beyond the stale window — the fallback that keeps delivery
+// enforcing an old policy when revalidation fails, instead of
+// downgrading to unvalidated TLS.
+func (c *Cache) GetStale(domain string) (mtasts.CachedPolicy, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[domain]
+	if !ok {
+		return mtasts.CachedPolicy{}, false
+	}
+	if e.Fresh(c.now()) {
+		return e, true
+	}
+	if c.pruneLocked(domain, e) {
+		return mtasts.CachedPolicy{}, false
+	}
+	c.staleServed.Add(1)
+	c.obsStale.Inc()
+	return e, true
+}
+
+// pruneLocked drops an expired entry once it passes the stale window.
+// Memory-only: the store is compacted on the next Open, which skips
+// entries this old. Reports whether the entry was dropped.
+func (c *Cache) pruneLocked(domain string, e mtasts.CachedPolicy) bool {
+	if c.now().Sub(e.Expires) > c.staleWindow {
+		delete(c.entries, domain)
+		return true
+	}
+	return false
+}
+
+// NeedsRefresh implements the record-id comparison of RFC 8461 §4.2: a
+// cached policy must be refetched when missing, expired, or fetched
+// under a different record id. It does not count toward hit/miss stats.
+func (c *Cache) NeedsRefresh(domain, currentRecordID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[domain]
+	if !ok || !e.Fresh(c.now()) {
+		return true
+	}
+	return e.RecordID != currentRecordID
+}
+
+// Store caches a freshly fetched policy under the record id it was
+// discovered with, persisting it durably. A zero or negative max_age is
+// not cached. A persist failure is counted (policycache.persist_errors)
+// but does not affect the in-memory entry.
+func (c *Cache) Store(domain string, p mtasts.Policy, recordID string) {
+	if p.MaxAge <= 0 {
+		return
+	}
+	now := c.now()
+	e := mtasts.CachedPolicy{
+		Policy:    p,
+		RecordID:  recordID,
+		FetchedAt: now,
+		Expires:   now.Add(time.Duration(p.MaxAge) * time.Second),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[domain]; !exists && len(c.entries) >= c.max {
+		c.evictOldestLocked()
+	}
+	c.entries[domain] = e
+	c.persistLocked(domain, persisted{
+		Policy:    p,
+		RecordID:  recordID,
+		FetchedAt: now,
+		Expires:   e.Expires,
+	})
+}
+
+// persistLocked writes one entry through the store and syncs it, so a
+// crash immediately after Store cannot lose the fetch.
+func (c *Cache) persistLocked(domain string, p persisted) {
+	buf, err := json.Marshal(p)
+	if err == nil {
+		if err = c.st.Put(keyPrefix+domain, buf); err == nil {
+			err = c.st.Sync()
+		}
+	}
+	if err != nil {
+		c.persistErrors.Add(1)
+		c.obsPersistErrors.Inc()
+	}
+}
+
+// evictOldestLocked removes the entry with the earliest expiry.
+// Memory-only: capacity is re-enforced at the next Open.
+func (c *Cache) evictOldestLocked() {
+	var oldestKey string
+	var oldest time.Time
+	first := true
+	for k, e := range c.entries {
+		if first || e.Expires.Before(oldest) {
+			oldestKey, oldest, first = k, e.Expires, false
+		}
+	}
+	if oldestKey != "" {
+		delete(c.entries, oldestKey)
+	}
+}
+
+// Invalidate drops the entry for domain, durably: a tombstone (empty
+// value) is written so the entry does not resurrect at the next Open.
+func (c *Cache) Invalidate(domain string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[domain]; !ok {
+		return
+	}
+	delete(c.entries, domain)
+	if err := c.st.Put(keyPrefix+domain, nil); err != nil {
+		c.persistErrors.Add(1)
+		c.obsPersistErrors.Inc()
+	}
+}
+
+// CoalesceFetch runs fetch once per domain among concurrent callers
+// (shared=true for callers that joined another's fetch). A failed fetch
+// for a domain that still has a cached entry counts as a refresh
+// failure — the signature of revalidate-in-place doing its job.
+func (c *Cache) CoalesceFetch(domain string, fetch func() (mtasts.Policy, error)) (mtasts.Policy, bool, error) {
+	out, shared := c.fetches.Do(domain, func() fetchOutcome {
+		p, err := fetch()
+		return fetchOutcome{policy: p, err: err, done: true}
+	})
+	if shared {
+		c.collapsed.Add(1)
+		c.obsCollapsed.Inc()
+	}
+	if !out.done {
+		out.err = errFetchPanic
+	}
+	if out.err != nil && !shared {
+		c.mu.Lock()
+		_, held := c.entries[domain]
+		c.mu.Unlock()
+		if held {
+			c.refreshFailures.Add(1)
+			c.obsRefreshFail.Inc()
+		}
+	}
+	return out.policy, shared, out.err
+}
+
+// ExpiringWithin returns the domains whose cached policies expire within
+// the window — the proactive refresher's work list (RFC 8461 §3.3). The
+// deadline is inclusive, and already-expired entries are included while
+// they remain inside the stale window: an entry that lapsed between
+// refresher ticks must still be revalidated, not silently abandoned.
+func (c *Cache) ExpiringWithin(window time.Duration) []string {
+	now := c.now()
+	deadline := now.Add(window)
+	oldest := now.Add(-c.staleWindow)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for d, e := range c.entries {
+		if !e.Expires.After(deadline) && !e.Expires.Before(oldest) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Domains returns the policy domains currently cached (order
+// unspecified).
+func (c *Cache) Domains() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.entries))
+	for d := range c.entries {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Len returns the number of cached (possibly stale) entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		StaleServed:     c.staleServed.Load(),
+		RefreshFailures: c.refreshFailures.Load(),
+		Collapsed:       c.collapsed.Load(),
+		PersistErrors:   c.persistErrors.Load(),
+		Entries:         c.Len(),
+	}
+}

@@ -1,0 +1,363 @@
+package policycache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/store"
+)
+
+func testPolicy(mx string, maxAge int64) mtasts.Policy {
+	return mtasts.Policy{Version: mtasts.Version, Mode: mtasts.ModeEnforce,
+		MaxAge: maxAge, MXPatterns: []string{mx}}
+}
+
+// clock is a settable test clock shared with a cache via Options.Now.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *clock { return &clock{t: time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)} }
+
+func (c *clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func mustOpen(t *testing.T, st store.Store, o Options) *Cache {
+	t.Helper()
+	c, err := Open(st, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestStoreGetStats(t *testing.T) {
+	clk := newClock()
+	c := mustOpen(t, store.NewMem(), Options{Now: clk.Now})
+	if _, ok := c.Get("a.test"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Store("a.test", testPolicy("mx.a.test", 3600), "id1")
+	e, ok := c.Get("a.test")
+	if !ok || e.RecordID != "id1" || e.Policy.Mode != mtasts.ModeEnforce {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestStoreZeroMaxAgeNotCached(t *testing.T) {
+	c := mustOpen(t, store.NewMem(), Options{})
+	c.Store("a.test", testPolicy("mx.a.test", 0), "id1")
+	if c.Len() != 0 {
+		t.Error("zero max_age was cached")
+	}
+}
+
+// TestRestartRecovery is the crash-restart proof: TOFU state persisted
+// through the disk store must survive a process restart, including
+// tombstones for invalidated domains.
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	clk := newClock()
+
+	st, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustOpen(t, st, Options{Now: clk.Now})
+	c.Store("keep.test", testPolicy("mx.keep.test", 86400), "id-keep")
+	c.Store("drop.test", testPolicy("mx.drop.test", 86400), "id-drop")
+	c.Invalidate("drop.test")
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": reopen from the same directory.
+	st2, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustOpen(t, st2, Options{Now: clk.Now})
+	defer func() {
+		if err := c2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	e, ok := c2.Get("keep.test")
+	if !ok || e.RecordID != "id-keep" {
+		t.Fatalf("entry lost across restart: %+v, %v", e, ok)
+	}
+	if !e.Fresh(clk.Now()) {
+		t.Error("recovered entry not fresh")
+	}
+	if _, ok := c2.Get("drop.test"); ok {
+		t.Error("invalidated entry resurrected across restart")
+	}
+	if c2.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c2.Len())
+	}
+}
+
+func TestRestartSkipsEntriesBeyondStaleWindow(t *testing.T) {
+	dir := t.TempDir()
+	clk := newClock()
+	st, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustOpen(t, st, Options{Now: clk.Now})
+	c.Store("old.test", testPolicy("mx.old.test", 60), "id")
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	clk.Advance(48 * time.Hour) // far past max_age + stale window
+	st2, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustOpen(t, st2, Options{Now: clk.Now})
+	defer func() {
+		if err := c2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if c2.Len() != 0 {
+		t.Errorf("entry beyond stale window loaded: Len = %d", c2.Len())
+	}
+}
+
+func TestNeedsRefreshRecordIDChange(t *testing.T) {
+	clk := newClock()
+	c := mustOpen(t, store.NewMem(), Options{Now: clk.Now})
+	c.Store("a.test", testPolicy("mx.a.test", 3600), "id1")
+	if c.NeedsRefresh("a.test", "id1") {
+		t.Error("fresh same-id entry reported needing refresh")
+	}
+	if !c.NeedsRefresh("a.test", "id2") {
+		t.Error("record-id change must force a refetch (RFC 8461 §4.2)")
+	}
+	clk.Advance(2 * time.Hour)
+	if !c.NeedsRefresh("a.test", "id1") {
+		t.Error("expired entry reported fresh")
+	}
+}
+
+func TestStaleWindowSemantics(t *testing.T) {
+	clk := newClock()
+	c := mustOpen(t, store.NewMem(), Options{Now: clk.Now, StaleWindow: time.Hour})
+	c.Store("a.test", testPolicy("mx.a.test", 60), "id1")
+
+	clk.Advance(10 * time.Minute) // expired, inside the stale window
+	if _, ok := c.Get("a.test"); ok {
+		t.Error("expired entry served as fresh")
+	}
+	if e, ok := c.GetStale("a.test"); !ok || e.RecordID != "id1" {
+		t.Error("expired entry not served stale inside the window")
+	}
+	if c.Stats().StaleServed != 1 {
+		t.Errorf("StaleServed = %d, want 1", c.Stats().StaleServed)
+	}
+
+	clk.Advance(2 * time.Hour) // beyond the stale window
+	if _, ok := c.GetStale("a.test"); ok {
+		t.Error("entry served beyond the stale window")
+	}
+	if c.Len() != 0 {
+		t.Error("beyond-window entry not pruned")
+	}
+}
+
+func TestExpiringWithinIncludesRecentlyExpired(t *testing.T) {
+	clk := newClock()
+	c := mustOpen(t, store.NewMem(), Options{Now: clk.Now, StaleWindow: time.Hour})
+	c.Store("soon.test", testPolicy("mx.s.test", 600), "id")   // expires in 10m
+	c.Store("later.test", testPolicy("mx.l.test", 7200), "id") // expires in 2h
+	c.Store("lapsed.test", testPolicy("mx.x.test", 60), "id")  // expires in 1m
+	c.Store("ancient.test", testPolicy("mx.a.test", 30), "id") // expires in 30s
+
+	clk.Advance(5 * time.Minute) // lapsed + ancient now expired
+
+	got := map[string]bool{}
+	for _, d := range c.ExpiringWithin(10 * time.Minute) {
+		got[d] = true
+	}
+	if !got["soon.test"] {
+		t.Error("soon.test missing: deadline must be inclusive of the window")
+	}
+	if !got["lapsed.test"] || !got["ancient.test"] {
+		t.Error("recently-expired entries missing: the refresher would abandon them")
+	}
+	if got["later.test"] {
+		t.Error("later.test included beyond the window")
+	}
+
+	// Push ancient.test beyond the stale window: no longer refreshable.
+	clk.Advance(90 * time.Minute)
+	for _, d := range c.ExpiringWithin(10 * time.Minute) {
+		if d == "ancient.test" {
+			t.Error("entry beyond the stale window still offered for refresh")
+		}
+	}
+}
+
+// TestCoalesceFetchCollapses proves stampede protection deterministically:
+// a leader blocks inside fetch while N waiters join, and fetch runs once.
+func TestCoalesceFetchCollapses(t *testing.T) {
+	c := mustOpen(t, store.NewMem(), Options{})
+	const waiters = 7
+
+	var execs atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderFetch := func() (mtasts.Policy, error) {
+		execs.Add(1)
+		close(started)
+		<-release
+		return testPolicy("mx.a.test", 3600), nil
+	}
+	waiterFetch := func() (mtasts.Policy, error) {
+		execs.Add(1)
+		return mtasts.Policy{}, errors.New("waiter ran its own fetch")
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, shared, err := c.CoalesceFetch("a.test", leaderFetch); shared || err != nil {
+			t.Errorf("leader: shared=%v err=%v", shared, err)
+		}
+	}()
+	<-started // leader is in flight; everyone below must join it
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, shared, err := c.CoalesceFetch("a.test", waiterFetch)
+			if !shared || err != nil || p.Mode != mtasts.ModeEnforce {
+				t.Errorf("waiter: shared=%v err=%v p=%+v", shared, err, p)
+			}
+		}()
+	}
+	// Give the waiters a moment to enqueue on the in-flight call, then
+	// release the leader. Joining is guaranteed by Group semantics once
+	// Do observes the in-flight entry; the sleep only widens the window.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Errorf("fetch executed %d times, want 1", n)
+	}
+	if got := c.Stats().Collapsed; got != waiters {
+		t.Errorf("Collapsed = %d, want %d", got, waiters)
+	}
+}
+
+func TestCoalesceFetchFailureCountsRefreshFailure(t *testing.T) {
+	clk := newClock()
+	c := mustOpen(t, store.NewMem(), Options{Now: clk.Now})
+	c.Store("a.test", testPolicy("mx.a.test", 3600), "id1")
+
+	boom := errors.New("policy host down")
+	_, _, err := c.CoalesceFetch("a.test", func() (mtasts.Policy, error) {
+		return mtasts.Policy{}, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Stats().RefreshFailures != 1 {
+		t.Errorf("RefreshFailures = %d, want 1", c.Stats().RefreshFailures)
+	}
+	if _, ok := c.Get("a.test"); !ok {
+		t.Error("failed fetch destroyed the cached entry")
+	}
+
+	// A failed fetch for a domain with no entry is a cold-miss failure,
+	// not a refresh failure.
+	_, _, err = c.CoalesceFetch("cold.test", func() (mtasts.Policy, error) {
+		return mtasts.Policy{}, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Stats().RefreshFailures != 1 {
+		t.Errorf("cold-miss failure counted as refresh failure: %+v", c.Stats())
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	clk := newClock()
+	c := mustOpen(t, store.NewMem(), Options{Now: clk.Now, Max: 2})
+	c.Store("short.test", testPolicy("mx.s.test", 60), "id")
+	c.Store("long.test", testPolicy("mx.l.test", 86400), "id")
+	c.Store("new.test", testPolicy("mx.n.test", 3600), "id")
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get("short.test"); ok {
+		t.Error("earliest-expiring entry not evicted first")
+	}
+	if _, ok := c.Get("long.test"); !ok {
+		t.Error("longest-lived entry evicted")
+	}
+}
+
+func TestOpenEnforcesMax(t *testing.T) {
+	dir := t.TempDir()
+	clk := newClock()
+	st, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustOpen(t, st, Options{Now: clk.Now})
+	c.Store("a.test", testPolicy("mx.a.test", 60), "id")
+	c.Store("b.test", testPolicy("mx.b.test", 3600), "id")
+	c.Store("c.test", testPolicy("mx.c.test", 86400), "id")
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustOpen(t, st2, Options{Now: clk.Now, Max: 1})
+	defer func() {
+		if err := c2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if c2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c2.Len())
+	}
+	if _, ok := c2.Get("c.test"); !ok {
+		t.Error("capacity enforcement at Open must keep the latest-expiring entries")
+	}
+}
+
+func TestInvalidateUnknownDomainIsNoop(t *testing.T) {
+	c := mustOpen(t, store.NewMem(), Options{})
+	c.Invalidate("never-stored.test")
+	if s := c.Stats(); s.PersistErrors != 0 || s.Entries != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}

@@ -6,7 +6,7 @@ GO ?= go
 # locally for real exploration, e.g. `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint lint-baseline check docs reproduce smoke-faults smoke-campaign smoke-send fuzz bench
+.PHONY: build test race vet lint lint-baseline check docs reproduce smoke-faults smoke-campaign smoke-send fuzz bench bench-check leaktest
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,11 @@ vet:
 
 # Project-specific static analysis (docs/LINT.md): dropped errors,
 # context propagation, metric-name drift against docs/OBSERVABILITY.md,
-# dead values, raw sleeps in retry paths. Fails on any finding not in
-# the committed baseline (.mtastslint-baseline.json, kept empty).
+# dead values, raw sleeps in retry paths, plus the concurrency pack —
+# blocking ops under held mutexes (lockhold), lock leaks (unlockpath),
+# unstoppable goroutines (goroleak) and WaitGroup misuse (wgpair).
+# Fails on any finding not in the committed baseline
+# (.mtastslint-baseline.json, kept empty).
 lint:
 	$(GO) run ./cmd/mtastslint
 
@@ -35,7 +38,14 @@ lint:
 lint-baseline:
 	$(GO) run ./cmd/mtastslint -write-baseline
 
-check: build vet lint docs test race
+check: build vet lint docs test race leaktest
+
+# Goroutine-leak harness (internal/leakcheck): the concurrency-heavy
+# packages declare a TestMain that fails the binary if any test leaves
+# a goroutine running. -count 1 defeats the test cache so the check is
+# live even right after `make race`.
+leaktest:
+	$(GO) test -race -count 1 ./internal/leakcheck ./internal/scanner ./internal/policycache ./internal/campaign ./internal/sf ./internal/obs
 
 # Docs-vs-code gates that run fast enough to gate every check: CLI
 # flags against README/docs (internal/docscheck), plus the linted
@@ -98,3 +108,13 @@ bench:
 	$(GO) test ./internal/scanner -run '^TestBenchScanJSON$$' -count 1 -benchscan-out $(CURDIR)/BENCH_scan.json
 	$(GO) test ./internal/policycache -run '^$$' -bench 'BenchmarkPolicyCacheDeliveries' -benchmem -count 1
 	$(GO) test ./internal/policycache -run '^TestBenchCacheJSON$$' -count 1 -benchcache-out $(CURDIR)/BENCH_cache.json
+
+# Bench regression bar: regenerate the benchmark JSONs into /tmp (the
+# committed BENCH_*.json stay untouched) and fail if any row's
+# throughput drops more than 20% below the committed baseline
+# (cmd/benchguard). CI runs this on every push.
+bench-check:
+	$(GO) test ./internal/scanner -run '^TestBenchScanJSON$$' -count 1 -benchscan-out /tmp/mtasts-bench-scan.json
+	$(GO) test ./internal/policycache -run '^TestBenchCacheJSON$$' -count 1 -benchcache-out /tmp/mtasts-bench-cache.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_scan.json -current /tmp/mtasts-bench-scan.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_cache.json -current /tmp/mtasts-bench-cache.json

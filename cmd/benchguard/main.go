@@ -1,0 +1,146 @@
+// Command benchguard is the CI bench-regression bar: it compares a
+// freshly generated benchmark JSON against its committed baseline
+// (BENCH_scan.json, BENCH_cache.json) and fails when any row's
+// throughput drops more than the tolerance below the baseline. Rows
+// are matched by their backend/domains(/workers) key, and the gated
+// metric is whichever *_per_second field the row carries, so the same
+// binary guards both the scanner and the policy-cache benchmarks.
+// Faster-than-baseline rows pass: the baseline is a floor, not a pin.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_scan.json -current /tmp/bench-scan.json [-tolerance 0.2]
+//
+// Exit codes: 0 within tolerance, 1 regression (or a baseline row
+// missing from the current run), 2 operational error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// row is one benchmark measurement reduced to its identity and metric.
+type row struct {
+	metric string
+	value  float64
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", "", "committed baseline JSON (required)")
+	current := fs.String("current", "", "freshly generated JSON to gate (required)")
+	tolerance := fs.Float64("tolerance", 0.20, "allowed fractional throughput drop below baseline")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(stderr, "benchguard: -baseline and -current are required")
+		return 2
+	}
+	if *tolerance < 0 || *tolerance >= 1 {
+		fmt.Fprintln(stderr, "benchguard: -tolerance must be in [0, 1)")
+		return 2
+	}
+	base, err := loadRows(*baseline)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchguard: %v\n", err)
+		return 2
+	}
+	cur, err := loadRows(*current)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchguard: %v\n", err)
+		return 2
+	}
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	regressions := 0
+	for _, k := range keys {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			fmt.Fprintf(stdout, "%-44s %s: baseline %.0f, MISSING from current run\n", k, b.metric, b.value)
+			regressions++
+			continue
+		}
+		floor := b.value * (1 - *tolerance)
+		status := "ok"
+		if c.value < floor {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-44s %s: baseline %.0f, current %.0f, floor %.0f: %s\n",
+			k, b.metric, b.value, c.value, floor, status)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "benchguard: %d row(s) regressed more than %.0f%% below %s\n",
+			regressions, *tolerance*100, *baseline)
+		return 1
+	}
+	return 0
+}
+
+// loadRows reads a BENCH_*.json document and indexes its rows by
+// identity key.
+func loadRows(path string) (map[string]row, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Rows []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark rows", path)
+	}
+	out := make(map[string]row, len(doc.Rows))
+	for i, m := range doc.Rows {
+		key, r, err := reduceRow(m)
+		if err != nil {
+			return nil, fmt.Errorf("%s row %d: %w", path, i, err)
+		}
+		out[key] = r
+	}
+	return out, nil
+}
+
+// reduceRow derives a row's identity (backend/domains, plus workers
+// when present) and its throughput metric.
+func reduceRow(m map[string]any) (string, row, error) {
+	var parts []string
+	for _, field := range []string{"backend", "domains", "workers"} {
+		if v, ok := m[field]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%v", field, v))
+		}
+	}
+	if len(parts) == 0 {
+		return "", row{}, fmt.Errorf("no identity fields (backend/domains/workers)")
+	}
+	for field, v := range m {
+		if !strings.HasSuffix(field, "_per_second") {
+			continue
+		}
+		val, ok := v.(float64)
+		if !ok {
+			return "", row{}, fmt.Errorf("%s is not a number", field)
+		}
+		return strings.Join(parts, " "), row{metric: field, value: val}, nil
+	}
+	return "", row{}, fmt.Errorf("no *_per_second metric")
+}

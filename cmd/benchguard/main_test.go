@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const scanBaseline = `{"rows": [
+	{"backend": "flat", "domains": 1000, "seconds": 0.1, "domains_per_second": 10000},
+	{"backend": "pipelined", "domains": 1000, "seconds": 0.02, "domains_per_second": 50000}
+]}`
+
+func runGuard(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestWithinToleranceAndFaster(t *testing.T) {
+	base := write(t, "base.json", scanBaseline)
+	cur := write(t, "cur.json", `{"rows": [
+		{"backend": "flat", "domains": 1000, "domains_per_second": 8500},
+		{"backend": "pipelined", "domains": 1000, "domains_per_second": 72000}
+	]}`)
+	code, out, errb := runGuard(t, "-baseline", base, "-current", cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb)
+	}
+	if strings.Count(out, ": ok") != 2 {
+		t.Errorf("report:\n%s", out)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	base := write(t, "base.json", scanBaseline)
+	cur := write(t, "cur.json", `{"rows": [
+		{"backend": "flat", "domains": 1000, "domains_per_second": 7999},
+		{"backend": "pipelined", "domains": 1000, "domains_per_second": 50000}
+	]}`)
+	code, out, errb := runGuard(t, "-baseline", base, "-current", cur)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s", code, out)
+	}
+	if !strings.Contains(out, "backend=flat domains=1000") || !strings.Contains(out, "REGRESSION") {
+		t.Errorf("report:\n%s", out)
+	}
+	if !strings.Contains(errb, "1 row(s) regressed more than 20%") {
+		t.Errorf("stderr: %s", errb)
+	}
+}
+
+func TestMissingRowFails(t *testing.T) {
+	base := write(t, "base.json", scanBaseline)
+	cur := write(t, "cur.json", `{"rows": [
+		{"backend": "flat", "domains": 1000, "domains_per_second": 10000}
+	]}`)
+	code, out, _ := runGuard(t, "-baseline", base, "-current", cur)
+	if code != 1 || !strings.Contains(out, "MISSING") {
+		t.Errorf("exit = %d, report:\n%s", code, out)
+	}
+}
+
+func TestWorkersKeyAndCacheMetric(t *testing.T) {
+	base := write(t, "base.json", `{"rows": [
+		{"backend": "disk", "domains": 10000, "workers": 1, "deliveries_per_second": 6000000}
+	]}`)
+	cur := write(t, "cur.json", `{"rows": [
+		{"backend": "disk", "domains": 10000, "workers": 1, "deliveries_per_second": 4000000}
+	]}`)
+	code, out, _ := runGuard(t, "-baseline", base, "-current", cur, "-tolerance", "0.5")
+	if code != 0 {
+		t.Fatalf("exit = %d (50%% tolerance should absorb a 33%% drop):\n%s", code, out)
+	}
+	if !strings.Contains(out, "backend=disk domains=10000 workers=1") ||
+		!strings.Contains(out, "deliveries_per_second") {
+		t.Errorf("report:\n%s", out)
+	}
+}
+
+func TestOperationalErrors(t *testing.T) {
+	base := write(t, "base.json", scanBaseline)
+	if code, _, errb := runGuard(t); code != 2 || !strings.Contains(errb, "required") {
+		t.Errorf("missing flags: exit = %d, stderr = %s", code, errb)
+	}
+	if code, _, _ := runGuard(t, "-baseline", base, "-current", filepath.Join(t.TempDir(), "nope.json")); code != 2 {
+		t.Error("unreadable current file should exit 2")
+	}
+	bad := write(t, "bad.json", `{"rows": [{"seconds": 1}]}`)
+	if code, _, errb := runGuard(t, "-baseline", bad, "-current", base); code != 2 || !strings.Contains(errb, "no identity fields") {
+		t.Errorf("bad row: exit = %d, stderr = %s", code, errb)
+	}
+	empty := write(t, "empty.json", `{"rows": []}`)
+	if code, _, _ := runGuard(t, "-baseline", empty, "-current", base); code != 2 {
+		t.Error("empty baseline should exit 2")
+	}
+	if code, _, _ := runGuard(t, "-baseline", base, "-current", base, "-tolerance", "1.5"); code != 2 {
+		t.Error("out-of-range tolerance should exit 2")
+	}
+}
+
+// TestCommittedBaselinesParse keeps the guard honest against the real
+// committed artifacts: both must load and self-compare clean.
+func TestCommittedBaselinesParse(t *testing.T) {
+	for _, name := range []string{"BENCH_scan.json", "BENCH_cache.json"} {
+		path := filepath.Join("..", "..", name)
+		code, out, errb := runGuard(t, "-baseline", path, "-current", path)
+		if code != 0 {
+			t.Errorf("%s self-compare: exit = %d\n%s%s", name, code, out, errb)
+		}
+	}
+}

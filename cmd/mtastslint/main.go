@@ -1,8 +1,10 @@
 // Command mtastslint runs the project's static-analysis suite
 // (internal/lint) over the module: errdrop, ctxpass, obsnames,
-// deadvalue and sleeploop, with //lint:ignore suppressions and a
-// committed baseline for grandfathered sites. It exits 0 when the tree
-// is clean, 1 on new findings, 2 on operational errors.
+// deadvalue, sleeploop, codes, pkgdoc, and the concurrency pack
+// (lockhold, unlockpath, goroleak, wgpair), with //lint:ignore
+// suppressions and a committed baseline for grandfathered sites. It
+// exits 0 when the tree is clean, 1 on new findings, 2 on operational
+// errors.
 //
 // Usage:
 //

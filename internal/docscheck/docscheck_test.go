@@ -6,8 +6,10 @@
 // docs; every backticked `-flag` token in the docs names a flag that
 // still exists (no stale references); and the flag tables in
 // docs/CAMPAIGN.md and docs/SENDER.md match their commands exactly,
-// both ways. The package is test-only on purpose — it ships no code,
-// only the gate.
+// both ways. A fourth gate (lintdocs_test.go) keeps docs/LINT.md's
+// analyzer table in lockstep with the registered mtastslint suite.
+// The package is test-only on purpose — it ships no code, only the
+// gate.
 package docscheck
 
 import (

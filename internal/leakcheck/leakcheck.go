@@ -1,0 +1,252 @@
+// Package leakcheck is a goroutine-leak harness for package test
+// suites, built on runtime.Stack the way goleak is (the module has no
+// external dependencies). A package opts in by declaring
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// after which a test binary that exits green while extra goroutines
+// are still running fails instead. Goroutines are given a short grace
+// period to drain — legitimate workers observed mid-teardown retry
+// away — and the report prints each surviving goroutine's full stack
+// so the leak is attributable to the spawn site.
+//
+// The harness complements the static goroleak analyzer: the analyzer
+// proves every spawn has a termination path, the harness proves the
+// paths are actually taken.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Goroutine is one parsed goroutine block from a runtime.Stack dump.
+type Goroutine struct {
+	// ID is the runtime's goroutine id.
+	ID int
+	// State is the scheduler state from the header ("chan receive",
+	// "select", "IO wait", ...).
+	State string
+	// Top is the function at the top of the stack.
+	Top string
+	// CreatedBy is the function that spawned the goroutine, when the
+	// runtime recorded one.
+	CreatedBy string
+	// Stack is the full block, for the failure report.
+	Stack string
+}
+
+func (g Goroutine) String() string {
+	return fmt.Sprintf("goroutine %d [%s] in %s (created by %s)", g.ID, g.State, g.Top, g.CreatedBy)
+}
+
+// config is assembled from Options.
+type config struct {
+	maxWait     time.Duration
+	ignoreTops  []string
+	ignoreSpawn []string
+}
+
+// Option adjusts a leak check.
+type Option func(*config)
+
+// MaxWait bounds the grace period a check waits for goroutines to
+// drain before declaring them leaked. The default is 5 seconds.
+func MaxWait(d time.Duration) Option {
+	return func(c *config) { c.maxWait = d }
+}
+
+// IgnoreTop exempts goroutines whose top-of-stack function has one of
+// the given prefixes, in addition to the built-in runtime/testing set.
+func IgnoreTop(prefixes ...string) Option {
+	return func(c *config) { c.ignoreTops = append(c.ignoreTops, prefixes...) }
+}
+
+// IgnoreCreatedBy exempts goroutines spawned by a function with one of
+// the given prefixes.
+func IgnoreCreatedBy(prefixes ...string) Option {
+	return func(c *config) { c.ignoreSpawn = append(c.ignoreSpawn, prefixes...) }
+}
+
+// defaultIgnoredTops are goroutines owned by the runtime and the test
+// framework: present in every test binary, never a leak of ours.
+var defaultIgnoredTops = []string{
+	"testing.",
+	"runtime.",
+	"os/signal.",
+}
+
+func newConfig(opts []Option) *config {
+	c := &config{maxWait: 5 * time.Second}
+	c.ignoreTops = append(c.ignoreTops, defaultIgnoredTops...)
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Main wraps m.Run with a leak check: it runs the package's tests and,
+// when they pass, fails the binary if goroutines beyond the runtime's
+// own survive the grace period. Intended as the body of TestMain.
+func Main(m *testing.M, opts ...Option) {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(opts...); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check reports an error describing every goroutine still running
+// after the grace period, or nil when the binary is clean.
+func Check(opts ...Option) error {
+	leaked := Leaked(opts...)
+	if len(leaked) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d leaked goroutine(s):", len(leaked))
+	for _, g := range leaked {
+		b.WriteString("\n\n")
+		b.WriteString(g.Stack)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Leaked returns the goroutines that survive the grace period and no
+// ignore rule covers. Goroutines observed mid-exit drain during the
+// retry backoff, so a non-empty result is a stable leak, not a race
+// with teardown.
+func Leaked(opts ...Option) []Goroutine {
+	cfg := newConfig(opts)
+	deadline := time.Now().Add(cfg.maxWait)
+	delay := 1 * time.Millisecond
+	for {
+		leaked := leakedNow(cfg)
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		//lint:ignore sleeploop bounded teardown poll in a test harness; there is no context in TestMain to thread
+		time.Sleep(delay)
+		if delay *= 2; delay > 100*time.Millisecond {
+			delay = 100 * time.Millisecond
+		}
+	}
+}
+
+func leakedNow(cfg *config) []Goroutine {
+	var leaked []Goroutine
+	self := ownGoroutineID()
+	for _, g := range snapshot() {
+		if g.ID == self || ignored(cfg, g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+func ignored(cfg *config, g Goroutine) bool {
+	for _, p := range cfg.ignoreTops {
+		if strings.HasPrefix(g.Top, p) {
+			return true
+		}
+	}
+	for _, p := range cfg.ignoreSpawn {
+		if g.CreatedBy != "" && strings.HasPrefix(g.CreatedBy, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot captures and parses the stacks of every goroutine.
+func snapshot() []Goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []Goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		if g, ok := parseBlock(block); ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// parseBlock decodes one "goroutine N [state]:" block.
+func parseBlock(block string) (Goroutine, bool) {
+	lines := strings.Split(strings.TrimRight(block, "\n"), "\n")
+	if len(lines) == 0 {
+		return Goroutine{}, false
+	}
+	header := lines[0]
+	if !strings.HasPrefix(header, "goroutine ") {
+		return Goroutine{}, false
+	}
+	rest := strings.TrimPrefix(header, "goroutine ")
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return Goroutine{}, false
+	}
+	id, err := strconv.Atoi(rest[:sp])
+	if err != nil {
+		return Goroutine{}, false
+	}
+	g := Goroutine{ID: id, Stack: block}
+	if open := strings.IndexByte(rest, '['); open >= 0 {
+		if end := strings.IndexByte(rest[open:], ']'); end > 0 {
+			g.State = rest[open+1 : open+end]
+		}
+	}
+	for _, line := range lines[1:] {
+		if strings.HasPrefix(line, "\t") {
+			continue // file:line frame detail
+		}
+		if strings.HasPrefix(line, "created by ") {
+			g.CreatedBy = strings.TrimPrefix(line, "created by ")
+			if in := strings.Index(g.CreatedBy, " in goroutine"); in >= 0 {
+				g.CreatedBy = g.CreatedBy[:in]
+			}
+			continue
+		}
+		if g.Top == "" {
+			g.Top = trimCallSuffix(line)
+		}
+	}
+	return g, true
+}
+
+// trimCallSuffix strips the argument list from a stack frame's
+// function line ("pkg.fn(0x0, ...)" -> "pkg.fn").
+func trimCallSuffix(line string) string {
+	if i := strings.LastIndexByte(line, '('); i > 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// ownGoroutineID parses the current goroutine's id from a single-
+// goroutine stack dump, so the checker never reports itself.
+func ownGoroutineID() int {
+	buf := make([]byte, 64)
+	n := runtime.Stack(buf, false)
+	g, ok := parseBlock(string(buf[:n]))
+	if !ok {
+		return -1
+	}
+	return g.ID
+}

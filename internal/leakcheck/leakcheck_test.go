@@ -1,0 +1,108 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The package checks itself: the deliberate leaks below are all
+// stopped before their tests return.
+func TestMain(m *testing.M) {
+	Main(m)
+}
+
+// TestCatchesDeliberateLeak pins the core property: a goroutine parked
+// on a channel is reported, with a stack attributing it, and stops
+// being reported once released.
+func TestCatchesDeliberateLeak(t *testing.T) {
+	stop := make(chan struct{})
+	go func() {
+		<-stop
+	}()
+
+	leaked := Leaked(MaxWait(200 * time.Millisecond))
+	if len(leaked) != 1 {
+		t.Fatalf("leaked = %v, want exactly the deliberate leak", leaked)
+	}
+	g := leaked[0]
+	if g.State != "chan receive" {
+		t.Errorf("state = %q, want chan receive", g.State)
+	}
+	if !strings.Contains(g.Stack, "leakcheck") {
+		t.Errorf("stack does not attribute the leak:\n%s", g.Stack)
+	}
+	if err := Check(MaxWait(200 * time.Millisecond)); err == nil {
+		t.Error("Check() = nil with a live leak")
+	} else if !strings.Contains(err.Error(), "1 leaked goroutine(s)") {
+		t.Errorf("Check() = %v", err)
+	}
+
+	close(stop)
+	if err := Check(); err != nil {
+		t.Errorf("Check() after release = %v", err)
+	}
+}
+
+// TestGracePeriodDrainsSlowExits pins the retry loop: a goroutine
+// still draining when the check starts is not a leak.
+func TestGracePeriodDrainsSlowExits(t *testing.T) {
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+	}()
+	if err := Check(MaxWait(2 * time.Second)); err != nil {
+		t.Errorf("Check() = %v, want the drain to absorb the slow exit", err)
+	}
+}
+
+func TestIgnoreRules(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	go leakyHelper(stop)
+
+	opts := []Option{MaxWait(200 * time.Millisecond)}
+	if got := Leaked(opts...); len(got) != 1 {
+		t.Fatalf("Leaked() = %v, want the helper", got)
+	}
+	byTop := append(opts, IgnoreTop("github.com/netsecurelab/mtasts/internal/leakcheck.leakyHelper"))
+	if got := Leaked(byTop...); len(got) != 0 {
+		t.Errorf("Leaked(IgnoreTop) = %v, want none", got)
+	}
+	bySpawner := append(opts, IgnoreCreatedBy("github.com/netsecurelab/mtasts/internal/leakcheck.TestIgnoreRules"))
+	if got := Leaked(bySpawner...); len(got) != 0 {
+		t.Errorf("Leaked(IgnoreCreatedBy) = %v, want none", got)
+	}
+}
+
+func leakyHelper(stop chan struct{}) {
+	<-stop
+}
+
+func TestParseBlock(t *testing.T) {
+	block := "goroutine 42 [select]:\n" +
+		"example.com/pkg.worker(0x14000102000)\n" +
+		"\t/src/pkg/worker.go:10 +0x1c\n" +
+		"created by example.com/pkg.Start in goroutine 1\n" +
+		"\t/src/pkg/start.go:5 +0x88\n"
+	g, ok := parseBlock(block)
+	if !ok {
+		t.Fatal("parseBlock rejected a valid block")
+	}
+	if g.ID != 42 || g.State != "select" || g.Top != "example.com/pkg.worker" || g.CreatedBy != "example.com/pkg.Start" {
+		t.Errorf("parsed = %+v", g)
+	}
+	if _, ok := parseBlock("SIGQUIT: quit"); ok {
+		t.Error("parseBlock accepted a non-goroutine block")
+	}
+}
+
+func TestOwnGoroutineExcluded(t *testing.T) {
+	if id := ownGoroutineID(); id <= 0 {
+		t.Fatalf("ownGoroutineID() = %d", id)
+	}
+	// With no deliberate leak running, the checker must not report
+	// itself or the test framework.
+	if got := Leaked(MaxWait(time.Second)); len(got) != 0 {
+		t.Errorf("Leaked() = %v, want none", got)
+	}
+}

@@ -8,9 +8,10 @@ import (
 	"testing"
 )
 
-// The testdata mini-module holds exactly one finding (an errdrop in
-// fixmod.go); the driver tests exercise reporting and the baseline
-// round-trip against it.
+// The testdata mini-module holds exactly two findings (an errdrop in
+// fixmod.go, an unlockpath lock leak in fixmod2.go); the driver tests
+// exercise reporting, -only selection and the baseline round-trip
+// against them.
 const fixtureModule = "testdata/module"
 
 func runDriver(t *testing.T, opts Options) (code int, stdout, stderr string) {
@@ -29,7 +30,10 @@ func TestDriverTextReport(t *testing.T) {
 	if !strings.Contains(out, "fixmod.go:11:2: error result of fixmod.fail is assigned to _ [errdrop]") {
 		t.Errorf("unexpected text report:\n%s", out)
 	}
-	if !strings.Contains(errb, "1 finding(s)") {
+	if !strings.Contains(out, "fixmod2.go:13:3: return without releasing mu") {
+		t.Errorf("unlockpath finding missing from text report:\n%s", out)
+	}
+	if !strings.Contains(errb, "2 finding(s)") {
 		t.Errorf("summary missing from stderr: %s", errb)
 	}
 }
@@ -48,21 +52,25 @@ func TestDriverJSONAndBaselineRoundTrip(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &report); err != nil {
 		t.Fatalf("bad JSON: %v\n%s", err, out)
 	}
-	if len(report.Findings) != 1 || report.Grandfathered != 0 {
-		t.Fatalf("report = %+v, want 1 finding, 0 grandfathered", report)
+	if len(report.Findings) != 2 || report.Grandfathered != 0 {
+		t.Fatalf("report = %+v, want 2 findings, 0 grandfathered", report)
 	}
 	f := report.Findings[0]
 	if f.Analyzer != "errdrop" || f.File != "fixmod.go" || f.Line != 11 {
 		t.Errorf("finding = %+v", f)
 	}
+	f = report.Findings[1]
+	if f.Analyzer != "unlockpath" || f.File != "fixmod2.go" || f.Line != 13 {
+		t.Errorf("finding = %+v", f)
+	}
 
-	// Snapshot the baseline; the same run must now pass with the finding
+	// Snapshot the baseline; the same run must now pass with the findings
 	// grandfathered rather than fresh.
 	code, _, errb = runDriver(t, Options{Dir: fixtureModule, BaselinePath: baseline, WriteBaseline: true})
 	if code != 0 {
 		t.Fatalf("write-baseline exit = %d; stderr: %s", code, errb)
 	}
-	if !strings.Contains(errb, "wrote 1 baseline entries") {
+	if !strings.Contains(errb, "wrote 2 baseline entries") {
 		t.Errorf("stderr: %s", errb)
 	}
 	code, out, _ = runDriver(t, Options{Dir: fixtureModule, BaselinePath: baseline, JSON: true})
@@ -72,8 +80,8 @@ func TestDriverJSONAndBaselineRoundTrip(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &report); err != nil {
 		t.Fatal(err)
 	}
-	if len(report.Findings) != 0 || report.Grandfathered != 1 {
-		t.Errorf("report after baselining = %+v, want 0 findings, 1 grandfathered", report)
+	if len(report.Findings) != 0 || report.Grandfathered != 2 {
+		t.Errorf("report after baselining = %+v, want 0 findings, 2 grandfathered", report)
 	}
 }
 
@@ -84,6 +92,22 @@ func TestDriverOnlySelection(t *testing.T) {
 	code, out, errb := runDriver(t, Options{Dir: fixtureModule, BaselinePath: baseline, Only: []string{"deadvalue"}})
 	if code != 0 || out != "" {
 		t.Errorf("exit = %d, stdout = %q, stderr = %s", code, out, errb)
+	}
+	// Restricting to one analyzer selects only its finding.
+	code, out, errb = runDriver(t, Options{Dir: fixtureModule, BaselinePath: baseline, Only: []string{"errdrop"}})
+	if code != 1 || !strings.Contains(out, "fixmod.go:11") || strings.Contains(out, "fixmod2.go") {
+		t.Errorf("-only errdrop: exit = %d, stdout = %q, stderr = %s", code, out, errb)
+	}
+	code, out, errb = runDriver(t, Options{Dir: fixtureModule, BaselinePath: baseline, Only: []string{"unlockpath"}})
+	if code != 1 || !strings.Contains(out, "fixmod2.go:13") || strings.Contains(out, "fixmod.go:11") {
+		t.Errorf("-only unlockpath: exit = %d, stdout = %q, stderr = %s", code, out, errb)
+	}
+	// The whole concurrency pack is selectable by name; in this
+	// non-internal mini-module only unlockpath (module-wide) fires.
+	code, out, errb = runDriver(t, Options{Dir: fixtureModule, BaselinePath: baseline,
+		Only: []string{"lockhold", "goroleak", "unlockpath", "wgpair"}})
+	if code != 1 || !strings.Contains(out, "return without releasing mu") || !strings.Contains(errb, "1 finding(s)") {
+		t.Errorf("-only concurrency pack: exit = %d, stdout = %q, stderr = %s", code, out, errb)
 	}
 	code, _, errb = runDriver(t, Options{Dir: fixtureModule, BaselinePath: baseline, Only: []string{"nonsense"}})
 	if code != 2 || !strings.Contains(errb, `unknown analyzer "nonsense"`) {

@@ -168,6 +168,59 @@ func TestCtxPassScope(t *testing.T) {
 	}
 }
 
+func TestLockHoldGolden(t *testing.T) {
+	lintFixture(t, "lockhold", "github.com/netsecurelab/mtasts/internal/fixlockhold", LockHold())
+}
+
+func TestUnlockPathGolden(t *testing.T) {
+	lintFixture(t, "unlockpath", "github.com/netsecurelab/mtasts/internal/fixunlock", UnlockPath())
+}
+
+func TestGoroLeakGolden(t *testing.T) {
+	lintFixture(t, "goroleak", "github.com/netsecurelab/mtasts/internal/fixgoroleak", GoroLeak())
+}
+
+func TestWGPairGolden(t *testing.T) {
+	lintFixture(t, "wgpair", "github.com/netsecurelab/mtasts/internal/fixwgpair", WGPair())
+}
+
+// TestLockHoldScope pins the exemptions: commands are free to block
+// under locks they own for process lifetime, and internal/store's
+// mutex exists to serialize file I/O.
+func TestLockHoldScope(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "lockhold")
+	for _, importPath := range []string{
+		"github.com/netsecurelab/mtasts/cmd/fixlockhold",            // not internal/
+		"github.com/netsecurelab/mtasts/internal/store/fixlockhold", // store serializes I/O by design
+	} {
+		m, _, err := LoadFixture("../..", dir, importPath)
+		if err != nil {
+			t.Fatalf("LoadFixture(%s): %v", importPath, err)
+		}
+		if findings := Run(m, []*Analyzer{LockHold()}); len(findings) != 0 {
+			t.Errorf("%s: want no findings in exempt package, got %v", importPath, findings)
+		}
+	}
+}
+
+// TestGoroLeakScope pins the exemptions: commands and the experiments
+// harness own their process lifecycle.
+func TestGoroLeakScope(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "goroleak")
+	for _, importPath := range []string{
+		"github.com/netsecurelab/mtasts/cmd/fixgoroleak",
+		"github.com/netsecurelab/mtasts/internal/experiments/fixgoroleak",
+	} {
+		m, _, err := LoadFixture("../..", dir, importPath)
+		if err != nil {
+			t.Fatalf("LoadFixture(%s): %v", importPath, err)
+		}
+		if findings := Run(m, []*Analyzer{GoroLeak()}); len(findings) != 0 {
+			t.Errorf("%s: want no findings in exempt package, got %v", importPath, findings)
+		}
+	}
+}
+
 func TestSleepLoopSkipsRetryPackage(t *testing.T) {
 	dir := filepath.Join("testdata", "src", "sleeploop")
 	m, _, err := LoadFixture("../..", dir, "github.com/netsecurelab/mtasts/internal/retry")

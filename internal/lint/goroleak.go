@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak reports `go` statements in internal/ library code whose
+// goroutine has no visible termination path. A library goroutine must
+// be stoppable by its spawner, which the analyzer accepts as any of:
+//
+//   - it uses a context.Context (selects on Done or passes it to the
+//     blocking calls that bound its life),
+//   - it is joined: it calls Done on a sync.WaitGroup,
+//   - it is channel-coupled: it sends on, receives from, ranges over,
+//     selects on, or closes a channel — the spawner ends it by closing
+//     or draining the protocol.
+//
+// Anything else is a goroutine only process exit can stop. In a
+// scanner meant to run as a long-lived service, each such spawn is a
+// leak multiplied by every scan. Spawns of same-package named
+// functions are resolved and their bodies checked by the same rules;
+// spawns of other packages' functions are assumed to manage their own
+// termination.
+//
+// internal/experiments owns its process lifecycle the way main
+// packages do and is exempt, as are tests.
+func GoroLeak() *Analyzer {
+	a := &Analyzer{
+		Name: "goroleak",
+		Doc:  "flags go statements in internal/ code with no termination path (context, WaitGroup join, or channel coupling)",
+	}
+	a.Run = func(pass *Pass) {
+		if !isInternalPkg(pass.Pkg.ImportPath) || strings.Contains(pass.Pkg.ImportPath, "/internal/experiments") {
+			return
+		}
+		decls := declIndex(pass)
+		memo := make(map[*ast.FuncDecl]bool)
+		pass.inspect(func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok || pass.InTestFile(gs.Pos()) {
+				return true
+			}
+			// Arguments evaluated at spawn don't bound the goroutine's
+			// life unless the spawned body uses them; check the body.
+			switch fun := ast.Unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				if !hasTerminationPath(pass.Pkg.Info, fun.Body) {
+					pass.Reportf(gs.Pos(), "goroutine has no termination path (no context use, WaitGroup join, or channel coupling); it can only stop at process exit")
+				}
+			default:
+				fn := calleeFunc(pass.Pkg.Info, gs.Call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.ImportPath {
+					return true // cross-package spawns manage their own lifecycle
+				}
+				fd, ok := decls[fn]
+				if !ok {
+					return true
+				}
+				terminates, seen := memo[fd]
+				if !seen {
+					terminates = hasTerminationPath(pass.Pkg.Info, fd.Body) ||
+						hasContextParam(fn.Type().(*types.Signature))
+					memo[fd] = terminates
+				}
+				if !terminates {
+					pass.Reportf(gs.Pos(), "goroutine %s has no termination path (no context use, WaitGroup join, or channel coupling); it can only stop at process exit", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return a
+}
+
+// declIndex maps the package's function objects to their declarations.
+func declIndex(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hasTerminationPath scans a goroutine body for the accepted
+// termination evidence. Nested function literals are included: a
+// body that delegates its channel protocol to a closure still owns it.
+func hasTerminationPath(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+					break
+				}
+			}
+			fn := calleeFunc(info, n)
+			if fn != nil && fn.Name() == "Done" && funcPkgPath(fn) == "sync" {
+				found = true // joined by a WaitGroup
+			}
+		case ast.Expr:
+			if tv, ok := info.Types[n]; ok {
+				if isContextType(tv.Type) {
+					found = true
+					break
+				}
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true // channel-coupled (ranged, passed, or stored)
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -13,6 +13,14 @@
 // rather than raw time.Sleep (sleeploop), errors leaving the
 // errtax-producing packages must carry a taxonomy code (codes), and
 // every package must carry a well-formed package doc comment (pkgdoc).
+//
+// The concurrency pack guards the scan/sender/campaign stack's
+// goroutine and lock discipline: no blocking operation under a held
+// mutex (lockhold), every Lock released on every return/panic path
+// (unlockpath), every internal/ goroutine stoppable through context,
+// WaitGroup join or channel coupling (goroleak), and WaitGroup
+// Add/Done used in the race-free pattern (wgpair).
+//
 // docs/LINT.md documents each
 // analyzer, the //lint:ignore suppression syntax, and the baseline
 // workflow.
@@ -152,6 +160,10 @@ func All(docsPath string) []*Analyzer {
 		SleepLoop(),
 		Codes(),
 		PkgDoc(),
+		LockHold(),
+		UnlockPath(),
+		GoroLeak(),
+		WGPair(),
 	}
 }
 

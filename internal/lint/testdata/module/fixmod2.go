@@ -1,0 +1,17 @@
+package fixmod
+
+import "sync"
+
+var mu sync.Mutex
+var n int
+
+// Bump leaks the lock on the early path; the driver tests pin the
+// unlockpath finding and -only selection on it.
+func Bump(skip bool) {
+	mu.Lock()
+	if skip {
+		return
+	}
+	n++
+	mu.Unlock()
+}

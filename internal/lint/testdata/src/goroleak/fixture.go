@@ -1,0 +1,86 @@
+// Fixture for the goroleak analyzer (loaded under an internal/ import
+// path, where the convention applies).
+package fixgoroleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func step() {}
+
+func spin() {
+	go func() { // want "goroutine has no termination path"
+		for {
+			step()
+		}
+	}()
+}
+
+func pump() {
+	for {
+		step()
+	}
+}
+
+func spinNamed() {
+	go pump() // want "goroutine pump has no termination path"
+}
+
+// watch selects on the context: stoppable.
+func watch(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// join is WaitGroup-joined: the spawner waits for it.
+func join(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		step()
+	}()
+}
+
+// drain is channel-coupled: closing ch ends it.
+func drain(ch chan int) {
+	go func() {
+		for range ch {
+			step()
+		}
+	}()
+}
+
+// poll takes a context; spawning it by name is accepted.
+func poll(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+			step()
+		}
+	}
+}
+
+func watchNamed(ctx context.Context) {
+	go poll(ctx)
+}
+
+// crossPackage spawns another package's function; those manage their
+// own lifecycle and are not flagged.
+func crossPackage() {
+	go time.Sleep(time.Millisecond)
+}
+
+// background documents a sanctioned process-lifetime goroutine.
+func background() {
+	//lint:ignore goroleak process-lifetime janitor, stopped only by exit by design
+	go func() {
+		for {
+			step()
+		}
+	}()
+}

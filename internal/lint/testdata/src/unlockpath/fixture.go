@@ -1,0 +1,76 @@
+// Fixture for the unlockpath analyzer (module-wide convention).
+package fixunlock
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	m  map[string]int
+	n  int
+}
+
+func (c *counter) get(k string) (int, bool) {
+	c.mu.Lock()
+	v, ok := c.m[k]
+	if !ok {
+		return 0, false // want "return without releasing c.mu"
+	}
+	c.mu.Unlock()
+	return v, true
+}
+
+func (c *counter) mustGet(k string) int {
+	c.mu.Lock()
+	v, ok := c.m[k]
+	if !ok {
+		panic("missing key") // want "panic with c.mu held"
+	}
+	c.mu.Unlock()
+	return v
+}
+
+func (c *counter) leakAtEnd() {
+	c.mu.Lock()
+	c.n++
+} // want "function exits with c.mu still locked"
+
+func (c *counter) double() {
+	c.mu.Lock()
+	c.mu.Lock() // want "guaranteed self-deadlock"
+	c.mu.Unlock()
+}
+
+func (c *counter) peek(k string) int {
+	c.mu.RLock()
+	if v, ok := c.m[k]; ok {
+		return v // want "add c.mu.RUnlock() before returning"
+	}
+	c.mu.RUnlock()
+	return 0
+}
+
+// good releases via defer at acquisition: the preferred form.
+func (c *counter) good(k string) (int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.m[k]
+	return v, ok
+}
+
+// manual unlocks on every path explicitly: also fine.
+func (c *counter) manual(k string) (int, bool) {
+	c.mu.Lock()
+	if v, ok := c.m[k]; ok {
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+	return 0, false
+}
+
+// handoff documents an intentional transfer of lock ownership.
+func (c *counter) handoff() {
+	c.mu.Lock()
+	//lint:ignore unlockpath lock ownership transfers to the finalizer goroutine
+	return
+}

@@ -1,0 +1,93 @@
+// Fixture for the wgpair analyzer (module-wide convention).
+package fixwgpair
+
+import "sync"
+
+func step() {}
+
+func addInside(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want "wg.Add inside the goroutine races with Wait"
+		defer wg.Done()
+		step()
+	}()
+	wg.Wait()
+}
+
+func bareDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		step()
+		wg.Done() // want "wg.Done not deferred"
+	}()
+	wg.Wait()
+}
+
+func doneInBranch(wg *sync.WaitGroup, ok bool) {
+	wg.Add(1)
+	go func() {
+		if ok {
+			wg.Done() // want "wg.Done not deferred"
+			return
+		}
+		step()
+		wg.Done() // want "wg.Done not deferred"
+	}()
+}
+
+func byValue(wg sync.WaitGroup) { // want "sync.WaitGroup passed by value"
+	wg.Wait()
+}
+
+func byValueClosure() {
+	f := func(wg sync.WaitGroup) { // want "sync.WaitGroup passed by value"
+		wg.Wait()
+	}
+	_ = f
+}
+
+// good is the sanctioned pattern: Add before spawn, deferred Done.
+func good(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		step()
+	}()
+	wg.Wait()
+}
+
+// spawnerAdd calls Add outside the spawned body; only Add inside the
+// goroutine itself races.
+func spawnerAdd() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wg.Add(0) // want "wg.Add inside the goroutine races with Wait"
+	}()
+	wg.Wait()
+}
+
+// helperNotSpawned shows a synchronous literal is not a goroutine body:
+// Add inside it is the spawner's Add, which is fine.
+func helperNotSpawned(wg *sync.WaitGroup) {
+	register := func() {
+		wg.Add(1)
+	}
+	register()
+	go func() {
+		defer wg.Done()
+		step()
+	}()
+	wg.Wait()
+}
+
+// suppressed documents a body that provably cannot panic.
+func suppressed(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		step()
+		//lint:ignore wgpair body cannot panic; Done stays last deliberately
+		wg.Done()
+	}()
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// UnlockPath reports lock leaks: a sync.Mutex / sync.RWMutex acquired
+// in a function must be released on every path out of it — by a
+// matching Unlock before each return, or (preferred) by an immediate
+// defer. An early return that skips the Unlock leaves every later
+// caller of Lock parked forever; a panic between Lock and a
+// non-deferred Unlock does the same through the unwinding. The walker
+// also flags re-acquiring a write lock already held in the same
+// function, which is a guaranteed self-deadlock (Go mutexes are not
+// reentrant).
+//
+// The analysis is per-path: branch bodies are tracked independently,
+// so `if x { mu.Unlock(); return }` is fine, and only the path that
+// actually leaks is reported.
+func UnlockPath() *Analyzer {
+	a := &Analyzer{
+		Name: "unlockpath",
+		Doc:  "flags Lock() calls not released on every return/panic path (prefer defer Unlock)",
+	}
+	a.Run = func(pass *Pass) {
+		hooks := lockHooks{}
+		report := func(pos token.Pos, kind string, held []*heldLock) {
+			for _, l := range held {
+				verb := "Unlock"
+				if l.read {
+					verb = "RUnlock"
+				}
+				switch kind {
+				case "return":
+					pass.Reportf(pos, "return without releasing %s; add %s.%s() before returning or defer it at acquisition",
+						l.expr, l.expr, verb)
+				case "panic":
+					pass.Reportf(pos, "panic with %s held and no deferred %s; waiters deadlock through the unwinding",
+						l.expr, verb)
+				case "end":
+					pass.Reportf(pos, "function exits with %s still locked; release it or defer %s.%s() at acquisition",
+						l.expr, l.expr, verb)
+				}
+			}
+		}
+		hooks.onExit = report
+		hooks.onRelock = func(pos token.Pos, l *heldLock) {
+			pass.Reportf(pos, "%s.Lock() while %s is already held in this function: guaranteed self-deadlock",
+				l.expr, l.expr)
+		}
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+					continue
+				}
+				walkLockFlow(pass.Pkg.Info, fd.Body, hooks)
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WGPair enforces sync.WaitGroup discipline:
+//
+//   - Add belongs to the spawner, before the `go` statement. An Add
+//     inside the spawned goroutine races with the spawner's Wait: Wait
+//     can observe the counter at zero and return before the goroutine
+//     has registered itself.
+//   - Done must run via defer inside the goroutine, so a panic (or an
+//     early return added later) cannot strand Wait forever.
+//   - WaitGroups must be shared by pointer. A WaitGroup parameter
+//     passed by value receives a copy; Done on the copy never reaches
+//     the counter the spawner Waits on.
+//
+// The check applies module-wide to non-test code: WaitGroup misuse is
+// equally fatal in commands and examples.
+func WGPair() *Analyzer {
+	a := &Analyzer{
+		Name: "wgpair",
+		Doc:  "enforces WaitGroup discipline: Add before spawn, Done via defer, no by-value WaitGroups",
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || pass.InTestFile(fd.Pos()) {
+					continue
+				}
+				checkByValueWaitGroup(pass, fd.Type)
+				if fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.FuncLit:
+						checkByValueWaitGroup(pass, n.Type)
+					case *ast.GoStmt:
+						if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+							checkGoroutineBody(pass, lit.Body)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+// checkGoroutineBody inspects one spawned literal for Add-inside and
+// non-deferred Done. Nested literals are not the goroutine's own frame
+// (they may be deferred helpers or further spawns), so they are
+// skipped here and picked up by their own GoStmt if spawned.
+func checkGoroutineBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	var walk func(stmts []ast.Stmt)
+	walk = func(stmts []ast.Stmt) {
+		for _, stmt := range stmts {
+			switch s := stmt.(type) {
+			case *ast.DeferStmt:
+				continue // defer wg.Done() is the sanctioned form
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					switch waitGroupMethod(info, call) {
+					case "Add":
+						pass.Reportf(call.Pos(), "wg.Add inside the goroutine races with Wait; call Add in the spawner before the go statement")
+					case "Done":
+						pass.Reportf(call.Pos(), "wg.Done not deferred; a panic or early return strands Wait — use defer wg.Done() first thing in the goroutine")
+					}
+				}
+			}
+			// Recurse into compound statements, skipping nested
+			// function literals (separate frames).
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.DeferStmt:
+					return false
+				case *ast.BlockStmt:
+					if n != stmt {
+						walk(n.List)
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
+	walk(body.List)
+}
+
+// waitGroupMethod returns "Add"/"Done"/"Wait" when call is that method
+// on a sync.WaitGroup, else "".
+func waitGroupMethod(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || funcPkgPath(fn) != "sync" {
+		return ""
+	}
+	if recv := recvTypeString(fn); recv != "*sync.WaitGroup" {
+		return ""
+	}
+	return fn.Name()
+}
+
+// checkByValueWaitGroup flags sync.WaitGroup (non-pointer) parameters.
+func checkByValueWaitGroup(pass *Pass, ft *ast.FuncType) {
+	if ft == nil || ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.Pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if named, ok := tv.Type.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+				pass.Reportf(field.Type.Pos(), "sync.WaitGroup passed by value; Done on the copy never reaches the spawner's Wait — pass *sync.WaitGroup")
+			}
+		}
+	}
+}

@@ -98,6 +98,12 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[string]mtasts.CachedPolicy
 
+	// persistMu serializes store writes in entry-update order without
+	// holding mu across the I/O: writers take it hand-over-hand (acquire
+	// persistMu, then release mu) so a slow disk stalls only other
+	// writers, never Get/GetStale readers of the map.
+	persistMu sync.Mutex
+
 	fetches sf.Group[fetchOutcome]
 
 	hits, misses, staleServed      atomic.Int64
@@ -259,30 +265,38 @@ func (c *Cache) Store(domain string, p mtasts.Policy, recordID string) {
 		FetchedAt: now,
 		Expires:   now.Add(time.Duration(p.MaxAge) * time.Second),
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.entries[domain]; !exists && len(c.entries) >= c.max {
-		c.evictOldestLocked()
-	}
-	c.entries[domain] = e
-	c.persistLocked(domain, persisted{
+	buf, err := json.Marshal(persisted{
 		Policy:    p,
 		RecordID:  recordID,
 		FetchedAt: now,
 		Expires:   e.Expires,
 	})
-}
-
-// persistLocked writes one entry through the store and syncs it, so a
-// crash immediately after Store cannot lose the fetch.
-func (c *Cache) persistLocked(domain string, p persisted) {
-	buf, err := json.Marshal(p)
-	if err == nil {
-		if err = c.st.Put(keyPrefix+domain, buf); err == nil {
-			err = c.st.Sync()
-		}
+	c.mu.Lock()
+	if _, exists := c.entries[domain]; !exists && len(c.entries) >= c.max {
+		c.evictOldestLocked()
 	}
+	c.entries[domain] = e
 	if err != nil {
+		c.mu.Unlock()
+		c.persistErrors.Add(1)
+		c.obsPersistErrors.Inc()
+		return
+	}
+	// Hand-over-hand: acquire persistMu before releasing mu so store
+	// writes land in the same order as the entry updates they mirror,
+	// then sync durably (a crash immediately after Store cannot lose
+	// the fetch) without stalling readers of the map.
+	c.persistMu.Lock()
+	c.mu.Unlock()
+	defer c.persistMu.Unlock()
+	//lint:ignore lockhold persistMu exists to serialize these store writes; the I/O is its entire critical section
+	if err := c.st.Put(keyPrefix+domain, buf); err != nil {
+		c.persistErrors.Add(1)
+		c.obsPersistErrors.Inc()
+		return
+	}
+	//lint:ignore lockhold persistMu exists to serialize these store writes; the I/O is its entire critical section
+	if err := c.st.Sync(); err != nil {
 		c.persistErrors.Add(1)
 		c.obsPersistErrors.Inc()
 	}
@@ -308,11 +322,17 @@ func (c *Cache) evictOldestLocked() {
 // value) is written so the entry does not resurrect at the next Open.
 func (c *Cache) Invalidate(domain string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.entries[domain]; !ok {
+		c.mu.Unlock()
 		return
 	}
 	delete(c.entries, domain)
+	// Hand-over-hand as in Store: the tombstone must not be reordered
+	// against a concurrent Store's write for the same domain.
+	c.persistMu.Lock()
+	c.mu.Unlock()
+	defer c.persistMu.Unlock()
+	//lint:ignore lockhold persistMu exists to serialize these store writes; the I/O is its entire critical section
 	if err := c.st.Put(keyPrefix+domain, nil); err != nil {
 		c.persistErrors.Add(1)
 		c.obsPersistErrors.Inc()

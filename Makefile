@@ -1,12 +1,13 @@
 # Standard entry points; CI runs `make check`, `make smoke-faults`,
-# `make smoke-campaign`, `make smoke-send`, and `make fuzz`.
+# `make smoke-adversary`, `make smoke-campaign`, `make smoke-send`, and
+# `make fuzz`.
 GO ?= go
 
 # Per-target budget for the CI fuzz smoke (`make fuzz`); raise it
 # locally for real exploration, e.g. `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint lint-baseline check docs reproduce smoke-faults smoke-campaign smoke-send fuzz bench bench-check leaktest
+.PHONY: build test race vet lint lint-baseline check docs reproduce smoke-faults smoke-adversary smoke-campaign smoke-send fuzz bench bench-check leaktest
 
 build:
 	$(GO) build ./...
@@ -38,14 +39,14 @@ lint:
 lint-baseline:
 	$(GO) run ./cmd/mtastslint -write-baseline
 
-check: build vet lint docs test race leaktest
+check: build vet lint docs test race leaktest smoke-adversary
 
 # Goroutine-leak harness (internal/leakcheck): the concurrency-heavy
 # packages declare a TestMain that fails the binary if any test leaves
 # a goroutine running. -count 1 defeats the test cache so the check is
 # live even right after `make race`.
 leaktest:
-	$(GO) test -race -count 1 ./internal/leakcheck ./internal/scanner ./internal/policycache ./internal/campaign ./internal/sf ./internal/obs
+	$(GO) test -race -count 1 ./internal/leakcheck ./internal/scanner ./internal/policycache ./internal/campaign ./internal/sf ./internal/obs ./internal/mta ./internal/smtpclient ./internal/experiments
 
 # Docs-vs-code gates that run fast enough to gate every check: CLI
 # flags against README/docs (internal/docscheck), plus the linted
@@ -63,6 +64,14 @@ reproduce:
 # (docs/ROBUSTNESS.md).
 smoke-faults:
 	$(GO) run ./cmd/reproduce -experiment robustness -fault-seed 7
+
+# Seeded adversary smoke: mounts every registered attack on live
+# loopback worlds and drives the full sender-behavior × policy-mode
+# matrix through the real delivery stack, twice. Fails on any model
+# mismatch, enforce-mode downgrade, unreported testing-mode violation,
+# or same-seed divergence (docs/ADVERSARY.md).
+smoke-adversary:
+	$(GO) run ./cmd/reproduce -experiment sendertest -seed 7
 
 # Campaign crash drill over a real on-disk store: run two weeks but
 # stop mid-week-0 (exit 3 is the drill succeeding), resume to

@@ -23,6 +23,14 @@
 // -shard-size and -campaign-dir) runs the campaign engine over N
 // consecutive weekly sweeps of the synthetic world and renders trend and
 // churn tables from the stored snapshots (docs/CAMPAIGN.md).
+//
+// The sender enforcement matrix (-experiment sendertest, optionally
+// restricted with -attack) mounts every registered adversary attack on
+// loopback worlds and drives every sender behavior × policy mode through
+// the live delivery stack (docs/ADVERSARY.md). It exits nonzero on any
+// model mismatch, enforce-mode downgrade, unreported testing-mode
+// violation, or same-seed divergence, which makes it the CI smoke for
+// downgrade resistance.
 package main
 
 import (
@@ -48,7 +56,7 @@ func main() {
 		"population scale (1.0 = the paper's 68K MTA-STS domains)")
 	seed := flag.Int64("seed", 1, "world seed")
 	which := flag.String("experiment", "all",
-		"experiment to run: all, table1, table2, figure2..figure12, records, errors, senders, survey, disclosure, robustness, longitudinal")
+		"experiment to run: all, table1, table2, figure2..figure12, records, errors, senders, survey, disclosure, robustness, longitudinal, sendertest")
 	writeExp := flag.String("write-experiments", "", "write EXPERIMENTS.md-style shape report to this file")
 	retries := flag.Int("retries", 4, "robustness: attempts per network operation")
 	faultSeed := flag.Int64("fault-seed", 0, "robustness: fault plan seed (0 = use -seed)")
@@ -67,6 +75,8 @@ func main() {
 	shardSize := flag.Int("shard-size", 256, "longitudinal: domains per campaign shard")
 	campaignDir := flag.String("campaign-dir", "",
 		"longitudinal: persist the campaign store in this directory (default: in-memory)")
+	attack := flag.String("attack", "all",
+		"sendertest: run only this attack from the adversary registry (\"all\" = every attack)")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics and /debug/scanprogress on this host:port while running")
 	eventsOut := flag.String("events-out", "", "append JSONL experiment events to this file")
@@ -163,6 +173,54 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("robustness: PASS (zero misclassifications, deterministic)")
+		return
+	}
+
+	// The sender enforcement matrix also runs against live loopback
+	// sockets — one adversarial world per attack — so it too skips world
+	// generation. It is the CI smoke for downgrade resistance: any model
+	// mismatch, enforce-mode downgrade, unreported testing-mode
+	// violation, or same-seed divergence is a nonzero exit.
+	if strings.ToLower(*which) == "sendertest" {
+		cfg := experiments.AttackMatrixConfig{Seed: *seed}
+		if a := strings.ToLower(*attack); a != "all" && a != "" {
+			cfg.Attacks = []string{a}
+		}
+		start := time.Now()
+		rep, err := experiments.RunAttackMatrix(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report.WriteTable(os.Stdout, rep.Table())
+		sink.Emit("experiment.done", map[string]any{
+			"experiment":    "sendertest",
+			"seed":          *seed,
+			"duration_ms":   float64(time.Since(start).Microseconds()) / 1000,
+			"deterministic": rep.Deterministic,
+			"mismatches":    len(rep.Mismatches),
+			"downgrades":    len(rep.Downgrades),
+		})
+		failed := false
+		fail := func(header string, lines []string) {
+			if len(lines) == 0 {
+				return
+			}
+			failed = true
+			fmt.Fprintf(os.Stderr, "FAIL: %s:\n  %s\n", header, strings.Join(lines, "\n  "))
+		}
+		fail("live cells disagree with the sender model", rep.Mismatches)
+		fail("enforce-mode downgrades under attack", rep.Downgrades)
+		fail("testing-mode delivery/reporting violations", rep.TestingHoldbacks)
+		fail("canonical sender disagrees with the attack registry", rep.RegistryMismatches)
+		if !rep.Deterministic {
+			failed = true
+			fmt.Fprintln(os.Stderr, "FAIL: same-seed attack-matrix runs diverged")
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Printf("sendertest: PASS (%d cells, zero downgrades, deterministic)\n", len(rep.Cells))
 		return
 	}
 

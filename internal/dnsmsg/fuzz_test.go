@@ -71,6 +71,11 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add(wire2)
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 12}) // pointer into header
+	for _, m := range adversaryMessages() {
+		if wire, err := m.Pack(); err == nil {
+			f.Add(wire)
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		m, err := Unpack(b)
@@ -95,4 +100,63 @@ func FuzzDecodeMessage(f *testing.F) {
 			t.Fatalf("encode is not a fixed point:\n w1 = %x\n w2 = %x", w1, w2)
 		}
 	})
+}
+
+// adversaryMessages are response shapes the internal/faults adversary
+// forges on the wire: a spoofed malformed _mta-sts TXT record, a
+// stripped-record NODATA answer, and a rewritten TLSA RRset.
+func adversaryMessages() []*Message {
+	return []*Message{
+		{
+			Header: Header{ID: 0xbad, Response: true, Authoritative: true},
+			Questions: []Question{
+				{Name: "_mta-sts.victim.test", Type: TypeTXT, Class: ClassIN},
+			},
+			Answers: []RR{
+				{Name: "_mta-sts.victim.test", Type: TypeTXT, Class: ClassIN, TTL: 60,
+					Data: NewTXT("v=STSv1; id=evil id!;")},
+			},
+		},
+		{
+			Header: Header{ID: 0xdead, Response: true, Authoritative: true},
+			Questions: []Question{
+				{Name: "_mta-sts.victim.test", Type: TypeTXT, Class: ClassIN},
+			},
+		},
+		{
+			Header: Header{ID: 0xf00, Response: true, Authoritative: true},
+			Questions: []Question{
+				{Name: "_25._tcp.mx.victim.test", Type: TypeTLSA, Class: ClassIN},
+			},
+			Answers: []RR{
+				{Name: "_25._tcp.mx.victim.test", Type: TypeTLSA, Class: ClassIN, TTL: 300,
+					Data: TLSAData{Usage: 3, Selector: 1, MatchingType: 1,
+						CertData: bytes.Repeat([]byte{0x5a}, 32)}},
+			},
+		},
+	}
+}
+
+// TestAdversaryMessagesRoundTrip pins that every forged response shape
+// the adversary emits survives the codec round trip — the matrix
+// experiment depends on these exact messages reaching the sender.
+func TestAdversaryMessagesRoundTrip(t *testing.T) {
+	for i, m := range adversaryMessages() {
+		wire, err := m.Pack()
+		if err != nil {
+			t.Fatalf("message %d: pack: %v", i, err)
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			t.Fatalf("message %d: unpack: %v", i, err)
+		}
+		if len(got.Answers) != len(m.Answers) || len(got.Questions) != len(m.Questions) {
+			t.Fatalf("message %d: section counts changed", i)
+		}
+		for j, rr := range got.Answers {
+			if rr.Data.String() != m.Answers[j].Data.String() {
+				t.Errorf("message %d answer %d: %q != %q", i, j, rr.Data.String(), m.Answers[j].Data.String())
+			}
+		}
+	}
 }

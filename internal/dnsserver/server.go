@@ -39,12 +39,13 @@ const (
 
 // Server is an authoritative DNS server.
 type Server struct {
-	mu       sync.RWMutex
-	zones    map[string]*dnszone.Zone // origin -> zone
-	behavior Behavior
-	delay    time.Duration // artificial per-query latency
-	faults   *faults.Injector
-	logger   *slog.Logger
+	mu        sync.RWMutex
+	zones     map[string]*dnszone.Zone // origin -> zone
+	behavior  Behavior
+	delay     time.Duration // artificial per-query latency
+	faults    *faults.Injector
+	adversary *faults.Adversary
+	logger    *slog.Logger
 
 	udpConn *net.UDPConn
 	tcpLn   net.Listener
@@ -104,6 +105,17 @@ func (s *Server) SetFaults(inj *faults.Injector) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.faults = inj
+}
+
+// SetAdversary installs an on-path attacker that can rewrite
+// authoritative answers on the wire (strip or spoof records) before
+// they are serialized. Unlike SetFaults, which models benign transient
+// failures, the adversary tampers deterministically with specific
+// (name, type) answers per its scenario. Nil removes it.
+func (s *Server) SetAdversary(adv *faults.Adversary) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.adversary = adv
 }
 
 // QueryCount returns the number of queries handled so far.
@@ -288,7 +300,7 @@ func (s *Server) handlePacket(pkt []byte, proto string) []byte {
 	s.qmu.Unlock()
 
 	s.mu.RLock()
-	behavior, delay, inj := s.behavior, s.delay, s.faults
+	behavior, delay, inj, adv := s.behavior, s.delay, s.faults, s.adversary
 	s.mu.RUnlock()
 
 	if delay > 0 {
@@ -318,6 +330,16 @@ func (s *Server) handlePacket(pkt []byte, proto string) []byte {
 	}
 
 	resp := s.answer(query)
+	// The adversary rewrites the authoritative answer on the wire:
+	// stripping a record turns the response into NODATA, spoofing
+	// replaces the honest RRset with attacker-controlled records. It
+	// runs before behavior/fault overrides so a SERVFAIL blip still
+	// masks the tampered answer, exactly as it would on path.
+	if q := query.Questions[0]; resp.Header.RCode == dnsmsg.RCodeSuccess {
+		if spoofed, ok := adv.DNS(q.Name, q.Type); ok {
+			resp.Answers = spoofed
+		}
+	}
 	switch behavior {
 	case BehaviorServFail:
 		resp.Answers, resp.Authority, resp.Additional = nil, nil, nil

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/dane"
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/dnsserver"
+	"github.com/netsecurelab/mtasts/internal/dnszone"
+	"github.com/netsecurelab/mtasts/internal/mta"
+	"github.com/netsecurelab/mtasts/internal/mtasts"
+	"github.com/netsecurelab/mtasts/internal/pki"
+	"github.com/netsecurelab/mtasts/internal/policysrv"
+	"github.com/netsecurelab/mtasts/internal/sendertest"
+	"github.com/netsecurelab/mtasts/internal/smtpd"
+	"github.com/netsecurelab/mtasts/internal/tlsrpt"
+)
+
+// buildRecipientWorld provisions a loopback world realizing one
+// sendertest.RecipientConfig exactly: STARTTLS support, certificate
+// validity, TLSA records (matching or not), and MTA-STS record + policy
+// with patterns that do or do not cover the MX.
+func buildRecipientWorld(t *testing.T, rc sendertest.RecipientConfig) *adversaryWorld {
+	t.Helper()
+	ca, err := pki.NewCA("Cross-Product CA", time.Now())
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	w := &adversaryWorld{
+		ca: ca, zone: dnszone.New("test"),
+		domain: "victim.test", mxHost: "mx.victim.test",
+		addrs: make(map[string]string),
+	}
+	t.Cleanup(func() {
+		if err := w.Close(); err != nil {
+			t.Errorf("world close: %v", err)
+		}
+	})
+	w.dns = dnsserver.New(nil)
+	w.dns.AddZone(w.zone)
+	dnsAddr, err := w.dns.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("dns start: %v", err)
+	}
+	w.dnsAddr = dnsAddr.String()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := w.dns.WaitReady(ctx); err != nil {
+		t.Fatalf("dns ready: %v", err)
+	}
+
+	a := func(name string) dnsmsg.RR {
+		return dnsmsg.RR{Name: name, Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN, TTL: 60,
+			Data: dnsmsg.AData{Addr: netip.MustParseAddr("127.0.0.1")}}
+	}
+	w.zone.MustAdd(dnsmsg.RR{Name: w.domain, Type: dnsmsg.TypeMX, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.MXData{Preference: 10, Host: w.mxHost}})
+	w.zone.MustAdd(a(w.mxHost))
+
+	// MX certificate: CA-issued when the config claims PKIX validity,
+	// self-signed otherwise.
+	leaf, err := ca.Issue(pki.IssueOptions{Names: []string{w.mxHost}, SelfSigned: !rc.CertPKIXValid})
+	if err != nil {
+		t.Fatalf("issue MX cert: %v", err)
+	}
+	cert := leaf.TLSCertificate()
+	w.mxSrv = smtpd.New(smtpd.Behavior{Hostname: w.mxHost, Certificate: &cert,
+		DisableSTARTTLS: !rc.OffersSTARTTLS, AcceptMail: true})
+	mxAddr, err := w.mxSrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("smtpd start: %v", err)
+	}
+	w.addrs[w.mxHost] = mxAddr.String()
+
+	if rc.DANE {
+		tlsaLeaf := leaf
+		if !rc.TLSAMatches {
+			other, err := ca.Issue(pki.IssueOptions{Names: []string{w.mxHost}})
+			if err != nil {
+				t.Fatalf("issue TLSA decoy cert: %v", err)
+			}
+			tlsaLeaf = other
+		}
+		w.zone.MustAdd(dane.NewEE3(tlsaLeaf.Cert).RR(w.mxHost, 300))
+	}
+
+	if rc.MTASTS {
+		w.pol = policysrv.New(ca, nil)
+		if _, err := w.pol.Start("127.0.0.1:0"); err != nil {
+			t.Fatalf("policysrv start: %v", err)
+		}
+		w.zone.MustAdd(dnsmsg.RR{Name: "_mta-sts." + w.domain, Type: dnsmsg.TypeTXT,
+			Class: dnsmsg.ClassIN, TTL: 60, Data: dnsmsg.NewTXT("v=STSv1; id=20260801;")})
+		w.zone.MustAdd(a("mta-sts." + w.domain))
+		patterns := []string{w.mxHost}
+		if !rc.MXMatchesPolicy {
+			patterns = []string{"mx.other.test"}
+		}
+		w.pol.AddTenant(&policysrv.Tenant{Domain: w.domain, Policy: mtasts.Policy{
+			Version: mtasts.Version, Mode: mtasts.Mode(rc.MTASTSMode),
+			MaxAge: 86400, MXPatterns: patterns,
+		}})
+	}
+	return w
+}
+
+// allBehaviors enumerates every combination of the five Behavior flags.
+func allBehaviors() []sendertest.Behavior {
+	var out []sendertest.Behavior
+	for mask := 0; mask < 32; mask++ {
+		out = append(out, sendertest.Behavior{
+			Domain:                fmt.Sprintf("combo%02d", mask),
+			SupportsTLS:           mask&1 != 0,
+			ValidatesMTASTS:       mask&2 != 0,
+			ValidatesDANE:         mask&4 != 0,
+			PrefersMTASTSOverDANE: mask&8 != 0,
+			RequirePKIXAlways:     mask&16 != 0,
+		})
+	}
+	return out
+}
+
+// TestSenderRecipientCrossProduct drives every Behavior flag combination
+// against every RecipientConfig in the platform set through the REAL
+// delivery path and asserts the sendertest model's Outcome cell by cell.
+// This is the drift guard: the modeled §6 decision matrix and the live
+// mta.Outbound engine must agree everywhere.
+func TestSenderRecipientCrossProduct(t *testing.T) {
+	behaviors := allBehaviors()
+	for _, rc := range sendertest.PlatformConfigs() {
+		rc := rc
+		t.Run(rc.Name, func(t *testing.T) {
+			w := buildRecipientWorld(t, rc)
+			for _, b := range behaviors {
+				model := b.Deliver(rc)
+				start := time.Now()
+				report := tlsrpt.NewReport("Cross-Product Lab", "mailto:sec@lab.test",
+					rc.Name+"-"+b.Domain, start, start.Add(time.Hour))
+				o := w.outboundFor(b, report, 300*time.Millisecond)
+				out, err := o.Send(context.Background(),
+					"a@sender.lab", []string{"b@" + w.domain}, []byte("probe\r\n"))
+
+				id := fmt.Sprintf("%s vs %s (tls=%v sts=%v dane=%v flip=%v pkix=%v)",
+					b.Domain, rc.Name, b.SupportsTLS, b.ValidatesMTASTS, b.ValidatesDANE,
+					b.PrefersMTASTSOverDANE, b.RequirePKIXAlways)
+				if model.Refused {
+					if err == nil {
+						t.Errorf("%s: delivered, model says refuse (mech %s)", id, model.Validated)
+						continue
+					}
+					if !errors.Is(err, mta.ErrPolicyRefused) {
+						t.Errorf("%s: refusal not ErrPolicyRefused: %v", id, err)
+					}
+					continue
+				}
+				if err != nil || !out.Delivered {
+					t.Errorf("%s: model says deliver, got err=%v", id, err)
+					continue
+				}
+				if out.TLS != model.UsedTLS {
+					t.Errorf("%s: TLS=%v, model says %v", id, out.TLS, model.UsedTLS)
+				}
+				if got, want := out.Mechanism.String(), mechLabel(model.Validated); got != want {
+					t.Errorf("%s: mechanism %s, model says %s", id, got, want)
+				}
+			}
+		})
+	}
+}

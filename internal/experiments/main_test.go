@@ -1,0 +1,12 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/leakcheck"
+)
+
+// TestMain arms the goroutine-leak harness: the experiment worlds spin
+// up DNS, HTTPS, and SMTP servers per attack and must tear every one of
+// them down.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,415 @@
+package faults
+
+// adversary.go grows the package from a transient-fault injector into a
+// deterministic adversary model: each Attack is an active-MITM scenario
+// from the MTA-STS threat model (RFC 8461 §10) — DNS spoofing/stripping,
+// policy rollback through a compromised policy host, STARTTLS stripping,
+// wrong-certificate MX, resource-exhaustion policy bodies, and TLSA
+// tampering for the DANE path. An Adversary realizes one Attack against
+// one recipient domain; the simnet servers (dnsserver, policysrv, smtpd)
+// consult it on the wire path, so the full sender stack — resolver,
+// validator, cache, SMTP client — sees exactly what it would see under a
+// real on-path attacker. Everything is deterministic under Scenario.Seed
+// so matrix runs fingerprint identically.
+
+import (
+	"crypto/tls"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/errtax"
+	"github.com/netsecurelab/mtasts/internal/strutil"
+)
+
+// Outcome labels for the canonical validating sender (TLS-capable,
+// validates MTA-STS and DANE, warm policy cache) under an attack.
+const (
+	// OutcomeDeliverTLS: mail is delivered over verified STARTTLS to the
+	// true MX — the attack is defeated.
+	OutcomeDeliverTLS = "deliver-tls"
+	// OutcomeDeliverPlain: mail is delivered without TLS (or to an
+	// attacker-controlled endpoint) — the downgrade succeeded.
+	OutcomeDeliverPlain = "deliver-plain"
+	// OutcomeRefuse: delivery is refused; mail stays queued.
+	OutcomeRefuse = "refuse"
+)
+
+// Attack is one registered hostile scenario. The Expect* fields state
+// the delivery outcome for the canonical validating sender per policy
+// mode, and Code the errtax code the sender path surfaces; together
+// they pin the §6-style enforcement matrix (docs/ADVERSARY.md).
+type Attack struct {
+	// Name is the stable registry key ("dns_strip_record", ...).
+	Name string
+	// Layer is where the tampering happens: "dns", "policy", "smtp" or
+	// "dane".
+	Layer string
+	// Code is the errtax code the validating sender surfaces under this
+	// attack ("" when the attack leaves no typed error, e.g. a stripped
+	// record absorbed by the policy cache).
+	Code errtax.Code
+	// CodeOnDeliver marks attacks whose code is visible even on
+	// delivered cells: the fetch/lookup fails but the cached policy
+	// carries delivery, so the evaluation records the error while the
+	// mail still flows.
+	CodeOnDeliver bool
+	// ExpectNone, ExpectTesting and ExpectEnforce are the Outcome*
+	// labels for the canonical sender when the recipient's policy is in
+	// that mode.
+	ExpectNone, ExpectTesting, ExpectEnforce string
+	// NeedsTLSA marks attacks whose world must publish DANE TLSA
+	// records for the true MX (the attack targets the DANE path).
+	NeedsTLSA bool
+	// Doc is the one-line catalog description.
+	Doc string
+}
+
+// Expect returns the canonical-sender outcome label for a policy mode
+// ("none", "testing", "enforce").
+func (a Attack) Expect(mode string) string {
+	switch mode {
+	case "testing":
+		return a.ExpectTesting
+	case "enforce":
+		return a.ExpectEnforce
+	}
+	return a.ExpectNone
+}
+
+// attacks is the registry, in catalog order. docs/ADVERSARY.md mirrors
+// this table row for row (internal/docscheck pins the two together).
+var attacks = []Attack{
+	{
+		Name: "dns_strip_record", Layer: "dns", Code: "",
+		ExpectNone: OutcomeDeliverTLS, ExpectTesting: OutcomeDeliverTLS, ExpectEnforce: OutcomeDeliverTLS,
+		Doc: "answer NODATA for the _mta-sts TXT query; the TOFU cache keeps the last policy enforced",
+	},
+	{
+		Name: "dns_spoof_record", Layer: "dns", Code: errtax.CodeBadSyntax, CodeOnDeliver: true,
+		ExpectNone: OutcomeDeliverTLS, ExpectTesting: OutcomeDeliverTLS, ExpectEnforce: OutcomeDeliverTLS,
+		Doc: "replace the _mta-sts TXT record with a malformed one; the cached policy survives the bad record",
+	},
+	{
+		Name: "policy_mitm_cert", Layer: "policy", Code: errtax.CodeTLSHandshake, CodeOnDeliver: true,
+		ExpectNone: OutcomeDeliverTLS, ExpectTesting: OutcomeDeliverTLS, ExpectEnforce: OutcomeDeliverTLS,
+		Doc: "spoof a fresh record id and MITM the policy host with a self-signed certificate; HTTPS PKI rejects it and the cache carries delivery",
+	},
+	{
+		Name: "policy_rollback_none", Layer: "policy", Code: "",
+		ExpectNone: OutcomeDeliverTLS, ExpectTesting: OutcomeDeliverTLS, ExpectEnforce: OutcomeDeliverTLS,
+		Doc: "valid-certificate policy host (compromised CDN) serves a mode:none rollback; the cache is poisoned but delivery stays TLS to the true MX",
+	},
+	{
+		Name: "policy_rollback_max_age", Layer: "policy", Code: "",
+		ExpectNone: OutcomeDeliverTLS, ExpectTesting: OutcomeDeliverTLS, ExpectEnforce: OutcomeDeliverTLS,
+		Doc: "valid-certificate policy host serves the true policy with max_age collapsed to 60s, shrinking the TOFU window for a later strike",
+	},
+	{
+		Name: "policy_oversized", Layer: "policy", Code: errtax.CodeHTTPStatus, CodeOnDeliver: true,
+		ExpectNone: OutcomeDeliverTLS, ExpectTesting: OutcomeDeliverTLS, ExpectEnforce: OutcomeDeliverTLS,
+		Doc: "spoof a fresh record id and serve a policy body past the 64 KiB cap; the fetch aborts and the cache carries delivery",
+	},
+	{
+		Name: "policy_slowloris", Layer: "policy", Code: errtax.CodeHTTPStatus, CodeOnDeliver: true,
+		ExpectNone: OutcomeDeliverTLS, ExpectTesting: OutcomeDeliverTLS, ExpectEnforce: OutcomeDeliverTLS,
+		Doc: "spoof a fresh record id and trickle the policy body forever; the fetch deadline fires and the cache carries delivery",
+	},
+	{
+		Name: "starttls_strip", Layer: "smtp", Code: errtax.CodeNoSTARTTLS,
+		ExpectNone: OutcomeDeliverPlain, ExpectTesting: OutcomeDeliverPlain, ExpectEnforce: OutcomeRefuse,
+		Doc: "strip STARTTLS from the MX's EHLO response and reject the command; enforce refuses, testing delivers plaintext and reports",
+	},
+	{
+		Name: "mx_wrong_cert", Layer: "smtp", Code: errtax.CodeSelfSigned,
+		ExpectNone: OutcomeDeliverTLS, ExpectTesting: OutcomeDeliverTLS, ExpectEnforce: OutcomeRefuse,
+		Doc: "on-path MX presents an attacker certificate; enforce refuses, testing delivers over unverified TLS and reports",
+	},
+	{
+		Name: "mx_impostor", Layer: "dns", Code: errtax.CodeInconsistency,
+		ExpectNone: OutcomeDeliverPlain, ExpectTesting: OutcomeDeliverPlain, ExpectEnforce: OutcomeRefuse,
+		Doc: "spoof the MX RRset to an attacker host outside the policy's mx patterns; enforce refuses before connecting",
+	},
+	{
+		Name: "tlsa_mismatch", Layer: "dane", Code: errtax.CodeTLSANoMatch, NeedsTLSA: true,
+		ExpectNone: OutcomeRefuse, ExpectTesting: OutcomeRefuse, ExpectEnforce: OutcomeRefuse,
+		Doc: "spoof the TLSA RRset with a non-matching association; DANE validators refuse in every MTA-STS mode",
+	},
+}
+
+// Attacks returns the registry in catalog order (a copy).
+func Attacks() []Attack {
+	out := make([]Attack, len(attacks))
+	copy(out, attacks)
+	return out
+}
+
+// AttackNames returns the registered attack names in catalog order.
+func AttackNames() []string {
+	names := make([]string, len(attacks))
+	for i, a := range attacks {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// AttackByName looks an attack up by its stable name.
+func AttackByName(name string) (Attack, bool) {
+	for _, a := range attacks {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attack{}, false
+}
+
+// Scenario binds an Attack to one recipient deployment. The harness
+// supplies the world facts (domain, true MX, honest policy body) and
+// any attacker material that needs a PKI (the evil certificate); the
+// Adversary derives everything else deterministically from Seed.
+type Scenario struct {
+	// Attack is the registered attack to mount.
+	Attack Attack
+	// Seed drives the spoofed record id and TLSA bytes so same-seed
+	// runs are byte-identical.
+	Seed int64
+	// Domain is the attacked recipient domain.
+	Domain string
+	// MXHost is the domain's true MX hostname.
+	MXHost string
+	// EvilMXHost is the attacker's MX hostname (mx_impostor).
+	EvilMXHost string
+	// EvilCert is the attacker's certificate, presented by a MITM'd MX
+	// (mx_wrong_cert). Minted by the harness; faults stays crypto-free.
+	EvilCert *tls.Certificate
+	// PolicyBody is the recipient's honest policy body, which the
+	// max_age rollback rewrites.
+	PolicyBody string
+}
+
+// BodyAction is the adversary's verdict on a policy HTTP response.
+type BodyAction int
+
+// Policy-body actions.
+const (
+	// BodyHonest: serve the tenant's real policy.
+	BodyHonest BodyAction = iota
+	// BodyReplace: serve the adversary-supplied body instead.
+	BodyReplace
+	// BodyOversized: serve a body past the RFC 8461 64 KiB cap.
+	BodyOversized
+	// BodySlowloris: trickle the body a few bytes at a time, forever.
+	BodySlowloris
+)
+
+// SMTPVerdict is the adversary's tampering for one SMTP session.
+type SMTPVerdict struct {
+	// StripSTARTTLS removes the capability from EHLO and rejects the
+	// STARTTLS command.
+	StripSTARTTLS bool
+	// Cert, when non-nil, replaces the certificate the server presents.
+	Cert *tls.Certificate
+}
+
+// Adversary realizes one Scenario on the wire. The simnet servers call
+// DNS, PolicyCert, PolicyBody and SMTP from their serving paths; every
+// method is safe for concurrent use and a no-op on a nil receiver, so
+// SetAdversary(nil) restores honest behavior.
+type Adversary struct {
+	sc Scenario
+
+	txtName  string // _mta-sts.<domain>
+	mxName   string // <domain>
+	tlsaName string // _25._tcp.<mxhost>
+	polHost  string // mta-sts.<domain>
+	evilID   string // deterministic spoofed record id
+
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// NewAdversary builds the adversary for a scenario.
+func NewAdversary(sc Scenario) *Adversary {
+	return &Adversary{
+		sc:       sc,
+		txtName:  "_mta-sts." + strutil.CanonicalName(sc.Domain),
+		mxName:   strutil.CanonicalName(sc.Domain),
+		tlsaName: "_25._tcp." + strutil.CanonicalName(sc.MXHost),
+		polHost:  "mta-sts." + strutil.CanonicalName(sc.Domain),
+		evilID:   spoofedID(sc.Seed, sc.Domain),
+		counts:   make(map[string]int64),
+	}
+}
+
+// Scenario returns the adversary's scenario (zero value on nil).
+func (a *Adversary) Scenario() Scenario {
+	if a == nil {
+		return Scenario{}
+	}
+	return a.sc
+}
+
+func (a *Adversary) count(key string) {
+	a.mu.Lock()
+	a.counts[key]++
+	a.mu.Unlock()
+}
+
+// Counts returns a copy of the interception tallies ("dns.strip",
+// "policy.body", "smtp.strip_starttls", ...).
+func (a *Adversary) Counts() map[string]int64 {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int64, len(a.counts))
+	for k, v := range a.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// DNS intercepts one authoritative answer. It returns the replacement
+// answer set and true when the adversary rewrites the response for
+// (name, qtype); an empty replacement means the record was stripped
+// (NODATA). A false return leaves the honest answer untouched.
+func (a *Adversary) DNS(name string, qtype dnsmsg.Type) ([]dnsmsg.RR, bool) {
+	if a == nil {
+		return nil, false
+	}
+	name = strutil.CanonicalName(name)
+	switch a.sc.Attack.Name {
+	case "dns_strip_record":
+		if name == a.txtName && qtype == dnsmsg.TypeTXT {
+			a.count("dns.strip")
+			return nil, true
+		}
+	case "dns_spoof_record":
+		if name == a.txtName && qtype == dnsmsg.TypeTXT {
+			a.count("dns.spoof")
+			// "evil id!" violates the 1*32 alphanumeric ABNF -> bad_syntax.
+			return []dnsmsg.RR{a.txtRR("v=STSv1; id=evil id!;")}, true
+		}
+	case "policy_mitm_cert", "policy_rollback_none", "policy_rollback_max_age",
+		"policy_oversized", "policy_slowloris":
+		if name == a.txtName && qtype == dnsmsg.TypeTXT {
+			a.count("dns.spoof")
+			// A well-formed record with a fresh id defeats the id-match
+			// fast path and forces the sender to refetch the policy.
+			return []dnsmsg.RR{a.txtRR("v=STSv1; id=" + a.evilID + ";")}, true
+		}
+	case "mx_impostor":
+		if name == a.mxName && qtype == dnsmsg.TypeMX {
+			a.count("dns.spoof")
+			return []dnsmsg.RR{{
+				Name: a.mxName, Type: dnsmsg.TypeMX, Class: dnsmsg.ClassIN, TTL: 60,
+				Data: dnsmsg.MXData{Preference: 5, Host: a.sc.EvilMXHost},
+			}}, true
+		}
+	case "tlsa_mismatch":
+		if name == a.tlsaName && qtype == dnsmsg.TypeTLSA {
+			a.count("dns.spoof")
+			return []dnsmsg.RR{{
+				Name: a.tlsaName, Type: dnsmsg.TypeTLSA, Class: dnsmsg.ClassIN, TTL: 60,
+				Data: dnsmsg.TLSAData{Usage: 3, Selector: 1, MatchingType: 1, CertData: seededBytes(a.sc.Seed, "tlsa|"+a.tlsaName, 32)},
+			}}, true
+		}
+	}
+	return nil, false
+}
+
+func (a *Adversary) txtRR(value string) dnsmsg.RR {
+	return dnsmsg.RR{
+		Name: a.txtName, Type: dnsmsg.TypeTXT, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.NewTXT(value),
+	}
+}
+
+// PolicyCert reports whether the adversary terminates TLS for the
+// policy host itself (policy_mitm_cert): the server should present a
+// self-signed certificate instead of its CA-issued one.
+func (a *Adversary) PolicyCert(sni string) bool {
+	if a == nil || a.sc.Attack.Name != "policy_mitm_cert" {
+		return false
+	}
+	if strutil.CanonicalName(sni) != a.polHost {
+		return false
+	}
+	a.count("policy.cert")
+	return true
+}
+
+// PolicyBody intercepts the policy HTTP response for a host. The body
+// string is meaningful for BodyReplace.
+func (a *Adversary) PolicyBody(host string) (BodyAction, string) {
+	if a == nil || strutil.CanonicalName(host) != a.polHost {
+		return BodyHonest, ""
+	}
+	switch a.sc.Attack.Name {
+	case "policy_rollback_none":
+		a.count("policy.body")
+		return BodyReplace, "version: STSv1\nmode: none\nmax_age: 604800\n"
+	case "policy_rollback_max_age":
+		a.count("policy.body")
+		return BodyReplace, rollbackMaxAge(a.sc.PolicyBody)
+	case "policy_oversized":
+		a.count("policy.body")
+		return BodyOversized, ""
+	case "policy_slowloris":
+		a.count("policy.body")
+		return BodySlowloris, ""
+	}
+	return BodyHonest, ""
+}
+
+// SMTP returns the tampering for an SMTP session against hostname.
+func (a *Adversary) SMTP(hostname string) SMTPVerdict {
+	if a == nil || strutil.CanonicalName(hostname) != strutil.CanonicalName(a.sc.MXHost) {
+		return SMTPVerdict{}
+	}
+	switch a.sc.Attack.Name {
+	case "starttls_strip":
+		a.count("smtp.strip_starttls")
+		return SMTPVerdict{StripSTARTTLS: true}
+	case "mx_wrong_cert":
+		a.count("smtp.wrong_cert")
+		return SMTPVerdict{Cert: a.sc.EvilCert}
+	}
+	return SMTPVerdict{}
+}
+
+// spoofedID derives the attacker's record id from the seed: stable for
+// fingerprint determinism, 1*32 alphanumeric per the RFC 8461 ABNF.
+func spoofedID(seed int64, domain string) string {
+	v := uint64(unitHash(seed, "adv|id|"+strutil.CanonicalName(domain), 0) * (1 << 32))
+	return fmt.Sprintf("evil%08x", uint32(v))
+}
+
+// seededBytes derives n deterministic bytes from (seed, label).
+func seededBytes(seed int64, label string, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(unitHash(seed, "adv|"+label, uint64(i)) * 256)
+	}
+	return out
+}
+
+// rollbackMaxAge rewrites every max_age line of a policy body to 60
+// seconds, leaving the rest intact — the minimal tamper a valid-cert
+// rollback needs to collapse the sender's TOFU window.
+func rollbackMaxAge(body string) string {
+	lines := strings.Split(body, "\n")
+	for i, line := range lines {
+		trimmed := strings.TrimRight(line, "\r")
+		if strings.HasPrefix(trimmed, "max_age:") {
+			suffix := ""
+			if strings.HasSuffix(line, "\r") {
+				suffix = "\r"
+			}
+			lines[i] = "max_age: 60" + suffix
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,218 @@
+package faults
+
+import (
+	"crypto/tls"
+	"reflect"
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/dnsmsg"
+	"github.com/netsecurelab/mtasts/internal/errtax"
+)
+
+func TestAttackRegistryWellFormed(t *testing.T) {
+	all := Attacks()
+	if len(all) == 0 {
+		t.Fatal("registry is empty")
+	}
+	validLayer := map[string]bool{"dns": true, "policy": true, "smtp": true, "dane": true}
+	validOutcome := map[string]bool{OutcomeDeliverTLS: true, OutcomeDeliverPlain: true, OutcomeRefuse: true}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || seen[a.Name] {
+			t.Errorf("attack %q: empty or duplicate name", a.Name)
+		}
+		seen[a.Name] = true
+		if !validLayer[a.Layer] {
+			t.Errorf("%s: unknown layer %q", a.Name, a.Layer)
+		}
+		if a.Doc == "" {
+			t.Errorf("%s: missing doc line", a.Name)
+		}
+		for _, mode := range []string{"none", "testing", "enforce"} {
+			if !validOutcome[a.Expect(mode)] {
+				t.Errorf("%s: invalid expected outcome %q for mode %s", a.Name, a.Expect(mode), mode)
+			}
+		}
+		if a.Code != "" {
+			if _, ok := errtax.Lookup(a.Code); !ok {
+				t.Errorf("%s: expectation code %q is not in the errtax registry", a.Name, a.Code)
+			}
+		}
+	}
+	for _, name := range AttackNames() {
+		if _, ok := AttackByName(name); !ok {
+			t.Errorf("AttackByName(%q) does not resolve", name)
+		}
+	}
+	if _, ok := AttackByName("no_such_attack"); ok {
+		t.Error("AttackByName resolved an unregistered name")
+	}
+}
+
+// TestNoDowngradeExpectations pins the registry's own promise: no
+// registered attack expects the canonical sender to deliver plaintext
+// in enforce mode. The live-path version of this invariant is
+// internal/experiments' TestNoDowngradeInvariant.
+func TestNoDowngradeExpectations(t *testing.T) {
+	for _, a := range Attacks() {
+		if a.ExpectEnforce == OutcomeDeliverPlain {
+			t.Errorf("%s: registry expects a plaintext delivery in enforce mode", a.Name)
+		}
+	}
+}
+
+func mustAttack(t *testing.T, name string) Attack {
+	t.Helper()
+	a, ok := AttackByName(name)
+	if !ok {
+		t.Fatalf("attack %q not registered", name)
+	}
+	return a
+}
+
+func testScenario(t *testing.T, name string, seed int64) Scenario {
+	t.Helper()
+	return Scenario{
+		Attack:     mustAttack(t, name),
+		Seed:       seed,
+		Domain:     "victim.test",
+		MXHost:     "mx.victim.test",
+		EvilMXHost: "mx.evil.test",
+		EvilCert:   &tls.Certificate{},
+		PolicyBody: "version: STSv1\nmode: enforce\nmx: mx.victim.test\nmax_age: 604800\n",
+	}
+}
+
+func TestAdversaryDNSRewrites(t *testing.T) {
+	seed := int64(7)
+
+	strip := NewAdversary(testScenario(t, "dns_strip_record", seed))
+	if ans, ok := strip.DNS("_mta-sts.victim.test.", dnsmsg.TypeTXT); !ok || len(ans) != 0 {
+		t.Errorf("dns_strip_record: got (%v, %v), want empty rewrite", ans, ok)
+	}
+	if _, ok := strip.DNS("victim.test", dnsmsg.TypeMX); ok {
+		t.Error("dns_strip_record rewrote an MX query")
+	}
+	if _, ok := strip.DNS("_mta-sts.other.test", dnsmsg.TypeTXT); ok {
+		t.Error("dns_strip_record rewrote another domain's record")
+	}
+
+	spoof := NewAdversary(testScenario(t, "dns_spoof_record", seed))
+	ans, ok := spoof.DNS("_MTA-STS.Victim.Test", dnsmsg.TypeTXT)
+	if !ok || len(ans) != 1 {
+		t.Fatalf("dns_spoof_record: got (%v, %v), want one spoofed RR", ans, ok)
+	}
+	if txt, _ := ans[0].Data.(dnsmsg.TXTData); txt.Joined() != "v=STSv1; id=evil id!;" {
+		t.Errorf("dns_spoof_record value = %q", txt.Joined())
+	}
+
+	imp := NewAdversary(testScenario(t, "mx_impostor", seed))
+	ans, ok = imp.DNS("victim.test", dnsmsg.TypeMX)
+	if !ok || len(ans) != 1 {
+		t.Fatalf("mx_impostor: got (%v, %v), want one spoofed MX", ans, ok)
+	}
+	if mx, _ := ans[0].Data.(dnsmsg.MXData); mx.Host != "mx.evil.test" {
+		t.Errorf("mx_impostor host = %q", mx.Host)
+	}
+
+	tlsa := NewAdversary(testScenario(t, "tlsa_mismatch", seed))
+	ans, ok = tlsa.DNS("_25._tcp.mx.victim.test", dnsmsg.TypeTLSA)
+	if !ok || len(ans) != 1 {
+		t.Fatalf("tlsa_mismatch: got (%v, %v), want one spoofed TLSA", ans, ok)
+	}
+	td, _ := ans[0].Data.(dnsmsg.TLSAData)
+	if td.Usage != 3 || td.Selector != 1 || td.MatchingType != 1 || len(td.CertData) != 32 {
+		t.Errorf("tlsa_mismatch record = %+v", td)
+	}
+
+	counts := tlsa.Counts()
+	if counts["dns.spoof"] != 1 {
+		t.Errorf("tlsa counts = %v, want dns.spoof=1", counts)
+	}
+}
+
+func TestAdversaryDeterministicUnderSeed(t *testing.T) {
+	a1 := NewAdversary(testScenario(t, "policy_mitm_cert", 42))
+	a2 := NewAdversary(testScenario(t, "policy_mitm_cert", 42))
+	b := NewAdversary(testScenario(t, "policy_mitm_cert", 43))
+	r1, _ := a1.DNS("_mta-sts.victim.test", dnsmsg.TypeTXT)
+	r2, _ := a2.DNS("_mta-sts.victim.test", dnsmsg.TypeTXT)
+	r3, _ := b.DNS("_mta-sts.victim.test", dnsmsg.TypeTXT)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("same seed produced different spoofed records: %v vs %v", r1, r2)
+	}
+	if reflect.DeepEqual(r1, r3) {
+		t.Error("different seeds produced the same spoofed record id")
+	}
+}
+
+func TestAdversaryPolicyVerdicts(t *testing.T) {
+	mitm := NewAdversary(testScenario(t, "policy_mitm_cert", 7))
+	if !mitm.PolicyCert("mta-sts.victim.test") {
+		t.Error("policy_mitm_cert did not claim the policy host TLS session")
+	}
+	if mitm.PolicyCert("mta-sts.other.test") {
+		t.Error("policy_mitm_cert claimed another tenant's session")
+	}
+	if act, _ := mitm.PolicyBody("mta-sts.victim.test"); act != BodyHonest {
+		t.Errorf("policy_mitm_cert body action = %v, want honest", act)
+	}
+
+	roll := NewAdversary(testScenario(t, "policy_rollback_none", 7))
+	if act, body := roll.PolicyBody("mta-sts.victim.test"); act != BodyReplace || body != "version: STSv1\nmode: none\nmax_age: 604800\n" {
+		t.Errorf("policy_rollback_none = (%v, %q)", act, body)
+	}
+
+	age := NewAdversary(testScenario(t, "policy_rollback_max_age", 7))
+	if act, body := age.PolicyBody("mta-sts.victim.test"); act != BodyReplace || body != "version: STSv1\nmode: enforce\nmx: mx.victim.test\nmax_age: 60\n" {
+		t.Errorf("policy_rollback_max_age = (%v, %q)", act, body)
+	}
+
+	over := NewAdversary(testScenario(t, "policy_oversized", 7))
+	if act, _ := over.PolicyBody("mta-sts.victim.test"); act != BodyOversized {
+		t.Errorf("policy_oversized action = %v", act)
+	}
+	slow := NewAdversary(testScenario(t, "policy_slowloris", 7))
+	if act, _ := slow.PolicyBody("mta-sts.victim.test"); act != BodySlowloris {
+		t.Errorf("policy_slowloris action = %v", act)
+	}
+}
+
+func TestAdversarySMTPVerdicts(t *testing.T) {
+	sc := testScenario(t, "starttls_strip", 7)
+	strip := NewAdversary(sc)
+	if v := strip.SMTP("mx.victim.test"); !v.StripSTARTTLS || v.Cert != nil {
+		t.Errorf("starttls_strip verdict = %+v", v)
+	}
+	if v := strip.SMTP("mx.other.test"); v.StripSTARTTLS {
+		t.Error("starttls_strip tampered with another host's session")
+	}
+
+	wc := testScenario(t, "mx_wrong_cert", 7)
+	wrong := NewAdversary(wc)
+	if v := wrong.SMTP("MX.Victim.Test"); v.Cert != wc.EvilCert || v.StripSTARTTLS {
+		t.Errorf("mx_wrong_cert verdict = %+v", v)
+	}
+}
+
+func TestAdversaryNilReceiver(t *testing.T) {
+	var a *Adversary
+	if _, ok := a.DNS("_mta-sts.victim.test", dnsmsg.TypeTXT); ok {
+		t.Error("nil adversary rewrote DNS")
+	}
+	if a.PolicyCert("mta-sts.victim.test") {
+		t.Error("nil adversary claimed a TLS session")
+	}
+	if act, _ := a.PolicyBody("mta-sts.victim.test"); act != BodyHonest {
+		t.Error("nil adversary tampered with a body")
+	}
+	if v := a.SMTP("mx.victim.test"); v.StripSTARTTLS || v.Cert != nil {
+		t.Error("nil adversary tampered with SMTP")
+	}
+	if a.Counts() != nil {
+		t.Error("nil adversary has counts")
+	}
+	if (a.Scenario() != Scenario{}) {
+		t.Error("nil adversary has a scenario")
+	}
+}

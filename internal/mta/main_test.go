@@ -1,0 +1,11 @@
+package mta
+
+import (
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/leakcheck"
+)
+
+// TestMain arms the goroutine-leak harness: every lab world started by
+// the outbound tests must be fully torn down.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -22,6 +22,7 @@ import (
 	"github.com/netsecurelab/mtasts/internal/dane"
 	"github.com/netsecurelab/mtasts/internal/dnsmsg"
 	"github.com/netsecurelab/mtasts/internal/dnssec"
+	"github.com/netsecurelab/mtasts/internal/errtax"
 	"github.com/netsecurelab/mtasts/internal/mtasts"
 	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/resolver"
@@ -43,12 +44,18 @@ var (
 // delivery.
 type Mechanism int
 
-// Mechanisms, in precedence order.
+// Mechanisms, in precedence order. MechanismPKIX is appended after DANE
+// to keep the historical values of the first four stable.
 const (
 	MechanismNone Mechanism = iota
 	MechanismOpportunistic
 	MechanismMTASTS
 	MechanismDANE
+	// MechanismPKIX: no policy applied, but the operator configured the
+	// sender to always require verified TLS (RequirePKIX) — stricter than
+	// opportunistic, weaker than a policy because a MITM can still strip
+	// the MX record itself.
+	MechanismPKIX
 )
 
 // String returns a short label.
@@ -60,6 +67,8 @@ func (m Mechanism) String() string {
 		return "mta-sts"
 	case MechanismDANE:
 		return "dane"
+	case MechanismPKIX:
+		return "pkix"
 	}
 	return "none"
 }
@@ -84,7 +93,21 @@ type Outbound struct {
 	// DNS resolves MX/A/TLSA records.
 	DNS *resolver.Client
 	// Validator is the MTA-STS engine; its cache enables TOFU semantics.
+	// Nil models a sender that does not implement MTA-STS: delivery is
+	// opportunistic (or PKIX/DANE-gated when those are configured).
 	Validator *mtasts.Validator
+	// TLSDisabled models the legacy plaintext-only sender of the paper's
+	// §6 population: STARTTLS is never negotiated. Do not combine with
+	// Validator, DANEEnabled, or RequirePKIX.
+	TLSDisabled bool
+	// RequirePKIX makes every delivery demand verified TLS even without a
+	// policy — the "require TLS always" sender behavior of §6.
+	RequirePKIX bool
+	// MTASTSOverDANE inverts the RFC 7672/8461 precedence: when an MTA-STS
+	// policy is fetchable it is applied and TLSA records are never
+	// consulted. This reproduces the bug-compatible senders §6.2 of the
+	// paper found in the wild; compliant senders leave it false.
+	MTASTSOverDANE bool
 	// Roots is the PKIX trust store for MTA-STS-verified delivery.
 	Roots *x509.CertPool
 	// HeloName is announced in EHLO.
@@ -152,7 +175,10 @@ func (o *Outbound) Send(ctx context.Context, from string, to []string, data []by
 		}
 	}
 	if refusals == len(mxs) && refusals > 0 {
-		return Outcome{}, fmt.Errorf("%w: all %d MX candidates", ErrPolicyRefused, refusals)
+		// Keep the last per-MX error in the chain: it carries the typed
+		// errtax cause (no_starttls, self_signed, inconsistency, ...) the
+		// enforcement matrix asserts on.
+		return Outcome{}, fmt.Errorf("%w: all %d MX candidates: %w", ErrPolicyRefused, refusals, lastErr)
 	}
 	return Outcome{}, fmt.Errorf("%w: last error: %v", ErrAllMXFailed, lastErr)
 }
@@ -181,11 +207,40 @@ func (o *Outbound) candidateMXs(ctx context.Context, domain string) ([]string, e
 }
 
 // deliverVia attempts delivery through one MX, applying the DANE →
-// MTA-STS → opportunistic precedence.
+// MTA-STS → opportunistic precedence (or the inverted MTA-STS → DANE
+// ordering when MTASTSOverDANE models a non-compliant sender).
 func (o *Outbound) deliverVia(ctx context.Context, domain, mxHost, from string, to []string, data []byte) (Outcome, error) {
-	// DANE first (RFC 8461 §2: "senders who implement both MUST NOT
-	// allow MTA-STS to override a DANE policy failure").
-	if o.DANEEnabled {
+	var ev mtasts.Evaluation
+	stsEvaluated := false
+	validate := func() error {
+		if o.Validator == nil {
+			// No MTA-STS engine: the evaluation is a pass-through deliver.
+			ev = mtasts.Evaluation{Domain: domain, MXHost: mxHost, Action: mtasts.ActionDeliver}
+			stsEvaluated = true
+			return nil
+		}
+		e, err := o.Validator.Validate(ctx, domain, mxHost)
+		if err != nil {
+			return fmt.Errorf("mta: MTA-STS validation for %s: %w", domain, err)
+		}
+		ev = e
+		stsEvaluated = true
+		return nil
+	}
+
+	flipped := o.MTASTSOverDANE && o.Validator != nil
+	if flipped {
+		// Bug-compatible ordering: consult MTA-STS first and let a
+		// fetchable policy shadow any TLSA records.
+		if err := validate(); err != nil {
+			return Outcome{}, err
+		}
+	}
+
+	// DANE first for compliant senders (RFC 8461 §2: "senders who
+	// implement both MUST NOT allow MTA-STS to override a DANE policy
+	// failure"); flipped senders only reach it without a usable policy.
+	if o.DANEEnabled && !(flipped && ev.PolicyFetched) {
 		records := o.lookupTLSA(ctx, mxHost)
 		if dane.Usable(records) {
 			return o.deliverDANE(ctx, mxHost, from, to, data, records)
@@ -193,36 +248,105 @@ func (o *Outbound) deliverVia(ctx context.Context, domain, mxHost, from string, 
 	}
 
 	// MTA-STS second.
-	ev, err := o.Validator.Validate(ctx, domain, mxHost)
-	if err != nil {
-		return Outcome{}, fmt.Errorf("mta: MTA-STS validation for %s: %w", domain, err)
+	if !stsEvaluated {
+		if err := validate(); err != nil {
+			return Outcome{}, err
+		}
 	}
 	if ev.Action == mtasts.ActionRefuse {
 		o.recordFailure(tlsrpt.PolicyTypeSTS, domain, mxHost, stsFailureType(ev))
 		return Outcome{Evaluation: ev, MXHost: mxHost, Mechanism: MechanismMTASTS},
-			fmt.Errorf("%w: MTA-STS enforce policy rejects %s", ErrPolicyRefused, mxHost)
+			fmt.Errorf("%w: MTA-STS enforce policy rejects %s: %w", ErrPolicyRefused, mxHost, refusalCause(ev, mxHost))
 	}
-	requireTLS := ev.PolicyFetched && ev.Policy.Mode == mtasts.ModeEnforce && ev.Action == mtasts.ActionDeliver
+	requireTLS := o.RequirePKIX ||
+		(ev.PolicyFetched && ev.Policy.Mode == mtasts.ModeEnforce && ev.Action == mtasts.ActionDeliver)
 	sender := o.sender(mxHost)
-	sender.RequireTLS = requireTLS
+	sender.RequireTLS = requireTLS && !o.TLSDisabled
 	res, err := sender.Deliver(ctx, mxHost, from, to, data)
 	mech := MechanismOpportunistic
-	if ev.PolicyFetched && ev.Policy.Mode != mtasts.ModeNone {
+	switch {
+	case ev.PolicyFetched && ev.Policy.Mode != mtasts.ModeNone:
 		mech = MechanismMTASTS
+	case o.RequirePKIX:
+		mech = MechanismPKIX
+	case o.TLSDisabled:
+		mech = MechanismNone
 	}
 	if err != nil {
 		if requireTLS && errors.Is(err, smtpclient.ErrTLSRequired) {
-			o.recordFailure(tlsrpt.PolicyTypeSTS, domain, mxHost, tlsrpt.ResultCertificateNotTrusted)
+			o.recordFailure(policyTypeFor(mech), domain, mxHost, tlsFailureType(err))
 			return Outcome{Evaluation: ev, MXHost: mxHost, Mechanism: mech},
-				fmt.Errorf("%w: TLS to %s failed under enforce policy", ErrPolicyRefused, mxHost)
+				fmt.Errorf("%w: TLS to %s failed under required-TLS policy: %w", ErrPolicyRefused, mxHost, err)
 		}
 		return Outcome{}, err
 	}
-	o.recordSuccess(policyTypeFor(mech), domain)
+	if mech == MechanismMTASTS && stsViolated(ev, res) {
+		// Testing-mode (or unvalidated) delivery that did not meet the
+		// policy: the message goes through, but RFC 8460 accounting must
+		// record the violation rather than a success — this asymmetry is
+		// what makes testing mode observable at all.
+		o.recordFailure(tlsrpt.PolicyTypeSTS, domain, mxHost, violationType(ev, res))
+	} else {
+		o.recordSuccess(policyTypeFor(mech), domain)
+	}
 	return Outcome{
 		Delivered: true, MXHost: mxHost, Mechanism: mech,
 		TLS: res.TLS, CertVerified: res.CertVerified, Evaluation: ev,
 	}, nil
+}
+
+// refusalCause types an MTA-STS refusal for the error taxonomy: an MX
+// mismatch is the scanner's "inconsistency" verdict (policy and MX RRset
+// disagree); anything else surfaces the validator's own typed errors.
+func refusalCause(ev mtasts.Evaluation, mxHost string) error {
+	if !ev.MXMatched {
+		return errtax.New(errtax.LayerScan, errtax.CodeInconsistency, false,
+			fmt.Sprintf("MX %s does not match any policy mx pattern", mxHost))
+	}
+	if ev.PolicyErr != nil {
+		return ev.PolicyErr
+	}
+	if ev.RecordErr != nil {
+		return ev.RecordErr
+	}
+	return errtax.New(errtax.LayerProbe, errtax.CodeNoCertificate, false,
+		fmt.Sprintf("MX %s failed certificate validation: %s", mxHost, ev.CertProblem))
+}
+
+// stsViolated reports whether a delivery under an MTA-STS policy went
+// through without meeting it (possible only in testing mode, where
+// ActionDeliverUnvalidated and unverified transport still deliver).
+func stsViolated(ev mtasts.Evaluation, res smtpclient.DeliveryResult) bool {
+	return ev.Action == mtasts.ActionDeliverUnvalidated ||
+		!ev.MXMatched || !res.TLS || !res.CertVerified
+}
+
+// violationType classifies a testing-mode violation for TLSRPT.
+func violationType(ev mtasts.Evaluation, res smtpclient.DeliveryResult) tlsrpt.ResultType {
+	switch {
+	case !res.TLS:
+		return tlsrpt.ResultSTARTTLSNotSupported
+	case !ev.MXMatched:
+		return tlsrpt.ResultValidationFailure
+	case !res.CertVerified:
+		return tlsrpt.ResultCertificateNotTrusted
+	}
+	return tlsrpt.ResultValidationFailure
+}
+
+// tlsFailureType maps a typed smtpclient TLS failure onto the TLSRPT
+// result vocabulary.
+func tlsFailureType(err error) tlsrpt.ResultType {
+	code, _ := errtax.CodeOf(err)
+	switch code {
+	case errtax.CodeNoSTARTTLS:
+		return tlsrpt.ResultSTARTTLSNotSupported
+	case errtax.CodeExpired:
+		return tlsrpt.ResultCertificateExpired
+	case errtax.CodeNameMismatch:
+		return tlsrpt.ResultCertificateHostMismatch
+	}
+	return tlsrpt.ResultCertificateNotTrusted
 }
 
 // deliverDANE delivers with the certificate verified against TLSA records.
@@ -237,7 +361,7 @@ func (o *Outbound) deliverDANE(ctx context.Context, mxHost, from string, to []st
 	if err != nil {
 		o.recordFailure(tlsrpt.PolicyTypeTLSA, domain, mxHost, tlsrpt.ResultTLSAInvalid)
 		return Outcome{MXHost: mxHost, Mechanism: MechanismDANE},
-			fmt.Errorf("%w: DANE validation for %s failed: %v", ErrPolicyRefused, mxHost, err)
+			fmt.Errorf("%w: DANE validation for %s failed: %w", ErrPolicyRefused, mxHost, err)
 	}
 	o.recordSuccess(tlsrpt.PolicyTypeTLSA, domain)
 	return Outcome{
@@ -276,10 +400,11 @@ func (o *Outbound) lookupTLSA(ctx context.Context, mxHost string) []dane.Record 
 
 func (o *Outbound) sender(mxHost string) *smtpclient.Sender {
 	s := &smtpclient.Sender{
-		HeloName: o.HeloName,
-		Roots:    o.Roots,
-		Timeout:  o.timeout(),
-		Port:     o.SMTPPort,
+		HeloName:   o.HeloName,
+		Roots:      o.Roots,
+		Timeout:    o.timeout(),
+		Port:       o.SMTPPort,
+		DisableTLS: o.TLSDisabled,
 	}
 	if o.AddrOverride != nil {
 		s.AddrOverride = o.AddrOverride(mxHost)

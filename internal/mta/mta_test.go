@@ -462,7 +462,7 @@ func TestDialAddrFor(t *testing.T) {
 func TestMechanismString(t *testing.T) {
 	for m, want := range map[Mechanism]string{
 		MechanismNone: "none", MechanismOpportunistic: "opportunistic",
-		MechanismMTASTS: "mta-sts", MechanismDANE: "dane",
+		MechanismMTASTS: "mta-sts", MechanismDANE: "dane", MechanismPKIX: "pkix",
 	} {
 		if m.String() != want {
 			t.Errorf("Mechanism(%d) = %q", int(m), m.String())

@@ -69,10 +69,11 @@ type Server struct {
 	ca  *pki.CA
 	now func() time.Time
 
-	mu      sync.RWMutex
-	tenants map[string]*Tenant // key: served host name (canonical)
-	certs   map[string]*tls.Certificate
-	faults  *faults.Injector
+	mu        sync.RWMutex
+	tenants   map[string]*Tenant // key: served host name (canonical)
+	certs     map[string]*tls.Certificate
+	faults    *faults.Injector
+	adversary *faults.Adversary
 
 	ln        net.Listener
 	httpSv    *http.Server
@@ -141,6 +142,19 @@ func (s *Server) SetFaults(inj *faults.Injector) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.faults = inj
+}
+
+// SetAdversary installs an on-path attacker for the policy host: per
+// its scenario it can terminate TLS with a self-signed certificate
+// (MITM without the web PKI) or tamper with the HTTP body (rollback
+// policies, oversized responses, slowloris trickle). Nil removes it.
+func (s *Server) SetAdversary(adv *faults.Adversary) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.adversary = adv
+	// Drop cached certificates so a cert-swapping adversary takes effect
+	// on the next handshake (and honest certs return after removal).
+	s.certs = make(map[string]*tls.Certificate)
 }
 
 // Tenant returns the tenant registered for a served host name.
@@ -227,12 +241,29 @@ func (s *Server) getCertificate(hello *tls.ClientHelloInfo) (*tls.Certificate, e
 	name := strutil.CanonicalName(hello.ServerName)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if cert, ok := s.certs[name]; ok {
+	key := name
+	mitm := s.adversary.PolicyCert(name)
+	if mitm {
+		key = "adv|" + name // never confuse attacker and honest certs
+	}
+	if cert, ok := s.certs[key]; ok {
 		return cert, nil
 	}
 	t, ok := s.tenants[name]
 	if !ok {
 		return nil, fmt.Errorf("policysrv: unknown SNI %q", hello.ServerName)
+	}
+	if mitm {
+		// The on-path attacker terminates TLS itself: a certificate for
+		// the right name, but self-signed — exactly what an attacker
+		// without a web-PKI issuance can mint.
+		leaf, err := s.ca.Issue(pki.IssueOptions{Names: []string{name}, SelfSigned: true, Now: s.now()})
+		if err != nil {
+			return nil, err
+		}
+		cert := leaf.TLSCertificate()
+		s.certs[key] = &cert
+		return &cert, nil
 	}
 	cert, err := s.issueLocked(name, t)
 	if err != nil {
@@ -271,9 +302,14 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	host := strutil.CanonicalName(strings.Split(r.Host, ":")[0])
 	s.mu.RLock()
 	t, ok := s.tenants[host]
+	adv := s.adversary
 	s.mu.RUnlock()
 	if !ok || r.URL.Path != mtasts.WellKnownPath {
 		http.NotFound(w, r)
+		return
+	}
+	if act, body := adv.PolicyBody(host); act != faults.BodyHonest {
+		s.serveTampered(w, r, act, body)
 		return
 	}
 	switch t.HTTPMode {
@@ -292,5 +328,47 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "text/plain")
 		fmt.Fprint(w, t.Policy.String())
+	}
+}
+
+// serveTampered realizes an adversary's body verdict: a substituted
+// (rollback) policy, a body past the RFC 8461 size cap, or a slowloris
+// trickle that never finishes.
+func (s *Server) serveTampered(w http.ResponseWriter, r *http.Request, act faults.BodyAction, body string) {
+	w.Header().Set("Content-Type", "text/plain")
+	switch act {
+	case faults.BodyReplace:
+		fmt.Fprint(w, body)
+	case faults.BodyOversized:
+		// 80 KiB of syntactically plausible lines: past MaxPolicySize, so
+		// a compliant fetcher aborts the read before ever parsing.
+		w.WriteHeader(http.StatusOK)
+		line := []byte("mx: oversized-filler.invalid\n")
+		for written := 0; written < 80*1024; written += len(line) {
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+		}
+	case faults.BodySlowloris:
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		ticker := time.NewTicker(25 * time.Millisecond)
+		defer ticker.Stop()
+		// Trickle until the client gives up; the absolute cap keeps a
+		// handler from outliving its test world if the client never
+		// closes.
+		for i := 0; i < 400; i++ {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-ticker.C:
+			}
+			if _, err := io.WriteString(w, "v"); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
 	}
 }

@@ -93,37 +93,81 @@ func (m Mechanism) String() string {
 // Deliver evaluates the sender's decision procedure against a recipient.
 // It mirrors RFC 7672 + RFC 8461 precedence: usable DANE is checked first
 // (unless the sender has the documented preference bug), then MTA-STS,
-// then opportunistic TLS.
+// then opportunistic TLS. The model tracks the reference implementation in
+// internal/mta exactly — internal/experiments' cross-product test pins
+// every cell of this function against the live delivery path.
 func (b Behavior) Deliver(rc RecipientConfig) Outcome {
-	if !b.SupportsTLS || !rc.OffersSTARTTLS {
-		// Plaintext delivery (or sender that never encrypts).
+	if !b.SupportsTLS {
+		// A sender with no TLS stack delivers plaintext regardless of
+		// what the recipient publishes.
 		return Outcome{Delivered: true}
 	}
 	useMTASTSFirst := b.PrefersMTASTSOverDANE && b.ValidatesMTASTS && rc.MTASTS
 
 	if b.ValidatesDANE && rc.DANE && !useMTASTSFirst {
-		if rc.TLSAMatches {
-			return Outcome{Delivered: true, UsedTLS: true, Validated: MechDANE}
+		// Usable TLSA records demand verified TLS: a recipient that then
+		// withholds STARTTLS (or presents a non-matching certificate) is
+		// refused, never downgraded to plaintext.
+		if !rc.OffersSTARTTLS || !rc.TLSAMatches {
+			return Outcome{Refused: true, Validated: MechDANE}
 		}
-		return Outcome{Refused: true, Validated: MechDANE}
+		return Outcome{Delivered: true, UsedTLS: true, Validated: MechDANE}
 	}
 	if b.ValidatesMTASTS && rc.MTASTS && rc.MTASTSMode != "none" {
-		ok := rc.MXMatchesPolicy && rc.CertPKIXValid
-		if ok {
+		tlsOK := rc.OffersSTARTTLS && rc.CertPKIXValid
+		if tlsOK && rc.MXMatchesPolicy {
 			return Outcome{Delivered: true, UsedTLS: true, Validated: MechMTASTS}
 		}
-		if rc.MTASTSMode == "enforce" {
+		if rc.MTASTSMode == "enforce" || (b.RequirePKIXAlways && !tlsOK) {
 			return Outcome{Refused: true, Validated: MechMTASTS}
 		}
-		return Outcome{Delivered: true, UsedTLS: true, Validated: MechMTASTS}
+		// Testing mode delivers despite the violation (over TLS when the
+		// recipient offers it at all — certificate problems don't stop an
+		// opportunistic handshake), and the violation is reported.
+		return Outcome{Delivered: true, UsedTLS: rc.OffersSTARTTLS, Validated: MechMTASTS}
 	}
 	if b.RequirePKIXAlways {
-		if rc.CertPKIXValid {
-			return Outcome{Delivered: true, UsedTLS: true, Validated: MechPKIX}
+		if !rc.OffersSTARTTLS || !rc.CertPKIXValid {
+			return Outcome{Refused: true, Validated: MechPKIX}
 		}
-		return Outcome{Refused: true, Validated: MechPKIX}
+		return Outcome{Delivered: true, UsedTLS: true, Validated: MechPKIX}
+	}
+	if !rc.OffersSTARTTLS {
+		// Opportunistic plaintext fallback.
+		return Outcome{Delivered: true, Validated: MechOpportunistic}
 	}
 	return Outcome{Delivered: true, UsedTLS: true, Validated: MechOpportunistic}
+}
+
+// PlatformConfigs returns the platform's full instrumented recipient set:
+// the four discriminating configs Probe uses plus the remaining corners
+// (testing mode, mode none, missing STARTTLS under each policy). The
+// cross-product test in internal/experiments realizes each one as a live
+// loopback world.
+func PlatformConfigs() []RecipientConfig {
+	return []RecipientConfig{
+		{Name: "plain-tls-good", OffersSTARTTLS: true, CertPKIXValid: true},
+		{Name: "plain-tls-badcert", OffersSTARTTLS: true},
+		{Name: "no-starttls"},
+		{Name: "sts-enforce-good", MTASTS: true, MTASTSMode: "enforce",
+			MXMatchesPolicy: true, OffersSTARTTLS: true, CertPKIXValid: true},
+		{Name: "sts-enforce-mx-mismatch", MTASTS: true, MTASTSMode: "enforce",
+			OffersSTARTTLS: true, CertPKIXValid: true},
+		{Name: "sts-enforce-badcert", MTASTS: true, MTASTSMode: "enforce",
+			MXMatchesPolicy: true, OffersSTARTTLS: true},
+		{Name: "sts-enforce-nostarttls", MTASTS: true, MTASTSMode: "enforce",
+			MXMatchesPolicy: true},
+		{Name: "sts-testing-mx-mismatch", MTASTS: true, MTASTSMode: "testing",
+			OffersSTARTTLS: true, CertPKIXValid: true},
+		{Name: "sts-none", MTASTS: true, MTASTSMode: "none",
+			MXMatchesPolicy: true, OffersSTARTTLS: true, CertPKIXValid: true},
+		{Name: "dane-good", DANE: true, TLSAMatches: true,
+			OffersSTARTTLS: true, CertPKIXValid: true},
+		{Name: "dane-mismatch", DANE: true,
+			OffersSTARTTLS: true, CertPKIXValid: true},
+		{Name: "dane-and-sts", DANE: true, MTASTS: true, MTASTSMode: "enforce",
+			MXMatchesPolicy: true, OffersSTARTTLS: true, CertPKIXValid: true},
+	}
 }
 
 // Population counts (§6.1/§6.2).

@@ -65,8 +65,10 @@ func TestDeliverDecisionMatrix(t *testing.T) {
 		refuse bool
 		mech   Mechanism
 	}{
-		{"no TLS offered -> plaintext", full,
-			RecipientConfig{OffersSTARTTLS: false}, false, MechNone},
+		{"no TLS offered -> opportunistic plaintext", full,
+			RecipientConfig{OffersSTARTTLS: false}, false, MechOpportunistic},
+		{"no TLS offered under enforce policy -> refuse", full,
+			RecipientConfig{MTASTS: true, MTASTSMode: "enforce", MXMatchesPolicy: true}, true, MechMTASTS},
 		{"plaintext sender ignores everything", plaintext,
 			RecipientConfig{OffersSTARTTLS: true, MTASTS: true, MTASTSMode: "enforce"}, false, MechNone},
 		{"DANE precedence over MTA-STS", full,

@@ -1,0 +1,11 @@
+package smtpclient
+
+import (
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/leakcheck"
+)
+
+// TestMain arms the goroutine-leak harness: the in-process smtpd
+// servers the sender tests dial must not strand session goroutines.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

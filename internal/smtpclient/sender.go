@@ -9,6 +9,9 @@ import (
 	"net"
 	"strconv"
 	"time"
+
+	"github.com/netsecurelab/mtasts/internal/errtax"
+	"github.com/netsecurelab/mtasts/internal/pki"
 )
 
 // Sender delivers mail over SMTP with STARTTLS. It is the delivery half of
@@ -23,6 +26,11 @@ type Sender struct {
 	// behavior an MTA-STS enforce policy demands). When false, delivery is
 	// opportunistic: TLS when offered, plaintext otherwise.
 	RequireTLS bool
+	// DisableTLS never negotiates STARTTLS, even when advertised — the
+	// legacy plaintext-only sender of the paper's §6 population.
+	// Mutually exclusive with RequireTLS (DisableTLS wins, modeling a
+	// sender with no TLS stack at all).
+	DisableTLS bool
 	// VerifyPeer, when set, replaces PKIX verification of the server
 	// chain (DANE delivery verifies against TLSA records instead of
 	// Roots). It runs after the handshake; a nil return marks the
@@ -69,7 +77,7 @@ var errHandshakeFailed = errors.New("smtpclient: STARTTLS handshake failed")
 // unset) that hit a failed STARTTLS handshake reconnect once and deliver
 // in plaintext, as production MTAs do.
 func (s *Sender) Deliver(ctx context.Context, mxHost, from string, to []string, data []byte) (DeliveryResult, error) {
-	res, err := s.attempt(ctx, mxHost, from, to, data, true)
+	res, err := s.attempt(ctx, mxHost, from, to, data, !s.DisableTLS)
 	if err != nil && errors.Is(err, errHandshakeFailed) && !s.RequireTLS {
 		return s.attempt(ctx, mxHost, from, to, data, false)
 	}
@@ -124,6 +132,8 @@ func (s *Sender) attempt(ctx context.Context, mxHost, from string, to []string, 
 		}
 	}
 
+	var peerChain []*x509.Certificate
+	var verifyErr error
 	if starttls && tryTLS {
 		if code, _, err := text.cmd("STARTTLS"); err == nil && code == 220 {
 			tlsConn := tls.Client(conn, &tls.Config{
@@ -136,12 +146,13 @@ func (s *Sender) attempt(ctx context.Context, mxHost, from string, to []string, 
 			})
 			if err := tlsConn.HandshakeContext(ctx); err == nil {
 				res.TLS = true
-				certs := tlsConn.ConnectionState().PeerCertificates
-				if len(certs) > 0 {
+				peerChain = tlsConn.ConnectionState().PeerCertificates
+				if len(peerChain) > 0 {
 					if s.VerifyPeer != nil {
-						res.CertVerified = s.VerifyPeer(certs, mxHost) == nil
+						verifyErr = s.VerifyPeer(peerChain, mxHost)
+						res.CertVerified = verifyErr == nil
 					} else {
-						res.CertVerified = verifyChain(certs, mxHost, s.Roots)
+						res.CertVerified = verifyChain(peerChain, mxHost, s.Roots)
 					}
 				}
 				text = newTextConn(tlsConn)
@@ -151,18 +162,40 @@ func (s *Sender) attempt(ctx context.Context, mxHost, from string, to []string, 
 				}
 			} else {
 				if s.RequireTLS {
-					return res, fmt.Errorf("%w: handshake: %v", ErrTLSRequired, err)
+					return res, fmt.Errorf("%w: %w", ErrTLSRequired,
+						errtax.Wrap(errtax.LayerProbe, errtax.CodeTLSHandshake, false, err))
 				}
 				// The session is unusable after a failed handshake; signal
 				// the caller to retry in plaintext.
 				return res, fmt.Errorf("%w: %v", errHandshakeFailed, err)
 			}
 		} else if s.RequireTLS {
-			return res, fmt.Errorf("%w: STARTTLS refused (code %d)", ErrTLSRequired, code)
+			return res, fmt.Errorf("%w: %w", ErrTLSRequired,
+				errtax.New(errtax.LayerProbe, errtax.CodeNoSTARTTLS, false,
+					fmt.Sprintf("STARTTLS refused (code %d)", code)))
 		}
 	}
-	if s.RequireTLS && (!res.TLS || !res.CertVerified) {
-		return res, ErrTLSRequired
+	// The required-TLS gate carries the taxonomy position of what went
+	// wrong: a session that never reached TLS is a stripped/missing
+	// STARTTLS, an unverified one a certificate problem — the two
+	// downgrade shapes the enforcement matrix distinguishes.
+	if s.RequireTLS && !res.TLS {
+		return res, fmt.Errorf("%w: %w", ErrTLSRequired,
+			errtax.New(errtax.LayerProbe, errtax.CodeNoSTARTTLS, false, "server did not offer STARTTLS"))
+	}
+	if s.RequireTLS && !res.CertVerified {
+		if verifyErr != nil {
+			// A custom verifier's error is already typed (DANE sentinels
+			// carry their own taxonomy position); keep it in the chain.
+			return res, fmt.Errorf("%w: %w", ErrTLSRequired, verifyErr)
+		}
+		problem := pki.ProblemNoCertificate
+		if len(peerChain) > 0 {
+			problem = pki.Validate(peerChain, mxHost, s.Roots, time.Now())
+		}
+		return res, fmt.Errorf("%w: %w", ErrTLSRequired,
+			errtax.New(errtax.LayerProbe, certCode(problem), false,
+				fmt.Sprintf("certificate not verified: %s", problem)))
 	}
 
 	steps := []struct {
@@ -201,6 +234,22 @@ func (s *Sender) attempt(ctx context.Context, mxHost, from string, to []string, 
 	//lint:ignore errdrop QUIT is best-effort courtesy; the delivery already succeeded
 	text.cmd("QUIT")
 	return res, nil
+}
+
+// certCode maps a PKIX validation outcome onto the taxonomy (the same
+// mapping the scanner applies to probed MX certificates).
+func certCode(p pki.Problem) errtax.Code {
+	switch p {
+	case pki.ProblemExpired:
+		return errtax.CodeExpired
+	case pki.ProblemSelfSigned:
+		return errtax.CodeSelfSigned
+	case pki.ProblemUntrusted:
+		return errtax.CodeUntrustedChain
+	case pki.ProblemNameMismatch:
+		return errtax.CodeNameMismatch
+	}
+	return errtax.CodeNoCertificate
 }
 
 func verifyChain(chain []*x509.Certificate, host string, roots *x509.CertPool) bool {

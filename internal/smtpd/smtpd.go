@@ -64,6 +64,7 @@ type Server struct {
 	messages  []Message
 	connCount int
 	faults    *faults.Injector
+	adversary *faults.Adversary
 }
 
 // New creates a server with the given behavior.
@@ -155,6 +156,22 @@ func (s *Server) getFaults() *faults.Injector {
 	return s.faults
 }
 
+// SetAdversary installs an on-path attacker for this MX, keyed by the
+// announced hostname: per its scenario it strips STARTTLS from the
+// session (capability hidden, command rejected) or swaps the presented
+// certificate for the attacker's. Nil removes it.
+func (s *Server) SetAdversary(adv *faults.Adversary) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.adversary = adv
+}
+
+func (s *Server) getAdversary() *faults.Adversary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.adversary
+}
+
 func (s *Server) serve() {
 	defer s.wg.Done()
 	for {
@@ -193,6 +210,19 @@ type session struct {
 
 func (s *Server) session(conn net.Conn) {
 	b := s.getBehavior()
+	// The adversary tampers with the session-local behavior copy, never
+	// the configured one: removing it restores the honest server. A
+	// stripped session behaves exactly like a no-STARTTLS server (the
+	// MITM filters the capability and intercepts the command); a swapped
+	// certificate flows into upgradeTLS unchanged.
+	if v := s.getAdversary().SMTP(b.Hostname); v.StripSTARTTLS || v.Cert != nil {
+		if v.StripSTARTTLS {
+			b.DisableSTARTTLS = true
+		}
+		if v.Cert != nil {
+			b.Certificate = v.Cert
+		}
+	}
 	conn.SetDeadline(time.Now().Add(60 * time.Second))
 	sess := &session{
 		srv:  s,

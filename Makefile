@@ -1,13 +1,13 @@
 # Standard entry points; CI runs `make check`, `make smoke-faults`,
-# `make smoke-adversary`, `make smoke-campaign`, `make smoke-send`, and
-# `make fuzz`.
+# `make smoke-adversary`, `make smoke-campaign`, `make smoke-send`,
+# `make smoke-serve`, and `make fuzz`.
 GO ?= go
 
 # Per-target budget for the CI fuzz smoke (`make fuzz`); raise it
 # locally for real exploration, e.g. `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint lint-baseline check docs reproduce smoke-faults smoke-adversary smoke-campaign smoke-send fuzz bench bench-check leaktest
+.PHONY: build test race vet lint lint-baseline check docs reproduce smoke-faults smoke-adversary smoke-campaign smoke-send smoke-serve fuzz bench bench-check leaktest
 
 build:
 	$(GO) build ./...
@@ -39,14 +39,14 @@ lint:
 lint-baseline:
 	$(GO) run ./cmd/mtastslint -write-baseline
 
-check: build vet lint docs test race leaktest smoke-adversary
+check: build vet lint docs test race leaktest smoke-adversary smoke-serve
 
 # Goroutine-leak harness (internal/leakcheck): the concurrency-heavy
 # packages declare a TestMain that fails the binary if any test leaves
 # a goroutine running. -count 1 defeats the test cache so the check is
 # live even right after `make race`.
 leaktest:
-	$(GO) test -race -count 1 ./internal/leakcheck ./internal/scanner ./internal/policycache ./internal/campaign ./internal/sf ./internal/obs ./internal/mta ./internal/smtpclient ./internal/experiments
+	$(GO) test -race -count 1 ./internal/leakcheck ./internal/scanner ./internal/policycache ./internal/campaign ./internal/sf ./internal/obs ./internal/mta ./internal/smtpclient ./internal/experiments ./internal/scansvc
 
 # Docs-vs-code gates that run fast enough to gate every check: CLI
 # flags against README/docs (internal/docscheck), plus the linted
@@ -99,6 +99,15 @@ smoke-campaign:
 smoke-send:
 	$(GO) test ./cmd/mtasts-send -run '^TestSmokeSend$$' -count 1 -sendsmoke -v
 
+# Service crash drill with the real mtasts-serve binary: submit a job
+# over HTTP, scrape Prometheus /metrics off the live process, kill the
+# service mid-job (-drill-stop-after-shards), restart on the same store,
+# watch the job resume to done, ingest a TLSRPT report and fetch the
+# joined results — then require the resumed job's result bytes to equal
+# a fresh uninterrupted run's (docs/SERVICE.md).
+smoke-serve:
+	$(GO) test ./cmd/mtasts-serve -run '^TestSmokeServe$$' -count 1 -servesmoke -v
+
 # Coverage-guided fuzzing smoke over the wire-format parsers (`go test
 # -fuzz` accepts one target per invocation). The committed seed corpora
 # under */testdata/fuzz/ also run as part of the plain test suite.
@@ -107,6 +116,7 @@ fuzz:
 	$(GO) test ./internal/dnsmsg -run '^$$' -fuzz '^FuzzUnpack$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mtasts -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mtasts -run '^$$' -fuzz '^FuzzParseRecord$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tlsrpt -run '^$$' -fuzz '^FuzzIngestReport$$' -fuzztime $(FUZZTIME)
 
 # Scheduler benchmarks (flat pool vs staged pipeline) plus the
 # BENCH_scan.json comparison the tentpole's >=2x acceptance bar reads

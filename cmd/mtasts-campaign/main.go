@@ -37,8 +37,7 @@ import (
 
 	"github.com/netsecurelab/mtasts/internal/campaign"
 	"github.com/netsecurelab/mtasts/internal/experiments"
-	"github.com/netsecurelab/mtasts/internal/obs"
-	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/scansvc"
 	"github.com/netsecurelab/mtasts/internal/simnet"
 	"github.com/netsecurelab/mtasts/internal/store"
 )
@@ -121,38 +120,31 @@ func cmdRun(args []string) error {
 	}
 	defer s.Close()
 
-	var reg *obs.Registry
-	var sink *obs.EventSink
-	if *metricsAddr != "" || *eventsOut != "" {
-		reg = obs.NewRegistry()
+	tel, err := scansvc.StartTelemetry(scansvc.TelemetryConfig{
+		MetricsAddr: *metricsAddr, EventsPath: *eventsOut,
+	})
+	if err != nil {
+		return err
 	}
-	if *eventsOut != "" {
-		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		sink = obs.NewEventSink(f)
-	}
-	if *metricsAddr != "" {
-		srv, err := reg.Serve(*metricsAddr)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	defer tel.Close()
+	if tel.Server != nil {
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", tel.Server.Addr())
 	}
 
 	world := simnet.Generate(simnet.Config{Seed: *seed, Scale: *scale})
 	for w := *startWeek; w < *startWeek+*weeksN; w++ {
 		src, scan := experiments.SnapshotSource(world, experiments.WeekSnapshot(w))
+		runner, err := scansvc.RunnerSpec{Workers: *workers}.Build(scan, tel.Obs, tel.Events)
+		if err != nil {
+			return err
+		}
 		eng := &campaign.Engine{
 			Store:           s,
-			Runner:          &scanner.Runner{Workers: *workers, Scan: scan, Obs: reg},
+			Runner:          runner,
 			ID:              *id,
 			ShardSize:       *shardSize,
-			Obs:             reg,
-			Events:          sink,
+			Obs:             tel.Obs,
+			Events:          tel.Events,
 			StopAfterShards: *stopAfter,
 		}
 		if err := eng.RunWeek(context.Background(), w, src); err != nil {

@@ -26,7 +26,6 @@ package main
 import (
 	"bufio"
 	"context"
-	"crypto/x509"
 	"flag"
 	"fmt"
 	"os"
@@ -35,11 +34,9 @@ import (
 
 	"github.com/netsecurelab/mtasts/internal/dataset"
 	"github.com/netsecurelab/mtasts/internal/inconsistency"
-	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/report"
-	"github.com/netsecurelab/mtasts/internal/resolver"
-	"github.com/netsecurelab/mtasts/internal/retry"
 	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/scansvc"
 )
 
 func main() {
@@ -76,83 +73,42 @@ func main() {
 	}
 
 	// Observability is on whenever either flag asks for it; otherwise the
-	// registry stays nil and the pipeline pays only nil checks.
-	var reg *obs.Registry
-	var sink *obs.EventSink
-	if *metricsAddr != "" || *eventsOut != "" {
-		reg = obs.NewRegistry()
+	// registry stays nil and the pipeline pays only nil checks
+	// (scansvc.StartTelemetry, shared with reproduce and mtasts-serve).
+	tel, err := scansvc.StartTelemetry(scansvc.TelemetryConfig{
+		MetricsAddr: *metricsAddr, EventsPath: *eventsOut,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *eventsOut != "" {
-		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "opening events file:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		sink = obs.NewEventSink(f)
-	}
-	if *metricsAddr != "" {
-		srv, err := reg.Serve(*metricsAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer srv.Close()
+	defer tel.Close()
+	if tel.Server != nil {
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics  progress: http://%s/debug/scanprogress\n",
-			srv.Addr(), srv.Addr())
+			tel.Server.Addr(), tel.Server.Addr())
 	}
 
-	var roots *x509.CertPool
-	if *caFile != "" {
-		pem, err := os.ReadFile(*caFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "reading CA file:", err)
-			os.Exit(1)
-		}
-		roots = x509.NewCertPool()
-		if !roots.AppendCertsFromPEM(pem) {
-			fmt.Fprintf(os.Stderr, "no certificates found in %s\n", *caFile)
-			os.Exit(1)
-		}
-	}
-
-	// One retry budget is shared by every layer (DNS, policy fetch, SMTP
-	// probes) so a pathological population cannot multiply the scan cost.
-	var budget *retry.Budget
-	if *retryBudget > 0 {
-		budget = retry.NewBudget(*retryBudget)
-	}
-	dns := resolver.New(*dnsAddr)
-	dns.Obs = reg
-	dns.MaxAttempts = *retries
-	dns.RetryBase = *retryBase
-	dns.RetryBudget = budget
-	if *rate > 0 {
-		dns.Limiter = resolver.NewRateLimiter(*rate, 10)
-	}
-	live := &scanner.Live{
-		DNS:         dns,
-		Roots:       roots,
+	live, err := scansvc.LiveSpec{
+		DNSAddr:     *dnsAddr,
+		Rate:        *rate,
 		HTTPSPort:   *httpsPort,
 		SMTPPort:    *smtpPort,
-		HeloName:    "mtasts-scan.invalid",
 		Timeout:     *timeout,
-		Obs:         reg,
-		Events:      sink,
-		MaxAttempts: *retries,
+		Retries:     *retries,
 		RetryBase:   *retryBase,
-		RetryBudget: budget,
+		RetryBudget: *retryBudget,
+		CAFile:      *caFile,
+	}.Build(tel.Obs, tel.Events)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	runner := &scanner.Runner{Workers: *workers, Scan: live, Obs: reg, Events: sink}
-	if *stageWorkersSpec != "" || *dedup {
-		sw, err := scanner.ParseStageWorkers(*stageWorkersSpec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		runner.Pipelined = true
-		runner.StageWorkers = sw
-		runner.Dedup = *dedup
+	runner, err := scansvc.RunnerSpec{
+		Workers: *workers, StageWorkers: *stageWorkersSpec, Dedup: *dedup,
+	}.Build(live, tel.Obs, tel.Events)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	results := runner.Run(context.Background(), domains)
 
@@ -213,8 +169,8 @@ func main() {
 		sum.AddRow("retries", rets)
 		sum.AddRow("retry recovered", rec)
 		sum.AddRow("retry gave up", gave)
-		if budget != nil {
-			sum.AddRow("retry budget left", budget.Remaining())
+		if live.RetryBudget != nil {
+			sum.AddRow("retry budget left", live.RetryBudget.Remaining())
 		}
 	}
 	report.WriteTable(os.Stderr, sum)
@@ -225,16 +181,9 @@ func main() {
 			"Error taxonomy (domains per code, docs/ERRORS.md)", s.ByCode))
 	}
 
-	if reg != nil {
+	if tel.Obs != nil {
 		fmt.Fprintln(os.Stderr)
-		mt := &dataset.Table{Title: "Observability summary", Headers: []string{"metric", "value"}}
-		for _, row := range reg.Snapshot().SummaryRows() {
-			mt.AddRow(row[0], row[1])
-		}
-		if sink != nil && sink.Dropped() > 0 {
-			mt.AddRow("events.dropped", sink.Dropped())
-		}
-		report.WriteTable(os.Stderr, mt)
+		tel.WriteSummary(os.Stderr)
 	}
 }
 

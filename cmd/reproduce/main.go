@@ -44,9 +44,9 @@ import (
 	"github.com/netsecurelab/mtasts/internal/dataset"
 	"github.com/netsecurelab/mtasts/internal/experiments"
 	"github.com/netsecurelab/mtasts/internal/faults"
-	"github.com/netsecurelab/mtasts/internal/obs"
 	"github.com/netsecurelab/mtasts/internal/report"
 	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/scansvc"
 	"github.com/netsecurelab/mtasts/internal/simnet"
 	"github.com/netsecurelab/mtasts/internal/store"
 )
@@ -82,28 +82,17 @@ func main() {
 	eventsOut := flag.String("events-out", "", "append JSONL experiment events to this file")
 	flag.Parse()
 
-	var reg *obs.Registry
-	var sink *obs.EventSink
-	if *metricsAddr != "" || *eventsOut != "" {
-		reg = obs.NewRegistry()
+	tel, err := scansvc.StartTelemetry(scansvc.TelemetryConfig{
+		MetricsAddr: *metricsAddr, EventsPath: *eventsOut,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *eventsOut != "" {
-		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "opening events file:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		sink = obs.NewEventSink(f)
-	}
-	if *metricsAddr != "" {
-		srv, err := reg.Serve(*metricsAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	defer tel.Close()
+	reg, sink := tel.Obs, tel.Events
+	if tel.Server != nil {
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", tel.Server.Addr())
 	}
 
 	// The robustness experiment runs against live loopback sockets, not
@@ -157,11 +146,7 @@ func main() {
 		})
 		if reg != nil {
 			fmt.Fprintln(os.Stderr)
-			mt := &dataset.Table{Title: "Observability summary", Headers: []string{"metric", "value"}}
-			for _, row := range reg.Snapshot().SummaryRows() {
-				mt.AddRow(row[0], row[1])
-			}
-			report.WriteTable(os.Stderr, mt)
+			tel.WriteSummary(os.Stderr)
 		}
 		if !rep.Deterministic {
 			fmt.Fprintln(os.Stderr, "FAIL: same-seed fault runs diverged")
@@ -250,11 +235,7 @@ func main() {
 		})
 		if reg != nil {
 			fmt.Fprintln(os.Stderr)
-			mt := &dataset.Table{Title: "Observability summary", Headers: []string{"metric", "value"}}
-			for _, row := range reg.Snapshot().SummaryRows() {
-				mt.AddRow(row[0], row[1])
-			}
-			report.WriteTable(os.Stderr, mt)
+			tel.WriteSummary(os.Stderr)
 		}
 	}()
 

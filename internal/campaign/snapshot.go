@@ -32,6 +32,21 @@ type WeekSummary struct {
 	ByCode     map[string]int
 }
 
+// ScanWeek visits one week's stored records in ascending domain order,
+// handing the callback each record's raw canonical encoding alongside
+// its decoded form — raw for byte-exact re-emission (snapshots, the
+// service's result streams), decoded for inspection (joins,
+// aggregation).
+func ScanWeek(s store.Store, id string, week int, fn func(raw []byte, rec DomainRecord) error) error {
+	return s.Scan(weekPrefix(id, week), func(_ string, v []byte) error {
+		rec, err := DecodeRecord(v)
+		if err != nil {
+			return err
+		}
+		return fn(v, rec)
+	})
+}
+
 // Aggregate scans one week's records and folds them into a summary.
 func Aggregate(s store.Store, id string, week int) (WeekSummary, error) {
 	sum := WeekSummary{
@@ -39,11 +54,7 @@ func Aggregate(s store.Store, id string, week int) (WeekSummary, error) {
 		ByCategory: make(map[string]int),
 		ByCode:     make(map[string]int),
 	}
-	err := s.Scan(weekPrefix(id, week), func(_ string, v []byte) error {
-		rec, err := DecodeRecord(v)
-		if err != nil {
-			return err
-		}
+	err := ScanWeek(s, id, week, func(_ []byte, rec DomainRecord) error {
 		sum.Domains++
 		if rec.Present {
 			sum.Present++

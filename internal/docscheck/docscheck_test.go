@@ -2,11 +2,12 @@
 // flag definitions out of each command's main.go with go/parser and
 // cross-checks them against README.md and docs/*.md. Three contracts
 // are enforced: every flag of the documented commands (mtasts-scan,
-// reproduce, mtasts-campaign, mtasts-send) appears somewhere in the
-// docs; every backticked `-flag` token in the docs names a flag that
-// still exists (no stale references); and the flag tables in
-// docs/CAMPAIGN.md and docs/SENDER.md match their commands exactly,
-// both ways. A fourth gate (lintdocs_test.go) keeps docs/LINT.md's
+// reproduce, mtasts-campaign, mtasts-send, mtasts-serve) appears
+// somewhere in the docs; every backticked `-flag` token in the docs
+// names a flag that still exists (no stale references); and the flag
+// tables in docs/CAMPAIGN.md, docs/SENDER.md and docs/SERVICE.md match
+// their commands exactly, both ways (servicedocs_test.go also locks the
+// SERVICE.md endpoint table to scansvc.Endpoints). A fourth gate (lintdocs_test.go) keeps docs/LINT.md's
 // analyzer table in lockstep with the registered mtastslint suite.
 // The package is test-only on purpose — it ships no code, only the
 // gate.
@@ -173,7 +174,7 @@ func TestDocumentedCommandFlagsCovered(t *testing.T) {
 		all.WriteByte('\n')
 	}
 	text := all.String()
-	for _, cmd := range []string{"mtasts-scan", "reproduce", "mtasts-campaign", "mtasts-send"} {
+	for _, cmd := range []string{"mtasts-scan", "reproduce", "mtasts-campaign", "mtasts-send", "mtasts-serve"} {
 		for sub, set := range commandFlags(t, cmd) {
 			for name := range set {
 				re := regexp.MustCompile(`(^|[^\w-])-` + regexp.QuoteMeta(name) + `([^\w-]|$)`)

@@ -32,6 +32,9 @@ const (
 	// LayerScan: cross-stage verdicts only the scanner can compute
 	// (policy/MX inconsistency).
 	LayerScan Layer = "scan"
+	// LayerReport: TLSRPT aggregate-report ingestion (internal/tlsrpt
+	// validation on the service's /api/v1/tlsrpt endpoint).
+	LayerReport Layer = "report"
 )
 
 // Code is a stable snake_case wire identifier for one failure mode.

@@ -38,6 +38,7 @@ func TestEveryCodeHasExactlyOneCategory(t *testing.T) {
 		CategoryPolicy:        true,
 		CategoryMXCert:        true,
 		CategoryInconsistency: true,
+		CategoryReport:        true,
 	}
 	for _, in := range Registry() {
 		if !valid[in.Category] {

@@ -13,6 +13,9 @@ const (
 	CategoryPolicy        Category = "policy"
 	CategoryMXCert        Category = "mx_cert"
 	CategoryInconsistency Category = "inconsistency"
+	// CategoryReport groups the TLSRPT ingestion rejections (§6,
+	// Appendix B); these never feed Figure 4 scan classifications.
+	CategoryReport Category = "report"
 )
 
 // Info is one registry entry: everything the pipeline and the docs know
@@ -81,6 +84,17 @@ const (
 // Cross-stage codes.
 const (
 	CodeInconsistency Code = "inconsistency"
+)
+
+// TLSRPT report-ingestion codes (RFC 8460 aggregate reports POSTed to
+// the service, §6 / Appendix B).
+const (
+	CodeReportParse             Code = "report_parse"
+	CodeReportMissingID         Code = "report_missing_id"
+	CodeReportBadWindow         Code = "report_bad_window"
+	CodeReportEmptyPolicyDomain Code = "report_empty_policy_domain"
+	CodeReportDuplicatePolicy   Code = "report_duplicate_policy"
+	CodeReportCountMismatch     Code = "report_count_mismatch"
 )
 
 // registry is the single source of truth for the taxonomy. docs/ERRORS.md
@@ -158,6 +172,21 @@ var registry = []Info{
 	// Inconsistency (Figure 4 "Inconsistency", §5.4).
 	{CodeInconsistency, LayerScan, CategoryInconsistency, false, false,
 		"record, policy, and MX hosts are individually valid but the policy's mx patterns do not cover the MX records", "§5.4"},
+
+	// TLSRPT aggregate-report ingestion rejections (§6, Appendix B).
+	// All persistent: a malformed report stays malformed on retry.
+	{CodeReportParse, LayerReport, CategoryReport, false, false,
+		"the report body is not a valid RFC 8460 JSON document", "Appendix B"},
+	{CodeReportMissingID, LayerReport, CategoryReport, false, false,
+		"the report carries no report-id (required by RFC 8460 §4.1)", "Appendix B"},
+	{CodeReportBadWindow, LayerReport, CategoryReport, false, false,
+		"the report's date-range is missing or ends before it starts", "Appendix B"},
+	{CodeReportEmptyPolicyDomain, LayerReport, CategoryReport, false, false,
+		"a policy section has an empty policy-domain, so its counts cannot be attributed", "Appendix B"},
+	{CodeReportDuplicatePolicy, LayerReport, CategoryReport, false, false,
+		"two policy sections share one (policy-type, policy-domain) pair, double-counting sessions", "Appendix B"},
+	{CodeReportCountMismatch, LayerReport, CategoryReport, false, false,
+		"a policy section's failure-details counts do not sum to its summary total (or are negative)", "Appendix B"},
 }
 
 // index is built once from the registry slice.

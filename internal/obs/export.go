@@ -131,11 +131,17 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
-// Handler serves the snapshot as JSON — the /metrics endpoint.
+// Handler serves the snapshot — the /metrics endpoint. The response
+// format is negotiated per request: an explicit ?format=name
+// (?format=prometheus) wins, then the Accept header's media ranges in
+// order, and requests stating no preference get the historical JSON
+// document. Content-Type always matches the exporter that rendered the
+// body.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		if err := r.WriteJSON(w); err != nil {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		exp := negotiate(req.URL.Query().Get("format"), req.Header.Get("Accept"))
+		w.Header().Set("Content-Type", exp.ContentType())
+		if err := exp.Export(w, r.Snapshot()); err != nil {
 			// The response is underway, so the error cannot reach the
 			// client; count it where the next scrape will see it.
 			r.Counter("obs.export.errors").Inc()

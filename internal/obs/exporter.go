@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Exporter renders a registry snapshot in one wire format. The exporter
+// set is pluggable: the built-in JSON and Prometheus exporters register
+// at init, and RegisterExporter can add (or replace) formats without
+// touching the HTTP layer. /metrics picks an exporter per request via
+// content negotiation (see NegotiateExporter) and sets the response
+// Content-Type from the exporter itself.
+type Exporter interface {
+	// Name is the exporter's stable key, used by the ?format= query
+	// parameter ("json", "prometheus").
+	Name() string
+	// ContentType is the exact Content-Type header value for responses
+	// rendered by this exporter.
+	ContentType() string
+	// Accepts reports whether the exporter serves the given Accept
+	// media range (lowercased, parameters stripped — "text/plain",
+	// "application/json", "*/*").
+	Accepts(mediaRange string) bool
+	// Export writes the snapshot to w.
+	Export(w io.Writer, s Snapshot) error
+}
+
+var (
+	exporterMu sync.RWMutex
+	// exporters is ordered: negotiation tries each Accept media range
+	// against the list in order, and the first exporter (JSON) is the
+	// default when nothing matches — existing scrapers and the curl
+	// examples in docs/OBSERVABILITY.md keep getting JSON.
+	exporters = []Exporter{JSONExporter{}, PrometheusExporter{}}
+)
+
+// RegisterExporter adds an exporter to the negotiation set, replacing
+// any registered exporter with the same Name.
+func RegisterExporter(e Exporter) {
+	exporterMu.Lock()
+	defer exporterMu.Unlock()
+	for i, have := range exporters {
+		if have.Name() == e.Name() {
+			exporters[i] = e
+			return
+		}
+	}
+	exporters = append(exporters, e)
+}
+
+// Exporters returns the registered exporters in negotiation order.
+func Exporters() []Exporter {
+	exporterMu.RLock()
+	defer exporterMu.RUnlock()
+	out := make([]Exporter, len(exporters))
+	copy(out, exporters)
+	return out
+}
+
+// ExporterFor looks an exporter up by Name.
+func ExporterFor(name string) (Exporter, bool) {
+	for _, e := range Exporters() {
+		if e.Name() == name {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// negotiate picks the exporter for a request: an explicit ?format=name
+// wins; otherwise the Accept header's media ranges are tried in order
+// and the first exporter accepting one is chosen; otherwise the default
+// (JSON) exporter answers.
+func negotiate(format, accept string) Exporter {
+	all := Exporters()
+	if format != "" {
+		for _, e := range all {
+			if e.Name() == format {
+				return e
+			}
+		}
+	}
+	for _, part := range strings.Split(accept, ",") {
+		mr, _, _ := strings.Cut(part, ";")
+		mr = strings.ToLower(strings.TrimSpace(mr))
+		if mr == "" {
+			continue
+		}
+		for _, e := range all {
+			if e.Accepts(mr) {
+				return e
+			}
+		}
+	}
+	return all[0]
+}
+
+// JSONExporter renders the snapshot as the indented JSON document that
+// has always been the /metrics default.
+type JSONExporter struct{}
+
+// Name implements Exporter.
+func (JSONExporter) Name() string { return "json" }
+
+// ContentType implements Exporter.
+func (JSONExporter) ContentType() string { return "application/json; charset=utf-8" }
+
+// Accepts implements Exporter: JSON serves application/json and is the
+// wildcard default.
+func (JSONExporter) Accepts(mediaRange string) bool {
+	return mediaRange == "application/json" || mediaRange == "*/*" || mediaRange == "application/*"
+}
+
+// Export implements Exporter.
+func (JSONExporter) Export(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -83,6 +83,11 @@ type Live struct {
 func (l *Live) registerErrTaxCounters() {
 	l.errTaxOnce.Do(func() {
 		for _, code := range errtax.Codes() {
+			// Report-ingestion codes live on the service's TLSRPT
+			// endpoint and can never appear on a scan result.
+			if in, ok := errtax.Lookup(code); ok && in.Layer == errtax.LayerReport {
+				continue
+			}
 			l.Obs.Counter("scan.error." + string(code))
 		}
 	})

@@ -1,0 +1,14 @@
+package scansvc
+
+import (
+	"testing"
+
+	"github.com/netsecurelab/mtasts/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running:
+// every service worker, metrics listener and in-flight job spawned
+// here must be joined by the time its test returns.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -1,0 +1,60 @@
+package scansvc
+
+import (
+	"sync"
+	"time"
+)
+
+// TenantLimiter is a per-tenant token bucket over submitted domains:
+// admitting a job costs one token per domain, buckets refill at Rate
+// tokens per second up to Burst. Admission is non-blocking — a tenant
+// over budget is rejected (HTTP 429) rather than queued, so one noisy
+// tenant cannot grow the durable queue without bound.
+type TenantLimiter struct {
+	// Rate is tokens (domains) per second per tenant; Burst the bucket
+	// capacity. Rate <= 0 disables limiting entirely.
+	Rate  float64
+	Burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewTenantLimiter builds a limiter; rate <= 0 disables limiting.
+func NewTenantLimiter(rate, burst float64) *TenantLimiter {
+	return &TenantLimiter{Rate: rate, Burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// Admit consumes cost tokens from the tenant's bucket, reporting
+// whether the submission is within budget. A nil limiter, a
+// non-positive rate, or a cost beyond Burst against a full fresh
+// bucket... the first two always admit; the last always rejects
+// (the job can never fit, better to say so at once).
+func (l *TenantLimiter) Admit(tenant string, cost int) bool {
+	if l == nil || l.Rate <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: l.Burst, last: now}
+		l.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.Rate
+	if b.tokens > l.Burst {
+		b.tokens = l.Burst
+	}
+	b.last = now
+	if float64(cost) > b.tokens {
+		return false
+	}
+	b.tokens -= float64(cost)
+	return true
+}

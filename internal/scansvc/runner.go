@@ -1,0 +1,135 @@
+package scansvc
+
+import (
+	"crypto/x509"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/obs"
+	"github.com/netsecurelab/mtasts/internal/resolver"
+	"github.com/netsecurelab/mtasts/internal/retry"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+)
+
+// RunnerSpec is the CLI-shaped description of a scanner.Runner: worker
+// counts as flag values rather than built pools. The commands parse
+// flags into a spec and Build turns it into a configured Runner — the
+// logic cmd/mtasts-scan and the service previously had to agree on by
+// copy.
+type RunnerSpec struct {
+	// Workers sizes the flat pool (and "auto" staged pools). 16 if 0.
+	Workers int
+	// StageWorkers, when non-empty, selects the staged pipeline with
+	// these per-stage pool sizes ("dns=16,fetch=8,probe=32"; "auto"
+	// sizes every stage from Workers).
+	StageWorkers string
+	// Dedup collapses duplicate in-flight policy fetches and MX probes
+	// (implies the staged pipeline).
+	Dedup bool
+}
+
+// Build assembles the Runner for one run over the given scanner and
+// telemetry. It validates StageWorkers; an invalid spec is a user
+// error, reported rather than panicked.
+func (sp RunnerSpec) Build(scan scanner.Scanner, reg *obs.Registry, events *obs.EventSink) (*scanner.Runner, error) {
+	workers := sp.Workers
+	if workers <= 0 {
+		workers = 16
+	}
+	r := &scanner.Runner{Workers: workers, Scan: scan, Obs: reg, Events: events}
+	if sp.StageWorkers != "" || sp.Dedup {
+		sw, err := scanner.ParseStageWorkers(sp.StageWorkers)
+		if err != nil {
+			return nil, err
+		}
+		r.Pipelined = true
+		r.StageWorkers = sw
+		r.Dedup = sp.Dedup
+	}
+	return r, nil
+}
+
+// LiveSpec is the CLI-shaped description of the live scan stack
+// (resolver + rate limit + retry budget + scanner.Live) that
+// cmd/mtasts-scan assembles and cmd/mtasts-serve reuses for live-socket
+// jobs.
+type LiveSpec struct {
+	// DNSAddr is the recursive resolver, host:port. Required.
+	DNSAddr string
+	// Rate caps DNS queries per second (0 = unlimited).
+	Rate float64
+	// HTTPSPort and SMTPPort default to 443 and 25.
+	HTTPSPort int
+	SMTPPort  int
+	// Timeout is the per-probe timeout (scanner default if 0).
+	Timeout time.Duration
+	// Retries is attempts per network operation (1 = no retries);
+	// RetryBase the first backoff delay; RetryBudget the total retries
+	// allowed across the run (0 = unlimited).
+	Retries     int
+	RetryBase   time.Duration
+	RetryBudget int64
+	// CAFile, when non-empty, adds PEM roots to the trust store (e.g.
+	// mtasts-host -ca-out).
+	CAFile string
+	// HeloName is the EHLO identity for SMTP probes.
+	HeloName string
+}
+
+// Build assembles the live scanner, sharing one retry budget across
+// every layer (DNS, policy fetch, SMTP probes) so a pathological
+// population cannot multiply the scan cost.
+func (sp LiveSpec) Build(reg *obs.Registry, events *obs.EventSink) (*scanner.Live, error) {
+	if sp.DNSAddr == "" {
+		return nil, fmt.Errorf("scansvc: live scan needs a DNS server address")
+	}
+	var roots *x509.CertPool
+	if sp.CAFile != "" {
+		pem, err := os.ReadFile(sp.CAFile)
+		if err != nil {
+			return nil, fmt.Errorf("scansvc: reading CA file: %w", err)
+		}
+		roots = x509.NewCertPool()
+		if !roots.AppendCertsFromPEM(pem) {
+			return nil, fmt.Errorf("scansvc: no certificates found in %s", sp.CAFile)
+		}
+	}
+	var budget *retry.Budget
+	if sp.RetryBudget > 0 {
+		budget = retry.NewBudget(sp.RetryBudget)
+	}
+	dns := resolver.New(sp.DNSAddr)
+	dns.Obs = reg
+	dns.MaxAttempts = sp.Retries
+	dns.RetryBase = sp.RetryBase
+	dns.RetryBudget = budget
+	if sp.Rate > 0 {
+		dns.Limiter = resolver.NewRateLimiter(sp.Rate, 10)
+	}
+	httpsPort := sp.HTTPSPort
+	if httpsPort == 0 {
+		httpsPort = 443
+	}
+	smtpPort := sp.SMTPPort
+	if smtpPort == 0 {
+		smtpPort = 25
+	}
+	helo := sp.HeloName
+	if helo == "" {
+		helo = "mtasts-scan.invalid"
+	}
+	return &scanner.Live{
+		DNS:         dns,
+		Roots:       roots,
+		HTTPSPort:   httpsPort,
+		SMTPPort:    smtpPort,
+		HeloName:    helo,
+		Timeout:     sp.Timeout,
+		Obs:         reg,
+		Events:      events,
+		MaxAttempts: sp.Retries,
+		RetryBase:   sp.RetryBase,
+		RetryBudget: budget,
+	}, nil
+}

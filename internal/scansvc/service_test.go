@@ -1,0 +1,327 @@
+package scansvc
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/campaign"
+	"github.com/netsecurelab/mtasts/internal/experiments"
+	"github.com/netsecurelab/mtasts/internal/scanner"
+	"github.com/netsecurelab/mtasts/internal/simnet"
+	"github.com/netsecurelab/mtasts/internal/store"
+)
+
+// testWorld is the shared small simnet world; the artifact scanner it
+// yields is deterministic, so job results are reproducible across
+// service restarts — the property the crash-resume tests assert.
+var testWorld = simnet.Generate(simnet.Config{Seed: 11, Scale: 0.02})
+
+// slowScanner delays each domain so tests can reliably observe a job
+// mid-run (cancel, shutdown); results are unchanged, so determinism
+// holds.
+type slowScanner struct {
+	inner scanner.Scanner
+	delay time.Duration
+}
+
+func (s slowScanner) ScanDomain(ctx context.Context, d string) scanner.DomainResult {
+	select {
+	case <-ctx.Done():
+	case <-time.After(s.delay):
+	}
+	return s.inner.ScanDomain(ctx, d)
+}
+
+// worldScan returns the deterministic scanner and sorted population of
+// the test world's first component-scan snapshot.
+func worldScan() (scanner.Scanner, []string) {
+	src, scan := experiments.SnapshotSource(testWorld, experiments.WeekSnapshot(0))
+	var names []string
+	src(func(d string) error { //nolint:errcheck // slice source never fails
+		names = append(names, d)
+		return nil
+	})
+	sort.Strings(names)
+	return scan, names
+}
+
+// newTestService builds a started service over the given store; the
+// cleanup closes it.
+func newTestService(t *testing.T, s store.Store, mutate func(*Service)) *Service {
+	t.Helper()
+	scan, _ := worldScan()
+	svc := &Service{Store: s, Scan: scan, Runner: RunnerSpec{Workers: 8}, ShardSize: 16}
+	if mutate != nil {
+		mutate(svc)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+// waitState polls until the job reaches a terminal state (or the given
+// state) or the deadline passes.
+func waitState(t *testing.T, svc *Service, id string, want State) *Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok, err := svc.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if ok && (j.State == want || (want == "" && j.State.Terminal())) {
+			return j
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	j, _, _ := svc.Get(id)
+	t.Fatalf("job %s never reached %q (now %+v)", id, want, j)
+	return nil
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	s := store.NewMem()
+	svc := newTestService(t, s, nil)
+	_, names := worldScan()
+
+	j, err := svc.Submit("acme", names[:40])
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if j.State != StatePending || j.Domains != 40 || j.ID != "j000001" {
+		t.Fatalf("acknowledged job = %+v", j)
+	}
+	done := waitState(t, svc, j.ID, StateDone)
+	if done.FinishedAt.IsZero() {
+		t.Error("done job has zero FinishedAt")
+	}
+
+	var buf bytes.Buffer
+	if err := svc.WriteResults(&buf, j.ID, false); err != nil {
+		t.Fatalf("WriteResults: %v", err)
+	}
+	if got := bytes.Count(buf.Bytes(), []byte{'\n'}); got != 40 {
+		t.Fatalf("results hold %d lines, want 40", got)
+	}
+
+	jobs, err := svc.List()
+	if err != nil || len(jobs) != 1 || jobs[0].ID != j.ID {
+		t.Fatalf("List = %v, %v", jobs, err)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	svc := newTestService(t, store.NewMem(), nil)
+	if _, err := svc.Submit("acme", nil); err == nil {
+		t.Error("empty domain list accepted")
+	}
+	if _, err := svc.Submit("acme", []string{"a.example", "bad/domain"}); err == nil {
+		t.Error("slash domain accepted")
+	}
+	if _, err := svc.Submit("acme", []string{""}); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+// TestCrashResumeByteIdentical is the queue-level half of the
+// smoke-serve contract: a job stopped mid-run by the crash drill and
+// restarted on a fresh service over the same store completes with
+// results byte-identical to an uninterrupted job over the same
+// population.
+func TestCrashResumeByteIdentical(t *testing.T) {
+	scan, names := worldScan()
+	population := names[:64] // 4 shards at ShardSize 16
+
+	// Reference: uninterrupted run on its own store.
+	refStore := store.NewMem()
+	ref := newTestService(t, refStore, nil)
+	rj, err := ref.Submit("acme", population)
+	if err != nil {
+		t.Fatalf("ref Submit: %v", err)
+	}
+	waitState(t, ref, rj.ID, StateDone)
+	var want bytes.Buffer
+	if err := ref.WriteResults(&want, rj.ID, false); err != nil {
+		t.Fatalf("ref results: %v", err)
+	}
+
+	// Drilled: stop after 2 of 4 shards, "crash" (Close), restart.
+	s := store.NewMem()
+	svc := &Service{Store: s, Scan: scan, Runner: RunnerSpec{Workers: 8},
+		ShardSize: 16, StopAfterShards: 2}
+	if err := svc.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	j, err := svc.Submit("acme", population)
+	if err != nil {
+		svc.Close()
+		t.Fatalf("Submit: %v", err)
+	}
+	select {
+	case err := <-svc.Fatal():
+		if err == nil || !bytes.Contains([]byte(err.Error()), []byte("stopped")) {
+			t.Fatalf("drill error = %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		svc.Close()
+		t.Fatal("drill never fired")
+	}
+	svc.Close()
+
+	// The interrupted job must still be stored as running.
+	mid, ok, err := getJob(s, j.ID)
+	if err != nil || !ok {
+		t.Fatalf("job vanished after drill: %v", err)
+	}
+	if mid.State != StateRunning {
+		t.Fatalf("post-crash state = %s, want running", mid.State)
+	}
+
+	// Restart without the drill; Start must re-queue and the job must
+	// complete.
+	svc2 := newTestService(t, s, nil)
+	waitState(t, svc2, j.ID, StateDone)
+	var got bytes.Buffer
+	if err := svc2.WriteResults(&got, j.ID, false); err != nil {
+		t.Fatalf("resumed results: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("resumed results differ from uninterrupted run:\nresumed %d bytes, reference %d bytes",
+			got.Len(), want.Len())
+	}
+}
+
+func TestCancelPendingJob(t *testing.T) {
+	s := store.NewMem()
+	// MaxConcurrent 1 and a slow first job so the second stays pending.
+	svc := newTestService(t, s, func(sv *Service) {
+		sv.MaxConcurrent = 1
+		sv.Scan = slowScanner{inner: sv.Scan, delay: 5 * time.Millisecond}
+	})
+	_, names := worldScan()
+
+	j1, err := svc.Submit("acme", names[:48])
+	if err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	j2, err := svc.Submit("acme", names[:16])
+	if err != nil {
+		t.Fatalf("Submit 2: %v", err)
+	}
+	if _, err := svc.Cancel(j2.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	got := waitState(t, svc, j2.ID, StateCanceled)
+	if got.State != StateCanceled {
+		t.Fatalf("state = %s", got.State)
+	}
+	// The canceled job must never produce results.
+	waitState(t, svc, j1.ID, StateDone)
+	var buf bytes.Buffer
+	if err := svc.WriteResults(&buf, j2.ID, false); err != nil {
+		t.Fatalf("WriteResults: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("canceled job has %d bytes of results", buf.Len())
+	}
+}
+
+func TestTenantRateLimit(t *testing.T) {
+	svc := newTestService(t, store.NewMem(), func(sv *Service) {
+		sv.Tenants = NewTenantLimiter(1, 20) // 20-domain burst, 1/s refill
+	})
+	_, names := worldScan()
+
+	if _, err := svc.Submit("noisy", names[:16]); err != nil {
+		t.Fatalf("first submission within burst rejected: %v", err)
+	}
+	if _, err := svc.Submit("noisy", names[:16]); err == nil {
+		t.Fatal("second submission over budget admitted")
+	}
+	// A different tenant has its own bucket.
+	if _, err := svc.Submit("quiet", names[:16]); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+}
+
+func TestResumeRecoversPendingJobs(t *testing.T) {
+	s := store.NewMem()
+	scan, names := worldScan()
+
+	// Seed the store with a pending job no service has touched — the
+	// shape left behind by a crash between Submit's sync and dispatch.
+	seed := &Service{Store: s, Scan: scan}
+	if err := seed.Start(); err != nil {
+		t.Fatalf("seed Start: %v", err)
+	}
+	j, err := seed.Submit("acme", names[:8])
+	if err != nil {
+		t.Fatalf("seed Submit: %v", err)
+	}
+	// Close immediately; the job may or may not have started.
+	seed.Close()
+
+	svc := newTestService(t, s, nil)
+	waitState(t, svc, j.ID, StateDone)
+}
+
+// TestEngineKeyCompatibility pins the job↔campaign bridge: results are
+// readable through the campaign API under the job ID.
+func TestEngineKeyCompatibility(t *testing.T) {
+	s := store.NewMem()
+	svc := newTestService(t, s, nil)
+	_, names := worldScan()
+	j, err := svc.Submit("acme", names[:8])
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, svc, j.ID, StateDone)
+	sum, err := campaign.Aggregate(s, j.ID, 0)
+	if err != nil {
+		t.Fatalf("campaign.Aggregate over job results: %v", err)
+	}
+	if sum.Domains != 8 {
+		t.Fatalf("aggregate sees %d domains, want 8", sum.Domains)
+	}
+}
+
+func TestCloseLeavesRunningJobResumable(t *testing.T) {
+	s := store.NewMem()
+	scan, names := worldScan()
+	svc := &Service{Store: s, Scan: slowScanner{inner: scan, delay: 5 * time.Millisecond},
+		Runner: RunnerSpec{Workers: 2}, ShardSize: 8}
+	if err := svc.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	j, err := svc.Submit("acme", names[:64])
+	if err != nil {
+		svc.Close()
+		t.Fatalf("Submit: %v", err)
+	}
+	// Close mid-run (or even before the worker dequeues — both states
+	// must resume).
+	svc.Close()
+
+	stored, ok, err := getJob(s, j.ID)
+	if err != nil || !ok {
+		t.Fatalf("stored job: %v", err)
+	}
+	if stored.State.Terminal() {
+		t.Fatalf("job reached %s before Close finished, cannot exercise resume", stored.State)
+	}
+
+	svc2 := newTestService(t, s, nil)
+	waitState(t, svc2, j.ID, StateDone)
+}
+
+func TestStartTwiceFails(t *testing.T) {
+	svc := newTestService(t, store.NewMem(), nil)
+	if err := svc.Start(); err == nil {
+		t.Fatal("second Start succeeded")
+	}
+}

@@ -1,0 +1,101 @@
+package scansvc
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/netsecurelab/mtasts/internal/dataset"
+	"github.com/netsecurelab/mtasts/internal/obs"
+	"github.com/netsecurelab/mtasts/internal/report"
+)
+
+// TelemetryConfig selects the observability outputs a run wants. The
+// zero value disables everything: the registry stays nil and the scan
+// pipeline pays only nil checks.
+type TelemetryConfig struct {
+	// MetricsAddr, when non-empty, serves /metrics and
+	// /debug/scanprogress on this host:port for the lifetime of the
+	// Telemetry.
+	MetricsAddr string
+	// EventsPath, when non-empty, appends JSONL events to this file.
+	EventsPath string
+}
+
+// Telemetry is the run-scoped observability bundle the commands used to
+// assemble by hand: registry, event sink, and metrics listener, torn
+// down together by Close.
+type Telemetry struct {
+	// Obs is nil when the config enabled nothing — safe to pass
+	// everywhere, the obs package is nil-tolerant.
+	Obs    *obs.Registry
+	Events *obs.EventSink
+	// Server is the metrics listener (nil unless MetricsAddr was set);
+	// Server.Addr() is the bound address.
+	Server *obs.Server
+
+	eventsFile *os.File
+}
+
+// StartTelemetry builds the bundle: a registry if anything is enabled,
+// an appending JSONL sink for EventsPath, and a bound metrics server
+// for MetricsAddr. On error nothing is left running.
+func StartTelemetry(cfg TelemetryConfig) (*Telemetry, error) {
+	t := &Telemetry{}
+	if cfg.MetricsAddr == "" && cfg.EventsPath == "" {
+		return t, nil
+	}
+	t.Obs = obs.NewRegistry()
+	if cfg.EventsPath != "" {
+		f, err := os.OpenFile(cfg.EventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("scansvc: opening events file: %w", err)
+		}
+		t.eventsFile = f
+		t.Events = obs.NewEventSink(f)
+	}
+	if cfg.MetricsAddr != "" {
+		srv, err := t.Obs.Serve(cfg.MetricsAddr)
+		if err != nil {
+			if t.eventsFile != nil {
+				//lint:ignore errdrop unwinding a failed start; the Serve error is the one to report
+				t.eventsFile.Close()
+			}
+			return nil, err
+		}
+		t.Server = srv
+	}
+	return t, nil
+}
+
+// Close stops the metrics listener and closes the events file. Safe on
+// a zero-config bundle.
+func (t *Telemetry) Close() error {
+	var first error
+	if t.Server != nil {
+		first = t.Server.Close()
+	}
+	if t.eventsFile != nil {
+		if err := t.eventsFile.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WriteSummary prints the end-of-run "Observability summary" table the
+// commands share — every metric's summary row plus the dropped-events
+// count when the sink lost any. No-op without a registry.
+func (t *Telemetry) WriteSummary(w io.Writer) {
+	if t.Obs == nil {
+		return
+	}
+	tbl := &dataset.Table{Title: "Observability summary", Headers: []string{"metric", "value"}}
+	for _, row := range t.Obs.Snapshot().SummaryRows() {
+		tbl.AddRow(row[0], row[1])
+	}
+	if t.Events != nil && t.Events.Dropped() > 0 {
+		tbl.AddRow("events.dropped", t.Events.Dropped())
+	}
+	report.WriteTable(w, tbl)
+}

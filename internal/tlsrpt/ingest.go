@@ -1,0 +1,103 @@
+package tlsrpt
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/errtax"
+)
+
+// This file is the validating entry point the service's TLSRPT endpoint
+// uses. UnmarshalReport/Validate (report.go) predate it and stay for
+// in-process report plumbing; everything arriving over the wire goes
+// through IngestReport so rejections carry typed errtax codes
+// (docs/ERRORS.md "TLSRPT report ingestion").
+
+// reportErr types an ingestion rejection: layer report, never
+// transient (a malformed report stays malformed on retry).
+func reportErr(code errtax.Code, format string, args ...any) error {
+	return errtax.Wrap(errtax.LayerReport, code, false, fmt.Errorf(format, args...))
+}
+
+// IngestReport parses and fully validates an RFC 8460 aggregate report
+// for ingestion. Unlike UnmarshalReport it rejects — with typed errtax
+// codes — reports the old path accepted silently: missing or inverted
+// date-range windows, policy sections with an empty policy-domain
+// (counts that cannot be attributed to any domain), duplicate
+// (policy-type, policy-domain) sections (double-counted sessions), and
+// failure-detail counts that contradict the summary.
+func IngestReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, reportErr(errtax.CodeReportParse, "tlsrpt: parsing report: %w", err)
+	}
+	if r.ReportID == "" {
+		return nil, reportErr(errtax.CodeReportMissingID, "tlsrpt: report without report-id")
+	}
+	if r.DateRange.StartDatetime.IsZero() || r.DateRange.EndDatetime.IsZero() {
+		return nil, reportErr(errtax.CodeReportBadWindow,
+			"tlsrpt: report %s: missing date-range", r.ReportID)
+	}
+	if r.DateRange.EndDatetime.Before(r.DateRange.StartDatetime) {
+		return nil, reportErr(errtax.CodeReportBadWindow,
+			"tlsrpt: report %s: date range ends before it starts", r.ReportID)
+	}
+	seen := make(map[policyKey]bool, len(r.Policies))
+	for _, p := range r.Policies {
+		if p.Policy.PolicyDomain == "" {
+			return nil, reportErr(errtax.CodeReportEmptyPolicyDomain,
+				"tlsrpt: report %s: policy section with empty policy-domain", r.ReportID)
+		}
+		k := policyKey{p.Policy.PolicyType, p.Policy.PolicyDomain}
+		if seen[k] {
+			return nil, reportErr(errtax.CodeReportDuplicatePolicy,
+				"tlsrpt: report %s: duplicate policy section for %s/%s",
+				r.ReportID, p.Policy.PolicyType, p.Policy.PolicyDomain)
+		}
+		seen[k] = true
+		var sum int64
+		for _, fd := range p.FailureDetails {
+			if fd.FailedSessionCount < 0 {
+				return nil, reportErr(errtax.CodeReportCountMismatch,
+					"tlsrpt: report %s: %s: negative failure count", r.ReportID, p.Policy.PolicyDomain)
+			}
+			sum += fd.FailedSessionCount
+		}
+		if sum != p.Summary.TotalFailureSessionCount {
+			return nil, reportErr(errtax.CodeReportCountMismatch,
+				"tlsrpt: report %s: %s: failure details sum %d != summary %d",
+				r.ReportID, p.Policy.PolicyDomain, sum, p.Summary.TotalFailureSessionCount)
+		}
+		if p.Summary.TotalSuccessfulSessionCount < 0 {
+			return nil, reportErr(errtax.CodeReportCountMismatch,
+				"tlsrpt: report %s: %s: negative success count", r.ReportID, p.Policy.PolicyDomain)
+		}
+	}
+	return &r, nil
+}
+
+type policyKey struct {
+	ptype  PolicyType
+	domain string
+}
+
+// WindowKey renders the reporting window as a fixed-width, lexically
+// sortable store-key segment: "<start>..<end>" in UTC RFC 3339.
+func (d DateRange) WindowKey() string {
+	return d.StartDatetime.UTC().Format(time.RFC3339) + ".." + d.EndDatetime.UTC().Format(time.RFC3339)
+}
+
+// Domains returns the distinct policy domains the report covers, in
+// section order.
+func (r *Report) Domains() []string {
+	var out []string
+	seen := make(map[string]bool, len(r.Policies))
+	for _, p := range r.Policies {
+		if d := p.Policy.PolicyDomain; d != "" && !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}

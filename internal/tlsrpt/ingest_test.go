@@ -1,0 +1,153 @@
+package tlsrpt
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netsecurelab/mtasts/internal/errtax"
+)
+
+// validReportJSON builds a well-formed one-policy report the malformed
+// cases below mutate.
+func validReportJSON(t *testing.T) []byte {
+	t.Helper()
+	r := NewReport("Example Org", "sts@example.com", "2026-08-01-example",
+		time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2026, 8, 2, 0, 0, 0, 0, time.UTC))
+	r.AddSuccess(PolicyTypeSTS, "example.com", 120)
+	r.AddFailure(PolicyTypeSTS, "example.com", ResultCertificateExpired, "mx1.example.com", 3)
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return data
+}
+
+func TestIngestReportValid(t *testing.T) {
+	r, err := IngestReport(validReportJSON(t))
+	if err != nil {
+		t.Fatalf("IngestReport(valid): %v", err)
+	}
+	if r.ReportID != "2026-08-01-example" {
+		t.Fatalf("report-id = %q", r.ReportID)
+	}
+	if got := r.Domains(); len(got) != 1 || got[0] != "example.com" {
+		t.Fatalf("Domains() = %v", got)
+	}
+	want := "2026-08-01T00:00:00Z..2026-08-02T00:00:00Z"
+	if got := r.DateRange.WindowKey(); got != want {
+		t.Fatalf("WindowKey() = %q, want %q", got, want)
+	}
+}
+
+// TestIngestReportRejections is the regression test for the
+// silent-acceptance bug: each malformed shape must be rejected with its
+// registered errtax code.
+func TestIngestReportRejections(t *testing.T) {
+	valid := string(validReportJSON(t))
+	cases := []struct {
+		name string
+		body string
+		code errtax.Code
+	}{
+		{"not json", `{"organization-name": `, errtax.CodeReportParse},
+		{"wrong type", `[1,2,3]`, errtax.CodeReportParse},
+		{"missing report-id",
+			strings.Replace(valid, `"report-id": "2026-08-01-example"`, `"report-id": ""`, 1),
+			errtax.CodeReportMissingID},
+		{"missing window",
+			strings.Replace(valid, `"start-datetime": "2026-08-01T00:00:00Z"`, `"start-datetime": "0001-01-01T00:00:00Z"`, 1),
+			errtax.CodeReportBadWindow},
+		{"inverted window",
+			strings.Replace(valid, `"end-datetime": "2026-08-02T00:00:00Z"`, `"end-datetime": "2026-07-01T00:00:00Z"`, 1),
+			errtax.CodeReportBadWindow},
+		{"empty policy-domain",
+			strings.Replace(valid, `"policy-domain": "example.com"`, `"policy-domain": ""`, 1),
+			errtax.CodeReportEmptyPolicyDomain},
+		{"count mismatch",
+			strings.Replace(valid, `"total-failure-session-count": 3`, `"total-failure-session-count": 7`, 1),
+			errtax.CodeReportCountMismatch},
+		{"negative failure count",
+			strings.Replace(
+				strings.Replace(valid, `"failed-session-count": 3`, `"failed-session-count": -3`, 1),
+				`"total-failure-session-count": 3`, `"total-failure-session-count": -3`, 1),
+			errtax.CodeReportCountMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := IngestReport([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("accepted malformed report:\n%s", tc.body)
+			}
+			if code, ok := errtax.CodeOf(err); !ok || code != tc.code {
+				t.Fatalf("error code = %v (typed=%v), want %s; err: %v", code, ok, tc.code, err)
+			}
+			if errtax.Transient(err) {
+				t.Fatalf("ingestion rejection classified transient: %v", err)
+			}
+		})
+	}
+}
+
+func TestIngestReportDuplicatePolicy(t *testing.T) {
+	r := NewReport("Example Org", "sts@example.com", "dup",
+		time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2026, 8, 2, 0, 0, 0, 0, time.UTC))
+	r.AddSuccess(PolicyTypeSTS, "example.com", 1)
+	// Append a second section with the same key behind Policy()'s back —
+	// exactly what a malicious or buggy sender would POST.
+	r.Policies = append(r.Policies, r.Policies[0])
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if _, err := IngestReport(data); !errtax.HasCode(err, errtax.CodeReportDuplicatePolicy) {
+		t.Fatalf("duplicate policy section not rejected: %v", err)
+	}
+	// Distinct policy types for one domain are legal (RFC 8460 allows
+	// sts and tlsa sections side by side).
+	r.Policies[1].Policy.PolicyType = PolicyTypeTLSA
+	data, err = r.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if _, err := IngestReport(data); err != nil {
+		t.Fatalf("distinct policy types rejected: %v", err)
+	}
+}
+
+// FuzzIngestReport drives the ingestion validator with malformed report
+// JSON: it must never panic, never accept a report that then fails
+// Validate's arithmetic, and reject with a typed code whenever it
+// rejects.
+func FuzzIngestReport(f *testing.F) {
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"report-id":""}`))
+	f.Add([]byte(`{"report-id":"x"}`))
+	f.Add([]byte(`{"report-id":"x","date-range":{"start-datetime":"2026-08-02T00:00:00Z","end-datetime":"2026-08-01T00:00:00Z"}}`))
+	f.Add([]byte(`{"report-id":"x","date-range":{"start-datetime":"2026-08-01T00:00:00Z","end-datetime":"2026-08-02T00:00:00Z"},"policies":[{"policy":{"policy-type":"sts","policy-domain":""}}]}`))
+	f.Add([]byte(`{"report-id":"x","date-range":{"start-datetime":"2026-08-01T00:00:00Z","end-datetime":"2026-08-02T00:00:00Z"},"policies":[{"policy":{"policy-type":"sts","policy-domain":"a.example"},"summary":{"total-failure-session-count":5}}]}`))
+	f.Add([]byte(`{"report-id":"x","date-range":{"start-datetime":"2026-08-01T00:00:00Z","end-datetime":"2026-08-02T00:00:00Z"},"policies":[{"policy":{"policy-type":"sts","policy-domain":"a.example"}},{"policy":{"policy-type":"sts","policy-domain":"a.example"}}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := IngestReport(data)
+		if err != nil {
+			code, ok := errtax.CodeOf(err)
+			if !ok {
+				t.Fatalf("untyped ingestion rejection: %v", err)
+			}
+			if _, registered := errtax.Lookup(code); !registered {
+				t.Fatalf("rejection carries unregistered code %q", code)
+			}
+			return
+		}
+		// Accepted reports must satisfy the weaker legacy validator too.
+		if err := r.Validate(); err != nil {
+			t.Fatalf("IngestReport accepted a report Validate rejects: %v", err)
+		}
+		if r.ReportID == "" {
+			t.Fatal("accepted report without report-id")
+		}
+	})
+}
